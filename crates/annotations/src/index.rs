@@ -1,0 +1,134 @@
+//! The attachment index: `(table, row) → [(annotation, column signature)]`.
+//!
+//! Both summary maintenance (which annotations does this tuple carry?) and
+//! zoom-in (resolve a summary component's ids to raw annotations on a
+//! specific tuple) hit this index, so it is kept as a flat hash map with
+//! per-row vectors in attachment order.
+
+use crate::model::ColSig;
+use insightnotes_common::{AnnotationId, RowId, TableId};
+use std::collections::HashMap;
+
+/// Per-row attachment lists.
+#[derive(Debug, Default, Clone)]
+pub struct AttachmentIndex {
+    by_row: HashMap<(TableId, RowId), Vec<(AnnotationId, ColSig)>>,
+}
+
+impl AttachmentIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an attachment. If the annotation is already attached to the
+    /// row, its column signature is widened (union) instead of duplicated.
+    pub fn attach(&mut self, table: TableId, row: RowId, id: AnnotationId, cols: ColSig) {
+        let list = self.by_row.entry((table, row)).or_default();
+        if let Some(entry) = list.iter_mut().find(|(a, _)| *a == id) {
+            entry.1 = entry.1.union(cols);
+        } else {
+            list.push((id, cols));
+        }
+    }
+
+    /// Removes one annotation's attachment from a row. Returns whether it
+    /// was present.
+    pub fn detach(&mut self, table: TableId, row: RowId, id: AnnotationId) -> bool {
+        if let Some(list) = self.by_row.get_mut(&(table, row)) {
+            let before = list.len();
+            list.retain(|(a, _)| *a != id);
+            let removed = list.len() != before;
+            if list.is_empty() {
+                self.by_row.remove(&(table, row));
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// All attachments on a row, in attachment order.
+    pub fn on_row(&self, table: TableId, row: RowId) -> &[(AnnotationId, ColSig)] {
+        self.by_row
+            .get(&(table, row))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of annotations attached to a row.
+    pub fn count_on_row(&self, table: TableId, row: RowId) -> usize {
+        self.on_row(table, row).len()
+    }
+
+    /// Drops every attachment on a row (row deletion).
+    pub fn clear_row(&mut self, table: TableId, row: RowId) -> Vec<(AnnotationId, ColSig)> {
+        self.by_row.remove(&(table, row)).unwrap_or_default()
+    }
+
+    /// Total number of `(row, annotation)` attachment pairs.
+    pub fn total_attachments(&self) -> usize {
+        self.by_row.values().map(Vec::len).sum()
+    }
+
+    /// Iterates all rows of a table that carry at least one annotation.
+    pub fn annotated_rows(&self, table: TableId) -> impl Iterator<Item = RowId> + '_ {
+        self.by_row
+            .keys()
+            .filter(move |(t, _)| *t == table)
+            .map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::ColumnId;
+
+    const T: TableId = TableId(1);
+    const R1: RowId = RowId(1);
+    const R2: RowId = RowId(2);
+
+    #[test]
+    fn attach_and_lookup() {
+        let mut idx = AttachmentIndex::new();
+        idx.attach(T, R1, AnnotationId(1), ColSig::whole_row(3));
+        idx.attach(T, R1, AnnotationId(2), ColSig::single(ColumnId(0)));
+        idx.attach(T, R2, AnnotationId(1), ColSig::whole_row(3));
+        assert_eq!(idx.count_on_row(T, R1), 2);
+        assert_eq!(idx.count_on_row(T, R2), 1);
+        assert_eq!(idx.total_attachments(), 3);
+    }
+
+    #[test]
+    fn reattach_widens_signature() {
+        let mut idx = AttachmentIndex::new();
+        idx.attach(T, R1, AnnotationId(1), ColSig::single(ColumnId(0)));
+        idx.attach(T, R1, AnnotationId(1), ColSig::single(ColumnId(2)));
+        let on = idx.on_row(T, R1);
+        assert_eq!(on.len(), 1);
+        assert_eq!(on[0].1.count(), 2);
+    }
+
+    #[test]
+    fn detach_and_clear() {
+        let mut idx = AttachmentIndex::new();
+        idx.attach(T, R1, AnnotationId(1), ColSig::whole_row(2));
+        idx.attach(T, R1, AnnotationId(2), ColSig::whole_row(2));
+        assert!(idx.detach(T, R1, AnnotationId(1)));
+        assert!(!idx.detach(T, R1, AnnotationId(1)));
+        assert_eq!(idx.count_on_row(T, R1), 1);
+        let cleared = idx.clear_row(T, R1);
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(idx.count_on_row(T, R1), 0);
+    }
+
+    #[test]
+    fn annotated_rows_filters_by_table() {
+        let mut idx = AttachmentIndex::new();
+        idx.attach(T, R1, AnnotationId(1), ColSig::whole_row(1));
+        idx.attach(TableId(2), R2, AnnotationId(2), ColSig::whole_row(1));
+        let rows: Vec<RowId> = idx.annotated_rows(T).collect();
+        assert_eq!(rows, vec![R1]);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # insightnotes-annotations
+//!
+//! The raw-annotation repository: the data that InsightNotes summarizes.
+//!
+//! An annotation is free text (a scientist's observation, a comment, a
+//! provenance note) with an optional attached document (an article, an
+//! experiment report), written by some curator. It attaches to one or more
+//! *targets*: `(table, row, column set)` triples. Attaching to several
+//! targets is first-class because the paper's join-merge semantics hinge on
+//! the same annotation being attached to both join sides without being
+//! double-counted.
+//!
+//! Column sets are represented as a 64-bit [`ColSig`] bitmask — the
+//! *column signature* that summary objects bucket contributions by, which
+//! is what makes projection ("remove the effect of annotations attached
+//! only to projected-out columns") an exact, raw-annotation-free operation.
+
+pub mod index;
+pub mod model;
+pub mod store;
+
+pub use index::AttachmentIndex;
+pub use model::{Annotation, AnnotationBody, ColSig, Target};
+pub use store::{AnnotationStore, StoreStats};

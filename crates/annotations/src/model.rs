@@ -1,0 +1,273 @@
+//! Annotation data model: bodies, targets, and column signatures.
+
+use insightnotes_common::{codec, ColumnId, Result, RowId, TableId};
+use std::fmt;
+
+/// A set of columns within one table, as a 64-bit mask over column
+/// ordinals. Tables are limited to 64 columns (checked at attachment
+/// time) — far beyond the paper's workloads — in exchange for O(1)
+/// signature algebra on the query hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColSig(u64);
+
+impl ColSig {
+    /// Maximum representable column ordinal (exclusive).
+    pub const MAX_COLUMNS: u16 = 64;
+
+    /// The empty signature.
+    pub const EMPTY: ColSig = ColSig(0);
+
+    /// Signature covering every column of a table with `arity` columns
+    /// (a whole-row annotation).
+    pub fn whole_row(arity: usize) -> ColSig {
+        debug_assert!(arity <= Self::MAX_COLUMNS as usize);
+        if arity >= 64 {
+            ColSig(u64::MAX)
+        } else {
+            ColSig((1u64 << arity) - 1)
+        }
+    }
+
+    /// Signature of a single column.
+    pub fn single(col: ColumnId) -> ColSig {
+        debug_assert!(col.raw() < Self::MAX_COLUMNS);
+        ColSig(1u64 << col.raw())
+    }
+
+    /// Signature of a set of columns.
+    pub fn of_columns(cols: &[ColumnId]) -> ColSig {
+        let mut mask = 0u64;
+        for c in cols {
+            debug_assert!(c.raw() < Self::MAX_COLUMNS);
+            mask |= 1u64 << c.raw();
+        }
+        ColSig(mask)
+    }
+
+    /// Raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs from a raw bitmask.
+    pub fn from_bits(bits: u64) -> ColSig {
+        ColSig(bits)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: ColSig) -> ColSig {
+        ColSig(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: ColSig) -> ColSig {
+        ColSig(self.0 | other.0)
+    }
+
+    /// True when no columns are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when `col` is in the set.
+    pub fn contains(self, col: ColumnId) -> bool {
+        col.raw() < Self::MAX_COLUMNS && self.0 & (1u64 << col.raw()) != 0
+    }
+
+    /// Number of columns in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates the member column ordinals in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = ColumnId> {
+        (0..64u16).filter_map(move |i| {
+            if self.0 & (1u64 << i) != 0 {
+                Some(ColumnId::new(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Remaps column ordinals through `map` (old → new ordinal, or `None`
+    /// to drop). Used when an operator reorders or removes columns.
+    pub fn remap(self, map: &dyn Fn(u16) -> Option<u16>) -> ColSig {
+        let mut out = 0u64;
+        for c in self.iter() {
+            if let Some(n) = map(c.raw()) {
+                debug_assert!(n < Self::MAX_COLUMNS);
+                out |= 1u64 << n;
+            }
+        }
+        ColSig(out)
+    }
+}
+
+impl fmt::Display for ColSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.iter().map(|c| c.raw().to_string()).collect();
+        write!(f, "{{{}}}", cols.join(","))
+    }
+}
+
+/// The content of an annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationBody {
+    /// Free-text observation / comment.
+    pub text: String,
+    /// Optional attached large object (article, report). This is what the
+    /// Snippet summary type compresses.
+    pub document: Option<String>,
+    /// Curator identity.
+    pub author: String,
+    /// Logical creation tick (deterministic stand-in for a timestamp).
+    pub created: u64,
+}
+
+impl AnnotationBody {
+    /// Creates a plain text annotation.
+    pub fn text(text: impl Into<String>, author: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            document: None,
+            author: author.into(),
+            created: 0,
+        }
+    }
+
+    /// Attaches a document to the annotation.
+    pub fn with_document(mut self, document: impl Into<String>) -> Self {
+        self.document = Some(document.into());
+        self
+    }
+
+    /// Total content size in bytes (text + document), used by the
+    /// compression experiment.
+    pub fn content_bytes(&self) -> usize {
+        self.text.len() + self.document.as_ref().map_or(0, String::len)
+    }
+}
+
+/// One attachment point of an annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// Host table.
+    pub table: TableId,
+    /// Host row.
+    pub row: RowId,
+    /// Columns covered on that row.
+    pub cols: ColSig,
+}
+
+impl Target {
+    /// Creates a target.
+    pub fn new(table: TableId, row: RowId, cols: ColSig) -> Self {
+        Self { table, row, cols }
+    }
+}
+
+/// A stored annotation: body plus all of its targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// The annotation content.
+    pub body: AnnotationBody,
+    /// Everywhere the annotation is attached.
+    pub targets: Vec<Target>,
+}
+
+impl codec::Encodable for AnnotationBody {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.str(&self.text);
+        enc.option(&self.document, |e, d| e.str(d));
+        enc.str(&self.author);
+        enc.varint(self.created);
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(AnnotationBody {
+            text: dec.str()?,
+            document: dec.option(|d| d.str())?,
+            author: dec.str()?,
+            created: dec.varint()?,
+        })
+    }
+}
+
+impl codec::Encodable for Target {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u32(self.table.raw());
+        enc.varint(self.row.raw());
+        enc.u64(self.cols.bits());
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(Target {
+            table: TableId::new(dec.u32()?),
+            row: RowId::new(dec.varint()?),
+            cols: ColSig::from_bits(dec.u64()?),
+        })
+    }
+}
+
+impl codec::Encodable for Annotation {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        self.body.encode(enc);
+        enc.seq(&self.targets, |e, t| t.encode(e));
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(Annotation {
+            body: AnnotationBody::decode(dec)?,
+            targets: dec.seq(Target::decode)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_row_masks() {
+        assert_eq!(ColSig::whole_row(0).bits(), 0);
+        assert_eq!(ColSig::whole_row(3).bits(), 0b111);
+        assert_eq!(ColSig::whole_row(64).bits(), u64::MAX);
+    }
+
+    #[test]
+    fn signature_algebra() {
+        let a = ColSig::of_columns(&[ColumnId::new(0), ColumnId::new(2)]);
+        let b = ColSig::of_columns(&[ColumnId::new(2), ColumnId::new(3)]);
+        assert_eq!(a.intersect(b), ColSig::single(ColumnId::new(2)));
+        assert_eq!(a.union(b).count(), 3);
+        assert!(a.contains(ColumnId::new(0)));
+        assert!(!a.contains(ColumnId::new(3)));
+        assert!(ColSig::EMPTY.is_empty());
+        assert!(a.intersect(ColSig::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn iter_and_display() {
+        let sig = ColSig::of_columns(&[ColumnId::new(5), ColumnId::new(1)]);
+        let cols: Vec<u16> = sig.iter().map(|c| c.raw()).collect();
+        assert_eq!(cols, vec![1, 5]);
+        assert_eq!(sig.to_string(), "{1,5}");
+    }
+
+    #[test]
+    fn remap_drops_and_moves_columns() {
+        let sig = ColSig::of_columns(&[ColumnId::new(1), ColumnId::new(3)]);
+        // Drop column 3, move column 1 to position 0.
+        let out = sig.remap(&|c| if c == 1 { Some(0) } else { None });
+        assert_eq!(out, ColSig::single(ColumnId::new(0)));
+    }
+
+    #[test]
+    fn body_bytes_count_document() {
+        let plain = AnnotationBody::text("note", "alice");
+        assert_eq!(plain.content_bytes(), 4);
+        let doc = plain.clone().with_document("long article body");
+        assert_eq!(doc.content_bytes(), 4 + 17);
+    }
+}

@@ -1,0 +1,274 @@
+//! The annotation store: id allocation, bodies, and the attachment index.
+
+use crate::index::AttachmentIndex;
+use crate::model::{Annotation, AnnotationBody, ColSig, Target};
+use insightnotes_common::{codec, AnnotationId, Error, Result, RowId, TableId};
+use std::collections::HashMap;
+
+/// Aggregate statistics, consumed by the compression experiment (F1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of stored annotations.
+    pub count: usize,
+    /// Total content bytes (text + documents).
+    pub content_bytes: usize,
+    /// Total `(row, annotation)` attachment pairs.
+    pub attachments: usize,
+}
+
+/// Owns every raw annotation in a database instance.
+#[derive(Debug, Default)]
+pub struct AnnotationStore {
+    annotations: HashMap<AnnotationId, Annotation>,
+    index: AttachmentIndex,
+    next_id: u64,
+    content_bytes: usize,
+}
+
+impl AnnotationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores an annotation with its targets, returning the new id.
+    ///
+    /// Fails if `targets` is empty (an unattached annotation is
+    /// unreachable) or if any target has an empty column signature.
+    pub fn add(&mut self, body: AnnotationBody, targets: Vec<Target>) -> Result<AnnotationId> {
+        if targets.is_empty() {
+            return Err(Error::Annotation(
+                "annotation must have at least one target".into(),
+            ));
+        }
+        if targets.iter().any(|t| t.cols.is_empty()) {
+            return Err(Error::Annotation(
+                "annotation target must cover at least one column".into(),
+            ));
+        }
+        self.next_id += 1;
+        let id = AnnotationId::new(self.next_id);
+        self.content_bytes += body.content_bytes();
+        for t in &targets {
+            self.index.attach(t.table, t.row, id, t.cols);
+        }
+        self.annotations.insert(id, Annotation { body, targets });
+        Ok(id)
+    }
+
+    /// Fetches an annotation by id.
+    pub fn get(&self, id: AnnotationId) -> Result<&Annotation> {
+        self.annotations
+            .get(&id)
+            .ok_or_else(|| Error::Annotation(format!("unknown annotation {id}")))
+    }
+
+    /// Fetches several annotations, preserving order. Unknown ids error.
+    pub fn get_many(
+        &self,
+        ids: impl IntoIterator<Item = AnnotationId>,
+    ) -> Result<Vec<&Annotation>> {
+        ids.into_iter().map(|id| self.get(id)).collect()
+    }
+
+    /// Removes an annotation everywhere.
+    pub fn remove(&mut self, id: AnnotationId) -> Result<Annotation> {
+        let ann = self
+            .annotations
+            .remove(&id)
+            .ok_or_else(|| Error::Annotation(format!("unknown annotation {id}")))?;
+        self.content_bytes -= ann.body.content_bytes();
+        for t in &ann.targets {
+            self.index.detach(t.table, t.row, id);
+        }
+        Ok(ann)
+    }
+
+    /// Attachments on a row: `(annotation id, column signature)` pairs in
+    /// attachment order.
+    pub fn on_row(&self, table: TableId, row: RowId) -> &[(AnnotationId, ColSig)] {
+        self.index.on_row(table, row)
+    }
+
+    /// Number of annotations attached to a row.
+    pub fn count_on_row(&self, table: TableId, row: RowId) -> usize {
+        self.index.count_on_row(table, row)
+    }
+
+    /// Drops all attachments for a deleted row; annotations attached
+    /// *only* to that row are removed entirely.
+    pub fn clear_row(&mut self, table: TableId, row: RowId) {
+        for (id, _) in self.index.clear_row(table, row) {
+            if let Some(ann) = self.annotations.get_mut(&id) {
+                ann.targets.retain(|t| !(t.table == table && t.row == row));
+                if ann.targets.is_empty() {
+                    let ann = self.annotations.remove(&id).expect("present");
+                    self.content_bytes -= ann.body.content_bytes();
+                }
+            }
+        }
+    }
+
+    /// Rows of `table` carrying at least one annotation.
+    pub fn annotated_rows(&self, table: TableId) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.index.annotated_rows(table).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            count: self.annotations.len(),
+            content_bytes: self.content_bytes,
+            attachments: self.index.total_attachments(),
+        }
+    }
+}
+
+impl codec::Encodable for AnnotationStore {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.varint(self.next_id);
+        // Annotations in id order for deterministic snapshots.
+        let mut ids: Vec<AnnotationId> = self.annotations.keys().copied().collect();
+        ids.sort_unstable();
+        enc.varint(ids.len() as u64);
+        for id in ids {
+            enc.varint(id.raw());
+            self.annotations[&id].encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let next_id = dec.varint()?;
+        let n = dec.varint()? as usize;
+        let mut store = AnnotationStore {
+            next_id,
+            ..AnnotationStore::default()
+        };
+        for _ in 0..n {
+            let id = AnnotationId::new(dec.varint()?);
+            if id.raw() > next_id {
+                return Err(Error::Codec(format!(
+                    "annotation id {id} above next_id {next_id}"
+                )));
+            }
+            let ann = Annotation::decode(dec)?;
+            // Rebuild the attachment index and byte stats from targets.
+            store.content_bytes += ann.body.content_bytes();
+            for t in &ann.targets {
+                store.index.attach(t.table, t.row, id, t.cols);
+            }
+            if store.annotations.insert(id, ann).is_some() {
+                return Err(Error::Codec(format!("duplicate annotation {id}")));
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(1);
+
+    fn target(row: u64, arity: usize) -> Target {
+        Target::new(T, RowId(row), ColSig::whole_row(arity))
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let mut store = AnnotationStore::new();
+        let id = store
+            .add(
+                AnnotationBody::text("size seems wrong", "alice"),
+                vec![target(1, 3)],
+            )
+            .unwrap();
+        assert_eq!(store.get(id).unwrap().body.text, "size seems wrong");
+        assert_eq!(store.stats().count, 1);
+        assert_eq!(store.stats().content_bytes, "size seems wrong".len());
+        store.remove(id).unwrap();
+        assert!(store.get(id).is_err());
+        assert_eq!(store.stats().count, 0);
+        assert_eq!(store.stats().content_bytes, 0);
+    }
+
+    #[test]
+    fn unattached_annotations_rejected() {
+        let mut store = AnnotationStore::new();
+        assert!(store.add(AnnotationBody::text("x", "a"), vec![]).is_err());
+        assert!(store
+            .add(
+                AnnotationBody::text("x", "a"),
+                vec![Target::new(T, RowId(1), ColSig::EMPTY)]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn multi_target_annotation_visible_on_every_row() {
+        let mut store = AnnotationStore::new();
+        let id = store
+            .add(
+                AnnotationBody::text("shared provenance note", "bob"),
+                vec![target(1, 3), target(2, 3)],
+            )
+            .unwrap();
+        assert_eq!(store.on_row(T, RowId(1))[0].0, id);
+        assert_eq!(store.on_row(T, RowId(2))[0].0, id);
+        assert_eq!(store.stats().attachments, 2);
+    }
+
+    #[test]
+    fn clear_row_removes_orphaned_annotations_only() {
+        let mut store = AnnotationStore::new();
+        let shared = store
+            .add(
+                AnnotationBody::text("shared", "a"),
+                vec![target(1, 2), target(2, 2)],
+            )
+            .unwrap();
+        let solo = store
+            .add(AnnotationBody::text("solo", "a"), vec![target(1, 2)])
+            .unwrap();
+        store.clear_row(T, RowId(1));
+        assert!(store.get(solo).is_err(), "orphaned annotation removed");
+        let kept = store.get(shared).unwrap();
+        assert_eq!(
+            kept.targets.len(),
+            1,
+            "shared annotation keeps other target"
+        );
+        assert_eq!(store.count_on_row(T, RowId(1)), 0);
+        assert_eq!(store.count_on_row(T, RowId(2)), 1);
+    }
+
+    #[test]
+    fn get_many_preserves_order() {
+        let mut store = AnnotationStore::new();
+        let a = store
+            .add(AnnotationBody::text("first", "x"), vec![target(1, 1)])
+            .unwrap();
+        let b = store
+            .add(AnnotationBody::text("second", "x"), vec![target(1, 1)])
+            .unwrap();
+        let got = store.get_many([b, a]).unwrap();
+        assert_eq!(got[0].body.text, "second");
+        assert_eq!(got[1].body.text, "first");
+        assert!(store.get_many([AnnotationId(99)]).is_err());
+    }
+
+    #[test]
+    fn annotated_rows_sorted() {
+        let mut store = AnnotationStore::new();
+        store
+            .add(AnnotationBody::text("x", "a"), vec![target(5, 1)])
+            .unwrap();
+        store
+            .add(AnnotationBody::text("y", "a"), vec![target(2, 1)])
+            .unwrap();
+        assert_eq!(store.annotated_rows(T), vec![RowId(2), RowId(5)]);
+    }
+}

@@ -1,0 +1,53 @@
+//! F4: maintenance and query cost vs the number of linked summary
+//! instances (the extensibility axis of Figure 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_annotations::{AnnotationBody, ColSig};
+use insightnotes_bench::annotated_db;
+use insightnotes_common::RowId;
+use insightnotes_engine::Database;
+
+fn with_extra_instances(extra: usize) -> Database {
+    let mut db = annotated_db(30, 5.0);
+    for i in 0..extra {
+        db.execute_sql(&format!(
+            "CREATE SUMMARY INSTANCE Extra{i} TYPE CLASSIFIER
+               LABELS ('Behavior', 'Other')
+               TRAIN ('Behavior': 'eating diving foraging', 'Other': 'reference photo');
+             LINK SUMMARY Extra{i} TO birds"
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn bench_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_instances");
+    group.sample_size(20);
+    for extra in [0usize, 4, 12] {
+        let total = extra + 3;
+        group.bench_with_input(BenchmarkId::new("annotate", total), &extra, |b, &extra| {
+            let mut db = with_extra_instances(extra);
+            b.iter(|| {
+                db.annotate_rows(
+                    "birds",
+                    &[RowId::new(1)],
+                    ColSig::whole_row(6),
+                    AnnotationBody::text("eating stonewort near shore", "bench"),
+                )
+                .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("query", total), &extra, |b, &extra| {
+            let mut db = with_extra_instances(extra);
+            b.iter(|| {
+                db.query_uncached("SELECT id, name, weight, region FROM birds WHERE weight > 2")
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instances);
+criterion_main!(benches);

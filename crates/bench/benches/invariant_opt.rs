@@ -1,0 +1,34 @@
+//! E5: the summarize-once (invariant-property) optimization for
+//! annotations that attach to many tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_annotations::{AnnotationBody, ColSig};
+use insightnotes_bench::annotated_db;
+use insightnotes_common::RowId;
+
+fn bench_invariant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_invariant_opt");
+    group.sample_size(20);
+    for fanout in [1usize, 8, 32] {
+        for (cached, name) in [(true, "summarize_once"), (false, "per_tuple")] {
+            group.bench_with_input(BenchmarkId::new(name, fanout), &fanout, |b, &fanout| {
+                let mut db = annotated_db(32, 1.0);
+                db.registry_mut().use_digest_cache = cached;
+                let rows: Vec<RowId> = (1..=fanout as u64).map(RowId::new).collect();
+                b.iter(|| {
+                    db.annotate_rows(
+                        "birds",
+                        &rows,
+                        ColSig::whole_row(6),
+                        AnnotationBody::text("lesions observed on wing near shore", "bench"),
+                    )
+                    .unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invariant);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1: incremental summary maintenance vs recompute-from-scratch.
+//!
+//! Measures the cost of absorbing one new annotation into a tuple that
+//! already carries N annotations, under both maintenance strategies. The
+//! paper's claim: incremental is O(1) in N, rebuild is O(N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_annotations::{AnnotationBody, ColSig};
+use insightnotes_bench::{annotate_one_row, annotated_db, SEED};
+use insightnotes_common::RowId;
+use insightnotes_summaries::MaintenanceMode;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_maintenance");
+    for existing in [100usize, 400, 1600] {
+        for (mode, name) in [
+            (MaintenanceMode::Incremental, "incremental"),
+            (MaintenanceMode::Rebuild, "rebuild"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, existing),
+                &existing,
+                |b, &existing| {
+                    let mut db = annotated_db(5, 1.0);
+                    annotate_one_row(&mut db, 1, existing, SEED);
+                    db.set_maintenance_mode(mode);
+                    b.iter(|| {
+                        db.annotate_rows(
+                            "birds",
+                            &[RowId::new(1)],
+                            ColSig::whole_row(6),
+                            AnnotationBody::text("eating stonewort by the shore", "bench"),
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_maintenance
+}
+criterion_main!(benches);

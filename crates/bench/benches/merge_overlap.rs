@@ -1,0 +1,56 @@
+//! E3: summary-object merge cost vs the fraction of annotations shared
+//! between the two sides (join double-count avoidance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_annotations::ColSig;
+use insightnotes_summaries::{object::ClassifierObject, Contribution, SummaryObject};
+use std::sync::Arc;
+
+fn classifier_pair(n: usize, overlap: f64) -> (SummaryObject, SummaryObject) {
+    let labels: Arc<[String]> = vec!["A".to_string(), "B".to_string()].into();
+    let shared = (n as f64 * overlap) as u64;
+    let mut left = SummaryObject::Classifier(ClassifierObject::new(labels.clone()));
+    let mut right = SummaryObject::Classifier(ClassifierObject::new(labels));
+    for id in 0..n as u64 {
+        left.apply(
+            id,
+            ColSig::whole_row(4),
+            &Contribution::Label((id % 2) as usize),
+        )
+        .unwrap();
+    }
+    // The right side shares the first `shared` ids.
+    for id in 0..n as u64 {
+        let rid = if id < shared { id } else { id + n as u64 };
+        right
+            .apply(
+                rid,
+                ColSig::whole_row(4),
+                &Contribution::Label((rid % 2) as usize),
+            )
+            .unwrap();
+    }
+    (left, right)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_merge_overlap");
+    for overlap in [0u64, 50, 100] {
+        let (left, right) = classifier_pair(5000, overlap as f64 / 100.0);
+        group.bench_with_input(
+            BenchmarkId::new("classifier_merge", overlap),
+            &overlap,
+            |b, _| {
+                b.iter(|| {
+                    let mut l = left.clone();
+                    l.merge(&right).unwrap();
+                    l
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2: summary-aware propagation vs the raw-propagation baseline on
+//! identical SPJ plans, across annotation ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_bench::annotated_db;
+
+const QUERY: &str = "SELECT a.id, a.name, b.name FROM birds a, birds b \
+                     WHERE a.region = b.region AND a.weight > 6";
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_propagation");
+    group.sample_size(10);
+    for ratio in [30u64, 120, 250] {
+        let mut db = annotated_db(40, ratio as f64);
+        group.bench_with_input(BenchmarkId::new("summary", ratio), &ratio, |b, _| {
+            b.iter(|| db.query_uncached(QUERY).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("raw", ratio), &ratio, |b, _| {
+            b.iter(|| db.query_raw(QUERY).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Microbenchmarks of the substrates the system is built on: id-set
+//! algebra, the text-mining primitives, and the binary codec. These guard
+//! the constants every experiment above depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_common::codec::Encodable;
+use insightnotes_common::IdSet;
+use insightnotes_text::{tokenize, NaiveBayes, SparseVector};
+
+fn bench_idset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idset");
+    for n in [1000usize, 10_000] {
+        let a: IdSet = (0..n as u64).collect();
+        let b: IdSet = ((n / 2) as u64..(n + n / 2) as u64).collect();
+        group.bench_with_input(BenchmarkId::new("union_half_overlap", n), &n, |bch, _| {
+            bch.iter(|| a.union(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("subtract", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut x = a.clone();
+                x.subtract(&b);
+                x
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("codec_roundtrip", n), &n, |bch, _| {
+            bch.iter(|| IdSet::from_bytes(&a.to_bytes()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text");
+    let sentence = "found eating stonewort near the shore during early morning survey";
+    group.bench_function("tokenize", |b| b.iter(|| tokenize(sentence)));
+
+    let mut nb = NaiveBayes::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+    for i in 0..40 {
+        nb.train(i % 4, sentence);
+    }
+    group.bench_function("nb_classify", |b| b.iter(|| nb.classify(sentence)));
+
+    let v1 = SparseVector::from_term_ids(&(0..16).collect::<Vec<_>>());
+    let v2 = SparseVector::from_term_ids(&(8..24).collect::<Vec<_>>());
+    group.bench_function("cosine_16_terms", |b| b.iter(|| v1.cosine(&v2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_idset, bench_text);
+criterion_main!(benches);

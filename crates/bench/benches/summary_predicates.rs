@@ -1,0 +1,50 @@
+//! E7: summary-based predicates (filter on summary content in-pipeline)
+//! vs post-filtering raw annotations with query-time classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_bench::{annotated_db, SEED};
+use insightnotes_text::NaiveBayes;
+use insightnotes_workload::{BirdGen, ANNOTATION_CLASSES};
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_summary_predicates");
+    group.sample_size(10);
+    for ratio in [30u64, 120] {
+        let mut db = annotated_db(40, ratio as f64);
+        group.bench_with_input(BenchmarkId::new("summary_pred", ratio), &ratio, |b, _| {
+            b.iter(|| {
+                db.query_uncached(
+                    "SELECT id, name, weight, region FROM birds \
+                     WHERE SUMMARY_COUNT(ClassBird1, 'Disease') > 3",
+                )
+                .unwrap()
+            });
+        });
+        // The raw baseline must classify every annotation at query time.
+        let mut gen = BirdGen::new(SEED);
+        let mut model = NaiveBayes::new(ANNOTATION_CLASSES.iter().map(|s| s.to_string()).collect());
+        for (class, text) in gen.training_corpus(12) {
+            model.train(class, &text);
+        }
+        let disease = model.label_index("Disease").unwrap();
+        group.bench_with_input(BenchmarkId::new("raw_filter", ratio), &ratio, |b, _| {
+            b.iter(|| {
+                db.query_raw("SELECT id, name, weight, region FROM birds")
+                    .unwrap()
+                    .into_iter()
+                    .filter(|r| {
+                        r.anns
+                            .iter()
+                            .filter(|a| model.classify(&a.text) == disease)
+                            .count()
+                            > 3
+                    })
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predicates);
+criterion_main!(benches);

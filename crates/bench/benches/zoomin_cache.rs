@@ -1,0 +1,59 @@
+//! E4: zoom-in latency — cache hit vs plan re-execution, and the raw
+//! cache put/get machinery under the three replacement policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_bench::annotated_db;
+use insightnotes_common::Qid;
+use insightnotes_engine::cache::{DiskCache, Lfu, Lru, Rco, ReplacementPolicy};
+
+fn bench_zoomin_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_zoomin");
+    group.sample_size(20);
+    let mut db = annotated_db(100, 40.0);
+    let result = db.query("SELECT id, name, weight FROM birds").unwrap();
+    let qid = result.qid.raw();
+    let zoom = format!("ZOOMIN REFERENCE QID {qid} ON ClassBird1 LABEL 'Disease'");
+
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| db.execute_sql(&zoom).unwrap());
+    });
+    group.bench_function("cache_miss_reexecute", |b| {
+        b.iter(|| {
+            db.zoom_cache_evict(Qid::new(qid));
+            db.execute_sql(&zoom).unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Constructor of a boxed policy, for the parameterized sweep.
+type PolicyCtor = fn() -> Box<dyn ReplacementPolicy>;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_policy_overhead");
+    let policies: Vec<(&str, PolicyCtor)> = vec![
+        ("rco", || Box::new(Rco::default())),
+        ("lru", || Box::new(Lru)),
+        ("lfu", || Box::new(Lfu)),
+    ];
+    for (name, make) in policies {
+        group.bench_with_input(BenchmarkId::new("churn", name), name, |b, _| {
+            let dir = std::env::temp_dir().join(format!(
+                "insightnotes-bench-cache-{}-{name}",
+                std::process::id()
+            ));
+            let mut cache = DiskCache::new(dir, 64 << 10, make()).unwrap();
+            let payload = vec![7u8; 4096];
+            let mut q = 0u64;
+            b.iter(|| {
+                q += 1;
+                cache.put(Qid::new(q), &payload, (q % 13) as f64).unwrap();
+                cache.get(Qid::new(q.saturating_sub(q % 5))).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoomin_paths, bench_policies);
+criterion_main!(benches);

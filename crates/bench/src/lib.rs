@@ -1,0 +1,102 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Both the Criterion benches (`benches/`) and the paper-table
+//! regenerator (`src/bin/report.rs`) build their workloads through these
+//! helpers so the two always measure the same configurations.
+
+use insightnotes_annotations::{AnnotationBody, ColSig};
+use insightnotes_common::{ColumnId, RowId};
+use insightnotes_engine::db::PolicyKind;
+use insightnotes_engine::{Database, DbConfig};
+use insightnotes_summaries::MaintenanceMode;
+use insightnotes_workload::{seed_birds_database, WorkloadConfig};
+use std::time::{Duration, Instant};
+
+/// Standard seed shared by all experiments.
+pub const SEED: u64 = 0x0151_6874;
+
+/// Builds a seeded bird database at the given scale.
+pub fn annotated_db(num_birds: usize, ratio: f64) -> Database {
+    let mut db = Database::new();
+    seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            seed: SEED,
+            num_birds,
+            annotation_ratio: ratio,
+            duplicate_rate: 0.25,
+            document_rate: 0.05,
+            multi_tuple_rate: 0.05,
+            column_rate: 0.3,
+        },
+    )
+    .expect("seeding");
+    db
+}
+
+/// Builds a database with an explicit cache/maintenance configuration,
+/// then seeds it.
+pub fn annotated_db_with(
+    num_birds: usize,
+    ratio: f64,
+    policy: PolicyKind,
+    cache_budget: u64,
+    maintenance: MaintenanceMode,
+) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        cache_budget,
+        policy,
+        maintenance,
+        cache_dir: None,
+    })
+    .expect("config");
+    seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            seed: SEED,
+            num_birds,
+            annotation_ratio: ratio,
+            ..WorkloadConfig::default()
+        },
+    )
+    .expect("seeding");
+    db
+}
+
+/// Attaches `n` generator annotations to one row of `db`'s bird table.
+pub fn annotate_one_row(db: &mut Database, row: u64, n: usize, seed: u64) {
+    let mut gen = insightnotes_workload::BirdGen::new(seed);
+    let arity = db
+        .catalog()
+        .table_by_name("birds")
+        .expect("birds table")
+        .schema()
+        .arity();
+    for i in 0..n {
+        let ann = gen.annotation(0.2, 0.0);
+        let cols = if i % 3 == 0 {
+            ColSig::single(ColumnId::new((i % arity) as u16))
+        } else {
+            ColSig::whole_row(arity)
+        };
+        db.annotate_rows(
+            "birds",
+            &[RowId::new(row)],
+            cols,
+            AnnotationBody::text(ann.text, ann.author),
+        )
+        .expect("annotate");
+    }
+}
+
+/// Wall-clock measurement of `f`, returning `(result, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with two decimals, for table printing.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}

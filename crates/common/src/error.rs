@@ -1,0 +1,121 @@
+//! The workspace-wide error type.
+//!
+//! One error enum keeps the public API surface small: every fallible
+//! operation in the workspace returns [`Result<T>`]. Variants are grouped by
+//! subsystem so callers can match on the class of failure without string
+//! inspection.
+
+use std::fmt;
+
+/// Convenience alias used across all InsightNotes crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error raised by any InsightNotes subsystem.
+#[derive(Debug)]
+pub enum Error {
+    /// SQL lexing / parsing failure. Carries a human-readable message with
+    /// the offending position already embedded.
+    Parse(String),
+    /// Unknown table / column / instance, duplicate definition, or other
+    /// catalog-level inconsistency.
+    Catalog(String),
+    /// Type mismatch during planning or expression evaluation.
+    Type(String),
+    /// Runtime failure inside the executor (e.g. arity mismatch, overflow).
+    Execution(String),
+    /// Annotation-store failure (unknown annotation id, bad attachment).
+    Annotation(String),
+    /// Summarization-framework failure (unknown summary type, instance
+    /// misconfiguration, algebra violation).
+    Summary(String),
+    /// Zoom-in failure (unknown QID, evicted result, bad component index).
+    ZoomIn(String),
+    /// Binary codec failure (truncated or corrupt buffer).
+    Codec(String),
+    /// Underlying I/O failure (result-cache disk operations).
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Short machine-readable class name, used by the shell and in tests.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Catalog(_) => "catalog",
+            Error::Type(_) => "type",
+            Error::Execution(_) => "execution",
+            Error::Annotation(_) => "annotation",
+            Error::Summary(_) => "summary",
+            Error::ZoomIn(_) => "zoomin",
+            Error::Codec(_) => "codec",
+            Error::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Annotation(m) => write!(f, "annotation error: {m}"),
+            Error::Summary(m) => write!(f, "summary error: {m}"),
+            Error::ZoomIn(m) => write!(f, "zoom-in error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = Error::Parse("unexpected token `)` at 12".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `)` at 12");
+        assert_eq!(e.class(), "parse");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert_eq!(e.class(), "io");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn every_class_is_distinct() {
+        let classes = [
+            Error::Parse(String::new()).class(),
+            Error::Catalog(String::new()).class(),
+            Error::Type(String::new()).class(),
+            Error::Execution(String::new()).class(),
+            Error::Annotation(String::new()).class(),
+            Error::Summary(String::new()).class(),
+            Error::ZoomIn(String::new()).class(),
+            Error::Codec(String::new()).class(),
+        ];
+        let unique: std::collections::HashSet<_> = classes.iter().collect();
+        assert_eq!(unique.len(), classes.len());
+    }
+}

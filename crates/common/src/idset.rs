@@ -1,0 +1,381 @@
+//! Compact sorted sets of 64-bit ids.
+//!
+//! `IdSet` is the backbone of InsightNotes' exact summary algebra: every
+//! summary-object component carries the set of annotation ids that
+//! contribute to it (~8 bytes per annotation, versus hundreds of bytes of
+//! raw content). Set operations implement the paper's operator semantics
+//! exactly:
+//!
+//! - **projection** subtracts the ids attached only to projected-out columns
+//!   (`difference` / `retain`),
+//! - **join merge** unions the two sides *without double counting* ids
+//!   common to both (`union` over sets is duplicate-free by construction),
+//! - **zoom-in** resolves the ids back to raw annotations.
+//!
+//! The representation is a sorted `Vec<u64>`. Annotation ids are dense and
+//! allocated in insertion order, so sets built during maintenance are
+//! appended to in nearly sorted order, and merges of sorted runs are linear.
+
+use std::fmt;
+
+/// A sorted, duplicate-free set of `u64` ids.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IdSet {
+    // Invariant: strictly increasing.
+    ids: Vec<u64>,
+}
+
+impl IdSet {
+    /// Creates an empty set.
+    #[inline]
+    pub fn new() -> Self {
+        Self { ids: Vec::new() }
+    }
+
+    /// Creates an empty set with room for `cap` ids.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a set from an arbitrary iterator of ids (sorts + dedups).
+    pub fn from_iter_unsorted<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut ids: Vec<u64> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Builds a set from a slice that is already strictly increasing.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slice is not strictly increasing.
+    pub fn from_sorted(ids: Vec<u64>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly increasing"
+        );
+        Self { ids }
+    }
+
+    /// Number of ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Inserts an id, returning `true` if it was not already present.
+    ///
+    /// Appending ids in increasing order (the common maintenance path) is
+    /// O(1); out-of-order inserts are O(n).
+    pub fn insert(&mut self, id: u64) -> bool {
+        match self.ids.last() {
+            Some(&last) if last < id => {
+                self.ids.push(id);
+                true
+            }
+            Some(&last) if last == id => false,
+            _ => match self.ids.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.ids.insert(pos, id);
+                    true
+                }
+            },
+        }
+    }
+
+    /// Removes an id, returning `true` if it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Smallest id, if any.
+    #[inline]
+    pub fn first(&self) -> Option<u64> {
+        self.ids.first().copied()
+    }
+
+    /// Largest id, if any.
+    #[inline]
+    pub fn last(&self) -> Option<u64> {
+        self.ids.last().copied()
+    }
+
+    /// Iterates ids in increasing order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Borrow the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Duplicate-free union (linear merge of the sorted runs).
+    pub fn union(&self, other: &IdSet) -> IdSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            let (a, b) = (self.ids[i], other.ids[j]);
+            if a < b {
+                out.push(a);
+                i += 1;
+            } else if b < a {
+                out.push(b);
+                j += 1;
+            } else {
+                out.push(a);
+                i += 1;
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        IdSet { ids: out }
+    }
+
+    /// Ids present in both sets.
+    pub fn intersect(&self, other: &IdSet) -> IdSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            let (a, b) = (self.ids[i], other.ids[j]);
+            if a < b {
+                i += 1;
+            } else if b < a {
+                j += 1;
+            } else {
+                out.push(a);
+                i += 1;
+                j += 1;
+            }
+        }
+        IdSet { ids: out }
+    }
+
+    /// Ids of `self` not present in `other`.
+    pub fn difference(&self, other: &IdSet) -> IdSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() {
+            if j >= other.ids.len() {
+                out.extend_from_slice(&self.ids[i..]);
+                break;
+            }
+            let (a, b) = (self.ids[i], other.ids[j]);
+            if a < b {
+                out.push(a);
+                i += 1;
+            } else if b < a {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        IdSet { ids: out }
+    }
+
+    /// In-place removal of every id present in `other`.
+    pub fn subtract(&mut self, other: &IdSet) {
+        if other.is_empty() || self.is_empty() {
+            return;
+        }
+        let mut j = 0;
+        self.ids.retain(|&id| {
+            while j < other.ids.len() && other.ids[j] < id {
+                j += 1;
+            }
+            !(j < other.ids.len() && other.ids[j] == id)
+        });
+    }
+
+    /// Number of ids the two sets share, without materializing the
+    /// intersection. This is what the join merge uses to avoid double
+    /// counting common annotations.
+    pub fn overlap_count(&self, other: &IdSet) -> usize {
+        let mut n = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            let (a, b) = (self.ids[i], other.ids[j]);
+            if a < b {
+                i += 1;
+            } else if b < a {
+                j += 1;
+            } else {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+        n
+    }
+
+    /// True when the sets share at least one id.
+    pub fn overlaps(&self, other: &IdSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            let (a, b) = (self.ids[i], other.ids[j]);
+            if a < b {
+                i += 1;
+            } else if b < a {
+                j += 1;
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when every id of `self` is in `other`.
+    pub fn is_subset(&self, other: &IdSet) -> bool {
+        self.overlap_count(other) == self.len()
+    }
+
+    /// Keeps only ids satisfying the predicate.
+    pub fn retain(&mut self, mut f: impl FnMut(u64) -> bool) {
+        self.ids.retain(|&id| f(id));
+    }
+
+    /// Approximate heap footprint in bytes: counts live elements, not
+    /// reserved capacity (used by compression reports).
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl fmt::Debug for IdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ids.iter()).finish()
+    }
+}
+
+impl FromIterator<u64> for IdSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_iter_unsorted(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = u64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u64]) -> IdSet {
+        IdSet::from_iter_unsorted(ids.iter().copied())
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_dedups() {
+        let mut s = IdSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(9));
+        assert!(!s.insert(5));
+        assert_eq!(s.as_slice(), &[1, 5, 9]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn append_fast_path_matches_general_path() {
+        let mut a = IdSet::new();
+        let mut b = IdSet::new();
+        for id in 0..100u64 {
+            a.insert(id);
+        }
+        for id in (0..100u64).rev() {
+            b.insert(id);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s = set(&[1, 2, 3]);
+        assert!(s.contains(2));
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert!(!s.contains(2));
+        assert_eq!(s.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn union_is_duplicate_free() {
+        let a = set(&[1, 3, 5, 7]);
+        let b = set(&[3, 4, 7, 9]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 3, 4, 5, 7, 9]);
+    }
+
+    #[test]
+    fn intersect_difference_overlap_agree() {
+        let a = set(&[1, 2, 3, 4, 5]);
+        let b = set(&[2, 4, 6]);
+        assert_eq!(a.intersect(&b).as_slice(), &[2, 4]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 3, 5]);
+        assert_eq!(a.overlap_count(&b), 2);
+        assert!(a.overlaps(&b));
+        assert!(!set(&[1]).overlaps(&set(&[2])));
+    }
+
+    #[test]
+    fn subtract_in_place_equals_difference() {
+        let mut a = set(&[1, 2, 3, 4, 5, 10, 11]);
+        let b = set(&[2, 4, 11, 20]);
+        let expect = a.difference(&b);
+        a.subtract(&b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn subset_and_bounds() {
+        let a = set(&[2, 4]);
+        let b = set(&[1, 2, 3, 4]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(b.first(), Some(1));
+        assert_eq!(b.last(), Some(4));
+        assert_eq!(IdSet::new().first(), None);
+    }
+
+    #[test]
+    fn union_with_double_count_avoidance_matches_paper_example() {
+        // Figure 2: 5 annotations common to both sides classified as
+        // "Comment"; merged count must be 22 (= 20 + 7 - 5), not 27.
+        let r: IdSet = (0..20u64).collect();
+        let s: IdSet = (15..22u64).collect(); // 5 shared: 15..20
+        assert_eq!(r.len() + s.len(), 27);
+        assert_eq!(r.union(&s).len(), 22);
+        assert_eq!(r.overlap_count(&s), 5);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # insightnotes-common
+//!
+//! Shared substrate for the InsightNotes workspace: strongly-typed
+//! identifiers, the workspace-wide error type, the compact sorted
+//! [`IdSet`] that backs exact summary algebra, a hand-written
+//! binary codec used for the disk result cache, and a logical clock used by
+//! cache replacement policies.
+//!
+//! Everything in this crate is dependency-free (std only) so that every
+//! other crate can build on it without pulling anything else in.
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod idset;
+
+pub use clock::LogicalClock;
+pub use codec::{Decoder, Encodable, Encoder};
+pub use error::{Error, Result};
+pub use ids::{AnnotationId, ColumnId, InstanceId, Qid, RowId, TableId};
+pub use idset::IdSet;

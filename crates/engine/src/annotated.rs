@@ -1,0 +1,219 @@
+//! The pipeline tuple: a row plus its attached summary objects.
+//!
+//! This is the paper's extended data model — "each data tuple r carries
+//! its attribute values as well as the annotation summary objects that
+//! summarize the raw annotations on r". Operators transform the `row` and
+//! `summaries` halves together.
+
+use insightnotes_common::{codec, InstanceId, Result};
+use insightnotes_storage::Row;
+use insightnotes_summaries::SummaryObject;
+
+/// A row travelling through the query pipeline with its summary objects.
+///
+/// `summaries` is kept sorted by instance id so per-instance lookup and
+/// merge are linear scans over short vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedRow {
+    /// The data values.
+    pub row: Row,
+    /// Summary objects, sorted by instance id.
+    pub summaries: Vec<(InstanceId, SummaryObject)>,
+}
+
+impl AnnotatedRow {
+    /// A row with no summaries.
+    pub fn bare(row: Row) -> Self {
+        Self {
+            row,
+            summaries: Vec::new(),
+        }
+    }
+
+    /// Creates from parts, restoring the sorted-by-instance invariant.
+    pub fn new(row: Row, mut summaries: Vec<(InstanceId, SummaryObject)>) -> Self {
+        summaries.sort_by_key(|(i, _)| *i);
+        Self { row, summaries }
+    }
+
+    /// The summary object of one instance, if present.
+    pub fn summary(&self, instance: InstanceId) -> Option<&SummaryObject> {
+        self.summaries
+            .iter()
+            .find(|(i, _)| *i == instance)
+            .map(|(_, o)| o)
+    }
+
+    /// Applies a column remap to every summary object (projection /
+    /// ordinal shift). `remap` maps input ordinals to output ordinals;
+    /// `None` drops the column and with it the effect of annotations
+    /// attached only to dropped columns.
+    pub fn project_summaries(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        for (_, obj) in &mut self.summaries {
+            obj.project(remap);
+        }
+        self.summaries.retain(|(_, o)| !o.is_empty());
+    }
+
+    /// Merges another tuple's summaries into this one (join / duplicate
+    /// elimination / grouping). Objects of the same instance merge without
+    /// double counting; instances present on only one side propagate.
+    pub fn merge_summaries(&mut self, other: &AnnotatedRow) -> Result<()> {
+        for (inst, theirs) in &other.summaries {
+            match self.summaries.binary_search_by_key(inst, |(i, _)| *i) {
+                Ok(pos) => self.summaries[pos].1.merge(theirs)?,
+                Err(pos) => self.summaries.insert(pos, (*inst, theirs.clone())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Total distinct annotations summarized across all objects (an upper
+    /// bound view per instance; instances summarize independently).
+    pub fn total_annotations(&self) -> usize {
+        self.summaries
+            .iter()
+            .map(|(_, o)| o.annotation_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate in-memory bytes (row + objects), for cache sizing.
+    pub fn approx_bytes(&self) -> usize {
+        self.row.approx_bytes()
+            + self
+                .summaries
+                .iter()
+                .map(|(_, o)| o.heap_bytes() + 8)
+                .sum::<usize>()
+    }
+}
+
+impl codec::Encodable for AnnotatedRow {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        self.row.encode(enc);
+        enc.varint(self.summaries.len() as u64);
+        for (inst, obj) in &self.summaries {
+            enc.u32(inst.raw());
+            obj.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let row = Row::decode(dec)?;
+        let n = dec.varint()? as usize;
+        let mut summaries = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let inst = InstanceId::new(dec.u32()?);
+            summaries.push((inst, SummaryObject::decode(dec)?));
+        }
+        Ok(AnnotatedRow::new(row, summaries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_annotations::ColSig;
+    use insightnotes_common::codec::Encodable;
+    use insightnotes_storage::Value;
+    use insightnotes_summaries::Contribution;
+    use std::sync::Arc;
+
+    fn classifier(counts: &[(u64, usize)]) -> SummaryObject {
+        let labels: Arc<[String]> = vec!["A".to_string(), "B".to_string()].into();
+        let mut obj = SummaryObject::Classifier(
+            insightnotes_summaries::object::ClassifierObject::new(labels),
+        );
+        for &(id, label) in counts {
+            obj.apply(id, ColSig::whole_row(2), &Contribution::Label(label))
+                .unwrap();
+        }
+        obj
+    }
+
+    fn arow(vals: Vec<Value>, summaries: Vec<(InstanceId, SummaryObject)>) -> AnnotatedRow {
+        AnnotatedRow::new(Row::new(vals), summaries)
+    }
+
+    #[test]
+    fn new_sorts_summaries_by_instance() {
+        let r = arow(
+            vec![Value::Int(1)],
+            vec![
+                (InstanceId(2), classifier(&[])),
+                (InstanceId(1), classifier(&[])),
+            ],
+        );
+        assert_eq!(r.summaries[0].0, InstanceId(1));
+        assert!(r.summary(InstanceId(2)).is_some());
+        assert!(r.summary(InstanceId(3)).is_none());
+    }
+
+    #[test]
+    fn merge_combines_same_instance_and_adopts_new() {
+        let mut left = arow(
+            vec![Value::Int(1)],
+            vec![(InstanceId(1), classifier(&[(1, 0), (2, 0)]))],
+        );
+        let right = arow(
+            vec![Value::Int(1)],
+            vec![
+                (InstanceId(1), classifier(&[(2, 0), (3, 1)])),
+                (InstanceId(2), classifier(&[(9, 0)])),
+            ],
+        );
+        left.merge_summaries(&right).unwrap();
+        let c = left
+            .summary(InstanceId(1))
+            .unwrap()
+            .as_classifier()
+            .unwrap();
+        assert_eq!(c.count(0), 2, "shared annotation 2 not double counted");
+        assert_eq!(c.count(1), 1);
+        assert!(left.summary(InstanceId(2)).is_some());
+    }
+
+    #[test]
+    fn project_drops_emptied_objects() {
+        let labels: Arc<[String]> = vec!["A".to_string()].into();
+        let mut obj = SummaryObject::Classifier(
+            insightnotes_summaries::object::ClassifierObject::new(labels),
+        );
+        obj.apply(
+            1,
+            ColSig::single(insightnotes_common::ColumnId(1)),
+            &Contribution::Label(0),
+        )
+        .unwrap();
+        let mut r = arow(
+            vec![Value::Int(1), Value::Int(2)],
+            vec![(InstanceId(1), obj)],
+        );
+        r.project_summaries(&|c| if c == 0 { Some(0) } else { None });
+        assert!(
+            r.summaries.is_empty(),
+            "object emptied by projection is removed"
+        );
+    }
+
+    #[test]
+    fn round_trips_through_codec() {
+        let r = arow(
+            vec![Value::Int(1), Value::Text("swan".into())],
+            vec![(InstanceId(3), classifier(&[(1, 0), (5, 1)]))],
+        );
+        let back = AnnotatedRow::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn byte_accounting_is_positive() {
+        let r = arow(
+            vec![Value::Int(1)],
+            vec![(InstanceId(1), classifier(&[(1, 0)]))],
+        );
+        assert!(r.approx_bytes() > 0);
+        assert_eq!(r.total_annotations(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Least-frequently-used baseline policy.
+
+use crate::cache::{EntryMeta, ReplacementPolicy};
+
+/// Classic LFU: retention score is the access count, with a small recency
+/// term breaking ties among equally cold entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lfu;
+
+impl ReplacementPolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn score(&self, entry: &EntryMeta, now: u64) -> f64 {
+        let tiebreak = 1.0 / (now.saturating_sub(entry.last_access) + 2) as f64;
+        entry.accesses as f64 + tiebreak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::Qid;
+
+    #[test]
+    fn fewer_accesses_score_lower() {
+        let a = EntryMeta {
+            qid: Qid(1),
+            size: 10,
+            complexity: 1.0,
+            inserted: 0,
+            last_access: 9,
+            accesses: 1,
+        };
+        let b = EntryMeta { accesses: 5, ..a };
+        assert!(Lfu.score(&a, 10) < Lfu.score(&b, 10));
+    }
+
+    #[test]
+    fn recency_breaks_frequency_ties() {
+        let a = EntryMeta {
+            qid: Qid(1),
+            size: 10,
+            complexity: 1.0,
+            inserted: 0,
+            last_access: 2,
+            accesses: 3,
+        };
+        let b = EntryMeta {
+            last_access: 8,
+            ..a
+        };
+        assert!(Lfu.score(&a, 10) < Lfu.score(&b, 10));
+    }
+}

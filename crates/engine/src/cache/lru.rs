@@ -1,0 +1,40 @@
+//! Least-recently-used baseline policy.
+
+use crate::cache::{EntryMeta, ReplacementPolicy};
+
+/// Classic LRU: retention score is the last-access tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lru;
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn score(&self, entry: &EntryMeta, _now: u64) -> f64 {
+        entry.last_access as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::Qid;
+
+    #[test]
+    fn older_access_scores_lower() {
+        let a = EntryMeta {
+            qid: Qid(1),
+            size: 10,
+            complexity: 1.0,
+            inserted: 0,
+            last_access: 3,
+            accesses: 100,
+        };
+        let b = EntryMeta {
+            last_access: 7,
+            ..a
+        };
+        assert!(Lru.score(&a, 10) < Lru.score(&b, 10));
+    }
+}

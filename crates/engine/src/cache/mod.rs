@@ -1,0 +1,315 @@
+//! The disk-based query-result cache behind zoom-in processing.
+//!
+//! Query results are serialized and "compete with each other over a
+//! limited disk-based cache — where they are temporarily kept to serve
+//! future zoom-in operations" (paper §2.2). Admission and eviction are
+//! controlled by a [`ReplacementPolicy`]; the paper's contribution is the
+//! **RCO** policy (Recency, Complexity, Overhead), implemented in
+//! [`rco`], with classic [`lru`] and [`lfu`] provided as the ablation
+//! baselines experiment E4 compares against.
+
+pub mod lfu;
+pub mod lru;
+pub mod rco;
+
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use rco::Rco;
+
+use insightnotes_common::{Error, LogicalClock, Qid, Result};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// Metadata a policy scores an entry by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryMeta {
+    /// The cached result's query id.
+    pub qid: Qid,
+    /// Serialized size in bytes (the "Overhead" factor).
+    pub size: u64,
+    /// Estimated recomputation cost (the "Complexity" factor).
+    pub complexity: f64,
+    /// Logical tick of insertion.
+    pub inserted: u64,
+    /// Logical tick of the last zoom-in reference (the "Recency" factor).
+    pub last_access: u64,
+    /// Number of zoom-in references served.
+    pub accesses: u64,
+}
+
+/// A cache replacement policy: scores entries; the lowest score is
+/// evicted first.
+pub trait ReplacementPolicy: Send + Sync {
+    /// Policy name (for reports).
+    fn name(&self) -> &'static str;
+    /// Retention score — higher means keep longer.
+    fn score(&self, entry: &EntryMeta, now: u64) -> f64;
+}
+
+/// Counters for cache behavior reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful `get`s.
+    pub hits: u64,
+    /// Failed `get`s.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Results rejected at admission (larger than the whole budget).
+    pub rejected: u64,
+}
+
+/// A byte-budgeted, disk-backed store of serialized query results.
+pub struct DiskCache {
+    dir: PathBuf,
+    budget: u64,
+    used: u64,
+    entries: HashMap<Qid, EntryMeta>,
+    policy: Box<dyn ReplacementPolicy>,
+    clock: LogicalClock,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for DiskCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("dir", &self.dir)
+            .field("budget", &self.budget)
+            .field("used", &self.used)
+            .field("entries", &self.entries.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl DiskCache {
+    /// Creates a cache rooted at `dir` (created if missing) with a byte
+    /// budget and a policy.
+    pub fn new(dir: PathBuf, budget: u64, policy: Box<dyn ReplacementPolicy>) -> Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            budget,
+            used: 0,
+            entries: HashMap::new(),
+            policy,
+            clock: LogicalClock::new(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    fn path_of(&self, qid: Qid) -> PathBuf {
+        self.dir.join(format!("q{}.bin", qid.raw()))
+    }
+
+    /// Admits a serialized result. Oversized payloads (larger than the
+    /// whole budget) are rejected rather than flushing the cache.
+    pub fn put(&mut self, qid: Qid, payload: &[u8], complexity: f64) -> Result<bool> {
+        let size = payload.len() as u64;
+        if size > self.budget {
+            self.stats.rejected += 1;
+            return Ok(false);
+        }
+        if let Some(old) = self.entries.remove(&qid) {
+            self.used -= old.size;
+            let _ = fs::remove_file(self.path_of(qid));
+        }
+        while self.used + size > self.budget {
+            self.evict_one()?;
+        }
+        fs::write(self.path_of(qid), payload)?;
+        let now = self.clock.tick();
+        self.used += size;
+        self.entries.insert(
+            qid,
+            EntryMeta {
+                qid,
+                size,
+                complexity,
+                inserted: now,
+                last_access: now,
+                accesses: 0,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Fetches a cached result, bumping its recency and frequency.
+    pub fn get(&mut self, qid: Qid) -> Result<Option<Vec<u8>>> {
+        if let Some(meta) = self.entries.get_mut(&qid) {
+            meta.last_access = self.clock.tick();
+            meta.accesses += 1;
+            self.stats.hits += 1;
+            let bytes = fs::read(self.path_of(qid))?;
+            Ok(Some(bytes))
+        } else {
+            self.stats.misses += 1;
+            Ok(None)
+        }
+    }
+
+    /// True when the cache holds a result for `qid` (no stat bump).
+    pub fn contains(&self, qid: Qid) -> bool {
+        self.entries.contains_key(&qid)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, qid: Qid) -> Result<bool> {
+        match self.entries.remove(&qid) {
+            Some(meta) => {
+                self.used -= meta.size;
+                let _ = fs::remove_file(self.path_of(qid));
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn evict_one(&mut self) -> Result<()> {
+        let now = self.clock.now();
+        let victim = self
+            .entries
+            .values()
+            .min_by(|a, b| {
+                self.policy
+                    .score(a, now)
+                    .partial_cmp(&self.policy.score(b, now))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|m| m.qid)
+            .ok_or_else(|| Error::Execution("cache eviction with no entries".into()))?;
+        self.remove(victim)?;
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// The policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+impl Drop for DiskCache {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the cache directory's entry files.
+        for qid in self.entries.keys() {
+            let _ = fs::remove_file(self.dir.join(format!("q{}.bin", qid.raw())));
+        }
+        let _ = fs::remove_dir(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "insightnotes-cache-test-{}-{}",
+            std::process::id(),
+            tag
+        ))
+    }
+
+    fn cache(tag: &str, budget: u64, policy: Box<dyn ReplacementPolicy>) -> DiskCache {
+        DiskCache::new(temp_dir(tag), budget, policy).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut c = cache("roundtrip", 1024, Box::new(Lru));
+        assert!(c.put(Qid(1), b"hello", 10.0).unwrap());
+        assert_eq!(c.get(Qid(1)).unwrap().unwrap(), b"hello");
+        assert_eq!(c.get(Qid(2)).unwrap(), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn oversized_payloads_rejected() {
+        let mut c = cache("oversize", 4, Box::new(Lru));
+        assert!(!c.put(Qid(1), b"way too big", 1.0).unwrap());
+        assert_eq!(c.stats().rejected, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn budget_is_enforced_with_eviction() {
+        let mut c = cache("budget", 10, Box::new(Lru));
+        c.put(Qid(1), b"aaaa", 1.0).unwrap();
+        c.put(Qid(2), b"bbbb", 1.0).unwrap();
+        // Third entry exceeds the budget; LRU evicts qid 1.
+        c.put(Qid(3), b"cccc", 1.0).unwrap();
+        assert!(!c.contains(Qid(1)));
+        assert!(c.contains(Qid(2)) && c.contains(Qid(3)));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used_bytes() <= 10);
+    }
+
+    #[test]
+    fn lru_keeps_recently_accessed() {
+        let mut c = cache("lru", 10, Box::new(Lru));
+        c.put(Qid(1), b"aaaa", 1.0).unwrap();
+        c.put(Qid(2), b"bbbb", 1.0).unwrap();
+        c.get(Qid(1)).unwrap(); // refresh 1
+        c.put(Qid(3), b"cccc", 1.0).unwrap();
+        assert!(c.contains(Qid(1)));
+        assert!(!c.contains(Qid(2)));
+    }
+
+    #[test]
+    fn lfu_keeps_frequently_accessed() {
+        let mut c = cache("lfu", 10, Box::new(Lfu));
+        c.put(Qid(1), b"aaaa", 1.0).unwrap();
+        c.put(Qid(2), b"bbbb", 1.0).unwrap();
+        for _ in 0..5 {
+            c.get(Qid(1)).unwrap();
+        }
+        c.get(Qid(2)).unwrap();
+        c.put(Qid(3), b"cccc", 1.0).unwrap();
+        assert!(c.contains(Qid(1)));
+        assert!(!c.contains(Qid(2)));
+    }
+
+    #[test]
+    fn rco_prefers_expensive_small_entries() {
+        let mut c = cache("rco", 12, Box::new(Rco::default()));
+        // Cheap-to-recompute big result vs expensive small one.
+        c.put(Qid(1), b"aaaaaaaa", 1.0).unwrap(); // 8 bytes, cheap
+        c.put(Qid(2), b"bb", 1_000.0).unwrap(); // 2 bytes, expensive
+        c.put(Qid(3), b"cccc", 50.0).unwrap(); // forces one eviction
+        assert!(!c.contains(Qid(1)), "cheap big entry evicted first");
+        assert!(c.contains(Qid(2)));
+    }
+
+    #[test]
+    fn reinsert_replaces_previous_bytes() {
+        let mut c = cache("reinsert", 16, Box::new(Lru));
+        c.put(Qid(1), b"aaaa", 1.0).unwrap();
+        c.put(Qid(1), b"bbbbbbbb", 1.0).unwrap();
+        assert_eq!(c.get(Qid(1)).unwrap().unwrap(), b"bbbbbbbb");
+        assert_eq!(c.used_bytes(), 8);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The RCO replacement policy (Recency, Complexity, Overhead).
+//!
+//! The paper's policy weighs three factors when choosing what to keep in
+//! the limited zoom-in cache:
+//!
+//! - **Recency / frequency** — how recently and how often the result has
+//!   been referenced by zoom-in operations;
+//! - **Complexity** — how expensive the query would be to re-execute on a
+//!   cache miss (the planner's cost estimate);
+//! - **Overhead** — how much cache space the result occupies.
+//!
+//! The retention score is `complexity × frequency_boost × recency_decay /
+//! size`: an expensive, hot, small result is worth the most; a cheap,
+//! cold, bulky one goes first.
+
+use crate::cache::{EntryMeta, ReplacementPolicy};
+
+/// The RCO policy with tunable factor weights.
+#[derive(Debug, Clone)]
+pub struct Rco {
+    /// Exponent applied to the recency decay (1.0 = linear decay).
+    pub recency_weight: f64,
+    /// Additive boost per past access.
+    pub frequency_weight: f64,
+}
+
+impl Default for Rco {
+    fn default() -> Self {
+        Self {
+            recency_weight: 1.0,
+            frequency_weight: 1.0,
+        }
+    }
+}
+
+impl ReplacementPolicy for Rco {
+    fn name(&self) -> &'static str {
+        "rco"
+    }
+
+    fn score(&self, entry: &EntryMeta, now: u64) -> f64 {
+        let age = (now.saturating_sub(entry.last_access) + 1) as f64;
+        let recency = 1.0 / age.powf(self.recency_weight);
+        let frequency = 1.0 + self.frequency_weight * entry.accesses as f64;
+        let size = entry.size.max(1) as f64;
+        entry.complexity.max(1.0) * frequency * recency / size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::Qid;
+
+    fn meta(size: u64, complexity: f64, last_access: u64, accesses: u64) -> EntryMeta {
+        EntryMeta {
+            qid: Qid(1),
+            size,
+            complexity,
+            inserted: 0,
+            last_access,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn expensive_results_score_higher() {
+        let p = Rco::default();
+        assert!(p.score(&meta(100, 1000.0, 5, 0), 10) > p.score(&meta(100, 10.0, 5, 0), 10));
+    }
+
+    #[test]
+    fn smaller_results_score_higher() {
+        let p = Rco::default();
+        assert!(p.score(&meta(10, 100.0, 5, 0), 10) > p.score(&meta(1000, 100.0, 5, 0), 10));
+    }
+
+    #[test]
+    fn recent_and_frequent_results_score_higher() {
+        let p = Rco::default();
+        assert!(p.score(&meta(100, 100.0, 9, 0), 10) > p.score(&meta(100, 100.0, 1, 0), 10));
+        assert!(p.score(&meta(100, 100.0, 5, 8), 10) > p.score(&meta(100, 100.0, 5, 0), 10));
+    }
+}

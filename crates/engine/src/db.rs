@@ -1,0 +1,987 @@
+//! The `Database` facade: catalog + annotation store + summary registry +
+//! query engine + zoom-in cache behind one `execute_sql` entry point.
+//!
+//! This is the public API a downstream user adopts:
+//!
+//! ```
+//! use insightnotes_engine::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_sql("CREATE TABLE birds (name TEXT, weight FLOAT)").unwrap();
+//! db.execute_sql("INSERT INTO birds VALUES ('Swan Goose', 3.2)").unwrap();
+//! db.execute_sql(
+//!     "CREATE SUMMARY INSTANCE ClassBird1 TYPE CLASSIFIER \
+//!      LABELS ('Behavior', 'Other') \
+//!      TRAIN ('Behavior': 'eating stonewort near shore', 'Other': 'see reference')",
+//! )
+//! .unwrap();
+//! db.execute_sql("LINK SUMMARY ClassBird1 TO birds").unwrap();
+//! db.execute_sql("ADD ANNOTATION 'found eating stonewort' ON birds").unwrap();
+//! let result = db.query("SELECT name FROM birds").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! assert_eq!(result.rows[0].summaries.len(), 1);
+//! ```
+
+use crate::annotated::AnnotatedRow;
+use crate::cache::{DiskCache, Lfu, Lru, Rco, ReplacementPolicy};
+use crate::exec::{trace::render_row_resolved, Executor, TraceLog};
+use crate::plan::{estimate_cost, LogicalPlan, Planner};
+use crate::expr::SExpr;
+use crate::raw::{RawExecutor, RawRow};
+use crate::zoomin::ZoomRegistry;
+use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, Target};
+use insightnotes_common::{
+    AnnotationId, ColumnId, Error, InstanceId, LogicalClock, Qid, Result, RowId, TableId,
+};
+use insightnotes_sql::{
+    parse, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, ZoomComponent, ZoomInStmt,
+};
+use insightnotes_storage::{Catalog, Column, DataType, Row, Schema, Value};
+use insightnotes_summaries::{
+    rebuild_row_from_store, refresh_after_add, InstanceDef, InstanceProperties, MaintenanceMode,
+    MaintenanceStats, SummaryRegistry,
+};
+use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Cache replacement policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's Recency-Complexity-Overhead policy.
+    Rco,
+    /// Least-recently-used baseline.
+    Lru,
+    /// Least-frequently-used baseline.
+    Lfu,
+}
+
+impl PolicyKind {
+    fn build(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Rco => Box::new(Rco::default()),
+            PolicyKind::Lru => Box::new(Lru),
+            PolicyKind::Lfu => Box::new(Lfu),
+        }
+    }
+}
+
+/// Database construction options.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Zoom-in cache directory (`None` = a fresh temp directory).
+    pub cache_dir: Option<PathBuf>,
+    /// Zoom-in cache byte budget.
+    pub cache_budget: u64,
+    /// Cache replacement policy.
+    pub policy: PolicyKind,
+    /// Summary maintenance strategy.
+    pub maintenance: MaintenanceMode,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self {
+            cache_dir: None,
+            cache_budget: 16 << 20,
+            policy: PolicyKind::Rco,
+            maintenance: MaintenanceMode::Incremental,
+        }
+    }
+}
+
+/// One query's result: QID, output schema, and annotated rows.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result's QID (referenced by `ZOOMIN`).
+    pub qid: Qid,
+    /// Output schema.
+    pub schema: Schema,
+    /// Result tuples with their propagated summary objects.
+    pub rows: Vec<AnnotatedRow>,
+}
+
+/// One raw annotation returned by a zoom-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoomedAnnotation {
+    /// Annotation id.
+    pub id: AnnotationId,
+    /// Free text.
+    pub text: String,
+    /// Attached document, if any.
+    pub document: Option<String>,
+    /// Curator.
+    pub author: String,
+}
+
+/// The outcome of a `ZOOMIN` command.
+#[derive(Debug, Clone)]
+pub struct ZoomInResult {
+    /// The raw annotations behind the expanded component.
+    pub annotations: Vec<ZoomedAnnotation>,
+    /// Whether the referenced result was served from the disk cache.
+    pub from_cache: bool,
+    /// How many result tuples matched the refinement predicate.
+    pub matched_rows: usize,
+}
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// `CREATE TABLE` succeeded.
+    TableCreated(String),
+    /// `DROP TABLE` succeeded.
+    TableDropped(String),
+    /// `INSERT` succeeded.
+    Inserted {
+        /// Target table.
+        table: String,
+        /// Rows inserted.
+        rows: usize,
+    },
+    /// `ADD ANNOTATION` succeeded.
+    Annotated {
+        /// The new annotation's id.
+        annotation: AnnotationId,
+        /// Number of target rows.
+        targets: usize,
+        /// Maintenance work performed.
+        maintenance: MaintenanceStats,
+    },
+    /// `CREATE SUMMARY INSTANCE` succeeded.
+    InstanceCreated {
+        /// Instance name.
+        name: String,
+        /// Assigned id.
+        id: InstanceId,
+    },
+    /// `DROP SUMMARY INSTANCE` succeeded.
+    InstanceDropped(String),
+    /// `LINK SUMMARY` succeeded.
+    Linked {
+        /// Instance name.
+        instance: String,
+        /// Table name.
+        table: String,
+        /// Annotated rows caught up by rebuild.
+        rows_rebuilt: usize,
+    },
+    /// `UNLINK SUMMARY` succeeded.
+    Unlinked {
+        /// Instance name.
+        instance: String,
+        /// Table name.
+        table: String,
+    },
+    /// A SELECT produced a result.
+    Query(QueryResult),
+    /// A ZOOMIN produced raw annotations.
+    ZoomIn(ZoomInResult),
+    /// An EXPLAIN produced a plan rendering.
+    Explain(String),
+    /// `CREATE INDEX` / `DROP INDEX` succeeded.
+    IndexChanged {
+        /// Target table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// True for CREATE, false for DROP.
+        created: bool,
+    },
+    /// `DELETE FROM` removed rows (and their annotations / summaries).
+    RowsDeleted {
+        /// Target table.
+        table: String,
+        /// Rows removed.
+        rows: usize,
+    },
+    /// `DELETE ANNOTATION` removed an annotation and refreshed summaries.
+    AnnotationDeleted {
+        /// The removed annotation.
+        annotation: AnnotationId,
+        /// Rows whose summaries were rebuilt.
+        rows_refreshed: usize,
+    },
+}
+
+/// An InsightNotes database instance.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Catalog,
+    store: AnnotationStore,
+    registry: SummaryRegistry,
+    zoom: ZoomRegistry,
+    clock: LogicalClock,
+    config: DbConfig,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates a database with default configuration (RCO cache in a
+    /// fresh temp directory).
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default()).expect("default database construction")
+    }
+
+    /// Creates a database with explicit configuration.
+    pub fn with_config(config: DbConfig) -> Result<Self> {
+        let dir = config.cache_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "insightnotes-db-{}-{}",
+                std::process::id(),
+                DB_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
+        let cache = DiskCache::new(dir, config.cache_budget, config.policy.build())?;
+        Ok(Self {
+            catalog: Catalog::new(),
+            store: AnnotationStore::new(),
+            registry: SummaryRegistry::new(),
+            zoom: ZoomRegistry::new(cache),
+            clock: LogicalClock::new(),
+            config,
+        })
+    }
+
+    /// Swaps in restored durable state (snapshot open path). Session
+    /// state (QIDs, caches, clock) starts fresh.
+    pub(crate) fn replace_state(
+        &mut self,
+        catalog: Catalog,
+        store: AnnotationStore,
+        registry: SummaryRegistry,
+    ) {
+        self.catalog = catalog;
+        self.store = store;
+        self.registry = registry;
+    }
+
+    // -- component access ------------------------------------------------
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The raw annotation store.
+    pub fn store(&self) -> &AnnotationStore {
+        &self.store
+    }
+
+    /// The summary registry.
+    pub fn registry(&self) -> &SummaryRegistry {
+        &self.registry
+    }
+
+    /// Mutable summary registry (ablation switches live here).
+    pub fn registry_mut(&mut self) -> &mut SummaryRegistry {
+        &mut self.registry
+    }
+
+    /// The zoom-in registry (cache statistics).
+    pub fn zoom(&self) -> &ZoomRegistry {
+        &self.zoom
+    }
+
+    /// Evicts one result from the zoom-in cache (experiment hook; the
+    /// cache normally evicts on its own under budget pressure).
+    pub fn zoom_cache_evict(&mut self, qid: Qid) -> bool {
+        self.zoom.cache_mut().remove(qid).unwrap_or(false)
+    }
+
+    /// The active maintenance mode.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.config.maintenance
+    }
+
+    /// Switches the maintenance strategy (experiment E1).
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        self.config.maintenance = mode;
+    }
+
+    // -- statement execution ----------------------------------------------
+
+    /// Parses and executes a string of `;`-separated statements.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        parse(sql)?
+            .into_iter()
+            .map(|stmt| self.execute(stmt))
+            .collect()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&mut self, stmt: Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(n, ty)| Ok(Column::new(n, DataType::parse(&ty)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                if cols.len() > ColSig::MAX_COLUMNS as usize {
+                    return Err(Error::Catalog(format!(
+                        "tables are limited to {} columns",
+                        ColSig::MAX_COLUMNS
+                    )));
+                }
+                self.catalog.create_table(&name, Schema::new(cols))?;
+                Ok(ExecOutcome::TableCreated(name.to_ascii_lowercase()))
+            }
+            Statement::DropTable { name } => {
+                let id = self.catalog.table_id(&name)?;
+                // Unlink summaries and drop the rows' annotations first.
+                for inst in self.registry.linked_instances(id).to_vec() {
+                    self.registry.unlink(inst, id)?;
+                }
+                for rid in self.store.annotated_rows(id) {
+                    self.store.clear_row(id, rid);
+                    self.registry.clear_row(id, rid);
+                }
+                self.catalog.drop_table(&name)?;
+                Ok(ExecOutcome::TableDropped(name.to_ascii_lowercase()))
+            }
+            Statement::Insert { table, rows } => {
+                let id = self.catalog.table_id(&table)?;
+                let t = self.catalog.table_mut(id)?;
+                let n = rows.len();
+                for lits in rows {
+                    let values: Vec<Value> = lits.into_iter().map(literal_value).collect();
+                    t.insert(Row::new(values))?;
+                }
+                Ok(ExecOutcome::Inserted {
+                    table: table.to_ascii_lowercase(),
+                    rows: n,
+                })
+            }
+            Statement::Select(sel) => {
+                let result = self.run_select(&sel, false)?.0;
+                Ok(ExecOutcome::Query(result))
+            }
+            Statement::AddAnnotation {
+                text,
+                document,
+                author,
+                table,
+                columns,
+                where_clause,
+            } => self.add_annotation_stmt(text, document, author, &table, &columns, where_clause),
+            Statement::CreateInstance(ci) => self.create_instance_stmt(ci),
+            Statement::DropInstance { name } => {
+                let id = self.registry.instance_id(&name)?;
+                self.registry.drop_instance(id)?;
+                Ok(ExecOutcome::InstanceDropped(name))
+            }
+            Statement::LinkSummary { instance, table } => {
+                let inst = self.registry.instance_id(&instance)?;
+                let tid = self.catalog.table_id(&table)?;
+                self.registry.link(inst, tid)?;
+                // Catch-up: absorb annotations that predate the link.
+                let rows = self.store.annotated_rows(tid);
+                let n = rows.len();
+                let catalog = &self.catalog;
+                let store = &self.store;
+                let registry = &mut self.registry;
+                for rid in rows {
+                    rebuild_row_from_store(registry, store, tid, rid, &|t, r| {
+                        tuple_context(catalog, t, r)
+                    })?;
+                }
+                Ok(ExecOutcome::Linked {
+                    instance,
+                    table,
+                    rows_rebuilt: n,
+                })
+            }
+            Statement::UnlinkSummary { instance, table } => {
+                let inst = self.registry.instance_id(&instance)?;
+                let tid = self.catalog.table_id(&table)?;
+                self.registry.unlink(inst, tid)?;
+                Ok(ExecOutcome::Unlinked { instance, table })
+            }
+            Statement::ZoomIn(z) => Ok(ExecOutcome::ZoomIn(self.zoom_in(&z)?)),
+            Statement::Explain(sel) => {
+                let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
+                Ok(ExecOutcome::Explain(plan.explain()))
+            }
+            Statement::DeleteRows {
+                table,
+                where_clause,
+            } => self.delete_rows_stmt(&table, where_clause),
+            Statement::DeleteAnnotation { id } => self.delete_annotation(AnnotationId::new(id)),
+            Statement::CreateIndex { table, column } => {
+                let tid = self.catalog.table_id(&table)?;
+                let col = self.catalog.table(tid)?.schema().resolve(None, &column)? as u16;
+                self.catalog.table_mut(tid)?.create_index(col)?;
+                Ok(ExecOutcome::IndexChanged {
+                    table: table.to_ascii_lowercase(),
+                    column: column.to_ascii_lowercase(),
+                    created: true,
+                })
+            }
+            Statement::DropIndex { table, column } => {
+                let tid = self.catalog.table_id(&table)?;
+                let col = self.catalog.table(tid)?.schema().resolve(None, &column)? as u16;
+                if !self.catalog.table_mut(tid)?.drop_index(col) {
+                    return Err(Error::Catalog(format!(
+                        "no index on `{table}` (`{column}`)"
+                    )));
+                }
+                Ok(ExecOutcome::IndexChanged {
+                    table: table.to_ascii_lowercase(),
+                    column: column.to_ascii_lowercase(),
+                    created: false,
+                })
+            }
+        }
+    }
+
+    fn delete_rows_stmt(&mut self, table: &str, where_clause: Option<Expr>) -> Result<ExecOutcome> {
+        let tid = self.catalog.table_id(table)?;
+        let qualified = self.catalog.table(tid)?.schema().qualify(table);
+        let predicate = where_clause
+            .map(|w| Planner::new(&self.catalog, &self.registry).bind_expr(&w, &qualified))
+            .transpose()?;
+        let victims = self.matching_rows(tid, predicate.as_ref())?;
+        for rid in &victims {
+            self.catalog.table_mut(tid)?.delete(*rid);
+            self.store.clear_row(tid, *rid);
+            self.registry.clear_row(tid, *rid);
+        }
+        Ok(ExecOutcome::RowsDeleted {
+            table: table.to_ascii_lowercase(),
+            rows: victims.len(),
+        })
+    }
+
+    /// Removes one annotation and refreshes the summaries of every row it
+    /// was attached to. Under [`MaintenanceMode::Incremental`] the
+    /// contribution is subtracted decrementally (O(1) per object, exact
+    /// for classifier/snippet; cluster membership exact, centroids remain
+    /// a bounded sketch); under [`MaintenanceMode::Rebuild`] the affected
+    /// rows are re-summarized from the store, which also re-canonicalizes
+    /// cluster centroids.
+    pub fn delete_annotation(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
+        let removed = self.store.remove(id)?;
+        let refreshed = removed.targets.len();
+        match self.config.maintenance {
+            MaintenanceMode::Incremental => {
+                self.registry.remove_annotation(id, &removed.targets);
+            }
+            MaintenanceMode::Rebuild => {
+                let catalog = &self.catalog;
+                let store = &self.store;
+                let registry = &mut self.registry;
+                for target in &removed.targets {
+                    rebuild_row_from_store(registry, store, target.table, target.row, &|t, r| {
+                        tuple_context(catalog, t, r)
+                    })?;
+                }
+            }
+        }
+        Ok(ExecOutcome::AnnotationDeleted {
+            annotation: id,
+            rows_refreshed: refreshed,
+        })
+    }
+
+    /// Convenience: executes a single SELECT and returns its result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.execute(single_select(sql)?)? {
+            ExecOutcome::Query(q) => Ok(q),
+            _ => unreachable!("select statements produce query outcomes"),
+        }
+    }
+
+    /// Executes a SELECT *without* registering the result for zoom-in
+    /// (no QID, no cache write). Benchmarks use this to isolate pure
+    /// propagation cost; interactive callers should prefer
+    /// [`Database::query`]. The returned QID is 0 and not zoomable.
+    pub fn query_uncached(&mut self, sql: &str) -> Result<QueryResult> {
+        let Statement::Select(sel) = single_select(sql)? else {
+            unreachable!("single_select returns selects only")
+        };
+        let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
+        let rows = Executor::new(&self.catalog, &self.registry).execute(&plan)?;
+        Ok(QueryResult {
+            qid: Qid::new(0),
+            schema: plan.schema().clone(),
+            rows,
+        })
+    }
+
+    /// Executes a SELECT with per-operator tracing (demo scenario 3).
+    pub fn query_traced(&mut self, sql: &str) -> Result<(QueryResult, TraceLog)> {
+        let Statement::Select(sel) = single_select(sql)? else {
+            unreachable!("single_select returns selects only")
+        };
+        let (result, trace) = self.run_select(&sel, true)?;
+        Ok((result, trace.expect("tracing requested")))
+    }
+
+    /// Plans a SELECT without executing it (`EXPLAIN`, benches).
+    pub fn plan_sql(&self, sql: &str) -> Result<LogicalPlan> {
+        let Statement::Select(sel) = single_select(sql)? else {
+            unreachable!("single_select returns selects only")
+        };
+        Planner::new(&self.catalog, &self.registry).plan_select(&sel)
+    }
+
+    /// Executes a SELECT through the raw-propagation baseline engine
+    /// (experiment E2). Raw annotations (content included) travel with
+    /// every tuple.
+    pub fn query_raw(&self, sql: &str) -> Result<Vec<RawRow>> {
+        let plan = self.plan_sql(sql)?;
+        RawExecutor::new(&self.catalog, &self.store).execute(&plan)
+    }
+
+    /// Renders a result set (rows + summary objects) in the paper's
+    /// notation, one line per tuple.
+    pub fn render_result(&self, result: &QueryResult) -> String {
+        let mut out = String::new();
+        let cols: Vec<String> = result
+            .schema
+            .columns()
+            .iter()
+            .map(Column::display_name)
+            .collect();
+        out.push_str(&format!("QID {} | {}\n", result.qid, cols.join(", ")));
+        for r in &result.rows {
+            out.push_str(&render_row_resolved(r, &self.registry, Some(&self.store)));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn run_select(
+        &mut self,
+        sel: &SelectStmt,
+        traced: bool,
+    ) -> Result<(QueryResult, Option<TraceLog>)> {
+        let plan = Planner::new(&self.catalog, &self.registry).plan_select(sel)?;
+        let complexity = estimate_cost(&plan, &self.catalog).cost;
+        let mut executor = if traced {
+            Executor::with_trace(&self.catalog, &self.registry)
+        } else {
+            Executor::new(&self.catalog, &self.registry)
+        };
+        let rows = executor.execute(&plan)?;
+        let schema = plan.schema().clone();
+        let qid = self
+            .zoom
+            .register(schema.clone(), plan, &rows, complexity)?;
+        Ok((QueryResult { qid, schema, rows }, executor.trace))
+    }
+
+    // -- annotations -------------------------------------------------------
+
+    fn add_annotation_stmt(
+        &mut self,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+        table: &str,
+        columns: &[String],
+        where_clause: Option<Expr>,
+    ) -> Result<ExecOutcome> {
+        let tid = self.catalog.table_id(table)?;
+        let schema = self.catalog.table(tid)?.schema().clone();
+        let qualified = schema.qualify(table);
+
+        // Resolve covered columns (empty list = whole row).
+        let cols = if columns.is_empty() {
+            ColSig::whole_row(schema.arity())
+        } else {
+            let mut ids = Vec::with_capacity(columns.len());
+            for c in columns {
+                ids.push(ColumnId::new(schema.resolve(None, c)? as u16));
+            }
+            ColSig::of_columns(&ids)
+        };
+
+        // Find target rows (through an index when the predicate allows).
+        let predicate = where_clause
+            .map(|w| Planner::new(&self.catalog, &self.registry).bind_expr(&w, &qualified))
+            .transpose()?;
+        let targets: Vec<Target> = self
+            .matching_rows(tid, predicate.as_ref())?
+            .into_iter()
+            .map(|rid| Target::new(tid, rid, cols))
+            .collect();
+        if targets.is_empty() {
+            return Err(Error::Annotation(
+                "annotation matched no rows; nothing attached".into(),
+            ));
+        }
+        let n = targets.len();
+
+        let mut body = AnnotationBody::text(text, author.unwrap_or_else(|| "anonymous".into()));
+        body.created = self.clock.tick();
+        if let Some(doc) = document {
+            body = body.with_document(doc);
+        }
+        let id = self.store.add(body, targets)?;
+
+        // Refresh summaries.
+        let catalog = &self.catalog;
+        let store = &self.store;
+        let registry = &mut self.registry;
+        let maintenance = refresh_after_add(
+            registry,
+            store,
+            id,
+            &|t, r| tuple_context(catalog, t, r),
+            self.config.maintenance,
+        )?;
+        Ok(ExecOutcome::Annotated {
+            annotation: id,
+            targets: n,
+            maintenance,
+        })
+    }
+
+    /// Row ids of `table` satisfying `predicate` (`None` = all rows).
+    /// A top-level `col = const` conjunct on an indexed column probes the
+    /// hash index instead of scanning; the full predicate is still
+    /// verified per candidate.
+    fn matching_rows(&self, table: TableId, predicate: Option<&SExpr>) -> Result<Vec<RowId>> {
+        let t = self.catalog.table(table)?;
+        let mut out = Vec::new();
+        let probe = predicate.and_then(|p| {
+            let mut conjuncts = Vec::new();
+            flatten_and(p, &mut conjuncts);
+            conjuncts.into_iter().find_map(|c| match c {
+                SExpr::Cmp(insightnotes_storage::CmpOp::Eq, l, r) => match (&*l, &*r) {
+                    (SExpr::Column(col), SExpr::Literal(v))
+                    | (SExpr::Literal(v), SExpr::Column(col))
+                        if !v.is_null() && t.has_index(*col as u16) =>
+                    {
+                        Some((*col as u16, v.clone()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+        });
+        if let Some((col, value)) = probe {
+            let rids: Vec<RowId> = t
+                .index_lookup(col, &value)
+                .expect("has_index checked")
+                .to_vec();
+            for rid in rids {
+                let row = t.get(rid).expect("index points at live rows");
+                let ok = match predicate {
+                    Some(p) => p.satisfied_parts(row, self.registry.objects_on(table, rid))?,
+                    None => true,
+                };
+                if ok {
+                    out.push(rid);
+                }
+            }
+        } else {
+            for (rid, row) in t.scan() {
+                let ok = match predicate {
+                    Some(p) => p.satisfied_parts(row, self.registry.objects_on(table, rid))?,
+                    None => true,
+                };
+                if ok {
+                    out.push(rid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Typed annotation API (used by the workload loader): attaches one
+    /// annotation to explicit row ids.
+    pub fn annotate_rows(
+        &mut self,
+        table: &str,
+        rows: &[RowId],
+        cols: ColSig,
+        body: AnnotationBody,
+    ) -> Result<AnnotationId> {
+        let tid = self.catalog.table_id(table)?;
+        let mut body = body;
+        body.created = self.clock.tick();
+        let targets: Vec<Target> = rows.iter().map(|&r| Target::new(tid, r, cols)).collect();
+        let id = self.store.add(body, targets)?;
+        let catalog = &self.catalog;
+        let store = &self.store;
+        let registry = &mut self.registry;
+        refresh_after_add(
+            registry,
+            store,
+            id,
+            &|t, r| tuple_context(catalog, t, r),
+            self.config.maintenance,
+        )?;
+        Ok(id)
+    }
+
+    /// Typed annotation API: attaches one annotation to targets that may
+    /// span tables (the paper's "same annotation attached to both tuples
+    /// r and s" case behind join-merge double-count avoidance).
+    pub fn annotate_targets(
+        &mut self,
+        targets: Vec<(TableId, RowId, ColSig)>,
+        body: AnnotationBody,
+    ) -> Result<AnnotationId> {
+        let mut body = body;
+        body.created = self.clock.tick();
+        let targets: Vec<Target> = targets
+            .into_iter()
+            .map(|(t, r, c)| Target::new(t, r, c))
+            .collect();
+        let id = self.store.add(body, targets)?;
+        let catalog = &self.catalog;
+        let store = &self.store;
+        let registry = &mut self.registry;
+        refresh_after_add(
+            registry,
+            store,
+            id,
+            &|t, r| tuple_context(catalog, t, r),
+            self.config.maintenance,
+        )?;
+        Ok(id)
+    }
+
+    // -- summary instances ---------------------------------------------------
+
+    fn create_instance_stmt(&mut self, ci: CreateInstanceStmt) -> Result<ExecOutcome> {
+        let name = ci.name().to_string();
+        let def = match ci {
+            CreateInstanceStmt::Classifier {
+                name,
+                labels,
+                training,
+                annotation_invariant,
+                data_invariant,
+            } => {
+                let mut model = NaiveBayes::new(labels);
+                for (label, text) in &training {
+                    let ix = model.label_index(label).ok_or_else(|| {
+                        Error::Summary(format!("training pair uses unknown label `{label}`"))
+                    })?;
+                    model.train(ix, text);
+                }
+                InstanceDef::Classifier {
+                    name,
+                    model,
+                    properties: InstanceProperties {
+                        annotation_invariant,
+                        data_invariant,
+                    },
+                }
+            }
+            CreateInstanceStmt::Cluster { name, threshold } => InstanceDef::Cluster {
+                name,
+                config: ClusterConfig {
+                    threshold: threshold as f32,
+                    ..ClusterConfig::default()
+                },
+                properties: InstanceProperties::default(),
+            },
+            CreateInstanceStmt::Snippet {
+                name,
+                max_sentences,
+                max_chars,
+                min_source,
+            } => InstanceDef::Snippet {
+                name,
+                config: SnippetConfig {
+                    max_sentences: max_sentences as usize,
+                    max_chars: max_chars as usize,
+                    ..SnippetConfig::default()
+                },
+                min_source_bytes: min_source as usize,
+                properties: InstanceProperties::default(),
+            },
+        };
+        let id = self.registry.create_instance(def)?;
+        Ok(ExecOutcome::InstanceCreated { name, id })
+    }
+
+    // -- zoom-in ------------------------------------------------------------
+
+    /// Executes a zoom-in command (Figure 3).
+    pub fn zoom_in(&mut self, stmt: &ZoomInStmt) -> Result<ZoomInResult> {
+        let qid = Qid::new(stmt.qid);
+        let info_schema = self.zoom.info(qid)?.schema.clone();
+        let planner = Planner::new(&self.catalog, &self.registry);
+        let predicate = stmt
+            .where_clause
+            .as_ref()
+            .map(|w| planner.bind_expr(w, &info_schema))
+            .transpose()?;
+        let instance = self.registry.instance_id(&stmt.instance)?;
+        let component = match &stmt.component {
+            ZoomComponent::Index(i) => {
+                if *i == 0 {
+                    return Err(Error::ZoomIn("component INDEX is 1-based".into()));
+                }
+                (*i - 1) as usize
+            }
+            ZoomComponent::Label(name) => match planner.resolve_component(instance, name)? {
+                crate::expr::ComponentSel::Label(i) | crate::expr::ComponentSel::Group(i) => i,
+            },
+        };
+
+        let (rows, from_cache) = self.zoom.fetch_rows(qid, &self.catalog, &self.registry)?;
+        let mut ids = insightnotes_common::IdSet::new();
+        let mut matched = 0usize;
+        for r in &rows {
+            let ok = match &predicate {
+                Some(p) => p.satisfied(r)?,
+                None => true,
+            };
+            if !ok {
+                continue;
+            }
+            matched += 1;
+            if let Some(obj) = r.summary(instance) {
+                if component < obj.component_count() {
+                    ids = ids.union(&obj.zoom_ids(component)?);
+                }
+            }
+        }
+
+        let mut annotations = Vec::with_capacity(ids.len());
+        for id in ids.iter() {
+            let ann = self.store.get(AnnotationId::new(id))?;
+            annotations.push(ZoomedAnnotation {
+                id: AnnotationId::new(id),
+                text: ann.body.text.clone(),
+                document: ann.body.document.clone(),
+                author: ann.body.author.clone(),
+            });
+        }
+        Ok(ZoomInResult {
+            annotations,
+            from_cache,
+            matched_rows: matched,
+        })
+    }
+}
+
+/// Splits a conjunction into its top-level conjuncts.
+fn flatten_and(e: &SExpr, out: &mut Vec<SExpr>) {
+    match e {
+        SExpr::And(l, r) => {
+            flatten_and(l, out);
+            flatten_and(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Renders a tuple's text content for data-variant summary instances.
+fn tuple_context(catalog: &Catalog, table: TableId, row: RowId) -> Option<String> {
+    let t = catalog.table(table).ok()?;
+    let r = t.get(row)?;
+    let mut out = String::new();
+    for v in r.values() {
+        if let Value::Text(s) = v {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(s);
+        }
+    }
+    Some(out)
+}
+
+fn literal_value(lit: Literal) -> Value {
+    match lit {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(v),
+        Literal::Float(v) => Value::Float(v),
+        Literal::Str(s) => Value::Text(s),
+        Literal::Bool(b) => Value::Bool(b),
+    }
+}
+
+fn single_select(sql: &str) -> Result<Statement> {
+    let stmt = insightnotes_sql::parse_one(sql)?;
+    match stmt {
+        Statement::Select(_) => Ok(stmt),
+        other => Err(Error::Parse(format!(
+            "expected a SELECT statement, found {other:?}"
+        ))),
+    }
+}
+
+impl std::fmt::Display for ExecOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecOutcome::TableCreated(n) => write!(f, "table `{n}` created"),
+            ExecOutcome::TableDropped(n) => write!(f, "table `{n}` dropped"),
+            ExecOutcome::Inserted { table, rows } => {
+                write!(f, "{rows} row(s) inserted into `{table}`")
+            }
+            ExecOutcome::Annotated {
+                annotation,
+                targets,
+                maintenance,
+            } => write!(
+                f,
+                "annotation {annotation} attached to {targets} row(s) \
+                 ({} digests, {} cache hits, {} object updates)",
+                maintenance.digests_computed, maintenance.cache_hits, maintenance.objects_updated
+            ),
+            ExecOutcome::InstanceCreated { name, id } => {
+                write!(f, "summary instance `{name}` created ({id})")
+            }
+            ExecOutcome::InstanceDropped(n) => write!(f, "summary instance `{n}` dropped"),
+            ExecOutcome::Linked {
+                instance,
+                table,
+                rows_rebuilt,
+            } => write!(
+                f,
+                "summary `{instance}` linked to `{table}` ({rows_rebuilt} rows caught up)"
+            ),
+            ExecOutcome::Unlinked { instance, table } => {
+                write!(f, "summary `{instance}` unlinked from `{table}`")
+            }
+            ExecOutcome::Query(q) => write!(f, "{} row(s), QID {}", q.rows.len(), q.qid),
+            ExecOutcome::ZoomIn(z) => write!(
+                f,
+                "{} annotation(s) from {} matching row(s){}",
+                z.annotations.len(),
+                z.matched_rows,
+                if z.from_cache {
+                    " [cache]"
+                } else {
+                    " [re-executed]"
+                }
+            ),
+            ExecOutcome::Explain(plan) => write!(f, "{plan}"),
+            ExecOutcome::IndexChanged {
+                table,
+                column,
+                created,
+            } => write!(
+                f,
+                "index on `{table}` (`{column}`) {}",
+                if *created { "created" } else { "dropped" }
+            ),
+            ExecOutcome::RowsDeleted { table, rows } => {
+                write!(f, "{rows} row(s) deleted from `{table}`")
+            }
+            ExecOutcome::AnnotationDeleted {
+                annotation,
+                rows_refreshed,
+            } => write!(
+                f,
+                "annotation {annotation} deleted; {rows_refreshed} row summaries rebuilt"
+            ),
+        }
+    }
+}

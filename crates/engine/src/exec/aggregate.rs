@@ -1,0 +1,328 @@
+//! Grouping, aggregation, and duplicate elimination.
+//!
+//! Both operators coalesce multiple input tuples into one output tuple,
+//! and in InsightNotes the output tuple's summary objects are the *merge*
+//! of the coalesced tuples' objects. For GROUP BY, each member's summaries
+//! are first projected onto the grouping columns (project-before-merge
+//! again — the aggregate result columns have no annotation provenance).
+
+use crate::annotated::AnnotatedRow;
+use crate::plan::logical::AggSpec;
+use insightnotes_common::{Error, Result};
+use insightnotes_sql::AggFunc;
+use insightnotes_storage::{Row, Value};
+use std::collections::HashMap;
+
+/// One in-flight aggregate computation.
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count(i64),
+    Sum { total: f64, seen: bool },
+    Avg { total: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Sum => Accumulator::Sum {
+                total: 0.0,
+                seen: false,
+            },
+            AggFunc::Avg => Accumulator::Avg { total: 0.0, n: 0 },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+        }
+    }
+
+    fn update(&mut self, value: Option<Value>) -> Result<()> {
+        match self {
+            Accumulator::Count(n) => {
+                // COUNT(*) counts rows (value None); COUNT(e) skips NULLs.
+                match value {
+                    None => *n += 1,
+                    Some(v) if !v.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Accumulator::Sum { total, seen } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        *total += v
+                            .as_f64()
+                            .ok_or_else(|| Error::Type(format!("SUM over non-numeric {v:?}")))?;
+                        *seen = true;
+                    }
+                }
+            }
+            Accumulator::Avg { total, n } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        *total += v
+                            .as_f64()
+                            .ok_or_else(|| Error::Type(format!("AVG over non-numeric {v:?}")))?;
+                        *n += 1;
+                    }
+                }
+            }
+            Accumulator::Min(best) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match best {
+                            Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Less),
+                            None => true,
+                        };
+                        if replace {
+                            *best = Some(v);
+                        }
+                    }
+                }
+            }
+            Accumulator::Max(best) => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match best {
+                            Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Greater),
+                            None => true,
+                        };
+                        if replace {
+                            *best = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::Int(n),
+            Accumulator::Sum { total, seen } => {
+                if seen {
+                    Value::Float(total)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Avg { total, n } => {
+                if n > 0 {
+                    Value::Float(total / n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Min(v) | Accumulator::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct Group {
+    key_row: Vec<Value>,
+    accumulators: Vec<Accumulator>,
+    carrier: AnnotatedRow,
+}
+
+/// Groups rows and computes aggregates. Output rows are
+/// `[group values…, aggregate values…]`; output summaries are the merge of
+/// member summaries projected onto the grouping columns. With no grouping
+/// columns, a single global group is produced (even over empty input, per
+/// SQL semantics).
+pub fn aggregate(
+    rows: Vec<AnnotatedRow>,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+) -> Result<Vec<AnnotatedRow>> {
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
+    let group_cols_owned = group_cols.to_vec();
+
+    for mut r in rows {
+        let key = r.row.group_key(group_cols);
+        // Project member summaries onto the grouping columns, speaking
+        // output ordinals.
+        let cols = group_cols_owned.clone();
+        r.project_summaries(&move |c| cols.iter().position(|&g| g == c as usize).map(|p| p as u16));
+        let entry = groups.entry(key.clone());
+        let group = match entry {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                order.push(key);
+                v.insert(Group {
+                    key_row: group_cols.iter().map(|&c| r.row[c].clone()).collect(),
+                    accumulators: aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+                    carrier: AnnotatedRow::bare(Row::default()),
+                })
+            }
+        };
+        for (acc, spec) in group.accumulators.iter_mut().zip(aggs) {
+            let value = spec.arg.as_ref().map(|e| e.eval(&r)).transpose()?;
+            acc.update(value)?;
+        }
+        group.carrier.merge_summaries(&r)?;
+    }
+
+    // SQL: a global aggregate over empty input still yields one row.
+    if groups.is_empty() && group_cols.is_empty() {
+        let values: Vec<Value> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func).finish())
+            .collect();
+        return Ok(vec![AnnotatedRow::bare(Row::new(values))]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let group = groups.remove(&key).expect("key recorded");
+        let mut values = group.key_row;
+        values.extend(group.accumulators.into_iter().map(Accumulator::finish));
+        out.push(AnnotatedRow {
+            row: Row::new(values),
+            summaries: group.carrier.summaries,
+        });
+    }
+    Ok(out)
+}
+
+/// Duplicate elimination: the first occurrence survives and absorbs the
+/// summaries of every eliminated duplicate.
+pub fn distinct(rows: Vec<AnnotatedRow>) -> Result<Vec<AnnotatedRow>> {
+    let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut out: Vec<AnnotatedRow> = Vec::new();
+    for r in rows {
+        let all: Vec<usize> = (0..r.row.arity()).collect();
+        let key = r.row.group_key(&all);
+        match seen.get(&key) {
+            Some(&i) => out[i].merge_summaries(&r)?,
+            None => {
+                seen.insert(key, out.len());
+                out.push(r);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::SExpr;
+    use insightnotes_annotations::ColSig;
+    use insightnotes_common::InstanceId;
+    use insightnotes_summaries::{object::ClassifierObject, Contribution, SummaryObject};
+    use std::sync::Arc;
+
+    fn arow(vals: Vec<Value>, ids: &[u64]) -> AnnotatedRow {
+        let arity = vals.len();
+        let summaries = if ids.is_empty() {
+            vec![]
+        } else {
+            let labels: Arc<[String]> = vec!["L".to_string()].into();
+            let mut obj = SummaryObject::Classifier(ClassifierObject::new(labels));
+            for &id in ids {
+                obj.apply(id, ColSig::whole_row(arity), &Contribution::Label(0))
+                    .unwrap();
+            }
+            vec![(InstanceId(1), obj)]
+        };
+        AnnotatedRow::new(Row::new(vals), summaries)
+    }
+
+    fn spec(func: AggFunc, col: Option<usize>) -> AggSpec {
+        AggSpec {
+            func,
+            arg: col.map(SExpr::Column),
+        }
+    }
+
+    #[test]
+    fn groups_and_computes_all_aggregates() {
+        let rows = vec![
+            arow(vec![Value::Text("a".into()), Value::Int(1)], &[]),
+            arow(vec![Value::Text("a".into()), Value::Int(3)], &[]),
+            arow(vec![Value::Text("b".into()), Value::Int(10)], &[]),
+        ];
+        let out = aggregate(
+            rows,
+            &[0],
+            &[
+                spec(AggFunc::Count, None),
+                spec(AggFunc::Sum, Some(1)),
+                spec(AggFunc::Avg, Some(1)),
+                spec(AggFunc::Min, Some(1)),
+                spec(AggFunc::Max, Some(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let a = &out[0].row;
+        assert_eq!(a[0], Value::Text("a".into()));
+        assert_eq!(a[1], Value::Int(2));
+        assert_eq!(a[2], Value::Float(4.0));
+        assert_eq!(a[3], Value::Float(2.0));
+        assert_eq!(a[4], Value::Int(1));
+        assert_eq!(a[5], Value::Int(3));
+    }
+
+    #[test]
+    fn count_expr_skips_nulls_but_count_star_does_not() {
+        let rows = vec![arow(vec![Value::Int(1)], &[]), arow(vec![Value::Null], &[])];
+        let out = aggregate(
+            rows,
+            &[],
+            &[spec(AggFunc::Count, None), spec(AggFunc::Count, Some(0))],
+        )
+        .unwrap();
+        assert_eq!(out[0].row[0], Value::Int(2));
+        assert_eq!(out[0].row[1], Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let out = aggregate(
+            vec![],
+            &[],
+            &[spec(AggFunc::Count, None), spec(AggFunc::Sum, Some(0))],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].row[0], Value::Int(0));
+        assert!(out[0].row[1].is_null());
+    }
+
+    #[test]
+    fn grouped_summaries_merge_without_double_count() {
+        let rows = vec![
+            arow(vec![Value::Text("a".into())], &[1, 2]),
+            arow(vec![Value::Text("a".into())], &[2, 3]),
+            arow(vec![Value::Text("b".into())], &[9]),
+        ];
+        let out = aggregate(rows, &[0], &[spec(AggFunc::Count, None)]).unwrap();
+        assert_eq!(
+            out[0].summary(InstanceId(1)).unwrap().annotation_count(),
+            3,
+            "annotation 2 counted once across group members"
+        );
+        assert_eq!(out[1].summary(InstanceId(1)).unwrap().annotation_count(), 1);
+    }
+
+    #[test]
+    fn distinct_folds_duplicate_summaries() {
+        let rows = vec![
+            arow(vec![Value::Int(1)], &[1]),
+            arow(vec![Value::Int(1)], &[2]),
+            arow(vec![Value::Int(2)], &[3]),
+        ];
+        let out = distinct(rows).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].summary(InstanceId(1)).unwrap().annotation_count(), 2);
+    }
+
+    #[test]
+    fn distinct_groups_nulls_together() {
+        let rows = vec![arow(vec![Value::Null], &[]), arow(vec![Value::Null], &[])];
+        assert_eq!(distinct(rows).unwrap().len(), 1);
+    }
+}

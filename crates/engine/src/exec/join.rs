@@ -1,0 +1,300 @@
+//! The summary-aware join.
+//!
+//! Joining two annotated tuples produces the concatenated row and the
+//! *merge* of their summary objects (Figure 2 step 3):
+//!
+//! - objects of an instance present on both sides merge without double
+//!   counting annotations attached to both tuples;
+//! - objects present on only one side propagate unchanged;
+//! - the right side's column signatures are shifted by the left arity so
+//!   they speak the output schema's ordinals.
+//!
+//! Equi-join conjuncts (`left.col = right.col`) are detected and executed
+//! as a hash join; any residual predicate is applied per candidate pair.
+
+use crate::annotated::AnnotatedRow;
+use crate::expr::SExpr;
+use insightnotes_common::Result;
+use insightnotes_storage::CmpOp;
+use std::collections::HashMap;
+
+/// Joins two annotated row sets. `left_arity` is the arity of the left
+/// schema (right signatures shift by it).
+pub fn join(
+    left: Vec<AnnotatedRow>,
+    right: Vec<AnnotatedRow>,
+    left_arity: usize,
+    predicate: Option<&SExpr>,
+) -> Result<Vec<AnnotatedRow>> {
+    // Shift right-side summary signatures once, up front.
+    let shift = left_arity as u16;
+    let right: Vec<AnnotatedRow> = right
+        .into_iter()
+        .map(|mut r| {
+            r.project_summaries(&move |c| Some(c + shift));
+            r
+        })
+        .collect();
+
+    let (equi, residual) = split_equi(predicate, left_arity);
+    if equi.is_empty() {
+        nested_loop(left, &right, residual.as_ref())
+    } else {
+        hash_join(left, &right, &equi, residual.as_ref())
+    }
+}
+
+/// Extracts `(left_col, right_col)` equality pairs from the conjunction;
+/// returns them plus the residual predicate (conjuncts that are not such
+/// equalities). Shared with the raw-propagation baseline so both engines
+/// run the same join algorithm.
+pub(crate) fn split_equi(
+    predicate: Option<&SExpr>,
+    left_arity: usize,
+) -> (Vec<(usize, usize)>, Option<SExpr>) {
+    let Some(pred) = predicate else {
+        return (Vec::new(), None);
+    };
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+    let mut equi = Vec::new();
+    let mut residual: Option<SExpr> = None;
+    for c in conjuncts {
+        if let SExpr::Cmp(CmpOp::Eq, l, r) = &c {
+            if let (SExpr::Column(a), SExpr::Column(b)) = (l.as_ref(), r.as_ref()) {
+                let (a, b) = (*a, *b);
+                if a < left_arity && b >= left_arity {
+                    equi.push((a, b - left_arity));
+                    continue;
+                }
+                if b < left_arity && a >= left_arity {
+                    equi.push((b, a - left_arity));
+                    continue;
+                }
+            }
+        }
+        residual = Some(match residual {
+            Some(prev) => SExpr::And(Box::new(prev), Box::new(c)),
+            None => c,
+        });
+    }
+    (equi, residual)
+}
+
+fn flatten_and(e: &SExpr, out: &mut Vec<SExpr>) {
+    match e {
+        SExpr::And(l, r) => {
+            flatten_and(l, out);
+            flatten_and(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn combine(l: &AnnotatedRow, r: &AnnotatedRow) -> Result<AnnotatedRow> {
+    let mut out = AnnotatedRow {
+        row: l.row.concat(&r.row),
+        summaries: l.summaries.clone(),
+    };
+    out.merge_summaries(r)?;
+    Ok(out)
+}
+
+fn nested_loop(
+    left: Vec<AnnotatedRow>,
+    right: &[AnnotatedRow],
+    residual: Option<&SExpr>,
+) -> Result<Vec<AnnotatedRow>> {
+    let mut out = Vec::new();
+    for l in &left {
+        for r in right {
+            let candidate = combine(l, r)?;
+            if match residual {
+                Some(p) => p.satisfied(&candidate)?,
+                None => true,
+            } {
+                out.push(candidate);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn hash_join(
+    left: Vec<AnnotatedRow>,
+    right: &[AnnotatedRow],
+    equi: &[(usize, usize)],
+    residual: Option<&SExpr>,
+) -> Result<Vec<AnnotatedRow>> {
+    // Build on the right side.
+    let right_cols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, r) in right.iter().enumerate() {
+        if right_cols.iter().any(|&c| r.row[c].is_null()) {
+            continue; // NULL keys never match
+        }
+        table
+            .entry(r.row.group_key(&right_cols))
+            .or_default()
+            .push(i);
+    }
+    let left_cols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
+    let mut out = Vec::new();
+    for l in &left {
+        if left_cols.iter().any(|&c| l.row[c].is_null()) {
+            continue;
+        }
+        let key = l.row.group_key(&left_cols);
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let candidate = combine(l, &right[ri])?;
+                if match residual {
+                    Some(p) => p.satisfied(&candidate)?,
+                    None => true,
+                } {
+                    out.push(candidate);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_annotations::ColSig;
+    use insightnotes_common::InstanceId;
+    use insightnotes_storage::{Row, Value};
+    use insightnotes_summaries::{object::ClassifierObject, Contribution, SummaryObject};
+    use std::sync::Arc;
+
+    fn classifier(ids: &[u64], arity: usize) -> SummaryObject {
+        let labels: Arc<[String]> = vec!["L".to_string()].into();
+        let mut obj = SummaryObject::Classifier(ClassifierObject::new(labels));
+        for &id in ids {
+            obj.apply(id, ColSig::whole_row(arity), &Contribution::Label(0))
+                .unwrap();
+        }
+        obj
+    }
+
+    fn arow(vals: Vec<Value>, ids: &[u64]) -> AnnotatedRow {
+        let arity = vals.len();
+        let summaries = if ids.is_empty() {
+            vec![]
+        } else {
+            vec![(InstanceId(1), classifier(ids, arity))]
+        };
+        AnnotatedRow::new(Row::new(vals), summaries)
+    }
+
+    fn eq_pred(l: usize, r: usize) -> SExpr {
+        SExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(SExpr::Column(l)),
+            Box::new(SExpr::Column(r)),
+        )
+    }
+
+    #[test]
+    fn hash_join_matches_equal_keys() {
+        let left = vec![
+            arow(vec![Value::Int(1), Value::Int(10)], &[]),
+            arow(vec![Value::Int(2), Value::Int(20)], &[]),
+        ];
+        let right = vec![
+            arow(vec![Value::Int(1), Value::Text("a".into())], &[]),
+            arow(vec![Value::Int(3), Value::Text("b".into())], &[]),
+        ];
+        let out = join(left, right, 2, Some(&eq_pred(0, 2))).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].row.arity(), 4);
+        assert_eq!(out[0].row[3], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = vec![arow(vec![Value::Null], &[])];
+        let right = vec![arow(vec![Value::Null], &[])];
+        let out = join(left, right, 1, Some(&eq_pred(0, 1))).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cross_join_without_predicate() {
+        let left = vec![
+            arow(vec![Value::Int(1)], &[]),
+            arow(vec![Value::Int(2)], &[]),
+        ];
+        let right = vec![arow(vec![Value::Int(3)], &[])];
+        let out = join(left, right, 1, None).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn summaries_merge_without_double_counting() {
+        // Figure 2: 20 + 7 annotations with 5 shared → 22 after merge.
+        let left = vec![arow(vec![Value::Int(1)], &(0..20).collect::<Vec<_>>())];
+        let right = vec![arow(vec![Value::Int(1)], &(15..22).collect::<Vec<_>>())];
+        let out = join(left, right, 1, Some(&eq_pred(0, 1))).unwrap();
+        assert_eq!(out.len(), 1);
+        let c = out[0]
+            .summary(InstanceId(1))
+            .unwrap()
+            .as_classifier()
+            .unwrap();
+        assert_eq!(c.count(0), 22);
+    }
+
+    #[test]
+    fn one_sided_instances_propagate() {
+        let mut left_row = arow(vec![Value::Int(1)], &[1, 2]);
+        // A second instance only on the left.
+        left_row
+            .summaries
+            .push((InstanceId(2), classifier(&[9], 1)));
+        let right = vec![arow(vec![Value::Int(1)], &[3])];
+        let out = join(vec![left_row], right, 1, Some(&eq_pred(0, 1))).unwrap();
+        assert_eq!(out[0].summaries.len(), 2);
+        assert_eq!(out[0].summary(InstanceId(1)).unwrap().annotation_count(), 3);
+        assert_eq!(out[0].summary(InstanceId(2)).unwrap().annotation_count(), 1);
+    }
+
+    #[test]
+    fn residual_predicate_filters_candidates() {
+        let left = vec![
+            arow(vec![Value::Int(1), Value::Int(5)], &[]),
+            arow(vec![Value::Int(1), Value::Int(50)], &[]),
+        ];
+        let right = vec![arow(vec![Value::Int(1)], &[])];
+        // a = c AND b > 10: equality hashed, inequality residual.
+        let pred = SExpr::And(
+            Box::new(eq_pred(0, 2)),
+            Box::new(SExpr::Cmp(
+                CmpOp::Gt,
+                Box::new(SExpr::Column(1)),
+                Box::new(SExpr::Literal(Value::Int(10))),
+            )),
+        );
+        let out = join(left, right, 2, Some(&pred)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].row[1], Value::Int(50));
+    }
+
+    #[test]
+    fn right_signatures_shift_into_output_ordinals() {
+        // Right annotation on its col 0 must end up on output col 1;
+        // projecting output col 0 away must keep it.
+        let left = vec![arow(vec![Value::Int(1)], &[])];
+        let right = vec![arow(vec![Value::Int(1)], &[7])];
+        let out = join(left, right, 1, None).unwrap();
+        let mut merged = out.into_iter().next().unwrap();
+        merged.project_summaries(&|c| if c == 1 { Some(0) } else { None });
+        assert_eq!(
+            merged.summary(InstanceId(1)).unwrap().annotation_count(),
+            1,
+            "right-side annotation survives projection of left columns"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The summary-aware executor.
+//!
+//! Executes a [`LogicalPlan`] over the catalog + summary registry,
+//! producing [`AnnotatedRow`]s. Each operator implements the paper's
+//! extended semantics:
+//!
+//! - **Scan** attaches each row's maintained summary objects;
+//! - **Filter** passes summaries through untouched (Figure 2 step 2);
+//! - **Project** removes the effect of annotations attached only to
+//!   projected-out columns (Figure 2 step 1);
+//! - **Join** merges the two sides' objects without double counting
+//!   (Figure 2 step 3) — see [`join`];
+//! - **Aggregate** / **Distinct** fold the summaries of the tuples they
+//!   coalesce — see [`aggregate`];
+//! - **Sort** / **Limit** reorder / truncate without touching summaries.
+//!
+//! With a [`TraceLog`] attached, the executor records every operator's
+//! output (rows plus rendered summary objects) — the "under-the-hood"
+//! visualization of demo scenario 3.
+
+pub mod aggregate;
+pub mod join;
+pub mod trace;
+
+pub use trace::{TraceLog, TraceStep};
+
+use crate::annotated::AnnotatedRow;
+use crate::plan::logical::{LogicalPlan, SortKey};
+use insightnotes_common::Result;
+use insightnotes_storage::{Catalog, Row};
+use insightnotes_summaries::SummaryRegistry;
+
+/// Execution context: the data and summary state a query runs against.
+pub struct Executor<'a> {
+    /// Table storage.
+    pub catalog: &'a Catalog,
+    /// Summary instances and per-row objects.
+    pub registry: &'a SummaryRegistry,
+    /// Optional per-operator trace sink.
+    pub trace: Option<TraceLog>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor without tracing.
+    pub fn new(catalog: &'a Catalog, registry: &'a SummaryRegistry) -> Self {
+        Self {
+            catalog,
+            registry,
+            trace: None,
+        }
+    }
+
+    /// Creates an executor that records every operator's output.
+    pub fn with_trace(catalog: &'a Catalog, registry: &'a SummaryRegistry) -> Self {
+        Self {
+            catalog,
+            registry,
+            trace: Some(TraceLog::default()),
+        }
+    }
+
+    /// Executes a plan to completion.
+    pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Vec<AnnotatedRow>> {
+        let rows = match plan {
+            LogicalPlan::Scan { table, .. } => self.scan(*table)?,
+            LogicalPlan::IndexScan {
+                table, col, value, ..
+            } => self.index_scan(*table, *col, value)?,
+            LogicalPlan::Filter { input, predicate } => {
+                let input_rows = self.execute(input)?;
+                let mut out = Vec::with_capacity(input_rows.len());
+                for r in input_rows {
+                    if predicate.satisfied(&r)? {
+                        out.push(r);
+                    }
+                }
+                out
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                col_map,
+                ..
+            } => {
+                let input_rows = self.execute(input)?;
+                let mut out = Vec::with_capacity(input_rows.len());
+                for mut r in input_rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        values.push(e.eval(&r)?);
+                    }
+                    let map = col_map.clone();
+                    r.project_summaries(&move |c| map.get(c as usize).copied().flatten());
+                    out.push(AnnotatedRow {
+                        row: Row::new(values),
+                        summaries: r.summaries,
+                    });
+                }
+                out
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                join::join(l, r, left.schema().arity(), predicate.as_ref())?
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
+                let input_rows = self.execute(input)?;
+                aggregate::aggregate(input_rows, group_cols, aggs)?
+            }
+            LogicalPlan::Distinct { input } => {
+                let input_rows = self.execute(input)?;
+                aggregate::distinct(input_rows)?
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let rows = self.execute(input)?;
+                sort(rows, keys)?
+            }
+            LogicalPlan::Limit { input, n } => {
+                let mut rows = self.execute(input)?;
+                rows.truncate(*n as usize);
+                rows
+            }
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.record(plan, self.registry, &rows);
+        }
+        Ok(rows)
+    }
+
+    fn index_scan(
+        &self,
+        table: insightnotes_common::TableId,
+        col: u16,
+        value: &insightnotes_storage::Value,
+    ) -> Result<Vec<AnnotatedRow>> {
+        let t = self.catalog.table(table)?;
+        let rids = t.index_lookup(col, value).ok_or_else(|| {
+            insightnotes_common::Error::Execution(format!(
+                "plan expects an index on column {col} of `{}`",
+                t.name()
+            ))
+        })?;
+        let mut out = Vec::with_capacity(rids.len());
+        for &rid in rids {
+            let row = t.get(rid).ok_or_else(|| {
+                insightnotes_common::Error::Execution(format!("index points at missing row {rid}"))
+            })?;
+            let summaries = self.registry.objects_on(table, rid).to_vec();
+            out.push(AnnotatedRow::new(row.clone(), summaries));
+        }
+        Ok(out)
+    }
+
+    fn scan(&self, table: insightnotes_common::TableId) -> Result<Vec<AnnotatedRow>> {
+        let t = self.catalog.table(table)?;
+        let mut out = Vec::with_capacity(t.len());
+        for (rid, row) in t.scan() {
+            let summaries = self.registry.objects_on(table, rid).to_vec();
+            out.push(AnnotatedRow::new(row.clone(), summaries));
+        }
+        Ok(out)
+    }
+}
+
+fn sort(mut rows: Vec<AnnotatedRow>, keys: &[SortKey]) -> Result<Vec<AnnotatedRow>> {
+    // Pre-evaluate keys so comparator closures stay infallible.
+    let mut keyed: Vec<(Vec<insightnotes_storage::Value>, AnnotatedRow)> =
+        Vec::with_capacity(rows.len());
+    for r in rows.drain(..) {
+        let mut k = Vec::with_capacity(keys.len());
+        for key in keys {
+            k.push(key.expr.eval(&r)?);
+        }
+        keyed.push((k, r));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = ka[i].sort_cmp(&kb[i]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::SExpr;
+    use insightnotes_storage::{CmpOp, Column, DataType, Schema, Value};
+
+    fn setup() -> (Catalog, SummaryRegistry, insightnotes_common::TableId) {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    Column::new("x", DataType::Int),
+                    Column::new("name", DataType::Text),
+                ]),
+            )
+            .unwrap();
+        let t = cat.table_mut(id).unwrap();
+        for (x, name) in [(1, "swan"), (2, "goose"), (3, "heron")] {
+            t.insert(Row::new(vec![Value::Int(x), Value::Text(name.into())]))
+                .unwrap();
+        }
+        (cat, SummaryRegistry::new(), id)
+    }
+
+    fn scan_plan(id: insightnotes_common::TableId, cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: id,
+            binding: "t".into(),
+            schema: cat.table(id).unwrap().schema().qualify("t"),
+        }
+    }
+
+    #[test]
+    fn scan_filter_limit() {
+        let (cat, reg, id) = setup();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan_plan(id, &cat)),
+                predicate: SExpr::Cmp(
+                    CmpOp::Ge,
+                    Box::new(SExpr::Column(0)),
+                    Box::new(SExpr::Literal(Value::Int(2))),
+                ),
+            }),
+            n: 1,
+        };
+        let rows = Executor::new(&cat, &reg).execute(&plan).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].row[0], Value::Int(2));
+    }
+
+    #[test]
+    fn sort_orders_with_desc_and_nulls() {
+        let (mut cat, reg, id) = setup();
+        cat.table_mut(id)
+            .unwrap()
+            .insert(Row::new(vec![Value::Null, Value::Text("mystery".into())]))
+            .unwrap();
+        let plan = LogicalPlan::Sort {
+            input: Box::new(scan_plan(id, &cat)),
+            keys: vec![SortKey {
+                expr: SExpr::Column(0),
+                desc: true,
+            }],
+        };
+        let rows = Executor::new(&cat, &reg).execute(&plan).unwrap();
+        assert_eq!(rows[0].row[0], Value::Int(3));
+        assert!(rows[3].row[0].is_null(), "nulls sort first → last on desc");
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let (cat, reg, id) = setup();
+        let schema = Schema::new(vec![Column::new("doubled", DataType::Int)]);
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan_plan(id, &cat)),
+            exprs: vec![SExpr::Arith(
+                insightnotes_storage::ArithOp::Mul,
+                Box::new(SExpr::Column(0)),
+                Box::new(SExpr::Literal(Value::Int(2))),
+            )],
+            schema,
+            col_map: vec![Some(0), None],
+        };
+        let rows = Executor::new(&cat, &reg).execute(&plan).unwrap();
+        assert_eq!(rows[1].row[0], Value::Int(4));
+        assert_eq!(rows[0].row.arity(), 1);
+    }
+
+    #[test]
+    fn trace_records_each_operator() {
+        let (cat, reg, id) = setup();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan_plan(id, &cat)),
+            predicate: SExpr::Literal(Value::Bool(true)),
+        };
+        let mut ex = Executor::with_trace(&cat, &reg);
+        ex.execute(&plan).unwrap();
+        let trace = ex.trace.unwrap();
+        assert_eq!(trace.steps.len(), 2);
+        assert_eq!(trace.steps[0].operator, "Scan");
+        assert_eq!(trace.steps[1].operator, "Filter");
+        assert_eq!(trace.steps[1].rows.len(), 3);
+    }
+}

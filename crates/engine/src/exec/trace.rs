@@ -1,0 +1,161 @@
+//! The under-the-hood execution trace (demo scenario 3).
+//!
+//! When attached, the executor snapshots every operator's output: the data
+//! tuples *and* their summary objects rendered in the paper's notation
+//! (`ClassBird1 [(Behavior, 14), …]`). Replaying the trace shows exactly
+//! how Figure 2's pipeline transforms summaries step by step.
+
+use crate::annotated::AnnotatedRow;
+use crate::plan::logical::LogicalPlan;
+use insightnotes_annotations::AnnotationStore;
+use insightnotes_common::{AnnotationId, InstanceId};
+use insightnotes_storage::Schema;
+use insightnotes_summaries::{SummaryObject, SummaryRegistry};
+use std::fmt;
+
+/// One operator's snapshot.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Operator name (`Scan`, `Project`, `Join`, …).
+    pub operator: String,
+    /// Operator detail (binding, predicate, …) from the explain rendering.
+    pub detail: String,
+    /// The operator's output schema.
+    pub schema: Schema,
+    /// One rendered line per output row: values plus summary objects.
+    pub rows: Vec<String>,
+}
+
+/// An ordered list of operator snapshots (leaf to root).
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// The snapshots, in execution (post-order) sequence.
+    pub steps: Vec<TraceStep>,
+}
+
+impl TraceLog {
+    /// Records one operator's output.
+    pub fn record(
+        &mut self,
+        plan: &LogicalPlan,
+        registry: &SummaryRegistry,
+        rows: &[AnnotatedRow],
+    ) {
+        let explain = plan.explain();
+        let first_line = explain.lines().next().unwrap_or("");
+        let detail = first_line
+            .strip_prefix(plan.name())
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        self.steps.push(TraceStep {
+            operator: plan.name().to_string(),
+            detail,
+            schema: plan.schema().clone(),
+            rows: rows.iter().map(|r| render_row(r, registry)).collect(),
+        });
+    }
+}
+
+/// Renders a tuple with its summaries in the paper's notation.
+pub fn render_row(arow: &AnnotatedRow, registry: &SummaryRegistry) -> String {
+    render_row_resolved(arow, registry, None)
+}
+
+/// Renders a tuple, optionally resolving missing cluster-representative
+/// previews from the raw store. A representative elected *during* query
+/// processing (after its predecessor's annotation was projected out) has
+/// no preview in the carried object — the paper's query pipeline never
+/// reads raw content — so the display layer fills it in here.
+pub fn render_row_resolved(
+    arow: &AnnotatedRow,
+    registry: &SummaryRegistry,
+    store: Option<&AnnotationStore>,
+) -> String {
+    let mut out = arow.row.to_string();
+    for (inst, obj) in &arow.summaries {
+        out.push_str("  ");
+        out.push_str(&instance_name(*inst, registry));
+        out.push(' ');
+        match (store, obj) {
+            (Some(store), SummaryObject::Cluster(c)) => {
+                out.push_str(&render_cluster_resolved(c, store));
+            }
+            _ => out.push_str(&obj.to_string()),
+        }
+    }
+    out
+}
+
+fn render_cluster_resolved(
+    cluster: &insightnotes_summaries::object::ClusterObject,
+    store: &AnnotationStore,
+) -> String {
+    let parts: Vec<String> = cluster
+        .groups()
+        .iter()
+        .map(|g| {
+            let rep = g
+                .representative
+                .map(|r| format!("a{r}"))
+                .unwrap_or_else(|| "-".into());
+            let preview = g.preview.clone().or_else(|| {
+                let rep_id = g.representative?;
+                let text = &store.get(AnnotationId::new(rep_id)).ok()?.body.text;
+                Some(text.chars().take(60).collect())
+            });
+            match preview {
+                Some(p) => format!("{{{} members, rep={rep} \"{p}\"}}", g.size),
+                None => format!("{{{} members, rep={rep}}}", g.size),
+            }
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn instance_name(id: InstanceId, registry: &SummaryRegistry) -> String {
+    registry
+        .instance(id)
+        .map(|i| i.name().to_string())
+        .unwrap_or_else(|_| id.to_string())
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "── step {} ─ {} {}", i + 1, step.operator, step.detail)?;
+            for row in &step.rows {
+                writeln!(f, "   {row}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_storage::{Row, Value};
+
+    #[test]
+    fn render_bare_row_is_just_the_tuple() {
+        let reg = SummaryRegistry::new();
+        let r = AnnotatedRow::bare(Row::new(vec![Value::Int(1), Value::Text("x".into())]));
+        assert_eq!(render_row(&r, &reg), "(1, x)");
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let mut log = TraceLog::default();
+        log.steps.push(TraceStep {
+            operator: "Scan".into(),
+            detail: "r".into(),
+            schema: Schema::default(),
+            rows: vec!["(1)".into()],
+        });
+        let text = log.to_string();
+        assert!(text.contains("step 1"));
+        assert!(text.contains("Scan"));
+        assert!(text.contains("(1)"));
+    }
+}

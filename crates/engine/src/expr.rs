@@ -1,0 +1,345 @@
+//! Scalar expressions over annotated rows.
+//!
+//! `SExpr` mirrors the storage layer's bound expressions but evaluates
+//! against an [`AnnotatedRow`], which adds one leaf the relational layer
+//! cannot have: [`SExpr::SummaryCount`], the summary-based scalar behind
+//! predicates like `WHERE SUMMARY_COUNT(ClassBird1, 'Disease') > 0` and
+//! summary-ordered results. This is the "summary-based processing can be
+//! plugged in at any stage of the query plan" capability (and the
+//! first-class-summaries direction of the EDBT'15 companion paper).
+
+use crate::annotated::AnnotatedRow;
+use insightnotes_common::{Error, InstanceId, Result};
+use insightnotes_storage::{ArithOp, BoundExpr, CmpOp, Row, Value};
+
+/// Which component of a summary object a `SUMMARY_COUNT` reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentSel {
+    /// A classifier label, resolved to its index at bind time.
+    Label(usize),
+    /// A cluster group ordinal (0-based at this layer).
+    Group(usize),
+}
+
+/// A bound scalar expression over an annotated row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    /// Column reference by ordinal.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Comparison (SQL three-valued semantics).
+    Cmp(CmpOp, Box<SExpr>, Box<SExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<SExpr>, Box<SExpr>),
+    /// Conjunction.
+    And(Box<SExpr>, Box<SExpr>),
+    /// Disjunction.
+    Or(Box<SExpr>, Box<SExpr>),
+    /// Negation.
+    Not(Box<SExpr>),
+    /// `IS NULL` / `IS NOT NULL`.
+    IsNull(Box<SExpr>, bool),
+    /// Substring containment.
+    Contains(Box<SExpr>, String),
+    /// The count behind one component of the tuple's summary object for
+    /// `instance` (0 when the tuple has no such object — an unannotated
+    /// tuple has empty summaries).
+    SummaryCount {
+        /// The summary instance.
+        instance: InstanceId,
+        /// The component to count.
+        component: ComponentSel,
+    },
+}
+
+impl SExpr {
+    /// Evaluates against an annotated row.
+    pub fn eval(&self, arow: &AnnotatedRow) -> Result<Value> {
+        self.eval_parts(&arow.row, &arow.summaries)
+    }
+
+    /// Predicate view: NULL and FALSE reject.
+    pub fn satisfied(&self, arow: &AnnotatedRow) -> Result<bool> {
+        self.satisfied_parts(&arow.row, &arow.summaries)
+    }
+
+    /// Core evaluator over a row and a (possibly empty) summary slice.
+    /// The raw-propagation baseline evaluates predicates through this
+    /// entry point with no summaries attached.
+    pub fn eval_parts(
+        &self,
+        row: &Row,
+        summaries: &[(
+            insightnotes_common::InstanceId,
+            insightnotes_summaries::SummaryObject,
+        )],
+    ) -> Result<Value> {
+        match self {
+            SExpr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("column ordinal {i} out of range"))),
+            SExpr::Literal(v) => Ok(v.clone()),
+            SExpr::Cmp(op, l, r) => {
+                let (lv, rv) = (l.eval_parts(row, summaries)?, r.eval_parts(row, summaries)?);
+                Ok(match lv.sql_cmp(&rv) {
+                    Some(ord) => Value::Bool(op.test(ord)),
+                    None => Value::Null,
+                })
+            }
+            SExpr::Arith(op, l, r) => {
+                // Reuse the relational evaluator for arithmetic by packing
+                // the two already-evaluated operands into a fresh row.
+                let (lv, rv) = (l.eval_parts(row, summaries)?, r.eval_parts(row, summaries)?);
+                let tmp = Row::new(vec![lv, rv]);
+                BoundExpr::Arith(
+                    *op,
+                    Box::new(BoundExpr::Column(0)),
+                    Box::new(BoundExpr::Column(1)),
+                )
+                .eval(&tmp)
+            }
+            SExpr::And(l, r) => match l.eval_parts(row, summaries)? {
+                Value::Bool(false) => Ok(Value::Bool(false)),
+                lv => match (lv, r.eval_parts(row, summaries)?) {
+                    (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                    (Value::Bool(true), Value::Bool(true)) => Ok(Value::Bool(true)),
+                    _ => Ok(Value::Null),
+                },
+            },
+            SExpr::Or(l, r) => match l.eval_parts(row, summaries)? {
+                Value::Bool(true) => Ok(Value::Bool(true)),
+                lv => match (lv, r.eval_parts(row, summaries)?) {
+                    (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                    (Value::Bool(false), Value::Bool(false)) => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Null),
+                },
+            },
+            SExpr::Not(e) => match e.eval_parts(row, summaries)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Type(format!("NOT over non-boolean {v:?}"))),
+            },
+            SExpr::IsNull(e, negated) => {
+                let isnull = e.eval_parts(row, summaries)?.is_null();
+                Ok(Value::Bool(isnull != *negated))
+            }
+            SExpr::Contains(e, needle) => match e.eval_parts(row, summaries)? {
+                Value::Text(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Type(format!("CONTAINS over non-text {v:?}"))),
+            },
+            SExpr::SummaryCount {
+                instance,
+                component,
+            } => {
+                let Some(obj) = summaries
+                    .iter()
+                    .find(|(i, _)| i == instance)
+                    .map(|(_, o)| o)
+                else {
+                    return Ok(Value::Int(0));
+                };
+                let count = match component {
+                    ComponentSel::Label(i) | ComponentSel::Group(i) => {
+                        if *i < obj.component_count() {
+                            obj.zoom_ids(*i)?.len()
+                        } else {
+                            0
+                        }
+                    }
+                };
+                Ok(Value::Int(count as i64))
+            }
+        }
+    }
+
+    /// Predicate view over raw parts: NULL and FALSE reject.
+    pub fn satisfied_parts(
+        &self,
+        row: &Row,
+        summaries: &[(
+            insightnotes_common::InstanceId,
+            insightnotes_summaries::SummaryObject,
+        )],
+    ) -> Result<bool> {
+        match self.eval_parts(row, summaries)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(Error::Type(format!("predicate evaluated to {v:?}"))),
+        }
+    }
+
+    /// Collects referenced column ordinals.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            SExpr::Column(i) => out.push(*i),
+            SExpr::Literal(_) | SExpr::SummaryCount { .. } => {}
+            SExpr::Cmp(_, l, r) | SExpr::Arith(_, l, r) | SExpr::And(l, r) | SExpr::Or(l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            SExpr::Not(e) | SExpr::IsNull(e, _) | SExpr::Contains(e, _) => {
+                e.referenced_columns(out)
+            }
+        }
+    }
+
+    /// Rewrites column ordinals (predicate pushdown across projections).
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> SExpr {
+        match self {
+            SExpr::Column(i) => SExpr::Column(map(*i)),
+            SExpr::Literal(v) => SExpr::Literal(v.clone()),
+            SExpr::Cmp(op, l, r) => SExpr::Cmp(
+                *op,
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            SExpr::Arith(op, l, r) => SExpr::Arith(
+                *op,
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            SExpr::And(l, r) => SExpr::And(
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            SExpr::Or(l, r) => SExpr::Or(
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            SExpr::Not(e) => SExpr::Not(Box::new(e.remap_columns(map))),
+            SExpr::IsNull(e, n) => SExpr::IsNull(Box::new(e.remap_columns(map)), *n),
+            SExpr::Contains(e, s) => SExpr::Contains(Box::new(e.remap_columns(map)), s.clone()),
+            SExpr::SummaryCount { .. } => self.clone(),
+        }
+    }
+
+    /// True when the expression reads any summary object (such
+    /// expressions cannot be pushed below summary-transforming operators).
+    pub fn uses_summaries(&self) -> bool {
+        match self {
+            SExpr::SummaryCount { .. } => true,
+            SExpr::Column(_) | SExpr::Literal(_) => false,
+            SExpr::Cmp(_, l, r) | SExpr::Arith(_, l, r) | SExpr::And(l, r) | SExpr::Or(l, r) => {
+                l.uses_summaries() || r.uses_summaries()
+            }
+            SExpr::Not(e) | SExpr::IsNull(e, _) | SExpr::Contains(e, _) => e.uses_summaries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_annotations::ColSig;
+    use insightnotes_summaries::{object::ClassifierObject, Contribution, SummaryObject};
+    use std::sync::Arc;
+
+    fn arow_with_counts(counts: &[(u64, usize)]) -> AnnotatedRow {
+        let labels: Arc<[String]> = vec!["refute".to_string(), "approve".to_string()].into();
+        let mut obj = SummaryObject::Classifier(ClassifierObject::new(labels));
+        for &(id, label) in counts {
+            obj.apply(id, ColSig::whole_row(2), &Contribution::Label(label))
+                .unwrap();
+        }
+        AnnotatedRow::new(
+            Row::new(vec![Value::Int(5), Value::Text("x".into())]),
+            vec![(InstanceId(1), obj)],
+        )
+    }
+
+    #[test]
+    fn summary_count_reads_label_cardinality() {
+        let r = arow_with_counts(&[(1, 0), (2, 0), (3, 1)]);
+        let e = SExpr::SummaryCount {
+            instance: InstanceId(1),
+            component: ComponentSel::Label(0),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(2));
+        // Out-of-range component and missing instance both read 0.
+        let e2 = SExpr::SummaryCount {
+            instance: InstanceId(1),
+            component: ComponentSel::Label(9),
+        };
+        assert_eq!(e2.eval(&r).unwrap(), Value::Int(0));
+        let e3 = SExpr::SummaryCount {
+            instance: InstanceId(9),
+            component: ComponentSel::Label(0),
+        };
+        assert_eq!(e3.eval(&r).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn summary_predicates_compose_with_relational_ones() {
+        let r = arow_with_counts(&[(1, 0)]);
+        let pred = SExpr::And(
+            Box::new(SExpr::Cmp(
+                CmpOp::Gt,
+                Box::new(SExpr::SummaryCount {
+                    instance: InstanceId(1),
+                    component: ComponentSel::Label(0),
+                }),
+                Box::new(SExpr::Literal(Value::Int(0))),
+            )),
+            Box::new(SExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(SExpr::Column(0)),
+                Box::new(SExpr::Literal(Value::Int(5))),
+            )),
+        );
+        assert!(pred.satisfied(&r).unwrap());
+        assert!(pred.uses_summaries());
+    }
+
+    #[test]
+    fn is_null_negation() {
+        let r = AnnotatedRow::bare(Row::new(vec![Value::Null]));
+        assert!(SExpr::IsNull(Box::new(SExpr::Column(0)), false)
+            .satisfied(&r)
+            .unwrap());
+        assert!(!SExpr::IsNull(Box::new(SExpr::Column(0)), true)
+            .satisfied(&r)
+            .unwrap());
+    }
+
+    #[test]
+    fn arithmetic_delegates_to_relational_semantics() {
+        let r = AnnotatedRow::bare(Row::new(vec![Value::Int(7)]));
+        let e = SExpr::Arith(
+            ArithOp::Mul,
+            Box::new(SExpr::Column(0)),
+            Box::new(SExpr::Literal(Value::Int(6))),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(42));
+        let div0 = SExpr::Arith(
+            ArithOp::Div,
+            Box::new(SExpr::Column(0)),
+            Box::new(SExpr::Literal(Value::Int(0))),
+        );
+        assert!(div0.eval(&r).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_skip_summary_leaves() {
+        let e = SExpr::And(
+            Box::new(SExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(SExpr::Column(3)),
+                Box::new(SExpr::Literal(Value::Int(1))),
+            )),
+            Box::new(SExpr::SummaryCount {
+                instance: InstanceId(1),
+                component: ComponentSel::Group(0),
+            }),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![3]);
+        let remapped = e.remap_columns(&|c| c - 3);
+        let mut cols2 = Vec::new();
+        remapped.referenced_columns(&mut cols2);
+        assert_eq!(cols2, vec![0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Database snapshots.
+//!
+//! `Database::save` serializes the durable state — catalog (tables +
+//! rows), the raw-annotation store, and the summary registry (instances
+//! with their trained models, links, and every maintained summary
+//! object) — into a single file with the workspace's binary codec.
+//! `Database::open` restores it. Session state (QIDs, the zoom-in cache,
+//! the digest cache) is deliberately not persisted: it is rebuildable and
+//! belongs to an interactive session, not to the data.
+//!
+//! Format: magic `INDB`, a version word, then the three sections. Decoding
+//! is strict — wrong magic, unknown versions, truncation, and trailing
+//! bytes are all errors.
+
+use crate::db::{Database, DbConfig};
+use insightnotes_annotations::AnnotationStore;
+use insightnotes_common::codec::{Decoder, Encodable, Encoder};
+use insightnotes_common::{Error, Result};
+use insightnotes_storage::Catalog;
+use insightnotes_summaries::SummaryRegistry;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"INDB";
+const VERSION: u32 = 1;
+
+/// Serializes the durable state into a byte buffer.
+pub fn snapshot(catalog: &Catalog, store: &AnnotationStore, registry: &SummaryRegistry) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(1 << 16);
+    enc.u8(MAGIC[0]);
+    enc.u8(MAGIC[1]);
+    enc.u8(MAGIC[2]);
+    enc.u8(MAGIC[3]);
+    enc.u32(VERSION);
+    catalog.encode(&mut enc);
+    store.encode(&mut enc);
+    registry.encode(&mut enc);
+    enc.finish()
+}
+
+/// Restores the durable state from snapshot bytes.
+pub fn restore(bytes: &[u8]) -> Result<(Catalog, AnnotationStore, SummaryRegistry)> {
+    let mut dec = Decoder::new(bytes);
+    let magic = [dec.u8()?, dec.u8()?, dec.u8()?, dec.u8()?];
+    if &magic != MAGIC {
+        return Err(Error::Codec("not an InsightNotes database file".into()));
+    }
+    let version = dec.u32()?;
+    if version != VERSION {
+        return Err(Error::Codec(format!(
+            "unsupported database file version {version} (expected {VERSION})"
+        )));
+    }
+    let catalog = Catalog::decode(&mut dec)?;
+    let store = AnnotationStore::decode(&mut dec)?;
+    let registry = SummaryRegistry::decode(&mut dec)?;
+    dec.expect_end()?;
+    Ok((catalog, store, registry))
+}
+
+impl Database {
+    /// Writes a snapshot of the database's durable state to `path`
+    /// (atomically: written to a sibling temp file, then renamed).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = snapshot(self.catalog(), self.store(), self.registry());
+        let tmp = path.with_extension("indb.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Opens a database from a snapshot file with default configuration.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_config(path, DbConfig::default())
+    }
+
+    /// Opens a database from a snapshot file with an explicit
+    /// configuration (cache policy / budget / maintenance mode).
+    pub fn open_with_config(path: impl AsRef<Path>, config: DbConfig) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())?;
+        let (catalog, store, registry) = restore(&bytes)?;
+        let mut db = Database::with_config(config)?;
+        db.replace_state(catalog, store, registry);
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "insightnotes-persist-test-{}-{tag}.indb",
+            std::process::id()
+        ))
+    }
+
+    fn populated_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE birds (id INT, name TEXT, weight FLOAT);
+             INSERT INTO birds VALUES (1, 'Swan Goose', 3.2), (2, 'Mallard', 1.1);
+             CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+               LABELS ('Behavior', 'Other')
+               TRAIN ('Behavior': 'eating stonewort diving', 'Other': 'reference photo');
+             CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+             LINK SUMMARY C TO birds;
+             LINK SUMMARY K TO birds;
+             ADD ANNOTATION 'found eating stonewort' ON birds WHERE id = 1;
+             ADD ANNOTATION 'eating stonewort by lake' ON birds WHERE id = 1;
+             ADD ANNOTATION 'see reference photo' ON birds WHERE id = 2;",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trips_full_state() {
+        let mut original = populated_db();
+        let path = snapshot_path("roundtrip");
+        original.save(&path).unwrap();
+        let mut reopened = Database::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Data round-trips.
+        let a = original
+            .query("SELECT id, name, weight FROM birds")
+            .unwrap();
+        let b = reopened
+            .query("SELECT id, name, weight FROM birds")
+            .unwrap();
+        assert_eq!(a.rows, b.rows);
+
+        // Annotations round-trip.
+        assert_eq!(original.store().stats(), reopened.store().stats());
+
+        // Summary objects round-trip byte-identically.
+        let t = reopened.catalog().table_id("birds").unwrap();
+        let c = reopened.registry().instance_id("C").unwrap();
+        assert_eq!(
+            original
+                .registry()
+                .object(t, insightnotes_common::RowId::new(1), c),
+            reopened
+                .registry()
+                .object(t, insightnotes_common::RowId::new(1), c)
+        );
+    }
+
+    #[test]
+    fn reopened_database_keeps_working() {
+        let original = populated_db();
+        let path = snapshot_path("continue");
+        original.save(&path).unwrap();
+        let mut db = Database::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // The restored classifier model still classifies.
+        db.execute_sql("ADD ANNOTATION 'diving and eating stonewort' ON birds WHERE id = 2")
+            .unwrap();
+        let result = db
+            .query("SELECT name FROM birds WHERE SUMMARY_COUNT(C, 'Behavior') > 0 ORDER BY name")
+            .unwrap();
+        let names: Vec<String> = result.rows.iter().map(|r| r.row[0].to_string()).collect();
+        assert_eq!(names, vec!["Mallard", "Swan Goose"]);
+
+        // Ids keep advancing from the snapshot point (no reuse).
+        assert_eq!(db.store().stats().count, 4);
+
+        // Zoom-in works against fresh QIDs.
+        let out = db
+            .execute_sql(&format!(
+                "ZOOMIN REFERENCE QID {} ON C LABEL 'Behavior'",
+                result.qid.raw()
+            ))
+            .unwrap();
+        let crate::db::ExecOutcome::ZoomIn(z) = &out[0] else {
+            panic!()
+        };
+        assert_eq!(z.annotations.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let db = populated_db();
+        let path = snapshot_path("corrupt");
+        db.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(restore(&bad).is_err());
+
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(restore(&bad).is_err());
+
+        // Truncation.
+        bytes.truncate(bytes.len() / 2);
+        assert!(restore(&bytes).is_err());
+
+        std::fs::remove_file(&path).ok();
+        assert!(Database::open(snapshot_path("missing")).is_err());
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = Database::new();
+        let path = snapshot_path("empty");
+        db.save(&path).unwrap();
+        let reopened = Database::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(reopened.catalog().table_names().is_empty());
+        assert_eq!(reopened.store().stats().count, 0);
+    }
+}

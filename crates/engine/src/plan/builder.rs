@@ -1,0 +1,775 @@
+//! The binder / planner.
+//!
+//! Turns a parsed `SELECT` into a [`LogicalPlan`], canonicalizing to the
+//! shape the paper's propagation theorems require:
+//!
+//! 1. **Single-table predicates** are pushed to filters directly above the
+//!    scans (Figure 2 step 2 — selection leaves summaries untouched).
+//! 2. **Project-before-merge** (Theorems 1–2 of the full paper): each scan
+//!    is projected down to the columns the rest of the query needs
+//!    *before* any join, so the effects of annotations on un-needed
+//!    columns are removed before summary objects merge. This is what
+//!    makes equivalent formulations of a query propagate byte-identical
+//!    summaries.
+//! 3. **Summary-based predicates** (`SUMMARY_COUNT(...)`) are evaluated
+//!    after all joins, over the fully merged objects, giving them a
+//!    deterministic reading independent of join order.
+
+use crate::expr::{ComponentSel, SExpr};
+use crate::plan::logical::{AggSpec, LogicalPlan, SortKey};
+use insightnotes_common::{Error, Result};
+use insightnotes_sql::{
+    AggFunc, BinArith, BinCmp, ColumnRef, Expr, Literal, SelectItem, SelectStmt,
+};
+use insightnotes_storage::{ArithOp, Catalog, CmpOp, Column, DataType, Schema, Value};
+use insightnotes_summaries::{SummaryKind, SummaryRegistry};
+
+/// Binds statements against a catalog and summary registry.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    registry: &'a SummaryRegistry,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner.
+    pub fn new(catalog: &'a Catalog, registry: &'a SummaryRegistry) -> Self {
+        Self { catalog, registry }
+    }
+
+    /// Plans a SELECT statement.
+    pub fn plan_select(&self, stmt: &SelectStmt) -> Result<LogicalPlan> {
+        if stmt.from.is_empty() {
+            return Err(Error::Parse("SELECT requires a FROM clause".into()));
+        }
+
+        // -- bind FROM entries ------------------------------------------
+        let mut scans: Vec<ScanInfo> = Vec::with_capacity(stmt.from.len());
+        for tref in &stmt.from {
+            let binding = tref.binding().to_ascii_lowercase();
+            if scans.iter().any(|s| s.binding == binding) {
+                return Err(Error::Catalog(format!(
+                    "duplicate table binding `{binding}`"
+                )));
+            }
+            let id = self.catalog.table_id(&tref.table)?;
+            let schema = self.catalog.table(id)?.schema().qualify(&binding);
+            scans.push(ScanInfo {
+                table: id,
+                binding,
+                schema,
+            });
+        }
+
+        // -- flatten predicates into conjuncts ---------------------------
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        for on in &stmt.join_on {
+            split_conjuncts(on, &mut conjuncts);
+        }
+        if let Some(w) = &stmt.where_clause {
+            split_conjuncts(w, &mut conjuncts);
+        }
+
+        // -- determine needed columns per scan ---------------------------
+        let wildcard = stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+        let has_agg = stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        if wildcard && (has_agg || !stmt.group_by.is_empty()) {
+            return Err(Error::Type(
+                "`*` cannot be combined with aggregates or GROUP BY".into(),
+            ));
+        }
+
+        // `needed`: the column's *value* must survive to some operator
+        // (predicates, sort keys, output). `output_needed`: the column is
+        // part of the query's output, so annotations attached to it
+        // propagate. Per the paper's Figure 2, a join-only column like
+        // `s.x` keeps its value through the join but has its annotations'
+        // effects removed at the leaf — merges must only ever see
+        // annotations of output attributes (Theorems 1–2).
+        let mut needed: Vec<Vec<bool>> = scans
+            .iter()
+            .map(|s| vec![wildcard; s.schema.arity()])
+            .collect();
+        let mut output_needed = needed.clone();
+        let mut refs: Vec<ColumnRef> = Vec::new();
+        let mut output_refs: Vec<ColumnRef> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {}
+                SelectItem::Expr { expr, .. } => collect_refs(expr, &mut output_refs),
+                SelectItem::Aggregate { arg, .. } => {
+                    if let Some(a) = arg {
+                        collect_refs(a, &mut refs);
+                    }
+                }
+            }
+        }
+        output_refs.extend(stmt.group_by.iter().cloned());
+        for c in &conjuncts {
+            collect_refs(c, &mut refs);
+        }
+        // ORDER BY may reference output aliases (e.g. `ORDER BY n` for
+        // `COUNT(*) AS n`) that resolve against no scan; such refs are
+        // validated later when the sort keys bind against the output
+        // schema, so unknown names are tolerated here.
+        for k in &stmt.order_by {
+            let mut order_refs = Vec::new();
+            collect_refs(&k.expr, &mut order_refs);
+            for r in order_refs {
+                if let Ok((scan_idx, col)) = resolve_ref(&scans, &r) {
+                    needed[scan_idx][col] = true;
+                }
+            }
+        }
+        for r in &output_refs {
+            let (scan_idx, col) = resolve_ref(&scans, r)?;
+            needed[scan_idx][col] = true;
+            output_needed[scan_idx][col] = true;
+        }
+        for r in &refs {
+            let (scan_idx, col) = resolve_ref(&scans, r)?;
+            needed[scan_idx][col] = true;
+        }
+
+        // -- classify conjuncts ------------------------------------------
+        // placement: Some(i) = single scan i, None = multi-scan / summary.
+        struct PendingConjunct {
+            expr: Expr,
+            scan_set: Vec<usize>,
+            summary: bool,
+        }
+        let mut pending: Vec<PendingConjunct> = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            let mut crefs = Vec::new();
+            collect_refs(&c, &mut crefs);
+            let mut scan_set = Vec::new();
+            for r in &crefs {
+                let (i, _) = resolve_ref(&scans, r)?;
+                if !scan_set.contains(&i) {
+                    scan_set.push(i);
+                }
+            }
+            scan_set.sort_unstable();
+            pending.push(PendingConjunct {
+                summary: uses_summary(&c),
+                expr: c,
+                scan_set,
+            });
+        }
+
+        // -- per-scan working plans: scan → filter → project -------------
+        let mut working: Vec<LogicalPlan> = Vec::with_capacity(scans.len());
+        let mut working_schemas: Vec<Schema> = Vec::with_capacity(scans.len());
+        for (i, scan) in scans.iter().enumerate() {
+            // Single-scan, non-summary conjuncts bind right above the
+            // scan (before projection, so their columns need not survive).
+            let mut mine: Vec<SExpr> = Vec::new();
+            let mut kept = Vec::new();
+            for pc in pending.drain(..) {
+                if !pc.summary && pc.scan_set == [i] {
+                    mine.push(self.bind_expr(&pc.expr, &scan.schema)?);
+                } else {
+                    kept.push(pc);
+                }
+            }
+            pending = kept;
+
+            // Access path: the first `col = const` conjunct on an indexed
+            // column turns the scan into an index probe; the rest filter.
+            let table_ref = self.catalog.table(scan.table)?;
+            let probe = mine.iter().position(|p| {
+                index_probe(p).is_some_and(|(c, _)| table_ref.has_index(c))
+            });
+            let mut plan = match probe {
+                Some(pos) => {
+                    let probe_pred = mine.remove(pos);
+                    let (col, value) = index_probe(&probe_pred).expect("matched above");
+                    LogicalPlan::IndexScan {
+                        table: scan.table,
+                        binding: scan.binding.clone(),
+                        schema: scan.schema.clone(),
+                        col,
+                        value,
+                    }
+                }
+                None => LogicalPlan::Scan {
+                    table: scan.table,
+                    binding: scan.binding.clone(),
+                    schema: scan.schema.clone(),
+                },
+            };
+            for predicate in mine {
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            }
+            // Project-before-merge: keep the columns the rest of the
+            // query still reads, but let only *output* columns keep their
+            // annotations (Figure 2 step 1: s.x's value survives for the
+            // join while its annotations' effects are removed now).
+            let keep: Vec<usize> = (0..scan.schema.arity()).filter(|&c| needed[i][c]).collect();
+            let all_output = keep.iter().all(|&c| output_needed[i][c]);
+            if keep.len() < scan.schema.arity() || !all_output {
+                let schema = scan.schema.project(&keep);
+                let col_map: Vec<Option<u16>> = (0..scan.schema.arity())
+                    .map(|c| {
+                        if output_needed[i][c] {
+                            keep.iter().position(|&k| k == c).map(|p| p as u16)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let exprs = keep.iter().map(|&c| SExpr::Column(c)).collect();
+                plan = LogicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs,
+                    schema: schema.clone(),
+                    col_map,
+                };
+                working_schemas.push(schema);
+            } else {
+                working_schemas.push(scan.schema.clone());
+            }
+            working.push(plan);
+        }
+
+        // -- left-deep join tree ------------------------------------------
+        let mut iter = working.into_iter();
+        let mut plan = iter.next().expect("at least one scan");
+        let mut combined = working_schemas[0].clone();
+        let mut included = vec![0usize];
+        for (i, right) in iter.enumerate() {
+            let right_idx = i + 1;
+            combined = combined.concat(&working_schemas[right_idx]);
+            included.push(right_idx);
+            // Attach every non-summary conjunct now fully covered.
+            let mut preds: Vec<SExpr> = Vec::new();
+            let mut kept = Vec::new();
+            for pc in pending.drain(..) {
+                if !pc.summary && pc.scan_set.iter().all(|s| included.contains(s)) {
+                    preds.push(self.bind_expr(&pc.expr, &combined)?);
+                } else {
+                    kept.push(pc);
+                }
+            }
+            pending = kept;
+            let predicate = preds
+                .into_iter()
+                .reduce(|a, b| SExpr::And(Box::new(a), Box::new(b)));
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(right),
+                predicate,
+                schema: combined.clone(),
+            };
+        }
+
+        // -- residual + summary predicates after all joins ----------------
+        for pc in pending {
+            if !pc.scan_set.iter().all(|s| included.contains(s)) {
+                return Err(Error::Catalog(
+                    "predicate references a table not in FROM".into(),
+                ));
+            }
+            let predicate = self.bind_expr(&pc.expr, &combined)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // -- aggregation ---------------------------------------------------
+        let (mut plan, pre_output_schema, out_exprs, out_schema, col_map) =
+            if has_agg || !stmt.group_by.is_empty() {
+                self.plan_aggregate(plan, &combined, stmt)?
+            } else {
+                if stmt.having.is_some() {
+                    return Err(Error::Type("HAVING requires GROUP BY or aggregates".into()));
+                }
+                let (exprs, schema, col_map) = self.plan_projection(&combined, stmt)?;
+                (plan, combined.clone(), exprs, schema, col_map)
+            };
+
+        // HAVING filters groups over the aggregate output (group columns
+        // by name, aggregates by alias or default name). Summaries pass
+        // through unchanged, like any selection.
+        if let Some(having) = &stmt.having {
+            let predicate = self.bind_expr(having, &pre_output_schema)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // -- ORDER BY: prefer binding on the output schema ----------------
+        let mut sort_below: Vec<SortKey> = Vec::new();
+        let mut sort_above: Vec<SortKey> = Vec::new();
+        if !stmt.order_by.is_empty() {
+            let all_above: Result<Vec<SortKey>> = stmt
+                .order_by
+                .iter()
+                .map(|k| {
+                    Ok(SortKey {
+                        expr: self.bind_expr(&k.expr, &out_schema)?,
+                        desc: k.desc,
+                    })
+                })
+                .collect();
+            match all_above {
+                Ok(keys) => sort_above = keys,
+                Err(_) => {
+                    for k in &stmt.order_by {
+                        sort_below.push(SortKey {
+                            expr: self.bind_expr(&k.expr, &pre_output_schema)?,
+                            desc: k.desc,
+                        });
+                    }
+                }
+            }
+        }
+        if !sort_below.is_empty() {
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: sort_below,
+            };
+        }
+
+        // -- final projection ----------------------------------------------
+        let identity = out_exprs
+            .iter()
+            .enumerate()
+            .all(|(i, e)| matches!(e, SExpr::Column(c) if *c == i))
+            && out_exprs.len() == pre_output_schema.arity();
+        if !identity {
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: out_exprs,
+                schema: out_schema,
+                col_map,
+            };
+        }
+
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        if !sort_above.is_empty() {
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: sort_above,
+            };
+        }
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Plans the projection list of a non-aggregate query. Returns the
+    /// output expressions, schema, and the input→output column map that
+    /// drives summary projection.
+    #[allow(clippy::type_complexity)]
+    fn plan_projection(
+        &self,
+        input: &Schema,
+        stmt: &SelectStmt,
+    ) -> Result<(Vec<SExpr>, Schema, Vec<Option<u16>>)> {
+        let mut exprs: Vec<SExpr> = Vec::new();
+        let mut cols: Vec<Column> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in input.columns().iter().enumerate() {
+                        exprs.push(SExpr::Column(i));
+                        cols.push(c.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr, input)?;
+                    let col =
+                        self.output_column(expr, &bound, alias.as_deref(), input, exprs.len());
+                    exprs.push(bound);
+                    cols.push(col);
+                }
+                SelectItem::Aggregate { .. } => {
+                    return Err(Error::Type(
+                        "aggregate without GROUP BY requires all items to be aggregates".into(),
+                    ))
+                }
+            }
+        }
+        let schema = Schema::new(cols);
+        let col_map = build_col_map(input.arity(), &exprs);
+        Ok((exprs, schema, col_map))
+    }
+
+    /// Plans GROUP BY + aggregates. Returns the (aggregate) plan, the
+    /// aggregate output schema, and the final projection pieces.
+    #[allow(clippy::type_complexity)]
+    fn plan_aggregate(
+        &self,
+        input_plan: LogicalPlan,
+        input: &Schema,
+        stmt: &SelectStmt,
+    ) -> Result<(LogicalPlan, Schema, Vec<SExpr>, Schema, Vec<Option<u16>>)> {
+        // Grouping columns.
+        let mut group_cols: Vec<usize> = Vec::new();
+        for g in &stmt.group_by {
+            let ord = input.resolve(g.qualifier.as_deref(), &g.name)?;
+            if !group_cols.contains(&ord) {
+                group_cols.push(ord);
+            }
+        }
+
+        // Aggregates in select-list order.
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut agg_cols: Vec<Column> = Vec::new();
+        // Maps each select item to its ordinal in the aggregate output.
+        let mut item_source: Vec<usize> = Vec::new();
+        let mut item_alias: Vec<Option<String>> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => unreachable!("checked by caller"),
+                SelectItem::Expr { expr, alias } => {
+                    // Must be a grouping column.
+                    let Expr::Column(cref) = expr else {
+                        return Err(Error::Type(
+                            "non-aggregate SELECT items must be GROUP BY columns".into(),
+                        ));
+                    };
+                    let ord = input.resolve(cref.qualifier.as_deref(), &cref.name)?;
+                    let pos = group_cols.iter().position(|&g| g == ord).ok_or_else(|| {
+                        Error::Type(format!("column `{cref}` must appear in GROUP BY"))
+                    })?;
+                    item_source.push(pos);
+                    item_alias.push(alias.clone());
+                }
+                SelectItem::Aggregate { func, arg, alias } => {
+                    let bound = arg.as_ref().map(|a| self.bind_expr(a, input)).transpose()?;
+                    let dtype = agg_output_type(*func, &bound, input);
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| agg_default_name(*func, aggs.len()));
+                    agg_cols.push(Column::new(name, dtype));
+                    item_source.push(group_cols.len() + aggs.len());
+                    item_alias.push(None); // name already applied
+                    aggs.push(AggSpec {
+                        func: *func,
+                        arg: bound,
+                    });
+                }
+            }
+        }
+
+        // Aggregate output schema: group columns then aggregate columns.
+        let mut out_cols: Vec<Column> = group_cols
+            .iter()
+            .map(|&g| input.columns()[g].clone())
+            .collect();
+        out_cols.extend(agg_cols);
+        let agg_schema = Schema::new(out_cols);
+
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(input_plan),
+            group_cols: group_cols.clone(),
+            aggs,
+            schema: agg_schema.clone(),
+        };
+
+        // Final projection reorders the aggregate output to select order.
+        let mut exprs = Vec::with_capacity(item_source.len());
+        let mut cols = Vec::with_capacity(item_source.len());
+        for (i, &src) in item_source.iter().enumerate() {
+            exprs.push(SExpr::Column(src));
+            let mut col = agg_schema.columns()[src].clone();
+            if let Some(alias) = &item_alias[i] {
+                col = Column::new(alias.clone(), col.dtype);
+            }
+            cols.push(col);
+        }
+        let out_schema = Schema::new(cols);
+        let col_map = build_col_map(agg_schema.arity(), &exprs);
+        Ok((plan, agg_schema, exprs, out_schema, col_map))
+    }
+
+    fn output_column(
+        &self,
+        expr: &Expr,
+        _bound: &SExpr,
+        alias: Option<&str>,
+        input: &Schema,
+        ordinal: usize,
+    ) -> Column {
+        if let Some(a) = alias {
+            let dtype = infer_type(expr, input).unwrap_or(DataType::Float);
+            return Column::new(a, dtype);
+        }
+        if let Expr::Column(cref) = expr {
+            if let Ok(ord) = input.resolve(cref.qualifier.as_deref(), &cref.name) {
+                return input.columns()[ord].clone();
+            }
+        }
+        let dtype = infer_type(expr, input).unwrap_or(DataType::Float);
+        Column::new(format!("expr{ordinal}"), dtype)
+    }
+
+    /// Binds an unbound expression against a schema.
+    pub fn bind_expr(&self, expr: &Expr, schema: &Schema) -> Result<SExpr> {
+        Ok(match expr {
+            Expr::Column(cref) => {
+                SExpr::Column(schema.resolve(cref.qualifier.as_deref(), &cref.name)?)
+            }
+            Expr::Literal(lit) => SExpr::Literal(literal_to_value(lit)),
+            Expr::Cmp(op, l, r) => SExpr::Cmp(
+                cmp_op(*op),
+                Box::new(self.bind_expr(l, schema)?),
+                Box::new(self.bind_expr(r, schema)?),
+            ),
+            Expr::Arith(op, l, r) => SExpr::Arith(
+                arith_op(*op),
+                Box::new(self.bind_expr(l, schema)?),
+                Box::new(self.bind_expr(r, schema)?),
+            ),
+            Expr::And(l, r) => SExpr::And(
+                Box::new(self.bind_expr(l, schema)?),
+                Box::new(self.bind_expr(r, schema)?),
+            ),
+            Expr::Or(l, r) => SExpr::Or(
+                Box::new(self.bind_expr(l, schema)?),
+                Box::new(self.bind_expr(r, schema)?),
+            ),
+            Expr::Not(e) => SExpr::Not(Box::new(self.bind_expr(e, schema)?)),
+            Expr::IsNull(e, negated) => {
+                SExpr::IsNull(Box::new(self.bind_expr(e, schema)?), *negated)
+            }
+            Expr::Contains(e, needle) => {
+                SExpr::Contains(Box::new(self.bind_expr(e, schema)?), needle.clone())
+            }
+            Expr::SummaryCount {
+                instance,
+                component,
+            } => {
+                let inst_id = self.registry.instance_id(instance)?;
+                let component = self.resolve_component(inst_id, component)?;
+                SExpr::SummaryCount {
+                    instance: inst_id,
+                    component,
+                }
+            }
+        })
+    }
+
+    /// Resolves a `SUMMARY_COUNT` component name: a classifier label by
+    /// name, or a 1-based component index for any type.
+    pub fn resolve_component(
+        &self,
+        instance: insightnotes_common::InstanceId,
+        component: &str,
+    ) -> Result<ComponentSel> {
+        let inst = self.registry.instance(instance)?;
+        if let Some(labels) = inst.labels() {
+            if let Some(ix) = labels
+                .iter()
+                .position(|l| l.eq_ignore_ascii_case(component))
+            {
+                return Ok(ComponentSel::Label(ix));
+            }
+        }
+        let parsed: Option<usize> = component.parse().ok();
+        match parsed {
+            Some(n) if n >= 1 => Ok(match inst.kind() {
+                SummaryKind::Classifier => ComponentSel::Label(n - 1),
+                _ => ComponentSel::Group(n - 1),
+            }),
+            _ => Err(Error::Summary(format!(
+                "instance `{}` has no component `{component}`",
+                inst.name()
+            ))),
+        }
+    }
+}
+
+struct ScanInfo {
+    table: insightnotes_common::TableId,
+    binding: String,
+    schema: Schema,
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(l, r) => {
+            split_conjuncts(l, out);
+            split_conjuncts(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn collect_refs(e: &Expr, out: &mut Vec<ColumnRef>) {
+    match e {
+        Expr::Column(c) => out.push(c.clone()),
+        Expr::Literal(_) | Expr::SummaryCount { .. } => {}
+        Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            collect_refs(l, out);
+            collect_refs(r, out);
+        }
+        Expr::Not(i) | Expr::IsNull(i, _) | Expr::Contains(i, _) => collect_refs(i, out),
+    }
+}
+
+fn uses_summary(e: &Expr) -> bool {
+    match e {
+        Expr::SummaryCount { .. } => true,
+        Expr::Column(_) | Expr::Literal(_) => false,
+        Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            uses_summary(l) || uses_summary(r)
+        }
+        Expr::Not(i) | Expr::IsNull(i, _) | Expr::Contains(i, _) => uses_summary(i),
+    }
+}
+
+fn resolve_ref(scans: &[ScanInfo], r: &ColumnRef) -> Result<(usize, usize)> {
+    let mut found: Option<(usize, usize)> = None;
+    for (i, s) in scans.iter().enumerate() {
+        if let Ok(ord) = s.schema.resolve(r.qualifier.as_deref(), &r.name) {
+            if found.is_some() {
+                return Err(Error::Catalog(format!("ambiguous column `{r}`")));
+            }
+            found = Some((i, ord));
+        }
+    }
+    found.ok_or_else(|| Error::Catalog(format!("unknown column `{r}`")))
+}
+
+fn literal_to_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::Str(s) => Value::Text(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+fn cmp_op(op: BinCmp) -> CmpOp {
+    match op {
+        BinCmp::Eq => CmpOp::Eq,
+        BinCmp::Ne => CmpOp::Ne,
+        BinCmp::Lt => CmpOp::Lt,
+        BinCmp::Le => CmpOp::Le,
+        BinCmp::Gt => CmpOp::Gt,
+        BinCmp::Ge => CmpOp::Ge,
+    }
+}
+
+fn arith_op(op: BinArith) -> ArithOp {
+    match op {
+        BinArith::Add => ArithOp::Add,
+        BinArith::Sub => ArithOp::Sub,
+        BinArith::Mul => ArithOp::Mul,
+        BinArith::Div => ArithOp::Div,
+    }
+}
+
+fn agg_default_name(func: AggFunc, ordinal: usize) -> String {
+    let base = match func {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    if ordinal == 0 {
+        base.to_string()
+    } else {
+        format!("{base}{ordinal}")
+    }
+}
+
+fn agg_output_type(func: AggFunc, arg: &Option<SExpr>, input: &Schema) -> DataType {
+    match func {
+        AggFunc::Count => DataType::Int,
+        AggFunc::Sum | AggFunc::Avg => DataType::Float,
+        AggFunc::Min | AggFunc::Max => match arg {
+            Some(SExpr::Column(c)) => input.columns()[*c].dtype,
+            _ => DataType::Float,
+        },
+    }
+}
+
+/// For each input column, the output ordinal of the first plain-column
+/// output expression that reads it (`None` when the column is dropped).
+fn build_col_map(input_arity: usize, exprs: &[SExpr]) -> Vec<Option<u16>> {
+    let mut map = vec![None; input_arity];
+    for (out, e) in exprs.iter().enumerate() {
+        if let SExpr::Column(c) = e {
+            if map[*c].is_none() {
+                map[*c] = Some(out as u16);
+            }
+        }
+    }
+    // Computed expressions keep their referenced columns' annotations
+    // alive: map each still-unmapped referenced column to the expression's
+    // output position (provenance approximation).
+    for (out, e) in exprs.iter().enumerate() {
+        if matches!(e, SExpr::Column(_)) {
+            continue;
+        }
+        let mut refs = Vec::new();
+        e.referenced_columns(&mut refs);
+        for c in refs {
+            if map[c].is_none() {
+                map[c] = Some(out as u16);
+            }
+        }
+    }
+    map
+}
+
+fn infer_type(expr: &Expr, input: &Schema) -> Option<DataType> {
+    match expr {
+        Expr::Column(c) => input
+            .resolve(c.qualifier.as_deref(), &c.name)
+            .ok()
+            .map(|i| input.columns()[i].dtype),
+        Expr::Literal(Literal::Int(_)) => Some(DataType::Int),
+        Expr::Literal(Literal::Float(_)) => Some(DataType::Float),
+        Expr::Literal(Literal::Str(_)) => Some(DataType::Text),
+        Expr::Literal(Literal::Bool(_)) => Some(DataType::Bool),
+        Expr::Literal(Literal::Null) => None,
+        Expr::Arith(_, l, r) => match (infer_type(l, input), infer_type(r, input)) {
+            (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+            _ => Some(DataType::Float),
+        },
+        Expr::Cmp(..)
+        | Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Not(_)
+        | Expr::IsNull(..)
+        | Expr::Contains(..) => Some(DataType::Bool),
+        Expr::SummaryCount { .. } => Some(DataType::Int),
+    }
+}
+
+/// Matches `Column(c) = Literal(v)` (either side) for index probing.
+fn index_probe(pred: &SExpr) -> Option<(u16, Value)> {
+    let SExpr::Cmp(CmpOp::Eq, l, r) = pred else {
+        return None;
+    };
+    match (l.as_ref(), r.as_ref()) {
+        (SExpr::Column(c), SExpr::Literal(v)) | (SExpr::Literal(v), SExpr::Column(c))
+            if !v.is_null() =>
+        {
+            Some((*c as u16, v.clone()))
+        }
+        _ => None,
+    }
+}

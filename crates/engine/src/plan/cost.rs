@@ -1,0 +1,170 @@
+//! Plan cost estimation.
+//!
+//! The RCO cache policy weighs a cached result by how expensive it would
+//! be to recompute (the "Complexity" factor). This estimator produces
+//! that number: a unit-less cost from table cardinalities and standard
+//! textbook selectivity guesses. It does not drive plan choice — the
+//! planner is rule-based — so coarse is fine; it only needs to rank
+//! queries by relative expense.
+
+use crate::plan::logical::LogicalPlan;
+use insightnotes_storage::Catalog;
+
+/// Default selectivity assumed for a filter predicate.
+const FILTER_SELECTIVITY: f64 = 0.3;
+/// Default selectivity assumed for a join predicate.
+const JOIN_SELECTIVITY: f64 = 0.05;
+/// Per-row cost multiplier for summary-merge work at joins and groups.
+const MERGE_WEIGHT: f64 = 2.0;
+
+/// Estimated cost and output cardinality of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Unit-less work estimate.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+}
+
+/// Estimates the execution cost of a plan against current table sizes.
+pub fn estimate_cost(plan: &LogicalPlan, catalog: &Catalog) -> CostEstimate {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            let rows = catalog.table(*table).map(|t| t.len()).unwrap_or(0) as f64;
+            CostEstimate { cost: rows, rows }
+        }
+        LogicalPlan::IndexScan { table, .. } => {
+            // Point lookups touch a small fraction of the table.
+            let rows = catalog.table(*table).map(|t| t.len()).unwrap_or(0) as f64;
+            let hit = (rows / 10.0).clamp(1.0, rows.max(1.0));
+            CostEstimate { cost: hit + 1.0, rows: hit }
+        }
+        LogicalPlan::Filter { input, .. } => {
+            let c = estimate_cost(input, catalog);
+            CostEstimate {
+                cost: c.cost + c.rows,
+                rows: (c.rows * FILTER_SELECTIVITY).max(1.0),
+            }
+        }
+        LogicalPlan::Project { input, .. } => {
+            let c = estimate_cost(input, catalog);
+            CostEstimate {
+                cost: c.cost + c.rows,
+                rows: c.rows,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let l = estimate_cost(left, catalog);
+            let r = estimate_cost(right, catalog);
+            let out = if predicate.is_some() {
+                (l.rows * r.rows * JOIN_SELECTIVITY).max(1.0)
+            } else {
+                l.rows * r.rows
+            };
+            CostEstimate {
+                // Hash-join style: build + probe + merge work on outputs.
+                cost: l.cost + r.cost + l.rows + r.rows + out * MERGE_WEIGHT,
+                rows: out,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input, group_cols, ..
+        } => {
+            let c = estimate_cost(input, catalog);
+            let groups = if group_cols.is_empty() {
+                1.0
+            } else {
+                (c.rows / 10.0).max(1.0)
+            };
+            CostEstimate {
+                cost: c.cost + c.rows * MERGE_WEIGHT,
+                rows: groups,
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let c = estimate_cost(input, catalog);
+            CostEstimate {
+                cost: c.cost + c.rows * MERGE_WEIGHT,
+                rows: (c.rows * 0.5).max(1.0),
+            }
+        }
+        LogicalPlan::Sort { input, .. } => {
+            let c = estimate_cost(input, catalog);
+            let n = c.rows.max(2.0);
+            CostEstimate {
+                cost: c.cost + n * n.log2(),
+                rows: c.rows,
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let c = estimate_cost(input, catalog);
+            CostEstimate {
+                cost: c.cost,
+                rows: c.rows.min(*n as f64),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_storage::{Column, DataType, Row, Schema, Value};
+
+    fn catalog_with_rows(n: usize) -> (Catalog, insightnotes_common::TableId) {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table("t", Schema::new(vec![Column::new("x", DataType::Int)]))
+            .unwrap();
+        let t = cat.table_mut(id).unwrap();
+        for i in 0..n {
+            t.insert(Row::new(vec![Value::Int(i as i64)])).unwrap();
+        }
+        (cat, id)
+    }
+
+    fn scan(id: insightnotes_common::TableId) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: id,
+            binding: "t".into(),
+            schema: Schema::new(vec![Column::new("x", DataType::Int)]).qualify("t"),
+        }
+    }
+
+    #[test]
+    fn scan_cost_tracks_cardinality() {
+        let (cat, id) = catalog_with_rows(100);
+        let c = estimate_cost(&scan(id), &cat);
+        assert_eq!(c.rows, 100.0);
+        assert_eq!(c.cost, 100.0);
+    }
+
+    #[test]
+    fn join_costs_more_than_its_inputs() {
+        let (cat, id) = catalog_with_rows(100);
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(id)),
+            right: Box::new(scan(id)),
+            predicate: Some(crate::expr::SExpr::Literal(Value::Bool(true))),
+            schema: Schema::default(),
+        };
+        let c = estimate_cost(&join, &cat);
+        assert!(c.cost > 200.0);
+        assert!(c.rows >= 1.0);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let (cat, id) = catalog_with_rows(100);
+        let plan = LogicalPlan::Limit {
+            input: Box::new(scan(id)),
+            n: 5,
+        };
+        assert_eq!(estimate_cost(&plan, &cat).rows, 5.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The logical plan tree.
+//!
+//! Plans are produced by the [`Planner`](crate::plan::Planner) and
+//! consumed by the executor. The planner canonicalizes every query into
+//! the shape the paper's Theorems 1–2 require — un-needed columns (and
+//! with them, their annotations' effects on summary objects) are projected
+//! out *below* every merge-performing operator — so equivalent queries
+//! propagate identical summaries regardless of how they were written.
+
+use crate::expr::SExpr;
+use insightnotes_common::TableId;
+use insightnotes_sql::AggFunc;
+use insightnotes_storage::{Schema, Value};
+use std::fmt::Write as _;
+
+/// One aggregate computation inside an [`LogicalPlan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Its argument (`None` only for `COUNT(*)`).
+    pub arg: Option<SExpr>,
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The sort expression (over the node's input schema).
+    pub expr: SExpr,
+    /// True for descending order.
+    pub desc: bool,
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan; attaches each row's summary objects.
+    Scan {
+        /// The table to scan.
+        table: TableId,
+        /// The binding (alias) the columns are visible under.
+        binding: String,
+        /// Qualified schema.
+        schema: Schema,
+    },
+    /// Hash-index point lookup (`col = const` against an indexed column);
+    /// attaches summary objects exactly like a scan.
+    IndexScan {
+        /// The table to probe.
+        table: TableId,
+        /// The binding (alias) the columns are visible under.
+        binding: String,
+        /// Qualified schema.
+        schema: Schema,
+        /// Indexed column ordinal.
+        col: u16,
+        /// Probe value.
+        value: Value,
+    },
+    /// Row filter. Summaries pass through unchanged (Figure 2 step 2).
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        predicate: SExpr,
+    },
+    /// Projection / expression computation. Removes the effect of
+    /// annotations attached only to dropped columns (Figure 2 step 1).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions, one per output column.
+        exprs: Vec<SExpr>,
+        /// Output schema.
+        schema: Schema,
+        /// For each input column, its output ordinal (`None` = dropped).
+        /// Drives the summary-signature remap.
+        col_map: Vec<Option<u16>>,
+    },
+    /// Inner join. Merges the two sides' summary objects without double
+    /// counting (Figure 2 step 3).
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join predicate over the concatenated schema.
+        predicate: Option<SExpr>,
+        /// Concatenated schema.
+        schema: Schema,
+    },
+    /// Grouping + aggregation. Summaries of grouped tuples are projected
+    /// onto the grouping columns, then merged per group.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping column ordinals (input schema).
+        group_cols: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+        /// Output schema: grouping columns then aggregate results.
+        schema: Schema,
+    },
+    /// Duplicate elimination; summaries of eliminated duplicates merge
+    /// into the surviving tuple.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Sort (stable).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// The plan's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::IndexScan { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// The operator's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::IndexScan { .. } => "IndexScan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Distinct { .. } => "Distinct",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Child plans.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::IndexScan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Indented multi-line rendering (the `EXPLAIN` view).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let detail = match self {
+            LogicalPlan::Scan {
+                binding, schema, ..
+            } => {
+                format!("{binding} {schema}")
+            }
+            LogicalPlan::IndexScan {
+                binding, col, value, ..
+            } => format!("{binding} col{col} = {value}"),
+            LogicalPlan::Filter { predicate, .. } => format!("{predicate:?}"),
+            LogicalPlan::Project { schema, .. } => format!("→ {schema}"),
+            LogicalPlan::Join { predicate, .. } => match predicate {
+                Some(p) => format!("on {p:?}"),
+                None => "cross".to_string(),
+            },
+            LogicalPlan::Aggregate {
+                group_cols, aggs, ..
+            } => format!("group {group_cols:?}, {} aggs", aggs.len()),
+            LogicalPlan::Distinct { .. } => String::new(),
+            LogicalPlan::Sort { keys, .. } => format!("{} keys", keys.len()),
+            LogicalPlan::Limit { n, .. } => n.to_string(),
+        };
+        let _ = writeln!(out, "{pad}{} {detail}", self.name());
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_storage::{Column, DataType};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: TableId(1),
+            binding: "r".into(),
+            schema: Schema::new(vec![Column::new("a", DataType::Int)]).qualify("r"),
+        }
+    }
+
+    #[test]
+    fn schema_passes_through_transparent_nodes() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(scan()),
+            }),
+            n: 5,
+        };
+        assert_eq!(plan.schema().arity(), 1);
+        assert_eq!(plan.name(), "Limit");
+    }
+
+    #[test]
+    fn explain_renders_the_tree() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: SExpr::Literal(insightnotes_storage::Value::Bool(true)),
+        };
+        let text = plan.explain();
+        assert!(text.starts_with("Filter"));
+        assert!(text.contains("  Scan r"));
+    }
+
+    #[test]
+    fn children_of_join_are_both_sides() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            predicate: None,
+            schema: Schema::default(),
+        };
+        assert_eq!(join.children().len(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Logical plans, the binder/planner, and cost estimation.
+
+pub mod builder;
+pub mod cost;
+pub mod logical;
+
+pub use builder::Planner;
+pub use cost::{estimate_cost, CostEstimate};
+pub use logical::{AggSpec, LogicalPlan, SortKey};

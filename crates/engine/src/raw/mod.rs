@@ -1,0 +1,543 @@
+//! The raw-propagation baseline engine.
+//!
+//! Pre-InsightNotes annotation managers (DBNotes, Mondrian, and the
+//! systems the paper's related work surveys) propagate the *raw
+//! annotations themselves* through the query pipeline: every tuple carries
+//! its full annotation list (content included), projection filters that
+//! list by attached columns, and join unions the two sides' lists.
+//! This module implements exactly that over the same [`LogicalPlan`], so
+//! experiment E2 can compare summary-aware propagation against the
+//! baseline on identical plans and data.
+//!
+//! Annotation text is an owned `String` per tuple, because that is the
+//! DBNotes model: annotations are materialized as additional attribute
+//! values, so every tuple copy (scan, join output) copies its annotation
+//! values. The per-tuple annotation vectors and their union/dedup/filter
+//! work scale with the annotation ratio — the effect experiment E2
+//! measures. The join algorithm is the same hash join the summary engine
+//! uses, so the comparison isolates propagation cost.
+
+use crate::plan::logical::{AggSpec, LogicalPlan, SortKey};
+use insightnotes_annotations::{AnnotationStore, ColSig};
+use insightnotes_common::{AnnotationId, Error, Result};
+use insightnotes_sql::AggFunc;
+use insightnotes_storage::{Catalog, Row, Value};
+use std::collections::HashMap;
+
+/// One propagated raw annotation.
+#[derive(Debug, Clone)]
+pub struct RawAnn {
+    /// Annotation id.
+    pub id: AnnotationId,
+    /// Columns it is attached to, in the current schema's ordinals.
+    pub sig: ColSig,
+    /// The annotation's free text (owned per tuple, as a raw-propagation
+    /// system materializes it).
+    pub text: String,
+}
+
+/// A tuple carrying its raw annotations.
+#[derive(Debug, Clone)]
+pub struct RawRow {
+    /// The data values.
+    pub row: Row,
+    /// Attached annotations, sorted by id.
+    pub anns: Vec<RawAnn>,
+}
+
+impl RawRow {
+    fn project_anns(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        self.anns.retain_mut(|a| {
+            let sig = a.sig.remap(remap);
+            if sig.is_empty() {
+                false
+            } else {
+                a.sig = sig;
+                true
+            }
+        });
+    }
+
+    fn merge_anns(&mut self, other: &[RawAnn]) {
+        for a in other {
+            match self.anns.binary_search_by_key(&a.id, |x| x.id) {
+                Ok(i) => {
+                    // Same annotation on both sides: count once, union
+                    // its column coverage.
+                    self.anns[i].sig = self.anns[i].sig.union(a.sig);
+                }
+                Err(i) => self.anns.insert(i, a.clone()),
+            }
+        }
+    }
+}
+
+/// Executes a plan with raw-annotation propagation.
+pub struct RawExecutor<'a> {
+    catalog: &'a Catalog,
+    store: &'a AnnotationStore,
+}
+
+impl<'a> RawExecutor<'a> {
+    /// Creates a raw executor.
+    pub fn new(catalog: &'a Catalog, store: &'a AnnotationStore) -> Self {
+        Self { catalog, store }
+    }
+
+    /// Executes a plan to completion.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<Vec<RawRow>> {
+        match plan {
+            LogicalPlan::IndexScan {
+                table, col, value, ..
+            } => {
+                let t = self.catalog.table(*table)?;
+                let rids = t.index_lookup(*col, value).ok_or_else(|| {
+                    Error::Execution(format!(
+                        "plan expects an index on column {col} of `{}`",
+                        t.name()
+                    ))
+                })?;
+                let mut out = Vec::with_capacity(rids.len());
+                for &rid in rids {
+                    let row = t.get(rid).ok_or_else(|| {
+                        Error::Execution(format!("index points at missing row {rid}"))
+                    })?;
+                    let mut anns: Vec<RawAnn> = self
+                        .store
+                        .on_row(*table, rid)
+                        .iter()
+                        .map(|&(id, sig)| {
+                            let text = self
+                                .store
+                                .get(id)
+                                .map(|a| a.body.text.clone())
+                                .unwrap_or_default();
+                            RawAnn { id, sig, text }
+                        })
+                        .collect();
+                    anns.sort_by_key(|a| a.id);
+                    out.push(RawRow {
+                        row: row.clone(),
+                        anns,
+                    });
+                }
+                Ok(out)
+            }
+            LogicalPlan::Scan { table, .. } => {
+                let t = self.catalog.table(*table)?;
+                let mut out = Vec::with_capacity(t.len());
+                for (rid, row) in t.scan() {
+                    let mut anns: Vec<RawAnn> = self
+                        .store
+                        .on_row(*table, rid)
+                        .iter()
+                        .map(|&(id, sig)| {
+                            let text = self
+                                .store
+                                .get(id)
+                                .map(|a| a.body.text.clone())
+                                .unwrap_or_default();
+                            RawAnn { id, sig, text }
+                        })
+                        .collect();
+                    anns.sort_by_key(|a| a.id);
+                    out.push(RawRow {
+                        row: row.clone(),
+                        anns,
+                    });
+                }
+                Ok(out)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                if predicate.uses_summaries() {
+                    return Err(Error::Execution(
+                        "raw-propagation engine has no summaries to filter on".into(),
+                    ));
+                }
+                let rows = self.execute(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if predicate.satisfied_parts(&r.row, &[])? {
+                        out.push(r);
+                    }
+                }
+                Ok(out)
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                col_map,
+                ..
+            } => {
+                let rows = self.execute(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for mut r in rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        values.push(e.eval_parts(&r.row, &[])?);
+                    }
+                    let map = col_map.clone();
+                    r.project_anns(&move |c| map.get(c as usize).copied().flatten());
+                    out.push(RawRow {
+                        row: Row::new(values),
+                        anns: r.anns,
+                    });
+                }
+                Ok(out)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let l = self.execute(left)?;
+                let mut r = self.execute(right)?;
+                let left_arity = left.schema().arity();
+                let shift = left_arity as u16;
+                for rr in &mut r {
+                    rr.project_anns(&move |c| Some(c + shift));
+                }
+                let (equi, residual) =
+                    crate::exec::join::split_equi(predicate.as_ref(), left_arity);
+                let mut out = Vec::new();
+                if equi.is_empty() {
+                    for lr in &l {
+                        for rr in &r {
+                            let row = lr.row.concat(&rr.row);
+                            let ok = match &residual {
+                                Some(p) => p.satisfied_parts(&row, &[])?,
+                                None => true,
+                            };
+                            if ok {
+                                let mut candidate = RawRow {
+                                    row,
+                                    anns: lr.anns.clone(),
+                                };
+                                candidate.merge_anns(&rr.anns);
+                                out.push(candidate);
+                            }
+                        }
+                    }
+                } else {
+                    let right_cols: Vec<usize> = equi.iter().map(|&(_, rc)| rc).collect();
+                    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(r.len());
+                    for (i, rr) in r.iter().enumerate() {
+                        if right_cols.iter().any(|&c| rr.row[c].is_null()) {
+                            continue;
+                        }
+                        table
+                            .entry(rr.row.group_key(&right_cols))
+                            .or_default()
+                            .push(i);
+                    }
+                    let left_cols: Vec<usize> = equi.iter().map(|&(lc, _)| lc).collect();
+                    for lr in &l {
+                        if left_cols.iter().any(|&c| lr.row[c].is_null()) {
+                            continue;
+                        }
+                        if let Some(matches) = table.get(&lr.row.group_key(&left_cols)) {
+                            for &ri in matches {
+                                let rr = &r[ri];
+                                let row = lr.row.concat(&rr.row);
+                                let ok = match &residual {
+                                    Some(p) => p.satisfied_parts(&row, &[])?,
+                                    None => true,
+                                };
+                                if ok {
+                                    let mut candidate = RawRow {
+                                        row,
+                                        anns: lr.anns.clone(),
+                                    };
+                                    candidate.merge_anns(&rr.anns);
+                                    out.push(candidate);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
+                let rows = self.execute(input)?;
+                self.aggregate(rows, group_cols, aggs)
+            }
+            LogicalPlan::Distinct { input } => {
+                let rows = self.execute(input)?;
+                let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
+                let mut out: Vec<RawRow> = Vec::new();
+                for r in rows {
+                    let all: Vec<usize> = (0..r.row.arity()).collect();
+                    let key = r.row.group_key(&all);
+                    match seen.get(&key) {
+                        Some(&i) => out[i].merge_anns(&r.anns),
+                        None => {
+                            seen.insert(key, out.len());
+                            out.push(r);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let rows = self.execute(input)?;
+                self.sort(rows, keys)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let mut rows = self.execute(input)?;
+                rows.truncate(*n as usize);
+                Ok(rows)
+            }
+        }
+    }
+
+    fn aggregate(
+        &self,
+        rows: Vec<RawRow>,
+        group_cols: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<Vec<RawRow>> {
+        struct Group {
+            key_row: Vec<Value>,
+            counts: Vec<(i64, f64, Option<Value>, Option<Value>)>,
+            carrier: RawRow,
+        }
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
+        for mut r in rows {
+            let key = r.row.group_key(group_cols);
+            let cols = group_cols.to_vec();
+            r.project_anns(&move |c| cols.iter().position(|&g| g == c as usize).map(|p| p as u16));
+            let group = match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    order.push(key);
+                    v.insert(Group {
+                        key_row: group_cols.iter().map(|&c| r.row[c].clone()).collect(),
+                        counts: vec![(0, 0.0, None, None); aggs.len()],
+                        carrier: RawRow {
+                            row: Row::default(),
+                            anns: Vec::new(),
+                        },
+                    })
+                }
+            };
+            for (slot, spec) in group.counts.iter_mut().zip(aggs) {
+                let value = spec
+                    .arg
+                    .as_ref()
+                    .map(|e| e.eval_parts(&r.row, &[]))
+                    .transpose()?;
+                match value {
+                    None => slot.0 += 1,
+                    Some(v) if !v.is_null() => {
+                        slot.0 += 1;
+                        if let Some(f) = v.as_f64() {
+                            slot.1 += f;
+                        }
+                        let lt = slot
+                            .2
+                            .as_ref()
+                            .is_none_or(|b| v.sql_cmp(b) == Some(std::cmp::Ordering::Less));
+                        if lt {
+                            slot.2 = Some(v.clone());
+                        }
+                        let gt = slot
+                            .3
+                            .as_ref()
+                            .is_none_or(|b| v.sql_cmp(b) == Some(std::cmp::Ordering::Greater));
+                        if gt {
+                            slot.3 = Some(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            group.carrier.merge_anns(&r.anns);
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let g = groups.remove(&key).expect("recorded");
+            let mut values = g.key_row;
+            for (slot, spec) in g.counts.iter().zip(aggs) {
+                values.push(match spec.func {
+                    AggFunc::Count => Value::Int(slot.0),
+                    AggFunc::Sum => {
+                        if slot.0 > 0 {
+                            Value::Float(slot.1)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                    AggFunc::Avg => {
+                        if slot.0 > 0 {
+                            Value::Float(slot.1 / slot.0 as f64)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                    AggFunc::Min => slot.2.clone().unwrap_or(Value::Null),
+                    AggFunc::Max => slot.3.clone().unwrap_or(Value::Null),
+                });
+            }
+            out.push(RawRow {
+                row: Row::new(values),
+                anns: g.carrier.anns,
+            });
+        }
+        Ok(out)
+    }
+
+    fn sort(&self, mut rows: Vec<RawRow>, keys: &[SortKey]) -> Result<Vec<RawRow>> {
+        let mut keyed: Vec<(Vec<Value>, RawRow)> = Vec::with_capacity(rows.len());
+        for r in rows.drain(..) {
+            let mut k = Vec::with_capacity(keys.len());
+            for key in keys {
+                k.push(key.expr.eval_parts(&r.row, &[])?);
+            }
+            keyed.push((k, r));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in keys.iter().enumerate() {
+                let ord = ka[i].sort_cmp(&kb[i]);
+                let ord = if key.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(keyed.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_annotations::{AnnotationBody, Target};
+    use insightnotes_common::TableId;
+    use insightnotes_storage::{Column, DataType, Schema};
+
+    fn setup() -> (Catalog, AnnotationStore, TableId) {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    Column::new("x", DataType::Int),
+                    Column::new("note", DataType::Text),
+                ]),
+            )
+            .unwrap();
+        let t = cat.table_mut(id).unwrap();
+        let r1 = t
+            .insert(Row::new(vec![Value::Int(1), Value::Text("a".into())]))
+            .unwrap();
+        let r2 = t
+            .insert(Row::new(vec![Value::Int(2), Value::Text("b".into())]))
+            .unwrap();
+        let mut store = AnnotationStore::new();
+        store
+            .add(
+                AnnotationBody::text("whole row note", "u"),
+                vec![Target::new(id, r1, ColSig::whole_row(2))],
+            )
+            .unwrap();
+        store
+            .add(
+                AnnotationBody::text("on note column", "u"),
+                vec![Target::new(
+                    id,
+                    r1,
+                    ColSig::single(insightnotes_common::ColumnId(1)),
+                )],
+            )
+            .unwrap();
+        store
+            .add(
+                AnnotationBody::text("shared", "u"),
+                vec![
+                    Target::new(id, r1, ColSig::whole_row(2)),
+                    Target::new(id, r2, ColSig::whole_row(2)),
+                ],
+            )
+            .unwrap();
+        (cat, store, id)
+    }
+
+    fn scan(id: TableId, cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: id,
+            binding: "t".into(),
+            schema: cat.table(id).unwrap().schema().qualify("t"),
+        }
+    }
+
+    #[test]
+    fn scan_attaches_raw_annotations() {
+        let (cat, store, id) = setup();
+        let rows = RawExecutor::new(&cat, &store)
+            .execute(&scan(id, &cat))
+            .unwrap();
+        assert_eq!(rows[0].anns.len(), 3);
+        assert_eq!(rows[1].anns.len(), 1);
+        assert_eq!(rows[1].anns[0].text, "shared");
+    }
+
+    #[test]
+    fn projection_drops_column_scoped_annotations() {
+        let (cat, store, id) = setup();
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan(id, &cat)),
+            exprs: vec![crate::expr::SExpr::Column(0)],
+            schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+            col_map: vec![Some(0), None],
+        };
+        let rows = RawExecutor::new(&cat, &store).execute(&plan).unwrap();
+        // "on note column" drops with the note column; others survive.
+        assert_eq!(rows[0].anns.len(), 2);
+    }
+
+    #[test]
+    fn join_unions_without_duplicating_shared_annotation() {
+        let (cat, store, id) = setup();
+        // Self-join on x = x: row1 ⋈ row1 carries a shared annotation on
+        // both sides; merged list must count it once.
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(id, &cat)),
+            right: Box::new(scan(id, &cat)),
+            predicate: Some(crate::expr::SExpr::Cmp(
+                insightnotes_storage::CmpOp::Eq,
+                Box::new(crate::expr::SExpr::Column(0)),
+                Box::new(crate::expr::SExpr::Column(2)),
+            )),
+            schema: cat
+                .table(id)
+                .unwrap()
+                .schema()
+                .qualify("a")
+                .concat(&cat.table(id).unwrap().schema().qualify("b")),
+        };
+        let rows = RawExecutor::new(&cat, &store).execute(&plan).unwrap();
+        let row1 = rows.iter().find(|r| r.row[0] == Value::Int(1)).unwrap();
+        assert_eq!(row1.anns.len(), 3, "no duplicate ids after merge");
+    }
+
+    #[test]
+    fn summary_predicates_are_rejected() {
+        let (cat, store, id) = setup();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(id, &cat)),
+            predicate: crate::expr::SExpr::SummaryCount {
+                instance: insightnotes_common::InstanceId(1),
+                component: crate::expr::ComponentSel::Label(0),
+            },
+        };
+        assert!(RawExecutor::new(&cat, &store).execute(&plan).is_err());
+    }
+}

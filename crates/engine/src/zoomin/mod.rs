@@ -1,0 +1,220 @@
+//! Zoom-in query processing (Figure 3).
+//!
+//! Every executed query gets a QID and its result (tuples + summary
+//! objects) is offered to the disk cache. A later `ZOOMIN REFERENCE QID n
+//! WHERE … ON instance INDEX i` selects tuples from that result, opens
+//! the named summary object's i-th component, and resolves it to the raw
+//! annotations behind it. On a cache hit the result is deserialized from
+//! disk; on a miss (evicted) the original plan is re-executed — the
+//! latency gap between the two paths is exactly what experiment E4
+//! measures.
+
+use crate::annotated::AnnotatedRow;
+use crate::cache::DiskCache;
+use crate::exec::Executor;
+use crate::plan::logical::LogicalPlan;
+use insightnotes_common::{codec::Encodable, Error, Qid, Result};
+use insightnotes_storage::{Catalog, Schema};
+use insightnotes_summaries::SummaryRegistry;
+use std::collections::HashMap;
+
+/// Retained metadata for one executed query (small; kept in memory even
+/// after the result's bytes are evicted from the disk cache).
+#[derive(Debug, Clone)]
+pub struct ResultInfo {
+    /// The query id.
+    pub qid: Qid,
+    /// Output schema (zoom-in predicates bind against it).
+    pub schema: Schema,
+    /// The executed plan (re-run on cache miss).
+    pub plan: LogicalPlan,
+    /// Planner cost estimate (the RCO complexity factor).
+    pub complexity: f64,
+}
+
+/// QID allocation, per-query metadata, and the result cache.
+#[derive(Debug)]
+pub struct ZoomRegistry {
+    next_qid: u64,
+    infos: HashMap<Qid, ResultInfo>,
+    cache: DiskCache,
+}
+
+impl ZoomRegistry {
+    /// Creates a registry over a disk cache.
+    pub fn new(cache: DiskCache) -> Self {
+        Self {
+            // QIDs start at 100 so they read like the paper's examples.
+            next_qid: 100,
+            infos: HashMap::new(),
+            cache,
+        }
+    }
+
+    /// Registers a query result: allocates its QID, retains its metadata,
+    /// and offers the serialized rows to the cache.
+    pub fn register(
+        &mut self,
+        schema: Schema,
+        plan: LogicalPlan,
+        rows: &[AnnotatedRow],
+        complexity: f64,
+    ) -> Result<Qid> {
+        self.next_qid += 1;
+        let qid = Qid::new(self.next_qid);
+        self.infos.insert(
+            qid,
+            ResultInfo {
+                qid,
+                schema,
+                plan,
+                complexity,
+            },
+        );
+        let payload = encode_rows(rows);
+        self.cache.put(qid, &payload, complexity)?;
+        Ok(qid)
+    }
+
+    /// Metadata for a QID.
+    pub fn info(&self, qid: Qid) -> Result<&ResultInfo> {
+        self.infos
+            .get(&qid)
+            .ok_or_else(|| Error::ZoomIn(format!("unknown QID {qid}")))
+    }
+
+    /// Fetches the result rows of a QID: from cache when present,
+    /// otherwise by re-executing the retained plan. Returns the rows and
+    /// whether they came from the cache.
+    pub fn fetch_rows(
+        &mut self,
+        qid: Qid,
+        catalog: &Catalog,
+        registry: &SummaryRegistry,
+    ) -> Result<(Vec<AnnotatedRow>, bool)> {
+        let info = self
+            .infos
+            .get(&qid)
+            .ok_or_else(|| Error::ZoomIn(format!("unknown QID {qid}")))?
+            .clone();
+        if let Some(bytes) = self.cache.get(qid)? {
+            return Ok((decode_rows(&bytes)?, true));
+        }
+        // Cache miss: re-execute and (re-)offer to the cache.
+        let rows = Executor::new(catalog, registry).execute(&info.plan)?;
+        let payload = encode_rows(&rows);
+        self.cache.put(qid, &payload, info.complexity)?;
+        Ok((rows, false))
+    }
+
+    /// The underlying cache (stats, policy inspection).
+    pub fn cache(&self) -> &DiskCache {
+        &self.cache
+    }
+
+    /// Mutable access to the underlying cache.
+    pub fn cache_mut(&mut self) -> &mut DiskCache {
+        &mut self.cache
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.infos.len()
+    }
+}
+
+fn encode_rows(rows: &[AnnotatedRow]) -> Vec<u8> {
+    let mut enc = insightnotes_common::codec::Encoder::with_capacity(1024);
+    enc.varint(rows.len() as u64);
+    for r in rows {
+        r.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+fn decode_rows(bytes: &[u8]) -> Result<Vec<AnnotatedRow>> {
+    let mut dec = insightnotes_common::codec::Decoder::new(bytes);
+    let n = dec.varint()? as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        rows.push(AnnotatedRow::decode(&mut dec)?);
+    }
+    dec.expect_end()?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Rco;
+    use insightnotes_storage::{Column, DataType, Row, Value};
+
+    fn temp_cache(tag: &str, budget: u64) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!(
+            "insightnotes-zoom-test-{}-{tag}",
+            std::process::id()
+        ));
+        DiskCache::new(dir, budget, Box::new(Rco::default())).unwrap()
+    }
+
+    fn setup_catalog() -> (Catalog, insightnotes_common::TableId) {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table("t", Schema::new(vec![Column::new("x", DataType::Int)]))
+            .unwrap();
+        for i in 0..3 {
+            cat.table_mut(id)
+                .unwrap()
+                .insert(Row::new(vec![Value::Int(i)]))
+                .unwrap();
+        }
+        (cat, id)
+    }
+
+    fn scan_plan(id: insightnotes_common::TableId, cat: &Catalog) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: id,
+            binding: "t".into(),
+            schema: cat.table(id).unwrap().schema().qualify("t"),
+        }
+    }
+
+    #[test]
+    fn register_assigns_distinct_qids() {
+        let (cat, id) = setup_catalog();
+        let mut zr = ZoomRegistry::new(temp_cache("qids", 1 << 20));
+        let plan = scan_plan(id, &cat);
+        let a = zr
+            .register(plan.schema().clone(), plan.clone(), &[], 1.0)
+            .unwrap();
+        let b = zr.register(plan.schema().clone(), plan, &[], 1.0).unwrap();
+        assert_ne!(a, b);
+        assert!(a.raw() > 100);
+        assert_eq!(zr.query_count(), 2);
+        assert!(zr.info(Qid(9999)).is_err());
+    }
+
+    #[test]
+    fn fetch_serves_from_cache_then_reexecutes_after_eviction() {
+        let (cat, id) = setup_catalog();
+        let reg = SummaryRegistry::new();
+        let plan = scan_plan(id, &cat);
+        let rows = Executor::new(&cat, &reg).execute(&plan).unwrap();
+
+        let mut zr = ZoomRegistry::new(temp_cache("fetch", 1 << 20));
+        let qid = zr
+            .register(plan.schema().clone(), plan, &rows, 10.0)
+            .unwrap();
+        let (got, from_cache) = zr.fetch_rows(qid, &cat, &reg).unwrap();
+        assert!(from_cache);
+        assert_eq!(got, rows);
+
+        // Force eviction, then fetch must re-execute.
+        zr.cache_mut().remove(qid).unwrap();
+        let (got2, from_cache2) = zr.fetch_rows(qid, &cat, &reg).unwrap();
+        assert!(!from_cache2);
+        assert_eq!(got2, rows);
+        // Re-execution re-admitted the result.
+        assert!(zr.cache().contains(qid));
+    }
+}

@@ -1,0 +1,402 @@
+//! SQL lexer.
+//!
+//! Hand-rolled, position-tracking tokenizer. Keywords are *not*
+//! distinguished here — identifiers are matched case-insensitively by the
+//! parser, which keeps the keyword set local to the grammar.
+
+use insightnotes_common::{Error, Result};
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ne => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Tokenizes an entire statement string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input (always ends with an `Eof` token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_ws_and_comments()?;
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match b {
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b',' => self.single(TokenKind::Comma),
+            b';' => self.single(TokenKind::Semicolon),
+            b'*' => self.single(TokenKind::Star),
+            b'+' => self.single(TokenKind::Plus),
+            b'-' => self.single(TokenKind::Minus),
+            b'/' => self.single(TokenKind::Slash),
+            b'=' => self.single(TokenKind::Eq),
+            b':' => self.single(TokenKind::Colon),
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => self.single(TokenKind::Le),
+                    Some(b'>') => self.single(TokenKind::Ne),
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => self.single(TokenKind::Ge),
+                    _ => TokenKind::Gt,
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => self.single(TokenKind::Ne),
+                    _ => {
+                        return Err(Error::Parse(format!(
+                            "unexpected character `!` at offset {offset}"
+                        )))
+                    }
+                }
+            }
+            b'\'' => self.string(offset)?,
+            b'.' => {
+                // `.5` style floats are not supported; a lone dot is the
+                // qualifier separator.
+                self.single(TokenKind::Dot)
+            }
+            b'0'..=b'9' => self.number(offset)?,
+            _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+            _ => {
+                return Err(Error::Parse(format!(
+                    "unexpected character `{}` at offset {offset}",
+                    b as char
+                )))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn string(&mut self, offset: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(Error::Parse(format!(
+                        "unterminated string starting at offset {offset}"
+                    )))
+                }
+                Some(b'\'') => {
+                    if self.peek2() == Some(b'\'') {
+                        out.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, offset: usize) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut probe = self.pos + 1;
+            if matches!(self.bytes.get(probe), Some(b'+') | Some(b'-')) {
+                probe += 1;
+            }
+            if matches!(self.bytes.get(probe), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.pos = probe;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| Error::Parse(format!("bad float `{text}` at offset {offset}: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| Error::Parse(format!("bad integer `{text}` at offset {offset}: {e}")))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        TokenKind::Ident(self.src[start..self.pos].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_select() {
+        let k = kinds("SELECT r.a FROM R r WHERE r.b = 2;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("R".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eq,
+                TokenKind::Int(2),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(
+            kinds("1 2.5 3e2 4E-1"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(300.0),
+                TokenKind::Float(0.4),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            kinds("'it''s' 'héllo'"),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("héllo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= <> != ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Lexer::new("SELECT @").tokenize().unwrap_err();
+        assert!(err.to_string().contains("offset 7"), "{err}");
+        assert!(Lexer::new("'open").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = Lexer::new("ab  cd").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! The catalog: name → table mapping and table-id allocation.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use insightnotes_common::{codec, Error, Result, TableId};
+use std::collections::HashMap;
+
+/// Owns every table in a database instance.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    by_name: HashMap<String, TableId>,
+    tables: HashMap<TableId, Table>,
+    next_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table, failing on duplicate names (case-insensitive).
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        let key = name.to_ascii_lowercase();
+        if self.by_name.contains_key(&key) {
+            return Err(Error::Catalog(format!("table `{key}` already exists")));
+        }
+        self.next_id += 1;
+        let id = TableId::new(self.next_id);
+        self.by_name.insert(key.clone(), id);
+        self.tables.insert(id, Table::new(id, key, schema));
+        Ok(id)
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::Catalog(format!("unknown table `{name}`")))
+    }
+
+    /// Borrows a table by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(&id)
+            .ok_or_else(|| Error::Catalog(format!("no table with id {id}")))
+    }
+
+    /// Mutably borrows a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&id)
+            .ok_or_else(|| Error::Catalog(format!("no table with id {id}")))
+    }
+
+    /// Borrows a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        self.table(self.table_id(name)?)
+    }
+
+    /// Mutably borrows a table by name.
+    pub fn table_by_name_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let id = self.table_id(name)?;
+        self.table_mut(id)
+    }
+
+    /// Drops a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        let key = name.to_ascii_lowercase();
+        let id = self
+            .by_name
+            .remove(&key)
+            .ok_or_else(|| Error::Catalog(format!("unknown table `{key}`")))?;
+        Ok(self.tables.remove(&id).expect("index consistent"))
+    }
+
+    /// Table names in sorted order (for `\d`-style listings).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.by_name.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl codec::Encodable for Catalog {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u32(self.next_id);
+        // Tables in name order for deterministic snapshots.
+        let names = self.table_names();
+        enc.varint(names.len() as u64);
+        for name in names {
+            let table = self.table_by_name(name).expect("listed name");
+            table.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let next_id = dec.u32()?;
+        let n = dec.varint()? as usize;
+        let mut catalog = Catalog {
+            next_id,
+            ..Catalog::default()
+        };
+        for _ in 0..n {
+            let table = crate::table::Table::decode(dec)?;
+            if catalog.by_name.contains_key(table.name()) {
+                return Err(Error::Codec(format!(
+                    "duplicate table `{}` in snapshot",
+                    table.name()
+                )));
+            }
+            catalog.by_name.insert(table.name().to_string(), table.id());
+            catalog.tables.insert(table.id(), table);
+        }
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        let id = c.create_table("Birds", schema()).unwrap();
+        assert_eq!(c.table_id("birds").unwrap(), id);
+        assert_eq!(c.table(id).unwrap().name(), "birds");
+        assert_eq!(c.table_names(), vec!["birds"]);
+        c.drop_table("BIRDS").unwrap();
+        assert!(c.table_id("birds").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_case_insensitively() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(c.create_table("T", schema()).is_err());
+    }
+
+    #[test]
+    fn ids_survive_other_drops() {
+        let mut c = Catalog::new();
+        let a = c.create_table("a", schema()).unwrap();
+        let b = c.create_table("b", schema()).unwrap();
+        c.drop_table("a").unwrap();
+        assert!(c.table(a).is_err());
+        assert_eq!(c.table(b).unwrap().name(), "b");
+        // New tables never reuse dropped ids.
+        let d = c.create_table("d", schema()).unwrap();
+        assert_ne!(d, a);
+    }
+}

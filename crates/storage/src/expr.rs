@@ -1,0 +1,391 @@
+//! Bound scalar expressions.
+//!
+//! The SQL front-end produces name-based expressions; the planner *binds*
+//! them against a schema into `BoundExpr`s whose column references are
+//! ordinals. Evaluation is then a direct walk over a row — no name lookups
+//! at runtime. Predicates use SQL three-valued logic collapsed to
+//! "satisfied / not satisfied" at the filter boundary (NULL comparisons
+//! never satisfy).
+
+use crate::row::Row;
+use crate::value::Value;
+use insightnotes_common::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering result.
+    pub fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression with column references resolved to ordinals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Reference to column `i` of the input row.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Comparison producing a boolean (or NULL under three-valued logic).
+    Cmp(CmpOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Arithmetic over numeric operands.
+    Arith(ArithOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical conjunction.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical disjunction.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical negation.
+    Not(Box<BoundExpr>),
+    /// `IS NULL` test.
+    IsNull(Box<BoundExpr>),
+    /// Case-sensitive substring containment (`LIKE '%needle%'` subset,
+    /// used for text predicates over annotations' host tuples).
+    Contains(Box<BoundExpr>, String),
+}
+
+impl BoundExpr {
+    /// Evaluates against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            BoundExpr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("column ordinal {i} out of range"))),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Cmp(op, l, r) => {
+                let (lv, rv) = (l.eval(row)?, r.eval(row)?);
+                Ok(match lv.sql_cmp(&rv) {
+                    Some(ord) => Value::Bool(op.test(ord)),
+                    None => Value::Null,
+                })
+            }
+            BoundExpr::Arith(op, l, r) => {
+                let (lv, rv) = (l.eval(row)?, r.eval(row)?);
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (op, &lv, &rv) {
+                    // Integer arithmetic stays integral except division.
+                    (ArithOp::Add, Value::Int(a), Value::Int(b)) => {
+                        Ok(Value::Int(a.checked_add(*b).ok_or_else(|| {
+                            Error::Execution("integer overflow".into())
+                        })?))
+                    }
+                    (ArithOp::Sub, Value::Int(a), Value::Int(b)) => {
+                        Ok(Value::Int(a.checked_sub(*b).ok_or_else(|| {
+                            Error::Execution("integer overflow".into())
+                        })?))
+                    }
+                    (ArithOp::Mul, Value::Int(a), Value::Int(b)) => {
+                        Ok(Value::Int(a.checked_mul(*b).ok_or_else(|| {
+                            Error::Execution("integer overflow".into())
+                        })?))
+                    }
+                    _ => {
+                        let a = lv.as_f64().ok_or_else(|| {
+                            Error::Type(format!("non-numeric operand {lv:?} for `{op}`"))
+                        })?;
+                        let b = rv.as_f64().ok_or_else(|| {
+                            Error::Type(format!("non-numeric operand {rv:?} for `{op}`"))
+                        })?;
+                        let out = match op {
+                            ArithOp::Add => a + b,
+                            ArithOp::Sub => a - b,
+                            ArithOp::Mul => a * b,
+                            ArithOp::Div => {
+                                if b == 0.0 {
+                                    return Err(Error::Execution("division by zero".into()));
+                                }
+                                a / b
+                            }
+                        };
+                        Ok(Value::Float(out))
+                    }
+                }
+            }
+            BoundExpr::And(l, r) => {
+                // Three-valued AND with short circuit on FALSE.
+                match l.eval(row)? {
+                    Value::Bool(false) => Ok(Value::Bool(false)),
+                    lv => match (lv, r.eval(row)?) {
+                        (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                        (Value::Bool(true), Value::Bool(true)) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Null),
+                    },
+                }
+            }
+            BoundExpr::Or(l, r) => match l.eval(row)? {
+                Value::Bool(true) => Ok(Value::Bool(true)),
+                lv => match (lv, r.eval(row)?) {
+                    (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                    (Value::Bool(false), Value::Bool(false)) => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Null),
+                },
+            },
+            BoundExpr::Not(e) => match e.eval(row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Type(format!("NOT over non-boolean {v:?}"))),
+            },
+            BoundExpr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            BoundExpr::Contains(e, needle) => match e.eval(row)? {
+                Value::Text(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Type(format!("CONTAINS over non-text {v:?}"))),
+            },
+        }
+    }
+
+    /// Predicate view: NULL and FALSE both reject the row.
+    pub fn satisfied(&self, row: &Row) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(Error::Type(format!("predicate evaluated to {v:?}"))),
+        }
+    }
+
+    /// Collects the column ordinals this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Column(i) => out.push(*i),
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Cmp(_, l, r) | BoundExpr::Arith(_, l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            BoundExpr::And(l, r) | BoundExpr::Or(l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            BoundExpr::Not(e) | BoundExpr::IsNull(e) | BoundExpr::Contains(e, _) => {
+                e.referenced_columns(out)
+            }
+        }
+    }
+
+    /// Rewrites column ordinals through a mapping (old ordinal → new
+    /// ordinal), used when pushing predicates through projections.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> BoundExpr {
+        match self {
+            BoundExpr::Column(i) => BoundExpr::Column(map(*i)),
+            BoundExpr::Literal(v) => BoundExpr::Literal(v.clone()),
+            BoundExpr::Cmp(op, l, r) => BoundExpr::Cmp(
+                *op,
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            BoundExpr::Arith(op, l, r) => BoundExpr::Arith(
+                *op,
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            BoundExpr::And(l, r) => BoundExpr::And(
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            BoundExpr::Or(l, r) => BoundExpr::Or(
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.remap_columns(map))),
+            BoundExpr::IsNull(e) => BoundExpr::IsNull(Box::new(e.remap_columns(map))),
+            BoundExpr::Contains(e, n) => {
+                BoundExpr::Contains(Box::new(e.remap_columns(map)), n.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(i)
+    }
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+    fn cmp(op: CmpOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(2),
+            Value::Text("swan goose".into()),
+            Value::Null,
+            Value::Float(3.5),
+        ])
+    }
+
+    #[test]
+    fn comparisons_follow_sql_semantics() {
+        let r = row();
+        assert!(cmp(CmpOp::Eq, col(0), lit(2i64)).satisfied(&r).unwrap());
+        assert!(cmp(CmpOp::Lt, col(0), col(3)).satisfied(&r).unwrap());
+        // NULL comparisons never satisfy.
+        assert!(!cmp(CmpOp::Eq, col(2), lit(1i64)).satisfied(&r).unwrap());
+        assert!(!cmp(CmpOp::Ne, col(2), lit(1i64)).satisfied(&r).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row();
+        let null_cmp = cmp(CmpOp::Eq, col(2), lit(1i64));
+        let true_cmp = cmp(CmpOp::Eq, col(0), lit(2i64));
+        let false_cmp = cmp(CmpOp::Eq, col(0), lit(9i64));
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+        assert_eq!(
+            BoundExpr::And(Box::new(null_cmp.clone()), Box::new(false_cmp))
+                .eval(&r)
+                .unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            BoundExpr::Or(Box::new(null_cmp.clone()), Box::new(true_cmp.clone()))
+                .eval(&r)
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            BoundExpr::And(Box::new(null_cmp), Box::new(true_cmp))
+                .eval(&r)
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arithmetic_typing() {
+        let r = row();
+        assert_eq!(
+            BoundExpr::Arith(ArithOp::Add, Box::new(col(0)), Box::new(lit(3i64)))
+                .eval(&r)
+                .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            BoundExpr::Arith(ArithOp::Mul, Box::new(col(0)), Box::new(col(3)))
+                .eval(&r)
+                .unwrap(),
+            Value::Float(7.0)
+        );
+        assert!(
+            BoundExpr::Arith(ArithOp::Div, Box::new(col(0)), Box::new(lit(0i64)))
+                .eval(&r)
+                .is_err()
+        );
+        assert_eq!(
+            BoundExpr::Arith(ArithOp::Add, Box::new(col(2)), Box::new(lit(1i64)))
+                .eval(&r)
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        let r = Row::new(vec![Value::Int(i64::MAX)]);
+        assert!(
+            BoundExpr::Arith(ArithOp::Add, Box::new(col(0)), Box::new(lit(1i64)))
+                .eval(&r)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn is_null_and_contains() {
+        let r = row();
+        assert!(BoundExpr::IsNull(Box::new(col(2))).satisfied(&r).unwrap());
+        assert!(!BoundExpr::IsNull(Box::new(col(0))).satisfied(&r).unwrap());
+        assert!(BoundExpr::Contains(Box::new(col(1)), "goose".into())
+            .satisfied(&r)
+            .unwrap());
+        assert!(BoundExpr::Contains(Box::new(col(0)), "x".into())
+            .eval(&r)
+            .is_err());
+    }
+
+    #[test]
+    fn referenced_columns_and_remap() {
+        let e = BoundExpr::And(
+            Box::new(cmp(CmpOp::Eq, col(0), col(3))),
+            Box::new(BoundExpr::IsNull(Box::new(col(2)))),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2, 3]);
+        let remapped = e.remap_columns(&|i| i + 10);
+        let mut cols2 = Vec::new();
+        remapped.referenced_columns(&mut cols2);
+        cols2.sort_unstable();
+        assert_eq!(cols2, vec![10, 12, 13]);
+    }
+}

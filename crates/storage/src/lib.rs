@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # insightnotes-storage
+//!
+//! The relational substrate InsightNotes runs over: typed values, schemas,
+//! an in-memory row store with stable row ids, a catalog, and bound
+//! (index-resolved) expression evaluation.
+//!
+//! The paper's contribution is *operator semantics over annotation
+//! summaries*; those semantics are defined over a conventional relational
+//! engine. This crate supplies that engine's storage layer. It is
+//! deliberately simple — a row store with stable [`RowId`]s — because
+//! annotations reference rows by id and summary objects live per row, so id
+//! stability (ids are never reused) is the one property everything above
+//! depends on.
+//!
+//! [`RowId`]: insightnotes_common::RowId
+
+pub mod catalog;
+pub mod expr;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use expr::{ArithOp, BoundExpr, CmpOp};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};

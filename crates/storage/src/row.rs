@@ -1,0 +1,147 @@
+//! Rows.
+//!
+//! A row is an ordered vector of values. Rows are passed through the
+//! executor by value (operators transform them), and serialized by the
+//! result cache, so they implement the binary codec.
+
+use crate::value::Value;
+use insightnotes_common::{codec, Result};
+use std::fmt;
+use std::ops::Index;
+
+/// An ordered tuple of values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Builds a new row from the given column ordinals (projection).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenates two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(other.values());
+        Row::new(values)
+    }
+
+    /// Stable byte key over the given columns, for hash grouping and
+    /// duplicate elimination.
+    pub fn group_key(&self, indices: &[usize]) -> Vec<u8> {
+        let mut key = Vec::with_capacity(indices.len() * 10);
+        for &i in indices {
+            self.values[i].group_key(&mut key);
+        }
+        key
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.iter().map(Value::approx_bytes).sum::<usize>() + std::mem::size_of::<Row>()
+    }
+
+    /// Consumes the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vals: Vec<String> = self.values.iter().map(Value::to_string).collect();
+        write!(f, "({})", vals.join(", "))
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl codec::Encodable for Row {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.varint(self.values.len() as u64);
+        for v in &self.values {
+            v.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let len = dec.varint()? as usize;
+        let mut values = Vec::with_capacity(len.min(1 << 12));
+        for _ in 0..len {
+            values.push(Value::decode(dec)?);
+        }
+        Ok(Row::new(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::codec::Encodable;
+
+    fn row() -> Row {
+        Row::new(vec![Value::Int(1), Value::Text("swan".into()), Value::Null])
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let r = row();
+        assert_eq!(r.project(&[2, 0]).values(), &[Value::Null, Value::Int(1)]);
+        let joined = r.concat(&Row::new(vec![Value::Bool(true)]));
+        assert_eq!(joined.arity(), 4);
+        assert_eq!(joined[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn group_key_distinguishes_value_order() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Row::new(vec![Value::Int(2), Value::Int(1)]);
+        assert_ne!(a.group_key(&[0, 1]), b.group_key(&[0, 1]));
+        assert_eq!(a.group_key(&[0]), b.group_key(&[1]));
+    }
+
+    #[test]
+    fn rows_round_trip_through_codec() {
+        let r = row();
+        assert_eq!(Row::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(row().to_string(), "(1, swan, NULL)");
+    }
+}

@@ -1,0 +1,245 @@
+//! Schemas and column resolution.
+//!
+//! Columns may carry a *qualifier* (the table name or alias they came
+//! from), which is how the planner resolves `r.a` vs `s.x` in queries like
+//! Figure 2's. Base-table schemas are unqualified; the planner qualifies
+//! them when binding a `FROM` entry.
+
+use crate::value::DataType;
+use insightnotes_common::{codec, Error, Result};
+use std::fmt;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lowercased at creation).
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+    /// Table name or alias this column is visible under, if any.
+    pub qualifier: Option<String>,
+}
+
+impl Column {
+    /// Creates an unqualified column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into().to_ascii_lowercase(),
+            dtype,
+            qualifier: None,
+        }
+    }
+
+    /// Returns a copy visible under `qualifier`.
+    pub fn qualified(&self, qualifier: &str) -> Self {
+        Self {
+            name: self.name.clone(),
+            dtype: self.dtype,
+            qualifier: Some(qualifier.to_ascii_lowercase()),
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolves a possibly-qualified name (`a` / `r.a`) to its ordinal.
+    ///
+    /// Errors on unknown names and on ambiguous bare names (a bare name
+    /// matching columns under two different qualifiers).
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let qualifier = qualifier.map(str::to_ascii_lowercase);
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name == name
+                    && match &qualifier {
+                        Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(Error::Catalog(format!(
+                "unknown column `{}`",
+                match &qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name,
+                }
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(Error::Catalog(format!("ambiguous column `{name}`"))),
+        }
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema::new(columns)
+    }
+
+    /// Projects a subset of columns by ordinal.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Returns a copy with every column visible under `qualifier`.
+    pub fn qualify(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| c.qualified(qualifier))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{} {}", c.display_name(), c.dtype))
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+impl codec::Encodable for Column {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.str(&self.name);
+        enc.u8(match self.dtype {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Text => 2,
+            DataType::Bool => 3,
+        });
+        enc.option(&self.qualifier, |e, q| e.str(q));
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let name = dec.str()?;
+        let dtype = match dec.u8()? {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Text,
+            3 => DataType::Bool,
+            t => return Err(Error::Codec(format!("invalid data type tag {t}"))),
+        };
+        let qualifier = dec.option(|d| d.str())?;
+        Ok(Column {
+            name,
+            dtype,
+            qualifier,
+        })
+    }
+}
+
+impl codec::Encodable for Schema {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.seq(self.columns(), |e, c| c.encode(e));
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(Schema::new(dec.seq(Column::decode)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_rs() -> Schema {
+        // Mirrors Figure 2: R(a,b,c,d) joined with S(x,y,z).
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+            Column::new("c", DataType::Text),
+            Column::new("d", DataType::Text),
+        ])
+        .qualify("r");
+        let s = Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("y", DataType::Text),
+            Column::new("z", DataType::Text),
+        ])
+        .qualify("s");
+        r.concat(&s)
+    }
+
+    #[test]
+    fn resolve_qualified_names() {
+        let sch = schema_rs();
+        assert_eq!(sch.resolve(Some("r"), "a").unwrap(), 0);
+        assert_eq!(sch.resolve(Some("s"), "x").unwrap(), 4);
+        assert_eq!(sch.resolve(None, "z").unwrap(), 6);
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let sch = schema_rs();
+        assert_eq!(sch.resolve(Some("R"), "A").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_and_ambiguous_names_error() {
+        let sch = schema_rs();
+        assert!(sch.resolve(None, "nope").is_err());
+        let dup = sch.concat(&Schema::new(vec![
+            Column::new("a", DataType::Int).qualified("t")
+        ]));
+        assert!(dup.resolve(None, "a").is_err());
+        assert_eq!(dup.resolve(Some("t"), "a").unwrap(), 7);
+    }
+
+    #[test]
+    fn project_preserves_columns() {
+        let sch = schema_rs();
+        let p = sch.project(&[0, 1, 6]);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.column(2).unwrap().display_name(), "s.z");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let sch = Schema::new(vec![Column::new("name", DataType::Text)]);
+        assert_eq!(sch.to_string(), "(name TEXT)");
+    }
+}

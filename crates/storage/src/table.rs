@@ -1,0 +1,401 @@
+//! The row store.
+//!
+//! A table holds rows under stable [`RowId`]s: ids are assigned
+//! monotonically on insert and never reused after deletion. Annotations and
+//! summary objects reference rows by id, so id reuse would silently
+//! re-attach old metadata to new data — the one storage bug class this
+//! design rules out by construction.
+//!
+//! Tables also support **hash indexes** on single columns: point
+//! predicates (`col = const`) then resolve to row ids without a scan —
+//! the access path `ADD ANNOTATION … WHERE id = k` and point queries
+//! lean on once tables grow.
+
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use insightnotes_common::{codec, Error, Result, RowId, TableId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A named relation with stable row ids and optional hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    id: TableId,
+    name: String,
+    schema: Schema,
+    rows: BTreeMap<RowId, Row>,
+    next_row: u64,
+    /// Hash indexes keyed by column ordinal: value group-key → row ids
+    /// (in insertion order). NULLs are not indexed (a NULL key never
+    /// matches an equality predicate).
+    indexes: BTreeMap<u16, HashMap<Vec<u8>, Vec<RowId>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: TableId, name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            id,
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            rows: BTreeMap::new(),
+            next_row: 1,
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a hash index on a column (idempotent).
+    pub fn create_index(&mut self, col: u16) -> Result<()> {
+        if col as usize >= self.schema.arity() {
+            return Err(Error::Catalog(format!(
+                "no column ordinal {col} in table `{}`",
+                self.name
+            )));
+        }
+        if self.indexes.contains_key(&col) {
+            return Ok(());
+        }
+        let mut index: HashMap<Vec<u8>, Vec<RowId>> = HashMap::new();
+        for (rid, row) in &self.rows {
+            if let Some(key) = index_key(&row[col as usize]) {
+                index.entry(key).or_default().push(*rid);
+            }
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// Drops the index on a column, returning whether one existed.
+    pub fn drop_index(&mut self, col: u16) -> bool {
+        self.indexes.remove(&col).is_some()
+    }
+
+    /// Ordinals of the indexed columns.
+    pub fn indexed_columns(&self) -> Vec<u16> {
+        self.indexes.keys().copied().collect()
+    }
+
+    /// True when `col` carries a hash index.
+    pub fn has_index(&self, col: u16) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Row ids whose `col` equals `value`, via the index.
+    ///
+    /// Returns `None` when the column is not indexed (caller falls back
+    /// to a scan); NULL probes return an empty slice (SQL equality never
+    /// matches NULL).
+    pub fn index_lookup(&self, col: u16, value: &Value) -> Option<&[RowId]> {
+        let index = self.indexes.get(&col)?;
+        let Some(key) = index_key(value) else {
+            return Some(&[]);
+        };
+        Some(index.get(&key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Table id.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Table name (lowercase).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row after validating arity and per-column type
+    /// assignability. Returns the new row's id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        if row.arity() != self.schema.arity() {
+            return Err(Error::Execution(format!(
+                "table `{}` expects {} values, got {}",
+                self.name,
+                self.schema.arity(),
+                row.arity()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let col = self.schema.column(i).expect("arity checked");
+            if !v.assignable_to(col.dtype) {
+                return Err(Error::Type(format!(
+                    "column `{}` of table `{}` is {}, got {v:?}",
+                    col.name, self.name, col.dtype
+                )));
+            }
+        }
+        let rid = RowId::new(self.next_row);
+        self.next_row += 1;
+        for (&col, index) in &mut self.indexes {
+            if let Some(key) = index_key(&row[col as usize]) {
+                index.entry(key).or_default().push(rid);
+            }
+        }
+        self.rows.insert(rid, row);
+        Ok(rid)
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(&rid)
+    }
+
+    /// Deletes a row, returning it if it existed. The id is retired.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let row = self.rows.remove(&rid)?;
+        for (&col, index) in &mut self.indexes {
+            if let Some(key) = index_key(&row[col as usize]) {
+                if let Some(ids) = index.get_mut(&key) {
+                    ids.retain(|&r| r != rid);
+                    if ids.is_empty() {
+                        index.remove(&key);
+                    }
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Iterates `(RowId, &Row)` in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows.iter().map(|(&rid, row)| (rid, row))
+    }
+
+    /// All live row ids in order.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.rows.keys().copied()
+    }
+}
+
+/// Index key of a value: its group key, or `None` for NULL (never
+/// indexed — equality never matches NULL).
+fn index_key(value: &Value) -> Option<Vec<u8>> {
+    if value.is_null() {
+        return None;
+    }
+    let mut key = Vec::with_capacity(10);
+    value.group_key(&mut key);
+    Some(key)
+}
+
+impl codec::Encodable for Table {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u32(self.id.raw());
+        enc.str(&self.name);
+        self.schema.encode(enc);
+        enc.varint(self.next_row);
+        enc.seq(&self.indexed_columns(), |e, &c| e.varint(c as u64));
+        enc.varint(self.rows.len() as u64);
+        for (rid, row) in &self.rows {
+            enc.varint(rid.raw());
+            row.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let id = TableId::new(dec.u32()?);
+        let name = dec.str()?;
+        let schema = crate::schema::Schema::decode(dec)?;
+        let next_row = dec.varint()?;
+        let indexed: Vec<u16> = dec.seq(|d| Ok(d.varint()? as u16))?;
+        let n = dec.varint()? as usize;
+        let mut rows = BTreeMap::new();
+        for _ in 0..n {
+            let rid = RowId::new(dec.varint()?);
+            if rid.raw() >= next_row {
+                return Err(Error::Codec(format!(
+                    "row id {rid} not below next_row {next_row}"
+                )));
+            }
+            rows.insert(rid, Row::decode(dec)?);
+        }
+        let mut table = Table {
+            id,
+            name,
+            schema,
+            rows,
+            next_row,
+            indexes: BTreeMap::new(),
+        };
+        // Index content is rebuilt, not persisted.
+        for col in indexed {
+            table.create_index(col)?;
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn birds() -> Table {
+        Table::new(
+            TableId::new(1),
+            "Birds",
+            Schema::new(vec![
+                Column::new("name", DataType::Text),
+                Column::new("weight", DataType::Float),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let mut t = birds();
+        let a = t
+            .insert(Row::new(vec!["swan".into(), Value::Float(3.0)]))
+            .unwrap();
+        let b = t
+            .insert(Row::new(vec!["goose".into(), Value::Float(2.5)]))
+            .unwrap();
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(), "birds");
+    }
+
+    #[test]
+    fn deleted_ids_are_never_reused() {
+        let mut t = birds();
+        let a = t
+            .insert(Row::new(vec!["swan".into(), Value::Float(3.0)]))
+            .unwrap();
+        t.delete(a).unwrap();
+        let b = t
+            .insert(Row::new(vec!["goose".into(), Value::Float(2.5)]))
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(t.get(a).is_none());
+        assert!(t.get(b).is_some());
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut t = birds();
+        assert!(t.insert(Row::new(vec!["swan".into()])).is_err());
+        assert!(t
+            .insert(Row::new(vec![Value::Int(1), Value::Float(3.0)]))
+            .is_err());
+        // Int widens into a Float column.
+        assert!(t
+            .insert(Row::new(vec!["swan".into(), Value::Int(3)]))
+            .is_ok());
+        // NULL goes anywhere.
+        assert!(t.insert(Row::new(vec![Value::Null, Value::Null])).is_ok());
+    }
+
+    #[test]
+    fn scan_yields_rows_in_id_order() {
+        let mut t = birds();
+        for i in 0..5 {
+            t.insert(Row::new(vec![
+                Value::Text(format!("b{i}")),
+                Value::Float(i as f64),
+            ]))
+            .unwrap();
+        }
+        let ids: Vec<u64> = t.scan().map(|(rid, _)| rid.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table_with_rows() -> Table {
+        let mut t = Table::new(
+            TableId::new(1),
+            "t",
+            Schema::new(vec![
+                Column::new("x", DataType::Int),
+                Column::new("s", DataType::Text),
+            ]),
+        );
+        for (x, s) in [(1, "a"), (2, "b"), (1, "c"), (3, "d")] {
+            t.insert(Row::new(vec![Value::Int(x), Value::Text(s.into())]))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn index_lookup_finds_all_matches() {
+        let mut t = table_with_rows();
+        t.create_index(0).unwrap();
+        assert!(t.has_index(0));
+        let hits = t.index_lookup(0, &Value::Int(1)).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(t.index_lookup(0, &Value::Int(9)).unwrap().is_empty());
+        // Unindexed column → None (fall back to scan).
+        assert!(t.index_lookup(1, &Value::Text("a".into())).is_none());
+    }
+
+    #[test]
+    fn index_stays_consistent_under_insert_and_delete() {
+        let mut t = table_with_rows();
+        t.create_index(0).unwrap();
+        let rid = t
+            .insert(Row::new(vec![Value::Int(1), Value::Text("e".into())]))
+            .unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap().len(), 3);
+        t.delete(rid);
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed_and_never_match() {
+        let mut t = table_with_rows();
+        t.insert(Row::new(vec![Value::Null, Value::Text("n".into())]))
+            .unwrap();
+        t.create_index(0).unwrap();
+        assert!(t.index_lookup(0, &Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_type_numeric_probes_match() {
+        let mut t = table_with_rows();
+        t.create_index(0).unwrap();
+        // 1 and 1.0 share a group key.
+        assert_eq!(t.index_lookup(0, &Value::Float(1.0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn create_index_is_idempotent_and_droppable() {
+        let mut t = table_with_rows();
+        t.create_index(0).unwrap();
+        t.create_index(0).unwrap();
+        assert_eq!(t.indexed_columns(), vec![0]);
+        assert!(t.drop_index(0));
+        assert!(!t.drop_index(0));
+        assert!(t.create_index(99).is_err());
+    }
+
+    #[test]
+    fn indexes_rebuild_through_codec() {
+        use insightnotes_common::codec::Encodable;
+        let mut t = table_with_rows();
+        t.create_index(0).unwrap();
+        let back = Table::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.has_index(0));
+        assert_eq!(back.index_lookup(0, &Value::Int(1)).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! Typed values and data types.
+//!
+//! The value model is intentionally small (NULL, 64-bit integer, 64-bit
+//! float, UTF-8 text, boolean) — enough for the paper's workloads (bird
+//! records, gene records, numeric measurements) without distracting from
+//! the annotation machinery.
+
+use insightnotes_common::{codec, Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Parses a type name as written in `CREATE TABLE` (case-insensitive;
+    /// accepts common SQL synonyms).
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" => Ok(DataType::Int),
+            "float" | "double" | "real" => Ok(DataType::Float),
+            "text" | "varchar" | "string" | "char" => Ok(DataType::Text),
+            "bool" | "boolean" => Ok(DataType::Bool),
+            other => Err(Error::Type(format!("unknown data type `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself for grouping/distinct purposes
+    /// (the pragmatic choice most engines make for GROUP BY), but fails all
+    /// ordering comparisons in predicates.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's data type, or `None` for NULL.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether the value is assignable to a column of type `dtype`
+    /// (NULL is assignable to everything; Int widens to Float).
+    pub fn assignable_to(&self, dtype: DataType) -> bool {
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool)
+        )
+    }
+
+    /// Numeric view (Int widened to f64), used by arithmetic and
+    /// aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL or the types are
+    /// incomparable; numeric types compare cross-type.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by ORDER BY and grouping: NULL sorts first,
+    /// then values by type (numeric < text < bool), then by value. Unlike
+    /// [`Value::sql_cmp`], this never fails.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Text(_) => 2,
+                Value::Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Grouping equality: NULLs group together; numerics compare
+    /// cross-type.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// A stable byte key for hash grouping / duplicate elimination.
+    /// Cross-type-equal numerics (e.g. `1` and `1.0`) map to the same key.
+    pub fn group_key(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&(*i as f64).to_bits().to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(1);
+                // Normalize -0.0 and NaN payloads for stable grouping.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                let bits = if f.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    f.to_bits()
+                };
+                out.extend_from_slice(&bits.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(3);
+                out.push(*b as u8);
+            }
+        }
+    }
+
+    /// Approximate in-memory size in bytes (used by cache sizing).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Text(s) => s.capacity(),
+                _ => 0,
+            }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl codec::Encodable for Value {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        match self {
+            Value::Null => enc.u8(0),
+            Value::Int(i) => {
+                enc.u8(1);
+                enc.i64(*i);
+            }
+            Value::Float(f) => {
+                enc.u8(2);
+                enc.f64(*f);
+            }
+            Value::Text(s) => {
+                enc.u8(3);
+                enc.str(s);
+            }
+            Value::Bool(b) => {
+                enc.u8(4);
+                enc.bool(*b);
+            }
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(dec.i64()?),
+            2 => Value::Float(dec.f64()?),
+            3 => Value::Text(dec.str()?),
+            4 => Value::Bool(dec.bool()?),
+            t => return Err(Error::Codec(format!("invalid value tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::codec::Encodable;
+
+    #[test]
+    fn dtype_parse_accepts_synonyms() {
+        assert_eq!(DataType::parse("VARCHAR").unwrap(), DataType::Text);
+        assert_eq!(DataType::parse("integer").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("Double").unwrap(), DataType::Float);
+        assert_eq!(DataType::parse("BOOLEAN").unwrap(), DataType::Bool);
+        assert!(DataType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn sql_cmp_crosses_numeric_types_and_rejects_null() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Text("1".into())), None);
+    }
+
+    #[test]
+    fn sort_cmp_is_total_with_nulls_first() {
+        let mut vals = [
+            Value::Text("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
+        vals.sort_by(|a, b| a.sort_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(3));
+        assert_eq!(vals[3], Value::Text("b".into()));
+        assert_eq!(vals[4], Value::Bool(true));
+    }
+
+    #[test]
+    fn group_keys_unify_cross_type_numerics_and_nulls() {
+        let key = |v: &Value| {
+            let mut k = Vec::new();
+            v.group_key(&mut k);
+            k
+        };
+        assert_eq!(key(&Value::Int(1)), key(&Value::Float(1.0)));
+        assert_eq!(key(&Value::Null), key(&Value::Null));
+        assert_ne!(key(&Value::Int(1)), key(&Value::Int(2)));
+        assert_eq!(key(&Value::Float(0.0)), key(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn group_eq_matches_group_key_semantics() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(Value::Int(1).group_eq(&Value::Float(1.0)));
+        assert!(!Value::Int(1).group_eq(&Value::Null));
+    }
+
+    #[test]
+    fn assignability_widens_ints() {
+        assert!(Value::Int(1).assignable_to(DataType::Float));
+        assert!(!Value::Float(1.0).assignable_to(DataType::Int));
+        assert!(Value::Null.assignable_to(DataType::Bool));
+        assert!(!Value::Text("x".into()).assignable_to(DataType::Int));
+    }
+
+    #[test]
+    fn values_round_trip_through_codec() {
+        for v in [
+            Value::Null,
+            Value::Int(-5),
+            Value::Float(2.25),
+            Value::Text("swan goose".into()),
+            Value::Bool(false),
+        ] {
+            assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

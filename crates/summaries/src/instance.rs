@@ -1,0 +1,501 @@
+//! Summary instances: configured summarization techniques.
+//!
+//! A summary instance is a domain expert's configuration of one of the
+//! built-in summary types (Figure 4, level 2): which class labels and
+//! trained model for a Classifier, which similarity threshold for a
+//! Cluster, which length limits for a Snippet. Instances expose one hot
+//! operation — [`SummaryInstance::digest`] — that turns a raw annotation
+//! into a [`Contribution`] the object algebra can apply.
+//!
+//! The `AnnotationInvariant` / `DataInvariant` properties declare what the
+//! digest depends on. When both hold, an annotation attached to many
+//! tuples is digested **once** and the contribution replayed per tuple
+//! (the paper's summarize-once optimization); when `DataInvariant` is
+//! false the digest also sees the host tuple's content, so it must be
+//! recomputed per tuple.
+
+use crate::object::{ClassifierObject, ClusterObject, Contribution, SnippetObject, SummaryObject};
+use insightnotes_common::{codec, Error, InstanceId, Result};
+use insightnotes_text::{
+    summarize_extractive, tokenize, ClusterConfig, NaiveBayes, SnippetConfig, SparseVector,
+    Vocabulary,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The built-in summary types (Figure 4, level 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SummaryKind {
+    /// Categorize annotations into user-defined classes.
+    Classifier,
+    /// Group similar annotations; report a representative per group.
+    Cluster,
+    /// Compress large attached documents into snippets.
+    Snippet,
+}
+
+impl SummaryKind {
+    /// Parses a type name as written in `CREATE SUMMARY INSTANCE`.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "classifier" => Ok(SummaryKind::Classifier),
+            "cluster" => Ok(SummaryKind::Cluster),
+            "snippet" => Ok(SummaryKind::Snippet),
+            other => Err(Error::Summary(format!("unknown summary type `{other}`"))),
+        }
+    }
+}
+
+impl std::fmt::Display for SummaryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SummaryKind::Classifier => "Classifier",
+            SummaryKind::Cluster => "Cluster",
+            SummaryKind::Snippet => "Snippet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The invariance properties controlling maintenance optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceProperties {
+    /// The digest does not depend on the host tuple's *other annotations*.
+    pub annotation_invariant: bool,
+    /// The digest does not depend on the host tuple's *data values*.
+    pub data_invariant: bool,
+}
+
+impl Default for InstanceProperties {
+    fn default() -> Self {
+        Self {
+            annotation_invariant: true,
+            data_invariant: true,
+        }
+    }
+}
+
+impl InstanceProperties {
+    /// True when an annotation may be digested once and replayed across
+    /// all of its target tuples.
+    pub fn summarize_once(&self) -> bool {
+        self.annotation_invariant && self.data_invariant
+    }
+}
+
+/// Type-specific configuration and state.
+enum Technique {
+    Classifier {
+        model: NaiveBayes,
+        labels: Arc<[String]>,
+    },
+    Cluster {
+        config: ClusterConfig,
+        /// Shared term interner; interior mutability because digesting a
+        /// new annotation may intern new terms while the registry is read
+        /// elsewhere.
+        vocab: Mutex<Vocabulary>,
+    },
+    Snippet {
+        config: SnippetConfig,
+        /// Plain-text annotations shorter than this are not snippeted
+        /// (only documents and long texts are "large objects").
+        min_source_bytes: usize,
+    },
+}
+
+impl std::fmt::Debug for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technique::Classifier { labels, .. } => {
+                write!(f, "Classifier{{labels: {labels:?}}}")
+            }
+            Technique::Cluster { config, .. } => write!(f, "Cluster{{config: {config:?}}}"),
+            Technique::Snippet { config, .. } => write!(f, "Snippet{{config: {config:?}}}"),
+        }
+    }
+}
+
+/// A configured summary instance.
+#[derive(Debug)]
+pub struct SummaryInstance {
+    id: InstanceId,
+    name: String,
+    properties: InstanceProperties,
+    technique: Technique,
+}
+
+impl SummaryInstance {
+    /// Builds a classifier instance from a trained model.
+    pub fn classifier(
+        id: InstanceId,
+        name: impl Into<String>,
+        model: NaiveBayes,
+        properties: InstanceProperties,
+    ) -> Self {
+        let labels: Arc<[String]> = model.labels().to_vec().into();
+        Self {
+            id,
+            name: name.into(),
+            properties,
+            technique: Technique::Classifier { model, labels },
+        }
+    }
+
+    /// Builds a cluster instance.
+    pub fn cluster(
+        id: InstanceId,
+        name: impl Into<String>,
+        config: ClusterConfig,
+        properties: InstanceProperties,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            properties,
+            technique: Technique::Cluster {
+                config,
+                vocab: Mutex::new(Vocabulary::new()),
+            },
+        }
+    }
+
+    /// Builds a snippet instance. `min_source_bytes` sets the size above
+    /// which a plain-text annotation counts as a large object.
+    pub fn snippet(
+        id: InstanceId,
+        name: impl Into<String>,
+        config: SnippetConfig,
+        min_source_bytes: usize,
+        properties: InstanceProperties,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            properties,
+            technique: Technique::Snippet {
+                config,
+                min_source_bytes,
+            },
+        }
+    }
+
+    /// Instance id.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Invariance properties.
+    pub fn properties(&self) -> InstanceProperties {
+        self.properties
+    }
+
+    /// The instance's summary type.
+    pub fn kind(&self) -> SummaryKind {
+        match self.technique {
+            Technique::Classifier { .. } => SummaryKind::Classifier,
+            Technique::Cluster { .. } => SummaryKind::Cluster,
+            Technique::Snippet { .. } => SummaryKind::Snippet,
+        }
+    }
+
+    /// Class labels, for classifier instances.
+    pub fn labels(&self) -> Option<&[String]> {
+        match &self.technique {
+            Technique::Classifier { labels, .. } => Some(labels),
+            _ => None,
+        }
+    }
+
+    /// Creates an empty summary object of this instance's shape.
+    pub fn new_object(&self) -> SummaryObject {
+        match &self.technique {
+            Technique::Classifier { labels, .. } => {
+                SummaryObject::Classifier(ClassifierObject::new(labels.clone()))
+            }
+            Technique::Cluster { config, .. } => {
+                SummaryObject::Cluster(ClusterObject::new(config.clone()))
+            }
+            Technique::Snippet { .. } => SummaryObject::Snippet(SnippetObject::new()),
+        }
+    }
+
+    /// Digests one annotation into a contribution.
+    ///
+    /// `text` is the annotation's free text, `document` its attached large
+    /// object, and `tuple_context` the host tuple's rendered content —
+    /// consulted only when the instance is not data-invariant.
+    ///
+    /// Returns `Ok(None)` when the instance does not summarize this
+    /// annotation (e.g. a snippet instance and a short plain-text note).
+    pub fn digest(
+        &self,
+        text: &str,
+        document: Option<&str>,
+        tuple_context: Option<&str>,
+    ) -> Result<Option<Contribution>> {
+        match &self.technique {
+            Technique::Classifier { model, .. } => {
+                let label = if self.properties.data_invariant {
+                    model.classify(text)
+                } else {
+                    // Data-variant classification sees the host tuple too.
+                    let ctx = tuple_context.ok_or_else(|| {
+                        Error::Summary(format!(
+                            "instance `{}` is data-variant but no tuple context was supplied",
+                            self.name
+                        ))
+                    })?;
+                    model.classify(&format!("{text} {ctx}"))
+                };
+                Ok(Some(Contribution::Label(label)))
+            }
+            Technique::Cluster { vocab, .. } => {
+                let tokens = tokenize(text);
+                if tokens.is_empty() {
+                    return Ok(None);
+                }
+                let ids = vocab.lock().intern_all(&tokens);
+                Ok(Some(Contribution::Vector {
+                    vector: SparseVector::from_term_ids(&ids),
+                    preview: text.to_string(),
+                }))
+            }
+            Technique::Snippet {
+                config,
+                min_source_bytes,
+            } => {
+                let source = match document {
+                    Some(doc) => doc,
+                    None if text.len() >= *min_source_bytes => text,
+                    None => return Ok(None),
+                };
+                Ok(Some(Contribution::Snippet {
+                    text: summarize_extractive(source, config),
+                    source_bytes: source.len() as u64,
+                }))
+            }
+        }
+    }
+}
+
+impl codec::Encodable for InstanceProperties {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.bool(self.annotation_invariant);
+        enc.bool(self.data_invariant);
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        Ok(InstanceProperties {
+            annotation_invariant: dec.bool()?,
+            data_invariant: dec.bool()?,
+        })
+    }
+}
+
+impl codec::Encodable for SummaryInstance {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u32(self.id.raw());
+        enc.str(&self.name);
+        self.properties.encode(enc);
+        match &self.technique {
+            Technique::Classifier { model, .. } => {
+                enc.u8(0);
+                model.encode(enc);
+            }
+            Technique::Cluster { config, vocab } => {
+                enc.u8(1);
+                config.encode(enc);
+                vocab.lock().encode(enc);
+            }
+            Technique::Snippet {
+                config,
+                min_source_bytes,
+            } => {
+                enc.u8(2);
+                config.encode(enc);
+                enc.varint(*min_source_bytes as u64);
+            }
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let id = InstanceId::new(dec.u32()?);
+        let name = dec.str()?;
+        let properties = InstanceProperties::decode(dec)?;
+        let technique = match dec.u8()? {
+            0 => {
+                let model = insightnotes_text::NaiveBayes::decode(dec)?;
+                let labels: Arc<[String]> = model.labels().to_vec().into();
+                Technique::Classifier { model, labels }
+            }
+            1 => Technique::Cluster {
+                config: insightnotes_text::ClusterConfig::decode(dec)?,
+                vocab: Mutex::new(insightnotes_text::Vocabulary::decode(dec)?),
+            },
+            2 => Technique::Snippet {
+                config: insightnotes_text::SnippetConfig::decode(dec)?,
+                min_source_bytes: dec.varint()? as usize,
+            },
+            t => return Err(Error::Codec(format!("invalid summary technique tag {t}"))),
+        };
+        Ok(SummaryInstance {
+            id,
+            name,
+            properties,
+            technique,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_annotations::ColSig;
+
+    fn bird_model() -> NaiveBayes {
+        let mut nb = NaiveBayes::new(vec!["Behavior".into(), "Disease".into(), "Other".into()]);
+        nb.train(0, "eating stonewort diving for fish");
+        nb.train(1, "lesions parasites infected wing");
+        nb.train(2, "see attached reference");
+        nb
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for (s, k) in [
+            ("classifier", SummaryKind::Classifier),
+            ("CLUSTER", SummaryKind::Cluster),
+            ("Snippet", SummaryKind::Snippet),
+        ] {
+            assert_eq!(SummaryKind::parse(s).unwrap(), k);
+        }
+        assert!(SummaryKind::parse("regression").is_err());
+    }
+
+    #[test]
+    fn classifier_digest_labels_annotations() {
+        let inst = SummaryInstance::classifier(
+            InstanceId(1),
+            "ClassBird1",
+            bird_model(),
+            InstanceProperties::default(),
+        );
+        assert_eq!(inst.kind(), SummaryKind::Classifier);
+        assert!(inst.properties().summarize_once());
+        let c = inst.digest("found eating stonewort", None, None).unwrap();
+        assert_eq!(c, Some(Contribution::Label(0)));
+        // Apply to a fresh object end-to-end.
+        let mut obj = inst.new_object();
+        obj.apply(1, ColSig::whole_row(2), &c.unwrap()).unwrap();
+        assert_eq!(obj.as_classifier().unwrap().count(0), 1);
+    }
+
+    #[test]
+    fn data_variant_classifier_requires_tuple_context() {
+        let props = InstanceProperties {
+            annotation_invariant: true,
+            data_invariant: false,
+        };
+        let inst = SummaryInstance::classifier(InstanceId(2), "ctx", bird_model(), props);
+        assert!(!inst.properties().summarize_once());
+        assert!(inst.digest("lesions", None, None).is_err());
+        assert!(inst
+            .digest("lesions", None, Some("swan goose 3.5kg"))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn cluster_digest_produces_vectors_and_skips_empty_text() {
+        let inst = SummaryInstance::cluster(
+            InstanceId(3),
+            "SimCluster",
+            ClusterConfig::default(),
+            InstanceProperties::default(),
+        );
+        let c = inst
+            .digest("eating stonewort", None, None)
+            .unwrap()
+            .unwrap();
+        match c {
+            Contribution::Vector { vector, preview } => {
+                assert_eq!(vector.nnz(), 2);
+                assert_eq!(preview, "eating stonewort");
+            }
+            other => panic!("unexpected contribution {other:?}"),
+        }
+        assert_eq!(inst.digest("  ,, ", None, None).unwrap(), None);
+    }
+
+    #[test]
+    fn cluster_digests_share_a_vocabulary() {
+        let inst = SummaryInstance::cluster(
+            InstanceId(4),
+            "SimCluster",
+            ClusterConfig::default(),
+            InstanceProperties::default(),
+        );
+        let a = inst
+            .digest("eating stonewort", None, None)
+            .unwrap()
+            .unwrap();
+        let b = inst
+            .digest("eating stonewort", None, None)
+            .unwrap()
+            .unwrap();
+        match (a, b) {
+            (Contribution::Vector { vector: va, .. }, Contribution::Vector { vector: vb, .. }) => {
+                assert!((va.cosine(&vb) - 1.0).abs() < 1e-6);
+            }
+            _ => panic!("expected vectors"),
+        }
+    }
+
+    #[test]
+    fn snippet_digest_summarizes_documents_only() {
+        let inst = SummaryInstance::snippet(
+            InstanceId(5),
+            "TextSummary1",
+            SnippetConfig::default(),
+            512,
+            InstanceProperties::default(),
+        );
+        // Short plain text → not a large object.
+        assert_eq!(inst.digest("short note", None, None).unwrap(), None);
+        // A document is always summarized.
+        let doc = "A sentence about geese. ".repeat(50);
+        let c = inst
+            .digest("see attachment", Some(&doc), None)
+            .unwrap()
+            .unwrap();
+        match c {
+            Contribution::Snippet { text, source_bytes } => {
+                assert_eq!(source_bytes as usize, doc.len());
+                assert!(text.len() < doc.len());
+            }
+            other => panic!("unexpected contribution {other:?}"),
+        }
+        // Long plain text also counts as a large object.
+        let long_text = "Observed grazing behavior near water. ".repeat(30);
+        assert!(inst.digest(&long_text, None, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn new_object_shape_matches_kind() {
+        let inst = SummaryInstance::snippet(
+            InstanceId(6),
+            "s",
+            SnippetConfig::default(),
+            512,
+            InstanceProperties::default(),
+        );
+        assert!(inst.new_object().as_snippet().is_some());
+        assert_eq!(inst.labels(), None);
+    }
+}

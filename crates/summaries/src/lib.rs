@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # insightnotes-summaries
+//!
+//! The paper's core contribution: the annotation-summarization framework.
+//!
+//! InsightNotes organizes summarization in a three-level hierarchy
+//! (Figure 4 of the paper):
+//!
+//! 1. **Summary types** ([`SummaryKind`]) — Classifier, Cluster, Snippet —
+//!    are baked into the engine together with their operator algebra.
+//! 2. **Summary instances** ([`SummaryInstance`]) — admin-defined
+//!    configurations of a type (class labels + trained model, similarity
+//!    threshold, snippet limits) with the `AnnotationInvariant` /
+//!    `DataInvariant` properties that unlock summarize-once maintenance.
+//!    Instances link many-to-many to relations via the
+//!    [`SummaryRegistry`].
+//! 3. **Summary objects** ([`SummaryObject`]) — the per-tuple outputs that
+//!    travel with tuples through query pipelines.
+//!
+//! The object algebra ([`object`]) implements the paper's operator
+//! semantics: `project` removes the effect of annotations attached only to
+//! projected-out columns (Theorems 1–2 of the full paper require this to
+//! happen before any merge), `merge` combines two tuples' objects without
+//! double-counting shared annotations, and `zoom_ids` resolves any
+//! component back to raw annotation ids for zoom-in.
+//!
+//! [`SummaryKind`]: instance::SummaryKind
+//! [`SummaryInstance`]: instance::SummaryInstance
+//! [`SummaryRegistry`]: registry::SummaryRegistry
+//! [`SummaryObject`]: object::SummaryObject
+
+pub mod instance;
+pub mod maintenance;
+pub mod object;
+pub mod registry;
+pub mod signature;
+
+pub use instance::{InstanceProperties, SummaryInstance, SummaryKind};
+pub use maintenance::{
+    rebuild_row_from_store, refresh_after_add, MaintenanceMode, MaintenanceStats,
+};
+pub use object::{ClusterGroup, Contribution, SummaryObject};
+pub use registry::{InstanceDef, SummaryRegistry};
+pub use signature::SigMap;

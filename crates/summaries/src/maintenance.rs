@@ -1,0 +1,211 @@
+//! Maintenance strategies and statistics.
+//!
+//! InsightNotes maintains summary objects **incrementally**: absorbing a
+//! new annotation costs one digest plus one object update per affected
+//! `(tuple, instance)` pair, independent of how many annotations the tuple
+//! already carries. The alternative — re-summarizing a tuple from scratch
+//! on every insertion — grows linearly with the tuple's annotation count.
+//! Experiment E1 compares the two; this module provides the strategy
+//! switch and the shared entry point that drives either path from the
+//! annotation store.
+
+use crate::registry::SummaryRegistry;
+use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig};
+use insightnotes_common::{AnnotationId, Result, RowId, TableId};
+
+/// Counters produced by a maintenance operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Mining-technique invocations (classification, vectorization,
+    /// summarization) actually executed.
+    pub digests_computed: usize,
+    /// Digests served from the summarize-once cache.
+    pub cache_hits: usize,
+    /// Summary-object updates applied.
+    pub objects_updated: usize,
+}
+
+impl MaintenanceStats {
+    /// Accumulates another operation's counters.
+    pub fn absorb(&mut self, other: MaintenanceStats) {
+        self.digests_computed += other.digests_computed;
+        self.cache_hits += other.cache_hits;
+        self.objects_updated += other.objects_updated;
+    }
+}
+
+/// How summaries are refreshed when an annotation is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Apply only the new annotation's contribution (the paper's design).
+    Incremental,
+    /// Re-summarize every affected row from its full annotation list
+    /// (the from-scratch baseline).
+    Rebuild,
+}
+
+/// Refreshes summaries after `annotation_id` was added to `store`, using
+/// the chosen strategy. `tuple_context` renders host-tuple content for
+/// data-variant instances.
+pub fn refresh_after_add(
+    registry: &mut SummaryRegistry,
+    store: &AnnotationStore,
+    annotation_id: AnnotationId,
+    tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+    mode: MaintenanceMode,
+) -> Result<MaintenanceStats> {
+    let annotation = store.get(annotation_id)?;
+    match mode {
+        MaintenanceMode::Incremental => registry.apply_annotation(
+            annotation_id,
+            &annotation.body,
+            &annotation.targets,
+            tuple_context,
+        ),
+        MaintenanceMode::Rebuild => {
+            let mut stats = MaintenanceStats::default();
+            for target in &annotation.targets {
+                stats.absorb(rebuild_row_from_store(
+                    registry,
+                    store,
+                    target.table,
+                    target.row,
+                    tuple_context,
+                )?);
+            }
+            Ok(stats)
+        }
+    }
+}
+
+/// Rebuilds one row's summary objects from the store's full annotation
+/// list for that row (also the catch-up path after `LINK SUMMARY`).
+pub fn rebuild_row_from_store(
+    registry: &mut SummaryRegistry,
+    store: &AnnotationStore,
+    table: TableId,
+    row: RowId,
+    tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+) -> Result<MaintenanceStats> {
+    let on_row = store.on_row(table, row).to_vec();
+    let mut anns: Vec<(AnnotationId, ColSig, &AnnotationBody)> = Vec::with_capacity(on_row.len());
+    for (id, cols) in &on_row {
+        anns.push((*id, *cols, &store.get(*id)?.body));
+    }
+    registry.rebuild_row(table, row, &anns, tuple_context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceProperties;
+    use crate::registry::InstanceDef;
+    use insightnotes_annotations::Target;
+    use insightnotes_text::NaiveBayes;
+
+    const T: TableId = TableId(1);
+
+    fn setup() -> (SummaryRegistry, AnnotationStore) {
+        let mut nb = NaiveBayes::new(vec!["Behavior".into(), "Other".into()]);
+        nb.train(0, "eating stonewort diving");
+        nb.train(1, "reference attached");
+        let mut reg = SummaryRegistry::new();
+        let id = reg
+            .create_instance(InstanceDef::Classifier {
+                name: "c".into(),
+                model: nb,
+                properties: InstanceProperties::default(),
+            })
+            .unwrap();
+        reg.link(id, T).unwrap();
+        (reg, AnnotationStore::new())
+    }
+
+    fn no_ctx(_: TableId, _: RowId) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn incremental_and_rebuild_agree() {
+        let (mut reg_inc, mut store) = setup();
+        let (mut reg_reb, _) = setup();
+        let texts = ["eating stonewort", "diving for fish", "reference attached"];
+        for text in texts {
+            let id = store
+                .add(
+                    AnnotationBody::text(text, "a"),
+                    vec![Target::new(T, RowId(1), ColSig::whole_row(2))],
+                )
+                .unwrap();
+            refresh_after_add(
+                &mut reg_inc,
+                &store,
+                id,
+                &no_ctx,
+                MaintenanceMode::Incremental,
+            )
+            .unwrap();
+            refresh_after_add(&mut reg_reb, &store, id, &no_ctx, MaintenanceMode::Rebuild).unwrap();
+        }
+        let inst = reg_inc.instance_id("c").unwrap();
+        assert_eq!(
+            reg_inc.object(T, RowId(1), inst),
+            reg_reb.object(T, RowId(1), inst)
+        );
+    }
+
+    #[test]
+    fn rebuild_cost_grows_with_existing_annotations() {
+        let (mut reg, mut store) = setup();
+        reg.use_digest_cache = false; // count raw digest work
+        let mut last_digests = 0;
+        for i in 0..5 {
+            let id = store
+                .add(
+                    AnnotationBody::text(format!("note {i} eating"), "a"),
+                    vec![Target::new(T, RowId(1), ColSig::whole_row(2))],
+                )
+                .unwrap();
+            let stats =
+                refresh_after_add(&mut reg, &store, id, &no_ctx, MaintenanceMode::Rebuild).unwrap();
+            assert!(stats.digests_computed > last_digests || i == 0);
+            last_digests = stats.digests_computed;
+        }
+        assert_eq!(last_digests, 5, "rebuild re-digests every annotation");
+    }
+
+    #[test]
+    fn incremental_cost_is_constant() {
+        let (mut reg, mut store) = setup();
+        for i in 0..5 {
+            let id = store
+                .add(
+                    AnnotationBody::text(format!("note {i} eating"), "a"),
+                    vec![Target::new(T, RowId(1), ColSig::whole_row(2))],
+                )
+                .unwrap();
+            let stats =
+                refresh_after_add(&mut reg, &store, id, &no_ctx, MaintenanceMode::Incremental)
+                    .unwrap();
+            assert_eq!(stats.digests_computed, 1);
+            assert_eq!(stats.objects_updated, 1);
+        }
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = MaintenanceStats {
+            digests_computed: 1,
+            cache_hits: 2,
+            objects_updated: 3,
+        };
+        a.absorb(MaintenanceStats {
+            digests_computed: 10,
+            cache_hits: 20,
+            objects_updated: 30,
+        });
+        assert_eq!(a.digests_computed, 11);
+        assert_eq!(a.cache_hits, 22);
+        assert_eq!(a.objects_updated, 33);
+    }
+}

@@ -1,0 +1,975 @@
+//! Summary objects and their operator algebra.
+//!
+//! A [`SummaryObject`] is the per-tuple summary that travels with a tuple
+//! through the query pipeline. Three shapes exist, one per summary type:
+//!
+//! - **Classifier** — per-label sets of contributing annotation ids; the
+//!   displayed counts (`[(Behavior, 33), (Disease, 8), …]`) are the set
+//!   cardinalities, so projection decrements and merge never double-counts
+//!   *by construction*.
+//! - **Cluster** — groups of similar annotations with an elected
+//!   representative per group (the `SimCluster` of Figure 1). Groups carry
+//!   a bounded centroid so merge can combine overlapping groups from two
+//!   join sides by content similarity, as Figure 2 step 3 illustrates.
+//! - **Snippet** — one extractive snippet per large attached document
+//!   (`TextSummary1` in the figures).
+//!
+//! Every object embeds a [`SigMap`] bucketing its contributing annotation
+//! ids by column signature; `project` consults it to find exactly which
+//! annotations' effects must be subtracted when columns are projected out.
+//! None of the operations below ever reads raw annotation *content* — the
+//! paper's central query-processing property.
+
+use crate::signature::SigMap;
+use insightnotes_annotations::ColSig;
+use insightnotes_common::{codec, Error, IdSet, Result};
+use insightnotes_text::{Cluster, ClusterConfig, OnlineClusterer, SparseVector};
+use std::fmt;
+use std::sync::Arc;
+
+/// How many characters of a representative's text a cluster group keeps
+/// for display.
+pub const PREVIEW_CHARS: usize = 60;
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+/// A classifier-type summary object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierObject {
+    sig_map: SigMap,
+    /// Label names (shared with the instance definition).
+    labels: Arc<[String]>,
+    /// Per-label contributing annotation ids (parallel to `labels`).
+    label_sets: Vec<IdSet>,
+}
+
+impl ClassifierObject {
+    /// Creates an empty object over the given labels.
+    pub fn new(labels: Arc<[String]>) -> Self {
+        let n = labels.len();
+        Self {
+            sig_map: SigMap::new(),
+            labels,
+            label_sets: vec![IdSet::new(); n],
+        }
+    }
+
+    /// Label names.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Count for the label at `index`.
+    pub fn count(&self, index: usize) -> usize {
+        self.label_sets.get(index).map_or(0, IdSet::len)
+    }
+
+    /// Count for a label by name.
+    pub fn count_by_name(&self, label: &str) -> Option<usize> {
+        self.labels
+            .iter()
+            .position(|l| l.eq_ignore_ascii_case(label))
+            .map(|i| self.count(i))
+    }
+
+    fn add(&mut self, id: u64, label: usize, sig: ColSig) {
+        debug_assert!(label < self.labels.len());
+        self.sig_map.add(id, sig);
+        self.label_sets[label].insert(id);
+    }
+
+    fn project(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        let dropped = self.sig_map.project(remap);
+        if dropped.is_empty() {
+            return;
+        }
+        for set in &mut self.label_sets {
+            set.subtract(&dropped);
+        }
+    }
+
+    fn merge(&mut self, other: &ClassifierObject) {
+        self.sig_map.merge(&other.sig_map);
+        for (mine, theirs) in self.label_sets.iter_mut().zip(&other.label_sets) {
+            *mine = mine.union(theirs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+/// One group inside a cluster-type object, as exposed to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterGroup {
+    /// Number of member annotations.
+    pub size: usize,
+    /// Elected representative annotation id.
+    pub representative: Option<u64>,
+    /// Short excerpt of the representative's text, when it is still known
+    /// without consulting the raw store. Re-election during projection
+    /// (Figure 2: A5 replaces the dropped A2) clears it; the display layer
+    /// may lazily resolve it via the annotation store.
+    pub preview: Option<String>,
+}
+
+/// A cluster-type summary object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterObject {
+    sig_map: SigMap,
+    clusterer: OnlineClusterer,
+    /// `(annotation id, excerpt)` pairs for ids that founded groups or
+    /// arrived through merges; sorted by id.
+    previews: Vec<(u64, String)>,
+}
+
+impl ClusterObject {
+    /// Creates an empty object with the instance's clustering parameters.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            sig_map: SigMap::new(),
+            clusterer: OnlineClusterer::new(config),
+            previews: Vec::new(),
+        }
+    }
+
+    /// The groups in creation order.
+    pub fn groups(&self) -> Vec<ClusterGroup> {
+        self.clusterer
+            .clusters()
+            .iter()
+            .map(|c| {
+                let rep = c.representative();
+                ClusterGroup {
+                    size: c.len(),
+                    representative: rep,
+                    preview: rep.and_then(|r| self.preview_of(r).map(str::to_string)),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.clusterer.len()
+    }
+
+    /// Member ids of the group at `index`.
+    pub fn group_ids(&self, index: usize) -> Option<IdSet> {
+        self.clusterer
+            .clusters()
+            .get(index)
+            .map(|c| IdSet::from_iter_unsorted(c.members.iter().map(|&(id, _)| id)))
+    }
+
+    fn preview_of(&self, id: u64) -> Option<&str> {
+        self.previews
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|i| self.previews[i].1.as_str())
+    }
+
+    fn remember_preview(&mut self, id: u64, preview: &str) {
+        if let Err(pos) = self.previews.binary_search_by_key(&id, |&(i, _)| i) {
+            let excerpt: String = preview.chars().take(PREVIEW_CHARS).collect();
+            self.previews.insert(pos, (id, excerpt));
+        }
+    }
+
+    fn add(&mut self, id: u64, vector: SparseVector, preview: &str, sig: ColSig) {
+        self.sig_map.add(id, sig);
+        let idx = self.clusterer.add(id, vector);
+        // Keep the excerpt when this annotation leads its group (founder),
+        // so freshly built objects always display representative text.
+        if self.clusterer.clusters()[idx].representative() == Some(id) {
+            self.remember_preview(id, preview);
+        }
+    }
+
+    fn project(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        let dropped = self.sig_map.project(remap);
+        if dropped.is_empty() {
+            return;
+        }
+        self.clusterer.remove_members(&|id| dropped.contains(id));
+        self.previews.retain(|&(id, _)| !dropped.contains(id));
+    }
+
+    fn merge(&mut self, other: &ClusterObject) {
+        self.sig_map.merge(&other.sig_map);
+        self.clusterer.merge(&other.clusterer);
+        for (id, preview) in &other.previews {
+            self.remember_preview(*id, preview);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snippet
+// ---------------------------------------------------------------------------
+
+/// One snippet entry: the extractive summary of one attached document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnippetEntry {
+    /// The document-carrying annotation.
+    pub id: u64,
+    /// The extractive snippet.
+    pub snippet: String,
+    /// Size of the summarized source in bytes.
+    pub source_bytes: u64,
+}
+
+/// A snippet-type summary object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnippetObject {
+    sig_map: SigMap,
+    /// Entries sorted by annotation id.
+    entries: Vec<SnippetEntry>,
+}
+
+impl SnippetObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entries in annotation-id order.
+    pub fn entries(&self) -> &[SnippetEntry] {
+        &self.entries
+    }
+
+    fn add(&mut self, id: u64, snippet: String, source_bytes: u64, sig: ColSig) {
+        self.sig_map.add(id, sig);
+        if let Err(pos) = self.entries.binary_search_by_key(&id, |e| e.id) {
+            self.entries.insert(
+                pos,
+                SnippetEntry {
+                    id,
+                    snippet,
+                    source_bytes,
+                },
+            );
+        }
+    }
+
+    fn project(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        let dropped = self.sig_map.project(remap);
+        if dropped.is_empty() {
+            return;
+        }
+        self.entries.retain(|e| !dropped.contains(e.id));
+    }
+
+    fn merge(&mut self, other: &SnippetObject) {
+        self.sig_map.merge(&other.sig_map);
+        for e in &other.entries {
+            if let Err(pos) = self.entries.binary_search_by_key(&e.id, |x| x.id) {
+                self.entries.insert(pos, e.clone());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tagged union
+// ---------------------------------------------------------------------------
+
+/// A per-tuple summary object of any type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryObject {
+    /// Classifier-type object.
+    Classifier(ClassifierObject),
+    /// Cluster-type object.
+    Cluster(ClusterObject),
+    /// Snippet-type object.
+    Snippet(SnippetObject),
+}
+
+/// Per-annotation contribution, produced by the instance's digest step and
+/// applied to objects without re-running the mining technique.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Contribution {
+    /// The annotation classified into label `index`.
+    Label(usize),
+    /// The annotation's term vector and a display excerpt.
+    Vector {
+        /// Term-frequency vector over the instance vocabulary.
+        vector: SparseVector,
+        /// Excerpt for representative display.
+        preview: String,
+    },
+    /// The extractive snippet of the annotation's document.
+    Snippet {
+        /// The snippet text.
+        text: String,
+        /// Source document size in bytes.
+        source_bytes: u64,
+    },
+}
+
+impl SummaryObject {
+    /// Applies one annotation's contribution.
+    ///
+    /// Fails when the contribution shape does not match the object type
+    /// (instance/object wiring bug).
+    pub fn apply(&mut self, id: u64, sig: ColSig, contribution: &Contribution) -> Result<()> {
+        match (self, contribution) {
+            (SummaryObject::Classifier(o), Contribution::Label(ix)) => {
+                if *ix >= o.labels.len() {
+                    return Err(Error::Summary(format!(
+                        "label index {ix} out of range ({} labels)",
+                        o.labels.len()
+                    )));
+                }
+                o.add(id, *ix, sig);
+                Ok(())
+            }
+            (SummaryObject::Cluster(o), Contribution::Vector { vector, preview }) => {
+                o.add(id, vector.clone(), preview, sig);
+                Ok(())
+            }
+            (SummaryObject::Snippet(o), Contribution::Snippet { text, source_bytes }) => {
+                o.add(id, text.clone(), *source_bytes, sig);
+                Ok(())
+            }
+            _ => Err(Error::Summary(
+                "contribution shape does not match summary object type".into(),
+            )),
+        }
+    }
+
+    /// Removes one annotation's contribution entirely (decremental
+    /// maintenance for deleted / obsolete annotations). Exact for every
+    /// type: classifier counts decrement, cluster members drop (with
+    /// representative re-election), snippet entries disappear. Cluster
+    /// centroids keep the departed member's terms as a bounded sketch,
+    /// the same trade projection makes.
+    pub fn remove_annotation(&mut self, id: u64) {
+        let single = IdSet::from_iter_unsorted([id]);
+        match self {
+            SummaryObject::Classifier(o) => {
+                o.sig_map.remove_ids(&single);
+                for set in &mut o.label_sets {
+                    set.remove(id);
+                }
+            }
+            SummaryObject::Cluster(o) => {
+                o.sig_map.remove_ids(&single);
+                o.clusterer.remove_members(&|m| m == id);
+                o.previews.retain(|&(p, _)| p != id);
+            }
+            SummaryObject::Snippet(o) => {
+                o.sig_map.remove_ids(&single);
+                o.entries.retain(|e| e.id != id);
+            }
+        }
+    }
+
+    /// Projects the object onto surviving columns: `remap` maps old column
+    /// ordinals to output ordinals (`None` = projected out). Removes the
+    /// effect of annotations attached only to projected-out columns —
+    /// Figure 2 step 1.
+    pub fn project(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
+        match self {
+            SummaryObject::Classifier(o) => o.project(remap),
+            SummaryObject::Cluster(o) => o.project(remap),
+            SummaryObject::Snippet(o) => o.project(remap),
+        }
+    }
+
+    /// Merges another object of the same instance into this one (join /
+    /// duplicate-elimination / grouping merge — Figure 2 step 3).
+    /// Annotations contributing to both sides count once.
+    pub fn merge(&mut self, other: &SummaryObject) -> Result<()> {
+        match (self, other) {
+            (SummaryObject::Classifier(a), SummaryObject::Classifier(b)) => {
+                if a.labels != b.labels {
+                    return Err(Error::Summary(
+                        "cannot merge classifier objects with different labels".into(),
+                    ));
+                }
+                a.merge(b);
+                Ok(())
+            }
+            (SummaryObject::Cluster(a), SummaryObject::Cluster(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (SummaryObject::Snippet(a), SummaryObject::Snippet(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            _ => Err(Error::Summary(
+                "cannot merge summary objects of different types".into(),
+            )),
+        }
+    }
+
+    /// Number of zoomable components: class labels, cluster groups, or
+    /// snippet entries.
+    pub fn component_count(&self) -> usize {
+        match self {
+            SummaryObject::Classifier(o) => o.labels.len(),
+            SummaryObject::Cluster(o) => o.group_count(),
+            SummaryObject::Snippet(o) => o.entries.len(),
+        }
+    }
+
+    /// Resolves the component at `index` (0-based) to the raw annotation
+    /// ids behind it — the zoom-in primitive of Figure 3.
+    pub fn zoom_ids(&self, index: usize) -> Result<IdSet> {
+        match self {
+            SummaryObject::Classifier(o) => o
+                .label_sets
+                .get(index)
+                .cloned()
+                .ok_or_else(|| Error::ZoomIn(format!("classifier has no label index {index}"))),
+            SummaryObject::Cluster(o) => o
+                .group_ids(index)
+                .ok_or_else(|| Error::ZoomIn(format!("cluster has no group index {index}"))),
+            SummaryObject::Snippet(o) => o
+                .entries
+                .get(index)
+                .map(|e| IdSet::from_iter_unsorted([e.id]))
+                .ok_or_else(|| Error::ZoomIn(format!("no snippet at index {index}"))),
+        }
+    }
+
+    /// All contributing annotation ids.
+    pub fn all_ids(&self) -> IdSet {
+        self.sig_map().all_ids()
+    }
+
+    /// Total distinct contributing annotations.
+    pub fn annotation_count(&self) -> usize {
+        self.sig_map().distinct_count()
+    }
+
+    /// True when no annotations contribute.
+    pub fn is_empty(&self) -> bool {
+        self.sig_map().is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (compression experiment).
+    pub fn heap_bytes(&self) -> usize {
+        let base = std::mem::size_of::<SummaryObject>();
+        base + match self {
+            SummaryObject::Classifier(o) => {
+                o.sig_map.heap_bytes() + o.label_sets.iter().map(IdSet::heap_bytes).sum::<usize>()
+            }
+            SummaryObject::Cluster(o) => {
+                o.sig_map.heap_bytes()
+                    + o.clusterer
+                        .clusters()
+                        .iter()
+                        .map(|c| c.centroid.heap_bytes() + c.members.len() * 12)
+                        .sum::<usize>()
+                    + o.previews.iter().map(|(_, p)| p.len() + 8).sum::<usize>()
+            }
+            SummaryObject::Snippet(o) => {
+                o.sig_map.heap_bytes()
+                    + o.entries
+                        .iter()
+                        .map(|e| e.snippet.len() + 16)
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    fn sig_map(&self) -> &SigMap {
+        match self {
+            SummaryObject::Classifier(o) => &o.sig_map,
+            SummaryObject::Cluster(o) => &o.sig_map,
+            SummaryObject::Snippet(o) => &o.sig_map,
+        }
+    }
+
+    /// Accessor for classifier-shaped objects.
+    pub fn as_classifier(&self) -> Option<&ClassifierObject> {
+        match self {
+            SummaryObject::Classifier(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Accessor for cluster-shaped objects.
+    pub fn as_cluster(&self) -> Option<&ClusterObject> {
+        match self {
+            SummaryObject::Cluster(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Accessor for snippet-shaped objects.
+    pub fn as_snippet(&self) -> Option<&SnippetObject> {
+        match self {
+            SummaryObject::Snippet(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SummaryObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryObject::Classifier(o) => {
+                let parts: Vec<String> = o
+                    .labels
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| format!("({l}, {})", o.count(i)))
+                    .collect();
+                write!(f, "[{}]", parts.join(", "))
+            }
+            SummaryObject::Cluster(o) => {
+                let parts: Vec<String> = o
+                    .groups()
+                    .iter()
+                    .map(|g| {
+                        let rep = g
+                            .representative
+                            .map(|r| format!("a{r}"))
+                            .unwrap_or_else(|| "-".into());
+                        match &g.preview {
+                            Some(p) => format!("{{{} members, rep={rep} \"{p}\"}}", g.size),
+                            None => format!("{{{} members, rep={rep}}}", g.size),
+                        }
+                    })
+                    .collect();
+                write!(f, "[{}]", parts.join(", "))
+            }
+            SummaryObject::Snippet(o) => {
+                let parts: Vec<String> = o
+                    .entries
+                    .iter()
+                    .map(|e| format!("\"{}\"", e.snippet))
+                    .collect();
+                write!(f, "[{}]", parts.join(", "))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+fn encode_vector(enc: &mut codec::Encoder, v: &SparseVector) {
+    enc.varint(v.nnz() as u64);
+    for &(id, w) in v.entries() {
+        enc.u32(id);
+        enc.f64(w as f64);
+    }
+}
+
+fn decode_vector(dec: &mut codec::Decoder<'_>) -> Result<SparseVector> {
+    let n = dec.varint()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        entries.push((dec.u32()?, dec.f64()? as f32));
+    }
+    if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(Error::Codec("sparse vector ids not increasing".into()));
+    }
+    Ok(SparseVector::from_sorted_entries(entries))
+}
+
+impl codec::Encodable for SummaryObject {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        match self {
+            SummaryObject::Classifier(o) => {
+                enc.u8(0);
+                o.sig_map.encode(enc);
+                enc.seq(&o.labels, |e, l| e.str(l));
+                enc.seq(&o.label_sets, |e, s| e.idset(s));
+            }
+            SummaryObject::Cluster(o) => {
+                enc.u8(1);
+                o.sig_map.encode(enc);
+                enc.f64(o.clusterer.config().threshold as f64);
+                enc.varint(o.clusterer.config().centroid_terms as u64);
+                enc.varint(o.clusterer.config().max_groups as u64);
+                enc.varint(o.clusterer.clusters().len() as u64);
+                for c in o.clusterer.clusters() {
+                    encode_vector(enc, &c.centroid);
+                    enc.varint(c.members.len() as u64);
+                    for &(id, score) in &c.members {
+                        enc.varint(id);
+                        enc.f64(score as f64);
+                    }
+                }
+                enc.varint(o.previews.len() as u64);
+                for (id, p) in &o.previews {
+                    enc.varint(*id);
+                    enc.str(p);
+                }
+            }
+            SummaryObject::Snippet(o) => {
+                enc.u8(2);
+                o.sig_map.encode(enc);
+                enc.varint(o.entries.len() as u64);
+                for e in &o.entries {
+                    enc.varint(e.id);
+                    enc.str(&e.snippet);
+                    enc.varint(e.source_bytes);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        match dec.u8()? {
+            0 => {
+                let sig_map = SigMap::decode(dec)?;
+                let labels: Vec<String> = dec.seq(|d| d.str())?;
+                let label_sets = dec.seq(|d| d.idset())?;
+                if labels.len() != label_sets.len() {
+                    return Err(Error::Codec("classifier label arity mismatch".into()));
+                }
+                Ok(SummaryObject::Classifier(ClassifierObject {
+                    sig_map,
+                    labels: labels.into(),
+                    label_sets,
+                }))
+            }
+            1 => {
+                let sig_map = SigMap::decode(dec)?;
+                let threshold = dec.f64()? as f32;
+                let centroid_terms = dec.varint()? as usize;
+                let max_groups = dec.varint()? as usize;
+                let ncl = dec.varint()? as usize;
+                let mut clusters = Vec::with_capacity(ncl.min(1 << 12));
+                for _ in 0..ncl {
+                    let centroid = decode_vector(dec)?;
+                    let nm = dec.varint()? as usize;
+                    let mut members = Vec::with_capacity(nm.min(1 << 12));
+                    for _ in 0..nm {
+                        members.push((dec.varint()?, dec.f64()? as f32));
+                    }
+                    clusters.push(Cluster::from_parts(centroid, members));
+                }
+                let np = dec.varint()? as usize;
+                let mut previews = Vec::with_capacity(np.min(1 << 12));
+                for _ in 0..np {
+                    previews.push((dec.varint()?, dec.str()?));
+                }
+                Ok(SummaryObject::Cluster(ClusterObject {
+                    sig_map,
+                    clusterer: OnlineClusterer::from_parts(
+                        ClusterConfig {
+                            threshold,
+                            centroid_terms,
+                            max_groups,
+                        },
+                        clusters,
+                    ),
+                    previews,
+                }))
+            }
+            2 => {
+                let sig_map = SigMap::decode(dec)?;
+                let n = dec.varint()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    entries.push(SnippetEntry {
+                        id: dec.varint()?,
+                        snippet: dec.str()?,
+                        source_bytes: dec.varint()?,
+                    });
+                }
+                Ok(SummaryObject::Snippet(SnippetObject { sig_map, entries }))
+            }
+            t => Err(Error::Codec(format!("invalid summary object tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::codec::Encodable;
+    use insightnotes_common::ColumnId;
+    use insightnotes_text::Vocabulary;
+
+    fn sig(cols: &[u16]) -> ColSig {
+        ColSig::of_columns(&cols.iter().map(|&c| ColumnId::new(c)).collect::<Vec<_>>())
+    }
+
+    fn labels() -> Arc<[String]> {
+        vec![
+            "Behavior".to_string(),
+            "Disease".to_string(),
+            "Anatomy".to_string(),
+            "Other".to_string(),
+        ]
+        .into()
+    }
+
+    fn classifier_with(entries: &[(u64, usize, &[u16])]) -> SummaryObject {
+        let mut obj = SummaryObject::Classifier(ClassifierObject::new(labels()));
+        for &(id, label, cols) in entries {
+            obj.apply(id, sig(cols), &Contribution::Label(label))
+                .unwrap();
+        }
+        obj
+    }
+
+    fn vector(vocab: &mut Vocabulary, terms: &[&str]) -> SparseVector {
+        let ids: Vec<_> = terms.iter().map(|t| vocab.intern(t)).collect();
+        SparseVector::from_term_ids(&ids)
+    }
+
+    #[test]
+    fn classifier_counts_and_zoom() {
+        let obj = classifier_with(&[(1, 0, &[0, 1]), (2, 0, &[0, 1]), (3, 1, &[1])]);
+        let c = obj.as_classifier().unwrap();
+        assert_eq!(c.count(0), 2);
+        assert_eq!(c.count(1), 1);
+        assert_eq!(c.count_by_name("behavior"), Some(2));
+        assert_eq!(c.count_by_name("nope"), None);
+        assert_eq!(obj.zoom_ids(0).unwrap().as_slice(), &[1, 2]);
+        assert_eq!(obj.annotation_count(), 3);
+        assert!(obj.zoom_ids(9).is_err());
+    }
+
+    #[test]
+    fn classifier_projection_decrements_counts() {
+        // Figure 2: ClassBird1 (33, 8, 25, 16) → (14, 2, 16, 0) after
+        // projecting out r.c, r.d. Here: annotations on col 2 vanish.
+        let obj0 = classifier_with(&[
+            (1, 0, &[0, 1]), // survives
+            (2, 1, &[2]),    // dropped with col 2
+            (3, 3, &[2]),    // dropped with col 2
+        ]);
+        let mut obj = obj0.clone();
+        obj.project(&|c| if c <= 1 { Some(c) } else { None });
+        let c = obj.as_classifier().unwrap();
+        assert_eq!(c.count(0), 1);
+        assert_eq!(c.count(1), 0);
+        assert_eq!(c.count(3), 0);
+        assert_eq!(obj.annotation_count(), 1);
+    }
+
+    #[test]
+    fn classifier_merge_avoids_double_counting() {
+        // Paper: 5 common Comment annotations → merged sum 22, not 27.
+        let mut left = SummaryObject::Classifier(ClassifierObject::new(labels()));
+        for id in 0..20u64 {
+            left.apply(id, sig(&[0]), &Contribution::Label(0)).unwrap();
+        }
+        let mut right = SummaryObject::Classifier(ClassifierObject::new(labels()));
+        for id in 15..22u64 {
+            right.apply(id, sig(&[4]), &Contribution::Label(0)).unwrap();
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.as_classifier().unwrap().count(0), 22);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shapes_and_labels() {
+        let mut a = classifier_with(&[]);
+        let b = SummaryObject::Snippet(SnippetObject::new());
+        assert!(a.merge(&b).is_err());
+        let other_labels: Arc<[String]> = vec!["X".to_string()].into();
+        let c = SummaryObject::Classifier(ClassifierObject::new(other_labels));
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_shape_mismatch_and_bad_label() {
+        let mut obj = classifier_with(&[]);
+        assert!(obj
+            .apply(
+                1,
+                sig(&[0]),
+                &Contribution::Snippet {
+                    text: "x".into(),
+                    source_bytes: 1
+                }
+            )
+            .is_err());
+        assert!(obj.apply(1, sig(&[0]), &Contribution::Label(99)).is_err());
+    }
+
+    #[test]
+    fn cluster_groups_elect_representatives_with_previews() {
+        let mut vocab = Vocabulary::new();
+        let mut obj = SummaryObject::Cluster(ClusterObject::new(ClusterConfig::default()));
+        let add =
+            |obj: &mut SummaryObject, vocab: &mut Vocabulary, id, terms: &[&str], text: &str| {
+                let v = vector(vocab, terms);
+                obj.apply(
+                    id,
+                    sig(&[0]),
+                    &Contribution::Vector {
+                        vector: v,
+                        preview: text.into(),
+                    },
+                )
+                .unwrap();
+            };
+        add(
+            &mut obj,
+            &mut vocab,
+            1,
+            &["eating", "stonewort"],
+            "found eating stonewort",
+        );
+        add(
+            &mut obj,
+            &mut vocab,
+            2,
+            &["eating", "stonewort", "shore"],
+            "eating stonewort by shore",
+        );
+        add(
+            &mut obj,
+            &mut vocab,
+            3,
+            &["wing", "span"],
+            "wing span large",
+        );
+        let c = obj.as_cluster().unwrap();
+        let groups = c.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].size, 2);
+        assert!(groups[0].preview.is_some());
+        assert_eq!(obj.zoom_ids(0).unwrap().len(), 2);
+        assert_eq!(obj.zoom_ids(1).unwrap().as_slice(), &[3]);
+    }
+
+    #[test]
+    fn cluster_projection_reelects_representative() {
+        let mut vocab = Vocabulary::new();
+        let mut obj = SummaryObject::Cluster(ClusterObject::new(ClusterConfig::default()));
+        let v = vector(&mut vocab, &["eating", "stonewort"]);
+        // Founder attached to column 2 only; follower whole-row.
+        obj.apply(
+            10,
+            sig(&[2]),
+            &Contribution::Vector {
+                vector: v.clone(),
+                preview: "founder".into(),
+            },
+        )
+        .unwrap();
+        obj.apply(
+            11,
+            sig(&[0, 1, 2]),
+            &Contribution::Vector {
+                vector: v,
+                preview: "follower".into(),
+            },
+        )
+        .unwrap();
+        let before = obj.as_cluster().unwrap().groups();
+        assert_eq!(before[0].representative, Some(10));
+        obj.project(&|c| if c <= 1 { Some(c) } else { None });
+        let after = obj.as_cluster().unwrap().groups();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].size, 1);
+        assert_eq!(
+            after[0].representative,
+            Some(11),
+            "new representative elected"
+        );
+        // Re-elected representative's preview is unknown without raw access.
+        assert!(after[0].preview.is_none());
+    }
+
+    #[test]
+    fn snippet_entries_project_and_merge_by_document() {
+        let mut a = SummaryObject::Snippet(SnippetObject::new());
+        a.apply(
+            1,
+            sig(&[0]),
+            &Contribution::Snippet {
+                text: "Experiment E summary".into(),
+                source_bytes: 5000,
+            },
+        )
+        .unwrap();
+        a.apply(
+            2,
+            sig(&[2]),
+            &Contribution::Snippet {
+                text: "Wikipedia article lead".into(),
+                source_bytes: 80_000,
+            },
+        )
+        .unwrap();
+        // Figure 2: the wikipedia article on a projected-out column is
+        // deleted from the snippet object.
+        a.project(&|c| if c == 0 { Some(0) } else { None });
+        let s = a.as_snippet().unwrap();
+        assert_eq!(s.entries().len(), 1);
+        assert_eq!(s.entries()[0].id, 1);
+
+        // Merge dedups by annotation id.
+        let mut b = SummaryObject::Snippet(SnippetObject::new());
+        b.apply(
+            1,
+            sig(&[4]),
+            &Contribution::Snippet {
+                text: "Experiment E summary".into(),
+                source_bytes: 5000,
+            },
+        )
+        .unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.as_snippet().unwrap().entries().len(), 1);
+        assert_eq!(a.zoom_ids(0).unwrap().as_slice(), &[1]);
+    }
+
+    #[test]
+    fn display_formats_match_paper_style() {
+        let obj = classifier_with(&[(1, 0, &[0]), (2, 0, &[0]), (3, 2, &[0])]);
+        assert_eq!(
+            obj.to_string(),
+            "[(Behavior, 2), (Disease, 0), (Anatomy, 1), (Other, 0)]"
+        );
+    }
+
+    #[test]
+    fn objects_round_trip_through_codec() {
+        let mut vocab = Vocabulary::new();
+        let class = classifier_with(&[(1, 0, &[0, 1]), (2, 3, &[2])]);
+        let mut cluster = SummaryObject::Cluster(ClusterObject::new(ClusterConfig::default()));
+        cluster
+            .apply(
+                5,
+                sig(&[1]),
+                &Contribution::Vector {
+                    vector: vector(&mut vocab, &["eating", "stonewort"]),
+                    preview: "preview text".into(),
+                },
+            )
+            .unwrap();
+        let mut snip = SummaryObject::Snippet(SnippetObject::new());
+        snip.apply(
+            9,
+            sig(&[0]),
+            &Contribution::Snippet {
+                text: "snippet".into(),
+                source_bytes: 123,
+            },
+        )
+        .unwrap();
+        for obj in [class, cluster, snip] {
+            let decoded = SummaryObject::from_bytes(&obj.to_bytes()).unwrap();
+            assert_eq!(decoded, obj);
+        }
+    }
+
+    #[test]
+    fn empty_object_properties() {
+        let obj = classifier_with(&[]);
+        assert!(obj.is_empty());
+        assert_eq!(obj.annotation_count(), 0);
+        assert_eq!(obj.component_count(), 4);
+        assert!(obj.heap_bytes() > 0);
+    }
+}

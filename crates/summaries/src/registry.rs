@@ -1,0 +1,669 @@
+//! The summary registry: instances, links, and per-tuple objects.
+//!
+//! The registry realizes the many-to-many link level of Figure 4: summary
+//! instances are created once, then linked to any number of relations;
+//! every annotated row of a linked relation gets one summary object per
+//! linked instance. It also owns the **digest cache** behind the
+//! summarize-once optimization: when an instance is both
+//! annotation-invariant and data-invariant, an annotation's digest is
+//! computed on first contact and replayed for every further target tuple.
+
+use crate::instance::{InstanceProperties, SummaryInstance, SummaryKind};
+use crate::maintenance::MaintenanceStats;
+use crate::object::{Contribution, SummaryObject};
+use insightnotes_annotations::{AnnotationBody, ColSig, Target};
+use insightnotes_common::{codec, AnnotationId, Error, InstanceId, Result, RowId, TableId};
+use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
+use std::collections::{BTreeMap, HashMap};
+
+/// Declarative instance definition, as produced by
+/// `CREATE SUMMARY INSTANCE`.
+#[derive(Debug)]
+pub enum InstanceDef {
+    /// A classifier with a pre-trained model.
+    Classifier {
+        /// Instance name.
+        name: String,
+        /// Trained Naive Bayes model (labels included).
+        model: NaiveBayes,
+        /// Invariance properties.
+        properties: InstanceProperties,
+    },
+    /// A content-similarity clusterer.
+    Cluster {
+        /// Instance name.
+        name: String,
+        /// Clustering parameters.
+        config: ClusterConfig,
+        /// Invariance properties.
+        properties: InstanceProperties,
+    },
+    /// A large-object snippet summarizer.
+    Snippet {
+        /// Instance name.
+        name: String,
+        /// Summarizer parameters.
+        config: SnippetConfig,
+        /// Plain text shorter than this is not snippeted.
+        min_source_bytes: usize,
+        /// Invariance properties.
+        properties: InstanceProperties,
+    },
+}
+
+impl InstanceDef {
+    fn name(&self) -> &str {
+        match self {
+            InstanceDef::Classifier { name, .. } => name,
+            InstanceDef::Cluster { name, .. } => name,
+            InstanceDef::Snippet { name, .. } => name,
+        }
+    }
+
+    fn build(self, id: InstanceId) -> SummaryInstance {
+        match self {
+            InstanceDef::Classifier {
+                name,
+                model,
+                properties,
+            } => SummaryInstance::classifier(id, name, model, properties),
+            InstanceDef::Cluster {
+                name,
+                config,
+                properties,
+            } => SummaryInstance::cluster(id, name, config, properties),
+            InstanceDef::Snippet {
+                name,
+                config,
+                min_source_bytes,
+                properties,
+            } => SummaryInstance::snippet(id, name, config, min_source_bytes, properties),
+        }
+    }
+}
+
+/// Instances, table links, per-row objects, and the digest cache.
+#[derive(Debug, Default)]
+pub struct SummaryRegistry {
+    instances: BTreeMap<InstanceId, SummaryInstance>,
+    by_name: HashMap<String, InstanceId>,
+    links: HashMap<TableId, Vec<InstanceId>>,
+    objects: HashMap<(TableId, RowId), Vec<(InstanceId, SummaryObject)>>,
+    digest_cache: HashMap<(InstanceId, AnnotationId), Option<Contribution>>,
+    /// Disable to force per-tuple digesting (the E5 ablation baseline).
+    pub use_digest_cache: bool,
+    next_instance: u32,
+}
+
+impl SummaryRegistry {
+    /// Creates an empty registry with the digest cache enabled.
+    pub fn new() -> Self {
+        Self {
+            use_digest_cache: true,
+            ..Self::default()
+        }
+    }
+
+    // -- instances -----------------------------------------------------
+
+    /// Creates an instance from a definition. Names are unique
+    /// (case-insensitive).
+    pub fn create_instance(&mut self, def: InstanceDef) -> Result<InstanceId> {
+        let key = def.name().to_ascii_lowercase();
+        if self.by_name.contains_key(&key) {
+            return Err(Error::Summary(format!(
+                "summary instance `{key}` already exists"
+            )));
+        }
+        self.next_instance += 1;
+        let id = InstanceId::new(self.next_instance);
+        self.by_name.insert(key, id);
+        self.instances.insert(id, def.build(id));
+        Ok(id)
+    }
+
+    /// Drops an instance, its links, and every object it produced.
+    pub fn drop_instance(&mut self, id: InstanceId) -> Result<()> {
+        let inst = self
+            .instances
+            .remove(&id)
+            .ok_or_else(|| Error::Summary(format!("unknown summary instance {id}")))?;
+        self.by_name.remove(&inst.name().to_ascii_lowercase());
+        for linked in self.links.values_mut() {
+            linked.retain(|&i| i != id);
+        }
+        for objs in self.objects.values_mut() {
+            objs.retain(|(i, _)| *i != id);
+        }
+        self.objects.retain(|_, objs| !objs.is_empty());
+        self.digest_cache.retain(|(i, _), _| *i != id);
+        Ok(())
+    }
+
+    /// Borrows an instance.
+    pub fn instance(&self, id: InstanceId) -> Result<&SummaryInstance> {
+        self.instances
+            .get(&id)
+            .ok_or_else(|| Error::Summary(format!("unknown summary instance {id}")))
+    }
+
+    /// Looks up an instance id by name.
+    pub fn instance_id(&self, name: &str) -> Result<InstanceId> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::Summary(format!("unknown summary instance `{name}`")))
+    }
+
+    /// All instances in id order.
+    pub fn instances(&self) -> impl Iterator<Item = &SummaryInstance> {
+        self.instances.values()
+    }
+
+    // -- links ---------------------------------------------------------
+
+    /// Links an instance to a table. Annotations on the table's rows will
+    /// be summarized by the instance from now on (existing annotations are
+    /// absorbed by the caller via rebuild — see
+    /// [`SummaryRegistry::rebuild_row`]).
+    pub fn link(&mut self, instance: InstanceId, table: TableId) -> Result<()> {
+        self.instance(instance)?;
+        let linked = self.links.entry(table).or_default();
+        if linked.contains(&instance) {
+            return Err(Error::Summary(format!(
+                "instance {instance} already linked to table {table}"
+            )));
+        }
+        linked.push(instance);
+        linked.sort_unstable();
+        Ok(())
+    }
+
+    /// Removes a link and the objects the instance maintained on that
+    /// table.
+    pub fn unlink(&mut self, instance: InstanceId, table: TableId) -> Result<()> {
+        let linked = self.links.get_mut(&table).ok_or_else(|| {
+            Error::Summary(format!(
+                "instance {instance} is not linked to table {table}"
+            ))
+        })?;
+        let before = linked.len();
+        linked.retain(|&i| i != instance);
+        if linked.len() == before {
+            return Err(Error::Summary(format!(
+                "instance {instance} is not linked to table {table}"
+            )));
+        }
+        self.objects.retain(|(t, _), objs| {
+            if *t == table {
+                objs.retain(|(i, _)| *i != instance);
+                !objs.is_empty()
+            } else {
+                true
+            }
+        });
+        Ok(())
+    }
+
+    /// Instances linked to a table, in id order.
+    pub fn linked_instances(&self, table: TableId) -> &[InstanceId] {
+        self.links.get(&table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    // -- objects -------------------------------------------------------
+
+    /// The summary objects on a row, in instance-id order.
+    pub fn objects_on(&self, table: TableId, row: RowId) -> &[(InstanceId, SummaryObject)] {
+        self.objects
+            .get(&(table, row))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// One instance's object on a row, if any.
+    pub fn object(
+        &self,
+        table: TableId,
+        row: RowId,
+        instance: InstanceId,
+    ) -> Option<&SummaryObject> {
+        self.objects_on(table, row)
+            .iter()
+            .find(|(i, _)| *i == instance)
+            .map(|(_, o)| o)
+    }
+
+    /// Total number of maintained summary objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.values().map(Vec::len).sum()
+    }
+
+    /// Total approximate heap bytes of all maintained objects (F1).
+    pub fn total_object_bytes(&self) -> usize {
+        self.objects
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|(_, o)| o.heap_bytes())
+            .sum()
+    }
+
+    /// Drops every object on a row (row deletion).
+    pub fn clear_row(&mut self, table: TableId, row: RowId) {
+        self.objects.remove(&(table, row));
+    }
+
+    // -- maintenance ---------------------------------------------------
+
+    /// Incrementally absorbs a newly added annotation: for every target
+    /// row and every instance linked to the target's table, digest the
+    /// annotation (through the cache when the instance allows) and apply
+    /// the contribution to the row's object.
+    ///
+    /// `tuple_context` renders a host tuple's content for data-variant
+    /// instances; it is only invoked for those.
+    pub fn apply_annotation(
+        &mut self,
+        id: AnnotationId,
+        body: &AnnotationBody,
+        targets: &[Target],
+        tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+    ) -> Result<MaintenanceStats> {
+        let mut stats = MaintenanceStats::default();
+        for target in targets {
+            let linked = self.links.get(&target.table).cloned().unwrap_or_default();
+            for inst_id in linked {
+                let contribution = self.digest_for(
+                    inst_id,
+                    id,
+                    body,
+                    target.table,
+                    target.row,
+                    tuple_context,
+                    &mut stats,
+                )?;
+                if let Some(c) = contribution {
+                    self.apply_to_object(inst_id, target.table, target.row, id, target.cols, &c)?;
+                    stats.objects_updated += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Rebuilds one row's objects from scratch from its full annotation
+    /// list — the non-incremental baseline (experiment E1) and the
+    /// catch-up path after `LINK`.
+    pub fn rebuild_row(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        annotations: &[(AnnotationId, ColSig, &AnnotationBody)],
+        tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+    ) -> Result<MaintenanceStats> {
+        let mut stats = MaintenanceStats::default();
+        self.objects.remove(&(table, row));
+        let linked = self.links.get(&table).cloned().unwrap_or_default();
+        for &(aid, cols, body) in annotations {
+            for &inst_id in &linked {
+                let contribution =
+                    self.digest_for(inst_id, aid, body, table, row, tuple_context, &mut stats)?;
+                if let Some(c) = contribution {
+                    self.apply_to_object(inst_id, table, row, aid, cols, &c)?;
+                    stats.objects_updated += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal hot path; a params
+                                         // struct would be built and torn down per annotation for no benefit
+    fn digest_for(
+        &mut self,
+        inst_id: InstanceId,
+        ann_id: AnnotationId,
+        body: &AnnotationBody,
+        table: TableId,
+        row: RowId,
+        tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+        stats: &mut MaintenanceStats,
+    ) -> Result<Option<Contribution>> {
+        let inst = self
+            .instances
+            .get(&inst_id)
+            .ok_or_else(|| Error::Summary(format!("unknown summary instance {inst_id}")))?;
+        let cacheable = self.use_digest_cache && inst.properties().summarize_once();
+        if cacheable {
+            if let Some(cached) = self.digest_cache.get(&(inst_id, ann_id)) {
+                stats.cache_hits += 1;
+                return Ok(cached.clone());
+            }
+        }
+        let ctx = if inst.properties().data_invariant {
+            None
+        } else {
+            tuple_context(table, row)
+        };
+        let contribution = inst.digest(&body.text, body.document.as_deref(), ctx.as_deref())?;
+        stats.digests_computed += 1;
+        if cacheable {
+            self.digest_cache
+                .insert((inst_id, ann_id), contribution.clone());
+        }
+        Ok(contribution)
+    }
+
+    fn apply_to_object(
+        &mut self,
+        inst_id: InstanceId,
+        table: TableId,
+        row: RowId,
+        ann_id: AnnotationId,
+        cols: ColSig,
+        contribution: &Contribution,
+    ) -> Result<()> {
+        let fresh = self
+            .instances
+            .get(&inst_id)
+            .ok_or_else(|| Error::Summary(format!("unknown summary instance {inst_id}")))?
+            .new_object();
+        let objs = self.objects.entry((table, row)).or_default();
+        let obj = match objs.iter_mut().find(|(i, _)| *i == inst_id) {
+            Some((_, o)) => o,
+            None => {
+                let pos = objs.partition_point(|(i, _)| *i < inst_id);
+                objs.insert(pos, (inst_id, fresh));
+                &mut objs[pos].1
+            }
+        };
+        obj.apply(ann_id.raw(), cols, contribution)
+    }
+
+    /// Decrementally removes a deleted annotation's contribution from the
+    /// objects of its former targets — the inverse of
+    /// [`SummaryRegistry::apply_annotation`]. Exact for classifier and
+    /// snippet objects; for cluster objects the membership and
+    /// representatives are exact while centroids remain a bounded sketch
+    /// of everything absorbed (rebuild via
+    /// [`SummaryRegistry::rebuild_row`] re-canonicalizes them).
+    pub fn remove_annotation(&mut self, id: AnnotationId, targets: &[Target]) {
+        for t in targets {
+            let key = (t.table, t.row);
+            if let Some(objs) = self.objects.get_mut(&key) {
+                for (_, obj) in objs.iter_mut() {
+                    obj.remove_annotation(id.raw());
+                }
+                objs.retain(|(_, o)| !o.is_empty());
+                if objs.is_empty() {
+                    self.objects.remove(&key);
+                }
+            }
+        }
+        self.digest_cache.retain(|(_, a), _| *a != id);
+    }
+
+    /// Number of cached digests (observability for the E5 ablation).
+    pub fn digest_cache_len(&self) -> usize {
+        self.digest_cache.len()
+    }
+
+    /// Clears the digest cache.
+    pub fn clear_digest_cache(&mut self) {
+        self.digest_cache.clear();
+    }
+}
+
+/// Convenience: the kind of an instance id within a registry.
+impl SummaryRegistry {
+    /// The summary type of an instance.
+    pub fn kind_of(&self, id: InstanceId) -> Result<SummaryKind> {
+        Ok(self.instance(id)?.kind())
+    }
+}
+
+impl codec::Encodable for SummaryRegistry {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u32(self.next_instance);
+        enc.bool(self.use_digest_cache);
+        enc.varint(self.instances.len() as u64);
+        for inst in self.instances.values() {
+            inst.encode(enc);
+        }
+        // Links in table-id order, each list already sorted.
+        let mut tables: Vec<TableId> = self.links.keys().copied().collect();
+        tables.sort_unstable();
+        enc.varint(tables.len() as u64);
+        for t in tables {
+            enc.u32(t.raw());
+            enc.seq(&self.links[&t], |e, i| e.u32(i.raw()));
+        }
+        // Objects in (table, row) order for deterministic snapshots.
+        let mut keys: Vec<(TableId, RowId)> = self.objects.keys().copied().collect();
+        keys.sort_unstable();
+        enc.varint(keys.len() as u64);
+        for key in keys {
+            enc.u32(key.0.raw());
+            enc.varint(key.1.raw());
+            let objs = &self.objects[&key];
+            enc.varint(objs.len() as u64);
+            for (inst, obj) in objs {
+                enc.u32(inst.raw());
+                obj.encode(enc);
+            }
+        }
+        // The digest cache is a rebuildable optimization; not persisted.
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let next_instance = dec.u32()?;
+        let use_digest_cache = dec.bool()?;
+        let mut reg = SummaryRegistry {
+            next_instance,
+            use_digest_cache,
+            ..SummaryRegistry::default()
+        };
+        let n = dec.varint()? as usize;
+        for _ in 0..n {
+            let inst = crate::instance::SummaryInstance::decode(dec)?;
+            let key = inst.name().to_ascii_lowercase();
+            if reg.by_name.insert(key, inst.id()).is_some() {
+                return Err(Error::Codec(format!(
+                    "duplicate summary instance `{}` in snapshot",
+                    inst.name()
+                )));
+            }
+            reg.instances.insert(inst.id(), inst);
+        }
+        let nl = dec.varint()? as usize;
+        for _ in 0..nl {
+            let table = TableId::new(dec.u32()?);
+            let ids: Vec<InstanceId> = dec.seq(|d| Ok(InstanceId::new(d.u32()?)))?;
+            for id in &ids {
+                reg.instance(*id)?;
+            }
+            reg.links.insert(table, ids);
+        }
+        let no = dec.varint()? as usize;
+        for _ in 0..no {
+            let table = TableId::new(dec.u32()?);
+            let row = RowId::new(dec.varint()?);
+            let count = dec.varint()? as usize;
+            let mut objs = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                let inst = InstanceId::new(dec.u32()?);
+                reg.instance(inst)?;
+                objs.push((inst, crate::object::SummaryObject::decode(dec)?));
+            }
+            reg.objects.insert((table, row), objs);
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(1);
+
+    fn bird_model() -> NaiveBayes {
+        let mut nb = NaiveBayes::new(vec!["Behavior".into(), "Disease".into(), "Other".into()]);
+        nb.train(0, "eating stonewort diving fish");
+        nb.train(1, "lesions parasites infected");
+        nb.train(2, "see attached reference");
+        nb
+    }
+
+    fn registry_with_classifier() -> (SummaryRegistry, InstanceId) {
+        let mut reg = SummaryRegistry::new();
+        let id = reg
+            .create_instance(InstanceDef::Classifier {
+                name: "ClassBird1".into(),
+                model: bird_model(),
+                properties: InstanceProperties::default(),
+            })
+            .unwrap();
+        reg.link(id, T).unwrap();
+        (reg, id)
+    }
+
+    fn target(row: u64) -> Target {
+        Target::new(T, RowId(row), ColSig::whole_row(3))
+    }
+
+    fn no_ctx(_: TableId, _: RowId) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn create_link_and_apply() {
+        let (mut reg, inst) = registry_with_classifier();
+        let body = AnnotationBody::text("found eating stonewort", "alice");
+        let stats = reg
+            .apply_annotation(AnnotationId(1), &body, &[target(1)], &no_ctx)
+            .unwrap();
+        assert_eq!(stats.digests_computed, 1);
+        assert_eq!(stats.objects_updated, 1);
+        let obj = reg.object(T, RowId(1), inst).unwrap();
+        assert_eq!(obj.as_classifier().unwrap().count(0), 1);
+        assert_eq!(reg.object_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_and_links_rejected() {
+        let (mut reg, inst) = registry_with_classifier();
+        assert!(reg
+            .create_instance(InstanceDef::Cluster {
+                name: "classbird1".into(),
+                config: ClusterConfig::default(),
+                properties: InstanceProperties::default(),
+            })
+            .is_err());
+        assert!(reg.link(inst, T).is_err());
+        assert!(reg.link(InstanceId(99), T).is_err());
+    }
+
+    #[test]
+    fn summarize_once_digests_multi_target_annotation_once() {
+        let (mut reg, _) = registry_with_classifier();
+        let body = AnnotationBody::text("lesions on wing", "bob");
+        let stats = reg
+            .apply_annotation(
+                AnnotationId(1),
+                &body,
+                &[target(1), target(2), target(3)],
+                &no_ctx,
+            )
+            .unwrap();
+        assert_eq!(stats.digests_computed, 1, "one digest for three tuples");
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.objects_updated, 3);
+    }
+
+    #[test]
+    fn disabled_cache_digests_per_tuple() {
+        let (mut reg, _) = registry_with_classifier();
+        reg.use_digest_cache = false;
+        let body = AnnotationBody::text("lesions on wing", "bob");
+        let stats = reg
+            .apply_annotation(AnnotationId(1), &body, &[target(1), target(2)], &no_ctx)
+            .unwrap();
+        assert_eq!(stats.digests_computed, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn unlink_removes_objects() {
+        let (mut reg, inst) = registry_with_classifier();
+        let body = AnnotationBody::text("eating stonewort", "a");
+        reg.apply_annotation(AnnotationId(1), &body, &[target(1)], &no_ctx)
+            .unwrap();
+        reg.unlink(inst, T).unwrap();
+        assert!(reg.object(T, RowId(1), inst).is_none());
+        assert!(reg.unlink(inst, T).is_err());
+        // Further annotations are ignored for the unlinked table.
+        let stats = reg
+            .apply_annotation(AnnotationId(2), &body, &[target(1)], &no_ctx)
+            .unwrap();
+        assert_eq!(stats.objects_updated, 0);
+    }
+
+    #[test]
+    fn rebuild_row_equals_incremental_result() {
+        let (mut reg, inst) = registry_with_classifier();
+        let bodies = [
+            AnnotationBody::text("eating stonewort", "a"),
+            AnnotationBody::text("lesions and parasites", "b"),
+            AnnotationBody::text("see attached reference", "c"),
+        ];
+        for (i, b) in bodies.iter().enumerate() {
+            reg.apply_annotation(AnnotationId(i as u64 + 1), b, &[target(1)], &no_ctx)
+                .unwrap();
+        }
+        let incremental = reg.object(T, RowId(1), inst).unwrap().clone();
+
+        let anns: Vec<(AnnotationId, ColSig, &AnnotationBody)> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (AnnotationId(i as u64 + 1), ColSig::whole_row(3), b))
+            .collect();
+        reg.rebuild_row(T, RowId(1), &anns, &no_ctx).unwrap();
+        let rebuilt = reg.object(T, RowId(1), inst).unwrap();
+        assert_eq!(&incremental, rebuilt);
+    }
+
+    #[test]
+    fn multiple_instances_maintain_side_by_side() {
+        let (mut reg, class_id) = registry_with_classifier();
+        let clus_id = reg
+            .create_instance(InstanceDef::Cluster {
+                name: "SimCluster".into(),
+                config: ClusterConfig::default(),
+                properties: InstanceProperties::default(),
+            })
+            .unwrap();
+        reg.link(clus_id, T).unwrap();
+        let body = AnnotationBody::text("eating stonewort near shore", "a");
+        reg.apply_annotation(AnnotationId(1), &body, &[target(1)], &no_ctx)
+            .unwrap();
+        assert_eq!(reg.objects_on(T, RowId(1)).len(), 2);
+        assert!(reg.object(T, RowId(1), class_id).is_some());
+        assert!(reg.object(T, RowId(1), clus_id).is_some());
+        assert_eq!(reg.linked_instances(T), &[class_id, clus_id]);
+    }
+
+    #[test]
+    fn drop_instance_cleans_everything() {
+        let (mut reg, inst) = registry_with_classifier();
+        let body = AnnotationBody::text("eating stonewort", "a");
+        reg.apply_annotation(AnnotationId(1), &body, &[target(1)], &no_ctx)
+            .unwrap();
+        assert_eq!(reg.digest_cache_len(), 1);
+        reg.drop_instance(inst).unwrap();
+        assert!(reg.instance(inst).is_err());
+        assert!(reg.instance_id("ClassBird1").is_err());
+        assert_eq!(reg.object_count(), 0);
+        assert_eq!(reg.digest_cache_len(), 0);
+        assert!(reg.linked_instances(T).is_empty());
+    }
+}

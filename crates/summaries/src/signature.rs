@@ -1,0 +1,262 @@
+//! The column-signature map shared by every summary object.
+//!
+//! A summary object must be able to *remove the effect* of annotations
+//! whose attached columns are all projected out — without touching the raw
+//! annotations. `SigMap` makes that possible: it buckets the contributing
+//! annotation ids by their column signature ([`ColSig`]). Projection then
+//! intersects each bucket's signature with the surviving-column mask:
+//!
+//! - bucket signature becomes empty → that bucket's annotations *may* be
+//!   dropped (they are actually dropped only if no other bucket still
+//!   carries them — after a join merge the same annotation can sit in two
+//!   buckets, one per join side);
+//! - otherwise the bucket is re-keyed to the intersected signature.
+//!
+//! The number of distinct signatures is small in practice (whole-row plus
+//! a few per-cell patterns), so the map is a sorted `Vec` rather than a
+//! hash map.
+
+use insightnotes_annotations::ColSig;
+use insightnotes_common::{codec, IdSet, Result};
+
+/// Buckets of annotation ids keyed by column signature.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SigMap {
+    // Invariant: sorted by signature bits, no duplicate signatures, no
+    // empty id sets.
+    buckets: Vec<(ColSig, IdSet)>,
+}
+
+impl SigMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that annotation `id` contributes under `sig`.
+    pub fn add(&mut self, id: u64, sig: ColSig) {
+        debug_assert!(!sig.is_empty(), "empty signature");
+        match self
+            .buckets
+            .binary_search_by_key(&sig.bits(), |(s, _)| s.bits())
+        {
+            Ok(i) => {
+                self.buckets[i].1.insert(id);
+            }
+            Err(i) => {
+                let mut set = IdSet::new();
+                set.insert(id);
+                self.buckets.insert(i, (sig, set));
+            }
+        }
+    }
+
+    /// All contributing ids (union across buckets, duplicate-free).
+    pub fn all_ids(&self) -> IdSet {
+        let mut out = IdSet::new();
+        for (_, set) in &self.buckets {
+            out = out.union(set);
+        }
+        out
+    }
+
+    /// Total distinct contributing annotations.
+    pub fn distinct_count(&self) -> usize {
+        self.all_ids().len()
+    }
+
+    /// Number of signature buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The buckets in signature order.
+    pub fn buckets(&self) -> &[(ColSig, IdSet)] {
+        &self.buckets
+    }
+
+    /// Projects the map onto the surviving columns and returns the ids
+    /// whose *every* contribution vanished — exactly the annotations whose
+    /// effect the summary body must now subtract.
+    ///
+    /// `remap` translates old column ordinals to new ones (`None` = column
+    /// projected out); it both filters and re-keys the buckets so the
+    /// resulting map speaks the output schema's ordinals.
+    pub fn project(&mut self, remap: &dyn Fn(u16) -> Option<u16>) -> IdSet {
+        let old = std::mem::take(&mut self.buckets);
+        let mut dropped = IdSet::new();
+        let mut kept_ids = IdSet::new();
+        for (sig, set) in old {
+            let new_sig = sig.remap(remap);
+            if new_sig.is_empty() {
+                dropped = dropped.union(&set);
+            } else {
+                kept_ids = kept_ids.union(&set);
+                self.merge_bucket(new_sig, set);
+            }
+        }
+        dropped.subtract(&kept_ids);
+        dropped
+    }
+
+    /// Merges another map into this one (join merge). Ids shared between
+    /// the two sides stay recorded once per signature; the union inside
+    /// each bucket is duplicate-free.
+    pub fn merge(&mut self, other: &SigMap) {
+        for (sig, set) in &other.buckets {
+            self.merge_bucket(*sig, set.clone());
+        }
+    }
+
+    /// Removes a set of ids from every bucket (used when a summary body
+    /// rejects contributions, e.g. zoom-in cache repair paths).
+    pub fn remove_ids(&mut self, ids: &IdSet) {
+        for (_, set) in &mut self.buckets {
+            set.subtract(ids);
+        }
+        self.buckets.retain(|(_, set)| !set.is_empty());
+    }
+
+    /// True when no annotations contribute.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<(ColSig, IdSet)>()
+            + self
+                .buckets
+                .iter()
+                .map(|(_, s)| s.heap_bytes())
+                .sum::<usize>()
+    }
+
+    fn merge_bucket(&mut self, sig: ColSig, set: IdSet) {
+        if set.is_empty() {
+            return;
+        }
+        match self
+            .buckets
+            .binary_search_by_key(&sig.bits(), |(s, _)| s.bits())
+        {
+            Ok(i) => {
+                let merged = self.buckets[i].1.union(&set);
+                self.buckets[i].1 = merged;
+            }
+            Err(i) => self.buckets.insert(i, (sig, set)),
+        }
+    }
+}
+
+impl codec::Encodable for SigMap {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.varint(self.buckets.len() as u64);
+        for (sig, set) in &self.buckets {
+            enc.u64(sig.bits());
+            enc.idset(set);
+        }
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let n = dec.varint()? as usize;
+        let mut buckets = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let sig = ColSig::from_bits(dec.u64()?);
+            let set = dec.idset()?;
+            buckets.push((sig, set));
+        }
+        Ok(Self { buckets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::codec::Encodable;
+    use insightnotes_common::ColumnId;
+
+    fn sig(cols: &[u16]) -> ColSig {
+        ColSig::of_columns(&cols.iter().map(|&c| ColumnId::new(c)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn add_buckets_by_signature() {
+        let mut m = SigMap::new();
+        m.add(1, sig(&[0, 1]));
+        m.add(2, sig(&[0, 1]));
+        m.add(3, sig(&[2]));
+        assert_eq!(m.bucket_count(), 2);
+        assert_eq!(m.distinct_count(), 3);
+    }
+
+    #[test]
+    fn project_drops_fully_covered_buckets() {
+        // Figure 2 step 1: annotations on r.c / r.d (cols 2, 3) vanish when
+        // projecting onto (a, b) = cols 0, 1.
+        let mut m = SigMap::new();
+        m.add(1, sig(&[0, 1, 2, 3])); // whole-row annotation survives
+        m.add(2, sig(&[2])); // on r.c only → dropped
+        m.add(3, sig(&[3])); // on r.d only → dropped
+        let dropped = m.project(&|c| if c <= 1 { Some(c) } else { None });
+        assert_eq!(dropped.as_slice(), &[2, 3]);
+        assert_eq!(m.distinct_count(), 1);
+        // Surviving bucket re-keyed to the output ordinals.
+        assert_eq!(m.buckets()[0].0, sig(&[0, 1]));
+    }
+
+    #[test]
+    fn project_keeps_id_alive_through_any_surviving_bucket() {
+        // After a join merge the same annotation can contribute under two
+        // signatures; dropping one side must not drop the annotation.
+        let mut m = SigMap::new();
+        m.add(7, sig(&[0]));
+        m.add(7, sig(&[4]));
+        let dropped = m.project(&|c| if c == 4 { Some(0) } else { None });
+        assert!(dropped.is_empty());
+        assert_eq!(m.distinct_count(), 1);
+    }
+
+    #[test]
+    fn project_rekey_merges_colliding_buckets() {
+        let mut m = SigMap::new();
+        m.add(1, sig(&[0, 2]));
+        m.add(2, sig(&[0]));
+        // Dropping col 2 folds {0,2} into {0}.
+        let dropped = m.project(&|c| if c == 0 { Some(0) } else { None });
+        assert!(dropped.is_empty());
+        assert_eq!(m.bucket_count(), 1);
+        assert_eq!(m.buckets()[0].1.len(), 2);
+    }
+
+    #[test]
+    fn merge_deduplicates_shared_ids() {
+        let mut a = SigMap::new();
+        a.add(1, sig(&[0]));
+        a.add(2, sig(&[0]));
+        let mut b = SigMap::new();
+        b.add(2, sig(&[0]));
+        b.add(3, sig(&[1]));
+        a.merge(&b);
+        assert_eq!(a.distinct_count(), 3);
+        assert_eq!(a.bucket_count(), 2);
+    }
+
+    #[test]
+    fn remove_ids_prunes_empty_buckets() {
+        let mut m = SigMap::new();
+        m.add(1, sig(&[0]));
+        m.add(2, sig(&[1]));
+        m.remove_ids(&IdSet::from_iter_unsorted([1]));
+        assert_eq!(m.bucket_count(), 1);
+        assert_eq!(m.distinct_count(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_codec() {
+        let mut m = SigMap::new();
+        m.add(1, sig(&[0, 1]));
+        m.add(9, sig(&[3]));
+        assert_eq!(SigMap::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+}

@@ -1,0 +1,411 @@
+//! Online leader–follower clustering over sparse vectors.
+//!
+//! The Cluster summary type groups a tuple's annotations by content
+//! similarity and reports one representative per group. Because annotations
+//! arrive as a stream, clustering must be *online*: each new vector is
+//! assigned to the nearest existing cluster if its cosine similarity to the
+//! centroid reaches the instance's threshold, otherwise it seeds a new
+//! cluster — the classic leader–follower scheme used in text-stream
+//! clustering \[23\].
+//!
+//! Centroids are unnormalized sums truncated to a bounded number of terms,
+//! so a cluster's memory stays O(1) regardless of how many members it
+//! absorbs. The `merge` operation — needed by the join operator's summary
+//! merge — combines clusters from two clusterings whose centroids are
+//! mutually similar and keeps the rest separate, exactly the behavior
+//! Figure 2 of the paper illustrates (groups A1/B5 combine; A5 and B7
+//! propagate separately).
+
+use crate::vector::SparseVector;
+
+/// Tuning knobs for the online clusterer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Cosine similarity required to join an existing cluster.
+    pub threshold: f32,
+    /// Maximum number of centroid terms retained (top-k by weight).
+    pub centroid_terms: usize,
+    /// Cluster-count budget. Once reached, a vector that matches no
+    /// existing cluster joins its *nearest* cluster instead of founding a
+    /// new one — the standard bounded-budget move in stream clustering,
+    /// and what keeps summary objects O(1) in size and pairwise merge
+    /// cost O(budget²) regardless of how many annotations a tuple
+    /// accumulates.
+    pub max_groups: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.4,
+            centroid_terms: 16,
+            max_groups: 16,
+        }
+    }
+}
+
+/// One cluster: bounded centroid plus member bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Unnormalized centroid (sum of member vectors, truncated).
+    pub centroid: SparseVector,
+    /// Member payload ids with their similarity-at-insert score, sorted
+    /// by id (so overlap checks during merges are linear two-pointer
+    /// scans). The score orders representative election: highest score =
+    /// most central member.
+    pub members: Vec<(u64, f32)>,
+}
+
+impl Cluster {
+    /// Reassembles a cluster from its parts (codec decode path).
+    pub fn from_parts(centroid: SparseVector, mut members: Vec<(u64, f32)>) -> Self {
+        members.sort_by_key(|&(id, _)| id);
+        Self { centroid, members }
+    }
+
+    /// Inserts a member keeping the by-id sort; ignores duplicate ids.
+    fn insert_member(&mut self, id: u64, score: f32) {
+        if let Err(pos) = self.members.binary_search_by_key(&id, |&(m, _)| m) {
+            self.members.insert(pos, (id, score));
+        }
+    }
+
+    /// True when the two clusters share any member id (linear merge scan
+    /// over the sorted lists).
+    fn shares_member(&self, other: &Cluster) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.members.len() && j < other.members.len() {
+            match self.members[i].0.cmp(&other.members[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    fn new(id: u64, vector: SparseVector) -> Self {
+        Self {
+            centroid: vector,
+            members: vec![(id, 1.0)],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member id with the highest centrality score (ties → smaller id),
+    /// i.e. the cluster's representative.
+    pub fn representative(&self) -> Option<u64> {
+        self.members
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(&a.0))
+            })
+            .map(|&(id, _)| id)
+    }
+}
+
+/// An incremental clustering of payload ids (annotation ids in practice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineClusterer {
+    config: ClusterConfig,
+    clusters: Vec<Cluster>,
+}
+
+impl OnlineClusterer {
+    /// Creates an empty clustering.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            config,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Reassembles a clustering from its parts (codec decode path).
+    pub fn from_parts(config: ClusterConfig, clusters: Vec<Cluster>) -> Self {
+        Self { config, clusters }
+    }
+
+    /// The clusters, in creation order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when no clusters exist.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Adds `(id, vector)`, returning the index of the cluster it joined.
+    pub fn add(&mut self, id: u64, vector: SparseVector) -> usize {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let sim = c.centroid.cosine(&vector);
+            if sim >= self.config.threshold && best.is_none_or(|(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        match best {
+            Some((i, sim)) => {
+                let c = &mut self.clusters[i];
+                c.insert_member(id, sim);
+                c.centroid.add_scaled(&vector, 1.0);
+                c.centroid.truncate_top_k(self.config.centroid_terms);
+                i
+            }
+            None if self.clusters.len() < self.config.max_groups => {
+                self.clusters.push(Cluster::new(id, vector));
+                self.clusters.len() - 1
+            }
+            None => {
+                // Budget reached: join the nearest cluster regardless of
+                // the threshold (smallest index wins ties, so the choice
+                // is deterministic).
+                let i = self.nearest_cluster(&vector).expect("budget ≥ 1 cluster");
+                let c = &mut self.clusters[i];
+                let sim = c.centroid.cosine(&vector);
+                c.insert_member(id, sim);
+                c.centroid.add_scaled(&vector, 1.0);
+                c.centroid.truncate_top_k(self.config.centroid_terms);
+                i
+            }
+        }
+    }
+
+    /// Index of the cluster with the most-similar centroid.
+    fn nearest_cluster(&self, vector: &SparseVector) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let sim = c.centroid.cosine(vector);
+            if best.is_none_or(|(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Absorbs one foreign cluster into cluster `i`, deduplicating shared
+    /// member ids (linear merge of the sorted member lists).
+    fn absorb(&mut self, i: usize, other: &Cluster) {
+        let host = &mut self.clusters[i];
+        let mut merged = Vec::with_capacity(host.members.len() + other.members.len());
+        let (mut a, mut b) = (0, 0);
+        while a < host.members.len() && b < other.members.len() {
+            match host.members[a].0.cmp(&other.members[b].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(host.members[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.members[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(host.members[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&host.members[a..]);
+        merged.extend_from_slice(&other.members[b..]);
+        host.members = merged;
+        host.centroid.add_scaled(&other.centroid, 1.0);
+        host.centroid.truncate_top_k(self.config.centroid_terms);
+    }
+
+    /// Removes a set of member ids everywhere, dropping emptied clusters.
+    /// Centroids are *not* rebuilt (raw vectors are gone by design); they
+    /// remain a bounded sketch of everything the cluster has absorbed,
+    /// which is the trade the paper's summaries make.
+    pub fn remove_members(&mut self, ids: &dyn Fn(u64) -> bool) {
+        for c in &mut self.clusters {
+            c.members.retain(|&(id, _)| !ids(id));
+        }
+        self.clusters.retain(|c| !c.is_empty());
+    }
+
+    /// Merges another clustering into this one. A cluster that shares a
+    /// member id with (or whose centroid is similar to) an existing
+    /// cluster combines with it, deduplicating shared members; otherwise
+    /// it is appended — or, at the budget, absorbed by its nearest
+    /// cluster.
+    pub fn merge(&mut self, other: &OnlineClusterer) {
+        // Centroid norms are consulted O(|self| × |other|) times; cache
+        // them and refresh only the absorbing cluster's entry.
+        let mut norms: Vec<f32> = self.clusters.iter().map(|c| c.centroid.norm()).collect();
+        'outer: for oc in &other.clusters {
+            let oc_norm = oc.centroid.norm();
+            for (i, sc) in self.clusters.iter().enumerate() {
+                if sc.shares_member(oc)
+                    || sc
+                        .centroid
+                        .cosine_with_norms(norms[i], &oc.centroid, oc_norm)
+                        >= self.config.threshold
+                {
+                    self.absorb(i, oc);
+                    norms[i] = self.clusters[i].centroid.norm();
+                    continue 'outer;
+                }
+            }
+            if self.clusters.len() < self.config.max_groups {
+                self.clusters.push(oc.clone());
+                norms.push(oc_norm);
+            } else {
+                let i = self
+                    .nearest_cluster_with_norms(&oc.centroid, oc_norm, &norms)
+                    .expect("non-empty");
+                self.absorb(i, oc);
+                norms[i] = self.clusters[i].centroid.norm();
+            }
+        }
+    }
+
+    /// Nearest cluster using cached norms.
+    fn nearest_cluster_with_norms(
+        &self,
+        vector: &SparseVector,
+        vector_norm: f32,
+        norms: &[f32],
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let sim = c.centroid.cosine_with_norms(norms[i], vector, vector_norm);
+            if best.is_none_or(|(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Total members across clusters.
+    pub fn total_members(&self) -> usize {
+        self.clusters.iter().map(Cluster::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn vector(vocab: &mut Vocabulary, terms: &[&str]) -> SparseVector {
+        let ids: Vec<_> = terms.iter().map(|t| vocab.intern(t)).collect();
+        SparseVector::from_term_ids(&ids)
+    }
+
+    #[test]
+    fn similar_vectors_share_a_cluster() {
+        let mut vocab = Vocabulary::new();
+        let mut cl = OnlineClusterer::new(ClusterConfig::default());
+        let a = cl.add(1, vector(&mut vocab, &["eating", "stonewort", "shore"]));
+        let b = cl.add(2, vector(&mut vocab, &["eating", "stonewort", "lake"]));
+        let c = cl.add(3, vector(&mut vocab, &["wing", "span", "measured"]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cl.len(), 2);
+    }
+
+    #[test]
+    fn representative_is_most_central_member() {
+        let mut vocab = Vocabulary::new();
+        let mut cl = OnlineClusterer::new(ClusterConfig::default());
+        cl.add(10, vector(&mut vocab, &["eating", "stonewort"]));
+        cl.add(11, vector(&mut vocab, &["eating", "stonewort"]));
+        // The founder has score 1.0; an identical follower also scores
+        // highly. Representative must be deterministic.
+        let rep = cl.clusters()[0].representative().unwrap();
+        assert!(rep == 10 || rep == 11);
+        let rep2 = cl.clusters()[0].representative().unwrap();
+        assert_eq!(rep, rep2);
+    }
+
+    #[test]
+    fn remove_members_drops_empty_clusters_and_reelects() {
+        let mut vocab = Vocabulary::new();
+        let mut cl = OnlineClusterer::new(ClusterConfig::default());
+        cl.add(1, vector(&mut vocab, &["eating", "stonewort"]));
+        cl.add(2, vector(&mut vocab, &["eating", "stonewort", "shore"]));
+        cl.add(3, vector(&mut vocab, &["wing", "span"]));
+        let before_rep = cl.clusters()[0].representative().unwrap();
+        cl.remove_members(&|id| id == before_rep);
+        // Representative re-elected from survivors; singleton cluster for 3
+        // survives; no empty clusters remain.
+        assert!(cl.clusters().iter().all(|c| !c.is_empty()));
+        assert_eq!(cl.total_members(), 2);
+        let new_rep = cl.clusters()[0].representative().unwrap();
+        assert_ne!(new_rep, before_rep);
+    }
+
+    #[test]
+    fn merge_combines_overlapping_groups_and_keeps_disjoint_ones() {
+        let mut vocab = Vocabulary::new();
+        let mut left = OnlineClusterer::new(ClusterConfig::default());
+        left.add(1, vector(&mut vocab, &["eating", "stonewort"]));
+        left.add(5, vector(&mut vocab, &["banding", "station", "record"]));
+
+        let mut right = OnlineClusterer::new(ClusterConfig::default());
+        right.add(2, vector(&mut vocab, &["eating", "stonewort", "shore"]));
+        right.add(7, vector(&mut vocab, &["migration", "route", "gps"]));
+
+        left.merge(&right);
+        // "eating stonewort" groups combine; banding / migration stay apart.
+        assert_eq!(left.len(), 3);
+        assert_eq!(left.total_members(), 4);
+    }
+
+    #[test]
+    fn merge_deduplicates_shared_member_ids() {
+        let mut vocab = Vocabulary::new();
+        let v = vector(&mut vocab, &["eating", "stonewort"]);
+        let mut left = OnlineClusterer::new(ClusterConfig::default());
+        left.add(1, v.clone());
+        let mut right = OnlineClusterer::new(ClusterConfig::default());
+        right.add(1, v); // same annotation attached to both tuples
+        left.merge(&right);
+        assert_eq!(
+            left.total_members(),
+            1,
+            "shared member must not double-count"
+        );
+    }
+
+    #[test]
+    fn centroid_stays_bounded() {
+        let mut vocab = Vocabulary::new();
+        let cfg = ClusterConfig {
+            threshold: 0.0,
+            centroid_terms: 8,
+            max_groups: 200,
+        };
+        let mut cl = OnlineClusterer::new(cfg);
+        for i in 0..100u64 {
+            let terms: Vec<String> = (0..5).map(|j| format!("term{}{}", i, j)).collect();
+            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+            cl.add(i, vector(&mut vocab, &refs));
+        }
+        for c in cl.clusters() {
+            assert!(c.centroid.nnz() <= 8);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary-codec implementations for the text-mining types.
+//!
+//! Database persistence snapshots trained classifier models, instance
+//! vocabularies, and clustering state. The encodings are
+//! version-agnostic field dumps; compatibility is governed by the
+//! database file's top-level version tag.
+
+use crate::cluster::{Cluster, ClusterConfig, OnlineClusterer};
+use crate::nb::NaiveBayes;
+use crate::snippet::SnippetConfig;
+use crate::vector::SparseVector;
+use crate::vocab::Vocabulary;
+use insightnotes_common::codec::{Decoder, Encodable, Encoder};
+use insightnotes_common::{Error, Result};
+
+impl Encodable for Vocabulary {
+    fn encode(&self, enc: &mut Encoder) {
+        let (terms, doc_freq, num_docs) = self.parts();
+        enc.varint(terms.len() as u64);
+        for t in terms {
+            enc.str(t);
+        }
+        enc.seq(doc_freq, |e, &df| e.varint(df as u64));
+        enc.varint(num_docs);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let n = dec.varint()? as usize;
+        let mut terms = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            terms.push(dec.str()?);
+        }
+        let doc_freq: Vec<u32> = dec.seq(|d| Ok(d.varint()? as u32))?;
+        let num_docs = dec.varint()?;
+        if doc_freq.len() != terms.len() {
+            return Err(Error::Codec("vocabulary arity mismatch".into()));
+        }
+        Vocabulary::from_parts(terms, doc_freq, num_docs)
+    }
+}
+
+impl Encodable for SparseVector {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.nnz() as u64);
+        for &(id, w) in self.entries() {
+            enc.u32(id);
+            enc.f64(w as f64);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let n = dec.varint()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            entries.push((dec.u32()?, dec.f64()? as f32));
+        }
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(Error::Codec("sparse vector ids not increasing".into()));
+        }
+        Ok(SparseVector::from_sorted_entries(entries))
+    }
+}
+
+impl Encodable for ClusterConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.f64(self.threshold as f64);
+        enc.varint(self.centroid_terms as u64);
+        enc.varint(self.max_groups as u64);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(ClusterConfig {
+            threshold: dec.f64()? as f32,
+            centroid_terms: dec.varint()? as usize,
+            max_groups: dec.varint()? as usize,
+        })
+    }
+}
+
+impl Encodable for SnippetConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.max_sentences as u64);
+        enc.varint(self.max_chars as u64);
+        enc.f64(self.position_weight as f64);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(SnippetConfig {
+            max_sentences: dec.varint()? as usize,
+            max_chars: dec.varint()? as usize,
+            position_weight: dec.f64()? as f32,
+        })
+    }
+}
+
+impl Encodable for Cluster {
+    fn encode(&self, enc: &mut Encoder) {
+        self.centroid.encode(enc);
+        enc.varint(self.members.len() as u64);
+        for &(id, score) in &self.members {
+            enc.varint(id);
+            enc.f64(score as f64);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let centroid = SparseVector::decode(dec)?;
+        let n = dec.varint()? as usize;
+        let mut members = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            members.push((dec.varint()?, dec.f64()? as f32));
+        }
+        Ok(Cluster::from_parts(centroid, members))
+    }
+}
+
+impl Encodable for OnlineClusterer {
+    fn encode(&self, enc: &mut Encoder) {
+        self.config().encode(enc);
+        enc.seq(self.clusters(), |e, c| c.encode(e));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let config = ClusterConfig::decode(dec)?;
+        let clusters = dec.seq(Cluster::decode)?;
+        Ok(OnlineClusterer::from_parts(config, clusters))
+    }
+}
+
+impl Encodable for NaiveBayes {
+    fn encode(&self, enc: &mut Encoder) {
+        let (labels, vocab, doc_counts, token_totals, term_counts) = self.parts();
+        enc.seq(labels, |e, l| e.str(l));
+        vocab.encode(enc);
+        enc.seq(doc_counts, |e, &c| e.varint(c));
+        enc.seq(token_totals, |e, &c| e.varint(c));
+        enc.varint(term_counts.len() as u64);
+        for row in term_counts {
+            enc.seq(row, |e, &c| e.varint(c as u64));
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let labels: Vec<String> = dec.seq(|d| d.str())?;
+        let vocab = Vocabulary::decode(dec)?;
+        let doc_counts: Vec<u64> = dec.seq(|d| d.varint())?;
+        let token_totals: Vec<u64> = dec.seq(|d| d.varint())?;
+        let nrows = dec.varint()? as usize;
+        let mut term_counts = Vec::with_capacity(nrows.min(256));
+        for _ in 0..nrows {
+            term_counts.push(dec.seq(|d| Ok(d.varint()? as u32))?);
+        }
+        NaiveBayes::from_parts(labels, vocab, doc_counts, token_totals, term_counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_round_trips() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("swan");
+        let b = v.intern("goose");
+        v.observe_doc(&[a, b]);
+        v.observe_doc(&[a]);
+        let back = Vocabulary::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("swan"), Some(a));
+        assert_eq!(back.num_docs(), 2);
+        assert_eq!(back.idf(a), v.idf(a));
+    }
+
+    #[test]
+    fn naive_bayes_round_trips_with_identical_decisions() {
+        let mut nb = NaiveBayes::new(vec!["x".into(), "y".into()]);
+        nb.train(0, "eating stonewort diving");
+        nb.train(1, "lesions parasites infection");
+        let back = NaiveBayes::from_bytes(&nb.to_bytes()).unwrap();
+        for text in ["eating near shore", "parasites on wing", "unrelated words"] {
+            assert_eq!(back.classify(text), nb.classify(text), "text: {text}");
+            assert_eq!(back.classify_scores(text), nb.classify_scores(text));
+        }
+    }
+
+    #[test]
+    fn clusterer_round_trips() {
+        let mut vocab = Vocabulary::new();
+        let mut cl = OnlineClusterer::new(ClusterConfig::default());
+        for (i, text) in ["eating stonewort", "eating stonewort shore", "wing span"]
+            .iter()
+            .enumerate()
+        {
+            let ids = vocab.intern_all(&text.split(' ').map(str::to_string).collect::<Vec<_>>());
+            cl.add(i as u64, SparseVector::from_term_ids(&ids));
+        }
+        let back = OnlineClusterer::from_bytes(&cl.to_bytes()).unwrap();
+        assert_eq!(back, cl);
+    }
+
+    #[test]
+    fn configs_round_trip() {
+        let cc = ClusterConfig {
+            threshold: 0.7,
+            centroid_terms: 5,
+            max_groups: 9,
+        };
+        assert_eq!(ClusterConfig::from_bytes(&cc.to_bytes()).unwrap(), cc);
+        let sc = SnippetConfig {
+            max_sentences: 2,
+            max_chars: 99,
+            position_weight: 0.5,
+        };
+        let back = SnippetConfig::from_bytes(&sc.to_bytes()).unwrap();
+        assert_eq!(back.max_sentences, 2);
+        assert_eq!(back.max_chars, 99);
+    }
+
+    #[test]
+    fn corrupt_vocabulary_is_rejected() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        let mut bytes = v.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Vocabulary::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # insightnotes-text
+//!
+//! Text-mining substrate for InsightNotes' three summary types, implemented
+//! from scratch (std only):
+//!
+//! - [`token`] — lowercasing tokenizer with an English stopword filter and a
+//!   sentence splitter (feeds every other module);
+//! - [`vocab`] — term interning, so the rest of the pipeline works on dense
+//!   `u32` term ids instead of strings;
+//! - [`vector`] — sparse TF / TF-IDF vectors with cosine similarity, the
+//!   distance used by annotation clustering;
+//! - [`nb`] — a multinomial Naive Bayes classifier with Laplace smoothing
+//!   (the paper's Classifier summary type cites Manning et al.'s IR
+//!   textbook treatment \[12\]);
+//! - [`cluster`] — online leader–follower clustering over sparse vectors
+//!   (the paper's Cluster summary type cites text-stream clustering \[23\]);
+//! - [`snippet`] — an extractive sentence summarizer scoring sentences by
+//!   normalized term frequency with a position prior (the Snippet type
+//!   cites the Nenkova–McKeown survey \[24\]).
+
+pub mod cluster;
+pub mod codec_impls;
+pub mod nb;
+pub mod snippet;
+pub mod token;
+pub mod vector;
+pub mod vocab;
+
+pub use cluster::{Cluster, ClusterConfig, OnlineClusterer};
+pub use nb::NaiveBayes;
+pub use snippet::{summarize_extractive, SnippetConfig};
+pub use token::{sentences, tokenize, Tokenizer};
+pub use vector::SparseVector;
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,240 @@
+//! Multinomial Naive Bayes text classification.
+//!
+//! Classifier summary instances (e.g. `ClassBird1` with labels Behavior /
+//! Disease / Anatomy / Other) are backed by this model. Training happens
+//! once at `CREATE SUMMARY INSTANCE` time from a labeled corpus supplied by
+//! the domain expert (in this reproduction: the workload generator's seed
+//! corpus); classification of each incoming annotation is a single pass
+//! over its tokens.
+//!
+//! The implementation follows the standard multinomial model with Laplace
+//! (add-one) smoothing: `argmax_c [ log P(c) + Σ_t log P(t | c) ]`.
+//! Training is incremental — documents can be added at any time — which is
+//! what the paper's extensibility story expects of integrated mining
+//! techniques.
+
+use crate::token::Tokenizer;
+use crate::vocab::{TermId, Vocabulary};
+
+/// A trained (or training) multinomial Naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    labels: Vec<String>,
+    vocab: Vocabulary,
+    tokenizer: Tokenizer,
+    /// Per-label document counts (the prior).
+    doc_counts: Vec<u64>,
+    /// Per-label total token counts.
+    token_totals: Vec<u64>,
+    /// `term_counts[label][term]` token counts, grown lazily.
+    term_counts: Vec<Vec<u32>>,
+}
+
+impl NaiveBayes {
+    /// Creates an untrained classifier over the given output labels.
+    ///
+    /// Labels are fixed at construction: they are part of the summary
+    /// instance definition and the zoom-in `INDEX` addresses them by
+    /// position.
+    pub fn new(labels: Vec<String>) -> Self {
+        let n = labels.len();
+        Self {
+            labels,
+            vocab: Vocabulary::new(),
+            tokenizer: Tokenizer::default(),
+            doc_counts: vec![0; n],
+            token_totals: vec![0; n],
+            term_counts: vec![Vec::new(); n],
+        }
+    }
+
+    /// The output labels, in index order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Index of a label by name.
+    pub fn label_index(&self, name: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == name)
+    }
+
+    /// Total training documents seen.
+    pub fn num_documents(&self) -> u64 {
+        self.doc_counts.iter().sum()
+    }
+
+    /// Adds one labeled training document.
+    ///
+    /// # Panics
+    /// Panics if `label` is out of range (caller bug: labels are fixed).
+    pub fn train(&mut self, label: usize, text: &str) {
+        assert!(label < self.labels.len(), "label index out of range");
+        let tokens = self.tokenizer.tokenize(text);
+        let ids = self.vocab.intern_all(&tokens);
+        self.vocab.observe_doc(&ids);
+        self.doc_counts[label] += 1;
+        self.token_totals[label] += ids.len() as u64;
+        let counts = &mut self.term_counts[label];
+        for id in ids {
+            let idx = id as usize;
+            if counts.len() <= idx {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+    }
+
+    /// Classifies `text`, returning the winning label index.
+    ///
+    /// Untrained classifiers (or empty token streams) fall back to the last
+    /// label, by convention the catch-all (e.g. "Other").
+    pub fn classify(&self, text: &str) -> usize {
+        self.classify_scores(text)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Log-posterior (up to a constant) per label. Ties and degenerate
+    /// inputs resolve toward the last label via a tiny index-scaled epsilon,
+    /// keeping classification deterministic.
+    pub fn classify_scores(&self, text: &str) -> Vec<f64> {
+        let n = self.labels.len();
+        let total_docs: u64 = self.doc_counts.iter().sum();
+        let vocab_size = self.vocab.len() as f64;
+        let tokens = self.tokenizer.tokenize(text);
+        let ids: Vec<Option<TermId>> = tokens.iter().map(|t| self.vocab.get(t)).collect();
+
+        (0..n)
+            .map(|label| {
+                // Laplace-smoothed prior.
+                let prior =
+                    ((self.doc_counts[label] as f64 + 1.0) / (total_docs as f64 + n as f64)).ln();
+                let denom = self.token_totals[label] as f64 + vocab_size + 1.0;
+                let mut score = prior;
+                for id in ids.iter().flatten() {
+                    let count = self.term_counts[label]
+                        .get(*id as usize)
+                        .copied()
+                        .unwrap_or(0) as f64;
+                    score += ((count + 1.0) / denom).ln();
+                }
+                // Deterministic tie-break toward higher indices (catch-all).
+                score + label as f64 * 1e-12
+            })
+            .collect()
+    }
+
+    /// Classifies and returns the label name.
+    pub fn classify_label(&self, text: &str) -> &str {
+        &self.labels[self.classify(text)]
+    }
+
+    /// Internal state view for persistence:
+    /// `(labels, vocab, doc_counts, token_totals, term_counts)`.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (&[String], &Vocabulary, &[u64], &[u64], &[Vec<u32>]) {
+        (
+            &self.labels,
+            &self.vocab,
+            &self.doc_counts,
+            &self.token_totals,
+            &self.term_counts,
+        )
+    }
+
+    /// Reassembles a trained model from persisted parts. Validates that
+    /// every per-label table matches the label count.
+    pub fn from_parts(
+        labels: Vec<String>,
+        vocab: Vocabulary,
+        doc_counts: Vec<u64>,
+        token_totals: Vec<u64>,
+        term_counts: Vec<Vec<u32>>,
+    ) -> std::result::Result<Self, insightnotes_common::Error> {
+        let n = labels.len();
+        if doc_counts.len() != n || token_totals.len() != n || term_counts.len() != n {
+            return Err(insightnotes_common::Error::Codec(
+                "naive bayes label arity mismatch".into(),
+            ));
+        }
+        Ok(Self {
+            labels,
+            vocab,
+            tokenizer: Tokenizer::default(),
+            doc_counts,
+            token_totals,
+            term_counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> NaiveBayes {
+        let mut nb = NaiveBayes::new(vec![
+            "Behavior".into(),
+            "Disease".into(),
+            "Anatomy".into(),
+            "Other".into(),
+        ]);
+        nb.train(0, "found eating stonewort near the shore");
+        nb.train(0, "observed diving for fish repeatedly");
+        nb.train(0, "aggressive nesting display toward intruders");
+        nb.train(1, "lesions on the beak suggest avian pox");
+        nb.train(1, "infected wing with visible parasites");
+        nb.train(1, "suspected avian influenza outbreak in flock");
+        nb.train(2, "wing span measured at 180cm");
+        nb.train(2, "large beak and long neck proportions");
+        nb.train(2, "plumage coloration dark with white patches");
+        nb.train(3, "see attached reference for details");
+        nb
+    }
+
+    #[test]
+    fn classifies_into_trained_classes() {
+        let nb = trained();
+        assert_eq!(nb.classify_label("seen eating fish near shore"), "Behavior");
+        assert_eq!(nb.classify_label("wing lesions and parasites"), "Disease");
+        assert_eq!(nb.classify_label("beak and neck span measured"), "Anatomy");
+    }
+
+    #[test]
+    fn untrained_classifier_falls_back_to_last_label() {
+        let nb = NaiveBayes::new(vec!["A".into(), "B".into(), "Other".into()]);
+        assert_eq!(nb.classify_label("anything at all"), "Other");
+    }
+
+    #[test]
+    fn unknown_tokens_do_not_crash() {
+        let nb = trained();
+        let _ = nb.classify("zzzz qqqq never-seen-term");
+    }
+
+    #[test]
+    fn scores_have_one_entry_per_label() {
+        let nb = trained();
+        assert_eq!(nb.classify_scores("eating fish").len(), 4);
+    }
+
+    #[test]
+    fn label_index_lookup() {
+        let nb = trained();
+        assert_eq!(nb.label_index("Disease"), Some(1));
+        assert_eq!(nb.label_index("Nope"), None);
+        assert_eq!(nb.num_documents(), 10);
+    }
+
+    #[test]
+    fn training_shifts_decisions() {
+        let mut nb = NaiveBayes::new(vec!["refute".into(), "approve".into()]);
+        nb.train(0, "value is wrong needs verification invalid");
+        nb.train(1, "confirmed correct verified by experiment");
+        assert_eq!(nb.classify_label("this value is wrong"), "refute");
+        assert_eq!(nb.classify_label("experiment confirmed correct"), "approve");
+    }
+}

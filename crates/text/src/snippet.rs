@@ -1,0 +1,193 @@
+//! Extractive text summarization.
+//!
+//! Snippet summary instances compress large-object annotations (attached
+//! articles, long observations) into short snippets. The method is the
+//! classic frequency-based extractive scheme surveyed by Nenkova & McKeown
+//! \[24\]: score each sentence by the mean document-frequency weight of its
+//! content words, add a small position prior (leading sentences of an
+//! article are disproportionately informative), pick the top sentences and
+//! emit them in document order.
+
+use crate::token::{sentences, Tokenizer};
+use std::collections::HashMap;
+
+/// Tuning knobs for extractive summarization.
+#[derive(Debug, Clone)]
+pub struct SnippetConfig {
+    /// Maximum number of sentences in the snippet.
+    pub max_sentences: usize,
+    /// Hard cap on snippet length in characters (applied after sentence
+    /// selection; the snippet is truncated at a char boundary with `…`).
+    pub max_chars: usize,
+    /// Weight of the position prior in `[0, 1]`.
+    pub position_weight: f32,
+}
+
+impl Default for SnippetConfig {
+    fn default() -> Self {
+        Self {
+            max_sentences: 3,
+            max_chars: 280,
+            position_weight: 0.2,
+        }
+    }
+}
+
+/// Produces an extractive snippet of `text`.
+///
+/// Returns the original text (possibly char-truncated) when it has at most
+/// `max_sentences` sentences — short annotations pass through unchanged.
+pub fn summarize_extractive(text: &str, config: &SnippetConfig) -> String {
+    let sents = sentences(text);
+    if sents.is_empty() {
+        return String::new();
+    }
+    if sents.len() <= config.max_sentences {
+        return truncate_chars(text.trim(), config.max_chars);
+    }
+
+    let tokenizer = Tokenizer::default();
+    // Document-level term frequencies.
+    let mut tf: HashMap<String, f32> = HashMap::new();
+    let tokenized: Vec<Vec<String>> = sents.iter().map(|s| tokenizer.tokenize(s)).collect();
+    for toks in &tokenized {
+        for t in toks {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+    }
+    let max_tf = tf.values().copied().fold(1.0f32, f32::max);
+
+    // Score = mean normalized tf of content words + position prior.
+    let n = sents.len() as f32;
+    let mut scored: Vec<(usize, f32)> = tokenized
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| {
+            let content = if toks.is_empty() {
+                0.0
+            } else {
+                toks.iter().map(|t| tf[t] / max_tf).sum::<f32>() / toks.len() as f32
+            };
+            let position = 1.0 - (i as f32 / n);
+            (
+                i,
+                (1.0 - config.position_weight) * content + config.position_weight * position,
+            )
+        })
+        .collect();
+
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut chosen: Vec<usize> = scored
+        .iter()
+        .take(config.max_sentences)
+        .map(|&(i, _)| i)
+        .collect();
+    chosen.sort_unstable();
+
+    let snippet = chosen
+        .into_iter()
+        .map(|i| sents[i])
+        .collect::<Vec<_>>()
+        .join(" ");
+    truncate_chars(&snippet, config.max_chars)
+}
+
+/// Truncates at a char boundary, appending `…` when shortened.
+fn truncate_chars(s: &str, max_chars: usize) -> String {
+    if s.chars().count() <= max_chars {
+        return s.to_string();
+    }
+    let mut out: String = s.chars().take(max_chars.saturating_sub(1)).collect();
+    out.push('…');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn article() -> String {
+        let mut s = String::from(
+            "The swan goose is a large goose with a natural breeding range in Mongolia. \
+             It winters mainly in central and eastern China. ",
+        );
+        let fillers = [
+            "Rainfall varied across the basin yesterday.",
+            "Several hikers reported muddy trails upstream.",
+            "Wind gusts reached notable speeds overnight.",
+            "Cloud cover limited visibility at the ridge.",
+            "Temperatures dipped sharply before sunrise.",
+            "Barometric readings fluctuated through midday.",
+            "Fog settled densely along the valley floor.",
+            "Humidity climbed steadily toward the evening.",
+            "Thunder rumbled faintly beyond the foothills.",
+            "Drizzle persisted intermittently until dusk.",
+        ];
+        for f in fillers {
+            s.push_str(f);
+            s.push(' ');
+        }
+        s.push_str("The swan goose population is declining due to habitat loss in China.");
+        s
+    }
+
+    #[test]
+    fn short_text_passes_through() {
+        let cfg = SnippetConfig::default();
+        let text = "Seen at dawn. Eating stonewort.";
+        assert_eq!(summarize_extractive(text, &cfg), text);
+    }
+
+    #[test]
+    fn empty_text_yields_empty_snippet() {
+        assert_eq!(summarize_extractive("", &SnippetConfig::default()), "");
+    }
+
+    #[test]
+    fn long_text_is_compressed() {
+        let cfg = SnippetConfig::default();
+        let art = article();
+        let snip = summarize_extractive(&art, &cfg);
+        assert!(snip.len() < art.len());
+        assert!(snip.chars().count() <= cfg.max_chars);
+    }
+
+    #[test]
+    fn snippet_prefers_topical_sentences() {
+        let cfg = SnippetConfig {
+            max_sentences: 2,
+            max_chars: 1000,
+            position_weight: 0.2,
+        };
+        let snip = summarize_extractive(&article(), &cfg);
+        // "swan goose" and "China" recur; filler sentences each introduce
+        // unique low-frequency terms, so topical sentences win.
+        assert!(
+            snip.to_lowercase().contains("swan goose"),
+            "snippet: {snip}"
+        );
+    }
+
+    #[test]
+    fn sentences_appear_in_document_order() {
+        let cfg = SnippetConfig {
+            max_sentences: 2,
+            max_chars: 1000,
+            position_weight: 1.0, // pure position → first two sentences
+        };
+        let snip = summarize_extractive(&article(), &cfg);
+        assert!(snip.starts_with("The swan goose is a large goose"));
+    }
+
+    #[test]
+    fn truncation_is_char_safe() {
+        let s = "é".repeat(100);
+        let out = truncate_chars(&s, 10);
+        assert_eq!(out.chars().count(), 10);
+        assert!(out.ends_with('…'));
+    }
+}

@@ -1,0 +1,166 @@
+//! Tokenization and sentence splitting.
+//!
+//! Annotations are short free-text observations ("found eating stonewort
+//! near the lake shore") or long attached articles. Both flow through the
+//! same tokenizer: Unicode-aware lowercasing, alphanumeric token extraction,
+//! a small English stopword list, and a minimum token length. The sentence
+//! splitter feeds the extractive snippet summarizer.
+
+/// English stopwords. Deliberately small: the classifier benefits from
+/// function-word removal but domain terms must survive untouched.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "i", "in", "is", "it", "its", "my", "near", "no", "not", "of", "on", "or",
+    "our", "she", "so", "that", "the", "their", "them", "then", "there", "these", "they", "this",
+    "to", "up", "was", "we", "were", "which", "who", "will", "with", "you",
+];
+
+/// Configurable tokenizer. The default configuration (stopword filtering on,
+/// minimum length 2) is what every summary type uses.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Drop tokens found in the stopword list.
+    pub filter_stopwords: bool,
+    /// Drop tokens shorter than this many characters.
+    pub min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            filter_stopwords: true,
+            min_len: 2,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Tokenizes `text` into lowercase terms.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+            } else if !cur.is_empty() {
+                self.push_token(&mut out, std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            self.push_token(&mut out, cur);
+        }
+        out
+    }
+
+    fn push_token(&self, out: &mut Vec<String>, tok: String) {
+        if tok.chars().count() < self.min_len {
+            return;
+        }
+        if self.filter_stopwords && STOPWORDS.binary_search(&tok.as_str()).is_ok() {
+            return;
+        }
+        out.push(tok);
+    }
+}
+
+/// Tokenizes with the default configuration.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(text)
+}
+
+/// Splits text into sentences on `.`, `!`, `?` followed by whitespace or
+/// end-of-text. Abbreviation handling is intentionally minimal — annotation
+/// prose is informal and the summarizer is robust to occasional
+/// over-splitting.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'.' || b == b'!' || b == b'?' {
+            let end = i + 1;
+            let next_is_break = end >= bytes.len() || bytes[end].is_ascii_whitespace();
+            if next_is_break {
+                let s = text[start..end].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = end;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        assert!(STOPWORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits_on_punctuation() {
+        assert_eq!(
+            tokenize("Large one, having size..."),
+            vec!["large", "one", "having", "size"]
+        );
+    }
+
+    #[test]
+    fn tokenize_filters_stopwords_and_short_tokens() {
+        assert_eq!(
+            tokenize("found eating stonewort and a grub"),
+            vec!["found", "eating", "stonewort", "grub"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_digits_and_unicode() {
+        assert_eq!(tokenize("Weight 3kg à côté"), vec!["weight", "3kg", "côté"]);
+    }
+
+    #[test]
+    fn tokenizer_can_disable_filtering() {
+        let t = Tokenizer {
+            filter_stopwords: false,
+            min_len: 1,
+        };
+        assert_eq!(t.tokenize("a b and"), vec!["a", "b", "and"]);
+    }
+
+    #[test]
+    fn empty_text_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,,, !!").is_empty());
+    }
+
+    #[test]
+    fn sentences_split_on_terminators() {
+        let s = sentences("One. Two! Three? Four");
+        assert_eq!(s, vec!["One.", "Two!", "Three?", "Four"]);
+    }
+
+    #[test]
+    fn sentences_ignore_interior_dots() {
+        let s = sentences("Weighs 3.5 kg. Seen at dawn.");
+        assert_eq!(s, vec!["Weighs 3.5 kg.", "Seen at dawn."]);
+    }
+
+    #[test]
+    fn sentences_of_empty_text() {
+        assert!(sentences("").is_empty());
+        assert!(sentences("   ").is_empty());
+    }
+}

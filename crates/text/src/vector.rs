@@ -1,0 +1,258 @@
+//! Sparse term vectors.
+//!
+//! Cluster summary objects carry centroids as sparse vectors; cosine
+//! similarity over them decides (a) which cluster an incoming annotation
+//! joins during incremental maintenance and (b) which groups from two join
+//! sides overlap and must be combined during summary merge.
+//!
+//! Representation: parallel-sorted `(TermId, f32)` pairs. Vectors support
+//! in-place accumulation (centroid updates), scaling, and top-k truncation
+//! so centroids stay bounded no matter how many annotations a group absorbs.
+
+use crate::vocab::{TermId, Vocabulary};
+
+/// A sparse vector over interned terms, sorted by term id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    // Invariant: strictly increasing term ids.
+    entries: Vec<(TermId, f32)>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a term-frequency vector from token ids (duplicates counted).
+    pub fn from_term_ids(ids: &[TermId]) -> Self {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        let mut entries: Vec<(TermId, f32)> = Vec::new();
+        for id in sorted {
+            match entries.last_mut() {
+                Some((last, w)) if *last == id => *w += 1.0,
+                _ => entries.push((id, 1.0)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// Builds a TF-IDF vector: term frequency reweighted by the
+    /// vocabulary's smoothed IDF.
+    pub fn tf_idf(ids: &[TermId], vocab: &Vocabulary) -> Self {
+        let mut v = Self::from_term_ids(ids);
+        for (id, w) in &mut v.entries {
+            *w *= vocab.idf(*id);
+        }
+        v
+    }
+
+    /// Builds from pre-sorted entries.
+    ///
+    /// # Panics
+    /// Debug-asserts that ids are strictly increasing.
+    pub fn from_sorted_entries(entries: Vec<(TermId, f32)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Self { entries }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[(TermId, f32)] {
+        &self.entries
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|(_, w)| (*w as f64) * (*w as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Dot product (linear merge over the sorted entries).
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0f64;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, wa) = self.entries[i];
+            let (b, wb) = other.entries[j];
+            if a < b {
+                i += 1;
+            } else if b < a {
+                j += 1;
+            } else {
+                acc += (wa as f64) * (wb as f64);
+                i += 1;
+                j += 1;
+            }
+        }
+        acc as f32
+    }
+
+    /// Cosine similarity in `[0, 1]` for non-negative vectors; 0 when either
+    /// vector is empty or zero.
+    pub fn cosine(&self, other: &SparseVector) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom <= f32::EPSILON {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0)
+    }
+
+    /// Adds `other * scale` into `self` (centroid accumulation).
+    pub fn add_scaled(&mut self, other: &SparseVector, scale: f32) {
+        if other.is_empty() || scale == 0.0 {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, wa) = self.entries[i];
+            let (b, wb) = other.entries[j];
+            if a < b {
+                out.push((a, wa));
+                i += 1;
+            } else if b < a {
+                out.push((b, wb * scale));
+                j += 1;
+            } else {
+                out.push((a, wa + wb * scale));
+                i += 1;
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend(other.entries[j..].iter().map(|&(id, w)| (id, w * scale)));
+        out.retain(|&(_, w)| w != 0.0);
+        self.entries = out;
+    }
+
+    /// Multiplies every weight by `scale`.
+    pub fn scale(&mut self, scale: f32) {
+        if scale == 0.0 {
+            self.entries.clear();
+            return;
+        }
+        for (_, w) in &mut self.entries {
+            *w *= scale;
+        }
+    }
+
+    /// Keeps only the `k` highest-weight entries (ties broken by term id),
+    /// preserving the sorted-by-id invariant. Bounds centroid size.
+    /// In-place: selection partition plus a sort of the k survivors.
+    pub fn truncate_top_k(&mut self, k: usize) {
+        if self.entries.len() <= k || k == 0 {
+            return;
+        }
+        self.entries.select_nth_unstable_by(k - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        self.entries.truncate(k);
+        self.entries.sort_unstable_by_key(|&(id, _)| id);
+    }
+
+    /// Cosine similarity using externally cached norms (hot path of the
+    /// cluster merge, where each centroid is compared many times).
+    pub fn cosine_with_norms(&self, self_norm: f32, other: &SparseVector, other_norm: f32) -> f32 {
+        let denom = self_norm * other_norm;
+        if denom <= f32::EPSILON {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0)
+    }
+
+    /// Approximate heap footprint in bytes (live elements, not reserved
+    /// capacity).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(TermId, f32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_sorted_entries(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_term_ids_counts_frequencies() {
+        let v = SparseVector::from_term_ids(&[3, 1, 3, 3]);
+        assert_eq!(v.entries(), &[(1, 1.0), (3, 3.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = vec_of(&[(0, 1.0), (2, 2.0)]);
+        let b = vec_of(&[(2, 3.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+        assert!((a.norm() - 5.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_identical_is_one_disjoint_is_zero() {
+        let a = vec_of(&[(1, 2.0), (4, 1.0)]);
+        let b = vec_of(&[(7, 3.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(SparseVector::new().cosine(&a), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_merges_and_drops_zeros() {
+        let mut a = vec_of(&[(1, 1.0), (3, 2.0)]);
+        let b = vec_of(&[(1, 1.0), (2, 4.0), (3, -2.0)]);
+        a.add_scaled(&b, 1.0);
+        assert_eq!(a.entries(), &[(1, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut a = vec_of(&[(1, 1.0)]);
+        a.scale(0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn truncate_top_k_keeps_heaviest_sorted_by_id() {
+        let mut a = vec_of(&[(1, 0.5), (2, 3.0), (3, 1.0), (9, 2.0)]);
+        a.truncate_top_k(2);
+        assert_eq!(a.entries(), &[(2, 3.0), (9, 2.0)]);
+        // No-op when already within bounds.
+        let mut b = vec_of(&[(1, 1.0)]);
+        b.truncate_top_k(5);
+        assert_eq!(b.nnz(), 1);
+    }
+
+    #[test]
+    fn tf_idf_downweights_common_terms() {
+        let mut vocab = Vocabulary::new();
+        let common = vocab.intern("bird");
+        let rare = vocab.intern("stonewort");
+        for _ in 0..9 {
+            vocab.observe_doc(&[common]);
+        }
+        vocab.observe_doc(&[common, rare]);
+        let v = SparseVector::tf_idf(&[common, rare], &vocab);
+        let w_common = v.entries().iter().find(|e| e.0 == common).unwrap().1;
+        let w_rare = v.entries().iter().find(|e| e.0 == rare).unwrap().1;
+        assert!(w_rare > w_common);
+    }
+}

@@ -1,0 +1,171 @@
+//! Term interning.
+//!
+//! Every summary instance owns a [`Vocabulary`] that maps terms to dense
+//! `u32` ids. Downstream structures (sparse vectors, Naive Bayes count
+//! tables, cluster centroids) then operate on ids only, which keeps them
+//! compact and hashable. The vocabulary also tracks per-term document
+//! frequency so TF-IDF weighting needs no second pass.
+
+use std::collections::HashMap;
+
+/// Dense id of an interned term.
+pub type TermId = u32;
+
+/// A bidirectional term ↔ id map with document-frequency bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+    /// Number of documents each term appeared in (indexed by `TermId`).
+    doc_freq: Vec<u32>,
+    /// Total number of documents observed via [`Vocabulary::observe_doc`].
+    num_docs: u64,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id (existing or newly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.by_term.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Looks up a term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Returns the term for an id, if the id is in range.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Records one document's distinct terms for document-frequency stats.
+    /// `term_ids` may contain duplicates; each distinct id is counted once.
+    pub fn observe_doc(&mut self, term_ids: &[TermId]) {
+        self.num_docs += 1;
+        let mut seen: Vec<TermId> = term_ids.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        for id in seen {
+            if let Some(df) = self.doc_freq.get_mut(id as usize) {
+                *df += 1;
+            }
+        }
+    }
+
+    /// Documents observed so far.
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency: `ln((N + 1) / (df + 1)) + 1`.
+    /// Returns 1.0 for unseen terms (df = 0 with N = 0).
+    pub fn idf(&self, id: TermId) -> f32 {
+        let df = self.doc_freq.get(id as usize).copied().unwrap_or(0) as f64;
+        let n = self.num_docs as f64;
+        (((n + 1.0) / (df + 1.0)).ln() + 1.0) as f32
+    }
+
+    /// Interns every token of a pre-tokenized document.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<TermId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Internal state view for persistence: `(terms, doc_freq, num_docs)`.
+    pub fn parts(&self) -> (&[String], &[u32], u64) {
+        (&self.terms, &self.doc_freq, self.num_docs)
+    }
+
+    /// Reassembles a vocabulary from persisted parts (rebuilds the
+    /// reverse map). Fails on duplicate terms.
+    pub fn from_parts(
+        terms: Vec<String>,
+        doc_freq: Vec<u32>,
+        num_docs: u64,
+    ) -> crate::vocab::VocabResult<Self> {
+        let mut by_term = HashMap::with_capacity(terms.len());
+        for (i, t) in terms.iter().enumerate() {
+            if by_term.insert(t.clone(), i as TermId).is_some() {
+                return Err(insightnotes_common::Error::Codec(format!(
+                    "duplicate vocabulary term `{t}`"
+                )));
+            }
+        }
+        Ok(Self {
+            by_term,
+            terms,
+            doc_freq,
+            num_docs,
+        })
+    }
+}
+
+/// Result alias local to persistence construction.
+pub type VocabResult<T> = std::result::Result<T, insightnotes_common::Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("swan");
+        let b = v.intern("goose");
+        assert_eq!(v.intern("swan"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.term(a), Some("swan"));
+        assert_eq!(v.get("goose"), Some(b));
+        assert_eq!(v.get("heron"), None);
+    }
+
+    #[test]
+    fn doc_freq_counts_distinct_terms_once() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("swan");
+        let b = v.intern("lake");
+        v.observe_doc(&[a, a, b]);
+        v.observe_doc(&[a]);
+        assert_eq!(v.num_docs(), 2);
+        // swan: df=2, lake: df=1 → idf(swan) < idf(lake)
+        assert!(v.idf(a) < v.idf(b));
+    }
+
+    #[test]
+    fn idf_of_unseen_term_is_finite() {
+        let v = Vocabulary::new();
+        let idf = v.idf(42);
+        assert!(idf.is_finite() && idf > 0.0);
+    }
+
+    #[test]
+    fn intern_all_preserves_order_and_duplicates() {
+        let mut v = Vocabulary::new();
+        let toks: Vec<String> = ["x", "y", "x"].iter().map(|s| s.to_string()).collect();
+        let ids = v.intern_all(&toks);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2]);
+    }
+}

@@ -1,0 +1,391 @@
+//! The ornithological workload: bird records and class-conditioned
+//! annotation text.
+//!
+//! Annotation text is assembled from per-class vocabulary pools, so the
+//! Naive Bayes classifier has real signal to learn, near-duplicates share
+//! most of their tokens (exercising the clusterer), and attached articles
+//! are long enough to exercise the snippet summarizer.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The ornithological class labels, in zoom-index order (Figure 1's
+/// `ClassBird1`).
+pub const ANNOTATION_CLASSES: [&str; 4] = ["Behavior", "Disease", "Anatomy", "Other"];
+
+const SPECIES: &[(&str, &str)] = &[
+    ("Swan Goose", "Anser cygnoides"),
+    ("Snow Goose", "Anser caerulescens"),
+    ("Canada Goose", "Branta canadensis"),
+    ("Mute Swan", "Cygnus olor"),
+    ("Trumpeter Swan", "Cygnus buccinator"),
+    ("Mallard", "Anas platyrhynchos"),
+    ("Wood Duck", "Aix sponsa"),
+    ("Great Blue Heron", "Ardea herodias"),
+    ("Sandhill Crane", "Antigone canadensis"),
+    ("Osprey", "Pandion haliaetus"),
+    ("Bald Eagle", "Haliaeetus leucocephalus"),
+    ("Peregrine Falcon", "Falco peregrinus"),
+    ("Common Loon", "Gavia immer"),
+    ("Atlantic Puffin", "Fratercula arctica"),
+    ("Ruby-throated Hummingbird", "Archilochus colubris"),
+    ("Northern Cardinal", "Cardinalis cardinalis"),
+];
+
+const REGIONS: &[&str] = &[
+    "northeast",
+    "southeast",
+    "midwest",
+    "southwest",
+    "pacific",
+    "arctic",
+    "gulf",
+    "plains",
+];
+
+const BEHAVIOR_TERMS: &[&str] = &[
+    "foraging",
+    "diving",
+    "eating",
+    "stonewort",
+    "grazing",
+    "nesting",
+    "courtship",
+    "display",
+    "migrating",
+    "flocking",
+    "preening",
+    "calling",
+    "territorial",
+    "roosting",
+    "dabbling",
+];
+const DISEASE_TERMS: &[&str] = &[
+    "lesions",
+    "parasites",
+    "infection",
+    "avian",
+    "pox",
+    "influenza",
+    "botulism",
+    "mites",
+    "feather",
+    "loss",
+    "lethargy",
+    "swollen",
+    "discharge",
+    "outbreak",
+    "mortality",
+];
+const ANATOMY_TERMS: &[&str] = &[
+    "wingspan",
+    "plumage",
+    "beak",
+    "tarsus",
+    "molt",
+    "coloration",
+    "weight",
+    "measured",
+    "juvenile",
+    "adult",
+    "crest",
+    "talons",
+    "webbing",
+    "iridescent",
+    "banding",
+];
+const OTHER_TERMS: &[&str] = &[
+    "reference",
+    "attached",
+    "photo",
+    "recording",
+    "checklist",
+    "coordinates",
+    "survey",
+    "protocol",
+    "permit",
+    "station",
+    "observer",
+    "duplicate",
+    "correction",
+    "database",
+    "source",
+];
+
+const FILLER: &[&str] = &[
+    "observed",
+    "near",
+    "lake",
+    "shore",
+    "during",
+    "morning",
+    "several",
+    "individuals",
+    "reported",
+    "appears",
+    "likely",
+    "possible",
+    "seen",
+    "again",
+    "today",
+];
+
+/// One generated bird record, in table-column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirdRecord {
+    /// Numeric identifier.
+    pub id: i64,
+    /// Common name.
+    pub name: String,
+    /// Scientific name.
+    pub sci_name: String,
+    /// Body weight in kg.
+    pub weight: f64,
+    /// Wingspan in cm.
+    pub wingspan: f64,
+    /// Observation region.
+    pub region: String,
+}
+
+/// `CREATE TABLE` statement for the bird table.
+pub const BIRDS_DDL: &str =
+    "CREATE TABLE birds (id INT, name TEXT, sci_name TEXT, weight FLOAT, wingspan FLOAT, region TEXT)";
+
+/// One generated annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedAnnotation {
+    /// Free text.
+    pub text: String,
+    /// Class the text was drawn from (ground truth for the classifier).
+    pub class: usize,
+    /// Attached document, when generated.
+    pub document: Option<String>,
+    /// Curator name.
+    pub author: String,
+}
+
+/// Seeded generator for bird records and annotations.
+#[derive(Debug)]
+pub struct BirdGen {
+    rng: SmallRng,
+    /// Recent annotation texts, kept for near-duplicate generation.
+    recent: Vec<String>,
+}
+
+impl BirdGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            recent: Vec::new(),
+        }
+    }
+
+    /// Generates `n` bird records with ids `1..=n`.
+    pub fn records(&mut self, n: usize) -> Vec<BirdRecord> {
+        (0..n)
+            .map(|i| {
+                let (name, sci) = SPECIES[self.rng.gen_range(0..SPECIES.len())];
+                BirdRecord {
+                    id: i as i64 + 1,
+                    name: name.to_string(),
+                    sci_name: sci.to_string(),
+                    weight: (self.rng.gen_range(3.0..120.0_f64) / 10.0 * 100.0).round() / 100.0,
+                    wingspan: (self.rng.gen_range(200.0..3000.0_f64) / 10.0).round(),
+                    region: REGIONS[self.rng.gen_range(0..REGIONS.len())].to_string(),
+                }
+            })
+            .collect()
+    }
+
+    fn class_terms(class: usize) -> &'static [&'static str] {
+        match class {
+            0 => BEHAVIOR_TERMS,
+            1 => DISEASE_TERMS,
+            2 => ANATOMY_TERMS,
+            _ => OTHER_TERMS,
+        }
+    }
+
+    /// Generates one annotation. `duplicate_rate` is the probability of
+    /// producing a near-duplicate of a recent annotation (fodder for the
+    /// clusterer); `document_rate` the probability of attaching a long
+    /// article (fodder for the snippet summarizer).
+    pub fn annotation(&mut self, duplicate_rate: f64, document_rate: f64) -> GeneratedAnnotation {
+        if !self.recent.is_empty() && self.rng.gen_bool(duplicate_rate.clamp(0.0, 1.0)) {
+            let base = self.recent[self.rng.gen_range(0..self.recent.len())].clone();
+            let perturbed = self.perturb(&base);
+            return GeneratedAnnotation {
+                text: perturbed,
+                class: self.classify_ground_truth(&base),
+                document: None,
+                author: self.author(),
+            };
+        }
+        let class = self.rng.gen_range(0..ANNOTATION_CLASSES.len());
+        let terms = Self::class_terms(class);
+        let n_class = self.rng.gen_range(3..6);
+        let n_filler = self.rng.gen_range(2..5);
+        let mut words: Vec<&str> = Vec::with_capacity(n_class + n_filler);
+        for _ in 0..n_class {
+            words.push(terms[self.rng.gen_range(0..terms.len())]);
+        }
+        for _ in 0..n_filler {
+            words.push(FILLER[self.rng.gen_range(0..FILLER.len())]);
+        }
+        words.shuffle(&mut self.rng);
+        let text = words.join(" ");
+        if self.recent.len() < 256 {
+            self.recent.push(text.clone());
+        } else {
+            let slot = self.rng.gen_range(0..self.recent.len());
+            self.recent[slot] = text.clone();
+        }
+        let document = if self.rng.gen_bool(document_rate.clamp(0.0, 1.0)) {
+            Some(self.document(class))
+        } else {
+            None
+        };
+        GeneratedAnnotation {
+            text,
+            class,
+            document,
+            author: self.author(),
+        }
+    }
+
+    /// A labeled training corpus for the classifier instance:
+    /// `per_class` examples per class, `(class index, text)` pairs.
+    pub fn training_corpus(&mut self, per_class: usize) -> Vec<(usize, String)> {
+        let mut out = Vec::with_capacity(per_class * ANNOTATION_CLASSES.len());
+        for class in 0..ANNOTATION_CLASSES.len() {
+            let terms = Self::class_terms(class);
+            for _ in 0..per_class {
+                let words: Vec<&str> = (0..5)
+                    .map(|_| terms[self.rng.gen_range(0..terms.len())])
+                    .collect();
+                out.push((class, words.join(" ")));
+            }
+        }
+        out
+    }
+
+    fn perturb(&mut self, base: &str) -> String {
+        let mut words: Vec<&str> = base.split(' ').collect();
+        if !words.is_empty() {
+            let slot = self.rng.gen_range(0..words.len());
+            words[slot] = FILLER[self.rng.gen_range(0..FILLER.len())];
+        }
+        words.join(" ")
+    }
+
+    fn classify_ground_truth(&self, text: &str) -> usize {
+        // Majority vote over class term hits; ties fall to Other.
+        let mut best = (ANNOTATION_CLASSES.len() - 1, 0usize);
+        for class in 0..ANNOTATION_CLASSES.len() {
+            let terms = Self::class_terms(class);
+            let hits = text.split(' ').filter(|w| terms.contains(w)).count();
+            if hits > best.1 {
+                best = (class, hits);
+            }
+        }
+        best.0
+    }
+
+    fn document(&mut self, class: usize) -> String {
+        let terms = Self::class_terms(class);
+        let sentences = self.rng.gen_range(12..30);
+        let mut out = String::new();
+        for _ in 0..sentences {
+            let n = self.rng.gen_range(6..14);
+            let words: Vec<&str> = (0..n)
+                .map(|_| {
+                    if self.rng.gen_bool(0.4) {
+                        terms[self.rng.gen_range(0..terms.len())]
+                    } else {
+                        FILLER[self.rng.gen_range(0..FILLER.len())]
+                    }
+                })
+                .collect();
+            out.push_str(&words.join(" "));
+            out.push_str(". ");
+        }
+        out
+    }
+
+    fn author(&mut self) -> String {
+        format!("watcher{:03}", self.rng.gen_range(0..200))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = BirdGen::new(42);
+        let mut b = BirdGen::new(42);
+        assert_eq!(a.records(10), b.records(10));
+        assert_eq!(a.annotation(0.2, 0.1), b.annotation(0.2, 0.1));
+        let mut c = BirdGen::new(43);
+        assert_ne!(a.records(10), c.records(10));
+    }
+
+    #[test]
+    fn records_have_sane_fields() {
+        let recs = BirdGen::new(1).records(50);
+        assert_eq!(recs.len(), 50);
+        assert_eq!(recs[0].id, 1);
+        assert!(recs.iter().all(|r| r.weight > 0.0 && r.wingspan > 0.0));
+        assert!(recs
+            .iter()
+            .all(|r| !r.name.is_empty() && !r.region.is_empty()));
+    }
+
+    #[test]
+    fn annotations_cover_all_classes() {
+        let mut g = BirdGen::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let a = g.annotation(0.0, 0.0);
+            seen[a.class] = true;
+            assert!(!a.text.is_empty());
+        }
+        assert!(seen.iter().all(|&s| s), "classes seen: {seen:?}");
+    }
+
+    #[test]
+    fn documents_are_long() {
+        let mut g = BirdGen::new(9);
+        let mut got_doc = false;
+        for _ in 0..50 {
+            if let Some(doc) = g.annotation(0.0, 1.0).document {
+                assert!(doc.len() > 300, "doc length {}", doc.len());
+                got_doc = true;
+            }
+        }
+        assert!(got_doc);
+    }
+
+    #[test]
+    fn duplicates_share_most_tokens() {
+        let mut g = BirdGen::new(11);
+        let first = g.annotation(0.0, 0.0);
+        let dup = g.annotation(1.0, 0.0);
+        let a: std::collections::HashSet<&str> = first.text.split(' ').collect();
+        let b: std::collections::HashSet<&str> = dup.text.split(' ').collect();
+        let shared = a.intersection(&b).count();
+        assert!(shared * 2 >= a.len(), "{shared} of {} shared", a.len());
+    }
+
+    #[test]
+    fn training_corpus_is_balanced() {
+        let corpus = BirdGen::new(3).training_corpus(5);
+        assert_eq!(corpus.len(), 20);
+        for class in 0..4 {
+            assert_eq!(corpus.iter().filter(|(c, _)| *c == class).count(), 5);
+        }
+    }
+}

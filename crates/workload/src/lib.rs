@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # insightnotes-workload
+//!
+//! Seeded synthetic workloads standing in for the paper's proprietary
+//! datasets (see DESIGN.md §5):
+//!
+//! - [`birds`] — an AKN/eBird-style ornithological table plus
+//!   class-conditioned free-text observations ({Behavior, Disease,
+//!   Anatomy, Other}), near-duplicates for clustering, and long attached
+//!   articles for snippets, at configurable annotation ratios (the paper
+//!   reports 30x–250x annotations-to-records);
+//! - [`genes`] — the biological-database variant the paper's
+//!   extensibility section motivates ({FunctionPrediction, Provenance,
+//!   Comment} classes);
+//! - [`queries`] — SPJ query generators and a skewed zoom-in reference
+//!   stream for the cache experiments;
+//! - [`loader`] — one-call database seeding: tables, summary instances,
+//!   links, rows, annotation stream.
+//!
+//! Everything is driven by a single seed: identical configs produce
+//! identical databases, which keeps experiment tables reproducible.
+
+pub mod birds;
+pub mod genes;
+pub mod loader;
+pub mod queries;
+
+pub use birds::{BirdGen, BirdRecord, GeneratedAnnotation, ANNOTATION_CLASSES};
+pub use genes::GeneGen;
+pub use loader::{seed_birds_database, LoadStats, WorkloadConfig};
+pub use queries::{zoomin_reference_stream, QueryGen};

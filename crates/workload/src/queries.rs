@@ -1,0 +1,101 @@
+//! Query and zoom-in workload generators.
+//!
+//! [`QueryGen`] emits SPJ queries over the seeded bird table with varying
+//! shapes (point lookups, region scans, self-joins, group-bys) so cache
+//! entries differ in complexity and size — the skew the RCO policy
+//! exploits. [`zoomin_reference_stream`] produces a Zipf-like stream of
+//! QID references: a few hot results get most zoom-ins, matching
+//! interactive-analysis behavior.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded generator of SELECT statements over the bird workload.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: SmallRng,
+    num_birds: usize,
+}
+
+impl QueryGen {
+    /// Creates a generator. `num_birds` bounds id predicates.
+    pub fn new(seed: u64, num_birds: usize) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            num_birds: num_birds.max(1),
+        }
+    }
+
+    /// Emits the next query. Shapes rotate through point lookups, range
+    /// scans, projections, self-joins, and group-bys.
+    pub fn next_query(&mut self) -> String {
+        let id = self.rng.gen_range(1..=self.num_birds as i64);
+        match self.rng.gen_range(0..5) {
+            0 => format!("SELECT name, weight FROM birds WHERE id = {id}"),
+            1 => format!(
+                "SELECT name, region FROM birds WHERE weight > {}",
+                self.rng.gen_range(1..9)
+            ),
+            2 => "SELECT name, sci_name, wingspan FROM birds".to_string(),
+            3 => format!(
+                "SELECT a.name, b.region FROM birds a, birds b \
+                 WHERE a.region = b.region AND a.id = {id}"
+            ),
+            _ => "SELECT region, COUNT(*) AS n FROM birds GROUP BY region".to_string(),
+        }
+    }
+}
+
+/// Produces `n` zoom-in references over `qids` with approximate Zipf
+/// skew: lower-ranked (earlier) QIDs are referenced far more often.
+pub fn zoomin_reference_stream(seed: u64, qids: &[u64], n: usize) -> Vec<u64> {
+    assert!(!qids.is_empty(), "need at least one QID");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Zipf(s = 1) via inverse-CDF over precomputed harmonic weights.
+    let weights: Vec<f64> = (1..=qids.len()).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut x = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return qids[i];
+                }
+                x -= w;
+            }
+            qids[qids.len() - 1]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_deterministic_and_varied() {
+        let mut a = QueryGen::new(1, 20);
+        let mut b = QueryGen::new(1, 20);
+        let qa: Vec<String> = (0..20).map(|_| a.next_query()).collect();
+        let qb: Vec<String> = (0..20).map(|_| b.next_query()).collect();
+        assert_eq!(qa, qb);
+        let distinct: std::collections::HashSet<&String> = qa.iter().collect();
+        assert!(distinct.len() > 3, "expected shape variety");
+    }
+
+    #[test]
+    fn zoomin_stream_is_skewed() {
+        let qids: Vec<u64> = (101..=120).collect();
+        let stream = zoomin_reference_stream(7, &qids, 2000);
+        assert_eq!(stream.len(), 2000);
+        let hot = stream.iter().filter(|&&q| q == 101).count();
+        let cold = stream.iter().filter(|&&q| q == 120).count();
+        assert!(hot > cold * 3, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one QID")]
+    fn empty_qids_panics() {
+        zoomin_reference_stream(1, &[], 10);
+    }
+}

@@ -1,0 +1,111 @@
+//! The biological-database scenario: curation annotations over a gene
+//! table, classified into {FunctionPrediction, Provenance, Comment} —
+//! the paper's example of re-configuring the same engine for a second
+//! domain (extensibility, §2.3).
+//!
+//! Run with: `cargo run --example gene_provenance`
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::workload::genes::{GeneGen, GENES_DDL, GENE_CLASSES};
+use insightnotes::{Database, Result};
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+    db.execute_sql(GENES_DDL)?;
+
+    // Domain-specific classifier: same Classifier type, different labels
+    // and training corpus than the bird instance — level 2 of the
+    // summarization hierarchy.
+    let mut gen = GeneGen::new(2026);
+    let corpus = gen.training_corpus(15);
+    let pairs: Vec<String> = corpus
+        .iter()
+        .map(|(c, t)| format!("'{}': '{t}'", GENE_CLASSES[*c]))
+        .collect();
+    db.execute_sql(&format!(
+        "CREATE SUMMARY INSTANCE GeneClass TYPE CLASSIFIER LABELS ({}) TRAIN ({});
+         CREATE SUMMARY INSTANCE CurationCluster TYPE CLUSTER THRESHOLD 0.5;
+         LINK SUMMARY GeneClass TO genes;
+         LINK SUMMARY CurationCluster TO genes;",
+        GENE_CLASSES
+            .iter()
+            .map(|c| format!("'{c}'"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        pairs.join(", ")
+    ))?;
+
+    // 20 genes, 300 curation notes.
+    for r in gen.records(20) {
+        db.execute_sql(&format!(
+            "INSERT INTO genes VALUES ({}, '{}', '{}', {}, '{}')",
+            r.id, r.symbol, r.organism, r.seq_len, r.description
+        ))?;
+    }
+    for i in 0..300 {
+        let (_, text) = gen.annotation();
+        db.execute_sql(&format!(
+            "ADD ANNOTATION '{text}' AUTHOR 'curator{}' ON genes WHERE id = {}",
+            i % 7,
+            i % 20 + 1
+        ))?;
+    }
+    println!(
+        "20 genes, {} curation annotations\n",
+        db.store().stats().count
+    );
+
+    // Which genes have machine-imported provenance but open comments?
+    println!("── genes with provenance trails and open comments ──");
+    let result = db.query(
+        "SELECT symbol, organism,
+                SUMMARY_COUNT(GeneClass, 'Provenance') AS prov,
+                SUMMARY_COUNT(GeneClass, 'Comment') AS comments
+         FROM genes
+         WHERE SUMMARY_COUNT(GeneClass, 'Provenance') > 2
+           AND SUMMARY_COUNT(GeneClass, 'Comment') > 2
+         ORDER BY comments DESC LIMIT 6",
+    )?;
+    for row in &result.rows {
+        println!("  {}", row.row);
+    }
+
+    // Zoom into the comment backlog of the top gene.
+    if let Some(top) = result.rows.first() {
+        let symbol = top.row[0].to_string();
+        println!("\n── open comments on {symbol} ──");
+        let outcomes = db.execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {} WHERE symbol = '{symbol}' ON GeneClass LABEL 'Comment'",
+            result.qid.raw()
+        ))?;
+        if let ExecOutcome::ZoomIn(z) = &outcomes[0] {
+            for a in z.annotations.iter().take(6) {
+                println!("  [{}] {}", a.author, a.text);
+            }
+        }
+    }
+
+    // Organism-level rollup with merged summaries.
+    println!("\n── curation volume by organism ──");
+    let rollup = db.query(
+        "SELECT organism, COUNT(*) AS genes FROM genes GROUP BY organism ORDER BY genes DESC",
+    )?;
+    for row in &rollup.rows {
+        let merged = row
+            .summaries
+            .iter()
+            .find_map(|(_, o)| {
+                o.as_classifier().map(|c| {
+                    GENE_CLASSES
+                        .iter()
+                        .enumerate()
+                        .map(|(i, l)| format!("{l}:{}", c.count(i)))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+            })
+            .unwrap_or_else(|| "-".into());
+        println!("  {:<10} {:>2} genes  [{merged}]", row.row[0], row.row[1]);
+    }
+    Ok(())
+}

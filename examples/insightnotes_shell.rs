@@ -1,0 +1,193 @@
+//! Interactive shell — the stand-in for the paper's Excel-based
+//! InsightNotesGate GUI (demonstration scenario, §3).
+//!
+//! All of the demo's operations are available as statements:
+//! querying with summary visualization, adding annotations, creating and
+//! linking summary instances, and zooming in. Extra shell commands:
+//!
+//! ```text
+//! \seed [n ratio]   seed the AKN-style bird workload (default 50 x30)
+//! \tables           list tables
+//! \instances        list summary instances
+//! \explain SELECT…  show the query plan
+//! \trace SELECT…    execute with the per-operator pipeline trace
+//! \stats            store / summary / cache statistics
+//! \save FILE        snapshot the database to disk
+//! \open FILE        replace the session with a snapshot
+//! \help             this text
+//! \q                quit
+//! ```
+//!
+//! Run with: `cargo run --example insightnotes_shell`
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::workload::{seed_birds_database, WorkloadConfig};
+use insightnotes::Database;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    println!("InsightNotes shell — \\help for commands, \\q to quit");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("insightnotes> ");
+        } else {
+            print!("          ...> ");
+        }
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(&mut db, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute once the statement terminates (or on a blank line).
+        if trimmed.ends_with(';') || (trimmed.is_empty() && !buffer.trim().is_empty()) {
+            let sql = std::mem::take(&mut buffer);
+            run_sql(&mut db, &sql);
+        }
+    }
+}
+
+/// Handles a backslash command; returns false to quit.
+fn meta_command(db: &mut Database, cmd: &str) -> bool {
+    let (name, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+    match name {
+        "\\q" | "\\quit" => return false,
+        "\\help" => println!(
+            "statements: CREATE TABLE / INSERT / SELECT / EXPLAIN / DELETE /\n\
+             ADD ANNOTATION / DELETE ANNOTATION / CREATE SUMMARY INSTANCE /\n\
+             LINK SUMMARY / UNLINK SUMMARY / ZOOMIN\n\
+             commands: \\seed [n ratio], \\tables, \\instances,\n\
+             \\explain <select>, \\trace <select>, \\stats,\n\
+             \\save <file>, \\open <file>, \\q"
+        ),
+        "\\save" => match db.save(rest.trim()) {
+            Ok(()) => println!("saved to {}", rest.trim()),
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\open" => match Database::open(rest.trim()) {
+            Ok(opened) => {
+                *db = opened;
+                println!("opened {}", rest.trim());
+            }
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\seed" => {
+            let mut parts = rest.split_whitespace();
+            let n = parts.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+            let ratio = parts.next().and_then(|s| s.parse().ok()).unwrap_or(30.0);
+            let config = WorkloadConfig {
+                num_birds: n,
+                annotation_ratio: ratio,
+                ..WorkloadConfig::default()
+            };
+            match seed_birds_database(db, &config) {
+                Ok(stats) => println!(
+                    "seeded {} birds with {} annotations ({} documents)",
+                    stats.rows, stats.annotations, stats.documents
+                ),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        "\\tables" => {
+            for t in db.catalog().table_names() {
+                let table = db.catalog().table_by_name(t).expect("listed");
+                println!("  {t} {} — {} rows", table.schema(), table.len());
+            }
+        }
+        "\\instances" => {
+            for inst in db.registry().instances() {
+                let labels = inst
+                    .labels()
+                    .map(|l| format!(" labels={l:?}"))
+                    .unwrap_or_default();
+                println!("  {} [{}]{}", inst.name(), inst.kind(), labels);
+            }
+        }
+        "\\explain" => match db.plan_sql(rest) {
+            Ok(plan) => print!("{}", plan.explain()),
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\trace" => match db.query_traced(rest) {
+            Ok((result, trace)) => {
+                print!("{trace}");
+                print!("{}", db.render_result(&result));
+            }
+            Err(e) => eprintln!("{e}"),
+        },
+        "\\stats" => {
+            let s = db.store().stats();
+            println!(
+                "annotations: {} ({} KiB content, {} attachments)",
+                s.count,
+                s.content_bytes / 1024,
+                s.attachments
+            );
+            println!(
+                "summaries:   {} objects ({} KiB)",
+                db.registry().object_count(),
+                db.registry().total_object_bytes() / 1024
+            );
+            let c = db.zoom().cache().stats();
+            println!(
+                "cache [{}]: {} entries, {} KiB used; {} hits / {} misses / {} evictions",
+                db.zoom().cache().policy_name(),
+                db.zoom().cache().len(),
+                db.zoom().cache().used_bytes() / 1024,
+                c.hits,
+                c.misses,
+                c.evictions
+            );
+        }
+        other => eprintln!("unknown command `{other}` — try \\help"),
+    }
+    true
+}
+
+fn run_sql(db: &mut Database, sql: &str) {
+    match db.execute_sql(sql) {
+        Ok(outcomes) => {
+            for outcome in outcomes {
+                match outcome {
+                    ExecOutcome::Query(result) => print!("{}", db.render_result(&result)),
+                    ExecOutcome::ZoomIn(z) => {
+                        for a in &z.annotations {
+                            let doc = a
+                                .document
+                                .as_ref()
+                                .map(|d| format!(" [+document {} B]", d.len()))
+                                .unwrap_or_default();
+                            println!("  {} {} — {}{}", a.id, a.author, a.text, doc);
+                        }
+                        println!(
+                            "  ({} annotations from {} rows, {})",
+                            z.annotations.len(),
+                            z.matched_rows,
+                            if z.from_cache {
+                                "cache hit"
+                            } else {
+                                "re-executed"
+                            }
+                        );
+                    }
+                    other => println!("{other}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("{e}"),
+    }
+}

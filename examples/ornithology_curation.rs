@@ -1,0 +1,96 @@
+//! The AKN/eBird scenario at scale: a bird database annotated at a 30x
+//! annotation-to-record ratio, queried and zoomed like the paper's demo.
+//!
+//! Run with: `cargo run --release --example ornithology_curation`
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::workload::{seed_birds_database, WorkloadConfig};
+use insightnotes::{Database, Result};
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+    let config = WorkloadConfig {
+        num_birds: 100,
+        annotation_ratio: 30.0,
+        duplicate_rate: 0.3,
+        document_rate: 0.05,
+        ..WorkloadConfig::default()
+    };
+    println!(
+        "seeding {} birds at {}x annotations …",
+        config.num_birds, config.annotation_ratio
+    );
+    let stats = seed_birds_database(&mut db, &config)?;
+    println!(
+        "  {} rows, {} annotations ({} with attached documents)",
+        stats.rows, stats.annotations, stats.documents
+    );
+    let store = db.store().stats();
+    println!(
+        "  raw annotation content: {} KiB across {} attachment points",
+        store.content_bytes / 1024,
+        store.attachments
+    );
+    println!(
+        "  summary state: {} objects, {} KiB\n",
+        db.registry().object_count(),
+        db.registry().total_object_bytes() / 1024
+    );
+
+    // A curator's session: find heavily disease-flagged birds.
+    println!("── birds with the most disease evidence ──");
+    let result = db.query(
+        "SELECT id, name, region, SUMMARY_COUNT(ClassBird1, 'Disease') AS disease \
+         FROM birds \
+         WHERE SUMMARY_COUNT(ClassBird1, 'Disease') > 0 \
+         ORDER BY SUMMARY_COUNT(ClassBird1, 'Disease') DESC, id \
+         LIMIT 5",
+    )?;
+    for row in &result.rows {
+        println!("  {}", row.row);
+    }
+
+    // Drill into the top hit's disease annotations.
+    if let Some(top) = result.rows.first() {
+        let id = &top.row[0];
+        println!("\n── zoom-in: raw disease annotations on bird {id} ──");
+        let outcomes = db.execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {} WHERE id = {id} ON ClassBird1 LABEL 'Disease'",
+            result.qid.raw()
+        ))?;
+        if let ExecOutcome::ZoomIn(z) = &outcomes[0] {
+            for a in z.annotations.iter().take(8) {
+                println!("  {} — {}", a.author, a.text);
+            }
+            if z.annotations.len() > 8 {
+                println!("  … and {} more", z.annotations.len() - 8);
+            }
+        }
+    }
+
+    // Region-level rollup: grouping merges the tuples' summaries.
+    println!("\n── annotation activity by region ──");
+    let rollup = db
+        .query("SELECT region, COUNT(*) AS birds FROM birds GROUP BY region ORDER BY birds DESC")?;
+    for row in &rollup.rows {
+        let summary_note = row
+            .summaries
+            .first()
+            .map(|(_, o)| format!("{} annotations summarized", o.annotation_count()))
+            .unwrap_or_else(|| "no annotations".into());
+        println!("  {:<12} {} ({summary_note})", row.row[0], row.row[1]);
+    }
+
+    // Cluster view of one busy tuple.
+    println!("\n── duplicate-collapsed view of bird 1 ──");
+    let one = db.query("SELECT id, name, weight, region FROM birds WHERE id = 1")?;
+    print!("{}", db.render_result(&one));
+
+    println!(
+        "\ncache: {} queries registered, {} results held ({} KiB)",
+        db.zoom().query_count(),
+        db.zoom().cache().len(),
+        db.zoom().cache().used_bytes() / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! # InsightNotes
+//!
+//! A from-scratch Rust implementation of **InsightNotes**, the
+//! summary-based annotation management engine over relational databases
+//! (Xiao & Eltabakh, SIGMOD 2014; demo: *"Even Metadata is Getting Big:
+//! Annotation Summarization using InsightNotes"*, SIGMOD 2015).
+//!
+//! Scientific databases accumulate annotations — observations, comments,
+//! provenance notes, attached articles — at 30x–250x the volume of the
+//! base data. InsightNotes makes the unit of annotation processing not
+//! the raw annotation but a compact, typed **summary object** maintained
+//! per tuple (classifier label counts, similarity clusters with elected
+//! representatives, document snippets). Summary objects travel through
+//! query pipelines under extended operator semantics, and an interactive
+//! **zoom-in** operation recovers the raw annotations behind any summary
+//! component, served by a disk cache with the RCO replacement policy.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use insightnotes::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_sql(
+//!     "CREATE TABLE birds (name TEXT, weight FLOAT);
+//!      INSERT INTO birds VALUES ('Swan Goose', 3.2), ('Mallard', 1.1);
+//!      CREATE SUMMARY INSTANCE ClassBird1 TYPE CLASSIFIER
+//!        LABELS ('Behavior', 'Other')
+//!        TRAIN ('Behavior': 'eating stonewort diving', 'Other': 'see reference');
+//!      LINK SUMMARY ClassBird1 TO birds;
+//!      ADD ANNOTATION 'found eating stonewort' ON birds WHERE name = 'Swan Goose';",
+//! )
+//! .unwrap();
+//!
+//! let result = db.query("SELECT name FROM birds WHERE weight > 2").unwrap();
+//! println!("{}", db.render_result(&result));
+//! // → Swan Goose with `ClassBird1 [(Behavior, 1), (Other, 0)]`
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`Database`] | `insightnotes-engine` | the facade: SQL in, annotated results out |
+//! | [`engine`] | `insightnotes-engine` | planner, summary-aware operators, zoom-in, RCO cache, raw baseline |
+//! | [`summaries`] | `insightnotes-summaries` | summary types / instances / objects and their algebra |
+//! | [`annotations`] | `insightnotes-annotations` | the raw-annotation store |
+//! | [`storage`] | `insightnotes-storage` | relational substrate |
+//! | [`sql`] | `insightnotes-sql` | SQL + InsightNotes-extension parser |
+//! | [`text`] | `insightnotes-text` | Naive Bayes, online clustering, extractive summarization |
+//! | [`workload`] | `insightnotes-workload` | seeded AKN-style synthetic workloads |
+//! | [`common`] | `insightnotes-common` | ids, errors, id-sets, binary codec |
+
+pub use insightnotes_annotations as annotations;
+pub use insightnotes_common as common;
+pub use insightnotes_engine as engine;
+pub use insightnotes_sql as sql;
+pub use insightnotes_storage as storage;
+pub use insightnotes_summaries as summaries;
+pub use insightnotes_text as text;
+pub use insightnotes_workload as workload;
+
+pub use insightnotes_common::{Error, Result};
+pub use insightnotes_engine::{Database, DbConfig, ExecOutcome, QueryResult, ZoomInResult};
+pub use insightnotes_workload::{seed_birds_database, WorkloadConfig};

@@ -1,0 +1,121 @@
+//! Property tests for the binary codec: every persisted type must
+//! round-trip losslessly from arbitrary inputs, and corrupt input must
+//! fail rather than mis-decode.
+
+use insightnotes::common::codec::Encodable;
+use insightnotes::common::IdSet;
+use insightnotes::storage::{Row, Value};
+use insightnotes::text::{NaiveBayes, SparseVector, Vocabulary};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq-based comparison, and
+        // grouping normalizes NaN anyway.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        ".*".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_round_trip(v in value_strategy()) {
+        prop_assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn rows_round_trip(values in prop::collection::vec(value_strategy(), 0..12)) {
+        let row = Row::new(values);
+        prop_assert_eq!(Row::from_bytes(&row.to_bytes()).unwrap(), row);
+    }
+
+    #[test]
+    fn idsets_round_trip(ids in prop::collection::btree_set(any::<u32>(), 0..200)) {
+        let set: IdSet = ids.into_iter().map(u64::from).collect();
+        let bytes = set.to_bytes();
+        prop_assert_eq!(IdSet::from_bytes(&bytes).unwrap(), set);
+    }
+
+    #[test]
+    fn idset_truncation_never_panics(
+        ids in prop::collection::btree_set(any::<u32>(), 1..50),
+        cut in 1usize..16,
+    ) {
+        let set: IdSet = ids.into_iter().map(u64::from).collect();
+        let bytes = set.to_bytes();
+        let cut = cut.min(bytes.len());
+        // Must error (or, for a prefix that happens to parse, never panic).
+        let _ = IdSet::from_bytes(&bytes[..bytes.len() - cut]);
+    }
+
+    #[test]
+    fn sparse_vectors_round_trip(
+        entries in prop::collection::btree_map(any::<u32>(), -100.0f32..100.0, 0..40)
+    ) {
+        let v = SparseVector::from_sorted_entries(entries.into_iter().collect());
+        prop_assert_eq!(SparseVector::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn vocabularies_round_trip(terms in prop::collection::btree_set("[a-z]{1,8}", 0..40)) {
+        let mut vocab = Vocabulary::new();
+        let ids: Vec<_> = terms.iter().map(|t| vocab.intern(t)).collect();
+        if !ids.is_empty() {
+            vocab.observe_doc(&ids);
+        }
+        let back = Vocabulary::from_bytes(&vocab.to_bytes()).unwrap();
+        prop_assert_eq!(back.len(), vocab.len());
+        for t in &terms {
+            prop_assert_eq!(back.get(t), vocab.get(t));
+        }
+        prop_assert_eq!(back.num_docs(), vocab.num_docs());
+    }
+
+    #[test]
+    fn trained_models_round_trip(
+        docs in prop::collection::vec(("[a-z ]{4,30}", 0usize..3), 1..20)
+    ) {
+        let mut nb = NaiveBayes::new(vec!["x".into(), "y".into(), "z".into()]);
+        for (text, label) in &docs {
+            nb.train(*label, text);
+        }
+        let back = NaiveBayes::from_bytes(&nb.to_bytes()).unwrap();
+        for (text, _) in &docs {
+            prop_assert_eq!(back.classify(text), nb.classify(text));
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoders(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Decoding garbage may error — it must never panic or loop.
+        let _ = Value::from_bytes(&bytes);
+        let _ = Row::from_bytes(&bytes);
+        let _ = IdSet::from_bytes(&bytes);
+        let _ = SparseVector::from_bytes(&bytes);
+        let _ = Vocabulary::from_bytes(&bytes);
+    }
+}
+
+#[test]
+fn snapshot_of_snapshot_is_identical() {
+    use insightnotes::engine::persist::{restore, snapshot};
+    use insightnotes::Database;
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT, s TEXT);
+         INSERT INTO t VALUES (1, 'a'), (2, NULL);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('l') TRAIN ('l': 'w');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'w w' ON t WHERE x = 1;",
+    )
+    .unwrap();
+    let first = snapshot(db.catalog(), db.store(), db.registry());
+    let (catalog, store, registry) = restore(&first).unwrap();
+    let second = snapshot(&catalog, &store, &registry);
+    assert_eq!(first, second, "snapshots are canonical (fixed point)");
+}

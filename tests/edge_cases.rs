@@ -1,0 +1,307 @@
+//! Edge cases and failure injection across the whole stack.
+
+use insightnotes::annotations::{AnnotationBody, ColSig};
+use insightnotes::common::RowId;
+use insightnotes::engine::ExecOutcome;
+use insightnotes::storage::Value;
+use insightnotes::Database;
+
+#[test]
+fn queries_over_empty_tables() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (x INT, y TEXT)").unwrap();
+    assert!(db.query("SELECT x FROM t").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT DISTINCT y FROM t")
+        .unwrap()
+        .rows
+        .is_empty());
+    assert!(db
+        .query("SELECT a.x FROM t a, t b WHERE a.x = b.x")
+        .unwrap()
+        .rows
+        .is_empty());
+    // Global aggregate still yields one row.
+    let agg = db.query("SELECT COUNT(*), SUM(x) FROM t").unwrap();
+    assert_eq!(agg.rows[0].row[0], Value::Int(0));
+    assert!(agg.rows[0].row[1].is_null());
+    // Grouped aggregate over empty input yields no groups.
+    assert!(db
+        .query("SELECT y, COUNT(*) FROM t GROUP BY y")
+        .unwrap()
+        .rows
+        .is_empty());
+}
+
+#[test]
+fn unicode_annotations_round_trip_through_everything() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (name TEXT);
+         INSERT INTO t VALUES ('Спящая гусыня');
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('заметка')
+           TRAIN ('заметка': 'видел гуся у озера');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'видел гуся 🦢 у озера' AUTHOR 'алиса' ON t;",
+    )
+    .unwrap();
+    let result = db.query("SELECT name FROM t").unwrap();
+    assert_eq!(result.rows[0].row[0], Value::Text("Спящая гусыня".into()));
+    let out = db
+        .execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {} ON C INDEX 1",
+            result.qid.raw()
+        ))
+        .unwrap();
+    let ExecOutcome::ZoomIn(z) = &out[0] else {
+        panic!()
+    };
+    assert_eq!(z.annotations[0].text, "видел гуся 🦢 у озера");
+    assert_eq!(z.annotations[0].author, "алиса");
+
+    // And through a snapshot.
+    let path = std::env::temp_dir().join(format!(
+        "insightnotes-edge-unicode-{}.indb",
+        std::process::id()
+    ));
+    db.save(&path).unwrap();
+    let reopened = Database::open(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reopened.store().stats().count, 1);
+}
+
+#[test]
+fn column_limit_is_enforced() {
+    let mut db = Database::new();
+    let cols: Vec<String> = (0..65).map(|i| format!("c{i} INT")).collect();
+    let err = db
+        .execute_sql(&format!("CREATE TABLE wide ({})", cols.join(", ")))
+        .unwrap_err();
+    assert_eq!(err.class(), "catalog");
+    // 64 columns is fine.
+    let cols: Vec<String> = (0..64).map(|i| format!("c{i} INT")).collect();
+    db.execute_sql(&format!("CREATE TABLE wide ({})", cols.join(", ")))
+        .unwrap();
+}
+
+#[test]
+fn whole_row_annotation_on_64_column_table() {
+    let mut db = Database::new();
+    let cols: Vec<String> = (0..64).map(|i| format!("c{i} INT")).collect();
+    db.execute_sql(&format!("CREATE TABLE wide ({})", cols.join(", ")))
+        .unwrap();
+    let vals: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+    db.execute_sql(&format!("INSERT INTO wide VALUES ({})", vals.join(", ")))
+        .unwrap();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO wide;
+         ADD ANNOTATION 'w w' ON wide;",
+    )
+    .unwrap();
+    // Projecting to one column keeps the whole-row annotation.
+    let result = db.query("SELECT c63 FROM wide").unwrap();
+    let inst = db.registry().instance_id("C").unwrap();
+    assert_eq!(result.rows[0].summary(inst).unwrap().annotation_count(), 1);
+}
+
+#[test]
+fn zoomin_on_rows_without_objects_is_empty_not_an_error() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1), (2);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'w' ON t WHERE x = 1;",
+    )
+    .unwrap();
+    let result = db.query("SELECT x FROM t").unwrap();
+    // Zoom over the unannotated tuple only.
+    let out = db
+        .execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {} WHERE x = 2 ON C INDEX 1",
+            result.qid.raw()
+        ))
+        .unwrap();
+    let ExecOutcome::ZoomIn(z) = &out[0] else {
+        panic!()
+    };
+    assert_eq!(z.matched_rows, 1);
+    assert!(z.annotations.is_empty());
+}
+
+#[test]
+fn huge_annotation_documents_are_handled() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1);
+         CREATE SUMMARY INSTANCE S TYPE SNIPPET MAX_SENTENCES 2 MIN_SOURCE 100;
+         LINK SUMMARY S TO t;",
+    )
+    .unwrap();
+    let doc = "A sentence about geese near the lake shore. ".repeat(5000); // ~220 KB
+    db.annotate_rows(
+        "t",
+        &[RowId::new(1)],
+        ColSig::whole_row(1),
+        AnnotationBody::text("huge doc", "x").with_document(&doc),
+    )
+    .unwrap();
+    let result = db.query("SELECT x FROM t").unwrap();
+    let inst = db.registry().instance_id("S").unwrap();
+    let snip = result.rows[0].summary(inst).unwrap().as_snippet().unwrap();
+    assert_eq!(snip.entries().len(), 1);
+    assert!(snip.entries()[0].snippet.len() < 512);
+    assert_eq!(snip.entries()[0].source_bytes as usize, doc.len());
+}
+
+#[test]
+fn annotations_survive_row_value_not_row_identity() {
+    // Deleting a row and inserting an identical one must NOT revive the
+    // old row's annotations (stable, never-reused row ids).
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (7);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'w' ON t WHERE x = 7;
+         DELETE FROM t WHERE x = 7;
+         INSERT INTO t VALUES (7);",
+    )
+    .unwrap();
+    let result = db.query("SELECT x FROM t").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert!(
+        result.rows[0].summaries.is_empty(),
+        "no resurrected metadata"
+    );
+    assert_eq!(db.store().stats().count, 0);
+}
+
+#[test]
+fn sql_injectionish_strings_are_plain_data() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (s TEXT)").unwrap();
+    db.execute_sql("INSERT INTO t VALUES ('Robert''); DROP TABLE t; --')")
+        .unwrap();
+    let result = db.query("SELECT s FROM t").unwrap();
+    assert_eq!(
+        result.rows[0].row[0],
+        Value::Text("Robert'); DROP TABLE t; --".into())
+    );
+    // Table is intact.
+    assert!(db.query("SELECT s FROM t").is_ok());
+}
+
+#[test]
+fn nulls_flow_through_the_whole_pipeline() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT, y INT);
+         INSERT INTO t VALUES (1, NULL), (NULL, 2), (1, 3), (NULL, NULL);",
+    )
+    .unwrap();
+    // NULL keys never join.
+    let joined = db
+        .query("SELECT a.x FROM t a, t b WHERE a.x = b.y")
+        .unwrap();
+    assert_eq!(
+        joined.rows.len(),
+        0,
+        "x=1 never equals any y of (NULL,2,3,NULL)"
+    );
+    // But NULLs group together.
+    let grouped = db
+        .query("SELECT x, COUNT(*) AS n FROM t GROUP BY x ORDER BY n DESC")
+        .unwrap();
+    assert_eq!(grouped.rows.len(), 2);
+    assert_eq!(grouped.rows[0].row[1], Value::Int(2));
+    // IS NULL selects them.
+    let nulls = db.query("SELECT y FROM t WHERE x IS NULL").unwrap();
+    assert_eq!(nulls.rows.len(), 2);
+}
+
+#[test]
+fn multi_target_annotation_deleted_once_refreshes_all_rows() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1), (2);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO t;",
+    )
+    .unwrap();
+    let tid = db.catalog().table_id("t").unwrap();
+    let id = db
+        .annotate_targets(
+            vec![
+                (tid, RowId::new(1), ColSig::whole_row(1)),
+                (tid, RowId::new(2), ColSig::whole_row(1)),
+            ],
+            AnnotationBody::text("shared w", "x"),
+        )
+        .unwrap();
+    let out = db.delete_annotation(id).unwrap();
+    let ExecOutcome::AnnotationDeleted { rows_refreshed, .. } = out else {
+        panic!()
+    };
+    assert_eq!(rows_refreshed, 2);
+    let inst = db.registry().instance_id("C").unwrap();
+    for rid in [1u64, 2] {
+        assert!(db.registry().object(tid, RowId::new(rid), inst).is_none());
+    }
+}
+
+#[test]
+fn very_long_conjunction_parses_and_plans() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (x INT); INSERT INTO t VALUES (5)")
+        .unwrap();
+    let conjuncts: Vec<String> = (0..64).map(|i| format!("x <> {}", 1000 + i)).collect();
+    let sql = format!("SELECT x FROM t WHERE {}", conjuncts.join(" AND "));
+    assert_eq!(db.query(&sql).unwrap().rows.len(), 1);
+}
+
+#[test]
+fn deeply_nested_parentheses_do_not_overflow() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (x INT); INSERT INTO t VALUES (5)")
+        .unwrap();
+    let expr = format!("{}x = 5{}", "(".repeat(60), ")".repeat(60));
+    assert_eq!(
+        db.query(&format!("SELECT x FROM t WHERE {expr}"))
+            .unwrap()
+            .rows
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn self_join_of_annotated_table_is_exact_under_projection() {
+    // The same tuple on both join sides: its object merges with itself
+    // (idempotent), never double counting.
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'w one' ON t;
+         ADD ANNOTATION 'w two' ON t;",
+    )
+    .unwrap();
+    let result = db
+        .query("SELECT a.x, b.x FROM t a, t b WHERE a.x = b.x")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let inst = db.registry().instance_id("C").unwrap();
+    assert_eq!(
+        result.rows[0].summary(inst).unwrap().annotation_count(),
+        2,
+        "self-merge must be idempotent"
+    );
+}

@@ -1,0 +1,306 @@
+//! End-to-end SQL lifecycle tests over the `Database` facade.
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::storage::Value;
+use insightnotes::Database;
+
+fn birds_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE birds (id INT, name TEXT, weight FLOAT, region TEXT);
+         INSERT INTO birds VALUES
+           (1, 'Swan Goose', 3.2, 'northeast'),
+           (2, 'Mallard', 1.1, 'midwest'),
+           (3, 'Mute Swan', 11.0, 'northeast'),
+           (4, 'Osprey', 1.6, 'pacific');",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn ddl_insert_select_lifecycle() {
+    let mut db = birds_db();
+    let result = db
+        .query("SELECT name FROM birds WHERE weight > 2 ORDER BY name")
+        .unwrap();
+    let names: Vec<String> = result.rows.iter().map(|r| r.row[0].to_string()).collect();
+    assert_eq!(names, vec!["Mute Swan", "Swan Goose"]);
+}
+
+#[test]
+fn group_by_and_aggregates() {
+    let mut db = birds_db();
+    let result = db
+        .query(
+            "SELECT region, COUNT(*) AS n, AVG(weight) AS w FROM birds \
+             GROUP BY region ORDER BY n DESC, region",
+        )
+        .unwrap();
+    assert_eq!(result.rows.len(), 3);
+    assert_eq!(result.rows[0].row[0], Value::Text("northeast".into()));
+    assert_eq!(result.rows[0].row[1], Value::Int(2));
+    assert_eq!(result.rows[0].row[2], Value::Float(7.1));
+    // Output schema names follow aliases.
+    assert_eq!(result.schema.columns()[1].name, "n");
+}
+
+#[test]
+fn distinct_order_limit() {
+    let mut db = birds_db();
+    let result = db
+        .query("SELECT DISTINCT region FROM birds ORDER BY region LIMIT 2")
+        .unwrap();
+    let regions: Vec<String> = result.rows.iter().map(|r| r.row[0].to_string()).collect();
+    assert_eq!(regions, vec!["midwest", "northeast"]);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let mut db = birds_db();
+    let result = db
+        .query(
+            "SELECT a.name, b.name FROM birds a, birds b \
+             WHERE a.region = b.region AND a.id < b.id",
+        )
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[0], Value::Text("Swan Goose".into()));
+    assert_eq!(result.rows[0].row[1], Value::Text("Mute Swan".into()));
+}
+
+#[test]
+fn explicit_join_syntax_matches_comma_syntax() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE TABLE sightings (bird INT, year INT);
+         INSERT INTO sightings VALUES (1, 2001), (1, 2003), (3, 2002);",
+    )
+    .unwrap();
+    let a = db
+        .query(
+            "SELECT b.name, s.year FROM birds b JOIN sightings s ON b.id = s.bird ORDER BY s.year",
+        )
+        .unwrap();
+    let b = db
+        .query(
+            "SELECT b.name, s.year FROM birds b, sightings s WHERE b.id = s.bird ORDER BY s.year",
+        )
+        .unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.rows.len(), 3);
+}
+
+#[test]
+fn summary_instances_via_sql_and_summary_predicates() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE Health TYPE CLASSIFIER
+           LABELS ('refute', 'approve')
+           TRAIN ('refute': 'wrong invalid needs verification',
+                  'approve': 'confirmed verified correct experiment');
+         LINK SUMMARY Health TO birds;
+         ADD ANNOTATION 'value is wrong' ON birds WHERE id = 1;
+         ADD ANNOTATION 'needs verification badly wrong' ON birds WHERE id = 1;
+         ADD ANNOTATION 'confirmed by experiment' ON birds WHERE id = 2;",
+    )
+    .unwrap();
+
+    // Summary-based predicate: only the refuted tuple qualifies.
+    let result = db
+        .query("SELECT name FROM birds WHERE SUMMARY_COUNT(Health, 'refute') > 1")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[0], Value::Text("Swan Goose".into()));
+
+    // Summary-based ordering: most-refuted first.
+    let ordered = db
+        .query(
+            "SELECT name FROM birds \
+             ORDER BY SUMMARY_COUNT(Health, 'refute') DESC, name LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(ordered.rows[0].row[0], Value::Text("Swan Goose".into()));
+
+    // SUMMARY_COUNT in the select list.
+    let counted = db
+        .query("SELECT name, SUMMARY_COUNT(Health, 'refute') AS refutes FROM birds WHERE id = 1")
+        .unwrap();
+    assert_eq!(counted.rows[0].row[1], Value::Int(2));
+}
+
+#[test]
+fn add_annotation_targets_matching_rows_and_columns() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('x')
+           TRAIN ('x': 'anything');
+         LINK SUMMARY C TO birds;",
+    )
+    .unwrap();
+    let outcomes = db
+        .execute_sql("ADD ANNOTATION 'regional note' ON birds WHERE region = 'northeast'")
+        .unwrap();
+    let ExecOutcome::Annotated { targets, .. } = &outcomes[0] else {
+        panic!("expected annotation outcome");
+    };
+    assert_eq!(*targets, 2, "two northeast birds");
+
+    // Column-scoped annotation disappears when the column is projected out.
+    db.execute_sql("ADD ANNOTATION 'weight seems wrong' ON birds COLUMNS (weight) WHERE id = 2")
+        .unwrap();
+    let inst = db.registry().instance_id("C").unwrap();
+    let with_weight = db
+        .query("SELECT name, weight FROM birds WHERE id = 2")
+        .unwrap();
+    assert_eq!(
+        with_weight.rows[0]
+            .summary(inst)
+            .unwrap()
+            .annotation_count(),
+        1
+    );
+    let without_weight = db.query("SELECT name FROM birds WHERE id = 2").unwrap();
+    assert!(without_weight.rows[0].summary(inst).is_none());
+}
+
+#[test]
+fn annotation_matching_no_rows_is_an_error() {
+    let mut db = birds_db();
+    let err = db
+        .execute_sql("ADD ANNOTATION 'x' ON birds WHERE id = 999")
+        .unwrap_err();
+    assert_eq!(err.class(), "annotation");
+}
+
+#[test]
+fn link_catches_up_on_existing_annotations() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE Early TYPE CLASSIFIER LABELS ('a', 'b')
+           TRAIN ('a': 'alpha words here', 'b': 'beta words there');",
+    )
+    .unwrap();
+    // Annotate BEFORE linking: nothing is summarized yet.
+    db.execute_sql("ADD ANNOTATION 'alpha words' ON birds WHERE id = 1")
+        .unwrap();
+    let inst = db.registry().instance_id("Early").unwrap();
+    let t = db.catalog().table_id("birds").unwrap();
+    assert!(db
+        .registry()
+        .object(t, insightnotes::common::RowId::new(1), inst)
+        .is_none());
+
+    // Linking rebuilds the annotated rows.
+    let outcomes = db.execute_sql("LINK SUMMARY Early TO birds").unwrap();
+    let ExecOutcome::Linked { rows_rebuilt, .. } = &outcomes[0] else {
+        panic!()
+    };
+    assert_eq!(*rows_rebuilt, 1);
+    let obj = db
+        .registry()
+        .object(t, insightnotes::common::RowId::new(1), inst)
+        .unwrap();
+    assert_eq!(obj.annotation_count(), 1);
+}
+
+#[test]
+fn unlink_and_drop_instance() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE X TYPE CLUSTER;
+         LINK SUMMARY X TO birds;
+         ADD ANNOTATION 'some note text' ON birds WHERE id = 1;
+         UNLINK SUMMARY X FROM birds;",
+    )
+    .unwrap();
+    let result = db.query("SELECT name FROM birds WHERE id = 1").unwrap();
+    assert!(result.rows[0].summaries.is_empty());
+    db.execute_sql("DROP SUMMARY INSTANCE X").unwrap();
+    assert!(db.registry().instance_id("X").is_err());
+}
+
+#[test]
+fn drop_table_cleans_annotations_and_links() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE Y TYPE CLUSTER;
+         LINK SUMMARY Y TO birds;
+         ADD ANNOTATION 'note before drop' ON birds WHERE id = 1;",
+    )
+    .unwrap();
+    assert_eq!(db.store().stats().count, 1);
+    db.execute_sql("DROP TABLE birds").unwrap();
+    assert_eq!(db.store().stats().count, 0, "orphaned annotations removed");
+    assert!(db.query("SELECT name FROM birds").is_err());
+}
+
+#[test]
+fn error_paths_surface_proper_classes() {
+    let mut db = birds_db();
+    assert_eq!(
+        db.query("SELECT nope FROM birds").unwrap_err().class(),
+        "catalog"
+    );
+    assert_eq!(
+        db.query("SELECT name FROM missing").unwrap_err().class(),
+        "catalog"
+    );
+    assert_eq!(db.execute_sql("SELECT FROM").unwrap_err().class(), "parse");
+    assert_eq!(
+        db.execute_sql("CREATE TABLE birds (x INT)")
+            .unwrap_err()
+            .class(),
+        "catalog"
+    );
+    assert_eq!(
+        db.query("SELECT name, COUNT(*) FROM birds")
+            .unwrap_err()
+            .class(),
+        "type"
+    );
+    assert_eq!(
+        db.execute_sql("INSERT INTO birds VALUES (1, 2, 3)")
+            .unwrap_err()
+            .class(),
+        "execution"
+    );
+    assert_eq!(
+        db.query("SELECT name FROM birds WHERE SUMMARY_COUNT(nope, 'x') > 0")
+            .unwrap_err()
+            .class(),
+        "summary"
+    );
+}
+
+#[test]
+fn multi_statement_scripts_execute_in_order() {
+    let mut db = Database::new();
+    let outcomes = db
+        .execute_sql(
+            "CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2); -- trailing comment
+             SELECT x FROM t ORDER BY x DESC;",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let ExecOutcome::Query(q) = &outcomes[2] else {
+        panic!()
+    };
+    assert_eq!(q.rows[0].row[0], Value::Int(2));
+}
+
+#[test]
+fn render_result_includes_summaries() {
+    let mut db = birds_db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE R TYPE CLASSIFIER LABELS ('note') TRAIN ('note': 'word');
+         LINK SUMMARY R TO birds;
+         ADD ANNOTATION 'word word' ON birds WHERE id = 1;",
+    )
+    .unwrap();
+    let result = db.query("SELECT name FROM birds WHERE id = 1").unwrap();
+    let rendered = db.render_result(&result);
+    assert!(rendered.contains("Swan Goose"));
+    assert!(rendered.contains("R [(note, 1)]"), "rendered: {rendered}");
+    assert!(rendered.contains("QID"));
+}

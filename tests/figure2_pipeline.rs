@@ -1,0 +1,295 @@
+//! Reproduces the paper's Figure 2 worked example end-to-end.
+//!
+//! Schema: `R(a, b, c, d)`, `S(x, y, z)`; query
+//! `SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2`.
+//!
+//! The figure's invariants:
+//! 1. the projection step removes the effect of annotations attached only
+//!    to `r.c` / `r.d` / `s.y` — and of `s.x`, whose *value* survives for
+//!    the join but whose annotations do not;
+//! 2. the selection step changes no summaries;
+//! 3. the join merges `ClassBird2` / `SimCluster` objects from both sides
+//!    without double counting annotations attached to both tuples, while
+//!    one-sided objects (`ClassBird1`, `TextSummary1`) propagate
+//!    unchanged;
+//! 4. dropping a cluster representative elects a replacement.
+
+use insightnotes::annotations::ColSig;
+use insightnotes::common::ColumnId;
+use insightnotes::engine::Database;
+use insightnotes::storage::Value;
+
+const FIG2_QUERY: &str = "Select r.a, r.b, s.z From R r, S s Where r.a = s.x And r.b = 2";
+
+/// Builds the Figure 2 database: both tables, two classifier instances,
+/// a cluster instance, and a snippet instance; annotations placed on
+/// specific columns.
+fn figure2_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE R (a INT, b INT, c TEXT, d TEXT);
+         CREATE TABLE S (x INT, y TEXT, z TEXT);
+         INSERT INTO R VALUES (1, 2, 'c-value', 'd-value');
+         INSERT INTO S VALUES (1, 'y-value', 'z-value');
+         CREATE SUMMARY INSTANCE ClassBird1 TYPE CLASSIFIER
+           LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')
+           TRAIN ('Behavior': 'eating stonewort diving foraging',
+                  'Disease': 'lesions parasites infection pox',
+                  'Anatomy': 'wingspan plumage beak measured',
+                  'Other': 'reference attached photo');
+         CREATE SUMMARY INSTANCE ClassBird2 TYPE CLASSIFIER
+           LABELS ('Provenance', 'Comment', 'Question')
+           TRAIN ('Provenance': 'derived from banding station import',
+                  'Comment': 'interesting observation noted nearby',
+                  'Question': 'what why unclear verify which');
+         CREATE SUMMARY INSTANCE SimCluster TYPE CLUSTER THRESHOLD 0.5;
+         CREATE SUMMARY INSTANCE TextSummary1 TYPE SNIPPET MIN_SOURCE 200;
+         LINK SUMMARY ClassBird1 TO R;
+         LINK SUMMARY ClassBird2 TO R;
+         LINK SUMMARY SimCluster TO R;
+         LINK SUMMARY TextSummary1 TO R;
+         LINK SUMMARY ClassBird2 TO S;
+         LINK SUMMARY SimCluster TO S;",
+    )
+    .unwrap();
+    db
+}
+
+/// Attaches an annotation to explicit columns of row 1 of `table`.
+fn annotate(db: &mut Database, table: &str, cols: &[u16], text: &str) {
+    let sig = if cols.is_empty() {
+        let arity = db.catalog().table_by_name(table).unwrap().schema().arity();
+        ColSig::whole_row(arity)
+    } else {
+        ColSig::of_columns(&cols.iter().map(|&c| ColumnId::new(c)).collect::<Vec<_>>())
+    };
+    db.annotate_rows(
+        table,
+        &[insightnotes::common::RowId::new(1)],
+        sig,
+        insightnotes::annotations::AnnotationBody::text(text, "demo"),
+    )
+    .unwrap();
+}
+
+#[test]
+fn projection_removes_unneeded_column_annotations() {
+    let mut db = figure2_db();
+    // Whole-row behavior note survives; c-only and d-only notes vanish.
+    annotate(&mut db, "R", &[], "eating stonewort diving");
+    annotate(&mut db, "R", &[2], "lesions on sample c");
+    annotate(&mut db, "R", &[3], "wingspan measured note d");
+
+    let result = db.query(FIG2_QUERY).unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let row = &result.rows[0];
+    assert_eq!(
+        row.row.values(),
+        &[Value::Int(1), Value::Int(2), Value::Text("z-value".into())]
+    );
+    let inst = db.registry().instance_id("ClassBird1").unwrap();
+    let class1 = row.summary(inst).unwrap().as_classifier().unwrap();
+    assert_eq!(class1.count_by_name("Behavior"), Some(1));
+    assert_eq!(
+        class1.count_by_name("Disease"),
+        Some(0),
+        "r.c annotation removed"
+    );
+    assert_eq!(
+        class1.count_by_name("Anatomy"),
+        Some(0),
+        "r.d annotation removed"
+    );
+}
+
+#[test]
+fn join_only_column_keeps_value_but_loses_annotations() {
+    let mut db = figure2_db();
+    // Annotation on s.x only: x is needed for the join but is not an
+    // output column, so per the paper its annotations' effects are
+    // removed before the merge.
+    annotate(&mut db, "S", &[0], "derived from banding station");
+    // Annotation on s.z: z is an output column; it survives.
+    annotate(&mut db, "S", &[2], "interesting observation noted");
+
+    let result = db.query(FIG2_QUERY).unwrap();
+    let row = &result.rows[0];
+    let inst = db.registry().instance_id("ClassBird2").unwrap();
+    let class2 = row.summary(inst).unwrap().as_classifier().unwrap();
+    assert_eq!(
+        class2.count_by_name("Provenance"),
+        Some(0),
+        "s.x annotation must not reach the output"
+    );
+    assert_eq!(class2.count_by_name("Comment"), Some(1));
+}
+
+#[test]
+fn selection_leaves_summaries_unchanged() {
+    let mut db = figure2_db();
+    annotate(&mut db, "R", &[0, 1], "eating stonewort");
+    let (result, trace) = db
+        .query_traced("SELECT r.a, r.b FROM R r WHERE r.b = 2")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    // Find the filter step and its input step; the summary rendering of
+    // the surviving tuple must be identical across the two.
+    let steps = &trace.steps;
+    let filter_pos = steps.iter().position(|s| s.operator == "Filter").unwrap();
+    assert!(filter_pos > 0);
+    let before = &steps[filter_pos - 1].rows;
+    let after = &steps[filter_pos].rows;
+    assert_eq!(before, after, "selection must not transform summaries");
+}
+
+#[test]
+fn join_merges_without_double_counting_shared_annotation() {
+    let mut db = figure2_db();
+    let r_table = db.catalog().table_id("r").unwrap();
+    let s_table = db.catalog().table_id("s").unwrap();
+    let row1 = insightnotes::common::RowId::new(1);
+
+    // One annotation attached only to r's output columns.
+    db.annotate_rows(
+        "R",
+        &[row1],
+        ColSig::of_columns(&[ColumnId::new(0), ColumnId::new(1)]),
+        insightnotes::annotations::AnnotationBody::text("interesting observation noted", "x"),
+    )
+    .unwrap();
+    // The SAME annotation attached to both r (col a) and s (col z): the
+    // paper's double-counting case — after the merge it must count once.
+    db.annotate_targets(
+        vec![
+            (r_table, row1, ColSig::of_columns(&[ColumnId::new(0)])),
+            (s_table, row1, ColSig::of_columns(&[ColumnId::new(2)])),
+        ],
+        insightnotes::annotations::AnnotationBody::text("interesting observation nearby", "y"),
+    )
+    .unwrap();
+
+    let result = db.query(FIG2_QUERY).unwrap();
+    let inst = db.registry().instance_id("ClassBird2").unwrap();
+    let class2 = result.rows[0]
+        .summary(inst)
+        .unwrap()
+        .as_classifier()
+        .unwrap();
+    // 1 (r-only) + 1 (shared, counted once) — not 3.
+    assert_eq!(class2.count_by_name("Comment"), Some(2));
+}
+
+#[test]
+fn one_sided_summary_objects_propagate_unchanged() {
+    let mut db = figure2_db();
+    annotate(&mut db, "R", &[0], "eating stonewort diving");
+    let result = db.query(FIG2_QUERY).unwrap();
+    let row = &result.rows[0];
+    // ClassBird1 and TextSummary1 are linked to R only; ClassBird1 must
+    // arrive with r's counts.
+    let cb1 = db.registry().instance_id("ClassBird1").unwrap();
+    assert_eq!(
+        row.summary(cb1)
+            .unwrap()
+            .as_classifier()
+            .unwrap()
+            .count_by_name("Behavior"),
+        Some(1)
+    );
+}
+
+#[test]
+fn cluster_representative_reelected_when_dropped() {
+    let mut db = figure2_db();
+    // Two near-identical notes: the first (on column c only) founds the
+    // cluster and is its representative; the second (whole row) follows.
+    annotate(&mut db, "R", &[2], "eating stonewort near shore");
+    annotate(&mut db, "R", &[], "eating stonewort near lake");
+
+    let sim = db.registry().instance_id("SimCluster").unwrap();
+    let before = db
+        .registry()
+        .object(
+            db.catalog().table_id("r").unwrap(),
+            insightnotes::common::RowId::new(1),
+            sim,
+        )
+        .unwrap()
+        .as_cluster()
+        .unwrap()
+        .groups();
+    assert_eq!(before.len(), 1);
+    assert_eq!(before[0].size, 2);
+    let founder = before[0].representative.unwrap();
+
+    // Projecting out r.c drops the founder; the follower takes over.
+    let result = db.query(FIG2_QUERY).unwrap();
+    let groups = result.rows[0]
+        .summary(sim)
+        .unwrap()
+        .as_cluster()
+        .unwrap()
+        .groups();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].size, 1);
+    let rep = groups[0].representative.unwrap();
+    assert_ne!(rep, founder, "a new representative must be elected");
+}
+
+#[test]
+fn snippet_object_drops_documents_of_projected_columns() {
+    let mut db = figure2_db();
+    let article = "Swan goose breeding range observations. ".repeat(20);
+    // Document attached to r.d → dropped by the projection.
+    db.annotate_rows(
+        "R",
+        &[insightnotes::common::RowId::new(1)],
+        ColSig::of_columns(&[ColumnId::new(3)]),
+        insightnotes::annotations::AnnotationBody::text("see article", "demo")
+            .with_document(&article),
+    )
+    .unwrap();
+    // Document attached to the output columns → survives.
+    db.annotate_rows(
+        "R",
+        &[insightnotes::common::RowId::new(1)],
+        ColSig::of_columns(&[ColumnId::new(0), ColumnId::new(1)]),
+        insightnotes::annotations::AnnotationBody::text("experiment writeup", "demo")
+            .with_document(&article),
+    )
+    .unwrap();
+
+    let ts = db.registry().instance_id("TextSummary1").unwrap();
+    let result = db.query(FIG2_QUERY).unwrap();
+    let snip = result.rows[0].summary(ts).unwrap().as_snippet().unwrap();
+    assert_eq!(
+        snip.entries().len(),
+        1,
+        "only the a/b-attached document survives"
+    );
+}
+
+#[test]
+fn trace_shows_pipeline_steps_in_order() {
+    let mut db = figure2_db();
+    annotate(&mut db, "R", &[], "eating stonewort");
+    let (_, trace) = db.query_traced(FIG2_QUERY).unwrap();
+    let ops: Vec<&str> = trace.steps.iter().map(|s| s.operator.as_str()).collect();
+    // Post-order execution: scans/filters/projections feed the join,
+    // which feeds the final projection.
+    assert!(ops.contains(&"Scan"));
+    assert!(ops.contains(&"Filter"));
+    assert!(ops.contains(&"Join"));
+    assert_eq!(*ops.last().unwrap(), "Project");
+    let join_pos = ops.iter().position(|&o| o == "Join").unwrap();
+    let first_project = ops.iter().position(|&o| o == "Project").unwrap();
+    assert!(
+        first_project < join_pos,
+        "projection must run before the merge (Theorems 1–2): {ops:?}"
+    );
+    let rendered = trace.to_string();
+    assert!(
+        rendered.contains("ClassBird1"),
+        "trace renders summary objects"
+    );
+}

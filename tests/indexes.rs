@@ -1,0 +1,147 @@
+//! Hash indexes end to end: DDL, plan selection, correctness parity with
+//! scans, summary attachment, and persistence.
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::storage::Value;
+use insightnotes::Database;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE birds (id INT, name TEXT, region TEXT);
+         INSERT INTO birds VALUES
+           (1, 'Swan Goose', 'northeast'),
+           (2, 'Mallard', 'midwest'),
+           (3, 'Osprey', 'northeast'),
+           (4, 'Mute Swan', 'pacific');",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn create_index_changes_the_plan() {
+    let mut db = db();
+    let before = db.plan_sql("SELECT name FROM birds WHERE id = 2").unwrap();
+    assert!(before.explain().contains("Scan"), "{}", before.explain());
+    assert!(!before.explain().contains("IndexScan"));
+
+    let out = db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
+    assert!(matches!(out[0], ExecOutcome::IndexChanged { created: true, .. }));
+
+    let after = db.plan_sql("SELECT name FROM birds WHERE id = 2").unwrap();
+    assert!(after.explain().contains("IndexScan"), "{}", after.explain());
+
+    // DROP reverts to a scan.
+    db.execute_sql("DROP INDEX ON birds (id)").unwrap();
+    let reverted = db.plan_sql("SELECT name FROM birds WHERE id = 2").unwrap();
+    assert!(!reverted.explain().contains("IndexScan"));
+}
+
+#[test]
+fn index_scan_matches_full_scan_results() {
+    let mut with_index = db();
+    with_index.execute_sql("CREATE INDEX ON birds (region)").unwrap();
+    let mut without = db();
+    for q in [
+        "SELECT id, name FROM birds WHERE region = 'northeast' ORDER BY id",
+        "SELECT id FROM birds WHERE region = 'nowhere'",
+        "SELECT b.id, c.id FROM birds b, birds c \
+         WHERE b.region = 'northeast' AND b.id < c.id ORDER BY b.id, c.id",
+        "SELECT region, COUNT(*) AS n FROM birds WHERE region = 'northeast' GROUP BY region",
+    ] {
+        let a = with_index.query(q).unwrap();
+        let b = without.query(q).unwrap();
+        assert_eq!(a.rows, b.rows, "query `{q}`");
+    }
+}
+
+#[test]
+fn index_scan_attaches_summaries() {
+    let mut db = db();
+    db.execute_sql(
+        "CREATE INDEX ON birds (id);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'w');
+         LINK SUMMARY C TO birds;
+         ADD ANNOTATION 'w note' ON birds WHERE id = 2;",
+    )
+    .unwrap();
+    let plan = db.plan_sql("SELECT id, name FROM birds WHERE id = 2").unwrap();
+    assert!(plan.explain().contains("IndexScan"));
+    let result = db.query("SELECT id, name FROM birds WHERE id = 2").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let inst = db.registry().instance_id("C").unwrap();
+    assert_eq!(result.rows[0].summary(inst).unwrap().annotation_count(), 1);
+}
+
+#[test]
+fn index_reflects_inserts_and_deletes() {
+    let mut db = db();
+    db.execute_sql("CREATE INDEX ON birds (region)").unwrap();
+    db.execute_sql("INSERT INTO birds VALUES (5, 'Heron', 'northeast')")
+        .unwrap();
+    let r = db
+        .query("SELECT id FROM birds WHERE region = 'northeast'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    db.execute_sql("DELETE FROM birds WHERE id = 1").unwrap();
+    let r = db
+        .query("SELECT id FROM birds WHERE region = 'northeast'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn indexes_survive_snapshots() {
+    let mut db = db();
+    db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "insightnotes-idx-test-{}.indb",
+        std::process::id()
+    ));
+    db.save(&path).unwrap();
+    let reopened = Database::open(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let plan = reopened
+        .plan_sql("SELECT name FROM birds WHERE id = 3")
+        .unwrap();
+    assert!(plan.explain().contains("IndexScan"), "{}", plan.explain());
+}
+
+#[test]
+fn raw_engine_uses_the_index_too() {
+    let mut db = db();
+    db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
+    let rows = db.query_raw("SELECT name FROM birds WHERE id = 4").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].row[0], Value::Text("Mute Swan".into()));
+}
+
+#[test]
+fn index_ddl_errors() {
+    let mut db = db();
+    assert_eq!(
+        db.execute_sql("CREATE INDEX ON missing (id)").unwrap_err().class(),
+        "catalog"
+    );
+    assert_eq!(
+        db.execute_sql("CREATE INDEX ON birds (nope)").unwrap_err().class(),
+        "catalog"
+    );
+    assert_eq!(
+        db.execute_sql("DROP INDEX ON birds (id)").unwrap_err().class(),
+        "catalog"
+    );
+}
+
+#[test]
+fn null_probe_through_index_matches_nothing() {
+    let mut db = db();
+    db.execute_sql("INSERT INTO birds VALUES (NULL, 'Mystery', 'unknown')")
+        .unwrap();
+    db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
+    // `id = NULL` never matches (three-valued logic), with or without
+    // the index; the planner keeps NULL literals off the index path.
+    let r = db.query("SELECT name FROM birds WHERE id = NULL").unwrap();
+    assert!(r.rows.is_empty());
+}

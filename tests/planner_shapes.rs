@@ -1,0 +1,218 @@
+//! Plan-shape tests: the canonical structures the planner must produce,
+//! checked through `EXPLAIN`-style renderings and plan inspection.
+
+use insightnotes::engine::plan::LogicalPlan;
+use insightnotes::storage::Value;
+use insightnotes::Database;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE R (a INT, b INT, c TEXT);
+         CREATE TABLE S (x INT, y TEXT);
+         INSERT INTO R VALUES (1, 10, 'p'), (2, 20, 'q'), (1, 30, 'r');
+         INSERT INTO S VALUES (1, 'one'), (2, 'two');",
+    )
+    .unwrap();
+    db
+}
+
+/// Collects operator names in post-order (execution order).
+fn post_order(plan: &LogicalPlan, out: &mut Vec<&'static str>) {
+    for child in plan.children() {
+        post_order(child, out);
+    }
+    out.push(plan.name());
+}
+
+#[test]
+fn single_table_filters_sit_on_scans() {
+    let db = db();
+    let plan = db
+        .plan_sql("SELECT r.a FROM R r, S s WHERE r.a = s.x AND r.b > 5 AND s.y = 'one'")
+        .unwrap();
+    let text = plan.explain();
+    // Both single-table predicates appear below the Join.
+    let join_depth = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("Join"))
+        .map(|l| l.len() - l.trim_start().len())
+        .unwrap();
+    let filter_depths: Vec<usize> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Filter"))
+        .map(|l| l.len() - l.trim_start().len())
+        .collect();
+    assert_eq!(filter_depths.len(), 2, "{text}");
+    assert!(
+        filter_depths.iter().all(|&d| d > join_depth),
+        "single-table filters must be below the join:\n{text}"
+    );
+}
+
+#[test]
+fn leaf_projections_precede_the_join() {
+    let db = db();
+    let plan = db
+        .plan_sql("SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x")
+        .unwrap();
+    let mut ops = Vec::new();
+    post_order(&plan, &mut ops);
+    let join = ops.iter().position(|&o| o == "Join").unwrap();
+    let projects_before = ops[..join].iter().filter(|&&o| o == "Project").count();
+    assert!(
+        projects_before >= 1,
+        "project-before-merge requires leaf projection: {ops:?}"
+    );
+}
+
+#[test]
+fn no_redundant_projection_for_full_width_scan() {
+    let db = db();
+    // All columns selected and no predicates: the plan is just a scan.
+    let plan = db.plan_sql("SELECT a, b, c FROM R").unwrap();
+    assert_eq!(plan.name(), "Scan", "{}", plan.explain());
+}
+
+#[test]
+fn wildcard_is_a_bare_scan() {
+    let db = db();
+    let plan = db.plan_sql("SELECT * FROM R").unwrap();
+    assert_eq!(plan.name(), "Scan");
+    assert_eq!(plan.schema().arity(), 3);
+}
+
+#[test]
+fn cross_join_without_predicates() {
+    let mut db = db();
+    let result = db.query("SELECT r.a, s.x FROM R r, S s").unwrap();
+    assert_eq!(result.rows.len(), 6, "3 × 2 cross product");
+}
+
+#[test]
+fn aggregate_plan_has_group_then_project() {
+    let db = db();
+    let plan = db
+        .plan_sql("SELECT a, COUNT(*) AS n FROM R GROUP BY a ORDER BY n DESC")
+        .unwrap();
+    let mut ops = Vec::new();
+    post_order(&plan, &mut ops);
+    let agg = ops.iter().position(|&o| o == "Aggregate").unwrap();
+    let sort = ops.iter().position(|&o| o == "Sort").unwrap();
+    assert!(
+        agg < sort,
+        "sort on aliases runs above the aggregate: {ops:?}"
+    );
+}
+
+#[test]
+fn having_filters_groups() {
+    let mut db = db();
+    let result = db
+        .query("SELECT a, COUNT(*) AS n FROM R GROUP BY a HAVING n > 1")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[0], Value::Int(1));
+    assert_eq!(result.rows[0].row[1], Value::Int(2));
+
+    // HAVING can also reference group columns and compose.
+    let result = db
+        .query("SELECT a, SUM(b) AS total FROM R GROUP BY a HAVING total > 30 AND a >= 1")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[1], Value::Float(40.0));
+}
+
+#[test]
+fn having_preserves_group_summaries() {
+    let mut db = db();
+    db.execute_sql(
+        "CREATE SUMMARY INSTANCE C TYPE CLASSIFIER LABELS ('note') TRAIN ('note': 'word');
+         LINK SUMMARY C TO R;
+         ADD ANNOTATION 'word here' ON R WHERE b = 10;
+         ADD ANNOTATION 'word there' ON R WHERE b = 30;",
+    )
+    .unwrap();
+    let result = db
+        .query("SELECT a, COUNT(*) AS n FROM R GROUP BY a HAVING n > 1")
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let inst = db.registry().instance_id("C").unwrap();
+    // Both annotated rows (b=10, b=30) belong to the surviving group a=1.
+    assert_eq!(
+        result.rows[0].summary(inst).unwrap().annotation_count(),
+        2,
+        "HAVING must pass merged group summaries through unchanged"
+    );
+}
+
+#[test]
+fn having_without_group_by_is_an_error() {
+    let db = db();
+    assert_eq!(
+        db.plan_sql("SELECT a FROM R HAVING a > 1")
+            .unwrap_err()
+            .class(),
+        "type"
+    );
+}
+
+#[test]
+fn global_aggregate_has_no_grouping_columns() {
+    let mut db = db();
+    let result = db.query("SELECT COUNT(*), AVG(b) FROM R").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].row[0], Value::Int(3));
+    assert_eq!(result.rows[0].row[1], Value::Float(20.0));
+}
+
+#[test]
+fn order_by_output_alias_vs_source_column() {
+    let mut db = db();
+    // Alias ordering (bound on the output schema).
+    let by_alias = db
+        .query("SELECT b AS weight FROM R ORDER BY weight DESC LIMIT 1")
+        .unwrap();
+    assert_eq!(by_alias.rows[0].row[0], Value::Int(30));
+    // Ordering by a column that is NOT in the output (bound pre-projection).
+    let by_hidden = db.query("SELECT a FROM R ORDER BY b DESC LIMIT 1").unwrap();
+    assert_eq!(by_hidden.rows[0].row[0], Value::Int(1));
+}
+
+#[test]
+fn duplicate_binding_is_rejected() {
+    let db = db();
+    assert_eq!(
+        db.plan_sql("SELECT r.a FROM R r, S r").unwrap_err().class(),
+        "catalog"
+    );
+}
+
+#[test]
+fn ambiguous_bare_column_is_rejected() {
+    let mut db = db();
+    db.execute_sql("CREATE TABLE T2 (a INT)").unwrap();
+    assert_eq!(
+        db.plan_sql("SELECT a FROM R, T2").unwrap_err().class(),
+        "catalog"
+    );
+}
+
+#[test]
+fn three_way_join_builds_left_deep() {
+    let mut db = db();
+    db.execute_sql("CREATE TABLE U (k INT); INSERT INTO U VALUES (1)")
+        .unwrap();
+    let plan = db
+        .plan_sql("SELECT r.a FROM R r, S s, U u WHERE r.a = s.x AND s.x = u.k")
+        .unwrap();
+    let mut ops = Vec::new();
+    post_order(&plan, &mut ops);
+    assert_eq!(ops.iter().filter(|&&o| o == "Join").count(), 2);
+    assert_eq!(ops.iter().filter(|&&o| o == "Scan").count(), 3);
+    let mut db2 = db;
+    let result = db2
+        .query("SELECT r.a FROM R r, S s, U u WHERE r.a = s.x AND s.x = u.k")
+        .unwrap();
+    assert_eq!(result.rows.len(), 2, "two R rows with a = 1");
+}

@@ -1,0 +1,172 @@
+//! Property tests for the summary-object algebra itself — the laws the
+//! operator semantics rest on (DESIGN.md "exact summary algebra"):
+//!
+//! - classifier merge is commutative, associative, and idempotent
+//!   (set-union semantics over contributing ids);
+//! - projection composes: projecting twice equals projecting once with
+//!   the composed map;
+//! - for classifiers, project-then-merge equals merge-then-project — the
+//!   object-level heart of Theorems 1–2 (the planner still projects
+//!   first, because for *clusters* only the project-first order is
+//!   well-defined);
+//! - zoom-in ids always partition the object's contributing ids.
+
+use insightnotes::annotations::ColSig;
+use insightnotes::summaries::{object::ClassifierObject, Contribution, SummaryObject};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ARITY: u16 = 4;
+const LABELS: usize = 3;
+
+/// One annotation event: (id, label, non-empty column mask).
+///
+/// The label is a *function of the id* (`id % LABELS`): a summary
+/// instance digests an annotation deterministically, so the same
+/// annotation can never carry different labels on two objects of the
+/// same instance. Column masks may differ per attachment (the same
+/// annotation can cover different columns on different tuples).
+type Event = (u64, usize, u8);
+
+fn events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u64..40, 1u8..(1 << ARITY)), 0..30).prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v.dedup_by_key(|e| e.0);
+        v.into_iter()
+            .map(|(id, mask)| (id, (id % LABELS as u64) as usize, mask))
+            .collect()
+    })
+}
+
+fn classifier(events: &[Event]) -> SummaryObject {
+    let labels: Arc<[String]> = (0..LABELS)
+        .map(|i| format!("L{i}"))
+        .collect::<Vec<_>>()
+        .into();
+    let mut obj = SummaryObject::Classifier(ClassifierObject::new(labels));
+    for &(id, label, mask) in events {
+        obj.apply(
+            id,
+            ColSig::from_bits(mask as u64),
+            &Contribution::Label(label),
+        )
+        .unwrap();
+    }
+    obj
+}
+
+/// Keep columns whose bit is set in `mask`, compacted to low ordinals.
+fn mask_remap(mask: u8) -> impl Fn(u16) -> Option<u16> {
+    move |c: u16| {
+        if c >= ARITY || mask & (1 << c) == 0 {
+            return None;
+        }
+        // New ordinal = number of surviving columns below c.
+        Some((0..c).filter(|&b| mask & (1 << b) != 0).count() as u16)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn classifier_merge_is_commutative(a in events(), b in events()) {
+        let (oa, ob) = (classifier(&a), classifier(&b));
+        let mut ab = oa.clone();
+        ab.merge(&ob).unwrap();
+        let mut ba = ob.clone();
+        ba.merge(&oa).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn classifier_merge_is_associative(a in events(), b in events(), c in events()) {
+        let (oa, ob, oc) = (classifier(&a), classifier(&b), classifier(&c));
+        let mut left = oa.clone();
+        left.merge(&ob).unwrap();
+        left.merge(&oc).unwrap();
+        let mut right_inner = ob.clone();
+        right_inner.merge(&oc).unwrap();
+        let mut right = oa.clone();
+        right.merge(&right_inner).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn classifier_merge_is_idempotent(a in events()) {
+        let oa = classifier(&a);
+        let mut twice = oa.clone();
+        twice.merge(&oa).unwrap();
+        prop_assert_eq!(twice, oa);
+    }
+
+    #[test]
+    fn projection_composes(a in events(), m1 in 0u8..16, m2 in 0u8..16) {
+        let mut stepwise = classifier(&a);
+        stepwise.project(&mask_remap(m1));
+        // Second projection speaks the compacted ordinals of the first:
+        // column j of the intermediate object came from the j-th set bit
+        // of m1; it survives iff that ordinal's bit is set in m2.
+        let surviving: Vec<u16> = (0..ARITY).filter(|&c| m1 & (1 << c) != 0).collect();
+        let m2_on_new = |j: u16| -> Option<u16> {
+            if (j as usize) < surviving.len() && m2 & (1 << j) != 0 {
+                Some((0..j).filter(|&b| m2 & (1 << b) != 0).count() as u16)
+            } else {
+                None
+            }
+        };
+        stepwise.project(&m2_on_new);
+
+        // Composed mask over the ORIGINAL ordinals.
+        let mut direct = classifier(&a);
+        let composed = |c: u16| -> Option<u16> {
+            let mid = mask_remap(m1)(c)?;
+            m2_on_new(mid)
+        };
+        direct.project(&composed);
+        prop_assert_eq!(stepwise, direct);
+    }
+
+    #[test]
+    fn classifier_project_commutes_with_merge(a in events(), b in events(), mask in 0u8..16) {
+        // Project both sides, then merge …
+        let mut pa = classifier(&a);
+        pa.project(&mask_remap(mask));
+        let mut pb = classifier(&b);
+        pb.project(&mask_remap(mask));
+        pa.merge(&pb).unwrap();
+        // … versus merge, then project.
+        let mut merged = classifier(&a);
+        merged.merge(&classifier(&b)).unwrap();
+        merged.project(&mask_remap(mask));
+        prop_assert_eq!(pa, merged);
+    }
+
+    #[test]
+    fn zoom_ids_partition_contributing_ids(a in events()) {
+        let obj = classifier(&a);
+        let mut union = insightnotes::common::IdSet::new();
+        let mut total = 0usize;
+        for i in 0..obj.component_count() {
+            let ids = obj.zoom_ids(i).unwrap();
+            total += ids.len();
+            union = union.union(&ids);
+        }
+        // Labels partition: no id in two labels, none lost.
+        prop_assert_eq!(total, union.len());
+        prop_assert_eq!(union, obj.all_ids());
+    }
+
+    #[test]
+    fn projection_never_invents_ids(a in events(), mask in 0u8..16) {
+        let before = classifier(&a);
+        let mut after = before.clone();
+        after.project(&mask_remap(mask));
+        prop_assert!(after.all_ids().is_subset(&before.all_ids()));
+        prop_assert!(after.annotation_count() <= before.annotation_count());
+        // Full mask = identity on contributing ids.
+        let mut identity = before.clone();
+        identity.project(&mask_remap(0b1111));
+        prop_assert_eq!(identity.all_ids(), before.all_ids());
+    }
+}

@@ -1,0 +1,248 @@
+//! Integration tests over the seeded AKN-style workload: the full system
+//! running at realistic annotation ratios.
+
+use insightnotes::engine::ExecOutcome;
+use insightnotes::workload::{seed_birds_database, QueryGen, WorkloadConfig};
+use insightnotes::Database;
+
+fn config(num_birds: usize, ratio: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        num_birds,
+        annotation_ratio: ratio,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn thirty_x_ratio_database_summarizes_everything() {
+    let mut db = Database::new();
+    let stats = seed_birds_database(&mut db, &config(20, 30.0)).unwrap();
+    assert_eq!(stats.annotations, 600);
+
+    // Every annotation is absorbed by the classifier object of its row.
+    let t = db.catalog().table_id("birds").unwrap();
+    let classifier = db.registry().instance_id("ClassBird1").unwrap();
+    let mut covered = 0usize;
+    for rid in db.store().annotated_rows(t) {
+        let obj = db
+            .registry()
+            .object(t, rid, classifier)
+            .expect("object exists");
+        assert_eq!(obj.annotation_count(), db.store().count_on_row(t, rid));
+        covered += obj.annotation_count();
+    }
+    assert!(
+        covered >= stats.annotations,
+        "multi-target annotations count per row"
+    );
+}
+
+#[test]
+fn summaries_compress_raw_annotations() {
+    let mut db = Database::new();
+    // 10% of annotations carry attached documents — the "large object"
+    // annotations (articles, reports) that motivate the Snippet type.
+    seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            num_birds: 20,
+            annotation_ratio: 60.0,
+            document_rate: 0.1,
+            ..WorkloadConfig::default()
+        },
+    )
+    .unwrap();
+    let raw_bytes = db.store().stats().content_bytes;
+    let summary_bytes = db.registry().total_object_bytes();
+    // The whole point of the paper: summaries are much smaller than the
+    // raw annotations they stand for (documents dominate the raw side).
+    assert!(
+        summary_bytes < raw_bytes,
+        "summaries ({summary_bytes} B) must be smaller than raw ({raw_bytes} B)"
+    );
+
+    // And radically fewer objects than annotations: 3 objects per tuple
+    // versus dozens of raw annotations.
+    let objects = db.registry().object_count();
+    let annotations = db.store().stats().count;
+    assert!(objects <= 3 * 20);
+    assert!(annotations >= 20 * 60);
+}
+
+#[test]
+fn generated_query_workload_runs_clean() {
+    let mut db = Database::new();
+    seed_birds_database(&mut db, &config(25, 10.0)).unwrap();
+    let mut gen = QueryGen::new(7, 25);
+    for _ in 0..25 {
+        let sql = gen.next_query();
+        let result = db
+            .query(&sql)
+            .unwrap_or_else(|e| panic!("query `{sql}` failed: {e}"));
+        // Aggregate queries return groups; scans return rows; every result
+        // gets a QID and is zoomable in principle.
+        assert!(result.qid.raw() > 100);
+    }
+    assert_eq!(db.zoom().query_count(), 25);
+}
+
+#[test]
+fn zoomin_over_workload_results_returns_real_annotations() {
+    let mut db = Database::new();
+    seed_birds_database(&mut db, &config(15, 20.0)).unwrap();
+    let result = db.query("SELECT id, name, weight FROM birds").unwrap();
+    let qid = result.qid.raw();
+    // Zoom into the Behavior label across all tuples.
+    let outcomes = db
+        .execute_sql(&format!(
+            "ZOOMIN REFERENCE QID {qid} ON ClassBird1 LABEL 'Behavior'"
+        ))
+        .unwrap();
+    let ExecOutcome::ZoomIn(z) = &outcomes[0] else {
+        panic!()
+    };
+    assert!(z.from_cache);
+    assert!(!z.annotations.is_empty());
+    // Each retrieved annotation is a real stored annotation.
+    for a in &z.annotations {
+        assert!(!a.text.is_empty());
+        assert!(a.author.starts_with("watcher"));
+    }
+}
+
+#[test]
+fn classifier_tracks_ground_truth_above_chance() {
+    use insightnotes::text::NaiveBayes;
+    use insightnotes::workload::{BirdGen, ANNOTATION_CLASSES};
+    let mut gen = BirdGen::new(99);
+    let mut nb = NaiveBayes::new(ANNOTATION_CLASSES.iter().map(|s| s.to_string()).collect());
+    for (class, text) in gen.training_corpus(20) {
+        nb.train(class, &text);
+    }
+    let mut correct = 0usize;
+    let total = 300usize;
+    for _ in 0..total {
+        let ann = gen.annotation(0.0, 0.0);
+        if nb.classify(&ann.text) == ann.class {
+            correct += 1;
+        }
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(
+        accuracy > 0.6,
+        "classifier accuracy {accuracy} should beat 0.25 chance comfortably"
+    );
+}
+
+#[test]
+fn snippet_objects_compress_documents() {
+    let mut db = Database::new();
+    let stats = seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            num_birds: 10,
+            annotation_ratio: 20.0,
+            document_rate: 0.3,
+            ..WorkloadConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(stats.documents > 10);
+    let t = db.catalog().table_id("birds").unwrap();
+    let snip = db.registry().instance_id("TextSummary1").unwrap();
+    let mut entries = 0usize;
+    for rid in db.store().annotated_rows(t) {
+        if let Some(obj) = db.registry().object(t, rid, snip) {
+            let s = obj.as_snippet().unwrap();
+            for e in s.entries() {
+                assert!(
+                    (e.snippet.len() as u64) < e.source_bytes,
+                    "snippet must be shorter than its source"
+                );
+                entries += 1;
+            }
+        }
+    }
+    assert!(entries > 0, "documents produced snippet entries");
+}
+
+#[test]
+fn cluster_objects_group_near_duplicates() {
+    let mut db = Database::new();
+    seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            num_birds: 5,
+            annotation_ratio: 40.0,
+            duplicate_rate: 0.6,
+            ..WorkloadConfig::default()
+        },
+    )
+    .unwrap();
+    let t = db.catalog().table_id("birds").unwrap();
+    let sim = db.registry().instance_id("SimCluster").unwrap();
+    let mut any_multi_group = false;
+    for rid in db.store().annotated_rows(t) {
+        if let Some(obj) = db.registry().object(t, rid, sim) {
+            let c = obj.as_cluster().unwrap();
+            let groups = c.groups();
+            let members: usize = groups.iter().map(|g| g.size).sum();
+            // Grouping must compress: fewer groups than members overall.
+            if members >= 5 {
+                assert!(
+                    groups.len() < members,
+                    "row {rid}: {members} members in {} groups",
+                    groups.len()
+                );
+                any_multi_group = true;
+            }
+        }
+    }
+    assert!(
+        any_multi_group,
+        "expected at least one heavily annotated row"
+    );
+}
+
+#[test]
+fn gene_workload_builds_a_second_domain() {
+    use insightnotes::workload::genes::{GeneGen, GENES_DDL, GENE_CLASSES};
+    let mut db = Database::new();
+    db.execute_sql(GENES_DDL).unwrap();
+    let mut gen = GeneGen::new(3);
+    let corpus = gen.training_corpus(10);
+    let pairs: Vec<String> = corpus
+        .iter()
+        .map(|(c, t)| format!("'{}': '{t}'", GENE_CLASSES[*c]))
+        .collect();
+    db.execute_sql(&format!(
+        "CREATE SUMMARY INSTANCE GeneClass TYPE CLASSIFIER LABELS ({}) TRAIN ({})",
+        GENE_CLASSES
+            .iter()
+            .map(|c| format!("'{c}'"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        pairs.join(", ")
+    ))
+    .unwrap();
+    db.execute_sql("LINK SUMMARY GeneClass TO genes").unwrap();
+    for r in gen.records(10) {
+        db.execute_sql(&format!(
+            "INSERT INTO genes VALUES ({}, '{}', '{}', {}, '{}')",
+            r.id, r.symbol, r.organism, r.seq_len, r.description
+        ))
+        .unwrap();
+    }
+    for i in 0..50 {
+        let (_, text) = gen.annotation();
+        db.execute_sql(&format!(
+            "ADD ANNOTATION '{text}' ON genes WHERE id = {}",
+            i % 10 + 1
+        ))
+        .unwrap();
+    }
+    let result = db
+        .query("SELECT symbol FROM genes WHERE SUMMARY_COUNT(GeneClass, 'Provenance') > 0")
+        .unwrap();
+    assert!(!result.rows.is_empty());
+}
