@@ -1,0 +1,47 @@
+//! Morsel-driven executor scaling: the same scan → filter → aggregate
+//! and self-join pipelines at 1/2/4/8 worker threads against the serial
+//! baseline. Results are recorded in `EXPERIMENTS.md` — on a
+//! single-core host the parallel curves measure scheduling overhead,
+//! not speedup; re-run on a multi-core machine for the scaling numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_bench::annotated_db_parallel;
+
+const BIRDS: usize = 50_000;
+const RATIO: f64 = 0.2;
+
+const SCAN_AGG: &str = "SELECT region, COUNT(*) AS n, AVG(weight) AS w \
+     FROM birds WHERE weight > 1 GROUP BY region ORDER BY region";
+const SELF_JOIN: &str = "SELECT a.id, a.name, b.region FROM birds a JOIN birds b ON a.id = b.id \
+     WHERE a.weight > 2";
+const DISTINCT_SORT: &str = "SELECT DISTINCT region, name FROM birds ORDER BY region, name";
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_parallel");
+    group.sample_size(10);
+    for (label, sql) in [
+        ("scan_agg", SCAN_AGG),
+        ("self_join", SELF_JOIN),
+        ("distinct_sort", DISTINCT_SORT),
+    ] {
+        // Serial baseline: no worker pool at all (parallelism = None).
+        group.bench_with_input(BenchmarkId::new(label, "serial"), sql, |b, sql| {
+            let mut db = annotated_db_parallel(BIRDS, RATIO, None);
+            b.iter(|| db.query_uncached(sql).unwrap());
+        });
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &(sql, threads),
+                |b, &(sql, threads)| {
+                    let mut db = annotated_db_parallel(BIRDS, RATIO, Some(threads));
+                    b.iter(|| db.query_uncached(sql).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -10,13 +10,12 @@
 //! tests/plan_equivalence.rs).
 
 use insightnotes_annotations::{AnnotationBody, ColSig};
-use insightnotes_bench::{annotate_one_row, annotated_db, annotated_db_with, ms, timed, SEED};
+use insightnotes_bench::{annotate_one_row, annotated_db, ms, timed, SEED};
 use insightnotes_common::RowId;
-use insightnotes_engine::db::PolicyKind;
 use insightnotes_engine::{Database, ExecOutcome};
 use insightnotes_summaries::MaintenanceMode;
 use insightnotes_text::NaiveBayes;
-use insightnotes_workload::{zoomin_reference_stream, BirdGen, QueryGen, ANNOTATION_CLASSES};
+use insightnotes_workload::{zoomin_reference_stream, BirdGen, ANNOTATION_CLASSES};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

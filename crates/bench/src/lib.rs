@@ -15,6 +15,34 @@ use std::time::{Duration, Instant};
 /// Standard seed shared by all experiments.
 pub const SEED: u64 = 0x0151_6874;
 
+/// Builds a seeded bird database at the given scale with a
+/// morsel-parallel executor (`None` = serial baseline).
+pub fn annotated_db_parallel(
+    num_birds: usize,
+    ratio: f64,
+    parallelism: Option<usize>,
+) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        parallelism,
+        ..DbConfig::default()
+    })
+    .expect("config");
+    seed_birds_database(
+        &mut db,
+        &WorkloadConfig {
+            seed: SEED,
+            num_birds,
+            annotation_ratio: ratio,
+            duplicate_rate: 0.25,
+            document_rate: 0.05,
+            multi_tuple_rate: 0.05,
+            column_rate: 0.3,
+        },
+    )
+    .expect("seeding");
+    db
+}
+
 /// Builds a seeded bird database at the given scale.
 pub fn annotated_db(num_birds: usize, ratio: f64) -> Database {
     let mut db = Database::new();
@@ -48,6 +76,7 @@ pub fn annotated_db_with(
         policy,
         maintenance,
         cache_dir: None,
+        parallelism: None,
     })
     .expect("config");
     seed_birds_database(

@@ -4,10 +4,20 @@
 //! its attribute values as well as the annotation summary objects that
 //! summarize the raw annotations on r". Operators transform the `row` and
 //! `summaries` halves together.
+//!
+//! Summary objects are attached **copy-on-write**: the `summaries` vector
+//! holds [`SharedObject`] (`Arc<SummaryObject>`) handles, usually pointing
+//! straight into the registry's per-row object lists. Scanning a table
+//! therefore bumps refcounts instead of deep-cloning signature maps and
+//! cluster states; the payload is cloned lazily (via [`Arc::make_mut`])
+//! only when an operator actually mutates an object — a join shifting
+//! column ordinals, a projection dropping annotated columns, a grouping
+//! merge folding two rows together.
 
 use insightnotes_common::{codec, InstanceId, Result};
 use insightnotes_storage::Row;
-use insightnotes_summaries::SummaryObject;
+use insightnotes_summaries::{SharedObject, SummaryObject};
+use std::sync::Arc;
 
 /// A row travelling through the query pipeline with its summary objects.
 ///
@@ -17,8 +27,8 @@ use insightnotes_summaries::SummaryObject;
 pub struct AnnotatedRow {
     /// The data values.
     pub row: Row,
-    /// Summary objects, sorted by instance id.
-    pub summaries: Vec<(InstanceId, SummaryObject)>,
+    /// Copy-on-write summary objects, sorted by instance id.
+    pub summaries: Vec<(InstanceId, SharedObject)>,
 }
 
 impl AnnotatedRow {
@@ -30,8 +40,21 @@ impl AnnotatedRow {
         }
     }
 
-    /// Creates from parts, restoring the sorted-by-instance invariant.
-    pub fn new(row: Row, mut summaries: Vec<(InstanceId, SummaryObject)>) -> Self {
+    /// Creates from owned objects, restoring the sorted-by-instance
+    /// invariant. Each object becomes the sole holder of a fresh `Arc`.
+    pub fn new(row: Row, summaries: Vec<(InstanceId, SummaryObject)>) -> Self {
+        Self::from_shared(
+            row,
+            summaries
+                .into_iter()
+                .map(|(i, o)| (i, Arc::new(o)))
+                .collect(),
+        )
+    }
+
+    /// Creates from already-shared objects (the scan path: handles cloned
+    /// off the registry), restoring the sorted-by-instance invariant.
+    pub fn from_shared(row: Row, mut summaries: Vec<(InstanceId, SharedObject)>) -> Self {
         summaries.sort_by_key(|(i, _)| *i);
         Self { row, summaries }
     }
@@ -41,28 +64,34 @@ impl AnnotatedRow {
         self.summaries
             .iter()
             .find(|(i, _)| *i == instance)
-            .map(|(_, o)| o)
+            .map(|(_, o)| o.as_ref())
     }
 
     /// Applies a column remap to every summary object (projection /
     /// ordinal shift). `remap` maps input ordinals to output ordinals;
     /// `None` drops the column and with it the effect of annotations
     /// attached only to dropped columns.
+    ///
+    /// Objects whose signatures are untouched by the remap (common for
+    /// identity projections) keep their shared payload.
     pub fn project_summaries(&mut self, remap: &dyn Fn(u16) -> Option<u16>) {
         for (_, obj) in &mut self.summaries {
-            obj.project(remap);
+            if obj.projection_changes(remap) {
+                Arc::make_mut(obj).project(remap);
+            }
         }
         self.summaries.retain(|(_, o)| !o.is_empty());
     }
 
     /// Merges another tuple's summaries into this one (join / duplicate
     /// elimination / grouping). Objects of the same instance merge without
-    /// double counting; instances present on only one side propagate.
+    /// double counting; instances present on only one side propagate as
+    /// shared handles.
     pub fn merge_summaries(&mut self, other: &AnnotatedRow) -> Result<()> {
         for (inst, theirs) in &other.summaries {
             match self.summaries.binary_search_by_key(inst, |(i, _)| *i) {
-                Ok(pos) => self.summaries[pos].1.merge(theirs)?,
-                Err(pos) => self.summaries.insert(pos, (*inst, theirs.clone())),
+                Ok(pos) => SummaryObject::merge_shared(&mut self.summaries[pos].1, theirs)?,
+                Err(pos) => self.summaries.insert(pos, (*inst, Arc::clone(theirs))),
             }
         }
         Ok(())
@@ -79,6 +108,8 @@ impl AnnotatedRow {
     }
 
     /// Approximate in-memory bytes (row + objects), for cache sizing.
+    /// Shared payloads are charged in full to every holder — deliberately
+    /// conservative for cache budgeting.
     pub fn approx_bytes(&self) -> usize {
         self.row.approx_bytes()
             + self
@@ -118,7 +149,6 @@ mod tests {
     use insightnotes_common::codec::Encodable;
     use insightnotes_storage::Value;
     use insightnotes_summaries::Contribution;
-    use std::sync::Arc;
 
     fn classifier(counts: &[(u64, usize)]) -> SummaryObject {
         let labels: Arc<[String]> = vec!["A".to_string(), "B".to_string()].into();
@@ -175,6 +205,24 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_shared_handles_is_shallow() {
+        // The self-join shape: both sides carry handles to the SAME
+        // registry object. The merge must neither double count nor clone.
+        let shared = Arc::new(classifier(&[(1, 0), (2, 1)]));
+        let mut left =
+            AnnotatedRow::from_shared(Row::new(vec![Value::Int(1)]), vec![(InstanceId(1), Arc::clone(&shared))]);
+        let right =
+            AnnotatedRow::from_shared(Row::new(vec![Value::Int(1)]), vec![(InstanceId(1), Arc::clone(&shared))]);
+        left.merge_summaries(&right).unwrap();
+        assert!(
+            Arc::ptr_eq(&left.summaries[0].1, &shared),
+            "idempotent self-merge keeps the shared payload"
+        );
+        let c = left.summary(InstanceId(1)).unwrap().as_classifier().unwrap();
+        assert_eq!((c.count(0), c.count(1)), (1, 1));
+    }
+
+    #[test]
     fn project_drops_emptied_objects() {
         let labels: Arc<[String]> = vec!["A".to_string()].into();
         let mut obj = SummaryObject::Classifier(
@@ -194,6 +242,20 @@ mod tests {
         assert!(
             r.summaries.is_empty(),
             "object emptied by projection is removed"
+        );
+    }
+
+    #[test]
+    fn identity_projection_keeps_payload_shared() {
+        let shared = Arc::new(classifier(&[(1, 0)]));
+        let mut r = AnnotatedRow::from_shared(
+            Row::new(vec![Value::Int(1), Value::Int(2)]),
+            vec![(InstanceId(1), Arc::clone(&shared))],
+        );
+        r.project_summaries(&|c| Some(c));
+        assert!(
+            Arc::ptr_eq(&r.summaries[0].1, &shared),
+            "no-op remap must not trigger copy-on-write"
         );
     }
 

@@ -79,6 +79,10 @@ pub struct DbConfig {
     pub policy: PolicyKind,
     /// Summary maintenance strategy.
     pub maintenance: MaintenanceMode,
+    /// Query-execution worker threads (`None` = serial). Traced queries
+    /// (demo scenario 3) always run serially regardless, so their
+    /// per-operator output stays deterministic.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for DbConfig {
@@ -88,6 +92,7 @@ impl Default for DbConfig {
             cache_budget: 16 << 20,
             policy: PolicyKind::Rco,
             maintenance: MaintenanceMode::Incremental,
+            parallelism: None,
         }
     }
 }
@@ -507,7 +512,11 @@ impl Database {
             unreachable!("single_select returns selects only")
         };
         let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
-        let rows = Executor::new(&self.catalog, &self.registry).execute(&plan)?;
+        let mut executor = match self.config.parallelism {
+            Some(threads) => Executor::with_parallelism(&self.catalog, &self.registry, threads),
+            None => Executor::new(&self.catalog, &self.registry),
+        };
+        let rows = executor.execute(&plan)?;
         Ok(QueryResult {
             qid: Qid::new(0),
             schema: plan.schema().clone(),
@@ -568,7 +577,10 @@ impl Database {
         let mut executor = if traced {
             Executor::with_trace(&self.catalog, &self.registry)
         } else {
-            Executor::new(&self.catalog, &self.registry)
+            match self.config.parallelism {
+                Some(threads) => Executor::with_parallelism(&self.catalog, &self.registry, threads),
+                None => Executor::new(&self.catalog, &self.registry),
+            }
         };
         let rows = executor.execute(&plan)?;
         let schema = plan.schema().clone();

@@ -97,6 +97,42 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Folds another accumulator of the same function into this one
+    /// (partial-aggregate merge). Exact for COUNT/MIN/MAX and for
+    /// SUM/AVG over integers; float SUM/AVG merge is subject to the
+    /// usual addition reordering.
+    fn absorb(&mut self, other: Accumulator) -> Result<()> {
+        match (self, other) {
+            (Accumulator::Count(n), Accumulator::Count(m)) => *n += m,
+            (
+                Accumulator::Sum { total, seen },
+                Accumulator::Sum {
+                    total: t,
+                    seen: s,
+                },
+            ) => {
+                *total += t;
+                *seen |= s;
+            }
+            (Accumulator::Avg { total, n }, Accumulator::Avg { total: t, n: m }) => {
+                *total += t;
+                *n += m;
+            }
+            (acc @ Accumulator::Min(_), Accumulator::Min(v))
+            | (acc @ Accumulator::Max(_), Accumulator::Max(v)) => {
+                if let Some(v) = v {
+                    acc.update(Some(v))?;
+                }
+            }
+            _ => {
+                return Err(Error::Execution(
+                    "partial aggregates disagree on function".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             Accumulator::Count(n) => Value::Int(n),
@@ -125,31 +161,37 @@ struct Group {
     carrier: AnnotatedRow,
 }
 
-/// Groups rows and computes aggregates. Output rows are
-/// `[group values…, aggregate values…]`; output summaries are the merge of
-/// member summaries projected onto the grouping columns. With no grouping
-/// columns, a single global group is produced (even over empty input, per
-/// SQL semantics).
-pub fn aggregate(
-    rows: Vec<AnnotatedRow>,
-    group_cols: &[usize],
-    aggs: &[AggSpec],
-) -> Result<Vec<AnnotatedRow>> {
-    let mut order: Vec<Vec<u8>> = Vec::new();
-    let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
-    let group_cols_owned = group_cols.to_vec();
+/// Partial grouping state: the groups seen so far, in first-seen order.
+/// One state per input morsel under parallel execution; partials merge
+/// left-to-right in morsel order, which reproduces the serial executor's
+/// first-seen group order exactly.
+struct GroupState {
+    order: Vec<Vec<u8>>,
+    groups: HashMap<Vec<u8>, Group>,
+}
 
-    for mut r in rows {
+impl GroupState {
+    fn new() -> Self {
+        Self {
+            order: Vec::new(),
+            groups: HashMap::new(),
+        }
+    }
+
+    fn fold_row(&mut self, mut r: AnnotatedRow, group_cols: &[usize], aggs: &[AggSpec]) -> Result<()> {
         let key = r.row.group_key(group_cols);
         // Project member summaries onto the grouping columns, speaking
         // output ordinals.
-        let cols = group_cols_owned.clone();
-        r.project_summaries(&move |c| cols.iter().position(|&g| g == c as usize).map(|p| p as u16));
-        let entry = groups.entry(key.clone());
-        let group = match entry {
+        r.project_summaries(&|c| {
+            group_cols
+                .iter()
+                .position(|&g| g == c as usize)
+                .map(|p| p as u16)
+        });
+        let group = match self.groups.entry(key.clone()) {
             std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                order.push(key);
+                self.order.push(key);
                 v.insert(Group {
                     key_row: group_cols.iter().map(|&c| r.row[c].clone()).collect(),
                     accumulators: aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
@@ -161,48 +203,161 @@ pub fn aggregate(
             let value = spec.arg.as_ref().map(|e| e.eval(&r)).transpose()?;
             acc.update(value)?;
         }
-        group.carrier.merge_summaries(&r)?;
+        group.carrier.merge_summaries(&r)
     }
 
-    // SQL: a global aggregate over empty input still yields one row.
-    if groups.is_empty() && group_cols.is_empty() {
-        let values: Vec<Value> = aggs
-            .iter()
-            .map(|a| Accumulator::new(a.func).finish())
-            .collect();
-        return Ok(vec![AnnotatedRow::bare(Row::new(values))]);
+    /// Merges a later partial into this one: matching groups absorb
+    /// accumulators and merge carriers (the no-double-count algebra);
+    /// new groups append in the partial's first-seen order.
+    fn absorb(&mut self, other: GroupState) -> Result<()> {
+        let mut groups = other.groups;
+        for key in other.order {
+            let theirs = groups.remove(&key).expect("key recorded");
+            match self.groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let mine = o.into_mut();
+                    for (acc, t) in mine.accumulators.iter_mut().zip(theirs.accumulators) {
+                        acc.absorb(t)?;
+                    }
+                    mine.carrier.merge_summaries(&theirs.carrier)?;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.order.push(key);
+                    v.insert(theirs);
+                }
+            }
+        }
+        Ok(())
     }
 
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let group = groups.remove(&key).expect("key recorded");
-        let mut values = group.key_row;
-        values.extend(group.accumulators.into_iter().map(Accumulator::finish));
-        out.push(AnnotatedRow {
-            row: Row::new(values),
-            summaries: group.carrier.summaries,
-        });
+    fn finish(mut self, group_cols: &[usize], aggs: &[AggSpec]) -> Result<Vec<AnnotatedRow>> {
+        // SQL: a global aggregate over empty input still yields one row.
+        if self.groups.is_empty() && group_cols.is_empty() {
+            let values: Vec<Value> = aggs
+                .iter()
+                .map(|a| Accumulator::new(a.func).finish())
+                .collect();
+            return Ok(vec![AnnotatedRow::bare(Row::new(values))]);
+        }
+        let mut out = Vec::with_capacity(self.order.len());
+        for key in self.order {
+            let group = self.groups.remove(&key).expect("key recorded");
+            let mut values = group.key_row;
+            values.extend(group.accumulators.into_iter().map(Accumulator::finish));
+            out.push(AnnotatedRow {
+                row: Row::new(values),
+                summaries: group.carrier.summaries,
+            });
+        }
+        Ok(out)
     }
-    Ok(out)
+}
+
+/// Groups rows and computes aggregates. Output rows are
+/// `[group values…, aggregate values…]`; output summaries are the merge of
+/// member summaries projected onto the grouping columns. With no grouping
+/// columns, a single global group is produced (even over empty input, per
+/// SQL semantics).
+pub fn aggregate(
+    rows: Vec<AnnotatedRow>,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+) -> Result<Vec<AnnotatedRow>> {
+    let mut state = GroupState::new();
+    for r in rows {
+        state.fold_row(r, group_cols, aggs)?;
+    }
+    state.finish(group_cols, aggs)
+}
+
+/// Parallel aggregation: each input morsel folds into a partial
+/// [`GroupState`]; the partials merge left-to-right in morsel order.
+/// Group output order and the summary algebra match the serial path;
+/// float SUM/AVG may differ by addition reordering.
+pub fn aggregate_parallel(
+    rows: Vec<AnnotatedRow>,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    threads: usize,
+) -> Result<Vec<AnnotatedRow>> {
+    let partials = super::par::fold_morsels(rows, threads, &|chunk| {
+        let mut state = GroupState::new();
+        for r in chunk {
+            state.fold_row(r, group_cols, aggs)?;
+        }
+        Ok(state)
+    })?;
+    let mut merged = GroupState::new();
+    for partial in partials {
+        merged.absorb(partial)?;
+    }
+    merged.finish(group_cols, aggs)
+}
+
+/// Partial duplicate-elimination state: surviving rows with their keys,
+/// in first-seen order.
+struct DistinctState {
+    seen: HashMap<Vec<u8>, usize>,
+    out: Vec<AnnotatedRow>,
+    keys: Vec<Vec<u8>>,
+}
+
+impl DistinctState {
+    fn new() -> Self {
+        Self {
+            seen: HashMap::new(),
+            out: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    fn fold_row(&mut self, r: AnnotatedRow, key: Vec<u8>) -> Result<()> {
+        match self.seen.get(&key) {
+            Some(&i) => self.out[i].merge_summaries(&r)?,
+            None => {
+                self.seen.insert(key.clone(), self.out.len());
+                self.out.push(r);
+                self.keys.push(key);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn row_key(r: &AnnotatedRow) -> Vec<u8> {
+    let all: Vec<usize> = (0..r.row.arity()).collect();
+    r.row.group_key(&all)
 }
 
 /// Duplicate elimination: the first occurrence survives and absorbs the
 /// summaries of every eliminated duplicate.
 pub fn distinct(rows: Vec<AnnotatedRow>) -> Result<Vec<AnnotatedRow>> {
-    let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
-    let mut out: Vec<AnnotatedRow> = Vec::new();
+    let mut state = DistinctState::new();
     for r in rows {
-        let all: Vec<usize> = (0..r.row.arity()).collect();
-        let key = r.row.group_key(&all);
-        match seen.get(&key) {
-            Some(&i) => out[i].merge_summaries(&r)?,
-            None => {
-                seen.insert(key, out.len());
-                out.push(r);
-            }
+        let key = row_key(&r);
+        state.fold_row(r, key)?;
+    }
+    Ok(state.out)
+}
+
+/// Parallel duplicate elimination: per-morsel partials merged in morsel
+/// order, reproducing the serial first-occurrence order.
+pub fn distinct_parallel(rows: Vec<AnnotatedRow>, threads: usize) -> Result<Vec<AnnotatedRow>> {
+    let partials = super::par::fold_morsels(rows, threads, &|chunk| {
+        let mut state = DistinctState::new();
+        for r in chunk {
+            let key = row_key(&r);
+            state.fold_row(r, key)?;
+        }
+        Ok(state)
+    })?;
+    let mut merged = DistinctState::new();
+    for partial in partials {
+        for (r, key) in partial.out.into_iter().zip(partial.keys) {
+            merged.fold_row(r, key)?;
         }
     }
-    Ok(out)
+    Ok(merged.out)
 }
 
 #[cfg(test)]

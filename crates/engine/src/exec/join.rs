@@ -11,7 +11,16 @@
 //!
 //! Equi-join conjuncts (`left.col = right.col`) are detected and executed
 //! as a hash join; any residual predicate is applied per candidate pair.
+//!
+//! Under parallel execution the equi path becomes a **partitioned hash
+//! join**: build keys are computed morsel-parallel, rows are split into
+//! one partition per worker by a deterministic hash of the key, the
+//! per-partition hash tables build in parallel, and probing runs
+//! morsel-parallel over the left side (each probe row hashes straight to
+//! its partition's table). Partitioning is a pure function of the data,
+//! so output order and content match the serial hash join exactly.
 
+use super::par;
 use crate::annotated::AnnotatedRow;
 use crate::expr::SExpr;
 use insightnotes_common::Result;
@@ -19,26 +28,32 @@ use insightnotes_storage::CmpOp;
 use std::collections::HashMap;
 
 /// Joins two annotated row sets. `left_arity` is the arity of the left
-/// schema (right signatures shift by it).
+/// schema (right signatures shift by it); `threads` caps worker
+/// parallelism (1 = serial).
 pub fn join(
     left: Vec<AnnotatedRow>,
     right: Vec<AnnotatedRow>,
     left_arity: usize,
     predicate: Option<&SExpr>,
+    threads: usize,
 ) -> Result<Vec<AnnotatedRow>> {
     // Shift right-side summary signatures once, up front.
     let shift = left_arity as u16;
-    let right: Vec<AnnotatedRow> = right
-        .into_iter()
-        .map(|mut r| {
-            r.project_summaries(&move |c| Some(c + shift));
-            r
-        })
-        .collect();
+    let right: Vec<AnnotatedRow> = par::map_morsels(right, threads, &|chunk, _| {
+        Ok(chunk
+            .into_iter()
+            .map(|mut r| {
+                r.project_summaries(&|c| Some(c + shift));
+                r
+            })
+            .collect())
+    })?;
 
     let (equi, residual) = split_equi(predicate, left_arity);
     if equi.is_empty() {
-        nested_loop(left, &right, residual.as_ref())
+        nested_loop(left, &right, residual.as_ref(), threads)
+    } else if threads > 1 {
+        partitioned_hash_join(left, right, &equi, residual.as_ref(), threads)
     } else {
         hash_join(left, &right, &equi, residual.as_ref())
     }
@@ -104,20 +119,25 @@ fn nested_loop(
     left: Vec<AnnotatedRow>,
     right: &[AnnotatedRow],
     residual: Option<&SExpr>,
+    threads: usize,
 ) -> Result<Vec<AnnotatedRow>> {
-    let mut out = Vec::new();
-    for l in &left {
-        for r in right {
-            let candidate = combine(l, r)?;
-            if match residual {
-                Some(p) => p.satisfied(&candidate)?,
-                None => true,
-            } {
-                out.push(candidate);
+    // Morsel-parallel over the outer side; the left-major output order is
+    // identical at every thread count.
+    par::map_morsels(left, threads, &|chunk, _| {
+        let mut out = Vec::new();
+        for l in &chunk {
+            for r in right {
+                let candidate = combine(l, r)?;
+                if match residual {
+                    Some(p) => p.satisfied(&candidate)?,
+                    None => true,
+                } {
+                    out.push(candidate);
+                }
             }
         }
-    }
-    Ok(out)
+        Ok(out)
+    })
 }
 
 fn hash_join(
@@ -158,6 +178,87 @@ fn hash_join(
         }
     }
     Ok(out)
+}
+
+/// Deterministic partition hash (FNV-1a) over a join key's bytes. Must
+/// be a pure function of the key so build and probe agree and results
+/// are reproducible across runs and thread counts.
+fn partition_of(key: &[u8], partitions: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % partitions as u64) as usize
+}
+
+/// The parallel equi path: keys morsel-parallel, one partition per
+/// worker, per-partition tables built in parallel, probe morsel-parallel.
+/// Within a partition, build indices stay in right-input order, so the
+/// per-key match lists — and with them the output — equal the serial
+/// [`hash_join`]'s.
+fn partitioned_hash_join(
+    left: Vec<AnnotatedRow>,
+    right: Vec<AnnotatedRow>,
+    equi: &[(usize, usize)],
+    residual: Option<&SExpr>,
+    threads: usize,
+) -> Result<Vec<AnnotatedRow>> {
+    let right_cols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
+    let indices: Vec<usize> = (0..right.len()).collect();
+    let keys: Vec<Option<Vec<u8>>> = par::map_morsels(indices, threads, &|chunk, _| {
+        Ok(chunk
+            .into_iter()
+            .map(|i| {
+                let r = &right[i];
+                if right_cols.iter().any(|&c| r.row[c].is_null()) {
+                    None // NULL keys never match
+                } else {
+                    Some(r.row.group_key(&right_cols))
+                }
+            })
+            .collect())
+    })?;
+
+    let parts_n = threads;
+    let mut parts: Vec<Vec<(Vec<u8>, usize)>> = (0..parts_n).map(|_| Vec::new()).collect();
+    for (i, key) in keys.into_iter().enumerate() {
+        if let Some(key) = key {
+            let p = partition_of(&key, parts_n);
+            parts[p].push((key, i));
+        }
+    }
+
+    let tables: Vec<HashMap<Vec<u8>, Vec<usize>>> = par::map_items(parts, threads, &|part, _| {
+        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(part.len());
+        for (key, i) in part {
+            table.entry(key).or_default().push(i);
+        }
+        Ok(table)
+    })?;
+
+    let left_cols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
+    par::map_morsels(left, threads, &|chunk, _| {
+        let mut out = Vec::new();
+        for l in &chunk {
+            if left_cols.iter().any(|&c| l.row[c].is_null()) {
+                continue;
+            }
+            let key = l.row.group_key(&left_cols);
+            if let Some(matches) = tables[partition_of(&key, parts_n)].get(&key) {
+                for &ri in matches {
+                    let candidate = combine(l, &right[ri])?;
+                    if match residual {
+                        Some(p) => p.satisfied(&candidate)?,
+                        None => true,
+                    } {
+                        out.push(candidate);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +308,7 @@ mod tests {
             arow(vec![Value::Int(1), Value::Text("a".into())], &[]),
             arow(vec![Value::Int(3), Value::Text("b".into())], &[]),
         ];
-        let out = join(left, right, 2, Some(&eq_pred(0, 2))).unwrap();
+        let out = join(left, right, 2, Some(&eq_pred(0, 2)), 1).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].row.arity(), 4);
         assert_eq!(out[0].row[3], Value::Text("a".into()));
@@ -217,7 +318,7 @@ mod tests {
     fn null_keys_never_match() {
         let left = vec![arow(vec![Value::Null], &[])];
         let right = vec![arow(vec![Value::Null], &[])];
-        let out = join(left, right, 1, Some(&eq_pred(0, 1))).unwrap();
+        let out = join(left, right, 1, Some(&eq_pred(0, 1)), 1).unwrap();
         assert!(out.is_empty());
     }
 
@@ -228,7 +329,7 @@ mod tests {
             arow(vec![Value::Int(2)], &[]),
         ];
         let right = vec![arow(vec![Value::Int(3)], &[])];
-        let out = join(left, right, 1, None).unwrap();
+        let out = join(left, right, 1, None, 1).unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -237,7 +338,7 @@ mod tests {
         // Figure 2: 20 + 7 annotations with 5 shared → 22 after merge.
         let left = vec![arow(vec![Value::Int(1)], &(0..20).collect::<Vec<_>>())];
         let right = vec![arow(vec![Value::Int(1)], &(15..22).collect::<Vec<_>>())];
-        let out = join(left, right, 1, Some(&eq_pred(0, 1))).unwrap();
+        let out = join(left, right, 1, Some(&eq_pred(0, 1)), 1).unwrap();
         assert_eq!(out.len(), 1);
         let c = out[0]
             .summary(InstanceId(1))
@@ -253,9 +354,9 @@ mod tests {
         // A second instance only on the left.
         left_row
             .summaries
-            .push((InstanceId(2), classifier(&[9], 1)));
+            .push((InstanceId(2), Arc::new(classifier(&[9], 1))));
         let right = vec![arow(vec![Value::Int(1)], &[3])];
-        let out = join(vec![left_row], right, 1, Some(&eq_pred(0, 1))).unwrap();
+        let out = join(vec![left_row], right, 1, Some(&eq_pred(0, 1)), 1).unwrap();
         assert_eq!(out[0].summaries.len(), 2);
         assert_eq!(out[0].summary(InstanceId(1)).unwrap().annotation_count(), 3);
         assert_eq!(out[0].summary(InstanceId(2)).unwrap().annotation_count(), 1);
@@ -277,7 +378,7 @@ mod tests {
                 Box::new(SExpr::Literal(Value::Int(10))),
             )),
         );
-        let out = join(left, right, 2, Some(&pred)).unwrap();
+        let out = join(left, right, 2, Some(&pred), 1).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].row[1], Value::Int(50));
     }
@@ -288,7 +389,7 @@ mod tests {
         // projecting output col 0 away must keep it.
         let left = vec![arow(vec![Value::Int(1)], &[])];
         let right = vec![arow(vec![Value::Int(1)], &[7])];
-        let out = join(left, right, 1, None).unwrap();
+        let out = join(left, right, 1, None, 1).unwrap();
         let mut merged = out.into_iter().next().unwrap();
         merged.project_summaries(&|c| if c == 1 { Some(0) } else { None });
         assert_eq!(

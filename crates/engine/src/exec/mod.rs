@@ -16,15 +16,23 @@
 //!
 //! With a [`TraceLog`] attached, the executor records every operator's
 //! output (rows plus rendered summary objects) — the "under-the-hood"
-//! visualization of demo scenario 3.
+//! visualization of demo scenario 3. Tracing forces serial, streaming-free
+//! execution so the recorded per-operator outputs stay deterministic and
+//! complete.
+//!
+//! With a parallelism degree above one (and no trace attached), operators
+//! run **morsel-driven parallel** — see [`par`] for the execution model
+//! and why parallel output order matches serial exactly.
 
 pub mod aggregate;
 pub mod join;
+pub mod par;
 pub mod trace;
 
 pub use trace::{TraceLog, TraceStep};
 
 use crate::annotated::AnnotatedRow;
+use crate::expr::SExpr;
 use crate::plan::logical::{LogicalPlan, SortKey};
 use insightnotes_common::Result;
 use insightnotes_storage::{Catalog, Row};
@@ -38,29 +46,60 @@ pub struct Executor<'a> {
     pub registry: &'a SummaryRegistry,
     /// Optional per-operator trace sink.
     pub trace: Option<TraceLog>,
+    /// Worker threads for morsel-driven execution (1 = serial).
+    parallelism: usize,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor without tracing.
+    /// Creates a serial executor without tracing.
     pub fn new(catalog: &'a Catalog, registry: &'a SummaryRegistry) -> Self {
         Self {
             catalog,
             registry,
             trace: None,
+            parallelism: 1,
         }
     }
 
-    /// Creates an executor that records every operator's output.
+    /// Creates an executor running morsel-driven parallel on up to
+    /// `threads` workers.
+    pub fn with_parallelism(
+        catalog: &'a Catalog,
+        registry: &'a SummaryRegistry,
+        threads: usize,
+    ) -> Self {
+        Self {
+            catalog,
+            registry,
+            trace: None,
+            parallelism: threads.max(1),
+        }
+    }
+
+    /// Creates an executor that records every operator's output. Tracing
+    /// implies serial execution.
     pub fn with_trace(catalog: &'a Catalog, registry: &'a SummaryRegistry) -> Self {
         Self {
             catalog,
             registry,
             trace: Some(TraceLog::default()),
+            parallelism: 1,
+        }
+    }
+
+    /// The worker budget for this query: the configured degree, forced
+    /// to 1 while tracing (the trace must observe serial operator order).
+    fn threads(&self) -> usize {
+        if self.trace.is_some() {
+            1
+        } else {
+            self.parallelism.max(1)
         }
     }
 
     /// Executes a plan to completion.
     pub fn execute(&mut self, plan: &LogicalPlan) -> Result<Vec<AnnotatedRow>> {
+        let threads = self.threads();
         let rows = match plan {
             LogicalPlan::Scan { table, .. } => self.scan(*table)?,
             LogicalPlan::IndexScan {
@@ -68,13 +107,15 @@ impl<'a> Executor<'a> {
             } => self.index_scan(*table, *col, value)?,
             LogicalPlan::Filter { input, predicate } => {
                 let input_rows = self.execute(input)?;
-                let mut out = Vec::with_capacity(input_rows.len());
-                for r in input_rows {
-                    if predicate.satisfied(&r)? {
-                        out.push(r);
+                par::map_morsels(input_rows, threads, &|chunk, _| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for r in chunk {
+                        if predicate.satisfied(&r)? {
+                            out.push(r);
+                        }
                     }
-                }
-                out
+                    Ok(out)
+                })?
             }
             LogicalPlan::Project {
                 input,
@@ -83,20 +124,22 @@ impl<'a> Executor<'a> {
                 ..
             } => {
                 let input_rows = self.execute(input)?;
-                let mut out = Vec::with_capacity(input_rows.len());
-                for mut r in input_rows {
-                    let mut values = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        values.push(e.eval(&r)?);
+                let remap = |c: u16| col_map.get(c as usize).copied().flatten();
+                par::map_morsels(input_rows, threads, &|chunk, _| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for mut r in chunk {
+                        let mut values = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            values.push(e.eval(&r)?);
+                        }
+                        r.project_summaries(&remap);
+                        out.push(AnnotatedRow {
+                            row: Row::new(values),
+                            summaries: r.summaries,
+                        });
                     }
-                    let map = col_map.clone();
-                    r.project_summaries(&move |c| map.get(c as usize).copied().flatten());
-                    out.push(AnnotatedRow {
-                        row: Row::new(values),
-                        summaries: r.summaries,
-                    });
-                }
-                out
+                    Ok(out)
+                })?
             }
             LogicalPlan::Join {
                 left,
@@ -106,7 +149,7 @@ impl<'a> Executor<'a> {
             } => {
                 let l = self.execute(left)?;
                 let r = self.execute(right)?;
-                join::join(l, r, left.schema().arity(), predicate.as_ref())?
+                join::join(l, r, left.schema().arity(), predicate.as_ref(), threads)?
             }
             LogicalPlan::Aggregate {
                 input,
@@ -115,20 +158,52 @@ impl<'a> Executor<'a> {
                 ..
             } => {
                 let input_rows = self.execute(input)?;
-                aggregate::aggregate(input_rows, group_cols, aggs)?
+                if threads > 1 {
+                    aggregate::aggregate_parallel(input_rows, group_cols, aggs, threads)?
+                } else {
+                    aggregate::aggregate(input_rows, group_cols, aggs)?
+                }
             }
             LogicalPlan::Distinct { input } => {
                 let input_rows = self.execute(input)?;
-                aggregate::distinct(input_rows)?
+                if threads > 1 {
+                    aggregate::distinct_parallel(input_rows, threads)?
+                } else {
+                    aggregate::distinct(input_rows)?
+                }
             }
             LogicalPlan::Sort { input, keys } => {
                 let rows = self.execute(input)?;
-                sort(rows, keys)?
+                sort(rows, keys, threads)?
             }
             LogicalPlan::Limit { input, n } => {
-                let mut rows = self.execute(input)?;
-                rows.truncate(*n as usize);
-                rows
+                let n = *n as usize;
+                // Early termination: with no trace attached (tracing must
+                // observe full operator outputs), LIMIT over a Scan or a
+                // Filter-over-Scan streams rows and stops at the n-th
+                // survivor instead of materializing the whole table.
+                match (self.trace.is_none(), input.as_ref()) {
+                    (true, LogicalPlan::Scan { table, .. }) => {
+                        self.scan_limited(*table, None, n)?
+                    }
+                    (
+                        true,
+                        LogicalPlan::Filter {
+                            input: scan,
+                            predicate,
+                        },
+                    ) if matches!(scan.as_ref(), LogicalPlan::Scan { .. }) => {
+                        let LogicalPlan::Scan { table, .. } = scan.as_ref() else {
+                            unreachable!("guarded by matches!");
+                        };
+                        self.scan_limited(*table, Some(predicate), n)?
+                    }
+                    _ => {
+                        let mut rows = self.execute(input)?;
+                        rows.truncate(n);
+                        rows
+                    }
+                }
             }
         };
         if let Some(trace) = &mut self.trace {
@@ -150,39 +225,89 @@ impl<'a> Executor<'a> {
                 t.name()
             ))
         })?;
-        let mut out = Vec::with_capacity(rids.len());
-        for &rid in rids {
-            let row = t.get(rid).ok_or_else(|| {
-                insightnotes_common::Error::Execution(format!("index points at missing row {rid}"))
-            })?;
-            let summaries = self.registry.objects_on(table, rid).to_vec();
-            out.push(AnnotatedRow::new(row.clone(), summaries));
-        }
-        Ok(out)
+        let sources: Vec<(insightnotes_common::RowId, &Row)> = rids
+            .iter()
+            .map(|&rid| {
+                t.get(rid)
+                    .map(|row| (rid, row))
+                    .ok_or_else(|| {
+                        insightnotes_common::Error::Execution(format!(
+                            "index points at missing row {rid}"
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        self.attach(table, sources)
     }
 
     fn scan(&self, table: insightnotes_common::TableId) -> Result<Vec<AnnotatedRow>> {
         let t = self.catalog.table(table)?;
-        let mut out = Vec::with_capacity(t.len());
+        let sources: Vec<(insightnotes_common::RowId, &Row)> = t.scan().collect();
+        self.attach(table, sources)
+    }
+
+    /// Clones rows out of storage and attaches their summary objects —
+    /// Arc handle clones off the registry, not payload copies
+    /// (copy-on-write) — morsel-parallel when the executor allows.
+    fn attach(
+        &self,
+        table: insightnotes_common::TableId,
+        sources: Vec<(insightnotes_common::RowId, &Row)>,
+    ) -> Result<Vec<AnnotatedRow>> {
+        par::map_morsels(sources, self.threads(), &|chunk, _| {
+            Ok(chunk
+                .into_iter()
+                .map(|(rid, row)| {
+                    let summaries = self.registry.objects_on(table, rid).to_vec();
+                    AnnotatedRow::from_shared(row.clone(), summaries)
+                })
+                .collect())
+        })
+    }
+
+    /// Streaming scan (+ optional filter) that stops after `n` output
+    /// rows — the LIMIT pushdown path.
+    fn scan_limited(
+        &self,
+        table: insightnotes_common::TableId,
+        predicate: Option<&SExpr>,
+        n: usize,
+    ) -> Result<Vec<AnnotatedRow>> {
+        let t = self.catalog.table(table)?;
+        let mut out = Vec::with_capacity(n.min(t.len()));
         for (rid, row) in t.scan() {
+            if out.len() >= n {
+                break;
+            }
             let summaries = self.registry.objects_on(table, rid).to_vec();
-            out.push(AnnotatedRow::new(row.clone(), summaries));
+            let arow = AnnotatedRow::from_shared(row.clone(), summaries);
+            let keep = match predicate {
+                Some(p) => p.satisfied(&arow)?,
+                None => true,
+            };
+            if keep {
+                out.push(arow);
+            }
         }
         Ok(out)
     }
 }
 
-fn sort(mut rows: Vec<AnnotatedRow>, keys: &[SortKey]) -> Result<Vec<AnnotatedRow>> {
-    // Pre-evaluate keys so comparator closures stay infallible.
+fn sort(rows: Vec<AnnotatedRow>, keys: &[SortKey], threads: usize) -> Result<Vec<AnnotatedRow>> {
+    // Pre-evaluate keys (morsel-parallel — expression evaluation is the
+    // expensive part) so comparator closures stay infallible.
     let mut keyed: Vec<(Vec<insightnotes_storage::Value>, AnnotatedRow)> =
-        Vec::with_capacity(rows.len());
-    for r in rows.drain(..) {
-        let mut k = Vec::with_capacity(keys.len());
-        for key in keys {
-            k.push(key.expr.eval(&r)?);
-        }
-        keyed.push((k, r));
-    }
+        par::map_morsels(rows, threads, &|chunk, _| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for r in chunk {
+                let mut k = Vec::with_capacity(keys.len());
+                for key in keys {
+                    k.push(key.expr.eval(&r)?);
+                }
+                out.push((k, r));
+            }
+            Ok(out)
+        })?;
     keyed.sort_by(|(ka, _), (kb, _)| {
         for (i, key) in keys.iter().enumerate() {
             let ord = ka[i].sort_cmp(&kb[i]);

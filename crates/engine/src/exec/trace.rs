@@ -77,7 +77,7 @@ pub fn render_row_resolved(
         out.push_str("  ");
         out.push_str(&instance_name(*inst, registry));
         out.push(' ');
-        match (store, obj) {
+        match (store, obj.as_ref()) {
             (Some(store), SummaryObject::Cluster(c)) => {
                 out.push_str(&render_cluster_resolved(c, store));
             }

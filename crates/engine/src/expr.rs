@@ -72,7 +72,7 @@ impl SExpr {
         row: &Row,
         summaries: &[(
             insightnotes_common::InstanceId,
-            insightnotes_summaries::SummaryObject,
+            insightnotes_summaries::SharedObject,
         )],
     ) -> Result<Value> {
         match self {
@@ -161,7 +161,7 @@ impl SExpr {
         row: &Row,
         summaries: &[(
             insightnotes_common::InstanceId,
-            insightnotes_summaries::SummaryObject,
+            insightnotes_summaries::SharedObject,
         )],
     ) -> Result<bool> {
         match self.eval_parts(row, summaries)? {

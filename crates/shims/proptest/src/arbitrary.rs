@@ -1,0 +1,94 @@
+//! `any::<T>()` and the [`Arbitrary`] implementations behind it.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the type's whole domain (with a bias
+    /// toward boundary values for integers).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<A>(PhantomData<A>);
+
+/// A strategy over the full domain of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Edge values roughly 1 draw in 8 — codecs and algebra
+                // care about 0 / ±1 / extremes far more often than the
+                // uniform distribution would surface them.
+                if rng.below(8) == 0 {
+                    const EDGES: [i128; 5] =
+                        [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128];
+                    let pick = EDGES[rng.below(5) as usize];
+                    pick as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            _ => {
+                // Any finite double: random bits, retried out of the
+                // NaN/infinity exponent.
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_finite() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(4) == 0 {
+            const POOL: [char; 6] = ['√', 'é', 'λ', '雨', '🐦', '\u{10FFFF}'];
+            POOL[rng.below(POOL.len() as u64) as usize]
+        } else {
+            (0x20u8 + rng.below(0x5F) as u8) as char
+        }
+    }
+}

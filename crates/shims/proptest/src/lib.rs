@@ -1,0 +1,182 @@
+//! Offline drop-in replacement for the subset of `proptest` this
+//! workspace uses. The build environment has no registry access, so the
+//! real crate cannot be fetched.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case reports the panic from the offending
+//!   input directly (the RNG is seeded from the test name, so failures
+//!   reproduce deterministically);
+//! - the regex string strategies implement a small generative subset
+//!   (char classes, `.`, `{m,n}` / `*` / `+` / `?` repetition) covering
+//!   the patterns used in this repository's tests.
+//!
+//! Supported surface: `proptest!` with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, `prop_oneof!`,
+//! `any::<T>()`, `Just`, numeric range strategies, tuple strategies to
+//! arity 6, `prop::collection::{vec, btree_set, btree_map}`,
+//! `prop::num::{f32, f64}::NORMAL`, and `Strategy::prop_map`.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test module conventionally imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(args in strategies)
+/// { body }` becomes a zero-argument test that draws `cases` random
+/// inputs and runs the body on each. Attributes (`#[test]` included,
+/// per proptest 1.x convention) are passed through from the caller.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(&config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let _ = case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), runner.rng());
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @expand ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Small {
+        A(i64),
+        B(String),
+        C,
+    }
+
+    fn small() -> impl Strategy<Value = Small> {
+        prop_oneof![
+            any::<i64>().prop_map(Small::A),
+            "[a-z]{1,4}".prop_map(Small::B),
+            Just(Small::C),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            pair in (0usize..4, any::<bool>()),
+            items in prop::collection::vec(0u8..16, 0..10),
+            set in prop::collection::btree_set(any::<u32>(), 1..8),
+            map in prop::collection::btree_map("[a-z]{1,3}", 0i32..5, 0..6),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(items.len() < 10);
+            prop_assert!(!set.is_empty() && set.len() < 8);
+            prop_assert!(map.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_normal(v in small(), n in prop::num::f64::NORMAL) {
+            match v {
+                Small::A(_) | Small::C => {}
+                Small::B(s) => prop_assert!(
+                    (1..=4).contains(&s.len()) && s.bytes().all(|b| b.is_ascii_lowercase())
+                ),
+            }
+            prop_assert!(n.is_normal());
+        }
+
+        #[test]
+        fn dot_star_generates_strings(s in ".*") {
+            prop_assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let config = ProptestConfig::with_cases(4);
+        let mut a = crate::test_runner::TestRunner::new(&config, "det");
+        let mut b = crate::test_runner::TestRunner::new(&config, "det");
+        let strat = prop::collection::vec(any::<u64>(), 0..20);
+        for _ in 0..4 {
+            assert_eq!(strat.generate(a.rng()), strat.generate(b.rng()));
+        }
+    }
+}

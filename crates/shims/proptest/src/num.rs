@@ -1,0 +1,52 @@
+//! Numeric strategies (`prop::num::f64::NORMAL` etc.).
+
+/// Strategies over `f64`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`NORMAL`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Uniformly random *normal* doubles: random sign and mantissa, any
+    /// exponent in the normal range — never zero, subnormal, infinite,
+    /// or NaN.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            let exponent = 1 + rng.below(2046); // biased exponents 1..=2046
+            let mantissa = rng.next_u64() & ((1 << 52) - 1);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+}
+
+/// Strategies over `f32`.
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`NORMAL`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Uniformly random normal `f32` values.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let bits = rng.next_u64() as u32;
+            let sign = bits & (1 << 31);
+            let exponent = 1 + (rng.below(254) as u32); // biased exponents 1..=254
+            let mantissa = bits & ((1 << 23) - 1);
+            f32::from_bits(sign | (exponent << 23) | mantissa)
+        }
+    }
+}

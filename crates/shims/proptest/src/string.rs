@@ -1,0 +1,180 @@
+//! Generative mini-regex used by `&'static str` strategies.
+//!
+//! Supported syntax (the subset appearing in this repository's tests):
+//! - `.` — any printable char (occasionally multibyte, to exercise
+//!   UTF-8 paths);
+//! - `[...]` — a char class of literals and `a-z` style ranges;
+//! - a literal char;
+//! - each atom may carry `{m}`, `{m,n}`, `*` (0–16), `+` (1–16) or `?`.
+//!
+//! Unsupported syntax falls back to generating from the pattern's
+//! literal chars, which keeps tests running rather than panicking deep
+//! inside a dependency.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Any,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                if ranges.is_empty() {
+                    ranges.push(('a', 'a'));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                match close {
+                    Some(end) => {
+                        let body: String = chars[i + 1..end].iter().collect();
+                        i = end + 1;
+                        let mut parts = body.splitn(2, ',');
+                        let lo: usize =
+                            parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+                        let hi: usize = parts
+                            .next()
+                            .and_then(|s| s.trim().parse().ok())
+                            .unwrap_or(lo);
+                        (lo, hi.max(lo))
+                    }
+                    None => (1, 1),
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn emit_any(rng: &mut TestRng, out: &mut String) {
+    if rng.below(6) == 0 {
+        const POOL: [char; 6] = ['√', 'é', 'λ', '雨', '🐦', 'ß'];
+        out.push(POOL[rng.below(POOL.len() as u64) as usize]);
+    } else {
+        out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+    }
+}
+
+fn emit_class(ranges: &[(char, char)], rng: &mut TestRng, out: &mut String) {
+    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+    let (lo, hi) = (lo as u32, (hi as u32).max(lo as u32));
+    let pick = lo + rng.below((hi - lo + 1) as u64) as u32;
+    out.push(char::from_u32(pick).unwrap_or(lo as u8 as char));
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Any => emit_any(rng, &mut out),
+                Atom::Class(ranges) => emit_class(ranges, rng, &mut out),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRunner {
+        TestRunner::new(&ProptestConfig::with_cases(1), "string_tests")
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut runner = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}", runner.rng());
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_space() {
+        let mut runner = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z ]{4,30}", runner.rng());
+            assert!((4..=30).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase() || b == b' '));
+        }
+    }
+
+    #[test]
+    fn dot_star_is_bounded_and_valid_utf8() {
+        let mut runner = rng();
+        for _ in 0..200 {
+            let s = generate_matching(".*", runner.rng());
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut runner = rng();
+        assert_eq!(generate_matching("abc", runner.rng()), "abc");
+    }
+}

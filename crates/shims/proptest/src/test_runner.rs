@@ -1,0 +1,102 @@
+//! Deterministic case runner backing the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Random source handed to strategies.
+///
+/// All draws funnel through [`TestRng::next_u64`]; the generator is
+/// seeded from the test name so each test has an independent but fully
+/// reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// A uniform length draw from a half-open size range.
+    pub fn len_in(&mut self, range: &std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty collection size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform unit-interval draw (53 mantissa bits).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives the case loop for one test function.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// A runner for the named test. `PROPTEST_CASES` in the environment
+    /// overrides the configured case count.
+    pub fn new(config: &ProptestConfig, test_name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        Self {
+            rng: TestRng::from_seed(fnv1a(test_name.as_bytes())),
+            cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's random source.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

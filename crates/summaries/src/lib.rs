@@ -40,5 +40,5 @@ pub use maintenance::{
     rebuild_row_from_store, refresh_after_add, MaintenanceMode, MaintenanceStats,
 };
 pub use object::{ClusterGroup, Contribution, SummaryObject};
-pub use registry::{InstanceDef, SummaryRegistry};
+pub use registry::{InstanceDef, SharedObject, SummaryRegistry};
 pub use signature::SigMap;

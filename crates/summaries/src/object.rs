@@ -408,6 +408,38 @@ impl SummaryObject {
         }
     }
 
+    /// Merges a shared (copy-on-write) object into another. Clones the
+    /// target's payload only when a merge would actually change it:
+    /// merging an `Arc` with itself is the identity for the set-semantics
+    /// objects (classifier, snippet), so that case returns without
+    /// touching the allocation. Cluster objects are excluded from the
+    /// shortcut because their merge adds centroid weights and is not
+    /// idempotent.
+    pub fn merge_shared(target: &mut Arc<SummaryObject>, other: &Arc<SummaryObject>) -> Result<()> {
+        if Arc::ptr_eq(target, other) && !matches!(**target, SummaryObject::Cluster(_)) {
+            return Ok(());
+        }
+        Arc::make_mut(target).merge(other)
+    }
+
+    /// True when the annotation contributes to this object. Cheap (scans
+    /// signature buckets without allocating); used to skip copy-on-write
+    /// clones for removals that would be no-ops.
+    pub fn contains_annotation(&self, id: u64) -> bool {
+        self.sig_map().buckets().iter().any(|(_, set)| set.contains(id))
+    }
+
+    /// True when applying `remap` via [`Self::project`] would alter this
+    /// object — i.e. some signature bucket re-keys or drops. Lets callers
+    /// holding a shared object skip the copy-on-write clone for identity
+    /// projections.
+    pub fn projection_changes(&self, remap: &dyn Fn(u16) -> Option<u16>) -> bool {
+        self.sig_map()
+            .buckets()
+            .iter()
+            .any(|(sig, _)| sig.remap(remap) != *sig)
+    }
+
     /// Number of zoomable components: class labels, cluster groups, or
     /// snippet entries.
     pub fn component_count(&self) -> usize {

@@ -15,6 +15,13 @@ use insightnotes_annotations::{AnnotationBody, ColSig, Target};
 use insightnotes_common::{codec, AnnotationId, Error, InstanceId, Result, RowId, TableId};
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A summary object shared copy-on-write between the registry and any
+/// query results carrying it. Readers clone the `Arc` (a refcount bump);
+/// writers go through [`Arc::make_mut`], which clones the payload only
+/// when another holder exists.
+pub type SharedObject = Arc<SummaryObject>;
 
 /// Declarative instance definition, as produced by
 /// `CREATE SUMMARY INSTANCE`.
@@ -88,7 +95,7 @@ pub struct SummaryRegistry {
     instances: BTreeMap<InstanceId, SummaryInstance>,
     by_name: HashMap<String, InstanceId>,
     links: HashMap<TableId, Vec<InstanceId>>,
-    objects: HashMap<(TableId, RowId), Vec<(InstanceId, SummaryObject)>>,
+    objects: HashMap<(TableId, RowId), Vec<(InstanceId, SharedObject)>>,
     digest_cache: HashMap<(InstanceId, AnnotationId), Option<Contribution>>,
     /// Disable to force per-tuple digesting (the E5 ablation baseline).
     pub use_digest_cache: bool,
@@ -212,8 +219,10 @@ impl SummaryRegistry {
 
     // -- objects -------------------------------------------------------
 
-    /// The summary objects on a row, in instance-id order.
-    pub fn objects_on(&self, table: TableId, row: RowId) -> &[(InstanceId, SummaryObject)] {
+    /// The summary objects on a row, in instance-id order. The objects
+    /// are `Arc`-shared: query execution attaches them to result rows by
+    /// cloning the handles, not the payloads.
+    pub fn objects_on(&self, table: TableId, row: RowId) -> &[(InstanceId, SharedObject)] {
         self.objects
             .get(&(table, row))
             .map(Vec::as_slice)
@@ -230,7 +239,7 @@ impl SummaryRegistry {
         self.objects_on(table, row)
             .iter()
             .find(|(i, _)| *i == instance)
-            .map(|(_, o)| o)
+            .map(|(_, o)| o.as_ref())
     }
 
     /// Total number of maintained summary objects.
@@ -372,11 +381,11 @@ impl SummaryRegistry {
             Some((_, o)) => o,
             None => {
                 let pos = objs.partition_point(|(i, _)| *i < inst_id);
-                objs.insert(pos, (inst_id, fresh));
+                objs.insert(pos, (inst_id, Arc::new(fresh)));
                 &mut objs[pos].1
             }
         };
-        obj.apply(ann_id.raw(), cols, contribution)
+        Arc::make_mut(obj).apply(ann_id.raw(), cols, contribution)
     }
 
     /// Decrementally removes a deleted annotation's contribution from the
@@ -391,7 +400,11 @@ impl SummaryRegistry {
             let key = (t.table, t.row);
             if let Some(objs) = self.objects.get_mut(&key) {
                 for (_, obj) in objs.iter_mut() {
-                    obj.remove_annotation(id.raw());
+                    // The membership precheck keeps no-op removals from
+                    // deep-cloning objects still shared with cached rows.
+                    if obj.contains_annotation(id.raw()) {
+                        Arc::make_mut(obj).remove_annotation(id.raw());
+                    }
                 }
                 objs.retain(|(_, o)| !o.is_empty());
                 if objs.is_empty() {
@@ -492,7 +505,7 @@ impl codec::Encodable for SummaryRegistry {
             for _ in 0..count {
                 let inst = InstanceId::new(dec.u32()?);
                 reg.instance(inst)?;
-                objs.push((inst, crate::object::SummaryObject::decode(dec)?));
+                objs.push((inst, Arc::new(crate::object::SummaryObject::decode(dec)?)));
             }
             reg.objects.insert((table, row), objs);
         }

@@ -1,0 +1,326 @@
+//! Property tests for the morsel-driven parallel executor: for every
+//! query shape, running with `DbConfig::parallelism = Some(1 | 2 | 8)`
+//! must produce the same rows, in the same order, carrying the same
+//! summary objects, as the serial executor (`parallelism = None`).
+//!
+//! Data is integer-valued throughout so SUM/AVG results are exact (i64
+//! accumulation is associative; float reordering is out of scope here).
+//! Summary objects are compared through the same canonical form as
+//! `plan_equivalence` (cluster group ordering inside an object is a
+//! merge-schedule artifact). At these input sizes cluster objects stay
+//! far below their group budget, so group *membership* also matches;
+//! at scale, bounded clusters may legitimately re-partition the same
+//! contributing annotations when the merge association changes — see
+//! DESIGN.md §6. Row order is compared exactly — morsel reassembly
+//! makes parallel operator output order identical to serial.
+
+use insightnotes::annotations::{AnnotationBody, ColSig};
+use insightnotes::common::{ColumnId, RowId};
+use insightnotes::engine::{Database, DbConfig, QueryResult};
+use insightnotes::summaries::SummaryObject;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
+
+const TEXT_POOL: &[&str] = &[
+    "eating stonewort near shore",
+    "eating stonewort near lake",
+    "lesions and parasites observed",
+    "wingspan measured at dawn",
+    "see attached reference photo",
+    "diving for fish repeatedly",
+];
+
+#[derive(Debug, Clone)]
+struct Spec {
+    r_rows: Vec<(i64, i64)>,
+    s_rows: Vec<(i64, i64)>,
+    // (on_r, row index, column mask 1..=3, text index)
+    annotations: Vec<(bool, usize, u8, usize)>,
+    threshold: i64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec((0i64..4, 0i64..6), 1..8),
+        prop::collection::vec((0i64..4, 0i64..6), 1..8),
+        prop::collection::vec(
+            (any::<bool>(), 0usize..8, 1u8..4, 0usize..TEXT_POOL.len()),
+            0..16,
+        ),
+        0i64..6,
+    )
+        .prop_map(|(r_rows, s_rows, annotations, threshold)| Spec {
+            r_rows,
+            s_rows,
+            annotations,
+            threshold,
+        })
+}
+
+fn build_db(spec: &Spec, parallelism: Option<usize>) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        parallelism,
+        ..DbConfig::default()
+    })
+    .expect("db construction");
+    db.execute_sql(
+        "CREATE TABLE R (a INT, b INT);
+         CREATE TABLE S (x INT, y INT);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+           LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')
+           TRAIN ('Behavior': 'eating stonewort diving fish',
+                  'Disease': 'lesions parasites',
+                  'Anatomy': 'wingspan measured',
+                  'Other': 'reference photo attached');
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         LINK SUMMARY C TO R;
+         LINK SUMMARY C TO S;
+         LINK SUMMARY K TO R;
+         LINK SUMMARY K TO S;",
+    )
+    .unwrap();
+    for &(a, b) in &spec.r_rows {
+        db.execute_sql(&format!("INSERT INTO R VALUES ({a}, {b})"))
+            .unwrap();
+    }
+    for &(x, y) in &spec.s_rows {
+        db.execute_sql(&format!("INSERT INTO S VALUES ({x}, {y})"))
+            .unwrap();
+    }
+    for &(on_r, row, mask, text) in &spec.annotations {
+        let (table, nrows) = if on_r {
+            ("R", spec.r_rows.len())
+        } else {
+            ("S", spec.s_rows.len())
+        };
+        let rid = RowId::new((row % nrows) as u64 + 1);
+        let mut cols = Vec::new();
+        if mask & 1 != 0 {
+            cols.push(ColumnId::new(0));
+        }
+        if mask & 2 != 0 {
+            cols.push(ColumnId::new(1));
+        }
+        db.annotate_rows(
+            table,
+            &[rid],
+            ColSig::of_columns(&cols),
+            AnnotationBody::text(TEXT_POOL[text], "prop"),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Canonical rendering that preserves row order: summary-object internals
+/// are normalized (cluster group order is a merge-schedule artifact) but
+/// the row sequence itself must match the serial executor exactly.
+fn canonicalize_ordered(result: &QueryResult) -> Vec<String> {
+    result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut parts = vec![r.row.to_string()];
+            for (inst, obj) in &r.summaries {
+                parts.push(format!("{inst}:{}", canonical_object(obj)));
+            }
+            parts.join(" | ")
+        })
+        .collect()
+}
+
+fn canonical_object(obj: &SummaryObject) -> String {
+    match obj {
+        SummaryObject::Classifier(c) => {
+            let counts: Vec<String> = (0..obj.component_count())
+                .map(|i| {
+                    format!(
+                        "{}={:?}",
+                        c.labels()[i],
+                        obj.zoom_ids(i).unwrap().as_slice()
+                    )
+                })
+                .collect();
+            format!("cls[{}]", counts.join(","))
+        }
+        SummaryObject::Cluster(_) => {
+            let mut groups: Vec<String> = (0..obj.component_count())
+                .map(|i| format!("{:?}", obj.zoom_ids(i).unwrap().as_slice()))
+                .collect();
+            groups.sort();
+            format!("clu[{}]", groups.join(","))
+        }
+        SummaryObject::Snippet(s) => {
+            let ids: Vec<u64> = s.entries().iter().map(|e| e.id).collect();
+            format!("snp{ids:?}")
+        }
+    }
+}
+
+/// Runs `sql` serially and at every thread count, asserting all outputs
+/// agree with the serial baseline.
+fn assert_parallel_matches_serial(spec: &Spec, sql: &str) {
+    let serial = canonicalize_ordered(&build_db(spec, None).query(sql).unwrap());
+    for &threads in THREAD_COUNTS {
+        let parallel =
+            canonicalize_ordered(&build_db(spec, Some(threads)).query(sql).unwrap());
+        prop_assert_eq!(
+            &parallel,
+            &serial,
+            "parallel ({} threads) diverged from serial on {}",
+            threads,
+            sql
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn filter_project_sort(spec in spec_strategy()) {
+        let t = spec.threshold;
+        assert_parallel_matches_serial(
+            &spec,
+            &format!("SELECT a, b + 1 AS b1 FROM R WHERE b < {t} ORDER BY a DESC, b1"),
+        );
+    }
+
+    #[test]
+    fn equi_join(spec in spec_strategy()) {
+        assert_parallel_matches_serial(
+            &spec,
+            "SELECT r.a, r.b, s.y FROM R r JOIN S s ON r.a = s.x",
+        );
+    }
+
+    #[test]
+    fn non_equi_join(spec in spec_strategy()) {
+        assert_parallel_matches_serial(
+            &spec,
+            "SELECT r.a, s.y FROM R r, S s WHERE r.b < s.y",
+        );
+    }
+
+    #[test]
+    fn grouped_aggregate(spec in spec_strategy()) {
+        assert_parallel_matches_serial(
+            &spec,
+            "SELECT a, COUNT(*) AS n, SUM(b) AS sb, AVG(b) AS ab, MIN(b) AS mn, MAX(b) AS mx \
+             FROM R GROUP BY a ORDER BY a",
+        );
+    }
+
+    #[test]
+    fn global_aggregate(spec in spec_strategy()) {
+        assert_parallel_matches_serial(&spec, "SELECT COUNT(*) AS n, SUM(y) AS sy FROM S");
+    }
+
+    #[test]
+    fn distinct_rows(spec in spec_strategy()) {
+        assert_parallel_matches_serial(&spec, "SELECT DISTINCT a FROM R");
+    }
+
+    #[test]
+    fn limit_over_scan_and_filter(spec in spec_strategy()) {
+        let t = spec.threshold;
+        assert_parallel_matches_serial(&spec, "SELECT a, b FROM R LIMIT 3");
+        assert_parallel_matches_serial(
+            &spec,
+            &format!("SELECT a, b FROM R WHERE b < {t} LIMIT 2"),
+        );
+    }
+}
+
+/// A deterministic large-input check that actually crosses morsel
+/// boundaries (the proptest specs above stay small for speed): 2·600
+/// annotated rows through scan → filter → join → aggregate must agree
+/// between serial and all parallel thread counts.
+#[test]
+fn large_input_crosses_morsel_boundaries() {
+    fn build(parallelism: Option<usize>) -> Database {
+        let mut db = Database::with_config(DbConfig {
+            parallelism,
+            ..DbConfig::default()
+        })
+        .expect("db construction");
+        let mut ddl = String::from(
+            "CREATE TABLE R (a INT, b INT);
+             CREATE TABLE S (x INT, y INT);
+             CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+               LABELS ('Behavior', 'Other')
+               TRAIN ('Behavior': 'eating stonewort diving fish',
+                      'Other': 'reference photo attached');
+             LINK SUMMARY C TO R;",
+        );
+        for i in 0..2600i64 {
+            ddl.push_str(&format!("INSERT INTO R VALUES ({}, {});", i % 97, i % 13));
+        }
+        for i in 0..300i64 {
+            ddl.push_str(&format!("INSERT INTO S VALUES ({}, {});", i % 97, i));
+        }
+        db.execute_sql(&ddl).unwrap();
+        let rids: Vec<RowId> = (0..2600).step_by(7).map(|i| RowId::new(i + 1)).collect();
+        db.annotate_rows(
+            "R",
+            &rids,
+            ColSig::of_columns(&[ColumnId::new(0)]),
+            AnnotationBody::text("eating stonewort near shore", "bulk"),
+        )
+        .unwrap();
+        db
+    }
+    let queries = [
+        "SELECT a, COUNT(*) AS n, SUM(b) AS sb FROM R GROUP BY a ORDER BY a",
+        "SELECT r.a, r.b, s.y FROM R r JOIN S s ON r.a = s.x WHERE r.b < 6",
+        "SELECT DISTINCT b FROM R ORDER BY b",
+        "SELECT a, b FROM R WHERE b = 3 LIMIT 10",
+    ];
+    for sql in queries {
+        let serial = canonicalize_ordered(&build(None).query(sql).unwrap());
+        for &threads in THREAD_COUNTS {
+            let parallel = canonicalize_ordered(&build(Some(threads)).query(sql).unwrap());
+            assert_eq!(parallel, serial, "threads={threads}, sql={sql}");
+        }
+    }
+}
+
+/// Empirical determinism classes on a real workload (floats + bounded
+/// clusters, where parallel output legitimately deviates from serial):
+/// `parallelism <= 1` must be *byte-identical* to serial, and every
+/// `parallelism >= 2` must be byte-identical to every other — morsel
+/// decomposition, not thread scheduling, decides the merge order.
+#[test]
+fn thread_count_determinism_classes() {
+    use insightnotes::{seed_birds_database, WorkloadConfig};
+    fn run(parallelism: Option<usize>) -> String {
+        let mut db = Database::with_config(DbConfig {
+            parallelism,
+            ..DbConfig::default()
+        })
+        .expect("db");
+        seed_birds_database(
+            &mut db,
+            &WorkloadConfig {
+                seed: 7,
+                num_birds: 1300,
+                annotation_ratio: 0.3,
+                ..WorkloadConfig::default()
+            },
+        )
+        .expect("seed");
+        let r = db
+            .query(
+                "SELECT region, COUNT(*) AS n, AVG(weight) AS w FROM birds \
+                 WHERE weight > 1 GROUP BY region ORDER BY region",
+            )
+            .expect("query");
+        db.render_result(&r)
+    }
+    let serial = run(None);
+    assert_eq!(run(Some(0)), serial, "threads=0 must run the serial path");
+    assert_eq!(run(Some(1)), serial, "threads=1 must run the serial path");
+    let two = run(Some(2));
+    assert_eq!(run(Some(8)), two, "threads=8 must equal threads=2");
+}
