@@ -26,7 +26,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     ] {
         // Serial baseline: no worker pool at all (parallelism = None).
         group.bench_with_input(BenchmarkId::new(label, "serial"), sql, |b, sql| {
-            let mut db = annotated_db_parallel(BIRDS, RATIO, None);
+            let db = annotated_db_parallel(BIRDS, RATIO, None);
             b.iter(|| db.query_uncached(sql).unwrap());
         });
         for threads in [1usize, 2, 4, 8] {
@@ -34,7 +34,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                 BenchmarkId::new(label, threads),
                 &(sql, threads),
                 |b, &(sql, threads)| {
-                    let mut db = annotated_db_parallel(BIRDS, RATIO, Some(threads));
+                    let db = annotated_db_parallel(BIRDS, RATIO, Some(threads));
                     b.iter(|| db.query_uncached(sql).unwrap());
                 },
             );

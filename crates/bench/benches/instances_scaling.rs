@@ -39,7 +39,7 @@ fn bench_instances(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("query", total), &extra, |b, &extra| {
-            let mut db = with_extra_instances(extra);
+            let db = with_extra_instances(extra);
             b.iter(|| {
                 db.query_uncached("SELECT id, name, weight, region FROM birds WHERE weight > 2")
                     .unwrap()

@@ -11,7 +11,7 @@ fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_propagation");
     group.sample_size(10);
     for ratio in [30u64, 120, 250] {
-        let mut db = annotated_db(40, ratio as f64);
+        let db = annotated_db(40, ratio as f64);
         group.bench_with_input(BenchmarkId::new("summary", ratio), &ratio, |b, _| {
             b.iter(|| db.query_uncached(QUERY).unwrap());
         });

@@ -10,7 +10,7 @@ fn bench_predicates(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_summary_predicates");
     group.sample_size(10);
     for ratio in [30u64, 120] {
-        let mut db = annotated_db(40, ratio as f64);
+        let db = annotated_db(40, ratio as f64);
         group.bench_with_input(BenchmarkId::new("summary_pred", ratio), &ratio, |b, _| {
             b.iter(|| {
                 db.query_uncached(

@@ -252,7 +252,7 @@ fn e2_propagation() {
         "ratio", "summary ms", "sum KiB", "raw ms", "raw KiB", "slowdown", "rows"
     );
     for ratio in [30.0, 120.0, 250.0, 500.0] {
-        let mut db = annotated_db(60, ratio);
+        let db = annotated_db(60, ratio);
         // Delivery = what the client displays: summary objects rendered
         // in the paper's notation vs every raw annotation's text.
         let (sum_bytes_rows, sum_t) = timed(|| {
@@ -398,10 +398,8 @@ fn e4_cache_policies() {
             std::process::id()
         ));
         let mut cache = DiskCache::new(dir, 256 << 10, policy).unwrap();
-        let by_qid: std::collections::HashMap<u64, (usize, f64)> = results
-            .iter()
-            .map(|&(q, s, c)| (q, (s, c)))
-            .collect();
+        let by_qid: std::collections::HashMap<u64, (usize, f64)> =
+            results.iter().map(|&(q, s, c)| (q, (s, c))).collect();
         let mut recompute_cost = 0.0f64;
         let (mut hits, mut misses) = (0u64, 0u64);
         for &qid in &stream {
@@ -482,7 +480,7 @@ fn e7_summary_predicates() {
         "ratio", "summary-pred ms", "raw-filter ms", "matches"
     );
     for ratio in [30.0, 120.0] {
-        let mut db = annotated_db(60, ratio);
+        let db = annotated_db(60, ratio);
         let (sum_result, sum_t) = timed(|| {
             db.query(
                 "SELECT id, name, weight, region FROM birds \
@@ -637,10 +635,8 @@ fn a2_index_access_path() {
             });
             let (_, a) = timed(|| {
                 for probe in [11usize, rows / 3, rows - 2] {
-                    db.execute_sql(&format!(
-                        "ADD ANNOTATION 'w note' ON t WHERE id = {probe}"
-                    ))
-                    .unwrap();
+                    db.execute_sql(&format!("ADD ANNOTATION 'w note' ON t WHERE id = {probe}"))
+                        .unwrap();
                 }
             });
             (q, a)

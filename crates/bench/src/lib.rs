@@ -17,11 +17,7 @@ pub const SEED: u64 = 0x0151_6874;
 
 /// Builds a seeded bird database at the given scale with a
 /// morsel-parallel executor (`None` = serial baseline).
-pub fn annotated_db_parallel(
-    num_birds: usize,
-    ratio: f64,
-    parallelism: Option<usize>,
-) -> Database {
+pub fn annotated_db_parallel(num_birds: usize, ratio: f64, parallelism: Option<usize>) -> Database {
     let mut db = Database::with_config(DbConfig {
         parallelism,
         ..DbConfig::default()

@@ -1,0 +1,171 @@
+//! `insight-cli` — interactive REPL (and one-shot runner) for `insightd`.
+//!
+//! ```text
+//! insight-cli --addr HOST:PORT                  # REPL on stdin
+//! insight-cli --addr HOST:PORT 'SQL' ['SQL'…]   # run statements, exit
+//! ```
+//!
+//! Each input line is routed to its most specific wire frame (SELECT →
+//! Query, ADD ANNOTATION → Annotate, ZOOMIN → ZoomIn, anything else →
+//! Execute). Meta commands: `.help`, `.ping`, `.shutdown`, `.quit`.
+
+use insightnotes_client::Client;
+use insightnotes_common::wire::{Response, RowsPayload, ZoomPayload};
+use std::io::{BufRead, IsTerminal, Write};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("insight-cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> insightnotes_common::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7433".to_string();
+    let mut statements = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| {
+                        insightnotes_common::Error::Execution("--addr needs a value".into())
+                    })?
+                    .clone();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: insight-cli [--addr HOST:PORT] ['SQL'…]");
+                return Ok(());
+            }
+            other => {
+                statements.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let mut client = Client::connect(addr.as_str())?;
+
+    if !statements.is_empty() {
+        // One-shot mode: run each argument, fail fast on errors.
+        for sql in &statements {
+            match dispatch(&mut client, sql)? {
+                LineResult::Continue => {}
+                LineResult::Quit => break,
+            }
+        }
+        return Ok(());
+    }
+
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!("connected to insightd at {addr} — .help for commands");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("insight> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match dispatch(&mut client, line) {
+            Ok(LineResult::Continue) => {}
+            Ok(LineResult::Quit) => break,
+            // Engine/protocol errors are printed by dispatch; a hard Err
+            // here is a transport failure — give up on the session.
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+enum LineResult {
+    Continue,
+    Quit,
+}
+
+fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<LineResult> {
+    match line {
+        ".quit" | ".exit" => return Ok(LineResult::Quit),
+        ".help" => {
+            println!(
+                ".ping      probe the server\n\
+                 .shutdown  stop the server (writes its snapshot)\n\
+                 .quit      leave the REPL\n\
+                 anything else is sent as SQL (`;` separates statements)"
+            );
+            return Ok(LineResult::Continue);
+        }
+        ".ping" => {
+            let (version, served) = client.ping()?;
+            println!("pong: protocol v{version}, {served} request(s) served");
+            return Ok(LineResult::Continue);
+        }
+        ".shutdown" => {
+            client.shutdown_server()?;
+            println!("server is shutting down");
+            return Ok(LineResult::Quit);
+        }
+        _ => {}
+    }
+    match client.send_sql(line)? {
+        Response::Rows(rows) => print_rows(&rows),
+        Response::Zoomed(z) => print_zoom(&z),
+        Response::Ack { messages } => {
+            for m in messages {
+                println!("{m}");
+            }
+        }
+        Response::Error(e) => println!("error: {}", e.into_error()),
+        Response::Pong { version, served } => {
+            println!("pong: protocol v{version}, {served} request(s) served")
+        }
+        Response::ShuttingDown => println!("server is shutting down"),
+    }
+    Ok(LineResult::Continue)
+}
+
+fn print_rows(rows: &RowsPayload) {
+    println!("QID {} | {}", rows.qid, rows.columns.join(", "));
+    for row in &rows.rows {
+        let values: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+        let mut line = format!("({})", values.join(", "));
+        for s in &row.summaries {
+            line.push_str("  ");
+            line.push_str(s);
+        }
+        println!("{line}");
+    }
+    println!("{} row(s)", rows.rows.len());
+}
+
+fn print_zoom(z: &ZoomPayload) {
+    for a in &z.annotations {
+        let doc = a
+            .document
+            .as_ref()
+            .map(|d| format!(" [doc: {} bytes]", d.len()))
+            .unwrap_or_default();
+        println!("#{} {} — {}{doc}", a.id, a.author, a.text);
+    }
+    println!(
+        "{} annotation(s) from {} matching row(s){}",
+        z.annotations.len(),
+        z.matched_rows,
+        if z.from_cache {
+            " [cache]"
+        } else {
+            " [re-executed]"
+        }
+    );
+}

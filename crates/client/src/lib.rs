@@ -1,0 +1,153 @@
+#![warn(missing_docs)]
+//! # insightnotes-client
+//!
+//! Blocking TCP client for `insightd`, speaking the
+//! [`insightnotes_common::wire`] frame protocol. One [`Client`] is one
+//! server session: requests and responses alternate on the connection
+//! (the protocol has no pipelining), so methods take `&mut self`.
+//!
+//! Server-side failures arrive as structured error frames and are
+//! re-raised as the same [`enum@Error`] class the engine produced — a
+//! catalog error on the server is a catalog error here.
+//!
+//! ```no_run
+//! use insightnotes_client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:7433")?;
+//! c.execute("CREATE TABLE birds (id INT, name TEXT)")?;
+//! c.execute("INSERT INTO birds VALUES (1, 'Swan Goose')")?;
+//! let rows = c.query("SELECT name FROM birds")?;
+//! assert_eq!(rows.rows.len(), 1);
+//! # Ok::<(), insightnotes_common::Error>(())
+//! ```
+
+use insightnotes_common::wire::{
+    read_frame, write_frame, Request, Response, RowsPayload, ZoomPayload,
+};
+use insightnotes_common::{Error, Result};
+use insightnotes_sql::{parse_one, Statement};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One client session on an `insightd` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connects with a connect timeout, then applies `timeout` to every
+    /// request round-trip as both read and write timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and reads one response frame. Error *frames*
+    /// come back as `Ok(Response::Error(..))`; transport failures are
+    /// `Err`. Most callers want the typed helpers instead.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, req)?;
+        read_frame::<Response>(&mut self.stream)?.ok_or_else(|| {
+            Error::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })
+    }
+
+    fn expect(&mut self, req: &Request) -> Result<Response> {
+        match self.request(req)? {
+            Response::Error(e) => Err(e.into_error()),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe; returns the server's protocol version and how
+    /// many requests it has served.
+    pub fn ping(&mut self) -> Result<(u16, u64)> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong { version, served } => Ok((version, served)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Runs a single SELECT and returns the structured result set.
+    pub fn query(&mut self, sql: &str) -> Result<RowsPayload> {
+        let req = Request::Query { sql: sql.into() };
+        match self.expect(&req)? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Runs one or more `;`-separated statements of any kind; returns
+    /// one rendered outcome per statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<String>> {
+        let req = Request::Execute { sql: sql.into() };
+        match self.expect(&req)? {
+            Response::Ack { messages } => Ok(messages),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Runs a single `ADD ANNOTATION` statement.
+    pub fn annotate(&mut self, sql: &str) -> Result<String> {
+        let req = Request::Annotate { sql: sql.into() };
+        match self.expect(&req)? {
+            Response::Ack { mut messages } => Ok(messages.pop().unwrap_or_default()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Runs a single `ZOOMIN` statement.
+    pub fn zoom_in(&mut self, sql: &str) -> Result<ZoomPayload> {
+        let req = Request::ZoomIn { sql: sql.into() };
+        match self.expect(&req)? {
+            Response::Zoomed(z) => Ok(z),
+            other => Err(unexpected("Zoomed", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (it snapshots and exits
+    /// once the request is acknowledged).
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Routes arbitrary SQL text to its most specific frame kind — a
+    /// lone SELECT goes out as `Query`, `ADD ANNOTATION` as `Annotate`,
+    /// `ZOOMIN` as `ZoomIn`, everything else (including multi-statement
+    /// scripts) as `Execute` — and returns the raw response. This is
+    /// what `insight-cli` uses per input line.
+    pub fn send_sql(&mut self, sql: &str) -> Result<Response> {
+        let req = match parse_one(sql) {
+            Ok(Statement::Select(_)) => Request::Query { sql: sql.into() },
+            Ok(Statement::AddAnnotation { .. }) => Request::Annotate { sql: sql.into() },
+            Ok(Statement::ZoomIn(_)) => Request::ZoomIn { sql: sql.into() },
+            // Multi-statement scripts fail parse_one; let the server
+            // parse (and report errors for) the full text.
+            _ => Request::Execute { sql: sql.into() },
+        };
+        self.request(&req)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    Error::Execution(format!(
+        "protocol violation: expected a {wanted} frame, got {got:?}"
+    ))
+}

@@ -4,8 +4,9 @@
 //! Shared substrate for the InsightNotes workspace: strongly-typed
 //! identifiers, the workspace-wide error type, the compact sorted
 //! [`IdSet`] that backs exact summary algebra, a hand-written
-//! binary codec used for the disk result cache, and a logical clock used by
-//! cache replacement policies.
+//! binary codec used for the disk result cache, a logical clock used by
+//! cache replacement policies, and the [`wire`] frame protocol spoken
+//! between `insightd` and its clients.
 //!
 //! Everything in this crate is dependency-free (std only) so that every
 //! other crate can build on it without pulling anything else in.
@@ -15,6 +16,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod idset;
+pub mod wire;
 
 pub use clock::LogicalClock;
 pub use codec::{Decoder, Encodable, Encoder};

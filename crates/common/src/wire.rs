@@ -1,0 +1,680 @@
+//! The `insightd` wire protocol.
+//!
+//! Client and server exchange **length-prefixed binary frames** over a
+//! byte stream (TCP in practice; the functions here only require
+//! `Read`/`Write`, which keeps them trivially testable over in-memory
+//! buffers). Each frame is:
+//!
+//! ```text
+//! u32 LE   frame length N (bytes that follow, bounded by MAX_FRAME_BYTES)
+//! [u8; 4]  magic  "INWP"         ─┐
+//! u16 LE   protocol version (1)   │ N bytes, decoded strictly:
+//! u8       message kind tag       │ unknown tags, truncation and
+//! …        kind-specific body    ─┘ trailing bytes are codec errors
+//! ```
+//!
+//! Requests carry SQL text ([`Request::Query`], [`Request::Execute`],
+//! [`Request::Annotate`], [`Request::ZoomIn`]) or are control frames
+//! ([`Request::Ping`], [`Request::Shutdown`]). Responses carry either
+//! structured payloads ([`RowsPayload`], [`ZoomPayload`]) or a
+//! structured error frame ([`WireError`]) that round-trips
+//! [`enum@Error`] across the connection: the client re-raises the same
+//! error class the server-side engine produced.
+//!
+//! The payload types are deliberately self-contained (plain strings and
+//! scalars, no engine types) so that a client needs only this crate to
+//! speak the protocol; summary objects travel in their rendered paper
+//! notation (`ClassBird1 [(Behavior, 14), …]`).
+
+use crate::codec::{Decoder, Encodable, Encoder};
+use crate::error::{Error, Result};
+use std::io::{Read, Write};
+
+/// Frame magic: **I**nsight**N**otes **W**ire **P**rotocol.
+pub const WIRE_MAGIC: [u8; 4] = *b"INWP";
+
+/// Current protocol version. Decoders reject every other version so a
+/// future frame layout can never be half-parsed by an old peer.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's payload. A corrupt or hostile length
+/// prefix fails fast instead of triggering an allocation of its claimed
+/// size.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// A single `SELECT`; answered with [`Response::Rows`].
+    Query {
+        /// The SELECT text.
+        sql: String,
+    },
+    /// One or more `;`-separated statements of any kind; answered with
+    /// [`Response::Ack`] listing one rendered outcome per statement.
+    Execute {
+        /// The statement text.
+        sql: String,
+    },
+    /// A single `ADD ANNOTATION`; answered with [`Response::Ack`].
+    Annotate {
+        /// The statement text.
+        sql: String,
+    },
+    /// A single `ZOOMIN`; answered with [`Response::Zoomed`].
+    ZoomIn {
+        /// The statement text.
+        sql: String,
+    },
+    /// Asks the server to shut down gracefully (final snapshot included);
+    /// answered with [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+impl Request {
+    /// The SQL text carried by this request, if any.
+    pub fn sql(&self) -> Option<&str> {
+        match self {
+            Request::Query { sql }
+            | Request::Execute { sql }
+            | Request::Annotate { sql }
+            | Request::ZoomIn { sql } => Some(sql),
+            Request::Ping | Request::Shutdown => None,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's protocol version.
+        version: u16,
+        /// Number of requests the connection has served so far.
+        served: u64,
+    },
+    /// Statement(s) executed; one rendered outcome line each.
+    Ack {
+        /// Rendered [`ExecOutcome`]-style messages, in statement order.
+        messages: Vec<String>,
+    },
+    /// A query result set.
+    Rows(RowsPayload),
+    /// A zoom-in result.
+    Zoomed(ZoomPayload),
+    /// The request failed; carries the engine error.
+    Error(WireError),
+    /// The server acknowledged a shutdown request and will close the
+    /// connection after this frame.
+    ShuttingDown,
+}
+
+/// One value in a result row, mirroring the storage value space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl std::fmt::Display for WireValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireValue::Null => write!(f, "NULL"),
+            WireValue::Int(v) => write!(f, "{v}"),
+            WireValue::Float(v) => write!(f, "{v}"),
+            WireValue::Text(s) => write!(f, "{s}"),
+            WireValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One result tuple: values plus its summary objects rendered in the
+/// paper's notation (`Instance [(Component, count), …]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRow {
+    /// The data values, in output-schema order.
+    pub values: Vec<WireValue>,
+    /// Rendered summary objects, sorted by instance name.
+    pub summaries: Vec<String>,
+}
+
+/// The payload of [`Response::Rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsPayload {
+    /// The result's QID (zoom-in reference).
+    pub qid: u64,
+    /// Output column display names.
+    pub columns: Vec<String>,
+    /// The result tuples.
+    pub rows: Vec<WireRow>,
+}
+
+/// One raw annotation inside a [`ZoomPayload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAnnotation {
+    /// Annotation id.
+    pub id: u64,
+    /// Free text.
+    pub text: String,
+    /// Attached document, if any.
+    pub document: Option<String>,
+    /// Curator.
+    pub author: String,
+}
+
+/// The payload of [`Response::Zoomed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoomPayload {
+    /// The raw annotations behind the expanded component.
+    pub annotations: Vec<WireAnnotation>,
+    /// Whether the referenced result came from the disk cache.
+    pub from_cache: bool,
+    /// Result tuples matching the refinement predicate.
+    pub matched_rows: u64,
+}
+
+/// A structured error frame: `class` is [`Error::class`], `message` the
+/// display text. [`WireError::into_error`] reconstructs the matching
+/// [`enum@Error`] variant on the client side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable error class (`parse`, `catalog`, …).
+    pub class: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl From<&Error> for WireError {
+    fn from(e: &Error) -> Self {
+        Self {
+            class: e.class().to_string(),
+            message: match e {
+                // Display prefixes the class; keep only the message so the
+                // reconstructed error does not double it.
+                Error::Io(io) => io.to_string(),
+                Error::Parse(m)
+                | Error::Catalog(m)
+                | Error::Type(m)
+                | Error::Execution(m)
+                | Error::Annotation(m)
+                | Error::Summary(m)
+                | Error::ZoomIn(m)
+                | Error::Codec(m) => m.clone(),
+            },
+        }
+    }
+}
+
+impl WireError {
+    /// Reconstructs the engine error this frame was built from. Unknown
+    /// classes (a newer server) degrade to [`Error::Execution`].
+    pub fn into_error(self) -> Error {
+        let m = self.message;
+        match self.class.as_str() {
+            "parse" => Error::Parse(m),
+            "catalog" => Error::Catalog(m),
+            "type" => Error::Type(m),
+            "execution" => Error::Execution(m),
+            "annotation" => Error::Annotation(m),
+            "summary" => Error::Summary(m),
+            "zoomin" => Error::ZoomIn(m),
+            "codec" => Error::Codec(m),
+            "io" => Error::Io(std::io::Error::other(m)),
+            _ => Error::Execution(format!("[{}] {m}", self.class)),
+        }
+    }
+}
+
+// -- encodings ------------------------------------------------------------
+
+const REQ_PING: u8 = 1;
+const REQ_QUERY: u8 = 2;
+const REQ_EXECUTE: u8 = 3;
+const REQ_ANNOTATE: u8 = 4;
+const REQ_ZOOMIN: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+impl Encodable for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Request::Ping => enc.u8(REQ_PING),
+            Request::Query { sql } => {
+                enc.u8(REQ_QUERY);
+                enc.str(sql);
+            }
+            Request::Execute { sql } => {
+                enc.u8(REQ_EXECUTE);
+                enc.str(sql);
+            }
+            Request::Annotate { sql } => {
+                enc.u8(REQ_ANNOTATE);
+                enc.str(sql);
+            }
+            Request::ZoomIn { sql } => {
+                enc.u8(REQ_ZOOMIN);
+                enc.str(sql);
+            }
+            Request::Shutdown => enc.u8(REQ_SHUTDOWN),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_QUERY => Request::Query { sql: dec.str()? },
+            REQ_EXECUTE => Request::Execute { sql: dec.str()? },
+            REQ_ANNOTATE => Request::Annotate { sql: dec.str()? },
+            REQ_ZOOMIN => Request::ZoomIn { sql: dec.str()? },
+            REQ_SHUTDOWN => Request::Shutdown,
+            tag => return Err(Error::Codec(format!("unknown request tag {tag}"))),
+        })
+    }
+}
+
+const RESP_PONG: u8 = 1;
+const RESP_ACK: u8 = 2;
+const RESP_ROWS: u8 = 3;
+const RESP_ZOOMED: u8 = 4;
+const RESP_ERROR: u8 = 5;
+const RESP_SHUTTING_DOWN: u8 = 6;
+
+impl Encodable for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Response::Pong { version, served } => {
+                enc.u8(RESP_PONG);
+                enc.u16(*version);
+                enc.u64(*served);
+            }
+            Response::Ack { messages } => {
+                enc.u8(RESP_ACK);
+                enc.seq(messages, |e, m| e.str(m));
+            }
+            Response::Rows(p) => {
+                enc.u8(RESP_ROWS);
+                p.encode(enc);
+            }
+            Response::Zoomed(p) => {
+                enc.u8(RESP_ZOOMED);
+                p.encode(enc);
+            }
+            Response::Error(e) => {
+                enc.u8(RESP_ERROR);
+                enc.str(&e.class);
+                enc.str(&e.message);
+            }
+            Response::ShuttingDown => enc.u8(RESP_SHUTTING_DOWN),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            RESP_PONG => Response::Pong {
+                version: dec.u16()?,
+                served: dec.u64()?,
+            },
+            RESP_ACK => Response::Ack {
+                messages: dec.seq(|d| d.str())?,
+            },
+            RESP_ROWS => Response::Rows(RowsPayload::decode(dec)?),
+            RESP_ZOOMED => Response::Zoomed(ZoomPayload::decode(dec)?),
+            RESP_ERROR => Response::Error(WireError {
+                class: dec.str()?,
+                message: dec.str()?,
+            }),
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            tag => return Err(Error::Codec(format!("unknown response tag {tag}"))),
+        })
+    }
+}
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_TEXT: u8 = 3;
+const VAL_BOOL: u8 = 4;
+
+impl Encodable for WireValue {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WireValue::Null => enc.u8(VAL_NULL),
+            WireValue::Int(v) => {
+                enc.u8(VAL_INT);
+                enc.i64(*v);
+            }
+            WireValue::Float(v) => {
+                enc.u8(VAL_FLOAT);
+                enc.f64(*v);
+            }
+            WireValue::Text(s) => {
+                enc.u8(VAL_TEXT);
+                enc.str(s);
+            }
+            WireValue::Bool(b) => {
+                enc.u8(VAL_BOOL);
+                enc.bool(*b);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            VAL_NULL => WireValue::Null,
+            VAL_INT => WireValue::Int(dec.i64()?),
+            VAL_FLOAT => WireValue::Float(dec.f64()?),
+            VAL_TEXT => WireValue::Text(dec.str()?),
+            VAL_BOOL => WireValue::Bool(dec.bool()?),
+            tag => return Err(Error::Codec(format!("unknown value tag {tag}"))),
+        })
+    }
+}
+
+impl Encodable for WireRow {
+    fn encode(&self, enc: &mut Encoder) {
+        self.values.encode(enc);
+        enc.seq(&self.summaries, |e, s| e.str(s));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            values: Vec::<WireValue>::decode(dec)?,
+            summaries: dec.seq(|d| d.str())?,
+        })
+    }
+}
+
+impl Encodable for RowsPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.qid);
+        enc.seq(&self.columns, |e, c| e.str(c));
+        self.rows.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            qid: dec.varint()?,
+            columns: dec.seq(|d| d.str())?,
+            rows: Vec::<WireRow>::decode(dec)?,
+        })
+    }
+}
+
+impl Encodable for WireAnnotation {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.id);
+        enc.str(&self.text);
+        enc.option(&self.document, |e, d| e.str(d));
+        enc.str(&self.author);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            id: dec.varint()?,
+            text: dec.str()?,
+            document: dec.option(|d| d.str())?,
+            author: dec.str()?,
+        })
+    }
+}
+
+impl Encodable for ZoomPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        self.annotations.encode(enc);
+        enc.bool(self.from_cache);
+        enc.varint(self.matched_rows);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            annotations: Vec::<WireAnnotation>::decode(dec)?,
+            from_cache: dec.bool()?,
+            matched_rows: dec.varint()?,
+        })
+    }
+}
+
+// -- frame I/O ------------------------------------------------------------
+
+/// Serializes one message into a complete frame (length prefix included).
+pub fn frame_bytes<T: Encodable>(msg: &T) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(64);
+    enc.u8(WIRE_MAGIC[0]);
+    enc.u8(WIRE_MAGIC[1]);
+    enc.u8(WIRE_MAGIC[2]);
+    enc.u8(WIRE_MAGIC[3]);
+    enc.u16(WIRE_VERSION);
+    msg.encode(&mut enc);
+    let payload = enc.finish();
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one message from a frame payload (the bytes after the length
+/// prefix): validates magic and version, then decodes strictly.
+pub fn decode_frame<T: Encodable>(payload: &[u8]) -> Result<T> {
+    let mut dec = Decoder::new(payload);
+    let magic = [dec.u8()?, dec.u8()?, dec.u8()?, dec.u8()?];
+    if magic != WIRE_MAGIC {
+        return Err(Error::Codec("not an InsightNotes wire frame".into()));
+    }
+    let version = dec.u16()?;
+    if version != WIRE_VERSION {
+        return Err(Error::Codec(format!(
+            "unsupported wire protocol version {version} (expected {WIRE_VERSION})"
+        )));
+    }
+    let msg = T::decode(&mut dec)?;
+    dec.expect_end()?;
+    Ok(msg)
+}
+
+/// Writes one message as a frame and flushes.
+pub fn write_frame<T: Encodable>(w: &mut impl Write, msg: &T) -> Result<()> {
+    w.write_all(&frame_bytes(msg))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one message frame. Returns `Ok(None)` on clean end-of-stream
+/// (the peer closed before starting another frame); errors on mid-frame
+/// EOF, oversized lengths, and every decode failure.
+pub fn read_frame<T: Encodable>(r: &mut impl Read) -> Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf)? {
+        0 => return Ok(None),
+        4 => {}
+        n => {
+            return Err(Error::Codec(format!(
+                "connection closed mid-frame ({n} of 4 length bytes)"
+            )))
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Codec(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload)?;
+    if got != len {
+        return Err(Error::Codec(format!(
+            "connection closed mid-frame ({got} of {len} payload bytes)"
+        )));
+    }
+    decode_frame(&payload).map(Some)
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read. Unlike
+/// `read_exact`, a clean EOF at offset 0 is distinguishable from a
+/// partial frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encodable + PartialEq + std::fmt::Debug>(msg: &T) {
+        let bytes = frame_bytes(msg);
+        let mut cursor = &bytes[..];
+        let got: T = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(&got, msg);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(&Request::Ping);
+        round_trip(&Request::Query {
+            sql: "SELECT name FROM birds".into(),
+        });
+        round_trip(&Request::Execute {
+            sql: "CREATE TABLE t (x INT); INSERT INTO t VALUES (1)".into(),
+        });
+        round_trip(&Request::Annotate {
+            sql: "ADD ANNOTATION 'seen diving' ON birds WHERE id = 3".into(),
+        });
+        round_trip(&Request::ZoomIn {
+            sql: "ZOOMIN REFERENCE QID 101 ON C LABEL 'Behavior'".into(),
+        });
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(&Response::Pong {
+            version: WIRE_VERSION,
+            served: 17,
+        });
+        round_trip(&Response::Ack {
+            messages: vec!["table `t` created".into(), "1 row(s) inserted".into()],
+        });
+        round_trip(&Response::Rows(RowsPayload {
+            qid: 104,
+            columns: vec!["name".into(), "weight".into()],
+            rows: vec![WireRow {
+                values: vec![WireValue::Text("Swan Goose".into()), WireValue::Float(3.25)],
+                summaries: vec!["ClassBird1 [(Behavior, 2), (Other, 0)]".into()],
+            }],
+        }));
+        round_trip(&Response::Zoomed(ZoomPayload {
+            annotations: vec![WireAnnotation {
+                id: 9,
+                text: "found eating stonewort".into(),
+                document: Some("survey.pdf".into()),
+                author: "curator".into(),
+            }],
+            from_cache: true,
+            matched_rows: 3,
+        }));
+        round_trip(&Response::ShuttingDown);
+        round_trip(&Response::Rows(RowsPayload {
+            qid: 0,
+            columns: vec![],
+            rows: vec![WireRow {
+                values: vec![WireValue::Null, WireValue::Int(-5), WireValue::Bool(true)],
+                summaries: vec![],
+            }],
+        }));
+    }
+
+    #[test]
+    fn errors_round_trip_the_engine_error() {
+        for e in [
+            Error::Parse("unexpected token".into()),
+            Error::Catalog("unknown table `t`".into()),
+            Error::ZoomIn("unknown QID 7".into()),
+            Error::Io(std::io::Error::other("disk gone")),
+        ] {
+            let wire = WireError::from(&e);
+            round_trip(&Response::Error(wire.clone()));
+            let back = wire.into_error();
+            assert_eq!(back.class(), e.class());
+            assert_eq!(back.to_string(), e.to_string());
+        }
+    }
+
+    #[test]
+    fn unknown_error_class_degrades_gracefully() {
+        let back = WireError {
+            class: "quantum".into(),
+            message: "flux".into(),
+        }
+        .into_error();
+        assert_eq!(back.class(), "execution");
+        assert!(back.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_an_error() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame::<Request>(&mut empty).unwrap().is_none());
+
+        let bytes = frame_bytes(&Request::Ping);
+        for cut in 1..bytes.len() {
+            let mut partial = &bytes[..cut];
+            assert!(
+                read_frame::<Request>(&mut partial).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = frame_bytes(&Request::Ping);
+        bytes[4] = b'X';
+        assert!(read_frame::<Request>(&mut &bytes[..]).is_err());
+
+        let mut bytes = frame_bytes(&Request::Ping);
+        bytes[8] = 99; // version low byte
+        let err = read_frame::<Request>(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_without_allocating() {
+        let mut bytes = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_frame::<Request>(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_frame_are_rejected() {
+        let inner = frame_bytes(&Request::Ping);
+        // Rebuild the frame with one junk byte appended to the payload.
+        let mut payload = inner[4..].to_vec();
+        payload.push(0xAA);
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            read_frame::<Request>(&mut &bytes[..]).unwrap_err().class(),
+            "codec"
+        );
+    }
+}

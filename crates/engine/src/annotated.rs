@@ -209,16 +209,24 @@ mod tests {
         // The self-join shape: both sides carry handles to the SAME
         // registry object. The merge must neither double count nor clone.
         let shared = Arc::new(classifier(&[(1, 0), (2, 1)]));
-        let mut left =
-            AnnotatedRow::from_shared(Row::new(vec![Value::Int(1)]), vec![(InstanceId(1), Arc::clone(&shared))]);
-        let right =
-            AnnotatedRow::from_shared(Row::new(vec![Value::Int(1)]), vec![(InstanceId(1), Arc::clone(&shared))]);
+        let mut left = AnnotatedRow::from_shared(
+            Row::new(vec![Value::Int(1)]),
+            vec![(InstanceId(1), Arc::clone(&shared))],
+        );
+        let right = AnnotatedRow::from_shared(
+            Row::new(vec![Value::Int(1)]),
+            vec![(InstanceId(1), Arc::clone(&shared))],
+        );
         left.merge_summaries(&right).unwrap();
         assert!(
             Arc::ptr_eq(&left.summaries[0].1, &shared),
             "idempotent self-merge keeps the shared payload"
         );
-        let c = left.summary(InstanceId(1)).unwrap().as_classifier().unwrap();
+        let c = left
+            .summary(InstanceId(1))
+            .unwrap()
+            .as_classifier()
+            .unwrap();
         assert_eq!((c.count(0), c.count(1)), (1, 1));
     }
 

@@ -25,8 +25,8 @@
 use crate::annotated::AnnotatedRow;
 use crate::cache::{DiskCache, Lfu, Lru, Rco, ReplacementPolicy};
 use crate::exec::{trace::render_row_resolved, Executor, TraceLog};
-use crate::plan::{estimate_cost, LogicalPlan, Planner};
 use crate::expr::SExpr;
+use crate::plan::{estimate_cost, LogicalPlan, Planner};
 use crate::raw::{RawExecutor, RawRow};
 use crate::zoomin::ZoomRegistry;
 use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, Target};
@@ -34,7 +34,8 @@ use insightnotes_common::{
     AnnotationId, ColumnId, Error, InstanceId, LogicalClock, Qid, Result, RowId, TableId,
 };
 use insightnotes_sql::{
-    parse, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, ZoomComponent, ZoomInStmt,
+    parse, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, StatementClass, ZoomComponent,
+    ZoomInStmt,
 };
 use insightnotes_storage::{Catalog, Column, DataType, Row, Schema, Value};
 use insightnotes_summaries::{
@@ -42,6 +43,7 @@ use insightnotes_summaries::{
     MaintenanceStats, SummaryRegistry,
 };
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
+use parking_lot::{Mutex, MutexGuard};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -212,12 +214,21 @@ pub enum ExecOutcome {
 }
 
 /// An InsightNotes database instance.
+///
+/// The API is split into a **read path** (`&self`: [`Database::query`],
+/// [`Database::zoom_in`], [`Database::execute_read`], …) and a **write
+/// path** (`&mut self`: [`Database::execute`] for DDL / INSERT /
+/// ADD ANNOTATION / registry changes). Session-local state that even
+/// read-only queries touch — QID assignment and the zoom-in result
+/// cache — lives behind an interior [`Mutex`], so many sessions can run
+/// queries concurrently under one shared lock (`RwLock<Database>` in
+/// `insightd`) while writers take the exclusive side.
 #[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     store: AnnotationStore,
     registry: SummaryRegistry,
-    zoom: ZoomRegistry,
+    zoom: Mutex<ZoomRegistry>,
     clock: LogicalClock,
     config: DbConfig,
 }
@@ -249,7 +260,7 @@ impl Database {
             catalog: Catalog::new(),
             store: AnnotationStore::new(),
             registry: SummaryRegistry::new(),
-            zoom: ZoomRegistry::new(cache),
+            zoom: Mutex::new(ZoomRegistry::new(cache)),
             clock: LogicalClock::new(),
             config,
         })
@@ -290,15 +301,16 @@ impl Database {
         &mut self.registry
     }
 
-    /// The zoom-in registry (cache statistics).
-    pub fn zoom(&self) -> &ZoomRegistry {
-        &self.zoom
+    /// The zoom-in registry (cache statistics). The returned guard holds
+    /// the registry's session lock; drop it before issuing queries.
+    pub fn zoom(&self) -> MutexGuard<'_, ZoomRegistry> {
+        self.zoom.lock()
     }
 
     /// Evicts one result from the zoom-in cache (experiment hook; the
     /// cache normally evicts on its own under budget pressure).
-    pub fn zoom_cache_evict(&mut self, qid: Qid) -> bool {
-        self.zoom.cache_mut().remove(qid).unwrap_or(false)
+    pub fn zoom_cache_evict(&self, qid: Qid) -> bool {
+        self.zoom.lock().cache_mut().remove(qid).unwrap_or(false)
     }
 
     /// The active maintenance mode.
@@ -321,8 +333,31 @@ impl Database {
             .collect()
     }
 
+    /// Executes one Read-class statement (SELECT / ZOOMIN / EXPLAIN) from
+    /// a shared reference. This is the entry point `insightd` uses under
+    /// its shared lock: durable state is only read; the session-local QID
+    /// and result-cache updates go through the interior zoom lock.
+    /// Write-class statements are rejected — route them through
+    /// [`Database::execute`].
+    pub fn execute_read(&self, stmt: Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::Select(sel) => Ok(ExecOutcome::Query(self.run_select(&sel, false)?.0)),
+            Statement::ZoomIn(z) => Ok(ExecOutcome::ZoomIn(self.zoom_in(&z)?)),
+            Statement::Explain(sel) => {
+                let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
+                Ok(ExecOutcome::Explain(plan.explain()))
+            }
+            _ => Err(Error::Execution(
+                "write-class statement requires exclusive database access".into(),
+            )),
+        }
+    }
+
     /// Executes one parsed statement.
     pub fn execute(&mut self, stmt: Statement) -> Result<ExecOutcome> {
+        if stmt.class() == StatementClass::Read {
+            return self.execute_read(stmt);
+        }
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let cols = columns
@@ -363,10 +398,6 @@ impl Database {
                     table: table.to_ascii_lowercase(),
                     rows: n,
                 })
-            }
-            Statement::Select(sel) => {
-                let result = self.run_select(&sel, false)?.0;
-                Ok(ExecOutcome::Query(result))
             }
             Statement::AddAnnotation {
                 text,
@@ -409,11 +440,6 @@ impl Database {
                 self.registry.unlink(inst, tid)?;
                 Ok(ExecOutcome::Unlinked { instance, table })
             }
-            Statement::ZoomIn(z) => Ok(ExecOutcome::ZoomIn(self.zoom_in(&z)?)),
-            Statement::Explain(sel) => {
-                let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
-                Ok(ExecOutcome::Explain(plan.explain()))
-            }
             Statement::DeleteRows {
                 table,
                 where_clause,
@@ -442,6 +468,9 @@ impl Database {
                     column: column.to_ascii_lowercase(),
                     created: false,
                 })
+            }
+            Statement::Select(_) | Statement::ZoomIn(_) | Statement::Explain(_) => {
+                unreachable!("read-class statements are dispatched to execute_read")
             }
         }
     }
@@ -496,8 +525,9 @@ impl Database {
     }
 
     /// Convenience: executes a single SELECT and returns its result.
-    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
-        match self.execute(single_select(sql)?)? {
+    /// Shared access suffices: queries never touch durable state.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        match self.execute_read(single_select(sql)?)? {
             ExecOutcome::Query(q) => Ok(q),
             _ => unreachable!("select statements produce query outcomes"),
         }
@@ -507,7 +537,7 @@ impl Database {
     /// (no QID, no cache write). Benchmarks use this to isolate pure
     /// propagation cost; interactive callers should prefer
     /// [`Database::query`]. The returned QID is 0 and not zoomable.
-    pub fn query_uncached(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn query_uncached(&self, sql: &str) -> Result<QueryResult> {
         let Statement::Select(sel) = single_select(sql)? else {
             unreachable!("single_select returns selects only")
         };
@@ -525,7 +555,7 @@ impl Database {
     }
 
     /// Executes a SELECT with per-operator tracing (demo scenario 3).
-    pub fn query_traced(&mut self, sql: &str) -> Result<(QueryResult, TraceLog)> {
+    pub fn query_traced(&self, sql: &str) -> Result<(QueryResult, TraceLog)> {
         let Statement::Select(sel) = single_select(sql)? else {
             unreachable!("single_select returns selects only")
         };
@@ -568,7 +598,7 @@ impl Database {
     }
 
     fn run_select(
-        &mut self,
+        &self,
         sel: &SelectStmt,
         traced: bool,
     ) -> Result<(QueryResult, Option<TraceLog>)> {
@@ -584,8 +614,11 @@ impl Database {
         };
         let rows = executor.execute(&plan)?;
         let schema = plan.schema().clone();
+        // Only the QID/result-cache registration needs the session lock;
+        // planning and execution above run fully concurrently.
         let qid = self
             .zoom
+            .lock()
             .register(schema.clone(), plan, &rows, complexity)?;
         Ok((QueryResult { qid, schema, rows }, executor.trace))
     }
@@ -822,10 +855,11 @@ impl Database {
 
     // -- zoom-in ------------------------------------------------------------
 
-    /// Executes a zoom-in command (Figure 3).
-    pub fn zoom_in(&mut self, stmt: &ZoomInStmt) -> Result<ZoomInResult> {
+    /// Executes a zoom-in command (Figure 3). Shared access suffices;
+    /// cache reads / re-executions serialize on the interior zoom lock.
+    pub fn zoom_in(&self, stmt: &ZoomInStmt) -> Result<ZoomInResult> {
         let qid = Qid::new(stmt.qid);
-        let info_schema = self.zoom.info(qid)?.schema.clone();
+        let info_schema = self.zoom.lock().info(qid)?.schema.clone();
         let planner = Planner::new(&self.catalog, &self.registry);
         let predicate = stmt
             .where_clause
@@ -845,7 +879,10 @@ impl Database {
             },
         };
 
-        let (rows, from_cache) = self.zoom.fetch_rows(qid, &self.catalog, &self.registry)?;
+        let (rows, from_cache) = self
+            .zoom
+            .lock()
+            .fetch_rows(qid, &self.catalog, &self.registry)?;
         let mut ids = insightnotes_common::IdSet::new();
         let mut matched = 0usize;
         for r in &rows {

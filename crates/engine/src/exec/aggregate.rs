@@ -104,13 +104,7 @@ impl Accumulator {
     fn absorb(&mut self, other: Accumulator) -> Result<()> {
         match (self, other) {
             (Accumulator::Count(n), Accumulator::Count(m)) => *n += m,
-            (
-                Accumulator::Sum { total, seen },
-                Accumulator::Sum {
-                    total: t,
-                    seen: s,
-                },
-            ) => {
+            (Accumulator::Sum { total, seen }, Accumulator::Sum { total: t, seen: s }) => {
                 *total += t;
                 *seen |= s;
             }
@@ -178,7 +172,12 @@ impl GroupState {
         }
     }
 
-    fn fold_row(&mut self, mut r: AnnotatedRow, group_cols: &[usize], aggs: &[AggSpec]) -> Result<()> {
+    fn fold_row(
+        &mut self,
+        mut r: AnnotatedRow,
+        group_cols: &[usize],
+        aggs: &[AggSpec],
+    ) -> Result<()> {
         let key = r.row.group_key(group_cols);
         // Project member summaries onto the grouping columns, speaking
         // output ordinals.

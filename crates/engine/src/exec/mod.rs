@@ -228,13 +228,11 @@ impl<'a> Executor<'a> {
         let sources: Vec<(insightnotes_common::RowId, &Row)> = rids
             .iter()
             .map(|&rid| {
-                t.get(rid)
-                    .map(|row| (rid, row))
-                    .ok_or_else(|| {
-                        insightnotes_common::Error::Execution(format!(
-                            "index points at missing row {rid}"
-                        ))
-                    })
+                t.get(rid).map(|row| (rid, row)).ok_or_else(|| {
+                    insightnotes_common::Error::Execution(format!(
+                        "index points at missing row {rid}"
+                    ))
+                })
             })
             .collect::<Result<_>>()?;
         self.attach(table, sources)

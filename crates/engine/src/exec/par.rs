@@ -165,7 +165,11 @@ mod tests {
         let expect: Vec<u64> = items.iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect();
         for threads in [1, 2, 8] {
             let got = map_morsels(items.clone(), threads, &|chunk, _| {
-                Ok(chunk.into_iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect())
+                Ok(chunk
+                    .into_iter()
+                    .map(|x| x * 3)
+                    .filter(|x| x % 2 == 0)
+                    .collect())
             })
             .unwrap();
             assert_eq!(got, expect, "threads={threads}");

@@ -117,10 +117,10 @@ mod tests {
 
     #[test]
     fn snapshot_round_trips_full_state() {
-        let mut original = populated_db();
+        let original = populated_db();
         let path = snapshot_path("roundtrip");
         original.save(&path).unwrap();
-        let mut reopened = Database::open(&path).unwrap();
+        let reopened = Database::open(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
         // Data round-trips.
@@ -204,6 +204,41 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         assert!(Database::open(snapshot_path("missing")).is_err());
+    }
+
+    #[test]
+    fn decode_failures_carry_the_codec_class() {
+        let db = populated_db();
+        let bytes = snapshot(db.catalog(), db.store(), db.registry());
+        assert!(restore(&bytes).is_ok(), "baseline snapshot must decode");
+
+        // Trailing bytes after a well-formed snapshot: strict decoding
+        // treats them as corruption, not padding.
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0xAB, 0xCD]);
+        let err = restore(&trailing).unwrap_err();
+        assert_eq!(err.class(), "codec", "{err}");
+
+        // A future format version: rejected up front, and the message
+        // names the version so the operator knows it is a compatibility
+        // problem rather than corruption.
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&7u32.to_le_bytes());
+        let err = restore(&future).unwrap_err();
+        assert_eq!(err.class(), "codec");
+        assert!(err.to_string().contains('7'), "{err}");
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[..4].copy_from_slice(b"NOPE");
+        assert_eq!(restore(&bad).unwrap_err().class(), "codec");
+
+        // Truncation at every structurally interesting point: inside the
+        // magic, inside the version word, and one byte short of the end.
+        for cut in [2usize, 6, bytes.len() - 1] {
+            let err = restore(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.class(), "codec", "cut at {cut}: {err}");
+        }
     }
 
     #[test]

@@ -179,9 +179,9 @@ impl<'a> Planner<'a> {
             // Access path: the first `col = const` conjunct on an indexed
             // column turns the scan into an index probe; the rest filter.
             let table_ref = self.catalog.table(scan.table)?;
-            let probe = mine.iter().position(|p| {
-                index_probe(p).is_some_and(|(c, _)| table_ref.has_index(c))
-            });
+            let probe = mine
+                .iter()
+                .position(|p| index_probe(p).is_some_and(|(c, _)| table_ref.has_index(c)));
             let mut plan = match probe {
                 Some(pos) => {
                     let probe_pred = mine.remove(pos);

@@ -37,7 +37,10 @@ pub fn estimate_cost(plan: &LogicalPlan, catalog: &Catalog) -> CostEstimate {
             // Point lookups touch a small fraction of the table.
             let rows = catalog.table(*table).map(|t| t.len()).unwrap_or(0) as f64;
             let hit = (rows / 10.0).clamp(1.0, rows.max(1.0));
-            CostEstimate { cost: hit + 1.0, rows: hit }
+            CostEstimate {
+                cost: hit + 1.0,
+                rows: hit,
+            }
         }
         LogicalPlan::Filter { input, .. } => {
             let c = estimate_cost(input, catalog);

@@ -184,7 +184,10 @@ impl LogicalPlan {
                 format!("{binding} {schema}")
             }
             LogicalPlan::IndexScan {
-                binding, col, value, ..
+                binding,
+                col,
+                value,
+                ..
             } => format!("{binding} col{col} = {value}"),
             LogicalPlan::Filter { predicate, .. } => format!("{predicate:?}"),
             LogicalPlan::Project { schema, .. } => format!("→ {schema}"),

@@ -1,0 +1,125 @@
+//! `insightd` — the InsightNotes annotation-engine daemon.
+//!
+//! ```text
+//! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 64]
+//!          [--timeout-ms 10000] [--parallelism N]
+//! ```
+//!
+//! Serves the wire protocol (see `insightnotes_common::wire`) over TCP
+//! with one thread per connection. With `--snapshot`, an existing file is
+//! loaded at startup and a fresh snapshot is written on graceful shutdown
+//! (SIGINT/SIGTERM or a client `.shutdown`). `--addr` with port 0 picks
+//! an ephemeral port; the bound address is printed on the first stdout
+//! line (`insightd listening on HOST:PORT`) so scripts can scrape it.
+
+use insightnotes_engine::{Database, DbConfig};
+use insightnotes_server::{install_signal_handlers, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    match run() {
+        Ok(served) => eprintln!("insightd: clean shutdown after {served} request(s)"),
+        Err(e) => {
+            eprintln!("insightd: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> insightnotes_common::Result<u64> {
+    let opts = parse_args()?;
+
+    let db_config = DbConfig {
+        parallelism: opts.parallelism,
+        ..DbConfig::default()
+    };
+    let db = match &opts.snapshot {
+        Some(path) if path.exists() => {
+            let db = Database::open_with_config(path, db_config)?;
+            eprintln!(
+                "insightd: restored snapshot {} ({} tables)",
+                path.display(),
+                db.catalog().table_names().len()
+            );
+            db
+        }
+        _ => Database::with_config(db_config)?,
+    };
+
+    let config = ServerConfig {
+        max_connections: opts.max_conns,
+        request_timeout: Duration::from_millis(opts.timeout_ms),
+        snapshot_path: opts.snapshot.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(opts.addr.as_str(), db, config)?;
+    install_signal_handlers();
+
+    // Scripts parse this exact line to discover ephemeral ports.
+    println!("insightd listening on {}", server.local_addr()?);
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    let served = server.run()?;
+    if let Some(path) = &opts.snapshot {
+        eprintln!("insightd: snapshot written to {}", path.display());
+    }
+    Ok(served)
+}
+
+struct Opts {
+    addr: String,
+    snapshot: Option<PathBuf>,
+    max_conns: usize,
+    timeout_ms: u64,
+    parallelism: Option<usize>,
+}
+
+fn parse_args() -> insightnotes_common::Result<Opts> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7433".into(),
+        snapshot: None,
+        max_conns: 64,
+        timeout_ms: 10_000,
+        parallelism: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let bad = |m: String| insightnotes_common::Error::Execution(m);
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            println!(
+                "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
+                 [--max-conns N] [--timeout-ms N] [--parallelism N]"
+            );
+            std::process::exit(0);
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| bad(format!("{flag} needs a value")))?;
+        match flag {
+            "--addr" => opts.addr = value.clone(),
+            "--snapshot" => opts.snapshot = Some(PathBuf::from(value)),
+            "--max-conns" => {
+                opts.max_conns = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad count {value}")))?
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value.parse().map_err(|_| bad(format!("bad ms {value}")))?
+            }
+            "--parallelism" => {
+                opts.parallelism = Some(
+                    value
+                        .parse()
+                        .map_err(|_| bad(format!("bad count {value}")))?,
+                )
+            }
+            other => return Err(bad(format!("unknown flag {other}"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}

@@ -1,0 +1,598 @@
+#![warn(missing_docs)]
+//! # insightnotes-server
+//!
+//! `insightd`: a concurrent TCP daemon serving one shared
+//! [`Database`] to many client sessions over the
+//! [`insightnotes_common::wire`] frame protocol.
+//!
+//! ## Session model
+//!
+//! One OS thread per connection over a `std::net::TcpListener`. The
+//! database sits behind an `Arc<RwLock<Database>>`; every incoming
+//! statement is classified ([`Statement::class`]) and the session takes
+//! the **shared** lock for Read-class work (SELECT, ZOOMIN, EXPLAIN —
+//! which the engine exposes from `&self` since the QID/zoom-cache state
+//! moved behind its interior lock) or the **exclusive** lock for
+//! Write-class work (DDL, INSERT, ADD ANNOTATION, registry changes).
+//! Queries from N sessions therefore execute concurrently; writers
+//! serialize.
+//!
+//! ## Robustness
+//!
+//! - **Connection limit** — accepts beyond
+//!   [`ServerConfig::max_connections`] are answered with a structured
+//!   error frame and closed.
+//! - **Per-request timeout** — once the first byte of a frame arrives,
+//!   the rest must arrive within [`ServerConfig::request_timeout`];
+//!   responses are written under the same timeout. Waiting *between*
+//!   frames is unbounded (idle REPL sessions stay up).
+//! - **Graceful shutdown** — SIGINT/SIGTERM (see
+//!   [`install_signal_handlers`]), a client `Shutdown` frame, or
+//!   [`ServerHandle::shutdown`] all drain the same path: stop accepting,
+//!   unblock every session socket, join the session threads, then write
+//!   a final [`insightnotes_engine::persist`] snapshot when a snapshot
+//!   path is configured.
+
+use insightnotes_common::wire::{
+    self, Request, Response, RowsPayload, WireAnnotation, WireError, WireRow, WireValue,
+    ZoomPayload,
+};
+use insightnotes_common::{Error, Result};
+use insightnotes_engine::db::{ExecOutcome, QueryResult, ZoomInResult};
+use insightnotes_engine::Database;
+use insightnotes_sql::{parse, Statement, StatementClass};
+use insightnotes_storage::{Column, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum simultaneously served connections; excess connects get an
+    /// error frame and are closed.
+    pub max_connections: usize,
+    /// Deadline for finishing one in-flight request frame (read of the
+    /// remaining frame bytes) and for writing a response.
+    pub request_timeout: Duration,
+    /// How often blocked accept/read loops wake to check for shutdown.
+    pub poll_interval: Duration,
+    /// When set, a final durable snapshot is written here during
+    /// graceful shutdown.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            request_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(50),
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Shared mutable server state (the handle and every session see it).
+#[derive(Debug)]
+struct ServerState {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+    next_session: AtomicU64,
+    /// Socket clones of live sessions, used to unblock their reads at
+    /// shutdown.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal_requested()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for (_, stream) in self.sessions.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A cheap clone-able handle for observing and stopping a running server.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Asks the server to shut down gracefully; returns immediately.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down()
+    }
+
+    /// Total requests served so far, across all sessions.
+    pub fn requests_served(&self) -> u64 {
+        self.state.served.load(Ordering::Relaxed)
+    }
+
+    /// Currently live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.state.active.load(Ordering::Relaxed)
+    }
+}
+
+/// The `insightd` server: a listener plus the shared database.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    db: Arc<RwLock<Database>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds a listener and prepares the shared database. Use port 0 for
+    /// an ephemeral port; read it back with [`Server::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, db: Database, config: ServerConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept lets the loop poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            db: Arc::new(RwLock::new(db)),
+            state: Arc::new(ServerState {
+                config,
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                next_session: AtomicU64::new(0),
+                sessions: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle for stopping/observing the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The shared database (tests inspect state through this).
+    pub fn database(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(&self.db)
+    }
+
+    /// Serves connections until shutdown is requested, then drains
+    /// sessions and writes the final snapshot (when configured).
+    /// Returns the total number of requests served.
+    pub fn run(self) -> Result<u64> {
+        let mut workers = Vec::new();
+        loop {
+            if self.state.shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    workers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+                    if self.state.active.load(Ordering::Relaxed)
+                        >= self.state.config.max_connections
+                    {
+                        refuse(stream, self.state.config.max_connections);
+                        continue;
+                    }
+                    let id = self.state.next_session.fetch_add(1, Ordering::Relaxed);
+                    let db = Arc::clone(&self.db);
+                    let state = Arc::clone(&self.state);
+                    self.state.active.fetch_add(1, Ordering::Relaxed);
+                    workers.push(std::thread::spawn(move || {
+                        run_session(stream, id, &db, &state);
+                        state.active.fetch_sub(1, Ordering::Relaxed);
+                        state.sessions.lock().remove(&id);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.state.config.poll_interval);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Drain: unblock session sockets, then join the threads.
+        self.state.begin_shutdown();
+        for h in workers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.state.config.snapshot_path {
+            self.db.read().save(path)?;
+        }
+        Ok(self.state.served.load(Ordering::Relaxed))
+    }
+}
+
+/// Turns away a connection over the limit with a structured error frame.
+fn refuse(mut stream: TcpStream, limit: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = wire::write_frame(
+        &mut stream,
+        &Response::Error(WireError::from(&Error::Execution(format!(
+            "connection limit ({limit}) reached; try again later"
+        )))),
+    );
+}
+
+/// What one attempt to read a frame from a session produced.
+enum FrameRead {
+    /// A complete, well-formed request.
+    Frame(Request),
+    /// A well-delimited frame whose payload failed to decode; the stream
+    /// is still in sync, so the session answers with an error frame.
+    Bad(WireError),
+    /// Nothing arrived within one poll tick.
+    Idle,
+    /// The peer closed the connection cleanly.
+    Closed,
+}
+
+/// Reads one frame in poll ticks. The wait for a frame's *first* byte is
+/// unbounded (returning [`FrameRead::Idle`] each tick so the caller can
+/// check for shutdown); once a frame has started, the remaining bytes
+/// must arrive before `request_timeout` expires.
+fn read_session_frame(stream: &mut TcpStream, state: &ServerState) -> Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled == 0 {
+        if state.shutting_down() {
+            return Ok(FrameRead::Idle);
+        }
+        match stream.read(&mut len_buf) {
+            Ok(0) => return Ok(FrameRead::Closed),
+            Ok(n) => filled = n,
+            Err(e) if blocked(&e) => return Ok(FrameRead::Idle),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let deadline = Instant::now() + state.config.request_timeout;
+    fill(stream, &mut len_buf, &mut filled, deadline, state)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > wire::MAX_FRAME_BYTES {
+        return Err(Error::Codec(format!(
+            "frame of {len} bytes exceeds the {}-byte limit",
+            wire::MAX_FRAME_BYTES
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    fill(stream, &mut payload, &mut got, deadline, state)?;
+    match wire::decode_frame::<Request>(&payload) {
+        Ok(req) => Ok(FrameRead::Frame(req)),
+        Err(e) => Ok(FrameRead::Bad(WireError::from(&e))),
+    }
+}
+
+/// Reads until `buf[..]` is full, tolerating poll-tick timeouts up to
+/// `deadline`. EOF or an expired deadline mid-frame is an error.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    filled: &mut usize,
+    deadline: Instant,
+    state: &ServerState,
+) -> Result<()> {
+    while *filled < buf.len() {
+        if Instant::now() >= deadline {
+            return Err(Error::Execution(format!(
+                "request timed out after {:?} mid-frame",
+                state.config.request_timeout
+            )));
+        }
+        match stream.read(&mut buf[*filled..]) {
+            Ok(0) => {
+                return Err(Error::Codec(format!(
+                    "connection closed mid-frame ({} of {} bytes)",
+                    *filled,
+                    buf.len()
+                )))
+            }
+            Ok(n) => *filled += n,
+            Err(e) if blocked(&e) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+fn blocked(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// One connection's request/response loop.
+fn run_session(mut stream: TcpStream, id: u64, db: &RwLock<Database>, state: &ServerState) {
+    if configure_session_socket(&stream, state).is_err() {
+        return;
+    }
+    if let Ok(clone) = stream.try_clone() {
+        state.sessions.lock().insert(id, clone);
+    }
+    loop {
+        match read_session_frame(&mut stream, state) {
+            Ok(FrameRead::Idle) => {
+                if state.shutting_down() {
+                    break;
+                }
+            }
+            Ok(FrameRead::Closed) | Err(_) => break,
+            Ok(FrameRead::Bad(e)) => {
+                if wire::write_frame(&mut stream, &Response::Error(e)).is_err() {
+                    break;
+                }
+            }
+            Ok(FrameRead::Frame(req)) => {
+                state.served.fetch_add(1, Ordering::Relaxed);
+                let shutdown_requested = matches!(req, Request::Shutdown);
+                let response = handle_request(db, state, req);
+                let write_ok = wire::write_frame(&mut stream, &response).is_ok();
+                if shutdown_requested {
+                    state.begin_shutdown();
+                    break;
+                }
+                if !write_ok {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io::Result<()> {
+    // Accepted sockets must block with a poll-tick read timeout (the
+    // listener itself is non-blocking).
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(state.config.poll_interval))?;
+    stream.set_write_timeout(Some(state.config.request_timeout))?;
+    Ok(())
+}
+
+/// Executes one request against the shared database, picking the lock
+/// side by statement classification.
+fn handle_request(db: &RwLock<Database>, state: &ServerState, req: Request) -> Response {
+    match try_handle_request(db, state, req) {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+fn try_handle_request(
+    db: &RwLock<Database>,
+    state: &ServerState,
+    req: Request,
+) -> Result<Response> {
+    match req {
+        Request::Ping => Ok(Response::Pong {
+            version: wire::WIRE_VERSION,
+            served: state.served.load(Ordering::Relaxed),
+        }),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+        Request::Query { sql } => {
+            let stmt = expect_single(&sql, "Query")?;
+            if !matches!(stmt, Statement::Select(_)) {
+                return Err(Error::Execution(
+                    "Query frames carry exactly one SELECT; use Execute for other statements"
+                        .into(),
+                ));
+            }
+            let db = db.read();
+            match db.execute_read(stmt)? {
+                ExecOutcome::Query(q) => Ok(Response::Rows(rows_payload(&db, &q))),
+                _ => unreachable!("SELECT produces a query outcome"),
+            }
+        }
+        Request::ZoomIn { sql } => {
+            let stmt = expect_single(&sql, "ZoomIn")?;
+            if !matches!(stmt, Statement::ZoomIn(_)) {
+                return Err(Error::Execution(
+                    "ZoomIn frames carry exactly one ZOOMIN statement".into(),
+                ));
+            }
+            let db = db.read();
+            match db.execute_read(stmt)? {
+                ExecOutcome::ZoomIn(z) => Ok(Response::Zoomed(zoom_payload(z))),
+                _ => unreachable!("ZOOMIN produces a zoom-in outcome"),
+            }
+        }
+        Request::Annotate { sql } => {
+            let stmt = expect_single(&sql, "Annotate")?;
+            if !matches!(stmt, Statement::AddAnnotation { .. }) {
+                return Err(Error::Execution(
+                    "Annotate frames carry exactly one ADD ANNOTATION statement".into(),
+                ));
+            }
+            let mut db = db.write();
+            let outcome = db.execute(stmt)?;
+            Ok(Response::Ack {
+                messages: vec![outcome.to_string()],
+            })
+        }
+        Request::Execute { sql } => {
+            let stmts = parse(&sql)?;
+            if stmts.is_empty() {
+                return Err(Error::Parse("empty statement".into()));
+            }
+            let messages = if stmts.iter().all(|s| s.class() == StatementClass::Read) {
+                let db = db.read();
+                stmts
+                    .into_iter()
+                    .map(|s| Ok(db.execute_read(s)?.to_string()))
+                    .collect::<Result<Vec<_>>>()?
+            } else {
+                let mut db = db.write();
+                stmts
+                    .into_iter()
+                    .map(|s| Ok(db.execute(s)?.to_string()))
+                    .collect::<Result<Vec<_>>>()?
+            };
+            Ok(Response::Ack { messages })
+        }
+    }
+}
+
+fn expect_single(sql: &str, kind: &str) -> Result<Statement> {
+    let mut stmts = parse(sql)?;
+    if stmts.len() != 1 {
+        return Err(Error::Execution(format!(
+            "{kind} frames carry exactly one statement, found {}",
+            stmts.len()
+        )));
+    }
+    Ok(stmts.remove(0))
+}
+
+fn wire_value(v: &Value) -> WireValue {
+    match v {
+        Value::Null => WireValue::Null,
+        Value::Int(i) => WireValue::Int(*i),
+        Value::Float(f) => WireValue::Float(*f),
+        Value::Text(s) => WireValue::Text(s.clone()),
+        Value::Bool(b) => WireValue::Bool(*b),
+    }
+}
+
+/// Converts an engine result set into its wire representation. Summary
+/// objects are shipped in the paper's rendered notation.
+fn rows_payload(db: &Database, q: &QueryResult) -> RowsPayload {
+    let columns = q
+        .schema
+        .columns()
+        .iter()
+        .map(Column::display_name)
+        .collect();
+    let rows = q
+        .rows
+        .iter()
+        .map(|r| WireRow {
+            values: r.row.values().iter().map(wire_value).collect(),
+            summaries: r
+                .summaries
+                .iter()
+                .map(|(inst, obj)| {
+                    let name = db
+                        .registry()
+                        .instance(*inst)
+                        .map(|i| i.name().to_string())
+                        .unwrap_or_else(|_| inst.to_string());
+                    format!("{name} {obj}")
+                })
+                .collect(),
+        })
+        .collect();
+    RowsPayload {
+        qid: q.qid.raw(),
+        columns,
+        rows,
+    }
+}
+
+fn zoom_payload(z: ZoomInResult) -> ZoomPayload {
+    ZoomPayload {
+        annotations: z
+            .annotations
+            .into_iter()
+            .map(|a| WireAnnotation {
+                id: a.id.raw(),
+                text: a.text,
+                document: a.document,
+                author: a.author,
+            })
+            .collect(),
+        from_cache: z.from_cache,
+        matched_rows: z.matched_rows as u64,
+    }
+}
+
+// -- signal handling ------------------------------------------------------
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed since
+/// [`install_signal_handlers`] ran.
+pub fn signal_requested() -> bool {
+    SIGNALED.load(Ordering::Relaxed)
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip an atomic flag; the accept
+/// loop polls it and drains into the graceful-shutdown path (final
+/// snapshot included). No-op on non-Unix targets.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::Relaxed);
+    }
+    // std links libc; declaring the two symbols we need avoids an
+    // external crate. BSD `signal` semantics (glibc default) are fine —
+    // the accept loop never blocks, it polls.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// No-op fallback for non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The whole session model hinges on the database being shareable
+    // across session threads.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Server>();
+    }
+
+    #[test]
+    fn classification_picks_the_expected_lock() {
+        let read = parse("SELECT name FROM birds").unwrap();
+        assert!(read.iter().all(|s| s.class() == StatementClass::Read));
+        let write = parse("INSERT INTO birds VALUES (1)").unwrap();
+        assert!(write.iter().all(|s| s.class() == StatementClass::Write));
+        let mixed = parse("SELECT name FROM birds; DELETE FROM birds").unwrap();
+        assert!(!mixed.iter().all(|s| s.class() == StatementClass::Read));
+    }
+
+    #[test]
+    fn expect_single_rejects_batches() {
+        assert!(expect_single("SELECT a FROM t; SELECT b FROM t", "Query").is_err());
+        assert!(expect_single("SELECT a FROM t", "Query").is_ok());
+    }
+}

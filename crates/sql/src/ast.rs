@@ -354,3 +354,42 @@ pub enum Statement {
         column: String,
     },
 }
+
+/// Whether a statement only reads database state or mutates it. The
+/// `insightd` session layer classifies every incoming statement to decide
+/// which side of the database's reader/writer lock a request must take:
+/// [`StatementClass::Read`] statements run concurrently under a shared
+/// lock, [`StatementClass::Write`] statements serialize under the
+/// exclusive lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementClass {
+    /// Touches no durable state: SELECT, ZOOMIN, EXPLAIN. (Session-local
+    /// side effects — QID assignment, result-cache admission — are hidden
+    /// behind the engine's own interior locks.)
+    Read,
+    /// Mutates the catalog, rows, annotations, or the summary registry.
+    Write,
+}
+
+impl Statement {
+    /// Classifies this statement for lock selection.
+    pub fn class(&self) -> StatementClass {
+        match self {
+            Statement::Select(_) | Statement::ZoomIn(_) | Statement::Explain(_) => {
+                StatementClass::Read
+            }
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::Insert { .. }
+            | Statement::AddAnnotation { .. }
+            | Statement::CreateInstance(_)
+            | Statement::DropInstance { .. }
+            | Statement::LinkSummary { .. }
+            | Statement::UnlinkSummary { .. }
+            | Statement::DeleteRows { .. }
+            | Statement::DeleteAnnotation { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropIndex { .. } => StatementClass::Write,
+        }
+    }
+}

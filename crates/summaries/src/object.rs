@@ -426,7 +426,10 @@ impl SummaryObject {
     /// signature buckets without allocating); used to skip copy-on-write
     /// clones for removals that would be no-ops.
     pub fn contains_annotation(&self, id: u64) -> bool {
-        self.sig_map().buckets().iter().any(|(_, set)| set.contains(id))
+        self.sig_map()
+            .buckets()
+            .iter()
+            .any(|(_, set)| set.contains(id))
     }
 
     /// True when applying `remap` via [`Self::project`] would alter this

@@ -15,7 +15,10 @@
 //! - [`queries`] — SPJ query generators and a skewed zoom-in reference
 //!   stream for the cache experiments;
 //! - [`loader`] — one-call database seeding: tables, summary instances,
-//!   links, rows, annotation stream.
+//!   links, rows, annotation stream;
+//! - [`session`] — seed-deterministic SQL statement streams (setup plus
+//!   N mixed read/write client scripts) for driving `insightd` over the
+//!   wire and for serial-replay equivalence checks.
 //!
 //! Everything is driven by a single seed: identical configs produce
 //! identical databases, which keeps experiment tables reproducible.
@@ -24,8 +27,10 @@ pub mod birds;
 pub mod genes;
 pub mod loader;
 pub mod queries;
+pub mod session;
 
 pub use birds::{BirdGen, BirdRecord, GeneratedAnnotation, ANNOTATION_CLASSES};
 pub use genes::GeneGen;
 pub use loader::{seed_birds_database, LoadStats, WorkloadConfig};
 pub use queries::{zoomin_reference_stream, QueryGen};
+pub use session::{session_script, SessionConfig, SessionScript};

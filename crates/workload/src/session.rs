@@ -1,0 +1,216 @@
+//! Wire-driving session scripts.
+//!
+//! Where [`crate::loader`] seeds a database through the embedded typed
+//! API, this module emits plain **SQL text** — the shape of load a client
+//! pushes through `insightd` over the wire. A [`SessionScript`] has a
+//! serial `setup` phase (DDL, summary instances, links, row inserts) and
+//! one statement stream per client mixing Read-class SELECTs with
+//! Write-class `ADD ANNOTATION`s, so N concurrent sessions contend on the
+//! server's reader/writer lock the way the paper's curators and
+//! scientists contend on one shared summary registry.
+//!
+//! Scripts are seed-deterministic, which is what makes the serial-replay
+//! equivalence check in `tests/server_concurrency.rs` possible: the same
+//! statements replayed in any serializable order must converge to the
+//! same summary objects (annotation summarization is order-insensitive
+//! for classifier counts and cluster membership).
+
+use crate::birds::{BirdGen, ANNOTATION_CLASSES, BIRDS_DDL};
+use crate::queries::QueryGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`session_script`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of per-client statement streams.
+    pub clients: usize,
+    /// Statements per client stream.
+    pub statements_per_client: usize,
+    /// Rows in the bird table.
+    pub num_birds: usize,
+    /// Fraction of each stream that is `ADD ANNOTATION` (the rest are
+    /// SELECTs).
+    pub write_ratio: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xB17D,
+            clients: 8,
+            statements_per_client: 50,
+            num_birds: 200,
+            write_ratio: 0.3,
+        }
+    }
+}
+
+/// A generated wire workload: serial setup plus per-client streams.
+#[derive(Debug, Clone)]
+pub struct SessionScript {
+    /// Statements to run once (single connection) before the clients
+    /// start: DDL, index, summary instances, links, inserts.
+    pub setup: Vec<String>,
+    /// One mixed read/write statement stream per client.
+    pub clients: Vec<Vec<String>>,
+}
+
+impl SessionScript {
+    /// All statements flattened into one serializable order: setup first,
+    /// then the client streams interleaved round-robin (client 0's first
+    /// statement, client 1's first, …). Replaying this serially on an
+    /// embedded database gives the reference state for equivalence
+    /// checks.
+    pub fn serial_order(&self) -> Vec<String> {
+        let mut out = self.setup.clone();
+        let longest = self.clients.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for stream in &self.clients {
+                if let Some(stmt) = stream.get(i) {
+                    out.push(stmt.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Doubles single quotes for embedding in a SQL string literal.
+fn sql_quote(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+/// Generates a deterministic mixed-session workload.
+pub fn session_script(cfg: &SessionConfig) -> SessionScript {
+    let mut gen = BirdGen::new(cfg.seed);
+    let mut setup = vec![
+        BIRDS_DDL.to_string(),
+        "CREATE INDEX ON birds (id)".to_string(),
+    ];
+
+    // A classifier over the four observation classes, trained from the
+    // seeded corpus, plus a clusterer for the near-duplicate streams.
+    let pairs: Vec<String> = gen
+        .training_corpus(2)
+        .into_iter()
+        .map(|(class, text)| format!("'{}': '{}'", ANNOTATION_CLASSES[class], sql_quote(&text)))
+        .collect();
+    let labels: Vec<String> = ANNOTATION_CLASSES
+        .iter()
+        .map(|c| format!("'{c}'"))
+        .collect();
+    setup.push(format!(
+        "CREATE SUMMARY INSTANCE ClassBird1 TYPE CLASSIFIER LABELS ({}) TRAIN ({})",
+        labels.join(", "),
+        pairs.join(", ")
+    ));
+    setup.push("CREATE SUMMARY INSTANCE DupBird1 TYPE CLUSTER THRESHOLD 0.5".to_string());
+    setup.push("LINK SUMMARY ClassBird1 TO birds".to_string());
+    setup.push("LINK SUMMARY DupBird1 TO birds".to_string());
+
+    // Batched inserts (64 rows per statement).
+    for chunk in gen.records(cfg.num_birds).chunks(64) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|r| {
+                format!(
+                    "({}, '{}', '{}', {}, {}, '{}')",
+                    r.id,
+                    sql_quote(&r.name),
+                    sql_quote(&r.sci_name),
+                    r.weight,
+                    r.wingspan,
+                    sql_quote(&r.region)
+                )
+            })
+            .collect();
+        setup.push(format!("INSERT INTO birds VALUES {}", rows.join(", ")));
+    }
+
+    let clients = (0..cfg.clients)
+        .map(|c| {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0x9E37 + c as u64));
+            let mut anns = BirdGen::new(cfg.seed.wrapping_mul(31).wrapping_add(c as u64));
+            let mut queries = QueryGen::new(cfg.seed ^ (c as u64) << 8, cfg.num_birds);
+            (0..cfg.statements_per_client)
+                .map(|_| {
+                    if rng.gen_bool(cfg.write_ratio.clamp(0.0, 1.0)) {
+                        let a = anns.annotation(0.25, 0.0);
+                        let id = rng.gen_range(1..=cfg.num_birds.max(1));
+                        format!(
+                            "ADD ANNOTATION '{}' AUTHOR '{}' ON birds WHERE id = {id}",
+                            sql_quote(&a.text),
+                            sql_quote(&a.author)
+                        )
+                    } else {
+                        queries.next_query()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    SessionScript { setup, clients }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        let cfg = SessionConfig::default();
+        let a = session_script(&cfg);
+        let b = session_script(&cfg);
+        assert_eq!(a.setup, b.setup);
+        assert_eq!(a.clients, b.clients);
+    }
+
+    #[test]
+    fn every_statement_parses() {
+        let script = session_script(&SessionConfig {
+            clients: 3,
+            statements_per_client: 20,
+            num_birds: 70,
+            ..SessionConfig::default()
+        });
+        for stmt in script.serial_order() {
+            insightnotes_sql::parse(&stmt)
+                .unwrap_or_else(|e| panic!("statement failed to parse: {e}\n{stmt}"));
+        }
+    }
+
+    #[test]
+    fn streams_mix_reads_and_writes() {
+        let script = session_script(&SessionConfig::default());
+        assert_eq!(script.clients.len(), 8);
+        let all: Vec<&String> = script.clients.iter().flatten().collect();
+        let writes = all
+            .iter()
+            .filter(|s| s.starts_with("ADD ANNOTATION"))
+            .count();
+        let reads = all.iter().filter(|s| s.starts_with("SELECT")).count();
+        assert_eq!(writes + reads, all.len());
+        assert!(writes > 0 && reads > 0);
+        let ratio = writes as f64 / all.len() as f64;
+        assert!((0.15..=0.45).contains(&ratio), "write ratio {ratio}");
+    }
+
+    #[test]
+    fn serial_order_interleaves_round_robin() {
+        let script = session_script(&SessionConfig {
+            clients: 2,
+            statements_per_client: 2,
+            ..SessionConfig::default()
+        });
+        let serial = script.serial_order();
+        let tail = &serial[script.setup.len()..];
+        assert_eq!(tail[0], script.clients[0][0]);
+        assert_eq!(tail[1], script.clients[1][0]);
+        assert_eq!(tail[2], script.clients[0][1]);
+        assert_eq!(tail[3], script.clients[1][1]);
+    }
+}

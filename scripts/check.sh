@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Full local gate: release build, tier-1 tests, workspace tests, and
-# clippy with warnings promoted to errors. Run from the repo root.
+# Full local gate: formatting, release build, tier-1 tests, workspace
+# tests, clippy with warnings promoted to errors, and an end-to-end
+# smoke test of the insightd network server. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo build --release -p insightnotes-server -p insightnotes-client"
+cargo build --release -p insightnotes-server -p insightnotes-client
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
@@ -15,5 +22,42 @@ cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> insightd smoke test"
+# Spawn the daemon on an ephemeral port, drive one query and one
+# annotation write through insight-cli over the wire, shut it down
+# cleanly, and check the final snapshot was written.
+SMOKE_DIR="$(mktemp -d)"
+SNAPSHOT="$SMOKE_DIR/smoke.indb"
+LOG="$SMOKE_DIR/insightd.log"
+cleanup() {
+  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+./target/release/insightd --addr 127.0.0.1:0 --snapshot "$SNAPSHOT" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints "insightd listening on HOST:PORT" once bound.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^insightd listening on //p' "$LOG" | head -n1)"
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "insightd exited early"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { cat "$LOG"; echo "insightd never reported its address"; exit 1; }
+
+./target/release/insight-cli --addr "$ADDR" \
+  "CREATE TABLE birds (id INT, name TEXT)" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose')" \
+  "ADD ANNOTATION 'smoke test observation' AUTHOR 'check' ON birds WHERE id = 1" \
+  "SELECT id, name FROM birds" \
+  ".shutdown"
+
+wait "$SERVER_PID"
+SERVER_PID=""
+[[ -s "$SNAPSHOT" ]] || { cat "$LOG"; echo "no snapshot written on shutdown"; exit 1; }
 
 echo "OK"

@@ -20,7 +20,7 @@ fn birds_db() -> Database {
 
 #[test]
 fn ddl_insert_select_lifecycle() {
-    let mut db = birds_db();
+    let db = birds_db();
     let result = db
         .query("SELECT name FROM birds WHERE weight > 2 ORDER BY name")
         .unwrap();
@@ -30,7 +30,7 @@ fn ddl_insert_select_lifecycle() {
 
 #[test]
 fn group_by_and_aggregates() {
-    let mut db = birds_db();
+    let db = birds_db();
     let result = db
         .query(
             "SELECT region, COUNT(*) AS n, AVG(weight) AS w FROM birds \
@@ -47,7 +47,7 @@ fn group_by_and_aggregates() {
 
 #[test]
 fn distinct_order_limit() {
-    let mut db = birds_db();
+    let db = birds_db();
     let result = db
         .query("SELECT DISTINCT region FROM birds ORDER BY region LIMIT 2")
         .unwrap();
@@ -57,7 +57,7 @@ fn distinct_order_limit() {
 
 #[test]
 fn self_join_with_aliases() {
-    let mut db = birds_db();
+    let db = birds_db();
     let result = db
         .query(
             "SELECT a.name, b.name FROM birds a, birds b \

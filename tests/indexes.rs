@@ -27,7 +27,10 @@ fn create_index_changes_the_plan() {
     assert!(!before.explain().contains("IndexScan"));
 
     let out = db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
-    assert!(matches!(out[0], ExecOutcome::IndexChanged { created: true, .. }));
+    assert!(matches!(
+        out[0],
+        ExecOutcome::IndexChanged { created: true, .. }
+    ));
 
     let after = db.plan_sql("SELECT name FROM birds WHERE id = 2").unwrap();
     assert!(after.explain().contains("IndexScan"), "{}", after.explain());
@@ -41,8 +44,10 @@ fn create_index_changes_the_plan() {
 #[test]
 fn index_scan_matches_full_scan_results() {
     let mut with_index = db();
-    with_index.execute_sql("CREATE INDEX ON birds (region)").unwrap();
-    let mut without = db();
+    with_index
+        .execute_sql("CREATE INDEX ON birds (region)")
+        .unwrap();
+    let without = db();
     for q in [
         "SELECT id, name FROM birds WHERE region = 'northeast' ORDER BY id",
         "SELECT id FROM birds WHERE region = 'nowhere'",
@@ -66,7 +71,9 @@ fn index_scan_attaches_summaries() {
          ADD ANNOTATION 'w note' ON birds WHERE id = 2;",
     )
     .unwrap();
-    let plan = db.plan_sql("SELECT id, name FROM birds WHERE id = 2").unwrap();
+    let plan = db
+        .plan_sql("SELECT id, name FROM birds WHERE id = 2")
+        .unwrap();
     assert!(plan.explain().contains("IndexScan"));
     let result = db.query("SELECT id, name FROM birds WHERE id = 2").unwrap();
     assert_eq!(result.rows.len(), 1);
@@ -95,10 +102,8 @@ fn index_reflects_inserts_and_deletes() {
 fn indexes_survive_snapshots() {
     let mut db = db();
     db.execute_sql("CREATE INDEX ON birds (id)").unwrap();
-    let path = std::env::temp_dir().join(format!(
-        "insightnotes-idx-test-{}.indb",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("insightnotes-idx-test-{}.indb", std::process::id()));
     db.save(&path).unwrap();
     let reopened = Database::open(&path).unwrap();
     std::fs::remove_file(&path).ok();
@@ -121,15 +126,21 @@ fn raw_engine_uses_the_index_too() {
 fn index_ddl_errors() {
     let mut db = db();
     assert_eq!(
-        db.execute_sql("CREATE INDEX ON missing (id)").unwrap_err().class(),
+        db.execute_sql("CREATE INDEX ON missing (id)")
+            .unwrap_err()
+            .class(),
         "catalog"
     );
     assert_eq!(
-        db.execute_sql("CREATE INDEX ON birds (nope)").unwrap_err().class(),
+        db.execute_sql("CREATE INDEX ON birds (nope)")
+            .unwrap_err()
+            .class(),
         "catalog"
     );
     assert_eq!(
-        db.execute_sql("DROP INDEX ON birds (id)").unwrap_err().class(),
+        db.execute_sql("DROP INDEX ON birds (id)")
+            .unwrap_err()
+            .class(),
         "catalog"
     );
 }

@@ -163,8 +163,7 @@ fn canonical_object(obj: &SummaryObject) -> String {
 fn assert_parallel_matches_serial(spec: &Spec, sql: &str) {
     let serial = canonicalize_ordered(&build_db(spec, None).query(sql).unwrap());
     for &threads in THREAD_COUNTS {
-        let parallel =
-            canonicalize_ordered(&build_db(spec, Some(threads)).query(sql).unwrap());
+        let parallel = canonicalize_ordered(&build_db(spec, Some(threads)).query(sql).unwrap());
         prop_assert_eq!(
             &parallel,
             &serial,

@@ -274,6 +274,8 @@ fn incremental_deletion_keeps_cluster_membership_exact() {
     assert_eq!(obj.annotation_count(), 2);
     assert!(!obj.all_ids().contains(rep_before));
     let groups = obj.as_cluster().unwrap().groups();
-    let stonewort = groups.iter().find(|g| g.size == 1 && g.representative != Some(3));
+    let stonewort = groups
+        .iter()
+        .find(|g| g.size == 1 && g.representative != Some(3));
     assert!(stonewort.is_some(), "groups: {groups:?}");
 }

@@ -154,8 +154,8 @@ proptest! {
 
     #[test]
     fn join_order_does_not_change_summaries(spec in spec_strategy()) {
-        let mut db1 = build_db(&spec);
-        let mut db2 = build_db(&spec);
+        let db1 = build_db(&spec);
+        let db2 = build_db(&spec);
         let t = spec.threshold;
         let q1 = format!(
             "SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x AND r.b < {t}"
@@ -170,8 +170,8 @@ proptest! {
 
     #[test]
     fn on_clause_equals_where_clause(spec in spec_strategy()) {
-        let mut db1 = build_db(&spec);
-        let mut db2 = build_db(&spec);
+        let db1 = build_db(&spec);
+        let db2 = build_db(&spec);
         let r1 = db1
             .query("SELECT r.b, s.y FROM R r JOIN S s ON r.a = s.x")
             .unwrap();
@@ -183,8 +183,8 @@ proptest! {
 
     #[test]
     fn conjunct_order_is_irrelevant(spec in spec_strategy()) {
-        let mut db1 = build_db(&spec);
-        let mut db2 = build_db(&spec);
+        let db1 = build_db(&spec);
+        let db2 = build_db(&spec);
         let t = spec.threshold;
         let r1 = db1
             .query(&format!(
@@ -201,7 +201,7 @@ proptest! {
 
     #[test]
     fn repeated_execution_is_deterministic(spec in spec_strategy()) {
-        let mut db = build_db(&spec);
+        let db = build_db(&spec);
         let q = "SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x";
         let r1 = db.query(q).unwrap();
         let r2 = db.query(q).unwrap();
@@ -210,8 +210,8 @@ proptest! {
 
     #[test]
     fn distinct_absorbs_duplicates_consistently(spec in spec_strategy()) {
-        let mut db1 = build_db(&spec);
-        let mut db2 = build_db(&spec);
+        let db1 = build_db(&spec);
+        let db2 = build_db(&spec);
         // DISTINCT over a projection vs the same query with the duplicate
         // source rows pre-filtered to one representative must agree on
         // total annotation coverage per surviving tuple.

@@ -84,7 +84,7 @@ fn wildcard_is_a_bare_scan() {
 
 #[test]
 fn cross_join_without_predicates() {
-    let mut db = db();
+    let db = db();
     let result = db.query("SELECT r.a, s.x FROM R r, S s").unwrap();
     assert_eq!(result.rows.len(), 6, "3 × 2 cross product");
 }
@@ -107,7 +107,7 @@ fn aggregate_plan_has_group_then_project() {
 
 #[test]
 fn having_filters_groups() {
-    let mut db = db();
+    let db = db();
     let result = db
         .query("SELECT a, COUNT(*) AS n FROM R GROUP BY a HAVING n > 1")
         .unwrap();
@@ -159,7 +159,7 @@ fn having_without_group_by_is_an_error() {
 
 #[test]
 fn global_aggregate_has_no_grouping_columns() {
-    let mut db = db();
+    let db = db();
     let result = db.query("SELECT COUNT(*), AVG(b) FROM R").unwrap();
     assert_eq!(result.rows.len(), 1);
     assert_eq!(result.rows[0].row[0], Value::Int(3));
@@ -168,7 +168,7 @@ fn global_aggregate_has_no_grouping_columns() {
 
 #[test]
 fn order_by_output_alias_vs_source_column() {
-    let mut db = db();
+    let db = db();
     // Alias ordering (bound on the output schema).
     let by_alias = db
         .query("SELECT b AS weight FROM R ORDER BY weight DESC LIMIT 1")
@@ -210,7 +210,7 @@ fn three_way_join_builds_left_deep() {
     post_order(&plan, &mut ops);
     assert_eq!(ops.iter().filter(|&&o| o == "Join").count(), 2);
     assert_eq!(ops.iter().filter(|&&o| o == "Scan").count(), 3);
-    let mut db2 = db;
+    let db2 = db;
     let result = db2
         .query("SELECT r.a FROM R r, S s, U u WHERE r.a = s.x AND s.x = u.k")
         .unwrap();

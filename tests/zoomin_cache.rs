@@ -223,7 +223,7 @@ fn reexecution_reflects_current_database_state() {
 
 #[test]
 fn query_results_get_distinct_qids_and_cache_entries() {
-    let mut db = figure3_db();
+    let db = figure3_db();
     let a = db.query("SELECT c1 FROM t").unwrap();
     let b = db.query("SELECT c2 FROM t").unwrap();
     assert_ne!(a.qid, b.qid);
