@@ -1,0 +1,128 @@
+//! Group-commit ingest throughput through the server path (experiment
+//! A5, EXPERIMENTS.md).
+//!
+//! A fixed budget of `ADD ANNOTATION` statements is pushed through
+//! `insightd` by 1/8/32 concurrent writer connections, at client batch
+//! sizes 1 (one `Annotate` frame per statement), 16, and 256 (one
+//! `AnnotateBatch` frame per chunk), while a background analyst load
+//! ([`ReaderLoad`]: 8 connections looping a full-table scan with 1 ms
+//! think time) keeps the server's shared read lock busy. Batch size 1
+//! pays a round-trip, a commit-queue hand-off, and — dominating under
+//! reader load — a write-lock acquisition that waits out in-flight
+//! scans **per annotation**; larger batches amortize all three across
+//! the group, plus the per-row summary-maintenance pass. Streams come
+//! from `workload::ingest_script`, the pure-write counterpart of the A4
+//! mixed session streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_bench::{
+    drive_ingest_writer, ReaderLoad, INGEST_READERS, INGEST_READER_SCAN, INGEST_READER_THINK,
+};
+use insightnotes_client::Client;
+use insightnotes_engine::Database;
+use insightnotes_server::{Server, ServerConfig, ServerHandle};
+use insightnotes_workload::{ingest_script, IngestConfig};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+const BIRDS: usize = 500;
+/// Total annotations per throughput iteration, split across writers.
+const TOTAL: usize = 512;
+
+struct RunningServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Boots a fresh server and replays the ingest setup phase (DDL, index,
+/// summary instances, links, row inserts) over one connection, so every
+/// annotation statement in the sweep finds its target row and linked
+/// summary instances.
+fn start_server() -> RunningServer {
+    let server = Server::bind("127.0.0.1:0", Database::new(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    let script = ingest_script(&IngestConfig {
+        num_birds: BIRDS,
+        ..IngestConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect for setup");
+    for stmt in &script.setup {
+        client.execute(stmt).expect("setup statement");
+    }
+    RunningServer {
+        addr,
+        handle,
+        thread: Some(thread),
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread");
+        }
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let server = start_server();
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+
+    for writers in [1usize, 8, 32] {
+        let script = ingest_script(&IngestConfig {
+            writers,
+            annotations_per_writer: TOTAL / writers,
+            num_birds: BIRDS,
+            ..IngestConfig::default()
+        });
+        let streams = script.clients;
+        // Persistent connections, one per writer, reused across
+        // iterations: timed regions measure ingest, not accept latency.
+        let mut conns: Vec<Client> = (0..writers)
+            .map(|_| Client::connect(server.addr).expect("connect"))
+            .collect();
+        // Background analysts contend on the read lock for the whole
+        // writer group (dropped, and joined, at the end of the scope).
+        let _readers = ReaderLoad::start(
+            server.addr,
+            INGEST_READERS,
+            INGEST_READER_SCAN,
+            INGEST_READER_THINK,
+        );
+        for batch in [1usize, 16, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("writers_{writers}"), batch),
+                &streams,
+                |b, streams| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            let workers: Vec<_> = conns
+                                .drain(..)
+                                .zip(streams)
+                                .map(|(mut conn, stream)| {
+                                    scope.spawn(move || {
+                                        drive_ingest_writer(&mut conn, stream, batch);
+                                        conn
+                                    })
+                                })
+                                .collect();
+                            conns.extend(workers.into_iter().map(|w| w.join().expect("writer")));
+                        });
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

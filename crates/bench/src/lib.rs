@@ -114,6 +114,89 @@ pub fn annotate_one_row(db: &mut Database, row: u64, n: usize, seed: u64) {
     }
 }
 
+/// Reader connections held open by [`ReaderLoad`] in the ingest
+/// experiments.
+pub const INGEST_READERS: usize = 8;
+
+/// The query each background reader loops: a full-table scan whose
+/// execution (and summary rendering) holds the server's shared read
+/// lock for its full duration.
+pub const INGEST_READER_SCAN: &str = "SELECT name, sci_name, wingspan FROM birds";
+
+/// Think time between consecutive reader queries.
+pub const INGEST_READER_THINK: Duration = Duration::from_millis(1);
+
+/// Background analyst load for the ingest experiments: N connections
+/// each looping a read query with think time until dropped. Readers
+/// hold the server's shared read lock for each query's full execution,
+/// so every write-lock acquisition by the commit queue waits out the
+/// residual of in-flight scans — the convoy that batched ingest
+/// amortizes across a whole group instead of paying per annotation.
+pub struct ReaderLoad {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ReaderLoad {
+    /// Connects `readers` sessions to `addr` and starts their query
+    /// loops. The load runs until the returned handle is dropped.
+    pub fn start(addr: std::net::SocketAddr, readers: usize, query: &str, think: Duration) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let handles = (0..readers)
+            .map(|_| {
+                let stop = std::sync::Arc::clone(&stop);
+                let query = query.to_string();
+                let mut client =
+                    insightnotes_client::Client::connect(addr).expect("reader connect");
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        client.query(&query).expect("reader query");
+                        std::thread::sleep(think);
+                    }
+                })
+            })
+            .collect();
+        Self { stop, handles }
+    }
+}
+
+impl Drop for ReaderLoad {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drains one ingest writer stream over an established `insightd`
+/// connection: single `Annotate` frames at batch size ≤ 1,
+/// `AnnotateBatch` chunks otherwise. Connections are passed in (not
+/// opened here) so timed regions measure ingest, not connection setup —
+/// the server's accept loop polls on `poll_interval` ticks, which would
+/// otherwise dominate every measurement. Every per-item result is
+/// checked — a silent failure would make a throughput measurement
+/// meaningless. Shared by `benches/ingest_throughput.rs` and the A5
+/// report experiment so both time the same client behavior.
+pub fn drive_ingest_writer(
+    client: &mut insightnotes_client::Client,
+    stream: &[String],
+    batch: usize,
+) {
+    if batch <= 1 {
+        for sql in stream {
+            client.annotate(sql).expect("annotate");
+        }
+    } else {
+        for chunk in stream.chunks(batch) {
+            for item in client.annotate_batch(chunk.to_vec()).expect("batch frame") {
+                item.expect("batch item");
+            }
+        }
+    }
+}
+
 /// Wall-clock measurement of `f`, returning `(result, elapsed)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -124,4 +207,151 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// Milliseconds with two decimals, for table printing.
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// A JSON value for the machine-readable bench reports. Hand-rolled
+/// because the workspace carries no serde; only the shapes the reports
+/// need (objects, arrays, strings, numbers).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A numeric value, printed without trailing `.0` when integral.
+    Num(f64),
+    /// A string value (escaped on render).
+    Str(String),
+    /// An ordered list of key/value pairs (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+    /// An array of values.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+/// Writes a machine-readable bench report to `BENCH_<name>.json` in the
+/// current directory: `{"name": .., "config": {..}, "records": [..]}`.
+/// Each record is expected to carry at least `median_ns` and a
+/// throughput figure so downstream tooling never has to scrape the text
+/// tables. Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    config: Json,
+    records: Vec<Json>,
+) -> std::io::Result<std::path::PathBuf> {
+    let doc = Json::obj([
+        ("name", Json::from(name)),
+        ("config", config),
+        ("records", Json::Arr(records)),
+    ]);
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::Json;
+
+    #[test]
+    fn renders_escaped_compact_json() {
+        let doc = Json::obj([
+            ("name", Json::from("a \"b\"\n")),
+            ("n", Json::from(256usize)),
+            ("rate", Json::Num(12.5)),
+            ("items", Json::Arr(vec![Json::from(1u64), Json::from(2u64)])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"a \"b\"\n","n":256,"rate":12.5,"items":[1,2]}"#
+        );
+    }
 }

@@ -3,11 +3,16 @@
 //! ```text
 //! insight-cli --addr HOST:PORT                  # REPL on stdin
 //! insight-cli --addr HOST:PORT 'SQL' ['SQL'…]   # run statements, exit
+//! insight-cli --addr HOST:PORT --batch \
+//!     'ADD ANNOTATION …' ['ADD ANNOTATION …'…]  # one group-committed frame
 //! ```
 //!
 //! Each input line is routed to its most specific wire frame (SELECT →
 //! Query, ADD ANNOTATION → Annotate, ZOOMIN → ZoomIn, anything else →
-//! Execute). Meta commands: `.help`, `.ping`, `.shutdown`, `.quit`.
+//! Execute). With `--batch`, every argument must be one `ADD ANNOTATION`
+//! statement; they ship in a single `AnnotateBatch` frame and ingest
+//! under one server-side group commit, with per-item results printed in
+//! order. Meta commands: `.help`, `.ping`, `.shutdown`, `.quit`.
 
 use insightnotes_client::Client;
 use insightnotes_common::wire::{Response, RowsPayload, ZoomPayload};
@@ -23,6 +28,7 @@ fn main() {
 fn run() -> insightnotes_common::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7433".to_string();
+    let mut batch = false;
     let mut statements = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -36,8 +42,12 @@ fn run() -> insightnotes_common::Result<()> {
                     .clone();
                 i += 2;
             }
+            "--batch" => {
+                batch = true;
+                i += 1;
+            }
             "--help" | "-h" => {
-                println!("usage: insight-cli [--addr HOST:PORT] ['SQL'…]");
+                println!("usage: insight-cli [--addr HOST:PORT] [--batch] ['SQL'…]");
                 return Ok(());
             }
             other => {
@@ -48,6 +58,28 @@ fn run() -> insightnotes_common::Result<()> {
     }
 
     let mut client = Client::connect(addr.as_str())?;
+
+    if batch {
+        if statements.is_empty() {
+            return Err(insightnotes_common::Error::Execution(
+                "--batch needs at least one ADD ANNOTATION statement argument".into(),
+            ));
+        }
+        let mut failures = 0usize;
+        for (i, result) in client.annotate_batch(statements)?.into_iter().enumerate() {
+            match result {
+                Ok(message) => println!("[{i}] {message}"),
+                Err(e) => {
+                    failures += 1;
+                    println!("[{i}] error: {e}");
+                }
+            }
+        }
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
 
     if !statements.is_empty() {
         // One-shot mode: run each argument, fail fast on errors.
@@ -124,6 +156,14 @@ fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<Line
         Response::Ack { messages } => {
             for m in messages {
                 println!("{m}");
+            }
+        }
+        Response::BatchAck { results } => {
+            for (i, item) in results.into_iter().enumerate() {
+                match item.into_result() {
+                    Ok(message) => println!("[{i}] {message}"),
+                    Err(e) => println!("[{i}] error: {e}"),
+                }
             }
         }
         Response::Error(e) => println!("error: {}", e.into_error()),

@@ -22,7 +22,7 @@
 //! ```
 
 use insightnotes_common::wire::{
-    read_frame, write_frame, Request, Response, RowsPayload, ZoomPayload,
+    read_frame, write_frame, BatchItem, Request, Response, RowsPayload, ZoomPayload,
 };
 use insightnotes_common::{Error, Result};
 use insightnotes_sql::{parse_one, Statement};
@@ -107,6 +107,21 @@ impl Client {
         match self.expect(&req)? {
             Response::Ack { mut messages } => Ok(messages.pop().unwrap_or_default()),
             other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Ships a batch of `ADD ANNOTATION` statements in one
+    /// `AnnotateBatch` frame — one round-trip and one server-side group
+    /// commit for the whole batch. Returns one result per statement, in
+    /// order; per-item failures (bad statement, no matching rows) come
+    /// back as `Err` items without failing their neighbors.
+    pub fn annotate_batch(&mut self, statements: Vec<String>) -> Result<Vec<Result<String>>> {
+        let req = Request::AnnotateBatch { statements };
+        match self.expect(&req)? {
+            Response::BatchAck { results } => {
+                Ok(results.into_iter().map(BatchItem::into_result).collect())
+            }
+            other => Err(unexpected("BatchAck", &other)),
         }
     }
 

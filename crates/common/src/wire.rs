@@ -14,9 +14,11 @@
 //! ```
 //!
 //! Requests carry SQL text ([`Request::Query`], [`Request::Execute`],
-//! [`Request::Annotate`], [`Request::ZoomIn`]) or are control frames
-//! ([`Request::Ping`], [`Request::Shutdown`]). Responses carry either
-//! structured payloads ([`RowsPayload`], [`ZoomPayload`]) or a
+//! [`Request::Annotate`], [`Request::ZoomIn`]), a statement batch
+//! ([`Request::AnnotateBatch`], capped at [`MAX_BATCH_ITEMS`] items), or
+//! are control frames ([`Request::Ping`], [`Request::Shutdown`]).
+//! Responses carry either structured payloads ([`RowsPayload`],
+//! [`ZoomPayload`], per-item [`BatchItem`] results) or a
 //! structured error frame ([`WireError`]) that round-trips
 //! [`enum@Error`] across the connection: the client re-raises the same
 //! error class the server-side engine produced.
@@ -42,6 +44,12 @@ pub const WIRE_VERSION: u16 = 1;
 /// size.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// Upper bound on the statement count of one [`Request::AnnotateBatch`],
+/// mirroring [`MAX_FRAME_BYTES`]: a batch above this limit is a codec
+/// error at decode time (the server answers with a structured error
+/// frame, the connection stays usable).
+pub const MAX_BATCH_ITEMS: usize = 64 << 10;
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -63,6 +71,14 @@ pub enum Request {
         /// The statement text.
         sql: String,
     },
+    /// Up to [`MAX_BATCH_ITEMS`] `ADD ANNOTATION` statements ingested as
+    /// one group; answered with [`Response::BatchAck`] carrying one
+    /// structured result per statement (partial failure allowed — a bad
+    /// item does not abort its neighbours).
+    AnnotateBatch {
+        /// One `ADD ANNOTATION` statement per entry, in batch order.
+        statements: Vec<String>,
+    },
     /// A single `ZOOMIN`; answered with [`Response::Zoomed`].
     ZoomIn {
         /// The statement text.
@@ -74,14 +90,16 @@ pub enum Request {
 }
 
 impl Request {
-    /// The SQL text carried by this request, if any.
+    /// The SQL text carried by this request, if any. Batch requests
+    /// carry many statements and return `None` here; read them from
+    /// [`Request::AnnotateBatch`] directly.
     pub fn sql(&self) -> Option<&str> {
         match self {
             Request::Query { sql }
             | Request::Execute { sql }
             | Request::Annotate { sql }
             | Request::ZoomIn { sql } => Some(sql),
-            Request::Ping | Request::Shutdown => None,
+            Request::Ping | Request::Shutdown | Request::AnnotateBatch { .. } => None,
         }
     }
 }
@@ -100,6 +118,13 @@ pub enum Response {
     Ack {
         /// Rendered [`ExecOutcome`]-style messages, in statement order.
         messages: Vec<String>,
+    },
+    /// Answer to [`Request::AnnotateBatch`]: one result per statement,
+    /// in batch order. Failed items carry the engine error; successful
+    /// neighbours committed regardless.
+    BatchAck {
+        /// Per-statement outcomes, in batch order.
+        results: Vec<BatchItem>,
     },
     /// A query result set.
     Rows(RowsPayload),
@@ -184,6 +209,30 @@ pub struct ZoomPayload {
     pub matched_rows: u64,
 }
 
+/// One statement's outcome inside a [`Response::BatchAck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    /// The statement committed; carries its rendered outcome line.
+    Ok(String),
+    /// The statement failed; the rest of the batch was unaffected.
+    Err(WireError),
+}
+
+impl BatchItem {
+    /// Converts into a plain `Result`, re-raising the engine error class.
+    pub fn into_result(self) -> Result<String> {
+        match self {
+            BatchItem::Ok(m) => Ok(m),
+            BatchItem::Err(e) => Err(e.into_error()),
+        }
+    }
+
+    /// Whether the item committed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BatchItem::Ok(_))
+    }
+}
+
 /// A structured error frame: `class` is [`Error::class`], `message` the
 /// display text. [`WireError::into_error`] reconstructs the matching
 /// [`enum@Error`] variant on the client side.
@@ -244,6 +293,7 @@ const REQ_EXECUTE: u8 = 3;
 const REQ_ANNOTATE: u8 = 4;
 const REQ_ZOOMIN: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_ANNOTATE_BATCH: u8 = 7;
 
 impl Encodable for Request {
     fn encode(&self, enc: &mut Encoder) {
@@ -266,6 +316,10 @@ impl Encodable for Request {
                 enc.str(sql);
             }
             Request::Shutdown => enc.u8(REQ_SHUTDOWN),
+            Request::AnnotateBatch { statements } => {
+                enc.u8(REQ_ANNOTATE_BATCH);
+                enc.seq(statements, |e, s| e.str(s));
+            }
         }
     }
 
@@ -277,6 +331,17 @@ impl Encodable for Request {
             REQ_ANNOTATE => Request::Annotate { sql: dec.str()? },
             REQ_ZOOMIN => Request::ZoomIn { sql: dec.str()? },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_ANNOTATE_BATCH => {
+                let statements: Vec<String> = dec.seq(|d| d.str())?;
+                if statements.len() > MAX_BATCH_ITEMS {
+                    return Err(Error::Codec(format!(
+                        "annotation batch of {} statements exceeds the \
+                         {MAX_BATCH_ITEMS}-item limit",
+                        statements.len()
+                    )));
+                }
+                Request::AnnotateBatch { statements }
+            }
             tag => return Err(Error::Codec(format!("unknown request tag {tag}"))),
         })
     }
@@ -288,6 +353,37 @@ const RESP_ROWS: u8 = 3;
 const RESP_ZOOMED: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_SHUTTING_DOWN: u8 = 6;
+const RESP_BATCH_ACK: u8 = 7;
+
+const ITEM_OK: u8 = 0;
+const ITEM_ERR: u8 = 1;
+
+impl Encodable for BatchItem {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BatchItem::Ok(m) => {
+                enc.u8(ITEM_OK);
+                enc.str(m);
+            }
+            BatchItem::Err(e) => {
+                enc.u8(ITEM_ERR);
+                enc.str(&e.class);
+                enc.str(&e.message);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            ITEM_OK => BatchItem::Ok(dec.str()?),
+            ITEM_ERR => BatchItem::Err(WireError {
+                class: dec.str()?,
+                message: dec.str()?,
+            }),
+            tag => return Err(Error::Codec(format!("unknown batch item tag {tag}"))),
+        })
+    }
+}
 
 impl Encodable for Response {
     fn encode(&self, enc: &mut Encoder) {
@@ -315,6 +411,10 @@ impl Encodable for Response {
                 enc.str(&e.message);
             }
             Response::ShuttingDown => enc.u8(RESP_SHUTTING_DOWN),
+            Response::BatchAck { results } => {
+                enc.u8(RESP_BATCH_ACK);
+                results.encode(enc);
+            }
         }
     }
 
@@ -326,6 +426,9 @@ impl Encodable for Response {
             },
             RESP_ACK => Response::Ack {
                 messages: dec.seq(|d| d.str())?,
+            },
+            RESP_BATCH_ACK => Response::BatchAck {
+                results: Vec::<BatchItem>::decode(dec)?,
             },
             RESP_ROWS => Response::Rows(RowsPayload::decode(dec)?),
             RESP_ZOOMED => Response::Zoomed(ZoomPayload::decode(dec)?),
@@ -562,6 +665,61 @@ mod tests {
             sql: "ZOOMIN REFERENCE QID 101 ON C LABEL 'Behavior'".into(),
         });
         round_trip(&Request::Shutdown);
+        round_trip(&Request::AnnotateBatch {
+            statements: vec![
+                "ADD ANNOTATION 'seen diving' ON birds WHERE id = 3".into(),
+                "ADD ANNOTATION 'lesions on wing' ON birds WHERE id = 4".into(),
+            ],
+        });
+        round_trip(&Request::AnnotateBatch { statements: vec![] });
+    }
+
+    #[test]
+    fn batch_ack_round_trips_mixed_results() {
+        round_trip(&Response::BatchAck {
+            results: vec![
+                BatchItem::Ok("annotation 1 attached to 2 row(s)".into()),
+                BatchItem::Err(WireError {
+                    class: "annotation".into(),
+                    message: "annotation matched no rows; nothing attached".into(),
+                }),
+                BatchItem::Ok("annotation 2 attached to 1 row(s)".into()),
+            ],
+        });
+        round_trip(&Response::BatchAck { results: vec![] });
+        assert!(BatchItem::Ok("x".into()).is_ok());
+        assert_eq!(
+            BatchItem::Err(WireError {
+                class: "catalog".into(),
+                message: "unknown table `t`".into(),
+            })
+            .into_result()
+            .unwrap_err()
+            .class(),
+            "catalog"
+        );
+    }
+
+    #[test]
+    fn batch_item_cap_is_a_codec_error_at_the_boundary() {
+        // Exactly MAX_BATCH_ITEMS decodes fine.
+        let at_cap = Request::AnnotateBatch {
+            statements: vec![String::new(); MAX_BATCH_ITEMS],
+        };
+        let bytes = frame_bytes(&at_cap);
+        let got: Request = read_frame(&mut &bytes[..]).unwrap().expect("one frame");
+        assert_eq!(got, at_cap);
+
+        // One past the cap is rejected as a structured codec error — the
+        // frame itself is well-delimited, so a server answers with an
+        // error frame instead of dropping the connection.
+        let over = Request::AnnotateBatch {
+            statements: vec![String::new(); MAX_BATCH_ITEMS + 1],
+        };
+        let bytes = frame_bytes(&over);
+        let err = read_frame::<Request>(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.class(), "codec");
+        assert!(err.to_string().contains("item limit"), "{err}");
     }
 
     #[test]

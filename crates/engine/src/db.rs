@@ -44,6 +44,7 @@ use insightnotes_summaries::{
 };
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
 use parking_lot::{Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -132,6 +133,20 @@ pub struct ZoomInResult {
     pub from_cache: bool,
     /// How many result tuples matched the refinement predicate.
     pub matched_rows: usize,
+}
+
+/// One item of a typed [`Database::annotate_rows_batch`] call: an
+/// annotation and the explicit rows it attaches to.
+#[derive(Debug, Clone)]
+pub struct RowAnnotation {
+    /// Target table name.
+    pub table: String,
+    /// Explicit target row ids.
+    pub rows: Vec<RowId>,
+    /// Covered columns.
+    pub cols: ColSig,
+    /// The annotation itself (`created` is stamped at staging time).
+    pub body: AnnotationBody,
 }
 
 /// The result of executing one statement.
@@ -634,6 +649,39 @@ impl Database {
         columns: &[String],
         where_clause: Option<Expr>,
     ) -> Result<ExecOutcome> {
+        let (id, targets) =
+            self.stage_annotation(text, document, author, table, columns, where_clause)?;
+        let catalog = &self.catalog;
+        let store = &self.store;
+        let registry = &mut self.registry;
+        let maintenance = refresh_after_add(
+            registry,
+            store,
+            id,
+            &|t, r| tuple_context(catalog, t, r),
+            self.config.maintenance,
+        )?;
+        Ok(ExecOutcome::Annotated {
+            annotation: id,
+            targets,
+            maintenance,
+        })
+    }
+
+    /// Stages one `ADD ANNOTATION`: resolves the covered columns and
+    /// target rows, ticks the logical clock, and inserts into the store —
+    /// everything short of refreshing summaries, which single-statement
+    /// execution does immediately and [`Database::annotate_batch`] defers
+    /// to one amortized pass. Returns the new id and its target count.
+    fn stage_annotation(
+        &mut self,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+        table: &str,
+        columns: &[String],
+        where_clause: Option<Expr>,
+    ) -> Result<(AnnotationId, usize)> {
         let tid = self.catalog.table_id(table)?;
         let schema = self.catalog.table(tid)?.schema().clone();
         let qualified = schema.qualify(table);
@@ -671,23 +719,188 @@ impl Database {
             body = body.with_document(doc);
         }
         let id = self.store.add(body, targets)?;
+        Ok((id, n))
+    }
 
-        // Refresh summaries.
+    /// Executes a batch of `ADD ANNOTATION` statements under **one**
+    /// exclusive-lock acquisition with amortized maintenance. Every item
+    /// gets its own result — a failing statement (unknown table, empty
+    /// target set) does not abort the rest of the batch.
+    ///
+    /// Staging (predicate resolution, clock ticks, store inserts) runs
+    /// item by item exactly as [`Database::execute`] would, so the
+    /// resulting store and snapshot bytes are identical to a serial
+    /// replay. Maintenance then runs once over the whole batch, grouped
+    /// by `(table, row)`: one summary-object unshare per touched
+    /// `(row, instance)` pair and one tuple-context rendering per row,
+    /// instead of one of each per annotation. Within a batch, `WHERE`
+    /// predicates over summary components observe the summary state as
+    /// of batch start (maintenance is deferred to the end).
+    pub fn annotate_batch(&mut self, stmts: Vec<Statement>) -> Vec<Result<ExecOutcome>> {
+        let mut results: Vec<Option<Result<ExecOutcome>>> = Vec::new();
+        results.resize_with(stmts.len(), || None);
+        let mut staged: Vec<(usize, AnnotationId, usize)> = Vec::new();
+        for (i, stmt) in stmts.into_iter().enumerate() {
+            match stmt {
+                Statement::AddAnnotation {
+                    text,
+                    document,
+                    author,
+                    table,
+                    columns,
+                    where_clause,
+                } => match self.stage_annotation(
+                    text,
+                    document,
+                    author,
+                    &table,
+                    &columns,
+                    where_clause,
+                ) {
+                    Ok((id, targets)) => staged.push((i, id, targets)),
+                    Err(e) => results[i] = Some(Err(e)),
+                },
+                _ => {
+                    results[i] = Some(Err(Error::Execution(
+                        "annotation batches accept only ADD ANNOTATION statements".into(),
+                    )))
+                }
+            }
+        }
+        let ids: Vec<AnnotationId> = staged.iter().map(|&(_, id, _)| id).collect();
+        match self.batch_refresh(&ids) {
+            Ok(mut per_ann) => {
+                for (i, id, targets) in staged {
+                    results[i] = Some(Ok(ExecOutcome::Annotated {
+                        annotation: id,
+                        targets,
+                        maintenance: per_ann.remove(&id).unwrap_or_default(),
+                    }));
+                }
+            }
+            Err(e) => {
+                let msg = format!("batch maintenance failed: {e}");
+                for (i, _, _) in staged {
+                    results[i] = Some(Err(Error::Summary(msg.clone())));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch item resolved"))
+            .collect()
+    }
+
+    /// Typed batch ingestion: the [`Database::annotate_rows`] equivalent
+    /// of [`Database::annotate_batch`]. Items are staged in order (same
+    /// clock ticks and annotation ids as one-by-one calls), then
+    /// summaries refresh in one amortized pass.
+    pub fn annotate_rows_batch(&mut self, items: Vec<RowAnnotation>) -> Vec<Result<AnnotationId>> {
+        let mut results: Vec<Option<Result<AnnotationId>>> = Vec::new();
+        results.resize_with(items.len(), || None);
+        let mut staged: Vec<(usize, AnnotationId)> = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            match self.stage_row_annotation(item) {
+                Ok(id) => staged.push((i, id)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        let ids: Vec<AnnotationId> = staged.iter().map(|&(_, id)| id).collect();
+        match self.batch_refresh(&ids) {
+            Ok(_) => {
+                for (i, id) in staged {
+                    results[i] = Some(Ok(id));
+                }
+            }
+            Err(e) => {
+                let msg = format!("batch maintenance failed: {e}");
+                for (i, _) in staged {
+                    results[i] = Some(Err(Error::Summary(msg.clone())));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch item resolved"))
+            .collect()
+    }
+
+    fn stage_row_annotation(&mut self, item: RowAnnotation) -> Result<AnnotationId> {
+        let tid = self.catalog.table_id(&item.table)?;
+        let mut body = item.body;
+        body.created = self.clock.tick();
+        let targets: Vec<Target> = item
+            .rows
+            .iter()
+            .map(|&r| Target::new(tid, r, item.cols))
+            .collect();
+        self.store.add(body, targets)
+    }
+
+    /// One maintenance pass over a batch of freshly stored annotations,
+    /// grouped by `(table, row)`. Returns per-annotation maintenance
+    /// counters. Under [`MaintenanceMode::Rebuild`] each touched row is
+    /// re-summarized exactly once (after the whole batch, which matches
+    /// the serial end state); its stats are attributed to the last
+    /// annotation of the batch targeting that row.
+    fn batch_refresh(
+        &mut self,
+        ids: &[AnnotationId],
+    ) -> Result<HashMap<AnnotationId, MaintenanceStats>> {
+        let mut per_ann: HashMap<AnnotationId, MaintenanceStats> = ids
+            .iter()
+            .map(|&id| (id, MaintenanceStats::default()))
+            .collect();
+        if ids.is_empty() {
+            return Ok(per_ann);
+        }
+        let mut by_row: BTreeMap<(TableId, RowId), Vec<(AnnotationId, ColSig)>> = BTreeMap::new();
+        let mut bodies: HashMap<AnnotationId, &AnnotationBody> = HashMap::new();
+        let mut in_order: Vec<(AnnotationId, &AnnotationBody, &[Target])> =
+            Vec::with_capacity(ids.len());
+        for &id in ids {
+            let ann = self.store.get(id)?;
+            bodies.insert(id, &ann.body);
+            in_order.push((id, &ann.body, ann.targets.as_slice()));
+            for t in &ann.targets {
+                by_row
+                    .entry((t.table, t.row))
+                    .or_default()
+                    .push((id, t.cols));
+            }
+        }
         let catalog = &self.catalog;
         let store = &self.store;
         let registry = &mut self.registry;
-        let maintenance = refresh_after_add(
-            registry,
-            store,
-            id,
+        // Digest in arrival order before any row-grouped work: digesting
+        // interns cluster-vocabulary terms, whose ids must be assigned in
+        // the order a serial replay would assign them for the batch to
+        // stay byte-identical to one-by-one ingest.
+        registry.warm_digests(
+            &in_order,
             &|t, r| tuple_context(catalog, t, r),
-            self.config.maintenance,
+            &mut per_ann,
         )?;
-        Ok(ExecOutcome::Annotated {
-            annotation: id,
-            targets: n,
-            maintenance,
-        })
+        match self.config.maintenance {
+            MaintenanceMode::Incremental => {
+                registry.apply_annotations_batch(
+                    &by_row,
+                    &bodies,
+                    &|t, r| tuple_context(catalog, t, r),
+                    &mut per_ann,
+                )?;
+            }
+            MaintenanceMode::Rebuild => {
+                for (&(table, row), anns) in &by_row {
+                    let stats = rebuild_row_from_store(registry, store, table, row, &|t, r| {
+                        tuple_context(catalog, t, r)
+                    })?;
+                    let &(last, _) = anns.last().expect("row groups are non-empty");
+                    per_ann.entry(last).or_default().absorb(stats);
+                }
+            }
+        }
+        Ok(per_ann)
     }
 
     /// Row ids of `table` satisfying `predicate` (`None` = all rows).

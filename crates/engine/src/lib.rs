@@ -36,7 +36,9 @@ pub mod raw;
 pub mod zoomin;
 
 pub use annotated::AnnotatedRow;
-pub use db::{Database, DbConfig, ExecOutcome, PolicyKind, QueryResult, ZoomInResult};
+pub use db::{
+    Database, DbConfig, ExecOutcome, PolicyKind, QueryResult, RowAnnotation, ZoomInResult,
+};
 pub use exec::TraceLog;
 pub use expr::SExpr;
 pub use plan::LogicalPlan;

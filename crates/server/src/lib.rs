@@ -13,9 +13,22 @@
 //! the **shared** lock for Read-class work (SELECT, ZOOMIN, EXPLAIN —
 //! which the engine exposes from `&self` since the QID/zoom-cache state
 //! moved behind its interior lock) or the **exclusive** lock for
-//! Write-class work (DDL, INSERT, ADD ANNOTATION, registry changes).
-//! Queries from N sessions therefore execute concurrently; writers
-//! serialize.
+//! Write-class work (DDL, INSERT, registry changes). Queries from N
+//! sessions therefore execute concurrently; writers serialize.
+//!
+//! ## Group commit
+//!
+//! `Annotate` and `AnnotateBatch` frames do **not** take the exclusive
+//! lock from their session thread. Sessions enqueue their statements
+//! into a bounded commit queue ([`ServerConfig::commit_queue_depth`])
+//! and block for the reply; a dedicated committer thread drains whatever
+//! has accumulated and ingests it through one
+//! [`Database::annotate_batch`] call — one exclusive-lock acquisition
+//! per *group* of concurrent writers instead of one per annotation, so
+//! writers stop convoying behind readers one at a time. Per-statement
+//! results fan back out to the waiting sessions (partial failure allowed
+//! within a batch). The queue drains fully on graceful shutdown: every
+//! enqueued writer still receives its reply.
 //!
 //! ## Robustness
 //!
@@ -34,7 +47,7 @@
 //!   path is configured.
 
 use insightnotes_common::wire::{
-    self, Request, Response, RowsPayload, WireAnnotation, WireError, WireRow, WireValue,
+    self, BatchItem, Request, Response, RowsPayload, WireAnnotation, WireError, WireRow, WireValue,
     ZoomPayload,
 };
 use insightnotes_common::{Error, Result};
@@ -48,7 +61,7 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -65,6 +78,10 @@ pub struct ServerConfig {
     /// When set, a final durable snapshot is written here during
     /// graceful shutdown.
     pub snapshot_path: Option<PathBuf>,
+    /// Capacity of the group-commit queue (in enqueued frames). Sessions
+    /// whose `Annotate`/`AnnotateBatch` lands on a full queue block until
+    /// the committer drains — natural backpressure on ingest bursts.
+    pub commit_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +91,7 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(50),
             snapshot_path: None,
+            commit_queue_depth: 256,
         }
     }
 }
@@ -99,7 +117,10 @@ impl ServerState {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         for (_, stream) in self.sessions.lock().drain() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+            // Read side only: blocked reads unblock immediately, while a
+            // session still waiting on the commit queue can flush its
+            // reply before exiting (no lost acks mid-queue).
+            let _ = stream.shutdown(std::net::Shutdown::Read);
         }
     }
 }
@@ -179,9 +200,15 @@ impl Server {
     }
 
     /// Serves connections until shutdown is requested, then drains
-    /// sessions and writes the final snapshot (when configured).
-    /// Returns the total number of requests served.
+    /// sessions and the commit queue and writes the final snapshot (when
+    /// configured). Returns the total number of requests served.
     pub fn run(self) -> Result<u64> {
+        let (commit_tx, commit_rx) =
+            mpsc::sync_channel::<CommitJob>(self.state.config.commit_queue_depth.max(1));
+        let committer = {
+            let db = Arc::clone(&self.db);
+            std::thread::spawn(move || run_committer(commit_rx, &db))
+        };
         let mut workers = Vec::new();
         loop {
             if self.state.shutting_down() {
@@ -199,9 +226,12 @@ impl Server {
                     let id = self.state.next_session.fetch_add(1, Ordering::Relaxed);
                     let db = Arc::clone(&self.db);
                     let state = Arc::clone(&self.state);
+                    let committer = Committer {
+                        tx: commit_tx.clone(),
+                    };
                     self.state.active.fetch_add(1, Ordering::Relaxed);
                     workers.push(std::thread::spawn(move || {
-                        run_session(stream, id, &db, &state);
+                        run_session(stream, id, &db, &state, &committer);
                         state.active.fetch_sub(1, Ordering::Relaxed);
                         state.sessions.lock().remove(&id);
                     }));
@@ -213,15 +243,98 @@ impl Server {
                 Err(e) => return Err(e.into()),
             }
         }
-        // Drain: unblock session sockets, then join the threads.
+        // Drain: unblock session sockets, then join the threads. Each
+        // session blocked on a commit reply stays up until the committer
+        // serves it, so no enqueued writer loses its ack.
         self.state.begin_shutdown();
         for h in workers {
             let _ = h.join();
         }
+        // All session-held senders are gone; dropping ours disconnects
+        // the channel. The committer finishes whatever is still buffered
+        // (mpsc delivers queued messages after disconnect) and exits.
+        drop(commit_tx);
+        let _ = committer.join();
         if let Some(path) = &self.state.config.snapshot_path {
             self.db.read().save(path)?;
         }
         Ok(self.state.served.load(Ordering::Relaxed))
+    }
+}
+
+// -- group commit ---------------------------------------------------------
+
+/// One enqueued ingest frame: its `ADD ANNOTATION` statements plus the
+/// channel the session blocks on. The committer answers with one
+/// [`BatchItem`] per statement, in order.
+struct CommitJob {
+    stmts: Vec<Statement>,
+    reply: mpsc::Sender<Vec<BatchItem>>,
+}
+
+/// A session's handle into the commit queue.
+struct Committer {
+    tx: mpsc::SyncSender<CommitJob>,
+}
+
+impl Committer {
+    /// Enqueues one frame's statements and blocks until the committer
+    /// has ingested them, returning one result per statement.
+    fn submit(&self, stmts: Vec<Statement>) -> Result<Vec<BatchItem>> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(CommitJob {
+                stmts,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Execution("commit queue closed (server shutting down)".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))
+    }
+}
+
+/// The dedicated committer thread: each wake-up drains every job that
+/// has accumulated in the queue (capped at [`wire::MAX_BATCH_ITEMS`]
+/// statements per group) and ingests the combined statement list through
+/// **one** [`Database::annotate_batch`] call — a single exclusive-lock
+/// acquisition per group — then fans the per-statement results back to
+/// the waiting sessions. Exits when every sender is gone and the queue
+/// is empty, which is what makes shutdown lossless.
+fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        let mut queued = jobs[0].stmts.len();
+        while queued < wire::MAX_BATCH_ITEMS {
+            match rx.try_recv() {
+                Ok(job) => {
+                    queued += job.stmts.len();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        let mut all = Vec::with_capacity(queued);
+        let mut spans = Vec::with_capacity(jobs.len());
+        for job in &mut jobs {
+            spans.push(job.stmts.len());
+            all.append(&mut job.stmts);
+        }
+        let results = db.write().annotate_batch(all);
+        let mut results = results.into_iter();
+        for (job, n) in jobs.into_iter().zip(spans) {
+            let items: Vec<BatchItem> = results
+                .by_ref()
+                .take(n)
+                .map(|r| match r {
+                    Ok(outcome) => BatchItem::Ok(outcome.to_string()),
+                    Err(e) => BatchItem::Err(WireError::from(&e)),
+                })
+                .collect();
+            // A send error means the session died mid-wait; its reply is
+            // dropped, everyone else's still goes out.
+            let _ = job.reply.send(items);
+        }
     }
 }
 
@@ -272,10 +385,14 @@ fn read_session_frame(stream: &mut TcpStream, state: &ServerState) -> Result<Fra
     fill(stream, &mut len_buf, &mut filled, deadline, state)?;
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > wire::MAX_FRAME_BYTES {
-        return Err(Error::Codec(format!(
+        // Swallow the oversized payload (bounded by the request deadline)
+        // so the stream stays in sync, then answer with a structured
+        // error instead of dropping the connection.
+        drain(stream, len, deadline, state)?;
+        return Ok(FrameRead::Bad(WireError::from(&Error::Codec(format!(
             "frame of {len} bytes exceeds the {}-byte limit",
             wire::MAX_FRAME_BYTES
-        )));
+        )))));
     }
     let mut payload = vec![0u8; len];
     let mut got = 0usize;
@@ -319,6 +436,38 @@ fn fill(
     Ok(())
 }
 
+/// Reads and discards `remaining` payload bytes under `deadline` — the
+/// recovery path for frames whose declared length exceeds the cap.
+fn drain(
+    stream: &mut TcpStream,
+    mut remaining: usize,
+    deadline: Instant,
+    state: &ServerState,
+) -> Result<()> {
+    let mut scratch = [0u8; 8192];
+    while remaining > 0 {
+        if Instant::now() >= deadline {
+            return Err(Error::Execution(format!(
+                "request timed out after {:?} mid-frame",
+                state.config.request_timeout
+            )));
+        }
+        let want = remaining.min(scratch.len());
+        match stream.read(&mut scratch[..want]) {
+            Ok(0) => {
+                return Err(Error::Codec(format!(
+                    "connection closed mid-frame ({remaining} bytes left to drain)"
+                )))
+            }
+            Ok(n) => remaining -= n,
+            Err(e) if blocked(&e) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
 fn blocked(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -327,7 +476,13 @@ fn blocked(e: &std::io::Error) -> bool {
 }
 
 /// One connection's request/response loop.
-fn run_session(mut stream: TcpStream, id: u64, db: &RwLock<Database>, state: &ServerState) {
+fn run_session(
+    mut stream: TcpStream,
+    id: u64,
+    db: &RwLock<Database>,
+    state: &ServerState,
+    committer: &Committer,
+) {
     if configure_session_socket(&stream, state).is_err() {
         return;
     }
@@ -350,7 +505,7 @@ fn run_session(mut stream: TcpStream, id: u64, db: &RwLock<Database>, state: &Se
             Ok(FrameRead::Frame(req)) => {
                 state.served.fetch_add(1, Ordering::Relaxed);
                 let shutdown_requested = matches!(req, Request::Shutdown);
-                let response = handle_request(db, state, req);
+                let response = handle_request(db, state, committer, req);
                 let write_ok = wire::write_frame(&mut stream, &response).is_ok();
                 if shutdown_requested {
                     state.begin_shutdown();
@@ -375,9 +530,15 @@ fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io:
 }
 
 /// Executes one request against the shared database, picking the lock
-/// side by statement classification.
-fn handle_request(db: &RwLock<Database>, state: &ServerState, req: Request) -> Response {
-    match try_handle_request(db, state, req) {
+/// side by statement classification. Annotation ingest routes through
+/// the group-commit queue instead of locking from the session thread.
+fn handle_request(
+    db: &RwLock<Database>,
+    state: &ServerState,
+    committer: &Committer,
+    req: Request,
+) -> Response {
+    match try_handle_request(db, state, committer, req) {
         Ok(resp) => resp,
         Err(e) => Response::Error(WireError::from(&e)),
     }
@@ -386,6 +547,7 @@ fn handle_request(db: &RwLock<Database>, state: &ServerState, req: Request) -> R
 fn try_handle_request(
     db: &RwLock<Database>,
     state: &ServerState,
+    committer: &Committer,
     req: Request,
 ) -> Result<Response> {
     match req {
@@ -422,16 +584,45 @@ fn try_handle_request(
             }
         }
         Request::Annotate { sql } => {
-            let stmt = expect_single(&sql, "Annotate")?;
-            if !matches!(stmt, Statement::AddAnnotation { .. }) {
-                return Err(Error::Execution(
-                    "Annotate frames carry exactly one ADD ANNOTATION statement".into(),
-                ));
+            let stmt = annotate_statement(&sql, "Annotate")?;
+            let mut items = committer.submit(vec![stmt])?;
+            match items.pop() {
+                Some(BatchItem::Ok(message)) => Ok(Response::Ack {
+                    messages: vec![message],
+                }),
+                Some(BatchItem::Err(e)) => Ok(Response::Error(e)),
+                None => Err(Error::Execution("committer returned no result".into())),
             }
-            let mut db = db.write();
-            let outcome = db.execute(stmt)?;
-            Ok(Response::Ack {
-                messages: vec![outcome.to_string()],
+        }
+        Request::AnnotateBatch { statements } => {
+            // Each item parses independently; the ones that don't become
+            // per-item errors while the rest still group-commit.
+            let mut slots: Vec<Option<BatchItem>> = Vec::new();
+            slots.resize_with(statements.len(), || None);
+            let mut stmts = Vec::new();
+            let mut indices = Vec::new();
+            for (i, sql) in statements.iter().enumerate() {
+                match annotate_statement(sql, "AnnotateBatch") {
+                    Ok(stmt) => {
+                        indices.push(i);
+                        stmts.push(stmt);
+                    }
+                    Err(e) => slots[i] = Some(BatchItem::Err(WireError::from(&e))),
+                }
+            }
+            let committed = if stmts.is_empty() {
+                Vec::new()
+            } else {
+                committer.submit(stmts)?
+            };
+            for (i, item) in indices.into_iter().zip(committed) {
+                slots[i] = Some(item);
+            }
+            Ok(Response::BatchAck {
+                results: slots
+                    .into_iter()
+                    .map(|s| s.expect("every batch slot resolved"))
+                    .collect(),
             })
         }
         Request::Execute { sql } => {
@@ -466,6 +657,17 @@ fn expect_single(sql: &str, kind: &str) -> Result<Statement> {
         )));
     }
     Ok(stmts.remove(0))
+}
+
+/// Parses one ingest item: exactly one `ADD ANNOTATION` statement.
+fn annotate_statement(sql: &str, kind: &str) -> Result<Statement> {
+    let stmt = expect_single(sql, kind)?;
+    if !matches!(stmt, Statement::AddAnnotation { .. }) {
+        return Err(Error::Execution(format!(
+            "{kind} items carry exactly one ADD ANNOTATION statement"
+        )));
+    }
+    Ok(stmt)
 }
 
 fn wire_value(v: &Value) -> WireValue {

@@ -299,6 +299,152 @@ impl SummaryRegistry {
         Ok(stats)
     }
 
+    /// Digests a batch of newly stored annotations in arrival order —
+    /// annotation-major, targets in attachment order — before any
+    /// row-grouped application. For summarize-once instances the
+    /// contribution lands in the digest cache, so the later apply pass
+    /// recomputes nothing. The pass exists because digesting also
+    /// interns new cluster-vocabulary terms, and term ids must be
+    /// assigned in the order a one-by-one replay would assign them for
+    /// batch ingest to stay byte-identical to serial ingest; a
+    /// row-grouped first touch would permute them.
+    ///
+    /// Digest counters are attributed to `per_annotation` only for
+    /// cache-served instances (the apply pass then records hits); work
+    /// the cache cannot keep is recomputed and counted at application
+    /// time instead, exactly as a serial replay counts it.
+    pub fn warm_digests(
+        &mut self,
+        anns: &[(AnnotationId, &AnnotationBody, &[Target])],
+        tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+        per_annotation: &mut HashMap<AnnotationId, MaintenanceStats>,
+    ) -> Result<()> {
+        // One context rendering per row across the whole warm-up.
+        let mut contexts: HashMap<(TableId, RowId), Option<String>> = HashMap::new();
+        for &(aid, body, targets) in anns {
+            for t in targets {
+                let linked = self.links.get(&t.table).cloned().unwrap_or_default();
+                for inst_id in linked {
+                    let cacheable = self.use_digest_cache
+                        && self
+                            .instances
+                            .get(&inst_id)
+                            .ok_or_else(|| {
+                                Error::Summary(format!("unknown summary instance {inst_id}"))
+                            })?
+                            .properties()
+                            .summarize_once();
+                    let (table, row) = (t.table, t.row);
+                    let mut stats = MaintenanceStats::default();
+                    self.digest_cached(
+                        inst_id,
+                        aid,
+                        body,
+                        &mut || {
+                            contexts
+                                .entry((table, row))
+                                .or_insert_with(|| tuple_context(table, row))
+                                .clone()
+                        },
+                        &mut stats,
+                    )?;
+                    if cacheable {
+                        per_annotation.entry(aid).or_default().absorb(stats);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Batch form of [`SummaryRegistry::apply_annotation`]: absorbs
+    /// several newly stored annotations with maintenance amortized per
+    /// touched row. `rows` maps each `(table, row)` to the annotations
+    /// targeting it in ascending annotation-id order (= arrival order);
+    /// `bodies` resolves an id to its body. Callers run
+    /// [`SummaryRegistry::warm_digests`] first so that vocabulary
+    /// interning happens in arrival order, not row order.
+    ///
+    /// Per `(row, instance)` pair the contributions are digested first
+    /// (through the summarize-once cache), then the row's object is
+    /// looked up and unshared (`Arc::make_mut`) **once** and every
+    /// contribution applied in id order — exactly the per-object update
+    /// sequence a one-by-one replay produces, which is what makes the
+    /// batch path byte-identical to serial ingest. The host tuple's
+    /// context is rendered at most once per row and shared by every
+    /// data-variant digest in the batch.
+    ///
+    /// Per-annotation counters are accumulated into `per_annotation`;
+    /// the returned stats are the batch total.
+    pub fn apply_annotations_batch(
+        &mut self,
+        rows: &BTreeMap<(TableId, RowId), Vec<(AnnotationId, ColSig)>>,
+        bodies: &HashMap<AnnotationId, &AnnotationBody>,
+        tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
+        per_annotation: &mut HashMap<AnnotationId, MaintenanceStats>,
+    ) -> Result<MaintenanceStats> {
+        let mut total = MaintenanceStats::default();
+        for (&(table, row), anns) in rows {
+            let linked = self.links.get(&table).cloned().unwrap_or_default();
+            if linked.is_empty() {
+                continue;
+            }
+            // Rendered lazily on the first data-variant digest, then
+            // reused for every instance and annotation on this row.
+            let mut row_ctx: Option<Option<String>> = None;
+            let mut ctx =
+                |t: TableId, r: RowId| row_ctx.get_or_insert_with(|| tuple_context(t, r)).clone();
+            for inst_id in linked {
+                // Contributions first (digesting borrows the cache
+                // mutably), then one unshare-and-apply pass.
+                let mut contribs: Vec<(AnnotationId, ColSig, Contribution)> =
+                    Vec::with_capacity(anns.len());
+                for &(aid, cols) in anns {
+                    let body = bodies.get(&aid).ok_or_else(|| {
+                        Error::Summary(format!("batch apply is missing the body of {aid}"))
+                    })?;
+                    let mut stats = MaintenanceStats::default();
+                    let contribution = self.digest_cached(
+                        inst_id,
+                        aid,
+                        body,
+                        &mut || ctx(table, row),
+                        &mut stats,
+                    )?;
+                    if let Some(c) = contribution {
+                        contribs.push((aid, cols, c));
+                    }
+                    total.absorb(stats);
+                    per_annotation.entry(aid).or_default().absorb(stats);
+                }
+                if contribs.is_empty() {
+                    continue;
+                }
+                let fresh = self
+                    .instances
+                    .get(&inst_id)
+                    .ok_or_else(|| Error::Summary(format!("unknown summary instance {inst_id}")))?
+                    .new_object();
+                let objs = self.objects.entry((table, row)).or_default();
+                let handle = match objs.iter_mut().position(|(i, _)| *i == inst_id) {
+                    Some(pos) => &mut objs[pos].1,
+                    None => {
+                        let pos = objs.partition_point(|(i, _)| *i < inst_id);
+                        objs.insert(pos, (inst_id, Arc::new(fresh)));
+                        &mut objs[pos].1
+                    }
+                };
+                let obj = Arc::make_mut(handle);
+                for (aid, cols, c) in &contribs {
+                    obj.apply(aid.raw(), *cols, c)?;
+                    total.objects_updated += 1;
+                    per_annotation.entry(*aid).or_default().objects_updated += 1;
+                }
+            }
+        }
+        Ok(total)
+    }
+
     /// Rebuilds one row's objects from scratch from its full annotation
     /// list — the non-incremental baseline (experiment E1) and the
     /// catch-up path after `LINK`.
@@ -337,6 +483,27 @@ impl SummaryRegistry {
         tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
         stats: &mut MaintenanceStats,
     ) -> Result<Option<Contribution>> {
+        self.digest_cached(
+            inst_id,
+            ann_id,
+            body,
+            &mut || tuple_context(table, row),
+            stats,
+        )
+    }
+
+    /// Digests one annotation for one instance, through the
+    /// summarize-once cache when the instance allows. `ctx` supplies the
+    /// host tuple's rendered content for data-variant instances; it is a
+    /// `FnMut` so the batch path can memoize one rendering per row.
+    fn digest_cached(
+        &mut self,
+        inst_id: InstanceId,
+        ann_id: AnnotationId,
+        body: &AnnotationBody,
+        ctx: &mut dyn FnMut() -> Option<String>,
+        stats: &mut MaintenanceStats,
+    ) -> Result<Option<Contribution>> {
         let inst = self
             .instances
             .get(&inst_id)
@@ -351,7 +518,7 @@ impl SummaryRegistry {
         let ctx = if inst.properties().data_invariant {
             None
         } else {
-            tuple_context(table, row)
+            ctx()
         };
         let contribution = inst.digest(&body.text, body.document.as_deref(), ctx.as_deref())?;
         stats.digests_computed += 1;
@@ -663,6 +830,60 @@ mod tests {
         assert!(reg.object(T, RowId(1), class_id).is_some());
         assert!(reg.object(T, RowId(1), clus_id).is_some());
         assert_eq!(reg.linked_instances(T), &[class_id, clus_id]);
+    }
+
+    #[test]
+    fn batch_apply_matches_serial_apply() {
+        let (mut serial, inst) = registry_with_classifier();
+        let (mut batched, _) = registry_with_classifier();
+        let bodies = [
+            AnnotationBody::text("eating stonewort", "a"),
+            AnnotationBody::text("lesions and parasites", "b"),
+            AnnotationBody::text("diving for fish", "c"),
+        ];
+        // Annotation 1 → rows 1,2; 2 → row 1; 3 → rows 2,3.
+        let targets: [&[u64]; 3] = [&[1, 2], &[1], &[2, 3]];
+        for (i, (body, rows)) in bodies.iter().zip(targets).enumerate() {
+            let ts: Vec<Target> = rows.iter().map(|&r| target(r)).collect();
+            serial
+                .apply_annotation(AnnotationId(i as u64 + 1), body, &ts, &no_ctx)
+                .unwrap();
+        }
+
+        let mut rows: BTreeMap<(TableId, RowId), Vec<(AnnotationId, ColSig)>> = BTreeMap::new();
+        let mut by_id: HashMap<AnnotationId, &AnnotationBody> = HashMap::new();
+        for (i, (body, anns)) in bodies.iter().zip(targets).enumerate() {
+            let aid = AnnotationId(i as u64 + 1);
+            by_id.insert(aid, body);
+            for &r in anns {
+                rows.entry((T, RowId(r)))
+                    .or_default()
+                    .push((aid, ColSig::whole_row(3)));
+            }
+        }
+        let mut per_ann = HashMap::new();
+        let total = batched
+            .apply_annotations_batch(&rows, &by_id, &no_ctx, &mut per_ann)
+            .unwrap();
+
+        for r in [1u64, 2, 3] {
+            assert_eq!(
+                serial.object(T, RowId(r), inst),
+                batched.object(T, RowId(r), inst),
+                "row {r} object diverged"
+            );
+        }
+        // Summarize-once still holds across the batch: one digest per
+        // annotation, cache hits for its further target rows.
+        assert_eq!(total.digests_computed, 3);
+        assert_eq!(total.cache_hits, 2);
+        assert_eq!(total.objects_updated, 5);
+        assert_eq!(per_ann[&AnnotationId(2)].digests_computed, 1);
+        assert_eq!(per_ann[&AnnotationId(2)].objects_updated, 1);
+        assert_eq!(
+            per_ann[&AnnotationId(1)].cache_hits + per_ann[&AnnotationId(3)].cache_hits,
+            2
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! - [`loader`] — one-call database seeding: tables, summary instances,
 //!   links, rows, annotation stream;
 //! - [`session`] — seed-deterministic SQL statement streams (setup plus
-//!   N mixed read/write client scripts) for driving `insightd` over the
-//!   wire and for serial-replay equivalence checks.
+//!   N mixed read/write client scripts, or pure `ADD ANNOTATION` ingest
+//!   streams) for driving `insightd` over the wire and for serial-replay
+//!   equivalence checks.
 //!
 //! Everything is driven by a single seed: identical configs produce
 //! identical databases, which keeps experiment tables reproducible.
@@ -33,4 +34,4 @@ pub use birds::{BirdGen, BirdRecord, GeneratedAnnotation, ANNOTATION_CLASSES};
 pub use genes::GeneGen;
 pub use loader::{seed_birds_database, LoadStats, WorkloadConfig};
 pub use queries::{zoomin_reference_stream, QueryGen};
-pub use session::{session_script, SessionConfig, SessionScript};
+pub use session::{ingest_script, session_script, IngestConfig, SessionConfig, SessionScript};

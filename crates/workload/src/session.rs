@@ -83,9 +83,10 @@ fn sql_quote(s: &str) -> String {
     s.replace('\'', "''")
 }
 
-/// Generates a deterministic mixed-session workload.
-pub fn session_script(cfg: &SessionConfig) -> SessionScript {
-    let mut gen = BirdGen::new(cfg.seed);
+/// The shared serial setup phase: bird DDL + index, classifier and
+/// clusterer instances, links, and batched row inserts.
+fn setup_statements(seed: u64, num_birds: usize) -> Vec<String> {
+    let mut gen = BirdGen::new(seed);
     let mut setup = vec![
         BIRDS_DDL.to_string(),
         "CREATE INDEX ON birds (id)".to_string(),
@@ -112,7 +113,7 @@ pub fn session_script(cfg: &SessionConfig) -> SessionScript {
     setup.push("LINK SUMMARY DupBird1 TO birds".to_string());
 
     // Batched inserts (64 rows per statement).
-    for chunk in gen.records(cfg.num_birds).chunks(64) {
+    for chunk in gen.records(num_birds).chunks(64) {
         let rows: Vec<String> = chunk
             .iter()
             .map(|r| {
@@ -129,7 +130,12 @@ pub fn session_script(cfg: &SessionConfig) -> SessionScript {
             .collect();
         setup.push(format!("INSERT INTO birds VALUES {}", rows.join(", ")));
     }
+    setup
+}
 
+/// Generates a deterministic mixed-session workload.
+pub fn session_script(cfg: &SessionConfig) -> SessionScript {
+    let setup = setup_statements(cfg.seed, cfg.num_birds);
     let clients = (0..cfg.clients)
         .map(|c| {
             let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0x9E37 + c as u64));
@@ -148,6 +154,59 @@ pub fn session_script(cfg: &SessionConfig) -> SessionScript {
                     } else {
                         queries.next_query()
                     }
+                })
+                .collect()
+        })
+        .collect();
+
+    SessionScript { setup, clients }
+}
+
+/// Configuration for [`ingest_script`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of concurrent writer streams.
+    pub writers: usize,
+    /// `ADD ANNOTATION` statements per writer stream.
+    pub annotations_per_writer: usize,
+    /// Rows in the bird table.
+    pub num_birds: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x16E5_7B17,
+            writers: 8,
+            annotations_per_writer: 64,
+            num_birds: 200,
+        }
+    }
+}
+
+/// Generates an ingest-heavy workload: the same seeded setup phase as
+/// [`session_script`], but every client statement is an
+/// `ADD ANNOTATION` targeting one indexed row. This is the pure write
+/// path — the shape of load the server's group-commit queue absorbs —
+/// and what `benches/ingest_throughput.rs` replays at varying batch
+/// sizes.
+pub fn ingest_script(cfg: &IngestConfig) -> SessionScript {
+    let setup = setup_statements(cfg.seed, cfg.num_birds);
+    let clients = (0..cfg.writers)
+        .map(|c| {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0x51B5 + c as u64));
+            let mut anns = BirdGen::new(cfg.seed.wrapping_mul(37).wrapping_add(c as u64));
+            (0..cfg.annotations_per_writer)
+                .map(|_| {
+                    let a = anns.annotation(0.25, 0.0);
+                    let id = rng.gen_range(1..=cfg.num_birds.max(1));
+                    format!(
+                        "ADD ANNOTATION '{}' AUTHOR '{}' ON birds WHERE id = {id}",
+                        sql_quote(&a.text),
+                        sql_quote(&a.author)
+                    )
                 })
                 .collect()
         })
@@ -197,6 +256,37 @@ mod tests {
         assert!(writes > 0 && reads > 0);
         let ratio = writes as f64 / all.len() as f64;
         assert!((0.15..=0.45).contains(&ratio), "write ratio {ratio}");
+    }
+
+    #[test]
+    fn ingest_script_is_deterministic_and_write_only() {
+        let cfg = IngestConfig {
+            writers: 3,
+            annotations_per_writer: 10,
+            num_birds: 50,
+            ..IngestConfig::default()
+        };
+        let a = ingest_script(&cfg);
+        let b = ingest_script(&cfg);
+        assert_eq!(a.setup, b.setup);
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.clients.len(), 3);
+        for stream in &a.clients {
+            assert_eq!(stream.len(), 10);
+            for stmt in stream {
+                assert!(stmt.starts_with("ADD ANNOTATION"), "not a write: {stmt}");
+                insightnotes_sql::parse(stmt)
+                    .unwrap_or_else(|e| panic!("statement failed to parse: {e}\n{stmt}"));
+            }
+        }
+        // Setup phase matches the mixed-session script's for the same
+        // seed and table size — only the client streams differ.
+        let mixed = session_script(&SessionConfig {
+            seed: cfg.seed,
+            num_birds: cfg.num_birds,
+            ..SessionConfig::default()
+        });
+        assert_eq!(a.setup, mixed.setup);
     }
 
     #[test]

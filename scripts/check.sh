@@ -20,8 +20,8 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 echo "==> insightd smoke test"
 # Spawn the daemon on an ephemeral port, drive one query and one
@@ -51,10 +51,21 @@ done
 
 ./target/release/insight-cli --addr "$ADDR" \
   "CREATE TABLE birds (id INT, name TEXT)" \
-  "INSERT INTO birds VALUES (1, 'Swan Goose')" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose'), (2, 'Whooper Swan')" \
   "ADD ANNOTATION 'smoke test observation' AUTHOR 'check' ON birds WHERE id = 1" \
-  "SELECT id, name FROM birds" \
-  ".shutdown"
+  "SELECT id, name FROM birds"
+
+# Batched ingest round-trip: two statements in one AnnotateBatch frame,
+# committed as one group; both must come back acknowledged.
+BATCH_OUT="$(./target/release/insight-cli --addr "$ADDR" --batch \
+  "ADD ANNOTATION 'batched note one' AUTHOR 'check' ON birds WHERE id = 1" \
+  "ADD ANNOTATION 'batched note two' AUTHOR 'check' ON birds WHERE id = 2")"
+echo "$BATCH_OUT"
+[[ "$(grep -c 'attached to 1 row' <<<"$BATCH_OUT")" -eq 2 ]] || {
+  echo "batched ingest did not acknowledge both annotations"; exit 1;
+}
+
+./target/release/insight-cli --addr "$ADDR" ".shutdown"
 
 wait "$SERVER_PID"
 SERVER_PID=""

@@ -1,0 +1,339 @@
+//! Property tests for batched annotation ingestion: `annotate_batch`
+//! (SQL path) and `annotate_rows_batch` (typed path) must be observably
+//! identical to replaying the same annotations one at a time — the same
+//! per-item success/failure pattern, the same summary objects, and
+//! byte-identical snapshots. Snapshot bytes pin annotation ids and the
+//! `created` clock ticks stamped into each body, not just aggregate
+//! state, so an id or tick skew introduced by batching shows up even
+//! when the summaries happen to agree.
+//!
+//! Batches deliberately mix in failing items — empty target sets,
+//! unknown tables, non-annotation statements — to check that a failure
+//! neither aborts the rest of the group nor perturbs the ids and ticks
+//! of its neighbors (failed items must consume neither in either path).
+
+use insightnotes::annotations::{AnnotationBody, ColSig};
+use insightnotes::common::{ColumnId, RowId};
+use insightnotes::engine::persist::snapshot;
+use insightnotes::engine::{Database, DbConfig, RowAnnotation};
+use insightnotes::sql::parse_one;
+use insightnotes::summaries::MaintenanceMode;
+use proptest::prelude::*;
+
+const TEXT_POOL: &[&str] = &[
+    "eating stonewort near shore",
+    "eating stonewort near lake today",
+    "lesions parasites infection",
+    "wingspan plumage measured",
+    "reference photo attached survey",
+    "diving foraging flocking",
+];
+
+const AUTHORS: &[&str] = &["ada", "brahe", "curie"];
+
+const NUM_ROWS: usize = 5;
+
+fn fresh_db(mode: MaintenanceMode) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        maintenance: mode,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.execute_sql(
+        "CREATE TABLE t (p INT, q TEXT, r FLOAT);
+         INSERT INTO t VALUES (1, 'one', 1.0), (2, 'two', 2.0), (3, 'three', 3.0),
+                              (4, 'four', 4.0), (5, 'five', 5.0);
+         CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
+           LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')
+           TRAIN ('Behavior': 'eating stonewort diving foraging',
+                  'Disease': 'lesions parasites infection',
+                  'Anatomy': 'wingspan plumage measured',
+                  'Other': 'reference photo attached');
+         CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5;
+         CREATE SUMMARY INSTANCE S TYPE SNIPPET MIN_SOURCE 60;
+         LINK SUMMARY C TO t;
+         LINK SUMMARY K TO t;
+         LINK SUMMARY S TO t;",
+    )
+    .unwrap();
+    db
+}
+
+fn all_objects(db: &Database) -> Vec<String> {
+    let t = db.catalog().table_id("t").unwrap();
+    let mut out = Vec::new();
+    for rid in 1..=NUM_ROWS as u64 {
+        for (inst, obj) in db.registry().objects_on(t, RowId::new(rid)) {
+            out.push(format!("r{rid} {inst} {obj:?}"));
+        }
+    }
+    out
+}
+
+fn snapshot_bytes(db: &Database) -> Vec<u8> {
+    snapshot(db.catalog(), db.store(), db.registry())
+}
+
+/// After comparing end states, both databases absorb one more
+/// annotation and the snapshots are compared again: if the batch path
+/// advanced the logical clock differently (e.g. ticked for a failed
+/// item), the divergence surfaces in this probe's `created` stamp even
+/// though the pre-probe snapshots agreed.
+fn clock_probe(a: &mut Database, b: &mut Database) {
+    for db in [a, b] {
+        db.execute_sql("ADD ANNOTATION 'clock probe' AUTHOR 'probe' ON t WHERE p = 1")
+            .unwrap();
+    }
+}
+
+// -- SQL path -------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// Valid `ADD ANNOTATION` hitting exactly one existing row.
+    Annotate {
+        row: usize,
+        text: usize,
+        author: usize,
+        col_scoped: bool,
+    },
+    /// Predicate matches nothing: fails with an empty target set.
+    NoMatch { text: usize },
+    /// Unknown table: fails at catalog resolution.
+    UnknownTable { text: usize },
+    /// Not an `ADD ANNOTATION` at all: batches reject it per item.
+    NotAnnotation,
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    let annotate = || {
+        (
+            0usize..NUM_ROWS,
+            0usize..TEXT_POOL.len(),
+            0usize..AUTHORS.len(),
+            any::<bool>(),
+        )
+            .prop_map(|(row, text, author, col_scoped)| Item::Annotate {
+                row,
+                text,
+                author,
+                col_scoped,
+            })
+    };
+    // The valid case is listed several times: `prop_oneof!` picks
+    // uniformly, and batches should be mostly-successful with failures
+    // sprinkled in, not the reverse.
+    prop_oneof![
+        annotate(),
+        annotate(),
+        annotate(),
+        annotate(),
+        (0usize..TEXT_POOL.len()).prop_map(|text| Item::NoMatch { text }),
+        (0usize..TEXT_POOL.len()).prop_map(|text| Item::UnknownTable { text }),
+        Just(Item::NotAnnotation),
+    ]
+}
+
+fn sql_of(item: &Item) -> String {
+    match item {
+        Item::Annotate {
+            row,
+            text,
+            author,
+            col_scoped,
+        } => {
+            let cols = if *col_scoped { " COLUMNS (q, r)" } else { "" };
+            format!(
+                "ADD ANNOTATION '{}' AUTHOR '{}' ON t{cols} WHERE p = {}",
+                TEXT_POOL[*text],
+                AUTHORS[*author],
+                row + 1
+            )
+        }
+        Item::NoMatch { text } => {
+            format!("ADD ANNOTATION '{}' ON t WHERE p = 99", TEXT_POOL[*text])
+        }
+        Item::UnknownTable { text } => {
+            format!(
+                "ADD ANNOTATION '{}' ON missing WHERE p = 1",
+                TEXT_POOL[*text]
+            )
+        }
+        Item::NotAnnotation => "SELECT p FROM t".into(),
+    }
+}
+
+/// One-by-one reference execution. `NotAnnotation` items are skipped
+/// outright: the batch contract is that they are rejected *without
+/// execution*, so the serial reference must not run them either.
+fn replay_serial(db: &mut Database, items: &[Item]) -> Vec<Result<(), String>> {
+    items
+        .iter()
+        .map(|item| match item {
+            Item::NotAnnotation => Err("rejected without execution".into()),
+            other => db
+                .execute_sql(&sql_of(other))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        })
+        .collect()
+}
+
+fn run_batch(db: &mut Database, items: &[Item]) -> Vec<Result<(), String>> {
+    let stmts = items
+        .iter()
+        .map(|i| parse_one(&sql_of(i)).expect("generated SQL parses"))
+        .collect();
+    db.annotate_batch(stmts)
+        .into_iter()
+        .map(|r| r.map(|_| ()).map_err(|e| e.to_string()))
+        .collect()
+}
+
+// -- typed path -----------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TypedItem {
+    row: usize,
+    text: usize,
+    // Column mask 1..=7 over the three columns of `t`.
+    mask: u8,
+    bad_table: bool,
+}
+
+fn typed_strategy() -> impl Strategy<Value = TypedItem> {
+    (0usize..NUM_ROWS, 0usize..TEXT_POOL.len(), 1u8..8, 0usize..8).prop_map(
+        |(row, text, mask, fail)| TypedItem {
+            row,
+            text,
+            mask,
+            bad_table: fail == 0,
+        },
+    )
+}
+
+fn row_annotation(item: &TypedItem) -> RowAnnotation {
+    let cols: Vec<ColumnId> = (0..3u16)
+        .filter(|bit| item.mask & (1 << bit) != 0)
+        .map(ColumnId::new)
+        .collect();
+    RowAnnotation {
+        table: if item.bad_table { "missing" } else { "t" }.into(),
+        rows: vec![RowId::new(item.row as u64 + 1)],
+        cols: ColSig::of_columns(&cols),
+        body: AnnotationBody::text(TEXT_POOL[item.text], "prop"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sql_batch_matches_serial_replay(
+        items in prop::collection::vec(item_strategy(), 1..40),
+    ) {
+        // Both maintenance modes take distinct paths through
+        // `batch_refresh`; the equivalence must hold in each.
+        for mode in [MaintenanceMode::Incremental, MaintenanceMode::Rebuild] {
+            let mut batched = fresh_db(mode);
+            let mut serial = fresh_db(mode);
+            let batch_results = run_batch(&mut batched, &items);
+            let serial_results = replay_serial(&mut serial, &items);
+            prop_assert_eq!(batch_results.len(), items.len());
+            for (i, (b, s)) in batch_results.iter().zip(&serial_results).enumerate() {
+                match items[i] {
+                    // The serial reference never executes these, so only
+                    // the rejection itself is comparable.
+                    Item::NotAnnotation => prop_assert!(
+                        b.is_err(),
+                        "item {i}: non-annotation statement accepted by batch"
+                    ),
+                    _ => prop_assert_eq!(
+                        b, s,
+                        "item {} diverged between batch and serial ({:?})",
+                        i, items[i]
+                    ),
+                }
+            }
+            prop_assert_eq!(all_objects(&batched), all_objects(&serial));
+            prop_assert_eq!(
+                snapshot_bytes(&batched),
+                snapshot_bytes(&serial),
+                "snapshot bytes diverged"
+            );
+            clock_probe(&mut batched, &mut serial);
+            prop_assert_eq!(
+                snapshot_bytes(&batched),
+                snapshot_bytes(&serial),
+                "logical clocks diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_batch_matches_serial_replay(
+        items in prop::collection::vec(typed_strategy(), 1..40),
+    ) {
+        let mut batched = fresh_db(MaintenanceMode::Incremental);
+        let mut serial = fresh_db(MaintenanceMode::Incremental);
+        let batch_ids = batched.annotate_rows_batch(items.iter().map(row_annotation).collect());
+        prop_assert_eq!(batch_ids.len(), items.len());
+        for (i, item) in items.iter().enumerate() {
+            let ra = row_annotation(item);
+            let serial_id = serial.annotate_rows(&ra.table, &ra.rows, ra.cols, ra.body);
+            match (&batch_ids[i], serial_id) {
+                (Ok(b), Ok(s)) => prop_assert_eq!(*b, s, "item {} got a different id", i),
+                (Err(b), Err(s)) => prop_assert_eq!(
+                    b.to_string(),
+                    s.to_string(),
+                    "item {} failed differently",
+                    i
+                ),
+                (b, s) => panic!("item {i}: batch {b:?} vs serial {s:?}"),
+            }
+        }
+        prop_assert_eq!(all_objects(&batched), all_objects(&serial));
+        prop_assert_eq!(
+            snapshot_bytes(&batched),
+            snapshot_bytes(&serial),
+            "snapshot bytes diverged"
+        );
+        clock_probe(&mut batched, &mut serial);
+        prop_assert_eq!(
+            snapshot_bytes(&batched),
+            snapshot_bytes(&serial),
+            "logical clocks diverged"
+        );
+    }
+}
+
+/// A fixed shape worth pinning outside the property: failures at the
+/// batch's edges and middle, with successes in between — ids must come
+/// out dense and in statement order.
+#[test]
+fn mixed_failure_batch_keeps_ids_dense_and_ordered() {
+    let mut db = fresh_db(MaintenanceMode::Incremental);
+    let stmts = [
+        "ADD ANNOTATION 'x' ON missing",
+        "ADD ANNOTATION 'wingspan plumage measured' ON t WHERE p = 1",
+        "ADD ANNOTATION 'y' ON t WHERE p = 99",
+        "ADD ANNOTATION 'lesions parasites infection' ON t WHERE p = 2",
+        "SELECT p FROM t",
+        "ADD ANNOTATION 'diving foraging flocking' ON t WHERE p = 1",
+    ]
+    .iter()
+    .map(|s| parse_one(s).unwrap())
+    .collect();
+    let results = db.annotate_batch(stmts);
+    let ids: Vec<Option<u64>> = results
+        .iter()
+        .map(|r| match r {
+            Ok(insightnotes::engine::ExecOutcome::Annotated { annotation, .. }) => {
+                Some(annotation.raw())
+            }
+            Ok(other) => panic!("unexpected outcome {other:?}"),
+            Err(_) => None,
+        })
+        .collect();
+    assert_eq!(ids, vec![None, Some(1), None, Some(2), None, Some(3)]);
+}
