@@ -19,7 +19,7 @@ use insightnotes_bench::{
     drive_ingest_writer, ReaderLoad, INGEST_READERS, INGEST_READER_SCAN, INGEST_READER_THINK,
 };
 use insightnotes_client::Client;
-use insightnotes_engine::Database;
+use insightnotes_engine::{Database, DbConfig, SyncPolicy};
 use insightnotes_server::{Server, ServerConfig, ServerHandle};
 use insightnotes_workload::{ingest_script, IngestConfig};
 use std::net::SocketAddr;
@@ -40,8 +40,12 @@ struct RunningServer {
 /// annotation statement in the sweep finds its target row and linked
 /// summary instances.
 fn start_server() -> RunningServer {
-    let server = Server::bind("127.0.0.1:0", Database::new(), ServerConfig::default())
-        .expect("bind ephemeral port");
+    start_server_on(Database::new())
+}
+
+fn start_server_on(db: Database) -> RunningServer {
+    let server =
+        Server::bind("127.0.0.1:0", db, ServerConfig::default()).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
     let handle = server.handle();
     let thread = std::thread::spawn(move || {
@@ -124,5 +128,77 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest);
+/// The same writer sweep with the server's write-ahead log on: every
+/// group commit appends one log record and fsyncs before acks release.
+/// Compared against the `off` cell (identical conditions, WAL disabled)
+/// this isolates the durability overhead on the server path; the A6
+/// report covers the engine-level breakdown.
+fn bench_ingest_wal(c: &mut Criterion) {
+    const WRITERS: usize = 8;
+    let script = ingest_script(&IngestConfig {
+        writers: WRITERS,
+        annotations_per_writer: TOTAL / WRITERS,
+        num_birds: BIRDS,
+        ..IngestConfig::default()
+    });
+    let streams = &script.clients;
+
+    let mut group = c.benchmark_group("ingest_wal");
+    group.sample_size(10);
+    for (label, wal) in [("off", None), ("batch", Some(SyncPolicy::Batch))] {
+        let db = match wal {
+            None => Database::new(),
+            Some(policy) => {
+                let dir = std::env::temp_dir().join(format!(
+                    "insightnotes-ingestwal-{}-{label}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).expect("wal dir");
+                Database::with_config(DbConfig {
+                    wal_dir: Some(dir),
+                    wal_sync: policy,
+                    ..DbConfig::default()
+                })
+                .expect("config")
+            }
+        };
+        let server = start_server_on(db);
+        let mut conns: Vec<Client> = (0..WRITERS)
+            .map(|_| Client::connect(server.addr).expect("connect"))
+            .collect();
+        let _readers = ReaderLoad::start(
+            server.addr,
+            INGEST_READERS,
+            INGEST_READER_SCAN,
+            INGEST_READER_THINK,
+        );
+        for batch in [1usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("wal_{label}"), batch),
+                streams,
+                |b, streams| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            let workers: Vec<_> = conns
+                                .drain(..)
+                                .zip(streams)
+                                .map(|(mut conn, stream)| {
+                                    scope.spawn(move || {
+                                        drive_ingest_writer(&mut conn, stream, batch);
+                                        conn
+                                    })
+                                })
+                                .collect();
+                            conns.extend(workers.into_iter().map(|w| w.join().expect("writer")));
+                        });
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_ingest_wal);
 criterion_main!(benches);

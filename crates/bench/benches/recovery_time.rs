@@ -1,0 +1,136 @@
+//! WAL write-path overhead and crash-recovery latency (experiment A6,
+//! EXPERIMENTS.md).
+//!
+//! Two groups:
+//!
+//! * `wal_ingest` — per-statement ingest (one log record each) with a
+//!   group fsync every 64 statements — the server committer's cadence
+//!   for single-`Annotate` writers — under WAL `off`/`batch`/`always`.
+//!   The `off`/`batch` gap is the price of durable acks under group
+//!   commit; `always` fsyncs on every append and shows what durability
+//!   would cost without it.
+//! * `recovery` — `Database::recover` against a prepared directory:
+//!   `replay` re-executes a full log of group-committed records,
+//!   `checkpoint` loads a snapshot with a rotated (empty) log.
+//!
+//! Recovery inputs are built once; `Database::recover` only reads (and
+//! at most truncates a torn tail, absent here), so iterations reuse the
+//! same directory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insightnotes_engine::{Database, DbConfig, SyncPolicy};
+use insightnotes_workload::{ingest_script, IngestConfig};
+use std::path::PathBuf;
+
+const BIRDS: usize = 300;
+const TOTAL: usize = 512;
+const GROUP: usize = 64;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "insightnotes-recbench-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn workload() -> (String, Vec<String>) {
+    let script = ingest_script(&IngestConfig {
+        writers: 1,
+        annotations_per_writer: TOTAL,
+        num_birds: BIRDS,
+        ..IngestConfig::default()
+    });
+    (script.setup.join(";\n"), script.clients.concat())
+}
+
+fn ingest(db: &mut Database, stream: &[String]) {
+    for chunk in stream.chunks(GROUP) {
+        for sql in chunk {
+            db.execute_sql(sql).expect("ingest statement");
+        }
+        db.wal_sync().expect("group fsync");
+    }
+}
+
+fn config_for(dir: &std::path::Path, wal: Option<SyncPolicy>) -> DbConfig {
+    DbConfig {
+        wal_dir: wal.map(|_| dir.to_path_buf()),
+        wal_sync: wal.unwrap_or_default(),
+        ..DbConfig::default()
+    }
+}
+
+fn bench_wal_ingest(c: &mut Criterion) {
+    let (setup, stream) = workload();
+    let mut group = c.benchmark_group("wal_ingest");
+    group.sample_size(10);
+    for (label, wal) in [
+        ("off", None),
+        ("batch", Some(SyncPolicy::Batch)),
+        ("always", Some(SyncPolicy::Always)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &stream, |b, stream| {
+            b.iter(|| {
+                // A fresh directory and seeded database per iteration
+                // (a WAL cannot be re-created over a live one); the
+                // setup cost is identical across the three policies, so
+                // cell deltas still isolate the logging overhead.
+                let dir = scratch(&format!("ingest-{label}"));
+                let mut db = Database::with_config(config_for(&dir, wal)).expect("config");
+                db.execute_sql(&setup).expect("setup");
+                ingest(&mut db, stream);
+                db
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let (setup, stream) = workload();
+
+    // Replay input: a crash mid-flight — full log, no snapshot.
+    let replay_dir = scratch("replay");
+    let replay_cfg = config_for(&replay_dir, Some(SyncPolicy::Batch));
+    {
+        let mut db = Database::with_config(replay_cfg.clone()).expect("config");
+        db.execute_sql(&setup).expect("setup");
+        ingest(&mut db, &stream);
+    }
+
+    // Checkpoint input: same state, but snapshotted with a rotated log.
+    let ckpt_dir = scratch("ckpt");
+    let ckpt_snap = ckpt_dir.join("db.indb");
+    let ckpt_cfg = config_for(&ckpt_dir, Some(SyncPolicy::Batch));
+    {
+        let mut db = Database::with_config(ckpt_cfg.clone()).expect("config");
+        db.execute_sql(&setup).expect("setup");
+        ingest(&mut db, &stream);
+        db.checkpoint(&ckpt_snap).expect("checkpoint");
+    }
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            let (db, report) = Database::recover(None, replay_cfg.clone()).expect("recover");
+            assert!(report.records_replayed > 0);
+            db
+        });
+    });
+    group.bench_function("checkpoint", |b| {
+        b.iter(|| {
+            let (db, report) =
+                Database::recover(Some(&ckpt_snap), ckpt_cfg.clone()).expect("recover");
+            assert_eq!(report.records_replayed, 0);
+            db
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_ingest, bench_recovery);
+criterion_main!(benches);

@@ -71,8 +71,7 @@ pub fn annotated_db_with(
         cache_budget,
         policy,
         maintenance,
-        cache_dir: None,
-        parallelism: None,
+        ..DbConfig::default()
     })
     .expect("config");
     seed_birds_database(

@@ -92,7 +92,9 @@ impl Client {
     }
 
     /// Runs one or more `;`-separated statements of any kind; returns
-    /// one rendered outcome per statement.
+    /// one rendered outcome per statement. On a WAL-enabled server the
+    /// returned ack is a durability promise: the statements were logged
+    /// and fsynced before the reply was released.
     pub fn execute(&mut self, sql: &str) -> Result<Vec<String>> {
         let req = Request::Execute { sql: sql.into() };
         match self.expect(&req)? {
@@ -112,7 +114,9 @@ impl Client {
 
     /// Ships a batch of `ADD ANNOTATION` statements in one
     /// `AnnotateBatch` frame — one round-trip and one server-side group
-    /// commit for the whole batch. Returns one result per statement, in
+    /// commit (and, on a WAL-enabled server, one group fsync, after
+    /// which each `Ok` ack guarantees the annotation survives a crash)
+    /// for the whole batch. Returns one result per statement, in
     /// order; per-item failures (bad statement, no matching rows) come
     /// back as `Err` items without failing their neighbors.
     pub fn annotate_batch(&mut self, statements: Vec<String>) -> Result<Vec<Result<String>>> {

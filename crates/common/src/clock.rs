@@ -33,6 +33,14 @@ impl LogicalClock {
     pub fn now(&self) -> u64 {
         self.counter.load(Ordering::Relaxed)
     }
+
+    /// Advances the clock to at least `value` (snapshot restore: the next
+    /// `tick` after recovery must continue where the saved session left
+    /// off, or recovered `created` stamps would collide with new ones).
+    /// Never moves the clock backwards.
+    pub fn advance_to(&self, value: u64) {
+        self.counter.fetch_max(value, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -47,6 +55,19 @@ mod tests {
         let b = c.tick();
         assert!(b > a);
         assert_eq!(c.now(), b);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = LogicalClock::new();
+        c.advance_to(10);
+        assert_eq!(c.now(), 10);
+        assert_eq!(c.tick(), 11);
+        // Never moves backwards.
+        c.advance_to(5);
+        assert_eq!(c.now(), 11);
+        c.advance_to(11);
+        assert_eq!(c.tick(), 12);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod ids;
 pub mod idset;
@@ -20,6 +21,7 @@ pub mod wire;
 
 pub use clock::LogicalClock;
 pub use codec::{Decoder, Encodable, Encoder};
+pub use crc::crc32;
 pub use error::{Error, Result};
 pub use ids::{AnnotationId, ColumnId, InstanceId, Qid, RowId, TableId};
 pub use idset::IdSet;

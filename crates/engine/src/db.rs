@@ -28,14 +28,15 @@ use crate::exec::{trace::render_row_resolved, Executor, TraceLog};
 use crate::expr::SExpr;
 use crate::plan::{estimate_cost, LogicalPlan, Planner};
 use crate::raw::{RawExecutor, RawRow};
+use crate::wal::{SyncPolicy, Wal, WalRecord, WalRowAnnotation};
 use crate::zoomin::ZoomRegistry;
 use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, Target};
 use insightnotes_common::{
     AnnotationId, ColumnId, Error, InstanceId, LogicalClock, Qid, Result, RowId, TableId,
 };
 use insightnotes_sql::{
-    parse, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, StatementClass, ZoomComponent,
-    ZoomInStmt,
+    parse, parse_one, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, StatementClass,
+    ZoomComponent, ZoomInStmt,
 };
 use insightnotes_storage::{Catalog, Column, DataType, Row, Schema, Value};
 use insightnotes_summaries::{
@@ -45,7 +46,7 @@ use insightnotes_summaries::{
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static DB_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -86,6 +87,14 @@ pub struct DbConfig {
     /// (demo scenario 3) always run serially regardless, so their
     /// per-operator output stays deterministic.
     pub parallelism: Option<usize>,
+    /// Write-ahead log directory. `None` (the default) disables logging
+    /// entirely — writes live in memory until an explicit
+    /// [`Database::save`], exactly as before. When set, every write is
+    /// appended to the log before it executes, and
+    /// [`Database::recover`] replays the log tail on restart.
+    pub wal_dir: Option<PathBuf>,
+    /// When logged records are fsynced (ignored unless `wal_dir` is set).
+    pub wal_sync: SyncPolicy,
 }
 
 impl Default for DbConfig {
@@ -96,7 +105,74 @@ impl Default for DbConfig {
             policy: PolicyKind::Rco,
             maintenance: MaintenanceMode::Incremental,
             parallelism: None,
+            wal_dir: None,
+            wal_sync: SyncPolicy::Batch,
         }
+    }
+}
+
+/// A parsed statement that still carries its source text. The
+/// write-ahead log stores logical writes as SQL text (replay simply
+/// re-executes them), so WAL-enabled write entry points need both forms;
+/// pairing them in one value lets the server parse once at the session
+/// layer and hand the committer something it can both log and execute.
+#[derive(Debug, Clone)]
+pub struct SqlStatement {
+    /// The statement's source text (what the WAL records).
+    pub sql: String,
+    /// The parsed form (what the executor runs). Invariant: this is the
+    /// parse of `sql`.
+    pub stmt: Statement,
+}
+
+impl SqlStatement {
+    /// Parses one statement, keeping its source text alongside.
+    pub fn parse(sql: impl Into<String>) -> Result<Self> {
+        let sql = sql.into();
+        let stmt = parse_one(&sql)?;
+        Ok(Self { sql, stmt })
+    }
+}
+
+/// What [`Database::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Write-ahead log records re-executed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Bytes cut off the log's torn tail (unacked writes lost mid-append).
+    pub bytes_truncated: u64,
+    /// Whether a pre-checkpoint log (every record already covered by the
+    /// snapshot) was discarded instead of replayed.
+    pub stale_wal_discarded: bool,
+    /// Whether a stale snapshot temp file from a crashed save was swept.
+    pub tmp_removed: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot {}; {} WAL record(s) replayed; {} torn byte(s) truncated{}{}",
+            if self.snapshot_loaded {
+                "loaded"
+            } else {
+                "absent"
+            },
+            self.records_replayed,
+            self.bytes_truncated,
+            if self.stale_wal_discarded {
+                "; stale pre-checkpoint WAL discarded"
+            } else {
+                ""
+            },
+            if self.tmp_removed {
+                "; stale snapshot temp file removed"
+            } else {
+                ""
+            },
+        )
     }
 }
 
@@ -246,6 +322,14 @@ pub struct Database {
     zoom: Mutex<ZoomRegistry>,
     clock: LogicalClock,
     config: DbConfig,
+    /// Checkpoint epoch: bumped by [`Database::checkpoint`], stamped into
+    /// snapshots and the WAL header so recovery can tell a log that
+    /// extends the snapshot from one the snapshot already covers.
+    epoch: u64,
+    /// The write-ahead log, when [`DbConfig::wal_dir`] is set. Interior
+    /// mutability so [`Database::wal_sync`] works from `&self` (the
+    /// server syncs under its shared lock after releasing the writer).
+    wal: Option<Mutex<Wal>>,
 }
 
 impl Default for Database {
@@ -261,8 +345,23 @@ impl Database {
         Self::with_config(DbConfig::default()).expect("default database construction")
     }
 
-    /// Creates a database with explicit configuration.
+    /// Creates a database with explicit configuration. When the
+    /// configuration names a WAL directory, a fresh (empty) log is
+    /// created; if one already exists this **fails** — an existing log
+    /// holds writes that must be replayed, so go through
+    /// [`Database::recover`] instead.
     pub fn with_config(config: DbConfig) -> Result<Self> {
+        let mut db = Self::with_config_detached(config)?;
+        if let Some(dir) = db.config.wal_dir.clone() {
+            let w = Wal::create(&dir, db.epoch, db.config.wal_sync)?;
+            db.wal = Some(Mutex::new(w));
+        }
+        Ok(db)
+    }
+
+    /// Builds the database without touching the WAL directory; recovery
+    /// attaches the log itself after replaying it.
+    fn with_config_detached(config: DbConfig) -> Result<Self> {
         let dir = config.cache_dir.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!(
                 "insightnotes-db-{}-{}",
@@ -278,20 +377,210 @@ impl Database {
             zoom: Mutex::new(ZoomRegistry::new(cache)),
             clock: LogicalClock::new(),
             config,
+            epoch: 0,
+            wal: None,
         })
     }
 
-    /// Swaps in restored durable state (snapshot open path). Session
-    /// state (QIDs, caches, clock) starts fresh.
+    /// Swaps in restored durable state (snapshot open path), resuming
+    /// the checkpoint epoch and logical clock where the snapshot left
+    /// off. Session state (QIDs, caches) starts fresh.
     pub(crate) fn replace_state(
         &mut self,
         catalog: Catalog,
         store: AnnotationStore,
         registry: SummaryRegistry,
+        epoch: u64,
+        clock: u64,
     ) {
         self.catalog = catalog;
         self.store = store;
         self.registry = registry;
+        self.epoch = epoch;
+        self.clock.advance_to(clock);
+    }
+
+    /// Opens a database with full crash recovery: sweeps a stale
+    /// snapshot temp file, loads the snapshot if one exists (a missing
+    /// file means a fresh database — the first checkpoint creates it),
+    /// then replays the write-ahead log tail on top, truncating the log
+    /// at its first torn or corrupt record. Replay re-executes each
+    /// logged statement through the normal execution paths, so the
+    /// recovered state is byte-identical to a serial re-run of the
+    /// logged prefix; records that failed originally fail identically
+    /// again (the log is written before execution) and are skipped.
+    ///
+    /// Without a configured [`DbConfig::wal_dir`] this degrades to
+    /// [`Database::open_with_config`] semantics plus temp-file sweeping.
+    pub fn recover(snapshot: Option<&Path>, config: DbConfig) -> Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let mut db = Self::with_config_detached(config)?;
+        if let Some(path) = snapshot {
+            report.tmp_removed = crate::persist::remove_stale_tmp(path);
+            if path.exists() {
+                let bytes = std::fs::read(path)?;
+                let (catalog, store, registry, epoch, clock) = crate::persist::restore(&bytes)?;
+                db.replace_state(catalog, store, registry, epoch, clock);
+                report.snapshot_loaded = true;
+            }
+        }
+        let Some(dir) = db.config.wal_dir.clone() else {
+            return Ok((db, report));
+        };
+        let policy = db.config.wal_sync;
+        match Wal::open(&dir, policy)? {
+            None => {
+                db.wal = Some(Mutex::new(Wal::create(&dir, db.epoch, policy)?));
+            }
+            Some(scan) => {
+                report.bytes_truncated = scan.truncated_bytes;
+                match scan.wal.epoch().cmp(&db.epoch) {
+                    std::cmp::Ordering::Less => {
+                        // The crash hit between a checkpoint's snapshot
+                        // rename and its log rotation: every logged
+                        // record is already in the snapshot, so finish
+                        // the rotation instead of double-applying.
+                        report.stale_wal_discarded = true;
+                        let mut w = scan.wal;
+                        w.rotate(db.epoch)?;
+                        db.wal = Some(Mutex::new(w));
+                    }
+                    std::cmp::Ordering::Greater => {
+                        return Err(Error::Execution(format!(
+                            "write-ahead log epoch {} is ahead of snapshot epoch {}; \
+                             the snapshot is stale or belongs to another database",
+                            scan.wal.epoch(),
+                            db.epoch
+                        )));
+                    }
+                    std::cmp::Ordering::Equal => {
+                        // Replay before attaching the log, so replayed
+                        // statements run through the public write paths
+                        // without being appended a second time.
+                        report.records_replayed = scan.records.len();
+                        for record in &scan.records {
+                            db.replay(record);
+                        }
+                        db.wal = Some(Mutex::new(scan.wal));
+                    }
+                }
+            }
+        }
+        Ok((db, report))
+    }
+
+    /// Re-executes one logged record. Errors are deliberately swallowed:
+    /// the log is appended *before* execution, so a record whose
+    /// statement failed originally (unknown table, empty target set)
+    /// re-fails identically here — that re-failure is the correct
+    /// recovered state, not a recovery problem.
+    fn replay(&mut self, record: &WalRecord) {
+        debug_assert!(
+            self.wal.is_none(),
+            "replay must run before the log attaches"
+        );
+        match record {
+            WalRecord::Script { sql } => {
+                let _ = self.execute_sql(sql);
+            }
+            WalRecord::Batch { statements } => {
+                let stmts: Vec<Statement> = statements
+                    .iter()
+                    .filter_map(|s| parse_one(s).ok())
+                    .collect();
+                let _ = self.annotate_batch(stmts);
+            }
+            WalRecord::Rows { items } => {
+                let items: Vec<RowAnnotation> = items
+                    .iter()
+                    .map(|i| RowAnnotation {
+                        table: i.table.clone(),
+                        rows: i.rows.iter().map(|&r| RowId::new(r)).collect(),
+                        cols: ColSig::from_bits(i.cols),
+                        body: replay_body(&i.text, &i.document, &i.author),
+                    })
+                    .collect();
+                let _ = self.annotate_rows_batch(items);
+            }
+            WalRecord::Targets {
+                targets,
+                text,
+                document,
+                author,
+            } => {
+                let targets: Vec<(TableId, RowId, ColSig)> = targets
+                    .iter()
+                    .map(|&(t, r, c)| (TableId::new(t), RowId::new(r), ColSig::from_bits(c)))
+                    .collect();
+                let _ = self.annotate_targets(targets, replay_body(text, document, author));
+            }
+        }
+    }
+
+    /// Checkpoints: writes a durable snapshot stamped with the next
+    /// epoch, then rotates the write-ahead log down to an empty header.
+    /// A crash anywhere in between is safe — recovery either sees the
+    /// old snapshot with a matching log (replays it) or the new snapshot
+    /// with a stale log (discards it). Without a WAL this is just
+    /// [`Database::save`].
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        if self.wal.is_none() {
+            return self.save(path);
+        }
+        self.epoch += 1;
+        match self.save(path.as_ref()) {
+            Ok(()) => {
+                self.wal
+                    .as_ref()
+                    .expect("checked above")
+                    .lock()
+                    .rotate(self.epoch)?;
+                Ok(())
+            }
+            Err(e) => {
+                self.epoch -= 1;
+                Err(e)
+            }
+        }
+    }
+
+    // -- write-ahead log ---------------------------------------------------
+
+    /// Whether writes are being logged.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Forces every logged-but-buffered record to disk. This is the
+    /// group-commit point under [`SyncPolicy::Batch`]: the server calls
+    /// it once per drained batch and releases acks only afterwards. A
+    /// no-op when the WAL is off, under [`SyncPolicy::Off`], or when
+    /// nothing is pending.
+    pub fn wal_sync(&self) -> Result<()> {
+        if let Some(w) = &self.wal {
+            w.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// `(appends, fsyncs)` performed by the log, if one is attached.
+    pub fn wal_io_stats(&self) -> Option<(u64, u64)> {
+        self.wal.as_ref().map(|w| w.lock().io_stats())
+    }
+
+    /// The log's durable watermark — its current byte length, every bit
+    /// of which survives a crash once [`Database::wal_sync`] returns.
+    /// Fault-injection tests snapshot this after each sync to know which
+    /// acked prefix must be recoverable.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.lock().len())
+    }
+
+    fn wal_append(&self, record: &WalRecord) -> Result<()> {
+        if let Some(w) = &self.wal {
+            w.lock().append(record)?;
+        }
+        Ok(())
     }
 
     // -- component access ------------------------------------------------
@@ -333,6 +622,17 @@ impl Database {
         self.config.maintenance
     }
 
+    /// The current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The logical clock's latest issued tick (persisted in snapshots so
+    /// recovery resumes past it).
+    pub fn clock_now(&self) -> u64 {
+        self.clock.now()
+    }
+
     /// Switches the maintenance strategy (experiment E1).
     pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
         self.config.maintenance = mode;
@@ -341,10 +641,29 @@ impl Database {
     // -- statement execution ----------------------------------------------
 
     /// Parses and executes a string of `;`-separated statements.
+    ///
+    /// With a write-ahead log attached, the script's source text is
+    /// appended (and, under [`SyncPolicy::Always`], fsynced) **before**
+    /// anything executes, whenever the script contains at least one
+    /// write. Execution stops at the first failing statement, exactly as
+    /// before — and replay reproduces that same partial execution, which
+    /// is why logging the text up front is sound.
     pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
-        parse(sql)?
+        let stmts = parse(sql)?;
+        if self.wal.is_some() && stmts.iter().any(|s| s.class() == StatementClass::Write) {
+            self.wal_append(&WalRecord::Script {
+                sql: sql.to_string(),
+            })?;
+        }
+        stmts
             .into_iter()
-            .map(|stmt| self.execute(stmt))
+            .map(|stmt| {
+                if stmt.class() == StatementClass::Read {
+                    self.execute_read(stmt)
+                } else {
+                    self.apply_stmt(stmt)
+                }
+            })
             .collect()
     }
 
@@ -369,10 +688,29 @@ impl Database {
     }
 
     /// Executes one parsed statement.
+    ///
+    /// On a WAL-enabled database, write-class statements are rejected
+    /// here: a parsed [`Statement`] no longer carries its source text,
+    /// so accepting it would execute a write the log never saw — an
+    /// acked-but-unlogged write is precisely the bug the WAL exists to
+    /// rule out. Route writes through [`Database::execute_sql`] (or the
+    /// typed annotation APIs, which log typed records) instead.
     pub fn execute(&mut self, stmt: Statement) -> Result<ExecOutcome> {
         if stmt.class() == StatementClass::Read {
             return self.execute_read(stmt);
         }
+        if self.wal.is_some() {
+            return Err(Error::Execution(
+                "write-ahead logging records statements by source text; execute writes \
+                 through execute_sql / annotate_batch_sql on a WAL-enabled database"
+                    .into(),
+            ));
+        }
+        self.apply_stmt(stmt)
+    }
+
+    /// Executes one parsed write-class statement (post-logging).
+    fn apply_stmt(&mut self, stmt: Statement) -> Result<ExecOutcome> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let cols = columns
@@ -459,7 +797,10 @@ impl Database {
                 table,
                 where_clause,
             } => self.delete_rows_stmt(&table, where_clause),
-            Statement::DeleteAnnotation { id } => self.delete_annotation(AnnotationId::new(id)),
+            Statement::DeleteAnnotation { id } => {
+                // Already logged as part of the surrounding script.
+                self.delete_annotation_inner(AnnotationId::new(id))
+            }
             Statement::CreateIndex { table, column } => {
                 let tid = self.catalog.table_id(&table)?;
                 let col = self.catalog.table(tid)?.schema().resolve(None, &column)? as u16;
@@ -516,6 +857,17 @@ impl Database {
     /// rows are re-summarized from the store, which also re-canonicalizes
     /// cluster centroids.
     pub fn delete_annotation(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
+        // The deletion has a trivial, lossless SQL rendering, so the
+        // typed API logs it as a script record.
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Script {
+                sql: format!("DELETE ANNOTATION {}", id.raw()),
+            })?;
+        }
+        self.delete_annotation_inner(id)
+    }
+
+    fn delete_annotation_inner(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
         let removed = self.store.remove(id)?;
         let refreshed = removed.targets.len();
         match self.config.maintenance {
@@ -737,6 +1089,40 @@ impl Database {
     /// predicates over summary components observe the summary state as
     /// of batch start (maintenance is deferred to the end).
     pub fn annotate_batch(&mut self, stmts: Vec<Statement>) -> Vec<Result<ExecOutcome>> {
+        if self.wal.is_some() {
+            let err = || {
+                Err(Error::Execution(
+                    "write-ahead logging records statements by source text; submit \
+                     annotation batches through annotate_batch_sql on a WAL-enabled database"
+                        .into(),
+                ))
+            };
+            return stmts.iter().map(|_| err()).collect();
+        }
+        self.annotate_batch_inner(stmts)
+    }
+
+    /// [`Database::annotate_batch`] with source texts attached: on a
+    /// WAL-enabled database the whole batch is appended as **one** log
+    /// record before any item stages — the group-commit unit the server's
+    /// committer fsyncs once per drained queue. If the append itself
+    /// fails, no item executes and every item reports the failure.
+    pub fn annotate_batch_sql(&mut self, stmts: Vec<SqlStatement>) -> Vec<Result<ExecOutcome>> {
+        let (texts, parsed): (Vec<String>, Vec<Statement>) =
+            stmts.into_iter().map(|s| (s.sql, s.stmt)).unzip();
+        if self.wal.is_some() {
+            if let Err(e) = self.wal_append(&WalRecord::Batch { statements: texts }) {
+                let msg = format!("write-ahead log append failed: {e}");
+                return parsed
+                    .iter()
+                    .map(|_| Err(Error::Execution(msg.clone())))
+                    .collect();
+            }
+        }
+        self.annotate_batch_inner(parsed)
+    }
+
+    fn annotate_batch_inner(&mut self, stmts: Vec<Statement>) -> Vec<Result<ExecOutcome>> {
         let mut results: Vec<Option<Result<ExecOutcome>>> = Vec::new();
         results.resize_with(stmts.len(), || None);
         let mut staged: Vec<(usize, AnnotationId, usize)> = Vec::new();
@@ -796,6 +1182,18 @@ impl Database {
     /// clock ticks and annotation ids as one-by-one calls), then
     /// summaries refresh in one amortized pass.
     pub fn annotate_rows_batch(&mut self, items: Vec<RowAnnotation>) -> Vec<Result<AnnotationId>> {
+        if self.wal.is_some() {
+            let record = WalRecord::Rows {
+                items: items.iter().map(wal_row_item).collect(),
+            };
+            if let Err(e) = self.wal_append(&record) {
+                let msg = format!("write-ahead log append failed: {e}");
+                return items
+                    .iter()
+                    .map(|_| Err(Error::Execution(msg.clone())))
+                    .collect();
+            }
+        }
         let mut results: Vec<Option<Result<AnnotationId>>> = Vec::new();
         results.resize_with(items.len(), || None);
         let mut staged: Vec<(usize, AnnotationId)> = Vec::new();
@@ -837,12 +1235,15 @@ impl Database {
         self.store.add(body, targets)
     }
 
-    /// One maintenance pass over a batch of freshly stored annotations,
-    /// grouped by `(table, row)`. Returns per-annotation maintenance
-    /// counters. Under [`MaintenanceMode::Rebuild`] each touched row is
-    /// re-summarized exactly once (after the whole batch, which matches
-    /// the serial end state); its stats are attributed to the last
-    /// annotation of the batch targeting that row.
+    /// One maintenance pass over a batch of freshly stored annotations.
+    /// Returns per-annotation maintenance counters that match what a
+    /// serial one-by-one replay would have reported for each annotation.
+    /// Under [`MaintenanceMode::Incremental`] work is grouped by
+    /// `(table, row)`; under [`MaintenanceMode::Rebuild`] each
+    /// annotation re-summarizes its target rows from the rows' history
+    /// up to that annotation — exactly the serial sequence, so both the
+    /// resulting state and the per-annotation attribution coincide with
+    /// serial replay.
     fn batch_refresh(
         &mut self,
         ids: &[AnnotationId],
@@ -872,17 +1273,14 @@ impl Database {
         let catalog = &self.catalog;
         let store = &self.store;
         let registry = &mut self.registry;
-        // Digest in arrival order before any row-grouped work: digesting
-        // interns cluster-vocabulary terms, whose ids must be assigned in
-        // the order a serial replay would assign them for the batch to
-        // stay byte-identical to one-by-one ingest.
-        registry.warm_digests(
-            &in_order,
-            &|t, r| tuple_context(catalog, t, r),
-            &mut per_ann,
-        )?;
         match self.config.maintenance {
             MaintenanceMode::Incremental => {
+                // Digest in arrival order before any row-grouped work:
+                // digesting interns cluster-vocabulary terms, whose ids
+                // must be assigned in the order a serial replay would
+                // assign them for the batch to stay byte-identical to
+                // one-by-one ingest.
+                registry.warm_digests(&in_order, &|t, r| tuple_context(catalog, t, r))?;
                 registry.apply_annotations_batch(
                     &by_row,
                     &bodies,
@@ -891,12 +1289,29 @@ impl Database {
                 )?;
             }
             MaintenanceMode::Rebuild => {
-                for (&(table, row), anns) in &by_row {
-                    let stats = rebuild_row_from_store(registry, store, table, row, &|t, r| {
-                        tuple_context(catalog, t, r)
-                    })?;
-                    let &(last, _) = anns.last().expect("row groups are non-empty");
-                    per_ann.entry(last).or_default().absorb(stats);
+                // Serial replay rebuilds each target row once per added
+                // annotation, seeing only annotations up to and
+                // including it. Replicating that sequence (rather than
+                // one final rebuild per row) keeps both the digest /
+                // vocabulary order and the per-annotation stats
+                // attribution identical to serial ingest; no warm-up
+                // pass is needed because this *is* the serial order.
+                for &(id, _, targets) in &in_order {
+                    for t in targets {
+                        let on_row = store.on_row(t.table, t.row).to_vec();
+                        let mut anns: Vec<(AnnotationId, ColSig, &AnnotationBody)> =
+                            Vec::with_capacity(on_row.len());
+                        for (aid, cols) in &on_row {
+                            if *aid > id {
+                                continue;
+                            }
+                            anns.push((*aid, *cols, &store.get(*aid)?.body));
+                        }
+                        let stats = registry.rebuild_row(t.table, t.row, &anns, &|t, r| {
+                            tuple_context(catalog, t, r)
+                        })?;
+                        per_ann.entry(id).or_default().absorb(stats);
+                    }
                 }
             }
         }
@@ -964,6 +1379,18 @@ impl Database {
         cols: ColSig,
         body: AnnotationBody,
     ) -> Result<AnnotationId> {
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Rows {
+                items: vec![WalRowAnnotation {
+                    table: table.to_string(),
+                    rows: rows.iter().map(|r| r.raw()).collect(),
+                    cols: cols.bits(),
+                    text: body.text.clone(),
+                    document: body.document.clone(),
+                    author: body.author.clone(),
+                }],
+            })?;
+        }
         let tid = self.catalog.table_id(table)?;
         let mut body = body;
         body.created = self.clock.tick();
@@ -990,6 +1417,17 @@ impl Database {
         targets: Vec<(TableId, RowId, ColSig)>,
         body: AnnotationBody,
     ) -> Result<AnnotationId> {
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Targets {
+                targets: targets
+                    .iter()
+                    .map(|&(t, r, c)| (t.raw(), r.raw(), c.bits()))
+                    .collect(),
+                text: body.text.clone(),
+                document: body.document.clone(),
+                author: body.author.clone(),
+            })?;
+        }
         let mut body = body;
         body.created = self.clock.tick();
         let targets: Vec<Target> = targets
@@ -1141,6 +1579,28 @@ fn flatten_and(e: &SExpr, out: &mut Vec<SExpr>) {
         }
         other => out.push(other.clone()),
     }
+}
+
+/// Projects a typed batch item into its log form (`created` excluded:
+/// replay re-stamps it from the replayed clock).
+fn wal_row_item(item: &RowAnnotation) -> WalRowAnnotation {
+    WalRowAnnotation {
+        table: item.table.clone(),
+        rows: item.rows.iter().map(|r| r.raw()).collect(),
+        cols: item.cols.bits(),
+        text: item.body.text.clone(),
+        document: item.body.document.clone(),
+        author: item.body.author.clone(),
+    }
+}
+
+/// Rebuilds an annotation body from its logged fields.
+fn replay_body(text: &str, document: &Option<String>, author: &str) -> AnnotationBody {
+    let mut body = AnnotationBody::text(text.to_string(), author.to_string());
+    if let Some(d) = document {
+        body = body.with_document(d.clone());
+    }
+    body
 }
 
 /// Renders a tuple's text content for data-variant summary instances.

@@ -23,7 +23,9 @@
 //! - [`cache`] — the disk result cache with RCO / LRU / LFU policies;
 //! - [`db`] — the [`db::Database`] facade tying it all together
 //!   behind `execute_sql`;
-//! - [`persist`] — durable snapshots (`Database::save` / `Database::open`).
+//! - [`persist`] — durable snapshots (`Database::save` / `Database::open`);
+//! - [`wal`] — the write-ahead log behind `Database::recover`, which turns
+//!   server acks into a durability promise.
 
 pub mod annotated;
 pub mod cache;
@@ -33,12 +35,15 @@ pub mod expr;
 pub mod persist;
 pub mod plan;
 pub mod raw;
+pub mod wal;
 pub mod zoomin;
 
 pub use annotated::AnnotatedRow;
 pub use db::{
-    Database, DbConfig, ExecOutcome, PolicyKind, QueryResult, RowAnnotation, ZoomInResult,
+    Database, DbConfig, ExecOutcome, PolicyKind, QueryResult, RecoveryReport, RowAnnotation,
+    SqlStatement, ZoomInResult,
 };
 pub use exec::TraceLog;
 pub use expr::SExpr;
 pub use plan::LogicalPlan;
+pub use wal::SyncPolicy;

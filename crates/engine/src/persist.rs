@@ -8,11 +8,20 @@
 //! the digest cache) is deliberately not persisted: it is rebuildable and
 //! belongs to an interactive session, not to the data.
 //!
-//! Format: magic `INDB`, a version word, then the three sections. Decoding
-//! is strict — wrong magic, unknown versions, truncation, and trailing
-//! bytes are all errors.
+//! Format: magic `INDB`, a version word, the checkpoint epoch and the
+//! logical-clock high-water mark (version 2), then the three sections.
+//! Decoding is strict — wrong magic, unknown versions, truncation, and
+//! trailing bytes are all errors.
+//!
+//! Saves are crash-safe: bytes go to a sibling `.indb.tmp` file which is
+//! fsynced *before* the atomic rename over the target, and the parent
+//! directory is fsynced after so the rename itself survives power loss.
+//! A crash mid-save can therefore leave a stale temp file next to an
+//! intact snapshot — never a torn snapshot — and `Database::open` sweeps
+//! such leftovers.
 
 use crate::db::{Database, DbConfig};
+use crate::wal;
 use insightnotes_annotations::AnnotationStore;
 use insightnotes_common::codec::{Decoder, Encodable, Encoder};
 use insightnotes_common::{Error, Result};
@@ -21,24 +30,43 @@ use insightnotes_summaries::SummaryRegistry;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"INDB";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Serializes the durable state into a byte buffer.
-pub fn snapshot(catalog: &Catalog, store: &AnnotationStore, registry: &SummaryRegistry) -> Vec<u8> {
+/// Serializes durable state with an explicit checkpoint epoch and
+/// logical-clock high-water mark. `Database::save` stamps the database's
+/// live values; the WAL replays only against a snapshot of its own epoch.
+pub fn snapshot_with(
+    catalog: &Catalog,
+    store: &AnnotationStore,
+    registry: &SummaryRegistry,
+    epoch: u64,
+    clock: u64,
+) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(1 << 16);
     enc.u8(MAGIC[0]);
     enc.u8(MAGIC[1]);
     enc.u8(MAGIC[2]);
     enc.u8(MAGIC[3]);
     enc.u32(VERSION);
+    enc.u64(epoch);
+    enc.u64(clock);
     catalog.encode(&mut enc);
     store.encode(&mut enc);
     registry.encode(&mut enc);
     enc.finish()
 }
 
-/// Restores the durable state from snapshot bytes.
-pub fn restore(bytes: &[u8]) -> Result<(Catalog, AnnotationStore, SummaryRegistry)> {
+/// Serializes the durable state into a byte buffer with a zero epoch and
+/// clock — a pure state image, handy for comparing two databases
+/// byte-for-byte regardless of how many ticks each consumed.
+pub fn snapshot(catalog: &Catalog, store: &AnnotationStore, registry: &SummaryRegistry) -> Vec<u8> {
+    snapshot_with(catalog, store, registry, 0, 0)
+}
+
+/// Restores durable state from snapshot bytes, returning the sections
+/// plus the stamped `(epoch, clock)`.
+#[allow(clippy::type_complexity)]
+pub fn restore(bytes: &[u8]) -> Result<(Catalog, AnnotationStore, SummaryRegistry, u64, u64)> {
     let mut dec = Decoder::new(bytes);
     let magic = [dec.u8()?, dec.u8()?, dec.u8()?, dec.u8()?];
     if &magic != MAGIC {
@@ -50,23 +78,56 @@ pub fn restore(bytes: &[u8]) -> Result<(Catalog, AnnotationStore, SummaryRegistr
             "unsupported database file version {version} (expected {VERSION})"
         )));
     }
+    let epoch = dec.u64()?;
+    let clock = dec.u64()?;
     let catalog = Catalog::decode(&mut dec)?;
     let store = AnnotationStore::decode(&mut dec)?;
     let registry = SummaryRegistry::decode(&mut dec)?;
     dec.expect_end()?;
-    Ok((catalog, store, registry))
+    Ok((catalog, store, registry, epoch, clock))
+}
+
+/// The sibling temp file a save streams through before its atomic rename.
+pub(crate) fn tmp_path(path: &Path) -> std::path::PathBuf {
+    path.with_extension("indb.tmp")
+}
+
+/// Writes `bytes` to `path` durably: temp file → fsync → rename →
+/// parent-directory fsync. On return the new content survives power
+/// loss; on a crash at any point the old content (or absence) does.
+pub(crate) fn write_durable(path: &Path, bytes: &[u8]) -> Result<()> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    wal::crash_point("snapshot.write.after");
+    f.sync_all()?;
+    drop(f);
+    wal::crash_point("snapshot.rename.before");
+    std::fs::rename(&tmp, path)?;
+    wal::crash_point("snapshot.rename.after");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            wal::sync_dir(parent)?;
+        }
+    }
+    Ok(())
 }
 
 impl Database {
-    /// Writes a snapshot of the database's durable state to `path`
-    /// (atomically: written to a sibling temp file, then renamed).
+    /// Writes a snapshot of the database's durable state to `path`,
+    /// atomically and durably (temp file, fsync, rename, directory
+    /// fsync).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
-        let bytes = snapshot(self.catalog(), self.store(), self.registry());
-        let tmp = path.with_extension("indb.tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        let bytes = snapshot_with(
+            self.catalog(),
+            self.store(),
+            self.registry(),
+            self.epoch(),
+            self.clock_now(),
+        );
+        write_durable(path, &bytes)
     }
 
     /// Opens a database from a snapshot file with default configuration.
@@ -75,14 +136,25 @@ impl Database {
     }
 
     /// Opens a database from a snapshot file with an explicit
-    /// configuration (cache policy / budget / maintenance mode).
+    /// configuration (cache policy / budget / maintenance mode). When
+    /// the configuration names a WAL directory, prefer
+    /// [`Database::recover`], which also replays the log tail.
     pub fn open_with_config(path: impl AsRef<Path>, config: DbConfig) -> Result<Self> {
-        let bytes = std::fs::read(path.as_ref())?;
-        let (catalog, store, registry) = restore(&bytes)?;
+        let path = path.as_ref();
+        remove_stale_tmp(path);
+        let bytes = std::fs::read(path)?;
+        let (catalog, store, registry, epoch, clock) = restore(&bytes)?;
         let mut db = Database::with_config(config)?;
-        db.replace_state(catalog, store, registry);
+        db.replace_state(catalog, store, registry, epoch, clock);
         Ok(db)
     }
+}
+
+/// Sweeps a `.indb.tmp` leftover from a save that crashed before its
+/// rename. Returns whether one was removed.
+pub(crate) fn remove_stale_tmp(path: &Path) -> bool {
+    let tmp = tmp_path(path);
+    tmp.exists() && std::fs::remove_file(&tmp).is_ok()
 }
 
 #[cfg(test)]
@@ -134,6 +206,10 @@ mod tests {
 
         // Annotations round-trip.
         assert_eq!(original.store().stats(), reopened.store().stats());
+
+        // The logical clock resumes past the saved high-water mark, so
+        // restored `created` stamps can never collide with new ones.
+        assert_eq!(reopened.clock_now(), original.clock_now());
 
         // Summary objects round-trip byte-identically.
         let t = reopened.catalog().table_id("birds").unwrap();
@@ -228,14 +304,23 @@ mod tests {
         assert_eq!(err.class(), "codec");
         assert!(err.to_string().contains('7'), "{err}");
 
+        // The retired version-1 layout: same treatment — a named
+        // version in a classified error, not a misdecode.
+        let mut v1 = bytes.clone();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let err = restore(&v1).unwrap_err();
+        assert_eq!(err.class(), "codec");
+        assert!(err.to_string().contains('1'), "{err}");
+
         // Wrong magic.
         let mut bad = bytes.clone();
         bad[..4].copy_from_slice(b"NOPE");
         assert_eq!(restore(&bad).unwrap_err().class(), "codec");
 
         // Truncation at every structurally interesting point: inside the
-        // magic, inside the version word, and one byte short of the end.
-        for cut in [2usize, 6, bytes.len() - 1] {
+        // magic, inside the version word, inside the epoch/clock stamps,
+        // and one byte short of the end.
+        for cut in [2usize, 6, 12, 20, bytes.len() - 1] {
             let err = restore(&bytes[..cut]).unwrap_err();
             assert_eq!(err.class(), "codec", "cut at {cut}: {err}");
         }
@@ -250,5 +335,35 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(reopened.catalog().table_names().is_empty());
         assert_eq!(reopened.store().stats().count, 0);
+    }
+
+    #[test]
+    fn open_sweeps_a_stale_temp_file() {
+        let db = populated_db();
+        let path = snapshot_path("staletmp");
+        db.save(&path).unwrap();
+        let tmp = tmp_path(&path);
+        std::fs::write(&tmp, b"half-written snapshot from a crashed save").unwrap();
+        let reopened = Database::open(&path).unwrap();
+        assert!(!tmp.exists(), "stale temp file should be swept on open");
+        assert_eq!(reopened.store().stats().count, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_snapshot_atomically() {
+        let mut db = populated_db();
+        let path = snapshot_path("atomic");
+        db.save(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        db.execute_sql("ADD ANNOTATION 'late arrival' ON birds WHERE id = 1")
+            .unwrap();
+        db.save(&path).unwrap();
+        let after = std::fs::read(&path).unwrap();
+        assert_ne!(before, after);
+        assert!(!tmp_path(&path).exists(), "no temp residue after save");
+        let reopened = Database::open(&path).unwrap();
+        assert_eq!(reopened.store().stats().count, 4);
+        std::fs::remove_file(&path).ok();
     }
 }

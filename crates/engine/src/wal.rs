@@ -1,0 +1,718 @@
+//! Write-ahead log: the durability backbone behind `insightd`'s acks.
+//!
+//! The engine's write entry points append one **logical** record — the
+//! SQL source text of a script, the statement texts of one group-committed
+//! annotation batch, or a typed row-annotation batch — *before* executing
+//! it, and the server releases a client's acknowledgement only after the
+//! log has been fsynced (see [`SyncPolicy`]). Recovery
+//! ([`crate::db::Database::recover`]) loads the latest snapshot and
+//! re-executes the log tail through the very same execution paths, which
+//! makes the recovered state byte-identical to a serial replay: ids,
+//! logical-clock ticks, and cluster-vocabulary interning order all come
+//! out of the replayed execution, not out of the log.
+//!
+//! ## File format
+//!
+//! ```text
+//! header:  "INWL" | u32 version | u64 epoch
+//! record:  u32 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! All integers little-endian. The `epoch` pairs the log with the
+//! snapshot it extends: a checkpoint writes a durable snapshot stamped
+//! with `epoch + 1` and only then rotates the log to the new epoch, so a
+//! crash between the two steps leaves a stale log (`log epoch <
+//! snapshot epoch`) that recovery discards instead of double-applying.
+//! Payloads use the workspace codec ([`insightnotes_common::codec`]).
+//!
+//! Recovery scans the record frames, verifying length bounds, CRC, and
+//! strict payload decode; the first violation is treated as a torn tail —
+//! the file is truncated there and the scan stops. Corruption *behind*
+//! a valid tail is indistinguishable from a torn append by design: both
+//! lose the suffix, never the prefix.
+//!
+//! ## Crash points
+//!
+//! Setting `INSIGHTNOTES_CRASH_POINT` to one of the names passed to
+//! [`crash_point`] makes the process abort (SIGABRT, no unwinding, no
+//! destructors — as close to `kill -9` as an in-process hook gets) the
+//! moment that point is reached. The fault-injection tests drive every
+//! append/fsync/rename/rotate window through this hook.
+
+use insightnotes_common::codec::{Decoder, Encodable, Encoder};
+use insightnotes_common::{crc32, Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"INWL";
+const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 16;
+/// Upper bound on one record's payload (matches the wire frame cap).
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+/// The log's file name inside [`crate::db::DbConfig::wal_dir`].
+pub const WAL_FILE: &str = "insightnotes.wal";
+
+/// Aborts the process when `INSIGHTNOTES_CRASH_POINT` names this point.
+/// Fault-injection hook; a no-op in normal operation.
+pub fn crash_point(name: &str) {
+    if let Ok(target) = std::env::var("INSIGHTNOTES_CRASH_POINT") {
+        if target == name {
+            eprintln!("crash point `{name}` reached; aborting");
+            std::process::abort();
+        }
+    }
+}
+
+/// When appended records are forced to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync inside every append — maximum durability, one fsync per
+    /// write statement.
+    Always,
+    /// Appends buffer in the OS; an explicit [`Wal::sync`] (the server's
+    /// group-commit point, one per drained batch) makes them durable
+    /// before any ack is released.
+    #[default]
+    Batch,
+    /// Never fsync (crash durability limited to what the OS flushes on
+    /// its own). The log still replays after a clean process exit.
+    Off,
+}
+
+impl SyncPolicy {
+    /// Parses a policy name (`always` / `batch` / `off`), as spelled in
+    /// `insightd --sync`.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "batch" => Ok(SyncPolicy::Batch),
+            "off" => Ok(SyncPolicy::Off),
+            other => Err(Error::Execution(format!(
+                "unknown sync policy `{other}` (expected always | batch | off)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncPolicy::Always => "always",
+            SyncPolicy::Batch => "batch",
+            SyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// A typed row-annotation item, as logged by the
+/// [`crate::db::Database::annotate_rows`] family. The `created` tick is
+/// *not* logged: replay re-stages the item and the clock re-ticks
+/// deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRowAnnotation {
+    /// Target table name.
+    pub table: String,
+    /// Explicit target row ids.
+    pub rows: Vec<u64>,
+    /// Covered-column bitmask ([`insightnotes_annotations::ColSig`] bits).
+    pub cols: u64,
+    /// Annotation text.
+    pub text: String,
+    /// Attached document, if any.
+    pub document: Option<String>,
+    /// Curator.
+    pub author: String,
+}
+
+impl Encodable for WalRowAnnotation {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(&self.table);
+        enc.seq(&self.rows, |e, r| e.varint(*r));
+        enc.u64(self.cols);
+        enc.str(&self.text);
+        enc.option(&self.document, |e, d| e.str(d));
+        enc.str(&self.author);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(WalRowAnnotation {
+            table: dec.str()?,
+            rows: dec.seq(|d| d.varint())?,
+            cols: dec.u64()?,
+            text: dec.str()?,
+            document: dec.option(|d| d.str())?,
+            author: dec.str()?,
+        })
+    }
+}
+
+/// One logical write, as replayed by recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A `;`-separated script ([`crate::db::Database::execute_sql`]
+    /// semantics: statements run in order, stopping at the first error).
+    Script {
+        /// The script's source text.
+        sql: String,
+    },
+    /// One group-committed annotation batch: the statement texts in
+    /// submission order, replayed through one
+    /// [`crate::db::Database::annotate_batch`] call so maintenance
+    /// grouping and per-item failure isolation match the original run.
+    Batch {
+        /// `ADD ANNOTATION` statement texts.
+        statements: Vec<String>,
+    },
+    /// A typed row-annotation batch
+    /// ([`crate::db::Database::annotate_rows_batch`]; singles log a batch
+    /// of one).
+    Rows {
+        /// The batch items in submission order.
+        items: Vec<WalRowAnnotation>,
+    },
+    /// One multi-target annotation
+    /// ([`crate::db::Database::annotate_targets`]); table ids are raw
+    /// catalog ids, deterministic across replay.
+    Targets {
+        /// `(table id, row id, column bits)` attachment points.
+        targets: Vec<(u32, u64, u64)>,
+        /// Annotation text.
+        text: String,
+        /// Attached document, if any.
+        document: Option<String>,
+        /// Curator.
+        author: String,
+    },
+}
+
+impl Encodable for WalRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WalRecord::Script { sql } => {
+                enc.u8(1);
+                enc.str(sql);
+            }
+            WalRecord::Batch { statements } => {
+                enc.u8(2);
+                enc.seq(statements, |e, s| e.str(s));
+            }
+            WalRecord::Rows { items } => {
+                enc.u8(3);
+                enc.seq(items, |e, i| i.encode(e));
+            }
+            WalRecord::Targets {
+                targets,
+                text,
+                document,
+                author,
+            } => {
+                enc.u8(4);
+                enc.seq(targets, |e, (t, r, c)| {
+                    e.u32(*t);
+                    e.varint(*r);
+                    e.u64(*c);
+                });
+                enc.str(text);
+                enc.option(document, |e, d| e.str(d));
+                enc.str(author);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match dec.u8()? {
+            1 => Ok(WalRecord::Script { sql: dec.str()? }),
+            2 => Ok(WalRecord::Batch {
+                statements: dec.seq(|d| d.str())?,
+            }),
+            3 => Ok(WalRecord::Rows {
+                items: dec.seq(WalRowAnnotation::decode)?,
+            }),
+            4 => Ok(WalRecord::Targets {
+                targets: dec.seq(|d| Ok((d.u32()?, d.varint()?, d.u64()?)))?,
+                text: dec.str()?,
+                document: dec.option(|d| d.str())?,
+                author: dec.str()?,
+            }),
+            tag => Err(Error::Codec(format!("unknown WAL record tag {tag}"))),
+        }
+    }
+}
+
+/// What a [`Wal::open`] scan found.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The reopened log, positioned for appends after the valid tail.
+    pub wal: Wal,
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes cut off the tail (0 = the log was clean).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: SyncPolicy,
+    epoch: u64,
+    /// Valid length (header + intact records) — everything appended.
+    len: u64,
+    /// Prefix known durable (≤ `len`).
+    synced_len: u64,
+    appends: u64,
+    syncs: u64,
+}
+
+impl Wal {
+    /// The log's path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(WAL_FILE)
+    }
+
+    /// Creates a fresh log for `epoch` in `dir` (creating the directory
+    /// if needed), failing if one already exists — an existing log holds
+    /// writes that [`crate::db::Database::recover`] must replay first.
+    pub fn create(dir: &Path, epoch: u64, policy: SyncPolicy) -> Result<Wal> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_in(dir);
+        if path.exists() {
+            return Err(Error::Execution(format!(
+                "write-ahead log {} already exists; recover the database instead of \
+                 creating a fresh one over it",
+                path.display()
+            )));
+        }
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.write_all(&header_bytes(epoch))?;
+        file.sync_all()?;
+        sync_dir(dir)?;
+        Ok(Wal {
+            file,
+            path,
+            policy,
+            epoch,
+            len: HEADER_BYTES,
+            synced_len: HEADER_BYTES,
+            appends: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Opens an existing log, scanning and truncating its torn tail.
+    /// Returns `Ok(None)` when `dir` holds no log.
+    pub fn open(dir: &Path, policy: SyncPolicy) -> Result<Option<WalScan>> {
+        let path = Self::path_in(dir);
+        let mut file = match OpenOptions::new().read(true).write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_BYTES as usize {
+            return Err(Error::Codec(format!(
+                "write-ahead log {} is shorter than its header ({} bytes)",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(Error::Codec(format!(
+                "{} is not an InsightNotes write-ahead log",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(Error::Codec(format!(
+                "unsupported write-ahead log version {version} (expected {VERSION})"
+            )));
+        }
+        let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+        // Scan records; the first torn or corrupt frame ends the log.
+        let mut records = Vec::new();
+        let mut pos = HEADER_BYTES as usize;
+        while let Some((record, consumed)) = decode_frame(&bytes[pos..]) {
+            records.push(record);
+            pos += consumed;
+        }
+        let truncated_bytes = (bytes.len() - pos) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok(Some(WalScan {
+            wal: Wal {
+                file,
+                path,
+                policy,
+                epoch,
+                len: pos as u64,
+                synced_len: pos as u64,
+                appends: 0,
+                syncs: 0,
+            },
+            records,
+            truncated_bytes,
+        }))
+    }
+
+    /// The epoch this log extends.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The log's current valid length in bytes (header included). After
+    /// a [`Wal::sync`], this prefix is durable — the fault-injection
+    /// tests use it as the acked watermark.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == HEADER_BYTES
+    }
+
+    /// `(appends, fsyncs)` since open — group commit amortization shows
+    /// up as appends ≫ fsyncs.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (self.appends, self.syncs)
+    }
+
+    /// Appends one record. Under [`SyncPolicy::Always`] the record is
+    /// durable on return; otherwise durability waits for [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let mut enc = Encoder::with_capacity(256);
+        record.encode(&mut enc);
+        let payload = enc.finish();
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(Error::Execution(format!(
+                "WAL record of {} bytes exceeds the {MAX_RECORD_BYTES}-byte limit",
+                payload.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        crash_point("wal.append.before");
+        if std::env::var("INSIGHTNOTES_CRASH_POINT").as_deref() == Ok("wal.append.torn") {
+            // Write (and force out) half the frame, then die: recovery
+            // must find a genuinely torn record on disk, not an empty
+            // buffer the OS never saw.
+            let half = &frame[..frame.len() / 2];
+            let _ = self.file.write_all(half);
+            let _ = self.file.sync_all();
+            crash_point("wal.append.torn");
+        }
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appends += 1;
+        crash_point("wal.append.after");
+        if self.policy == SyncPolicy::Always {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces every appended record to disk (no-op under
+    /// [`SyncPolicy::Off`], or when nothing is pending). This is the
+    /// commit point: acks must not be released before it returns.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.policy == SyncPolicy::Off || self.synced_len == self.len {
+            return Ok(());
+        }
+        crash_point("wal.sync.before");
+        self.file.sync_data()?;
+        self.synced_len = self.len;
+        self.syncs += 1;
+        crash_point("wal.sync.after");
+        Ok(())
+    }
+
+    /// Restarts the log at `new_epoch` after a checkpoint: the snapshot
+    /// stamped with `new_epoch` is durable, so every logged record is
+    /// already reflected in it and the log can be cut back to a bare
+    /// header.
+    pub fn rotate(&mut self, new_epoch: u64) -> Result<()> {
+        crash_point("wal.rotate.before");
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header_bytes(new_epoch))?;
+        self.file.sync_all()?;
+        self.epoch = new_epoch;
+        self.len = HEADER_BYTES;
+        self.synced_len = HEADER_BYTES;
+        crash_point("wal.rotate.after");
+        Ok(())
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn header_bytes(epoch: u64) -> [u8; HEADER_BYTES as usize] {
+    let mut h = [0u8; HEADER_BYTES as usize];
+    h[..4].copy_from_slice(MAGIC);
+    h[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&epoch.to_le_bytes());
+    h
+}
+
+/// Decodes one record frame from the front of `bytes`; `None` marks a
+/// torn or corrupt frame (truncation point).
+fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_BYTES || bytes.len() < 8 + len {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let payload = &bytes[8..8 + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut dec = Decoder::new(payload);
+    let record = WalRecord::decode(&mut dec).ok()?;
+    dec.expect_end().ok()?;
+    Some((record, 8 + len))
+}
+
+/// fsyncs a directory so a just-created or just-renamed entry inside it
+/// survives power loss (no-op on platforms where directories cannot be
+/// opened for sync).
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    match File::open(dir) {
+        Ok(d) => {
+            d.sync_all()?;
+            Ok(())
+        }
+        Err(_) if !cfg!(unix) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "insightnotes-wal-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Script {
+                sql: "CREATE TABLE t (a INT); INSERT INTO t VALUES (1)".into(),
+            },
+            WalRecord::Batch {
+                statements: vec![
+                    "ADD ANNOTATION 'x' ON t".into(),
+                    "ADD ANNOTATION 'y' ON t WHERE a = 1".into(),
+                ],
+            },
+            WalRecord::Rows {
+                items: vec![WalRowAnnotation {
+                    table: "t".into(),
+                    rows: vec![1, 2],
+                    cols: 0b11,
+                    text: "typed".into(),
+                    document: Some("doc".into()),
+                    author: "ada".into(),
+                }],
+            },
+            WalRecord::Targets {
+                targets: vec![(1, 1, 0b1), (2, 7, 0b10)],
+                text: "spans tables".into(),
+                document: None,
+                author: "brahe".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_append_and_open() {
+        let dir = temp_dir("roundtrip");
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&dir, 3, SyncPolicy::Always).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let scan = Wal::open(&dir, SyncPolicy::Batch).unwrap().unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.wal.epoch(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_an_existing_log() {
+        let dir = temp_dir("clobber");
+        let _wal = Wal::create(&dir, 0, SyncPolicy::Off).unwrap();
+        let err = Wal::create(&dir, 0, SyncPolicy::Off).unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_byte_offset() {
+        let dir = temp_dir("torn");
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&dir, 0, SyncPolicy::Off).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let path = Wal::path_in(&dir);
+        let full = std::fs::read(&path).unwrap();
+        // Find where the final record starts by re-framing the first three.
+        let scan = Wal::open(&dir, SyncPolicy::Off).unwrap().unwrap();
+        drop(scan);
+        let mut tail_start = HEADER_BYTES as usize;
+        for _ in 0..records.len() - 1 {
+            let len =
+                u32::from_le_bytes(full[tail_start..tail_start + 4].try_into().unwrap()) as usize;
+            tail_start += 8 + len;
+        }
+        for cut in tail_start..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = Wal::open(&dir, SyncPolicy::Off).unwrap().unwrap();
+            assert_eq!(
+                scan.records,
+                records[..records.len() - 1],
+                "cut at byte {cut}"
+            );
+            assert_eq!(scan.truncated_bytes, (cut - tail_start) as u64);
+            // The scan physically truncated the file back to the prefix.
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                tail_start as u64,
+                "cut at byte {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_in_final_record_drops_only_that_record() {
+        let dir = temp_dir("corrupt");
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&dir, 0, SyncPolicy::Off).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let path = Wal::path_in(&dir);
+        let full = std::fs::read(&path).unwrap();
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        std::fs::write(&path, &corrupt).unwrap();
+        let scan = Wal::open(&dir, SyncPolicy::Off).unwrap().unwrap();
+        assert_eq!(scan.records, records[..records.len() - 1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_and_truncated_headers_are_classified_errors() {
+        let dir = temp_dir("badheader");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Wal::path_in(&dir);
+
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert_eq!(
+            Wal::open(&dir, SyncPolicy::Off).unwrap_err().class(),
+            "codec"
+        );
+
+        std::fs::write(&path, b"INWLxxxxyyyyzzzz").unwrap();
+        assert_eq!(
+            Wal::open(&dir, SyncPolicy::Off).unwrap_err().class(),
+            "codec"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotate_cuts_the_log_back_to_a_header_with_the_new_epoch() {
+        let dir = temp_dir("rotate");
+        let mut wal = Wal::create(&dir, 0, SyncPolicy::Batch).unwrap();
+        for r in &sample_records() {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(!wal.is_empty());
+        wal.rotate(1).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.epoch(), 1);
+        // Appends keep working after rotation, and reopen sees only them.
+        wal.append(&WalRecord::Script { sql: "x".into() }).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let scan = Wal::open(&dir, SyncPolicy::Batch).unwrap().unwrap();
+        assert_eq!(scan.wal.epoch(), 1);
+        assert_eq!(scan.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policies_gate_fsync_counts() {
+        let dir = temp_dir("policies");
+        let mut wal = Wal::create(&dir, 0, SyncPolicy::Always).unwrap();
+        wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
+        wal.append(&WalRecord::Script { sql: "b".into() }).unwrap();
+        assert_eq!(wal.io_stats(), (2, 2));
+        // A redundant explicit sync is free.
+        wal.sync().unwrap();
+        assert_eq!(wal.io_stats(), (2, 2));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let dir = temp_dir("policies2");
+        let mut wal = Wal::create(&dir, 0, SyncPolicy::Batch).unwrap();
+        wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
+        wal.append(&WalRecord::Script { sql: "b".into() }).unwrap();
+        assert_eq!(wal.io_stats(), (2, 0));
+        wal.sync().unwrap();
+        assert_eq!(wal.io_stats(), (2, 1));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let dir = temp_dir("policies3");
+        let mut wal = Wal::create(&dir, 0, SyncPolicy::Off).unwrap();
+        wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.io_stats(), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policy_parse_round_trips() {
+        for p in [SyncPolicy::Always, SyncPolicy::Batch, SyncPolicy::Off] {
+            assert_eq!(SyncPolicy::parse(&p.to_string()).unwrap(), p);
+        }
+        assert!(SyncPolicy::parse("sometimes").is_err());
+    }
+}

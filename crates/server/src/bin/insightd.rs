@@ -3,16 +3,23 @@
 //! ```text
 //! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 64]
 //!          [--timeout-ms 10000] [--parallelism N]
+//!          [--wal-dir DIR] [--sync always|batch|off]
 //! ```
 //!
 //! Serves the wire protocol (see `insightnotes_common::wire`) over TCP
 //! with one thread per connection. With `--snapshot`, an existing file is
 //! loaded at startup and a fresh snapshot is written on graceful shutdown
-//! (SIGINT/SIGTERM or a client `.shutdown`). `--addr` with port 0 picks
-//! an ephemeral port; the bound address is printed on the first stdout
-//! line (`insightd listening on HOST:PORT`) so scripts can scrape it.
+//! (SIGINT/SIGTERM or a client `.shutdown`). With `--wal-dir`, every
+//! write is appended to a write-ahead log before it executes and acks
+//! are released only after the log is durable (`--sync` picks the fsync
+//! policy, default `batch` = one fsync per group-committed batch);
+//! startup then runs full crash recovery — snapshot plus WAL-tail
+//! replay — so a `kill -9` loses no acknowledged write. `--addr` with
+//! port 0 picks an ephemeral port; the bound address is printed on the
+//! first stdout line (`insightd listening on HOST:PORT`) so scripts can
+//! scrape it.
 
-use insightnotes_engine::{Database, DbConfig};
+use insightnotes_engine::{Database, DbConfig, SyncPolicy};
 use insightnotes_server::{install_signal_handlers, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -32,20 +39,20 @@ fn run() -> insightnotes_common::Result<u64> {
 
     let db_config = DbConfig {
         parallelism: opts.parallelism,
+        wal_dir: opts.wal_dir.clone(),
+        wal_sync: opts.sync,
         ..DbConfig::default()
     };
-    let db = match &opts.snapshot {
-        Some(path) if path.exists() => {
-            let db = Database::open_with_config(path, db_config)?;
-            eprintln!(
-                "insightd: restored snapshot {} ({} tables)",
-                path.display(),
-                db.catalog().table_names().len()
-            );
-            db
-        }
-        _ => Database::with_config(db_config)?,
-    };
+    // Recovery handles every startup shape uniformly: fresh database,
+    // snapshot only, snapshot + WAL tail, torn tails, stale temp files.
+    let (db, report) = Database::recover(opts.snapshot.as_deref(), db_config)?;
+    if report.snapshot_loaded || report.records_replayed > 0 || opts.wal_dir.is_some() {
+        eprintln!(
+            "insightd: recovery: {report} ({} tables, {} annotations)",
+            db.catalog().table_names().len(),
+            db.store().stats().count
+        );
+    }
 
     let config = ServerConfig {
         max_connections: opts.max_conns,
@@ -74,6 +81,8 @@ struct Opts {
     max_conns: usize,
     timeout_ms: u64,
     parallelism: Option<usize>,
+    wal_dir: Option<PathBuf>,
+    sync: SyncPolicy,
 }
 
 fn parse_args() -> insightnotes_common::Result<Opts> {
@@ -83,6 +92,8 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
         max_conns: 64,
         timeout_ms: 10_000,
         parallelism: None,
+        wal_dir: None,
+        sync: SyncPolicy::Batch,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,7 +103,8 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
-                 [--max-conns N] [--timeout-ms N] [--parallelism N]"
+                 [--max-conns N] [--timeout-ms N] [--parallelism N] \
+                 [--wal-dir DIR] [--sync always|batch|off]"
             );
             std::process::exit(0);
         }
@@ -117,6 +129,8 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
                         .map_err(|_| bad(format!("bad count {value}")))?,
                 )
             }
+            "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value)),
+            "--sync" => opts.sync = SyncPolicy::parse(value)?,
             other => return Err(bad(format!("unknown flag {other}"))),
         }
         i += 2;

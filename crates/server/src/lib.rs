@@ -23,12 +23,26 @@
 //! into a bounded commit queue ([`ServerConfig::commit_queue_depth`])
 //! and block for the reply; a dedicated committer thread drains whatever
 //! has accumulated and ingests it through one
-//! [`Database::annotate_batch`] call — one exclusive-lock acquisition
-//! per *group* of concurrent writers instead of one per annotation, so
-//! writers stop convoying behind readers one at a time. Per-statement
-//! results fan back out to the waiting sessions (partial failure allowed
-//! within a batch). The queue drains fully on graceful shutdown: every
-//! enqueued writer still receives its reply.
+//! [`Database::annotate_batch_sql`] call — one exclusive-lock
+//! acquisition per *group* of concurrent writers instead of one per
+//! annotation, so writers stop convoying behind readers one at a time.
+//! Per-statement results fan back out to the waiting sessions (partial
+//! failure allowed within a batch). The queue drains fully on graceful
+//! shutdown: every enqueued writer still receives its reply.
+//!
+//! ## Durability
+//!
+//! With a write-ahead log attached to the database
+//! (`insightd --wal-dir`), the committer is also the **group-fsync**
+//! point: the whole drained group lands in the log as one record before
+//! it executes, one `fsync` covers it (under the `batch` sync policy),
+//! and replies are released only **after** that fsync returns — an ack
+//! therefore promises the annotation survives `kill -9` or power loss.
+//! If the fsync fails, every would-be success in the group is converted
+//! to an error, because the ack's promise could not be kept. `Execute`
+//! frames carrying writes follow the same discipline (log, execute,
+//! sync, then reply). On restart, `insightd` recovers through
+//! [`Database::recover`]: snapshot plus WAL-tail replay.
 //!
 //! ## Robustness
 //!
@@ -51,7 +65,7 @@ use insightnotes_common::wire::{
     ZoomPayload,
 };
 use insightnotes_common::{Error, Result};
-use insightnotes_engine::db::{ExecOutcome, QueryResult, ZoomInResult};
+use insightnotes_engine::db::{ExecOutcome, QueryResult, SqlStatement, ZoomInResult};
 use insightnotes_engine::Database;
 use insightnotes_sql::{parse, Statement, StatementClass};
 use insightnotes_storage::{Column, Value};
@@ -220,7 +234,7 @@ impl Server {
                     if self.state.active.load(Ordering::Relaxed)
                         >= self.state.config.max_connections
                     {
-                        refuse(stream, self.state.config.max_connections);
+                        refuse(stream, &self.state.config);
                         continue;
                     }
                     let id = self.state.next_session.fetch_add(1, Ordering::Relaxed);
@@ -256,7 +270,9 @@ impl Server {
         drop(commit_tx);
         let _ = committer.join();
         if let Some(path) = &self.state.config.snapshot_path {
-            self.db.read().save(path)?;
+            // With a WAL this is a checkpoint (durable snapshot, then log
+            // rotation); without one it degrades to a plain durable save.
+            self.db.write().checkpoint(path)?;
         }
         Ok(self.state.served.load(Ordering::Relaxed))
     }
@@ -268,7 +284,7 @@ impl Server {
 /// channel the session blocks on. The committer answers with one
 /// [`BatchItem`] per statement, in order.
 struct CommitJob {
-    stmts: Vec<Statement>,
+    stmts: Vec<SqlStatement>,
     reply: mpsc::Sender<Vec<BatchItem>>,
 }
 
@@ -279,8 +295,9 @@ struct Committer {
 
 impl Committer {
     /// Enqueues one frame's statements and blocks until the committer
-    /// has ingested them, returning one result per statement.
-    fn submit(&self, stmts: Vec<Statement>) -> Result<Vec<BatchItem>> {
+    /// has ingested them (and, when a WAL is attached, fsynced them),
+    /// returning one result per statement.
+    fn submit(&self, stmts: Vec<SqlStatement>) -> Result<Vec<BatchItem>> {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.tx
             .send(CommitJob {
@@ -297,10 +314,14 @@ impl Committer {
 /// The dedicated committer thread: each wake-up drains every job that
 /// has accumulated in the queue (capped at [`wire::MAX_BATCH_ITEMS`]
 /// statements per group) and ingests the combined statement list through
-/// **one** [`Database::annotate_batch`] call — a single exclusive-lock
-/// acquisition per group — then fans the per-statement results back to
-/// the waiting sessions. Exits when every sender is gone and the queue
-/// is empty, which is what makes shutdown lossless.
+/// **one** [`Database::annotate_batch_sql`] call — a single
+/// exclusive-lock acquisition and a single WAL record per group — then
+/// fsyncs the log (the group-commit point; readers may proceed during
+/// the fsync, which only needs the shared lock) and fans the
+/// per-statement results back to the waiting sessions. A failed fsync
+/// poisons every would-be success in the group: the reply's durability
+/// promise could not be kept. Exits when every sender is gone and the
+/// queue is empty, which is what makes shutdown lossless.
 fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
@@ -320,15 +341,21 @@ fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
             spans.push(job.stmts.len());
             all.append(&mut job.stmts);
         }
-        let results = db.write().annotate_batch(all);
+        let results = db.write().annotate_batch_sql(all);
+        // Group-commit fsync *after* releasing the exclusive lock (sync
+        // only needs `&self`), *before* releasing any reply.
+        let sync_err = db.read().wal_sync().err();
         let mut results = results.into_iter();
         for (job, n) in jobs.into_iter().zip(spans) {
             let items: Vec<BatchItem> = results
                 .by_ref()
                 .take(n)
-                .map(|r| match r {
-                    Ok(outcome) => BatchItem::Ok(outcome.to_string()),
-                    Err(e) => BatchItem::Err(WireError::from(&e)),
+                .map(|r| match (r, &sync_err) {
+                    (Ok(_), Some(e)) => BatchItem::Err(WireError::from(&Error::Execution(
+                        format!("write-ahead log sync failed; write not durable: {e}"),
+                    ))),
+                    (Ok(outcome), None) => BatchItem::Ok(outcome.to_string()),
+                    (Err(e), _) => BatchItem::Err(WireError::from(&e)),
                 })
                 .collect();
             // A send error means the session died mid-wait; its reply is
@@ -338,13 +365,16 @@ fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
     }
 }
 
-/// Turns away a connection over the limit with a structured error frame.
-fn refuse(mut stream: TcpStream, limit: usize) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+/// Turns away a connection over the limit with a structured error frame,
+/// written under the same [`ServerConfig::request_timeout`] every other
+/// response honors.
+fn refuse(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.request_timeout));
     let _ = wire::write_frame(
         &mut stream,
         &Response::Error(WireError::from(&Error::Execution(format!(
-            "connection limit ({limit}) reached; try again later"
+            "connection limit ({}) reached; try again later",
+            config.max_connections
         )))),
     );
 }
@@ -637,11 +667,13 @@ fn try_handle_request(
                     .map(|s| Ok(db.execute_read(s)?.to_string()))
                     .collect::<Result<Vec<_>>>()?
             } else {
-                let mut db = db.write();
-                stmts
-                    .into_iter()
-                    .map(|s| Ok(db.execute(s)?.to_string()))
-                    .collect::<Result<Vec<_>>>()?
+                // The script's source text goes through execute_sql so
+                // the WAL (when attached) records it before execution;
+                // the sync below is the per-request commit point, after
+                // which the ack's durability promise holds.
+                let outcomes = db.write().execute_sql(&sql)?;
+                db.read().wal_sync()?;
+                outcomes.iter().map(|o| o.to_string()).collect()
             };
             Ok(Response::Ack { messages })
         }
@@ -659,15 +691,19 @@ fn expect_single(sql: &str, kind: &str) -> Result<Statement> {
     Ok(stmts.remove(0))
 }
 
-/// Parses one ingest item: exactly one `ADD ANNOTATION` statement.
-fn annotate_statement(sql: &str, kind: &str) -> Result<Statement> {
+/// Parses one ingest item: exactly one `ADD ANNOTATION` statement,
+/// returned with its source text so the committer can log it.
+fn annotate_statement(sql: &str, kind: &str) -> Result<SqlStatement> {
     let stmt = expect_single(sql, kind)?;
     if !matches!(stmt, Statement::AddAnnotation { .. }) {
         return Err(Error::Execution(format!(
             "{kind} items carry exactly one ADD ANNOTATION statement"
         )));
     }
-    Ok(stmt)
+    Ok(SqlStatement {
+        sql: sql.to_string(),
+        stmt,
+    })
 }
 
 fn wire_value(v: &Value) -> WireValue {

@@ -1,0 +1,209 @@
+//! End-to-end crash recovery through the real `insightd` binary: a
+//! server running with `--wal-dir` is killed with SIGKILL (no shutdown
+//! handler, no snapshot, no destructors) and restarted, and every
+//! annotation whose ack a client received before the kill must be
+//! queryable again. A second test aborts the server *inside* the
+//! group-commit fsync via `INSIGHTNOTES_CRASH_POINT` — the client sees
+//! a dead connection instead of an ack, and recovery must preserve
+//! exactly the previously-acked prefix.
+
+#![cfg(unix)]
+
+use insightnotes_client::Client;
+use insightnotes_engine::Database;
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "insightnotes-crashrec-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns `insightd` on an ephemeral port with a WAL and snapshot
+    /// in `dir`, scraping the bound address off the first stdout line.
+    fn spawn(dir: &Path, crash_point: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_insightd"));
+        cmd.args(["--addr", "127.0.0.1:0", "--sync", "batch"])
+            .arg("--wal-dir")
+            .arg(dir)
+            .arg("--snapshot")
+            .arg(dir.join("db.indb"))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        match crash_point {
+            Some(point) => cmd.env("INSIGHTNOTES_CRASH_POINT", point),
+            None => cmd.env_remove("INSIGHTNOTES_CRASH_POINT"),
+        };
+        let mut child = cmd.spawn().expect("spawn insightd");
+        let mut line = String::new();
+        BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("insightd listening on ")
+            .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+            .parse()
+            .expect("parse bound address");
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_timeout(&self.addr, Duration::from_secs(10)).expect("connect")
+    }
+
+    /// SIGKILL — the crash under test. Nothing on the server gets a
+    /// chance to run: no snapshot, no flush, no Drop.
+    fn kill_nine(mut self) {
+        self.child.kill().expect("kill -9");
+        self.child.wait().expect("reap");
+    }
+
+    /// Graceful stop via the wire protocol; returns the server's
+    /// captured stderr (recovery reports land there).
+    fn shutdown(mut self) -> String {
+        self.client().shutdown_server().expect("shutdown request");
+        self.child.wait().expect("reap");
+        let mut err = String::new();
+        self.child
+            .stderr
+            .take()
+            .expect("piped stderr")
+            .read_to_string(&mut err)
+            .expect("read stderr");
+        err
+    }
+
+    /// Waits for the process to die on its own (injected abort).
+    fn wait_dead(mut self) {
+        let status = self.child.wait().expect("reap");
+        assert!(!status.success(), "server was expected to abort");
+    }
+}
+
+const SCHEMA: &str = "CREATE TABLE t (p INT, q TEXT); \
+     INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three'); \
+     CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5; \
+     LINK SUMMARY K TO t";
+
+fn annotation_sql(text: &str, row: u64) -> String {
+    format!("ADD ANNOTATION '{text}' AUTHOR 'crash' ON t WHERE p = {row}")
+}
+
+/// All annotation texts in a snapshot file, sorted.
+fn texts_in_snapshot(path: &Path) -> Vec<String> {
+    let db = Database::open(path).expect("open snapshot");
+    let count = db.store().stats().count as u64;
+    let mut texts: Vec<String> = (1..=count + 16) // ids may be sparse after restarts
+        .filter_map(|raw| {
+            db.store()
+                .get(insightnotes_common::AnnotationId::new(raw))
+                .ok()
+                .map(|a| a.body.text.clone())
+        })
+        .collect();
+    assert_eq!(
+        texts.len() as u64,
+        count,
+        "dense-id scan missed annotations"
+    );
+    texts.sort();
+    texts
+}
+
+#[test]
+fn kill_nine_loses_no_acked_annotations() {
+    let dir = scratch("kill9");
+
+    // First life: schema plus a group-committed batch, all acked.
+    let daemon = Daemon::spawn(&dir, None);
+    let mut c = daemon.client();
+    c.execute(SCHEMA).expect("schema");
+    let batch: Vec<String> = (0..8)
+        .map(|i| annotation_sql(&format!("survivor {i}"), i % 3 + 1))
+        .collect();
+    for item in c.annotate_batch(batch).expect("batch frame") {
+        item.expect("batch item acked");
+    }
+    daemon.kill_nine();
+
+    // Second life: recovery replays the log; the server keeps working.
+    let daemon = Daemon::spawn(&dir, None);
+    let mut c = daemon.client();
+    c.annotate(&annotation_sql("post-restart", 2))
+        .expect("annotate after recovery");
+    let stderr = daemon.shutdown();
+    assert!(
+        stderr.contains("recovery:"),
+        "restarted server should report recovery, stderr: {stderr}"
+    );
+
+    let mut expected: Vec<String> = (0..8).map(|i| format!("survivor {i}")).collect();
+    expected.push("post-restart".into());
+    expected.sort();
+    assert_eq!(texts_in_snapshot(&dir.join("db.indb")), expected);
+}
+
+#[test]
+fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
+    let dir = scratch("abort-commit");
+
+    // Ack a baseline, stop cleanly (checkpoints snapshot + rotates WAL).
+    let daemon = Daemon::spawn(&dir, None);
+    let mut c = daemon.client();
+    c.execute(SCHEMA).expect("schema");
+    c.annotate(&annotation_sql("acked before crash", 1))
+        .expect("baseline annotate");
+    daemon.shutdown();
+
+    // Second life dies inside the committer's fsync: the batch is never
+    // acked — the client sees the connection drop instead.
+    let daemon = Daemon::spawn(&dir, Some("wal.sync.before"));
+    let mut c = daemon.client();
+    let unacked: Vec<String> = (0..4)
+        .map(|i| annotation_sql(&format!("never acked {i}"), 1))
+        .collect();
+    let outcome = c.annotate_batch(unacked);
+    assert!(
+        outcome.is_err() || outcome.unwrap().iter().all(|r| r.is_err()),
+        "no item of the aborted batch may carry an Ok ack"
+    );
+    daemon.wait_dead();
+
+    // Third life: everything acked is back; nothing partial. The
+    // unacked batch is one atomic log record that never reached an
+    // fsync — with the abort landing before the sync it may only
+    // survive if the OS flushed it anyway, in which case it must be
+    // complete (all 4) — never a partial group.
+    let daemon = Daemon::spawn(&dir, None);
+    let mut c = daemon.client();
+    c.annotate(&annotation_sql("after recovery", 3))
+        .expect("annotate after recovery");
+    daemon.shutdown();
+
+    let texts = texts_in_snapshot(&dir.join("db.indb"));
+    assert!(texts.contains(&"acked before crash".to_string()));
+    assert!(texts.contains(&"after recovery".to_string()));
+    let ghosts = texts
+        .iter()
+        .filter(|t| t.starts_with("never acked"))
+        .count();
+    assert!(
+        ghosts == 0 || ghosts == 4,
+        "unacked group must recover atomically, found {ghosts}/4"
+    );
+}

@@ -14,7 +14,7 @@ use crate::object::{Contribution, SummaryObject};
 use insightnotes_annotations::{AnnotationBody, ColSig, Target};
 use insightnotes_common::{codec, AnnotationId, Error, InstanceId, Result, RowId, TableId};
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A summary object shared copy-on-write between the registry and any
@@ -309,15 +309,16 @@ impl SummaryRegistry {
     /// batch ingest to stay byte-identical to serial ingest; a
     /// row-grouped first touch would permute them.
     ///
-    /// Digest counters are attributed to `per_annotation` only for
-    /// cache-served instances (the apply pass then records hits); work
-    /// the cache cannot keep is recomputed and counted at application
-    /// time instead, exactly as a serial replay counts it.
+    /// The warm-up attributes **no** maintenance counters: the apply
+    /// pass accounts every digest at the moment a serial replay would
+    /// have performed it (see `apply_annotations_batch`), counting its
+    /// own first touch of each `(instance, annotation)` pair as the
+    /// computation even when this warm-up already planted it in the
+    /// cache.
     pub fn warm_digests(
         &mut self,
         anns: &[(AnnotationId, &AnnotationBody, &[Target])],
         tuple_context: &dyn Fn(TableId, RowId) -> Option<String>,
-        per_annotation: &mut HashMap<AnnotationId, MaintenanceStats>,
     ) -> Result<()> {
         // One context rendering per row across the whole warm-up.
         let mut contexts: HashMap<(TableId, RowId), Option<String>> = HashMap::new();
@@ -325,15 +326,6 @@ impl SummaryRegistry {
             for t in targets {
                 let linked = self.links.get(&t.table).cloned().unwrap_or_default();
                 for inst_id in linked {
-                    let cacheable = self.use_digest_cache
-                        && self
-                            .instances
-                            .get(&inst_id)
-                            .ok_or_else(|| {
-                                Error::Summary(format!("unknown summary instance {inst_id}"))
-                            })?
-                            .properties()
-                            .summarize_once();
                     let (table, row) = (t.table, t.row);
                     let mut stats = MaintenanceStats::default();
                     self.digest_cached(
@@ -348,9 +340,6 @@ impl SummaryRegistry {
                         },
                         &mut stats,
                     )?;
-                    if cacheable {
-                        per_annotation.entry(aid).or_default().absorb(stats);
-                    }
                 }
             }
         }
@@ -375,7 +364,12 @@ impl SummaryRegistry {
     /// data-variant digest in the batch.
     ///
     /// Per-annotation counters are accumulated into `per_annotation`;
-    /// the returned stats are the batch total.
+    /// the returned stats are the batch total. Counters match a serial
+    /// replay exactly: the warm-up pass may have planted a digest in the
+    /// cache that a serial run would only compute now, so the first time
+    /// this pass touches each `(instance, annotation)` pair, a
+    /// cache-served digest is accounted as the computation it replaces;
+    /// later touches stay cache hits, as they would serially.
     pub fn apply_annotations_batch(
         &mut self,
         rows: &BTreeMap<(TableId, RowId), Vec<(AnnotationId, ColSig)>>,
@@ -384,6 +378,7 @@ impl SummaryRegistry {
         per_annotation: &mut HashMap<AnnotationId, MaintenanceStats>,
     ) -> Result<MaintenanceStats> {
         let mut total = MaintenanceStats::default();
+        let mut first_contact: HashSet<(InstanceId, AnnotationId)> = HashSet::new();
         for (&(table, row), anns) in rows {
             let linked = self.links.get(&table).cloned().unwrap_or_default();
             if linked.is_empty() {
@@ -413,6 +408,16 @@ impl SummaryRegistry {
                     )?;
                     if let Some(c) = contribution {
                         contribs.push((aid, cols, c));
+                    }
+                    if first_contact.insert((inst_id, aid))
+                        && stats.digests_computed == 0
+                        && stats.cache_hits == 1
+                    {
+                        // Warm-up served this from the cache, but a
+                        // serial replay would be computing it right
+                        // here — recount it as the computation.
+                        stats.digests_computed = 1;
+                        stats.cache_hits = 0;
                     }
                     total.absorb(stats);
                     per_annotation.entry(aid).or_default().absorb(stats);

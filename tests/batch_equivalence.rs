@@ -1,7 +1,8 @@
 //! Property tests for batched annotation ingestion: `annotate_batch`
 //! (SQL path) and `annotate_rows_batch` (typed path) must be observably
 //! identical to replaying the same annotations one at a time — the same
-//! per-item success/failure pattern, the same summary objects, and
+//! per-item success/failure pattern, the same per-item maintenance
+//! stats attribution, the same summary objects, and
 //! byte-identical snapshots. Snapshot bytes pin annotation ids and the
 //! `created` clock ticks stamped into each body, not just aggregate
 //! state, so an id or tick skew introduced by batching shows up even
@@ -15,9 +16,10 @@
 use insightnotes::annotations::{AnnotationBody, ColSig};
 use insightnotes::common::{ColumnId, RowId};
 use insightnotes::engine::persist::snapshot;
+use insightnotes::engine::ExecOutcome;
 use insightnotes::engine::{Database, DbConfig, RowAnnotation};
 use insightnotes::sql::parse_one;
-use insightnotes::summaries::MaintenanceMode;
+use insightnotes::summaries::{MaintenanceMode, MaintenanceStats};
 use proptest::prelude::*;
 
 const TEXT_POOL: &[&str] = &[
@@ -163,30 +165,44 @@ fn sql_of(item: &Item) -> String {
     }
 }
 
+/// Successful items compare their [`MaintenanceStats`] too: the batch
+/// path must *attribute* its maintenance work (digests computed, cache
+/// hits, object updates) to the same annotation the serial path does,
+/// in both maintenance modes — not just end in the same state.
+fn stats_of(outcomes: &[ExecOutcome]) -> MaintenanceStats {
+    match outcomes {
+        [ExecOutcome::Annotated { maintenance, .. }] => *maintenance,
+        other => panic!("expected one Annotated outcome, got {other:?}"),
+    }
+}
+
 /// One-by-one reference execution. `NotAnnotation` items are skipped
 /// outright: the batch contract is that they are rejected *without
 /// execution*, so the serial reference must not run them either.
-fn replay_serial(db: &mut Database, items: &[Item]) -> Vec<Result<(), String>> {
+fn replay_serial(db: &mut Database, items: &[Item]) -> Vec<Result<MaintenanceStats, String>> {
     items
         .iter()
         .map(|item| match item {
             Item::NotAnnotation => Err("rejected without execution".into()),
             other => db
                 .execute_sql(&sql_of(other))
-                .map(|_| ())
+                .map(|outcomes| stats_of(&outcomes))
                 .map_err(|e| e.to_string()),
         })
         .collect()
 }
 
-fn run_batch(db: &mut Database, items: &[Item]) -> Vec<Result<(), String>> {
+fn run_batch(db: &mut Database, items: &[Item]) -> Vec<Result<MaintenanceStats, String>> {
     let stmts = items
         .iter()
         .map(|i| parse_one(&sql_of(i)).expect("generated SQL parses"))
         .collect();
     db.annotate_batch(stmts)
         .into_iter()
-        .map(|r| r.map(|_| ()).map_err(|e| e.to_string()))
+        .map(|r| {
+            r.map(|outcome| stats_of(std::slice::from_ref(&outcome)))
+                .map_err(|e| e.to_string())
+        })
         .collect()
 }
 

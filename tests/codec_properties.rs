@@ -115,7 +115,8 @@ fn snapshot_of_snapshot_is_identical() {
     )
     .unwrap();
     let first = snapshot(db.catalog(), db.store(), db.registry());
-    let (catalog, store, registry) = restore(&first).unwrap();
+    let (catalog, store, registry, epoch, clock) = restore(&first).unwrap();
+    assert_eq!((epoch, clock), (0, 0), "plain snapshots carry zero stamps");
     let second = snapshot(&catalog, &store, &registry);
     assert_eq!(first, second, "snapshots are canonical (fixed point)");
 }
