@@ -50,10 +50,7 @@ impl AttachmentIndex {
 
     /// All attachments on a row, in attachment order.
     pub fn on_row(&self, table: TableId, row: RowId) -> &[(AnnotationId, ColSig)] {
-        self.by_row
-            .get(&(table, row))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_row.get(&(table, row)).map_or(&[], Vec::as_slice)
     }
 
     /// Number of annotations attached to a row.

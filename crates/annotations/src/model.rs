@@ -187,7 +187,7 @@ impl codec::Encodable for AnnotationBody {
     fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
         Ok(AnnotationBody {
             text: dec.str()?,
-            document: dec.option(|d| d.str())?,
+            document: dec.option(insightnotes_common::Decoder::str)?,
             author: dec.str()?,
             created: dec.varint()?,
         })
@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn iter_and_display() {
         let sig = ColSig::of_columns(&[ColumnId::new(5), ColumnId::new(1)]);
-        let cols: Vec<u16> = sig.iter().map(|c| c.raw()).collect();
+        let cols: Vec<u16> = sig.iter().map(insightnotes_common::ColumnId::raw).collect();
         assert_eq!(cols, vec![1, 5]);
         assert_eq!(sig.to_string(), "{1,5}");
     }

@@ -22,7 +22,12 @@ fn bench_predicates(c: &mut Criterion) {
         });
         // The raw baseline must classify every annotation at query time.
         let mut gen = BirdGen::new(SEED);
-        let mut model = NaiveBayes::new(ANNOTATION_CLASSES.iter().map(|s| s.to_string()).collect());
+        let mut model = NaiveBayes::new(
+            ANNOTATION_CLASSES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+        );
         for (class, text) in gen.training_corpus(12) {
             model.train(class, &text);
         }

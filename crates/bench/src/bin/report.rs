@@ -234,6 +234,8 @@ fn e1_maintenance() {
         annotate_one_row(&mut inc, 1, existing, SEED);
         let mut reb = annotated_db(10, 1.0);
         annotate_one_row(&mut reb, 1, existing, SEED);
+        // lint:allow(wal-bypass) — bench harness config on a throwaway
+        // in-memory database with no WAL attached.
         reb.set_maintenance_mode(MaintenanceMode::Rebuild);
 
         let (_, inc_t) = timed(|| annotate_one_row(&mut inc, 1, 50, SEED + 1));
@@ -447,6 +449,8 @@ fn e5_invariant_optimization() {
     for fanout in [1usize, 4, 16, 64] {
         let run = |use_cache: bool| {
             let mut db = annotated_db(64, 1.0);
+            // lint:allow(wal-bypass) — bench harness config on a
+            // throwaway in-memory database with no WAL attached.
             db.registry_mut().use_digest_cache = use_cache;
             let rows: Vec<RowId> = (1..=fanout as u64).map(RowId::new).collect();
             let mut gen = BirdGen::new(SEED);
@@ -501,7 +505,12 @@ fn e7_summary_predicates() {
         // Baseline: scan everything raw, classify each annotation at
         // query time, and filter — what a raw-propagation system must do.
         let mut gen = BirdGen::new(SEED);
-        let mut model = NaiveBayes::new(ANNOTATION_CLASSES.iter().map(|s| s.to_string()).collect());
+        let mut model = NaiveBayes::new(
+            ANNOTATION_CLASSES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+        );
         for (class, text) in gen.training_corpus(12) {
             model.train(class, &text);
         }
@@ -570,6 +579,8 @@ fn a1_cluster_budget() {
             },
             properties: insightnotes_summaries::InstanceProperties::default(),
         };
+        // lint:allow(wal-bypass) — bench harness setup on a throwaway
+        // in-memory database with no WAL attached.
         db.registry_mut().create_instance(def).unwrap();
         db.execute_sql("LINK SUMMARY SimCluster TO birds").unwrap();
 
@@ -889,13 +900,11 @@ fn a6_recovery() {
             wal_sync: wal.unwrap_or_default(),
             ..DbConfig::default()
         };
-        let wal_bytes = wal
-            .map(|_| {
-                std::fs::metadata(insightnotes_engine::wal::Wal::path_in(&dir))
-                    .expect("wal metadata")
-                    .len()
-            })
-            .unwrap_or(0);
+        let wal_bytes = wal.map_or(0, |_| {
+            std::fs::metadata(insightnotes_engine::wal::Wal::path_in(&dir))
+                .expect("wal metadata")
+                .len()
+        });
         // Crash: nothing saved, the log is all that survives. Recovery
         // replays every record through the normal execution paths.
         let (recover_ms, replayed) = if wal.is_some() {

@@ -168,7 +168,7 @@ fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<Line
         }
         Response::Error(e) => println!("error: {}", e.into_error()),
         Response::Pong { version, served } => {
-            println!("pong: protocol v{version}, {served} request(s) served")
+            println!("pong: protocol v{version}, {served} request(s) served");
         }
         Response::ShuttingDown => println!("server is shutting down"),
     }
@@ -178,7 +178,11 @@ fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<Line
 fn print_rows(rows: &RowsPayload) {
     println!("QID {} | {}", rows.qid, rows.columns.join(", "));
     for row in &rows.rows {
-        let values: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+        let values: Vec<String> = row
+            .values
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let mut line = format!("({})", values.join(", "));
         for s in &row.summaries {
             line.push_str("  ");

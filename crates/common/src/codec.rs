@@ -435,9 +435,9 @@ mod tests {
         e.seq(&[1u64, 2, 3], |e, v| e.varint(*v));
         let buf = e.finish();
         let mut d = Decoder::new(&buf);
-        assert_eq!(d.option(|d| d.u64()).unwrap(), Some(5));
-        assert_eq!(d.option(|d| d.u64()).unwrap(), None);
-        assert_eq!(d.seq(|d| d.varint()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.option(super::Decoder::u64).unwrap(), Some(5));
+        assert_eq!(d.option(super::Decoder::u64).unwrap(), None);
+        assert_eq!(d.seq(super::Decoder::varint).unwrap(), vec![1, 2, 3]);
         d.expect_end().unwrap();
     }
 

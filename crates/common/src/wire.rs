@@ -332,7 +332,7 @@ impl Encodable for Request {
             REQ_ZOOMIN => Request::ZoomIn { sql: dec.str()? },
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_ANNOTATE_BATCH => {
-                let statements: Vec<String> = dec.seq(|d| d.str())?;
+                let statements: Vec<String> = dec.seq(super::codec::Decoder::str)?;
                 if statements.len() > MAX_BATCH_ITEMS {
                     return Err(Error::Codec(format!(
                         "annotation batch of {} statements exceeds the \
@@ -425,7 +425,7 @@ impl Encodable for Response {
                 served: dec.u64()?,
             },
             RESP_ACK => Response::Ack {
-                messages: dec.seq(|d| d.str())?,
+                messages: dec.seq(super::codec::Decoder::str)?,
             },
             RESP_BATCH_ACK => Response::BatchAck {
                 results: Vec::<BatchItem>::decode(dec)?,
@@ -492,7 +492,7 @@ impl Encodable for WireRow {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         Ok(Self {
             values: Vec::<WireValue>::decode(dec)?,
-            summaries: dec.seq(|d| d.str())?,
+            summaries: dec.seq(super::codec::Decoder::str)?,
         })
     }
 }
@@ -507,7 +507,7 @@ impl Encodable for RowsPayload {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         Ok(Self {
             qid: dec.varint()?,
-            columns: dec.seq(|d| d.str())?,
+            columns: dec.seq(super::codec::Decoder::str)?,
             rows: Vec::<WireRow>::decode(dec)?,
         })
     }
@@ -525,7 +525,7 @@ impl Encodable for WireAnnotation {
         Ok(Self {
             id: dec.varint()?,
             text: dec.str()?,
-            document: dec.option(|d| d.str())?,
+            document: dec.option(super::codec::Decoder::str)?,
             author: dec.str()?,
         })
     }
@@ -626,8 +626,14 @@ pub fn read_frame<T: Encodable>(r: &mut impl Read) -> Result<Option<T>> {
 /// partial frame.
 fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize> {
     let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    loop {
+        let Some(rest) = buf.get_mut(filled..) else {
+            return Err(Error::Codec("frame read cursor out of range".into()));
+        };
+        if rest.is_empty() {
+            break;
+        }
+        match r.read(rest) {
             Ok(0) => break,
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,

@@ -1149,7 +1149,7 @@ impl Database {
                 _ => {
                     results[i] = Some(Err(Error::Execution(
                         "annotation batches accept only ADD ANNOTATION statements".into(),
-                    )))
+                    )));
                 }
             }
         }

@@ -116,7 +116,10 @@ where
     });
     let mut out = Vec::with_capacity(slots.len());
     for slot in slots {
-        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
             None => {} // skipped after another unit failed
@@ -143,7 +146,7 @@ where
 /// Locks a mutex, riding through poisoning: a worker that panicked has
 /// already aborted the query, and these protect independent slots.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

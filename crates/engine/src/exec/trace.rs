@@ -97,8 +97,7 @@ fn render_cluster_resolved(
         .map(|g| {
             let rep = g
                 .representative
-                .map(|r| format!("a{r}"))
-                .unwrap_or_else(|| "-".into());
+                .map_or_else(|| "-".into(), |r| format!("a{r}"));
             let preview = g.preview.clone().or_else(|| {
                 let rep_id = g.representative?;
                 let text = &store.get(AnnotationId::new(rep_id)).ok()?.body.text;
@@ -116,8 +115,7 @@ fn render_cluster_resolved(
 fn instance_name(id: InstanceId, registry: &SummaryRegistry) -> String {
     registry
         .instance(id)
-        .map(|i| i.name().to_string())
-        .unwrap_or_else(|_| id.to_string())
+        .map_or_else(|_| id.to_string(), |i| i.name().to_string())
 }
 
 impl fmt::Display for TraceLog {

@@ -181,7 +181,7 @@ impl SExpr {
                 r.referenced_columns(out);
             }
             SExpr::Not(e) | SExpr::IsNull(e, _) | SExpr::Contains(e, _) => {
-                e.referenced_columns(out)
+                e.referenced_columns(out);
             }
         }
     }

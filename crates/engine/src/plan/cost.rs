@@ -30,12 +30,16 @@ pub struct CostEstimate {
 pub fn estimate_cost(plan: &LogicalPlan, catalog: &Catalog) -> CostEstimate {
     match plan {
         LogicalPlan::Scan { table, .. } => {
-            let rows = catalog.table(*table).map(|t| t.len()).unwrap_or(0) as f64;
+            let rows = catalog
+                .table(*table)
+                .map_or(0, insightnotes_storage::Table::len) as f64;
             CostEstimate { cost: rows, rows }
         }
         LogicalPlan::IndexScan { table, .. } => {
             // Point lookups touch a small fraction of the table.
-            let rows = catalog.table(*table).map(|t| t.len()).unwrap_or(0) as f64;
+            let rows = catalog
+                .table(*table)
+                .map_or(0, insightnotes_storage::Table::len) as f64;
             let hit = (rows / 10.0).clamp(1.0, rows.max(1.0));
             CostEstimate {
                 cost: hit + 1.0,

@@ -138,10 +138,10 @@ impl Encodable for WalRowAnnotation {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         Ok(WalRowAnnotation {
             table: dec.str()?,
-            rows: dec.seq(|d| d.varint())?,
+            rows: dec.seq(insightnotes_common::Decoder::varint)?,
             cols: dec.u64()?,
             text: dec.str()?,
-            document: dec.option(|d| d.str())?,
+            document: dec.option(insightnotes_common::Decoder::str)?,
             author: dec.str()?,
         })
     }
@@ -224,7 +224,7 @@ impl Encodable for WalRecord {
         match dec.u8()? {
             1 => Ok(WalRecord::Script { sql: dec.str()? }),
             2 => Ok(WalRecord::Batch {
-                statements: dec.seq(|d| d.str())?,
+                statements: dec.seq(insightnotes_common::Decoder::str)?,
             }),
             3 => Ok(WalRecord::Rows {
                 items: dec.seq(WalRowAnnotation::decode)?,
@@ -232,7 +232,7 @@ impl Encodable for WalRecord {
             4 => Ok(WalRecord::Targets {
                 targets: dec.seq(|d| Ok((d.u32()?, d.varint()?, d.u64()?)))?,
                 text: dec.str()?,
-                document: dec.option(|d| d.str())?,
+                document: dec.option(insightnotes_common::Decoder::str)?,
                 author: dec.str()?,
             }),
             tag => Err(Error::Codec(format!("unknown WAL record tag {tag}"))),
@@ -323,24 +323,33 @@ impl Wal {
                 bytes.len()
             )));
         }
-        if &bytes[..4] != MAGIC {
+        if bytes.get(..4) != Some(MAGIC.as_slice()) {
             return Err(Error::Codec(format!(
                 "{} is not an InsightNotes write-ahead log",
                 path.display()
             )));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        // The length check above guarantees the header fields exist, but
+        // recovery is a no-panic path: a short read maps to a structured
+        // error, never an abort.
+        let (Some(version), Some(epoch)) = (le_field(&bytes, 4), le_field(&bytes, 8)) else {
+            return Err(Error::Codec(format!(
+                "write-ahead log {} header truncated",
+                path.display()
+            )));
+        };
+        let version = u32::from_le_bytes(version);
         if version != VERSION {
             return Err(Error::Codec(format!(
                 "unsupported write-ahead log version {version} (expected {VERSION})"
             )));
         }
-        let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let epoch = u64::from_le_bytes(epoch);
 
         // Scan records; the first torn or corrupt frame ends the log.
         let mut records = Vec::new();
         let mut pos = HEADER_BYTES as usize;
-        while let Some((record, consumed)) = decode_frame(&bytes[pos..]) {
+        while let Some((record, consumed)) = bytes.get(pos..).and_then(decode_frame) {
             records.push(record);
             pos += consumed;
         }
@@ -472,18 +481,25 @@ fn header_bytes(epoch: u64) -> [u8; HEADER_BYTES as usize] {
     h
 }
 
+/// Panic-free fixed-width field read: the `N` bytes at `at`, or `None`
+/// when `bytes` is too short. Recovery code uses this instead of
+/// `bytes[a..b].try_into().unwrap()` so a truncated log can never abort
+/// the process.
+fn le_field<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
+    bytes
+        .get(at..at.checked_add(N)?)
+        .and_then(|s| s.try_into().ok())
+}
+
 /// Decodes one record frame from the front of `bytes`; `None` marks a
 /// torn or corrupt frame (truncation point).
 fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
-    if bytes.len() < 8 {
+    let len = u32::from_le_bytes(le_field(bytes, 0)?) as usize;
+    if len > MAX_RECORD_BYTES {
         return None;
     }
-    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-    if len > MAX_RECORD_BYTES || bytes.len() < 8 + len {
-        return None;
-    }
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    let payload = &bytes[8..8 + len];
+    let crc = u32::from_le_bytes(le_field(bytes, 4)?);
+    let payload = bytes.get(8..8 + len)?;
     if crc32(payload) != crc {
         return None;
     }

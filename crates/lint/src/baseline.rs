@@ -1,0 +1,197 @@
+//! The checked-in baseline (`lint.toml`).
+//!
+//! A baseline entry tolerates up to `count` diagnostics of one rule in
+//! one file — the mechanism for landing the linter before a violation
+//! can be fixed, without letting *new* violations ride in behind it.
+//! `--fix-baseline` regenerates the file from the current findings. The
+//! repository's baseline is intentionally empty: every pre-existing
+//! violation was fixed instead of baselined.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+/// One tolerated (rule, file) bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// How many diagnostics of this rule in this file are tolerated.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Every tolerated bucket.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses `lint.toml` content. The format is a restricted TOML
+    /// subset: `[[allow]]` tables with `rule`, `file` and `count` keys.
+    /// Unknown keys are ignored; a table missing `rule` or `file` is an
+    /// error (a silently dropped entry would un-suppress findings).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    Self::push(&mut entries, e, idx)?;
+                }
+                current = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    count: 1,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint.toml line {}: expected `key = value`",
+                    idx + 1
+                ));
+            };
+            let Some(e) = current.as_mut() else {
+                return Err(format!(
+                    "lint.toml line {}: `{}` outside an [[allow]] table",
+                    idx + 1,
+                    key.trim()
+                ));
+            };
+            let value = value.trim().trim_matches('"');
+            match key.trim() {
+                "rule" => e.rule = value.to_string(),
+                "file" => e.file = value.to_string(),
+                "count" => {
+                    e.count = value
+                        .parse()
+                        .map_err(|_| format!("lint.toml line {}: bad count `{value}`", idx + 1))?;
+                }
+                _ => {}
+            }
+        }
+        if let Some(e) = current.take() {
+            Self::push(&mut entries, e, text.lines().count())?;
+        }
+        Ok(Self { entries })
+    }
+
+    fn push(entries: &mut Vec<BaselineEntry>, e: BaselineEntry, line: usize) -> Result<(), String> {
+        if e.rule.is_empty() || e.file.is_empty() {
+            return Err(format!(
+                "lint.toml: [[allow]] table ending at line {line} needs both `rule` and `file`"
+            ));
+        }
+        entries.push(e);
+        Ok(())
+    }
+
+    /// Splits `diags` into (reported, baselined): for each (rule, file)
+    /// bucket, the first `count` diagnostics are suppressed.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let mut budget: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget.entry((e.rule.clone(), e.file.clone())).or_default() += e.count;
+        }
+        let mut reported = Vec::new();
+        let mut baselined = Vec::new();
+        for d in diags {
+            let covered = match budget.get_mut(&(d.rule.to_string(), d.file.clone())) {
+                Some(left) if *left > 0 => {
+                    *left -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if covered {
+                baselined.push(d);
+            } else {
+                reported.push(d);
+            }
+        }
+        (reported, baselined)
+    }
+
+    /// Renders a baseline covering exactly `diags` (used by
+    /// `--fix-baseline`).
+    pub fn render_for(diags: &[Diagnostic]) -> String {
+        let mut buckets: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for d in diags {
+            *buckets.entry((d.rule, d.file.as_str())).or_default() += 1;
+        }
+        let mut out = String::from(
+            "# insight-lint baseline.\n\
+             #\n\
+             # Each [[allow]] table tolerates up to `count` diagnostics of `rule`\n\
+             # in `file`. Regenerate with: ./scripts/check.sh --fix-baseline\n\
+             # (or: cargo run -p lint -- --fix-baseline). Keep this file empty:\n\
+             # fix violations instead of baselining them whenever possible.\n",
+        );
+        for ((rule, file), count) in buckets {
+            out.push_str(&format!(
+                "\n[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_caps_counts() {
+        let diags = vec![
+            diag("panic-path", "a.rs", 1),
+            diag("panic-path", "a.rs", 2),
+            diag("wal-bypass", "b.rs", 3),
+        ];
+        let text = Baseline::render_for(&diags);
+        let parsed = Baseline::parse(&text).expect("round trip");
+        let (reported, baselined) = parsed.apply(diags.clone());
+        assert!(reported.is_empty());
+        assert_eq!(baselined.len(), 3);
+
+        // One extra finding beyond the budget is reported.
+        let mut more = diags;
+        more.push(diag("panic-path", "a.rs", 9));
+        let (reported, baselined) = parsed.apply(more);
+        assert_eq!(reported.len(), 1);
+        assert_eq!(reported[0].line, 9);
+        assert_eq!(baselined.len(), 3);
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors_not_silence() {
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"x\"\n").is_err(),
+            "missing file"
+        );
+        assert!(
+            Baseline::parse("rule = \"x\"\n").is_err(),
+            "entry outside table"
+        );
+        assert!(Baseline::parse("# only comments\n")
+            .expect("ok")
+            .entries
+            .is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Diagnostics: what a rule reports, and how it renders as text and
+//! JSON.
+
+/// One finding: a rule, a span, and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired (its kebab-case name, e.g. `panic-path`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation, including the invariant at stake.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The stable ordering diagnostics are reported in: by file, then
+    /// span, then rule.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str, String) {
+        (
+            self.file.clone(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message.clone(),
+        )
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a stable JSON document:
+/// `{"diagnostics": [...], "count": N}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", diags.len()));
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let d = Diagnostic {
+            rule: "panic-path",
+            file: "crates/server/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "`unwrap` on a \"request\" path".into(),
+        };
+        let json = render_json(std::slice::from_ref(&d));
+        assert!(json.contains(r#""rule":"panic-path""#));
+        assert!(json.contains(r#"\"request\""#));
+        assert!(json.ends_with(r#""count":1}"#));
+        assert_eq!(
+            d.to_string(),
+            "crates/server/src/lib.rs:3:9: panic-path: `unwrap` on a \"request\" path"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! Function segmentation: turns a file's token stream into per-function
+//! token slices with the context the rules need — the function's name,
+//! the `impl` type it belongs to, whether it is test code, and whether
+//! it takes `&mut self`.
+//!
+//! "Test code" means any of:
+//! - a function annotated `#[test]` (any attribute containing the
+//!   `test` ident, so `#[tokio::test]`-style wrappers also count),
+//! - anything inside a `#[cfg(test)] mod … { }`,
+//! - a file that lives under a `tests/`, `benches/` or `examples/`
+//!   directory (the caller decides that from the path; this module only
+//!   handles in-file structure).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One function found in a file.
+#[derive(Debug)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// The self type of the enclosing `impl` block, if any (`Database`
+    /// for `impl Database { … }` and for `impl Trait for Database`).
+    pub impl_type: Option<String>,
+    /// Whether the function is test code (`#[test]` attribute or inside
+    /// a `#[cfg(test)]` module).
+    pub is_test: bool,
+    /// Whether the receiver is `&mut self`.
+    pub takes_mut_self: bool,
+    /// Token range of the signature (from `fn` to the body's `{`).
+    pub sig: std::ops::Range<usize>,
+    /// Token range of the body, braces included. Empty for bodyless
+    /// trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl Function {
+    /// The body's tokens within `tokens` (the same slice segmentation
+    /// ran over).
+    pub fn body_tokens<'a>(&self, tokens: &'a [Token]) -> &'a [Token] {
+        &tokens[self.body.clone()]
+    }
+}
+
+/// Scans a token stream and extracts every function with its context.
+pub fn segment(tokens: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    // Stack of (brace_depth_at_entry, impl_type, is_test) scopes.
+    let mut scopes: Vec<(u32, Option<String>, bool)> = Vec::new();
+    let mut depth = 0u32;
+    // Attribute state for the *next* item at the current depth.
+    let mut pending_test_attr = false;
+    let mut pending_cfg_test = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while matches!(scopes.last(), Some((d, _, _)) if *d > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            TokenKind::Punct('#') => {
+                // Attribute: #[ … ] (or #![ … ]); record whether it
+                // mentions `test`/`cfg(test)` for the next item.
+                let (end, mentions_test, is_cfg) = scan_attribute(tokens, i);
+                if mentions_test {
+                    if is_cfg {
+                        pending_cfg_test = true;
+                    } else {
+                        pending_test_attr = true;
+                    }
+                }
+                i = end;
+            }
+            TokenKind::Ident if t.text == "impl" => {
+                let (body_start, impl_type) = scan_impl_header(tokens, i);
+                let inherited_test = in_test_scope(&scopes) || pending_cfg_test;
+                pending_cfg_test = false;
+                pending_test_attr = false;
+                if body_start < tokens.len() {
+                    scopes.push((depth + 1, impl_type, inherited_test));
+                }
+                i = body_start; // the '{' itself is handled next round
+            }
+            TokenKind::Ident if t.text == "mod" => {
+                let inherited_test = in_test_scope(&scopes) || pending_cfg_test;
+                pending_cfg_test = false;
+                pending_test_attr = false;
+                // Find the `{` (inline mod) or `;` (file mod).
+                let mut j = i + 1;
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < tokens.len() && tokens[j].is_punct('{') {
+                    scopes.push((depth + 1, current_impl(&scopes), inherited_test));
+                }
+                i = j;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                let is_test = pending_test_attr || pending_cfg_test || in_test_scope(&scopes);
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                if let Some(func) = scan_fn(tokens, i, current_impl(&scopes), is_test) {
+                    // Jump to the body `{` (still processed by the loop,
+                    // so depth tracking stays consistent and nested fns
+                    // inside the body are segmented too), or past a
+                    // bodyless declaration.
+                    let next = if func.body.is_empty() {
+                        func.sig.end.max(i + 1)
+                    } else {
+                        func.body.start
+                    };
+                    out.push(func);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                // Attributes apply to the *item* that follows; modifier
+                // keywords between an attribute and its `fn`/`mod` must
+                // not clear the pending state.
+                let keeps_pending = matches!(&t.kind, TokenKind::Ident)
+                    && matches!(
+                        t.text.as_str(),
+                        "pub" | "crate" | "async" | "unsafe" | "const" | "extern" | "in"
+                    )
+                    || t.is_punct('(')
+                    || t.is_punct(')');
+                if !keeps_pending {
+                    pending_test_attr = false;
+                    pending_cfg_test = false;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn in_test_scope(scopes: &[(u32, Option<String>, bool)]) -> bool {
+    scopes.iter().any(|(_, _, t)| *t)
+}
+
+fn current_impl(scopes: &[(u32, Option<String>, bool)]) -> Option<String> {
+    scopes.iter().rev().find_map(|(_, ty, _)| ty.clone())
+}
+
+/// Consumes `#[ … ]` starting at the `#`; returns (index after the
+/// attribute, whether it mentions the `test` ident, whether it is a
+/// `cfg(…)` attribute).
+fn scan_attribute(tokens: &[Token], start: usize) -> (usize, bool, bool) {
+    let mut i = start + 1;
+    if i < tokens.len() && tokens[i].is_punct('!') {
+        i += 1;
+    }
+    if i >= tokens.len() || !tokens[i].is_punct('[') {
+        return (start + 1, false, false);
+    }
+    let mut depth = 0i32;
+    let mut mentions_test = false;
+    let mut is_cfg = false;
+    let mut first_ident = true;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, mentions_test, is_cfg);
+                }
+            }
+            TokenKind::Ident => {
+                if first_ident {
+                    is_cfg = t.text == "cfg";
+                    first_ident = false;
+                }
+                if t.text == "test" {
+                    mentions_test = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, mentions_test, is_cfg)
+}
+
+/// Parses an `impl` header starting at the `impl` keyword; returns the
+/// index of the body `{` and the self-type name (the first plain ident
+/// after `for`, or after `impl` and its generics when there is no
+/// `for`).
+fn scan_impl_header(tokens: &[Token], start: usize) -> (usize, Option<String>) {
+    let mut i = start + 1;
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut first_ident: Option<String> = None;
+    let mut for_ident: Option<String> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('{') if angle <= 0 => break,
+            TokenKind::Punct(';') => break, // e.g. `impl Trait for T;` never valid, bail
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Ident if t.text == "for" => after_for = true,
+            TokenKind::Ident if t.text == "where" => {}
+            TokenKind::Ident if angle <= 0 => {
+                if after_for {
+                    if for_ident.is_none() {
+                        for_ident = Some(t.text.clone());
+                    }
+                } else if first_ident.is_none() {
+                    first_ident = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, for_ident.or(first_ident))
+}
+
+/// Parses one `fn` starting at the keyword. Returns `None` when the
+/// stream ends before a name.
+fn scan_fn(
+    tokens: &[Token],
+    start: usize,
+    impl_type: Option<String>,
+    is_test: bool,
+) -> Option<Function> {
+    let name_tok = tokens[start + 1..].iter().find(|t| !t.is_comment())?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Walk the signature to the body `{` (or a `;` for bodyless
+    // declarations), tracking parens for the receiver scan and angle
+    // depth so `where F: Fn() -> T {` style bounds don't confuse us.
+    let mut i = start + 1;
+    let mut paren = 0i32;
+    let mut takes_mut_self = false;
+    let mut body_open = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('{') if paren == 0 => {
+                body_open = Some(i);
+                break;
+            }
+            TokenKind::Punct(';') if paren == 0 => break,
+            TokenKind::Ident if paren == 1 && t.text == "self" => {
+                // Look back (skipping lifetimes/comments) for `&` `mut`.
+                let mut back = tokens[..i]
+                    .iter()
+                    .rev()
+                    .filter(|t| !t.is_comment() && t.kind != TokenKind::Lifetime);
+                if back.next().is_some_and(|p| p.is_ident("mut"))
+                    && back.next().is_some_and(|p| p.is_punct('&'))
+                {
+                    takes_mut_self = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let (sig_end, body) = match body_open {
+        Some(open) => {
+            let close = matching_brace(tokens, open);
+            (open, open..close + 1)
+        }
+        None => (i.min(tokens.len()), 0..0),
+    };
+    Some(Function {
+        name,
+        impl_type,
+        is_test,
+        takes_mut_self,
+        sig: start..sig_end,
+        body,
+        line: tokens[start].line,
+    })
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token when
+/// unbalanced).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn funcs(src: &str) -> Vec<Function> {
+        segment(&tokenize(src))
+    }
+
+    #[test]
+    fn finds_functions_with_impl_context_and_receiver() {
+        let src = r"
+            impl Encodable for Request {
+                fn encode(&self, enc: &mut Encoder) {}
+                fn decode(dec: &mut Decoder<'_>) -> Result<Self> { Ok(x) }
+            }
+            impl Database {
+                pub fn execute(&mut self, stmt: Statement) -> Result<ExecOutcome> { body() }
+            }
+            fn free() {}
+        ";
+        let fs = funcs(src);
+        let names: Vec<_> = fs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["encode", "decode", "execute", "free"]);
+        assert_eq!(fs[0].impl_type.as_deref(), Some("Request"));
+        assert_eq!(fs[2].impl_type.as_deref(), Some("Database"));
+        assert!(fs[2].takes_mut_self);
+        assert!(!fs[0].takes_mut_self);
+        assert!(fs.iter().all(|f| !f.is_test));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_test_code() {
+        let src = r"
+            fn live() {}
+            #[test]
+            fn annotated() {}
+            #[cfg(test)]
+            mod tests {
+                use super::*;
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+            fn also_live() {}
+        ";
+        let fs = funcs(src);
+        let by_name = |n: &str| fs.iter().find(|f| f.name == n).expect("fn");
+        assert!(!by_name("live").is_test);
+        assert!(by_name("annotated").is_test);
+        assert!(by_name("helper").is_test, "cfg(test) mod scopes everything");
+        assert!(by_name("case").is_test);
+        assert!(
+            !by_name("also_live").is_test,
+            "test scope ends with the mod"
+        );
+    }
+
+    #[test]
+    fn nested_functions_are_segmented_inside_bodies() {
+        let fs = funcs("fn outer() { fn inner() { x(); } inner(); }");
+        let names: Vec<_> = fs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

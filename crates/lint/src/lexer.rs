@@ -1,0 +1,505 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `insight-lint` never needs a full parse: every rule works on token
+//! streams, so the lexer's only hard job is to classify text that *looks*
+//! like code but is not — string literals (escaped and raw, with any `#`
+//! count), byte strings, char literals vs. lifetimes, and line/block
+//! comments (nested, per the Rust grammar). Getting those right is what
+//! keeps `"db.write().fsync()"` inside a doc example or a test string
+//! from raising a diagnostic.
+//!
+//! Every token carries its 1-based line and column so diagnostics can be
+//! reported `file:line:col` exactly where the offending token starts.
+
+/// What a token is. Comments are kept in the stream: the allowlist
+/// (`lint:allow`) and the `unsafe-doc` rule (`// SAFETY:`) both read
+/// them. Rules that only care about code use [`Token::is_comment`] to
+/// skip them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish; rules
+    /// compare against the keywords they care about).
+    Ident,
+    /// Integer or float literal (loosely lexed; rules never inspect the
+    /// value).
+    Number,
+    /// `"…"` or `b"…"` string literal. `text` holds the unescaped-as-is
+    /// source content between the quotes.
+    Str,
+    /// `r"…"`/`r#"…"#`/`br#"…"#` raw string literal.
+    RawStr,
+    /// `'x'`-style char (or byte-char) literal.
+    Char,
+    /// `'a`-style lifetime.
+    Lifetime,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nested arbitrarily.
+    BlockComment,
+    /// Any single punctuation character (`.`, `{`, `!`, …). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text: the identifier/number itself, a literal's inner
+    /// content, or a comment's full text (markers included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a line or block comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        // Peekable cannot look two ahead; clone the cheap char iterator.
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenizes Rust source. The lexer is total: any input produces a token
+/// stream (a stray quote or unterminated comment simply swallows the
+/// rest of the file into its literal, which is also what keeps the tool
+/// robust on mid-edit files).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let push = |tokens: &mut Vec<Token>, kind, text| {
+            tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+        };
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                let text = lex_line_comment(&mut cur);
+                push(&mut tokens, TokenKind::LineComment, text);
+            }
+            '/' if cur.peek2() == Some('*') => {
+                let text = lex_block_comment(&mut cur);
+                push(&mut tokens, TokenKind::BlockComment, text);
+            }
+            '"' => {
+                cur.bump();
+                let text = lex_string_body(&mut cur);
+                push(&mut tokens, TokenKind::Str, text);
+            }
+            '\'' => {
+                let (kind, text) = lex_quote(&mut cur);
+                push(&mut tokens, kind, text);
+            }
+            'r' | 'b' if starts_literal_prefix(&mut cur) => {
+                let (kind, text) = lex_prefixed_literal(&mut cur);
+                push(&mut tokens, kind, text);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let text = lex_ident(&mut cur);
+                push(&mut tokens, TokenKind::Ident, text);
+            }
+            c if c.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                push(&mut tokens, TokenKind::Number, text);
+            }
+            c => {
+                cur.bump();
+                push(&mut tokens, TokenKind::Punct(c), c.to_string());
+            }
+        }
+    }
+    tokens
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek2() == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek2() == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    text
+}
+
+/// Lexes a `"…"` body after the opening quote was consumed; returns the
+/// raw content between the quotes.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            c => text.push(c),
+        }
+    }
+    text
+}
+
+/// Char literal or lifetime, starting at a `'`.
+///
+/// A lifetime is `'` followed by an identifier start that is *not*
+/// closed by another `'` right after a single identifier character —
+/// `'a'` is a char, `'a` is a lifetime, `'static` is a lifetime,
+/// `'\n'` is a char.
+fn lex_quote(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    cur.bump(); // the opening '
+    let mut text = String::new();
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' {
+                    // '\u{…}' — consume the braced payload.
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            (TokenKind::Char, text)
+        }
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            // Could be 'x' (char) or 'ident (lifetime): read the
+            // identifier run, then look for a closing quote.
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                (TokenKind::Char, text)
+            } else {
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some(c) => {
+            // Punctuation char literal like '{' or '0'.
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            (TokenKind::Char, text)
+        }
+        None => (TokenKind::Char, text),
+    }
+}
+
+/// Whether the `r`/`b` at the cursor starts a literal prefix (`r"`,
+/// `r#"`, `b"`, `b'`, `br"`, `br#"`) rather than an identifier. Raw
+/// identifiers (`r#type`) are *not* literal prefixes.
+fn starts_literal_prefix(cur: &mut Cursor<'_>) -> bool {
+    let mut it = cur.chars.clone();
+    let first = it.next();
+    let mut next = it.next();
+    if first == Some('b') && matches!(next, Some('r' | '"' | '\'')) {
+        if next == Some('r') {
+            next = it.next();
+            // br" or br#…#"
+            while next == Some('#') {
+                next = it.next();
+            }
+            return next == Some('"');
+        }
+        return true;
+    }
+    if first == Some('r') {
+        if next == Some('"') {
+            return true;
+        }
+        let mut hashes = 0usize;
+        while next == Some('#') {
+            hashes += 1;
+            next = it.next();
+        }
+        // r#"…"# is a raw string; r#ident is a raw identifier.
+        return hashes > 0 && next == Some('"');
+    }
+    false
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'x'` after
+/// [`starts_literal_prefix`] matched.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut raw = false;
+    while let Some(c) = cur.peek() {
+        match c {
+            'b' => {
+                cur.bump();
+            }
+            'r' => {
+                raw = true;
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    if cur.peek() == Some('\'') {
+        return lex_quote(cur);
+    }
+    if !raw {
+        cur.bump(); // opening "
+        return (TokenKind::Str, lex_string_body(cur));
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening "
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    let mut text = String::new();
+    while cur.peek().is_some() {
+        if text.ends_with(&closer) || (hashes == 0 && cur.peek() == Some('"')) {
+            // hashes == 0: the quote itself closes; with hashes the
+            // closer has already been absorbed into `text`.
+            if hashes == 0 {
+                cur.bump();
+            } else {
+                text.truncate(text.len() - closer.len());
+            }
+            return (TokenKind::RawStr, text);
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    if text.ends_with(&closer) && hashes > 0 {
+        text.truncate(text.len() - closer.len());
+    }
+    (TokenKind::RawStr, text)
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `3.25` continues the number; `8..16` does not (the `.`
+            // belongs to a range), nor does `4.to_string()` (method on a
+            // literal).
+            match cur.peek2() {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push('.');
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_do_not_leak_code_tokens() {
+        let src = r###"
+            let s = "db.write().unwrap()"; // unwrap() here is comment
+            let r = r#"panic!("x")"#;
+            let c = '{';
+            /* outer /* nested unwrap() */ still comment */
+            let lt: &'static str = s;
+        "###;
+        let toks = tokenize(src);
+        assert!(
+            !toks
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"),
+            "unwrap inside literals/comments must not become an ident"
+        );
+        assert!(toks.iter().any(|t| t.kind == TokenKind::RawStr));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "{"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1,
+            "nested block comment lexes as one token"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_at_matching_closer() {
+        let toks = tokenize(r####"let x = r##"inner "# quote"## ; let y = 1;"####);
+        let raw = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::RawStr)
+            .expect("raw string token");
+        assert_eq!(raw.text, r##"inner "# quote"##);
+        assert!(toks.iter().any(|t| t.is_ident("y")), "lexing continues");
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let toks = tokenize(r#"let m = *b"INWP"; let t = r#type; let n = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "INWP"));
+        assert!(
+            toks.iter().any(|t| t.is_ident("type")),
+            "raw ident keeps ident"
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn spans_are_line_and_col_accurate() {
+        let src = "fn main() {\n    foo.unwrap();\n}\n";
+        let toks = tokenize(src);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 9));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("a[4..8] 3.25 0u8"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct('['),
+                TokenKind::Number,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Number,
+                TokenKind::Punct(']'),
+                TokenKind::Number,
+                TokenKind::Number,
+            ]
+        );
+    }
+}

@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! # insight-lint
+//!
+//! A std-only workspace invariant checker for the InsightNotes
+//! reproduction. It tokenizes every `.rs` file with a hand-rolled Rust
+//! lexer ([`lexer`]), segments per-function token streams ([`funcs`]),
+//! and runs a rule engine ([`rules`]) that machine-checks the safety
+//! conventions PRs 1–4 introduced: lock discipline, WAL discipline,
+//! panic discipline, wire-protocol exhaustiveness, bench/doc coherence
+//! and the offline dependency policy. See `DESIGN.md` §11 for the rule
+//! catalogue and the invariant each one encodes.
+//!
+//! Diagnostics are span-accurate (`file:line:col`) and suppressible two
+//! ways:
+//! - inline, with a `// lint:allow(rule-name)` comment on (or directly
+//!   above) the offending line;
+//! - in bulk, via the checked-in `lint.toml` baseline ([`baseline`]) —
+//!   which this repository keeps **empty**: violations get fixed, not
+//!   baselined.
+//!
+//! Run it as `cargo run -p lint --` (the `scripts/check.sh` gate does),
+//! with `--json` for machine-readable output and `--fix-baseline` to
+//! regenerate `lint.toml` from the current findings.
+
+pub mod baseline;
+pub mod diag;
+pub mod funcs;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use baseline::Baseline;
+use diag::Diagnostic;
+use std::path::Path;
+
+/// Everything one lint run produced.
+pub struct RunOutcome {
+    /// Findings to report (post-`lint:allow`, post-baseline).
+    pub reported: Vec<Diagnostic>,
+    /// Findings suppressed by the baseline.
+    pub baselined: Vec<Diagnostic>,
+}
+
+/// Loads the workspace at `root`, runs every rule, and applies the
+/// baseline at `baseline_path` (missing file = empty baseline).
+pub fn run(root: &Path, baseline_path: &Path) -> Result<RunOutcome, String> {
+    let ws = workspace::Workspace::load(root)
+        .map_err(|e| format!("failed to read workspace at {}: {e}", root.display()))?;
+    let diags = rules::run_all(&ws);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => {
+            return Err(format!(
+                "failed to read baseline {}: {e}",
+                baseline_path.display()
+            ))
+        }
+    };
+    let (reported, baselined) = baseline.apply(diags);
+    Ok(RunOutcome {
+        reported,
+        baselined,
+    })
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

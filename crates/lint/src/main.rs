@@ -1,0 +1,144 @@
+//! `insight-lint` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! insight-lint [--root DIR] [--baseline FILE] [--json] [--list-rules]
+//!              [--fix-baseline]
+//! ```
+//!
+//! Exit code 0 when no non-baselined diagnostics remain, 1 when any do,
+//! 2 on usage or I/O errors. `scripts/check.sh` runs this as a hard
+//! gate.
+
+use lint::baseline::Baseline;
+use lint::diag::render_json;
+use lint::{find_workspace_root, rules, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    fix_baseline: bool,
+    list_rules: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("insight-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in rules::all_rules() {
+            println!("{:<16} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("insight-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let outcome = match run(&root, &baseline_path) {
+        Ok(outcome) => outcome,
+        Err(msg) => {
+            eprintln!("insight-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.fix_baseline {
+        // The regenerated baseline covers everything currently firing
+        // (previously baselined findings included).
+        let mut all = outcome.reported;
+        all.extend(outcome.baselined);
+        all.sort_by_key(lint::diag::Diagnostic::sort_key);
+        let text = Baseline::render_for(&all);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!(
+                "insight-lint: failed to write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "insight-lint: baseline {} regenerated covering {} diagnostic(s)",
+            baseline_path.display(),
+            all.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if opts.json {
+        println!("{}", render_json(&outcome.reported));
+    } else {
+        for d in &outcome.reported {
+            println!("{d}");
+        }
+        let suppressed = if outcome.baselined.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} baselined)", outcome.baselined.len())
+        };
+        println!(
+            "insight-lint: {} diagnostic(s){suppressed}",
+            outcome.reported.len()
+        );
+    }
+    if outcome.reported.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        json: false,
+        fix_baseline: false,
+        list_rules: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while let Some(flag) = args.get(i) {
+        match flag.as_str() {
+            "--json" => opts.json = true,
+            "--fix-baseline" => opts.fix_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" | "--baseline" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                if flag == "--root" {
+                    opts.root = Some(PathBuf::from(value));
+                } else {
+                    opts.baseline = Some(PathBuf::from(value));
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: insight-lint [--root DIR] [--baseline FILE] [--json] \
+                     [--list-rules] [--fix-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}

@@ -1,0 +1,68 @@
+//! `bench-drift`: every machine-readable bench report must stay
+//! documented.
+//!
+//! PR 3 introduced `write_bench_json(name, …)`, which emits
+//! `BENCH_<name>.json` next to the repo's experiment write-ups; the
+//! contract is that every such artifact has a matching section in
+//! `EXPERIMENTS.md` explaining what the numbers mean and how to
+//! regenerate them. A writer whose name drifts from the docs produces
+//! orphaned artifacts that downstream tooling can no longer interpret.
+
+use super::{Code, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+pub(crate) struct BenchDrift;
+
+impl Rule for BenchDrift {
+    fn name(&self) -> &'static str {
+        "bench-drift"
+    }
+
+    fn description(&self) -> &'static str {
+        "every BENCH_*.json writer in crates/bench has a matching EXPERIMENTS.md mention"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let experiments = ws.experiments_md.as_deref().unwrap_or("");
+        for file in &ws.files {
+            if !file.rel.starts_with("crates/bench/") {
+                continue;
+            }
+            // Writers may sit inside bench harness code, which lives
+            // under benches/ — scan every function here, test or not.
+            let code = Code::of(&file.tokens);
+            for i in 0..code.len() {
+                if !code.tok(i).is_ident("write_bench_json") {
+                    continue;
+                }
+                if !code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                    continue;
+                }
+                let Some(name_tok) = code.get(i + 2) else {
+                    continue;
+                };
+                if name_tok.kind != TokenKind::Str {
+                    // Dynamic name: cannot check statically; the writer
+                    // itself (bench::write_bench_json) also lands here.
+                    continue;
+                }
+                let artifact = format!("BENCH_{}.json", name_tok.text);
+                if !experiments.contains(&artifact) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: name_tok.line,
+                        col: name_tok.col,
+                        message: format!(
+                            "bench writer emits `{artifact}` but EXPERIMENTS.md never \
+                             mentions it; document the experiment (section + regeneration \
+                             command) or rename the writer",
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

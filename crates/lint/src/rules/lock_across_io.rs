@@ -1,0 +1,175 @@
+//! `lock-across-io`: no blocking I/O while the database's exclusive
+//! write guard is held.
+//!
+//! The PR 2 session model serves every reader under the shared side of
+//! one `RwLock<Database>`; a single writer that blocks on disk or
+//! socket I/O while holding the exclusive guard therefore convoys the
+//! whole server. PR 3/4 made the committer thread the one sanctioned
+//! place where writes and WAL I/O meet — and even there the guard is
+//! released before the group fsync.
+//!
+//! Detection is textual, per function: a `db.write()` (any receiver
+//! chain ending in an ident containing `db`) opens a guarded region —
+//! to the end of the enclosing block when the guard is `let`-bound, or
+//! to the end of the statement for a temporary. Any I/O-shaped call
+//! (`fsync`, `sync_all`, `sync_data`, `write_all`, `flush`, `accept`,
+//! `read`, `read_exact`, `read_to_end`, `recv`) inside the region is a
+//! violation. Functions named in [`EXEMPT_FNS`] (the committer) are
+//! exempt, as is test code.
+
+use super::{Code, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// Functions allowed to do I/O around the exclusive guard: the
+/// committer thread is the sanctioned group-commit point.
+const EXEMPT_FNS: [&str; 1] = ["run_committer"];
+
+/// Calls that block on the disk or network.
+const IO_CALLS: [&str; 10] = [
+    "fsync",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "flush",
+    "accept",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "recv",
+];
+
+pub(crate) struct LockAcrossIo;
+
+impl Rule for LockAcrossIo {
+    fn name(&self) -> &'static str {
+        "lock-across-io"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking I/O while the db.write() exclusive guard is held (outside the committer)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !file.rel.ends_with(".rs") {
+                continue;
+            }
+            for func in file.live_functions() {
+                if EXEMPT_FNS.contains(&func.name.as_str()) {
+                    continue;
+                }
+                let code = Code::of(func.body_tokens(&file.tokens));
+                check_function(&code, &file.rel, self.name(), out);
+            }
+        }
+    }
+}
+
+fn check_function(code: &Code<'_>, file: &str, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        let Some(name) = code.method_call(i) else {
+            continue;
+        };
+        if name.text != "write" || !receiver_is_db(code, i) {
+            continue;
+        }
+        // `.write(` with arguments is stream I/O, not a lock
+        // acquisition; the guard pattern is exactly `.write()`.
+        if !code.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+            continue;
+        }
+        let guard_line = name.line;
+        let region = guarded_region(code, i);
+        for j in (i + 4)..region {
+            let Some(io) = code.method_call(j) else {
+                continue;
+            };
+            // `db.read()` / `db.write()` are lock acquisitions on the
+            // shared database, not stream I/O.
+            if IO_CALLS.contains(&io.text.as_str()) && !receiver_is_db(code, j) {
+                out.push(Diagnostic {
+                    rule,
+                    file: file.to_string(),
+                    line: io.line,
+                    col: io.col,
+                    message: format!(
+                        "`{}` called while the exclusive `db.write()` guard taken on line {} \
+                         is held; blocking I/O under the write lock stalls every reader — \
+                         release the guard first or route the write through the committer \
+                         thread",
+                        io.text, guard_line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the `.write()` at view position `i` is called on the shared
+/// database: the immediately preceding receiver token chain contains an
+/// ident whose name contains `db`.
+fn receiver_is_db(code: &Code<'_>, i: usize) -> bool {
+    // Walk back over `ident` / `.` / `self` chains.
+    let mut j = i;
+    while j > 0 {
+        let t = code.tok(j - 1);
+        match &t.kind {
+            TokenKind::Ident => {
+                if t.text.contains("db") {
+                    return true;
+                }
+                j -= 1;
+            }
+            TokenKind::Punct('.') => j -= 1,
+            _ => break,
+        }
+    }
+    false
+}
+
+/// End (exclusive, in view positions) of the region during which the
+/// guard taken by the `.write()` at `i` is held.
+///
+/// - `let g = db.write();` → held to the end of the enclosing block:
+///   scan forward until brace depth drops below its starting level.
+/// - temporary `db.write().m(...)` → dropped at the end of the
+///   statement: scan to the next `;` at the same brace depth. This
+///   covers `let r = db.write().m(...)?;` too — the chain consumes the
+///   temporary guard, only `r` outlives the statement.
+fn guarded_region(code: &Code<'_>, i: usize) -> usize {
+    // A guard is `let`-bound only when a `let` starts the statement AND
+    // the chain ends right after `.write()` — i.e. the guard itself is
+    // what gets bound.
+    let chain_ends = code.get(i + 4).is_none_or(|t| !t.is_punct('.'));
+    let mut is_let = false;
+    let mut j = i;
+    while chain_ends && j > 0 {
+        let t = code.tok(j - 1);
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            is_let = true;
+            break;
+        }
+        j -= 1;
+    }
+    let mut depth = 0i32;
+    for k in i..code.len() {
+        match code.tok(k).kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    // Enclosing block closed: both binding kinds die here.
+                    return k;
+                }
+            }
+            TokenKind::Punct(';') if !is_let && depth == 0 => return k,
+            _ => {}
+        }
+    }
+    code.len()
+}

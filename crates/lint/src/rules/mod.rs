@@ -1,0 +1,111 @@
+//! The rule engine: each rule encodes one invariant PRs 1–4 introduced
+//! by convention, and checks it over the analyzed [`Workspace`].
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `lock-across-io`  | no blocking I/O while the `db.write()` exclusive guard is held (PR 2/3 session model) |
+//! | `wal-bypass`      | `&mut Database` mutations only through WAL-logged entry points (PR 4 durability) |
+//! | `panic-path`      | no panics on the request, recovery or wire-decode paths (PR 2/4 robustness) |
+//! | `wire-exhaustive` | every wire variant encoded, decoded, and covered by a test (PR 2 protocol) |
+//! | `bench-drift`     | every `BENCH_*.json` writer documented in EXPERIMENTS.md (PR 3/4 reporting) |
+//! | `shim-only-deps`  | no dependency outside the workspace + shim set (offline build) |
+//! | `unsafe-doc`      | every `unsafe` block carries a `// SAFETY:` comment |
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::Workspace;
+
+mod bench_drift;
+mod lock_across_io;
+mod panic_path;
+mod shim_only_deps;
+mod unsafe_doc;
+mod wal_bypass;
+mod wire_exhaustive;
+
+/// One checkable invariant.
+pub trait Rule {
+    /// The rule's kebab-case name (what `lint:allow(...)` and the
+    /// baseline refer to).
+    fn name(&self) -> &'static str;
+    /// One-line summary of the invariant, shown by `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Appends every violation found in `ws` to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Every shipped rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(lock_across_io::LockAcrossIo),
+        Box::new(wal_bypass::WalBypass),
+        Box::new(panic_path::PanicPath),
+        Box::new(wire_exhaustive::WireExhaustive),
+        Box::new(bench_drift::BenchDrift),
+        Box::new(shim_only_deps::ShimOnlyDeps),
+        Box::new(unsafe_doc::UnsafeDoc),
+    ]
+}
+
+/// Runs every rule, drops `lint:allow`-suppressed findings, and returns
+/// the remainder in stable order.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rule in all_rules() {
+        rule.check(ws, &mut diags);
+    }
+    diags.retain(|d| {
+        ws.files
+            .iter()
+            .find(|f| f.rel == d.file)
+            .is_none_or(|f| !f.allows(d.rule, d.line))
+    });
+    diags.sort_by_key(Diagnostic::sort_key);
+    diags.dedup();
+    diags
+}
+
+/// A comment-free view over a token slice, used by rules that pattern
+/// match on code shape. Indices returned by its methods refer to the
+/// view, not the original stream.
+pub struct Code<'a> {
+    toks: Vec<&'a Token>,
+}
+
+impl<'a> Code<'a> {
+    /// Builds the view over `tokens` (typically one function body).
+    pub fn of(tokens: &'a [Token]) -> Self {
+        Self {
+            toks: tokens.iter().filter(|t| !t.is_comment()).collect(),
+        }
+    }
+
+    /// Number of tokens in the view.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Token at `i`.
+    pub fn tok(&self, i: usize) -> &'a Token {
+        self.toks[i]
+    }
+
+    /// Token at `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&'a Token> {
+        self.toks.get(i).copied()
+    }
+
+    /// Whether position `i` is a `.name(` method call; returns the name
+    /// token when so.
+    pub fn method_call(&self, i: usize) -> Option<&'a Token> {
+        let dot = self.get(i)?;
+        let name = self.get(i + 1)?;
+        let open = self.get(i + 2)?;
+        (dot.is_punct('.') && name.kind == TokenKind::Ident && open.is_punct('(')).then_some(name)
+    }
+}

@@ -1,0 +1,186 @@
+//! `panic-path`: the request, recovery and wire-decode paths must not
+//! be able to panic.
+//!
+//! A panic in a session thread kills one connection; a panic in the
+//! committer or during WAL replay kills the daemon or the recovery —
+//! and every one of these paths handles *untrusted or damaged input by
+//! design* (malformed frames, torn log tails). Errors there must flow
+//! through `common::Error` so the server answers with a structured
+//! error frame and recovery truncates instead of dying.
+//!
+//! Scoped to:
+//! - all of `crates/server/src/` (session, committer, daemon binary),
+//! - the recovery path of the WAL (`Wal::open`, `decode_frame` in
+//!   `crates/engine/src/wal.rs`),
+//! - the decode path of the wire protocol (`decode*`, `read_frame`,
+//!   `read_full` and the `Decoder` methods in
+//!   `crates/common/src/wire.rs`).
+//!
+//! Flags `.unwrap()` / `.expect(`, the panicking macro family
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`…),
+//! and slice/array indexing (`x[i]`, `x[a..b]`), which panics on
+//! out-of-range input. Test code is exempt.
+
+use super::{Code, Rule};
+use crate::diag::Diagnostic;
+use crate::funcs::Function;
+use crate::lexer::TokenKind;
+use crate::workspace::{SourceFile, Workspace};
+
+/// A scope: a path prefix (or full file), plus an optional allowlist of
+/// function/impl names the rule applies to within that file.
+struct Scope {
+    path_prefix: &'static str,
+    /// `None` → every function in matching files. `Some` → only
+    /// functions whose name, or enclosing impl type, is listed.
+    fns: Option<&'static [&'static str]>,
+}
+
+const SCOPES: [Scope; 3] = [
+    Scope {
+        path_prefix: "crates/server/src/",
+        fns: None,
+    },
+    Scope {
+        // WAL recovery: header + tail scan and per-record decoding.
+        path_prefix: "crates/engine/src/wal.rs",
+        fns: Some(&["open", "decode_frame", "decode", "Decoder"]),
+    },
+    Scope {
+        // Wire decode: everything a hostile peer's bytes flow through.
+        path_prefix: "crates/common/src/wire.rs",
+        fns: Some(&[
+            "decode",
+            "decode_frame",
+            "read_frame",
+            "read_full",
+            "Decoder",
+        ]),
+    },
+];
+
+const PANIC_MACROS: [&str; 6] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+];
+
+/// Idents that legitimately precede a `[` without it being an index
+/// expression (`&mut [u8]`, `dyn [..]`-style type positions, `let [a,
+/// b] =` patterns, `return [x]`).
+const NON_INDEX_PRECEDERS: [&str; 16] = [
+    "mut", "dyn", "ref", "let", "return", "break", "in", "as", "else", "match", "move", "static",
+    "const", "where", "impl", "box",
+];
+
+pub(crate) struct PanicPath;
+
+impl Rule for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/slice-indexing on request, recovery or wire-decode paths"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            let Some(scope) = SCOPES
+                .iter()
+                .find(|s| file.rel.starts_with(s.path_prefix) || file.rel == s.path_prefix)
+            else {
+                continue;
+            };
+            for func in file.live_functions() {
+                if !in_scope(scope, func) {
+                    continue;
+                }
+                check_function(file, func, self.name(), out);
+            }
+        }
+    }
+}
+
+fn in_scope(scope: &Scope, func: &Function) -> bool {
+    match scope.fns {
+        None => true,
+        Some(names) => {
+            names.contains(&func.name.as_str())
+                || func
+                    .impl_type
+                    .as_deref()
+                    .is_some_and(|ty| names.contains(&ty))
+        }
+    }
+}
+
+fn check_function(
+    file: &SourceFile,
+    func: &Function,
+    rule: &'static str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = Code::of(func.body_tokens(&file.tokens));
+    let diag = |t: &crate::lexer::Token, message: String| Diagnostic {
+        rule,
+        file: file.rel.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+    };
+    for i in 0..code.len() {
+        let t = code.tok(i);
+        // .unwrap() / .expect(…)
+        if let Some(name) = code.method_call(i) {
+            if name.text == "unwrap" || name.text == "expect" {
+                out.push(diag(
+                    name,
+                    format!(
+                        "`{}` can panic; this is a no-panic path (fn `{}`) — return a \
+                         structured `common::Error` (or degrade and log) instead",
+                        name.text, func.name
+                    ),
+                ));
+            }
+        }
+        // panic!-family macro invocation.
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(diag(
+                t,
+                format!(
+                    "`{}!` aborts the thread; this is a no-panic path (fn `{}`) — \
+                     convert the condition into a structured `common::Error`",
+                    t.text, func.name
+                ),
+            ));
+        }
+        // Indexing: `expr[` where expr ends in an ident, `)` or `]`.
+        if t.is_punct('[') && i > 0 {
+            let prev = code.tok(i - 1);
+            let indexes = match &prev.kind {
+                TokenKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text.as_str()),
+                TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                _ => false,
+            };
+            // `#[attr]` never reaches here: `#` precedes the `[`.
+            if indexes {
+                out.push(diag(
+                    t,
+                    format!(
+                        "slice/array indexing panics out of range; this is a no-panic \
+                         path (fn `{}`) — use `.get(..)` / pattern matching and handle \
+                         the `None`",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `shim-only-deps`: no manifest may declare a dependency that is not
+//! built from this repository.
+//!
+//! The build environment is offline: the only "external" crates are the
+//! API-compatible shims vendored under `crates/shims/` (rand, proptest,
+//! criterion, parking_lot). A dependency on anything else would resolve
+//! against a registry that does not exist here and break every build —
+//! or worse, work on one machine with a warm cache and fail on the
+//! next. The allowed set is computed, not hard-coded: every `[package]
+//! name` defined by a manifest in the workspace (shims included) is
+//! allowed; everything else is flagged at its declaration line.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+pub(crate) struct ShimOnlyDeps;
+
+impl Rule for ShimOnlyDeps {
+    fn name(&self) -> &'static str {
+        "shim-only-deps"
+    }
+
+    fn description(&self) -> &'static str {
+        "manifests may only depend on crates defined in this repository (workspace + shims)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let local: BTreeSet<&str> = ws
+            .manifests
+            .iter()
+            .filter_map(|m| m.package_name.as_deref())
+            .collect();
+        for manifest in &ws.manifests {
+            for dep in &manifest.deps {
+                if !local.contains(dep.name.as_str()) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: manifest.rel.clone(),
+                        line: dep.line,
+                        col: 1,
+                        message: format!(
+                            "dependency `{}` is not a crate defined in this repository; \
+                             the build is offline — vendor an API-compatible shim under \
+                             crates/shims/ instead",
+                            dep.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

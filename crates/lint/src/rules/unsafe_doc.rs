@@ -1,0 +1,74 @@
+//! `unsafe-doc`: every `unsafe` block must carry a `// SAFETY:` comment.
+//!
+//! The workspace is `unsafe`-averse by construction (std-only, no FFI
+//! beyond the signal handler), so the few blocks that do exist are
+//! load-bearing and their soundness argument must be written down where
+//! the next reader will see it. The rule applies workspace-wide, test
+//! code included: a `SAFETY:` comment on the block's line or anywhere in
+//! the contiguous comment block directly above it satisfies it.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+pub(crate) struct UnsafeDoc;
+
+impl Rule for UnsafeDoc {
+    fn name(&self) -> &'static str {
+        "unsafe-doc"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block carries a `// SAFETY:` comment stating its invariant"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            let toks = &file.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if !t.is_ident("unsafe") {
+                    continue;
+                }
+                // Only `unsafe {` blocks: `unsafe fn` / `unsafe impl` /
+                // `unsafe extern` declare, they do not execute.
+                let opens_block = toks[i + 1..]
+                    .iter()
+                    .find(|n| !n.is_comment())
+                    .is_some_and(|n| n.is_punct('{'));
+                if !opens_block {
+                    continue;
+                }
+                // The contiguous comment block directly above the
+                // `unsafe` keyword (any length), or a trailing comment
+                // on its own line, must contain `SAFETY:`.
+                let mut documented = toks[i + 1..]
+                    .iter()
+                    .take_while(|n| n.line == t.line)
+                    .any(|n| n.is_comment() && n.text.contains("SAFETY:"));
+                let mut expect_line = t.line.saturating_sub(1);
+                for p in toks[..i].iter().rev() {
+                    if !p.is_comment() || p.line + 1 < expect_line {
+                        break;
+                    }
+                    if p.text.contains("SAFETY:") {
+                        documented = true;
+                        break;
+                    }
+                    expect_line = p.line;
+                }
+                if !documented {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: "`unsafe` block without a `// SAFETY:` comment; state the \
+                                  invariant that makes it sound in a comment directly above \
+                                  the block"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `wire-exhaustive`: every `Request`/`Response` variant must appear in
+//! its encode arm, its decode arm, and at least one test.
+//!
+//! The PR 2 wire protocol hand-rolls its binary codec: `match` arms in
+//! `encode` and tag arms in `decode` are written by hand, so a variant
+//! added to the enum but forgotten in one direction compiles cleanly
+//! and fails only when a peer sends it. Same for tests: an uncovered
+//! variant round-trips on faith. This rule reads the enum definitions
+//! from `crates/common/src/wire.rs` and demands all three mentions.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{SourceFile, Workspace};
+
+const WIRE_FILE: &str = "crates/common/src/wire.rs";
+const ENUMS: [&str; 2] = ["Request", "Response"];
+
+pub(crate) struct WireExhaustive;
+
+impl Rule for WireExhaustive {
+    fn name(&self) -> &'static str {
+        "wire-exhaustive"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Request/Response variant appears in encode, decode, and at least one test"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(wire) = ws.file_ending_with(WIRE_FILE) else {
+            return;
+        };
+        let test_idents = ws.test_idents();
+        for enum_name in ENUMS {
+            let variants = enum_variants(wire, enum_name);
+            for dir in ["encode", "decode"] {
+                let Some(body) = impl_fn_idents(wire, enum_name, dir) else {
+                    // No encode/decode impl at all: report once per
+                    // variant would be noise; flag the enum itself.
+                    if let Some(v) = variants.first() {
+                        out.push(missing(self.name(), wire, v, enum_name, dir));
+                    }
+                    continue;
+                };
+                for v in &variants {
+                    if !body.contains(&v.text.as_str()) {
+                        out.push(missing(self.name(), wire, v, enum_name, dir));
+                    }
+                }
+            }
+            for v in &variants {
+                if !test_idents.contains(v.text.as_str()) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: wire.rel.clone(),
+                        line: v.line,
+                        col: v.col,
+                        message: format!(
+                            "wire variant `{enum_name}::{}` appears in no test; add a \
+                             round-trip (or decode-error) test that names it",
+                            v.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn missing(
+    rule: &'static str,
+    wire: &SourceFile,
+    v: &Token,
+    enum_name: &str,
+    dir: &str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: wire.rel.clone(),
+        line: v.line,
+        col: v.col,
+        message: format!(
+            "wire variant `{enum_name}::{}` has no `{dir}` arm; a peer sending it would \
+             get a codec error (add the arm and a round-trip test)",
+            v.text
+        ),
+    }
+}
+
+/// The variant name tokens of `enum <name> { … }` in `file`.
+fn enum_variants<'a>(file: &'a SourceFile, name: &str) -> Vec<&'a Token> {
+    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0;
+    while i + 2 < code.len() {
+        if code[i].is_ident("enum") && code[i + 1].is_ident(name) && code[i + 2].is_punct('{') {
+            return variants_in_body(&code[i + 2..]);
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Collects variant idents at depth 1 of an enum body starting at its
+/// `{`: an ident directly after the `{` or after a depth-1 `,`,
+/// skipping `#[…]` attributes.
+fn variants_in_body<'a>(body: &[&'a Token]) -> Vec<&'a Token> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    let mut i = 0;
+    while i < body.len() {
+        let t = body[i];
+        match &t.kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                depth += 1;
+                // Depth 1 is the enum body itself (variants follow);
+                // anything deeper is a variant's payload.
+                expect_variant = depth == 1;
+            }
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => expect_variant = true,
+            TokenKind::Punct('#') if depth == 1 => {
+                // Skip the attribute's `[ … ]`.
+                let mut attr_depth = 0i32;
+                i += 1;
+                while i < body.len() {
+                    match body[i].kind {
+                        TokenKind::Punct('[') => attr_depth += 1,
+                        TokenKind::Punct(']') => {
+                            attr_depth -= 1;
+                            if attr_depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            TokenKind::Ident if depth == 1 && expect_variant => {
+                variants.push(t);
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// The set of idents inside `fn <fn_name>` of `impl … for <type_name>`
+/// (or `impl <type_name>`), when that function exists.
+fn impl_fn_idents<'a>(
+    file: &'a SourceFile,
+    type_name: &str,
+    fn_name: &str,
+) -> Option<std::collections::BTreeSet<&'a str>> {
+    let func = file
+        .functions
+        .iter()
+        .find(|f| f.name == fn_name && f.impl_type.as_deref() == Some(type_name))?;
+    Some(
+        func.body_tokens(&file.tokens)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect(),
+    )
+}

@@ -1,0 +1,330 @@
+//! The analyzed workspace: every `.rs` file tokenized and segmented,
+//! every `Cargo.toml` minimally parsed, plus the documentation files
+//! some rules cross-check (`EXPERIMENTS.md`).
+
+use crate::funcs::{segment, Function};
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One analyzed Rust source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Per-function segmentation.
+    pub functions: Vec<Function>,
+    /// Lines suppressed per rule by `// lint:allow(rule, …)` comments.
+    allow: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl SourceFile {
+    /// Builds one analyzed file from source text.
+    pub fn parse(rel: String, text: &str) -> Self {
+        let tokens = tokenize(text);
+        let functions = segment(&tokens);
+        let allow = collect_allows(&tokens);
+        Self {
+            rel,
+            tokens,
+            functions,
+            allow,
+        }
+    }
+
+    /// Whether `rule` is suppressed on `line` by a `lint:allow` comment.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.allow
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// Whether the file as a whole is test/bench/example code by
+    /// location (function-level `#[test]`/`#[cfg(test)]` state is
+    /// tracked separately, per function).
+    pub fn is_test_path(&self) -> bool {
+        let parts: Vec<&str> = self.rel.split('/').collect();
+        parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+    }
+
+    /// The non-test functions of this file (both by path and by in-file
+    /// test markers).
+    pub fn live_functions(&self) -> impl Iterator<Item = &Function> {
+        let path_test = self.is_test_path();
+        self.functions
+            .iter()
+            .filter(move |f| !path_test && !f.is_test)
+    }
+}
+
+/// A `lint:allow(rule, …)` marker suppresses the named rules on the
+/// comment's own line; when the comment stands alone on its line, it
+/// suppresses them on the next code line instead (so long findings can
+/// be annotated above the offending statement).
+fn collect_allows(tokens: &[Token]) -> BTreeMap<String, BTreeSet<u32>> {
+    let mut allow: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(rules) = parse_allow(&t.text) else {
+            continue;
+        };
+        // Standalone comment (column position is its first content) →
+        // applies to the next non-comment token's line; trailing comment
+        // → applies to its own line.
+        let standalone = !tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        let line = if standalone {
+            tokens[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map_or(t.line, |n| n.line)
+        } else {
+            t.line
+        };
+        for rule in rules {
+            allow.entry(rule).or_default().insert(line);
+        }
+    }
+    allow
+}
+
+/// Extracts rule names from a comment containing `lint:allow(a, b)`.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+/// One dependency declaration in a manifest.
+pub struct ManifestDep {
+    /// The dependency name as declared.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// A minimally parsed `Cargo.toml`: its package name and its declared
+/// dependency names (across `dependencies`, `dev-dependencies`,
+/// `build-dependencies` and `workspace.dependencies`).
+pub struct Manifest {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// `[package] name`, when present.
+    pub package_name: Option<String>,
+    /// Every declared dependency.
+    pub deps: Vec<ManifestDep>,
+}
+
+impl Manifest {
+    /// Parses the subset of TOML that Cargo manifests in this workspace
+    /// use: `[section]` headers and `key = value` /
+    /// `key.workspace = true` lines.
+    pub fn parse(rel: String, text: &str) -> Self {
+        let mut section = String::new();
+        let mut package_name = None;
+        let mut deps = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = (idx + 1) as u32;
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                section = header
+                    .trim_end_matches(']')
+                    .trim_matches('[')
+                    .trim_end_matches(']')
+                    .to_string();
+                // `[dependencies.foo]` declares foo directly.
+                for deps_kind in DEP_SECTIONS {
+                    if let Some(name) = section.strip_prefix(&format!("{deps_kind}.")) {
+                        deps.push(ManifestDep {
+                            name: name.to_string(),
+                            line: lineno,
+                        });
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            if section == "package" && key == "name" {
+                package_name = Some(value.trim().trim_matches('"').to_string());
+            }
+            if DEP_SECTIONS.contains(&section.as_str()) {
+                // `foo = "1"`, `foo = { path = … }`, `foo.workspace = true`
+                let name = key.split('.').next().unwrap_or(key).trim();
+                if !name.is_empty() {
+                    deps.push(ManifestDep {
+                        name: name.to_string(),
+                        line: lineno,
+                    });
+                }
+            }
+        }
+        Self {
+            rel,
+            package_name,
+            deps,
+        }
+    }
+}
+
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// The whole analyzed workspace.
+pub struct Workspace {
+    /// Root directory the relative paths hang off.
+    pub root: PathBuf,
+    /// Every analyzed `.rs` file.
+    pub files: Vec<SourceFile>,
+    /// Every parsed `Cargo.toml`.
+    pub manifests: Vec<Manifest>,
+    /// `EXPERIMENTS.md` content, when the workspace has one.
+    pub experiments_md: Option<String>,
+}
+
+impl Workspace {
+    /// Walks `root` and analyzes every tracked source file, skipping
+    /// build output (`target/`), VCS metadata, and this linter's own
+    /// intentionally-violating test fixtures (`tests/fixtures/`).
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let mut entries: Vec<_> =
+                std::fs::read_dir(&dir)?.collect::<std::io::Result<Vec<_>>>()?;
+            entries.sort_by_key(std::fs::DirEntry::file_name);
+            for entry in entries {
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if path.is_dir() {
+                    if name == "target" || name.starts_with('.') || is_fixture_dir(&path) {
+                        continue;
+                    }
+                    stack.push(path);
+                    continue;
+                }
+                let rel = rel_path(root, &path);
+                if name == "Cargo.toml" {
+                    let text = std::fs::read_to_string(&path)?;
+                    manifests.push(Manifest::parse(rel, &text));
+                } else if name.ends_with(".rs") {
+                    let text = std::fs::read_to_string(&path)?;
+                    files.push(SourceFile::parse(rel, &text));
+                }
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        manifests.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let experiments_md = std::fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+        Ok(Self {
+            root: root.to_path_buf(),
+            files,
+            manifests,
+            experiments_md,
+        })
+    }
+
+    /// The analyzed file whose relative path ends with `suffix`, if any.
+    pub fn file_ending_with(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel.ends_with(suffix))
+    }
+
+    /// Every ident token inside test code (test functions, plus whole
+    /// files under `tests/`), as one set — used by `wire-exhaustive` to
+    /// demand test coverage per wire variant.
+    pub fn test_idents(&self) -> BTreeSet<&str> {
+        let mut idents = BTreeSet::new();
+        for f in &self.files {
+            let whole_file = f.is_test_path();
+            for func in &f.functions {
+                if !whole_file && !func.is_test {
+                    continue;
+                }
+                for t in func.body_tokens(&f.tokens) {
+                    if t.kind == TokenKind::Ident {
+                        idents.insert(t.text.as_str());
+                    }
+                }
+            }
+        }
+        idents
+    }
+}
+
+fn is_fixture_dir(path: &Path) -> bool {
+    path.file_name().is_some_and(|n| n == "fixtures")
+        && path
+            .parent()
+            .and_then(Path::file_name)
+            .is_some_and(|n| n == "tests")
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_comments_cover_their_line_or_the_next() {
+        let f = SourceFile::parse(
+            "x.rs".into(),
+            "fn a() {\n    foo.unwrap(); // lint:allow(panic-path)\n    \
+             // lint:allow(panic-path, lock-across-io)\n    bar.unwrap();\n}\n",
+        );
+        assert!(f.allows("panic-path", 2), "trailing comment, same line");
+        assert!(f.allows("panic-path", 4), "standalone comment, next line");
+        assert!(f.allows("lock-across-io", 4));
+        assert!(!f.allows("panic-path", 1));
+        assert!(!f.allows("wal-bypass", 2));
+    }
+
+    #[test]
+    fn manifest_parse_extracts_package_and_deps() {
+        let m = Manifest::parse(
+            "Cargo.toml".into(),
+            "[package]\nname = \"demo\"\n\n[dependencies]\nserde = \"1\"\n\
+             insightnotes-common.workspace = true\n\n[dev-dependencies]\n\
+             proptest = { path = \"x\" }\n\n[dependencies.inline]\npath = \"y\"\n",
+        );
+        assert_eq!(m.package_name.as_deref(), Some("demo"));
+        let names: Vec<&str> = m.deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["serde", "insightnotes-common", "proptest", "inline"]
+        );
+    }
+}

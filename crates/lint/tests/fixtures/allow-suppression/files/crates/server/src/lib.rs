@@ -1,0 +1,21 @@
+//! Fixture: inline `lint:allow` suppression forms.
+
+fn suppressed(v: &[u32]) -> u32 {
+    // Trailing comment suppresses its own line.
+    let a = v.first().unwrap(); // lint:allow(panic-path)
+    // A standalone comment suppresses the next code line.
+    // lint:allow(panic-path)
+    let b = v.last().unwrap();
+    a + b
+}
+
+// BAD: same construct, no allow — still reported.
+fn not_suppressed(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn wrong_rule_name(v: &[u32]) -> u32 {
+    // lint:allow(lock-across-io) — names a different rule, no effect…
+    // lint:allow(panic-path) — …but this one counts.
+    *v.last().unwrap()
+}

@@ -1,0 +1,9 @@
+//! Fixture: two findings, a baseline budget of one.
+
+fn first_violation(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+fn second_violation(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

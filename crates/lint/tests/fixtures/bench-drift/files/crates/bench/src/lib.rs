@@ -1,0 +1,10 @@
+//! Fixture: one documented bench writer, one orphaned.
+
+fn report() {
+    // GOOD: EXPERIMENTS.md has a BENCH_ingest.json section.
+    write_bench_json("ingest", &results);
+    // BAD: nothing documents BENCH_orphan.json.
+    write_bench_json("orphan", &results);
+    // Dynamic names cannot be checked statically.
+    write_bench_json(name_var, &results);
+}

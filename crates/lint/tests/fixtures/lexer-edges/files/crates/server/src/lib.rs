@@ -1,0 +1,37 @@
+//! Fixture: literals and comments that merely *look* like violations.
+//! The lexer must keep all of these out of the code token stream.
+
+// A raw string full of panic bait: x.unwrap() and v[0] and panic!().
+fn raw_strings() -> &'static str {
+    let s = r#"x.unwrap() and v[0] and panic!("boom") and db.write()"#;
+    let with_hashes = r##"closes at two hashes: "# keeps going"##;
+    let byte = br#"b.expect("x")"#;
+    let _ = (with_hashes, byte);
+    s
+}
+
+/* Nested /* block comments: db.write() then file.sync_all() here
+   are comment text, not code. */ */
+fn block_comments(db: &Db) {
+    db.read_only();
+}
+
+// Char literals and lifetimes must not open string mode.
+fn chars_and_lifetimes<'a>(input: &'a str) -> (&'a str, char, char) {
+    let quote = '"';
+    let escaped = '\'';
+    (input, quote, escaped)
+}
+
+// Ranges next to floats: 3.25 is one number, 8..16 is a range.
+fn numbers() -> (f64, usize) {
+    let weight = 3.25;
+    let count = (8..16).count();
+    (weight, count)
+}
+
+// A string containing a lint:allow marker must not suppress anything
+// (and nothing here needs suppressing).
+fn allow_in_string() -> &'static str {
+    "// lint:allow(panic-path)"
+}

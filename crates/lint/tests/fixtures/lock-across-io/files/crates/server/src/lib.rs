@@ -1,0 +1,38 @@
+//! Fixture: blocking I/O under the exclusive database guard.
+
+// BAD: the guard is let-bound, so it is held across both I/O calls.
+fn hold_guard_across_io(db: &Db, out: &mut TcpStream, file: &File) {
+    let mut guard = db.write();
+    guard.apply_all();
+    let _ = out.write_all(b"ack");
+    let _ = file.sync_all();
+}
+
+// GOOD: the temporary guard drops at the end of its own statement; the
+// fsync below runs without the exclusive lock.
+fn release_guard_before_io(db: &Db, file: &File) {
+    db.write().apply_all();
+    let _ = file.sync_all();
+}
+
+// GOOD: `let`-statement whose chain consumes the temporary guard — only
+// the result outlives the statement.
+fn chained_guard_is_temporary(db: &Db, file: &File) -> usize {
+    let applied = db.write().apply_all();
+    let _ = file.sync_all();
+    applied
+}
+
+// GOOD: `db.read()` / `db.write()` are lock acquisitions, not I/O.
+fn lock_calls_are_not_io(db: &Db) {
+    let g = db.write();
+    let _ = db.read();
+    drop(g);
+}
+
+// GOOD: the committer thread is the sanctioned group-commit point.
+fn run_committer(db: &Db, file: &File) {
+    let guard = db.write();
+    let _ = file.sync_all();
+    drop(guard);
+}

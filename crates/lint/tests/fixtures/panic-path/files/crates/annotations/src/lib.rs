@@ -1,0 +1,5 @@
+//! Fixture: this crate is outside every panic-path scope.
+
+fn out_of_scope(input: Option<u32>, v: &[u32]) -> u32 {
+    input.unwrap() + v[0]
+}

@@ -1,0 +1,12 @@
+//! Fixture: only the recovery functions are scoped in this file.
+
+// BAD: `open` is a recovery-path function.
+fn open(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
+}
+
+// GOOD: `append` is not on the recovery path; panics are merely
+// discouraged here, not lint-enforced.
+fn append(v: &mut Vec<u8>, epoch: Option<u64>) {
+    v.push(epoch.unwrap() as u8);
+}

@@ -1,0 +1,29 @@
+//! Fixture: panicking constructs on the request path.
+
+// BAD ×4: unwrap, expect, a panicking macro, and slice indexing.
+fn request_path(input: Option<u32>, v: &[u32]) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if v.is_empty() {
+        unreachable!("checked above");
+    }
+    a + b + v[0]
+}
+
+// GOOD: structured error handling.
+fn structured(input: Option<u32>, v: &[u32]) -> Result<u32, String> {
+    let a = input.ok_or_else(|| "missing input".to_string())?;
+    let first = v.first().copied().ok_or_else(|| "empty".to_string())?;
+    Ok(a + first)
+}
+
+// GOOD: `&mut [u8]` and `let [a, b] = …` are not index expressions.
+fn type_and_pattern_brackets(buf: &mut [u8]) -> usize {
+    let [first, rest] = [1usize, 2];
+    buf.len() + first + rest
+}
+
+#[test]
+fn tests_may_panic(v: Vec<u32>) {
+    assert_eq!(v[0], v.first().copied().unwrap());
+}

@@ -1,0 +1,24 @@
+//! Fixture: `unsafe` blocks with and without a SAFETY comment.
+
+// GOOD: contiguous comment block above the `unsafe` keyword, any length.
+fn documented(ptr: *const u8) -> u8 {
+    // The read below needs its argument alive for the whole call.
+    // SAFETY: `ptr` comes from a live Box the caller still owns, so it
+    // is valid, aligned, and initialized for the read.
+    unsafe { std::ptr::read(ptr) }
+}
+
+// GOOD: trailing SAFETY comment on the block's own line.
+fn documented_inline(ptr: *const u8) -> u8 {
+    unsafe { std::ptr::read(ptr) } // SAFETY: caller-owned live allocation.
+}
+
+// BAD: no soundness argument anywhere near the block.
+fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { std::ptr::read(ptr) }
+}
+
+// GOOD: declarations do not execute; only blocks need the comment.
+unsafe fn declaration_only(ptr: *const u8) -> u8 {
+    0
+}

@@ -1,0 +1,13 @@
+//! Fixture: the Database method surface the rule reads.
+
+pub struct Database;
+
+impl Database {
+    pub fn execute_sql(&mut self, _sql: &str) {}
+    pub fn annotate_batch(&mut self, _stmts: Vec<String>) {}
+    pub fn checkpoint(&mut self) {}
+    // Internal plumbing: &mut self, not an entry point → restricted.
+    pub fn rebuild_index(&mut self) {}
+    // Read-only methods are never restricted.
+    pub fn stats(&self) {}
+}

@@ -1,0 +1,23 @@
+//! Fixture: call sites outside the engine crate.
+
+// GOOD: WAL-logged entry points.
+fn good_entry_points(db: &mut Database) {
+    db.execute_sql("ADD ANNOTATION 'x' ON t");
+    db.annotate_batch(Vec::new());
+    db.checkpoint();
+    db.stats();
+}
+
+// BAD: direct call to internal plumbing skips the log.
+fn bad_direct_mutation(db: &mut Database) {
+    db.rebuild_index();
+}
+
+#[cfg(test)]
+mod tests {
+    // GOOD: test code may poke internals.
+    #[test]
+    fn tests_are_exempt(db: &mut Database) {
+        db.rebuild_index();
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: enum/codec drift in the wire protocol.
+
+pub enum Request {
+    Ping,
+    /// Carries SQL text.
+    Query { sql: String },
+}
+
+pub enum Response {
+    Pong,
+}
+
+impl Encodable for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Request::Ping => enc.u8(0),
+            Request::Query { sql } => enc.str(sql),
+        }
+    }
+
+    // BAD: the decode arm for `Query` was never written.
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        match dec.u8()? {
+            0 => Ok(Request::Ping),
+            other => Err(Error::Codec(other)),
+        }
+    }
+}
+
+impl Encodable for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Response::Pong => enc.u8(0),
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        match dec.u8()? {
+            0 => Ok(Response::Pong),
+            other => Err(Error::Codec(other)),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: round-trip tests cover Ping and Pong — but not Query.
+
+#[test]
+fn ping_pong_round_trip() {
+    round_trip(Request::Ping);
+    round_trip(Response::Pong);
+}

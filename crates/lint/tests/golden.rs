@@ -1,0 +1,122 @@
+//! Golden tests: each fixture under `tests/fixtures/<case>/files/` is a
+//! miniature workspace with deliberate violations (and near-misses);
+//! the linter's `--json` output over it must match
+//! `tests/fixtures/<case>/expected.json` byte for byte.
+//!
+//! Regenerate the goldens after an intentional rule change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p lint --test golden
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::path::{Path, PathBuf};
+
+fn fixture_root(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case)
+}
+
+/// Runs the linter over one fixture and compares (or rewrites) its
+/// golden JSON. Returns the outcome for case-specific extra assertions.
+fn check_case(case: &str) -> lint::RunOutcome {
+    let root = fixture_root(case);
+    let files = root.join("files");
+    assert!(files.is_dir(), "fixture `{case}` has no files/ directory");
+    // A fixture may carry its own baseline (the `baseline` case does);
+    // everywhere else the path simply does not exist = empty baseline.
+    let outcome = lint::run(&files, &files.join("lint.toml"))
+        .unwrap_or_else(|e| panic!("fixture `{case}` failed to lint: {e}"));
+    let got = lint::diag::render_json(&outcome.reported);
+    let golden = root.join("expected.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, format!("{got}\n")).expect("write golden");
+        return outcome;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("fixture `{case}` missing expected.json: {e}"));
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "fixture `{case}` diverged from its golden JSON \
+         (UPDATE_GOLDEN=1 regenerates after intentional changes)"
+    );
+    outcome
+}
+
+#[test]
+fn lock_across_io_fires_on_held_guard_only() {
+    let outcome = check_case("lock-across-io");
+    assert_eq!(outcome.reported.len(), 2);
+    assert!(outcome.reported.iter().all(|d| d.rule == "lock-across-io"));
+}
+
+#[test]
+fn wal_bypass_flags_non_entry_point_mutations() {
+    let outcome = check_case("wal-bypass");
+    assert_eq!(outcome.reported.len(), 1);
+    assert!(outcome.reported[0].message.contains("rebuild_index"));
+}
+
+#[test]
+fn panic_path_scopes_by_path_and_function() {
+    let outcome = check_case("panic-path");
+    assert!(outcome.reported.iter().all(|d| d.rule == "panic-path"));
+    // Out-of-scope files and test functions contribute nothing.
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| !d.file.starts_with("crates/annotations/")));
+}
+
+#[test]
+fn wire_exhaustive_demands_decode_arms_and_tests() {
+    let outcome = check_case("wire-exhaustive");
+    assert_eq!(outcome.reported.len(), 2);
+}
+
+#[test]
+fn bench_drift_catches_undocumented_artifacts() {
+    let outcome = check_case("bench-drift");
+    assert_eq!(outcome.reported.len(), 1);
+    assert!(outcome.reported[0].message.contains("BENCH_orphan.json"));
+}
+
+#[test]
+fn shim_only_deps_rejects_registry_crates() {
+    let outcome = check_case("shim-only-deps");
+    assert_eq!(outcome.reported.len(), 1);
+    assert!(outcome.reported[0].message.contains("serde"));
+}
+
+#[test]
+fn unsafe_doc_requires_safety_comments() {
+    let outcome = check_case("unsafe-doc");
+    assert_eq!(outcome.reported.len(), 1);
+}
+
+#[test]
+fn lexer_edge_cases_produce_no_false_positives() {
+    let outcome = check_case("lexer-edges");
+    assert!(
+        outcome.reported.is_empty(),
+        "literals and comments leaked code tokens: {:?}",
+        outcome.reported
+    );
+}
+
+#[test]
+fn inline_allow_suppresses_its_line_only() {
+    let outcome = check_case("allow-suppression");
+    assert_eq!(outcome.reported.len(), 1);
+    assert!(outcome.reported[0].file.contains("lib.rs"));
+}
+
+#[test]
+fn baseline_budgets_suppress_up_to_count() {
+    let outcome = check_case("baseline");
+    assert_eq!(outcome.reported.len(), 1, "one finding over budget");
+    assert_eq!(outcome.baselined.len(), 1, "one finding within budget");
+}

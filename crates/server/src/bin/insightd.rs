@@ -98,8 +98,7 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let bad = |m: String| insightnotes_common::Error::Execution(m);
-    while i < args.len() {
-        let flag = args[i].as_str();
+    while let Some(flag) = args.get(i).map(String::as_str) {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
@@ -117,17 +116,17 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
             "--max-conns" => {
                 opts.max_conns = value
                     .parse()
-                    .map_err(|_| bad(format!("bad count {value}")))?
+                    .map_err(|_| bad(format!("bad count {value}")))?;
             }
             "--timeout-ms" => {
-                opts.timeout_ms = value.parse().map_err(|_| bad(format!("bad ms {value}")))?
+                opts.timeout_ms = value.parse().map_err(|_| bad(format!("bad ms {value}")))?;
             }
             "--parallelism" => {
                 opts.parallelism = Some(
                     value
                         .parse()
                         .map_err(|_| bad(format!("bad count {value}")))?,
-                )
+                );
             }
             "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value)),
             "--sync" => opts.sync = SyncPolicy::parse(value)?,

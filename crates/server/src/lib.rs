@@ -324,8 +324,8 @@ impl Committer {
 /// queue is empty, which is what makes shutdown lossless.
 fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
     while let Ok(first) = rx.recv() {
+        let mut queued = first.stmts.len();
         let mut jobs = vec![first];
-        let mut queued = jobs[0].stmts.len();
         while queued < wire::MAX_BATCH_ITEMS {
             match rx.try_recv() {
                 Ok(job) => {
@@ -442,19 +442,25 @@ fn fill(
     deadline: Instant,
     state: &ServerState,
 ) -> Result<()> {
-    while *filled < buf.len() {
+    let total = buf.len();
+    loop {
+        let Some(rest) = buf.get_mut(*filled..) else {
+            return Err(Error::Codec("frame read cursor out of range".into()));
+        };
+        if rest.is_empty() {
+            break;
+        }
         if Instant::now() >= deadline {
             return Err(Error::Execution(format!(
                 "request timed out after {:?} mid-frame",
                 state.config.request_timeout
             )));
         }
-        match stream.read(&mut buf[*filled..]) {
+        match stream.read(rest) {
             Ok(0) => {
                 return Err(Error::Codec(format!(
-                    "connection closed mid-frame ({} of {} bytes)",
-                    *filled,
-                    buf.len()
+                    "connection closed mid-frame ({} of {total} bytes)",
+                    *filled
                 )))
             }
             Ok(n) => *filled += n,
@@ -483,7 +489,10 @@ fn drain(
             )));
         }
         let want = remaining.min(scratch.len());
-        match stream.read(&mut scratch[..want]) {
+        let Some(chunk) = scratch.get_mut(..want) else {
+            return Err(Error::Codec("drain chunk sizing out of range".into()));
+        };
+        match stream.read(chunk) {
             Ok(0) => {
                 return Err(Error::Codec(format!(
                     "connection closed mid-frame ({remaining} bytes left to drain)"
@@ -597,7 +606,9 @@ fn try_handle_request(
             let db = db.read();
             match db.execute_read(stmt)? {
                 ExecOutcome::Query(q) => Ok(Response::Rows(rows_payload(&db, &q))),
-                _ => unreachable!("SELECT produces a query outcome"),
+                _ => Err(Error::Execution(
+                    "SELECT produced a non-query outcome; engine/server protocol mismatch".into(),
+                )),
             }
         }
         Request::ZoomIn { sql } => {
@@ -610,7 +621,9 @@ fn try_handle_request(
             let db = db.read();
             match db.execute_read(stmt)? {
                 ExecOutcome::ZoomIn(z) => Ok(Response::Zoomed(zoom_payload(z))),
-                _ => unreachable!("ZOOMIN produces a zoom-in outcome"),
+                _ => Err(Error::Execution(
+                    "ZOOMIN produced a non-zoom-in outcome; engine/server protocol mismatch".into(),
+                )),
             }
         }
         Request::Annotate { sql } => {
@@ -637,7 +650,11 @@ fn try_handle_request(
                         indices.push(i);
                         stmts.push(stmt);
                     }
-                    Err(e) => slots[i] = Some(BatchItem::Err(WireError::from(&e))),
+                    Err(e) => {
+                        if let Some(slot) = slots.get_mut(i) {
+                            *slot = Some(BatchItem::Err(WireError::from(&e)));
+                        }
+                    }
                 }
             }
             let committed = if stmts.is_empty() {
@@ -646,12 +663,22 @@ fn try_handle_request(
                 committer.submit(stmts)?
             };
             for (i, item) in indices.into_iter().zip(committed) {
-                slots[i] = Some(item);
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(item);
+                }
             }
+            // Every slot is filled by construction; an unfilled one
+            // still degrades to a per-item error rather than a panic.
             Ok(Response::BatchAck {
                 results: slots
                     .into_iter()
-                    .map(|s| s.expect("every batch slot resolved"))
+                    .map(|s| {
+                        s.unwrap_or_else(|| {
+                            BatchItem::Err(WireError::from(&Error::Execution(
+                                "batch slot missing a committer result".into(),
+                            )))
+                        })
+                    })
                     .collect(),
             })
         }
@@ -673,7 +700,10 @@ fn try_handle_request(
                 // which the ack's durability promise holds.
                 let outcomes = db.write().execute_sql(&sql)?;
                 db.read().wal_sync()?;
-                outcomes.iter().map(|o| o.to_string()).collect()
+                outcomes
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect()
             };
             Ok(Response::Ack { messages })
         }
@@ -737,8 +767,7 @@ fn rows_payload(db: &Database, q: &QueryResult) -> RowsPayload {
                     let name = db
                         .registry()
                         .instance(*inst)
-                        .map(|i| i.name().to_string())
-                        .unwrap_or_else(|_| inst.to_string());
+                        .map_or_else(|_| inst.to_string(), |i| i.name().to_string());
                     format!("{name} {obj}")
                 })
                 .collect(),
@@ -795,6 +824,10 @@ pub fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = on_signal as extern "C" fn(i32) as usize;
+    // SAFETY: `signal` is async-signal-safe to install, the handler is a
+    // real `extern "C" fn(i32)` whose body only performs an atomic store
+    // (itself async-signal-safe), and the `usize` casts round-trip
+    // function pointers on every supported Unix ABI.
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);

@@ -179,7 +179,7 @@ fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
         .collect();
     let outcome = c.annotate_batch(unacked);
     assert!(
-        outcome.is_err() || outcome.unwrap().iter().all(|r| r.is_err()),
+        outcome.is_err() || outcome.unwrap().iter().all(std::result::Result::is_err),
         "no item of the aborted batch may carry an Ok ack"
     );
     daemon.wait_dead();

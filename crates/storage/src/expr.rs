@@ -223,7 +223,7 @@ impl BoundExpr {
                 r.referenced_columns(out);
             }
             BoundExpr::Not(e) | BoundExpr::IsNull(e) | BoundExpr::Contains(e, _) => {
-                e.referenced_columns(out)
+                e.referenced_columns(out);
             }
         }
     }

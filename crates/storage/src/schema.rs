@@ -163,7 +163,7 @@ impl codec::Encodable for Column {
             3 => DataType::Bool,
             t => return Err(Error::Codec(format!("invalid data type tag {t}"))),
         };
-        let qualifier = dec.option(|d| d.str())?;
+        let qualifier = dec.option(insightnotes_common::Decoder::str)?;
         Ok(Column {
             name,
             dtype,

@@ -90,7 +90,7 @@ impl Table {
         let Some(key) = index_key(value) else {
             return Some(&[]);
         };
-        Some(index.get(&key).map(Vec::as_slice).unwrap_or(&[]))
+        Some(index.get(&key).map_or(&[], Vec::as_slice))
     }
 
     /// Table id.

@@ -305,7 +305,7 @@ mod tests {
             Value::Float(1.5),
             Value::Bool(true),
         ];
-        vals.sort_by(|a, b| a.sort_cmp(b));
+        vals.sort_by(super::Value::sort_cmp);
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(1.5));
         assert_eq!(vals[2], Value::Int(3));

@@ -566,8 +566,7 @@ impl fmt::Display for SummaryObject {
                     .map(|g| {
                         let rep = g
                             .representative
-                            .map(|r| format!("a{r}"))
-                            .unwrap_or_else(|| "-".into());
+                            .map_or_else(|| "-".into(), |r| format!("a{r}"));
                         match &g.preview {
                             Some(p) => format!("{{{} members, rep={rep} \"{p}\"}}", g.size),
                             None => format!("{{{} members, rep={rep}}}", g.size),
@@ -619,7 +618,7 @@ impl codec::Encodable for SummaryObject {
                 enc.u8(0);
                 o.sig_map.encode(enc);
                 enc.seq(&o.labels, |e, l| e.str(l));
-                enc.seq(&o.label_sets, |e, s| e.idset(s));
+                enc.seq(&o.label_sets, insightnotes_common::Encoder::idset);
             }
             SummaryObject::Cluster(o) => {
                 enc.u8(1);
@@ -659,8 +658,8 @@ impl codec::Encodable for SummaryObject {
         match dec.u8()? {
             0 => {
                 let sig_map = SigMap::decode(dec)?;
-                let labels: Vec<String> = dec.seq(|d| d.str())?;
-                let label_sets = dec.seq(|d| d.idset())?;
+                let labels: Vec<String> = dec.seq(insightnotes_common::Decoder::str)?;
+                let label_sets = dec.seq(insightnotes_common::Decoder::idset)?;
                 if labels.len() != label_sets.len() {
                     return Err(Error::Codec("classifier label arity mismatch".into()));
                 }

@@ -214,7 +214,7 @@ impl SummaryRegistry {
 
     /// Instances linked to a table, in id order.
     pub fn linked_instances(&self, table: TableId) -> &[InstanceId] {
-        self.links.get(&table).map(Vec::as_slice).unwrap_or(&[])
+        self.links.get(&table).map_or(&[], Vec::as_slice)
     }
 
     // -- objects -------------------------------------------------------
@@ -223,10 +223,7 @@ impl SummaryRegistry {
     /// are `Arc`-shared: query execution attaches them to result rows by
     /// cloning the handles, not the payloads.
     pub fn objects_on(&self, table: TableId, row: RowId) -> &[(InstanceId, SharedObject)] {
-        self.objects
-            .get(&(table, row))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.objects.get(&(table, row)).map_or(&[], Vec::as_slice)
     }
 
     /// One instance's object on a row, if any.

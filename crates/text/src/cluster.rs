@@ -400,7 +400,7 @@ mod tests {
         };
         let mut cl = OnlineClusterer::new(cfg);
         for i in 0..100u64 {
-            let terms: Vec<String> = (0..5).map(|j| format!("term{}{}", i, j)).collect();
+            let terms: Vec<String> = (0..5).map(|j| format!("term{i}{j}")).collect();
             let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
             cl.add(i, vector(&mut vocab, &refs));
         }

@@ -141,10 +141,10 @@ impl Encodable for NaiveBayes {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
-        let labels: Vec<String> = dec.seq(|d| d.str())?;
+        let labels: Vec<String> = dec.seq(insightnotes_common::Decoder::str)?;
         let vocab = Vocabulary::decode(dec)?;
-        let doc_counts: Vec<u64> = dec.seq(|d| d.varint())?;
-        let token_totals: Vec<u64> = dec.seq(|d| d.varint())?;
+        let doc_counts: Vec<u64> = dec.seq(insightnotes_common::Decoder::varint)?;
+        let token_totals: Vec<u64> = dec.seq(insightnotes_common::Decoder::varint)?;
         let nrows = dec.varint()? as usize;
         let mut term_counts = Vec::with_capacity(nrows.min(256));
         for _ in 0..nrows {

@@ -93,8 +93,7 @@ impl NaiveBayes {
             .into_iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+            .map_or(0, |(i, _)| i)
     }
 
     /// Log-posterior (up to a constant) per label. Ties and degenerate

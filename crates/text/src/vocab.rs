@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn intern_all_preserves_order_and_duplicates() {
         let mut v = Vocabulary::new();
-        let toks: Vec<String> = ["x", "y", "x"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["x", "y", "x"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let ids = v.intern_all(&toks);
         assert_eq!(ids.len(), 3);
         assert_eq!(ids[0], ids[2]);

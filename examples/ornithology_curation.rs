@@ -73,11 +73,10 @@ fn main() -> Result<()> {
     let rollup = db
         .query("SELECT region, COUNT(*) AS birds FROM birds GROUP BY region ORDER BY birds DESC")?;
     for row in &rollup.rows {
-        let summary_note = row
-            .summaries
-            .first()
-            .map(|(_, o)| format!("{} annotations summarized", o.annotation_count()))
-            .unwrap_or_else(|| "no annotations".into());
+        let summary_note = row.summaries.first().map_or_else(
+            || "no annotations".into(),
+            |(_, o)| format!("{} annotations summarized", o.annotation_count()),
+        );
         println!("  {:<12} {} ({summary_note})", row.row[0], row.row[1]);
     }
 

@@ -1,9 +1,28 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, release build, tier-1 tests, workspace
-# tests, clippy with warnings promoted to errors, and an end-to-end
-# smoke test of the insightd network server. Run from the repo root.
+# Full local gate. Stages run cheapest-first so the common failures
+# surface before the expensive ones:
+#
+#   1. cargo fmt --check        — formatting (seconds, catches most noise)
+#   2. cargo build --release    — tier-1 build, plus server/client bins
+#   3. cargo test -q            — tier-1 tests (root package)
+#   4. cargo test --workspace   — every crate's unit + integration tests
+#   5. insight-lint             — workspace invariant checker (lock/WAL/
+#                                 panic discipline; see DESIGN.md §11);
+#                                 a HARD gate: any non-baselined finding
+#                                 fails the run
+#   6. cargo clippy -D warnings — style lints over all targets
+#   7. insightd smoke tests     — end-to-end wire-protocol round-trip,
+#                                 then kill -9 crash recovery
+#
+# `./scripts/check.sh --fix-baseline` skips the gates and regenerates
+# lint.toml from the current findings instead (kept empty by policy:
+# fix violations rather than baselining them).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix-baseline" ]]; then
+  exec cargo run -q -p lint -- --fix-baseline
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -19,6 +38,9 @@ cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> insight-lint (workspace invariants)"
+cargo run -q -p lint --
 
 echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
 cargo clippy --workspace --all-targets --all-features -- -D warnings

@@ -52,7 +52,7 @@ fn fingerprint(db: &Database) -> BTreeMap<i64, RowState> {
                             .iter()
                             .map(|g| g.size)
                             .sum(),
-                    )
+                    );
                 }
                 other => panic!("unexpected instance {other}"),
             }

@@ -161,7 +161,10 @@ fn typed_and_batch_entry_points_replay_identically() {
         .collect();
         let results = db.annotate_batch_sql(stmts);
         assert_eq!(
-            results.iter().map(|r| r.is_ok()).collect::<Vec<_>>(),
+            results
+                .iter()
+                .map(std::result::Result::is_ok)
+                .collect::<Vec<_>>(),
             [true, false, true]
         );
         // Typed single + typed batch.

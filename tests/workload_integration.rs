@@ -115,7 +115,12 @@ fn classifier_tracks_ground_truth_above_chance() {
     use insightnotes::text::NaiveBayes;
     use insightnotes::workload::{BirdGen, ANNOTATION_CLASSES};
     let mut gen = BirdGen::new(99);
-    let mut nb = NaiveBayes::new(ANNOTATION_CLASSES.iter().map(|s| s.to_string()).collect());
+    let mut nb = NaiveBayes::new(
+        ANNOTATION_CLASSES
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
+    );
     for (class, text) in gen.training_corpus(20) {
         nb.train(class, &text);
     }
