@@ -56,6 +56,52 @@ impl AnnotationStore {
         Ok(id)
     }
 
+    /// Stores an annotation under a caller-chosen id, advancing the
+    /// allocator past it. The sharded engine routes annotations whose
+    /// ids were allocated once at the router, so every shard's store
+    /// must accept the same `(id, body, targets)` triple verbatim.
+    ///
+    /// Same validation as [`AnnotationStore::add`], plus a duplicate-id
+    /// check; `next_id` is bumped to at least `id` so snapshot encoding
+    /// (which requires every id ≤ `next_id`) stays valid and later
+    /// [`AnnotationStore::add`] calls never collide.
+    pub fn add_at(
+        &mut self,
+        id: AnnotationId,
+        body: AnnotationBody,
+        targets: Vec<Target>,
+    ) -> Result<AnnotationId> {
+        if targets.is_empty() {
+            return Err(Error::Annotation(
+                "annotation must have at least one target".into(),
+            ));
+        }
+        if targets.iter().any(|t| t.cols.is_empty()) {
+            return Err(Error::Annotation(
+                "annotation target must cover at least one column".into(),
+            ));
+        }
+        if self.annotations.contains_key(&id) {
+            return Err(Error::Annotation(format!(
+                "annotation id {id} already in use"
+            )));
+        }
+        self.next_id = self.next_id.max(id.raw());
+        self.content_bytes += body.content_bytes();
+        for t in &targets {
+            self.index.attach(t.table, t.row, id, t.cols);
+        }
+        self.annotations.insert(id, Annotation { body, targets });
+        Ok(id)
+    }
+
+    /// The highest id the allocator has handed out (0 when empty). The
+    /// shard router seeds its global id allocator from the max across
+    /// shards after recovery.
+    pub fn last_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Fetches an annotation by id.
     pub fn get(&self, id: AnnotationId) -> Result<&Annotation> {
         self.annotations

@@ -10,16 +10,19 @@
 //! pays a round-trip, a commit-queue hand-off, and — dominating under
 //! reader load — a write-lock acquisition that waits out in-flight
 //! scans **per annotation**; larger batches amortize all three across
-//! the group, plus the per-row summary-maintenance pass. Streams come
-//! from `workload::ingest_script`, the pure-write counterpart of the A4
-//! mixed session streams.
+//! the group, plus the per-row summary-maintenance pass. The sweep runs
+//! per engine layout, `shards` ∈ {1, 4}: 1 is the legacy single-lock
+//! engine, 4 hash-partitions rows over four locks fed by one committer
+//! each, so concurrent writers only serialize when they hit the same
+//! shard. Streams come from `workload::ingest_script`, the pure-write
+//! counterpart of the A4 mixed session streams.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use insightnotes_bench::{
     drive_ingest_writer, ReaderLoad, INGEST_READERS, INGEST_READER_SCAN, INGEST_READER_THINK,
 };
 use insightnotes_client::Client;
-use insightnotes_engine::{Database, DbConfig, SyncPolicy};
+use insightnotes_engine::{Database, DbConfig, ShardedDatabase, SyncPolicy};
 use insightnotes_server::{Server, ServerConfig, ServerHandle};
 use insightnotes_workload::{ingest_script, IngestConfig};
 use std::net::SocketAddr;
@@ -39,13 +42,15 @@ struct RunningServer {
 /// summary instances, links, row inserts) over one connection, so every
 /// annotation statement in the sweep finds its target row and linked
 /// summary instances.
-fn start_server() -> RunningServer {
-    start_server_on(Database::new())
+fn start_server(shards: usize) -> RunningServer {
+    let db =
+        ShardedDatabase::create(DbConfig::default(), shards).expect("sharded in-memory engine");
+    start_server_on(db)
 }
 
-fn start_server_on(db: Database) -> RunningServer {
-    let server =
-        Server::bind("127.0.0.1:0", db, ServerConfig::default()).expect("bind ephemeral port");
+fn start_server_on(db: impl Into<ShardedDatabase>) -> RunningServer {
+    let server = Server::bind_sharded("127.0.0.1:0", db.into(), ServerConfig::default())
+        .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
     let handle = server.handle();
     let thread = std::thread::spawn(move || {
@@ -76,53 +81,57 @@ impl Drop for RunningServer {
 }
 
 fn bench_ingest(c: &mut Criterion) {
-    let server = start_server();
     let mut group = c.benchmark_group("ingest_throughput");
     group.sample_size(10);
 
-    for writers in [1usize, 8, 32] {
-        let script = ingest_script(&IngestConfig {
-            writers,
-            annotations_per_writer: TOTAL / writers,
-            num_birds: BIRDS,
-            ..IngestConfig::default()
-        });
-        let streams = script.clients;
-        // Persistent connections, one per writer, reused across
-        // iterations: timed regions measure ingest, not accept latency.
-        let mut conns: Vec<Client> = (0..writers)
-            .map(|_| Client::connect(server.addr).expect("connect"))
-            .collect();
-        // Background analysts contend on the read lock for the whole
-        // writer group (dropped, and joined, at the end of the scope).
-        let _readers = ReaderLoad::start(
-            server.addr,
-            INGEST_READERS,
-            INGEST_READER_SCAN,
-            INGEST_READER_THINK,
-        );
-        for batch in [1usize, 16, 256] {
-            group.bench_with_input(
-                BenchmarkId::new(&format!("writers_{writers}"), batch),
-                &streams,
-                |b, streams| {
-                    b.iter(|| {
-                        std::thread::scope(|scope| {
-                            let workers: Vec<_> = conns
-                                .drain(..)
-                                .zip(streams)
-                                .map(|(mut conn, stream)| {
-                                    scope.spawn(move || {
-                                        drive_ingest_writer(&mut conn, stream, batch);
-                                        conn
-                                    })
-                                })
-                                .collect();
-                            conns.extend(workers.into_iter().map(|w| w.join().expect("writer")));
-                        });
-                    });
-                },
+    for shards in [1usize, 4] {
+        let server = start_server(shards);
+        for writers in [1usize, 8, 32] {
+            let script = ingest_script(&IngestConfig {
+                writers,
+                annotations_per_writer: TOTAL / writers,
+                num_birds: BIRDS,
+                ..IngestConfig::default()
+            });
+            let streams = script.clients;
+            // Persistent connections, one per writer, reused across
+            // iterations: timed regions measure ingest, not accept
+            // latency.
+            let mut conns: Vec<Client> = (0..writers)
+                .map(|_| Client::connect(server.addr).expect("connect"))
+                .collect();
+            // Background analysts contend on the read locks for the
+            // whole writer group (dropped, and joined, at scope end).
+            let _readers = ReaderLoad::start(
+                server.addr,
+                INGEST_READERS,
+                INGEST_READER_SCAN,
+                INGEST_READER_THINK,
             );
+            for batch in [1usize, 16, 256] {
+                group.bench_with_input(
+                    BenchmarkId::new(&format!("shards_{shards}_writers_{writers}"), batch),
+                    &streams,
+                    |b, streams| {
+                        b.iter(|| {
+                            std::thread::scope(|scope| {
+                                let workers: Vec<_> = conns
+                                    .drain(..)
+                                    .zip(streams)
+                                    .map(|(mut conn, stream)| {
+                                        scope.spawn(move || {
+                                            drive_ingest_writer(&mut conn, stream, batch);
+                                            conn
+                                        })
+                                    })
+                                    .collect();
+                                conns
+                                    .extend(workers.into_iter().map(|w| w.join().expect("writer")));
+                            });
+                        });
+                    },
+                );
+            }
         }
     }
     group.finish();

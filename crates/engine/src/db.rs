@@ -28,7 +28,7 @@ use crate::exec::{trace::render_row_resolved, Executor, TraceLog};
 use crate::expr::SExpr;
 use crate::plan::{estimate_cost, LogicalPlan, Planner};
 use crate::raw::{RawExecutor, RawRow};
-use crate::wal::{SyncPolicy, Wal, WalRecord, WalRowAnnotation};
+use crate::wal::{SyncPolicy, Wal, WalRecord, WalRowAnnotation, WalStampedAnnotation};
 use crate::zoomin::ZoomRegistry;
 use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, Target};
 use insightnotes_common::{
@@ -63,7 +63,7 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    fn build(self) -> Box<dyn ReplacementPolicy> {
+    pub(crate) fn build(self) -> Box<dyn ReplacementPolicy> {
         match self {
             PolicyKind::Rco => Box::new(Rco::default()),
             PolicyKind::Lru => Box::new(Lru),
@@ -223,6 +223,20 @@ pub struct RowAnnotation {
     pub cols: ColSig,
     /// The annotation itself (`created` is stamped at staging time).
     pub body: AnnotationBody,
+}
+
+/// A [`RowAnnotation`] whose id and clock tick were allocated up front
+/// by the shard router. Sharded ingestion stamps `(id, tick)` once at
+/// the router so every shard stores the same annotation under the same
+/// identity a serial single-database run would have produced.
+#[derive(Debug, Clone)]
+pub struct StampedRowAnnotation {
+    /// Router-allocated annotation id.
+    pub id: u64,
+    /// Router-allocated logical-clock tick (becomes `body.created`).
+    pub tick: u64,
+    /// The annotation and its explicit targets.
+    pub item: RowAnnotation,
 }
 
 /// The result of executing one statement.
@@ -501,6 +515,22 @@ impl Database {
                     })
                     .collect();
                 let _ = self.annotate_rows_batch(items);
+            }
+            WalRecord::Stamped { items } => {
+                let items: Vec<StampedRowAnnotation> = items
+                    .iter()
+                    .map(|s| StampedRowAnnotation {
+                        id: s.id,
+                        tick: s.tick,
+                        item: RowAnnotation {
+                            table: s.item.table.clone(),
+                            rows: s.item.rows.iter().map(|&r| RowId::new(r)).collect(),
+                            cols: ColSig::from_bits(s.item.cols),
+                            body: replay_body(&s.item.text, &s.item.document, &s.item.author),
+                        },
+                    })
+                    .collect();
+                let _ = self.annotate_rows_batch_stamped(items);
             }
             WalRecord::Targets {
                 targets,
@@ -1034,35 +1064,18 @@ impl Database {
         columns: &[String],
         where_clause: Option<Expr>,
     ) -> Result<(AnnotationId, usize)> {
-        let tid = self.catalog.table_id(table)?;
-        let schema = self.catalog.table(tid)?.schema().clone();
-        let qualified = schema.qualify(table);
-
-        // Resolve covered columns (empty list = whole row).
-        let cols = if columns.is_empty() {
-            ColSig::whole_row(schema.arity())
-        } else {
-            let mut ids = Vec::with_capacity(columns.len());
-            for c in columns {
-                ids.push(ColumnId::new(schema.resolve(None, c)? as u16));
-            }
-            ColSig::of_columns(&ids)
-        };
-
-        // Find target rows (through an index when the predicate allows).
-        let predicate = where_clause
-            .map(|w| Planner::new(&self.catalog, &self.registry).bind_expr(&w, &qualified))
-            .transpose()?;
-        let targets: Vec<Target> = self
-            .matching_rows(tid, predicate.as_ref())?
+        let (tid, cols, rows) = resolve_annotation_targets(
+            &self.catalog,
+            &self.registry,
+            &self.registry,
+            table,
+            columns,
+            where_clause,
+        )?;
+        let targets: Vec<Target> = rows
             .into_iter()
             .map(|rid| Target::new(tid, rid, cols))
             .collect();
-        if targets.is_empty() {
-            return Err(Error::Annotation(
-                "annotation matched no rows; nothing attached".into(),
-            ));
-        }
         let n = targets.len();
 
         let mut body = AnnotationBody::text(text, author.unwrap_or_else(|| "anonymous".into()));
@@ -1235,6 +1248,84 @@ impl Database {
         self.store.add(body, targets)
     }
 
+    /// Pre-stamped batch ingestion for the shard router: like
+    /// [`Database::annotate_rows_batch`], but each item carries the
+    /// annotation id and clock tick the router already allocated, so
+    /// every shard that stores (a slice of) the same annotation agrees
+    /// on its identity and timestamp. On a WAL-enabled database the
+    /// whole batch is logged as one [`WalRecord::Stamped`] record before
+    /// any item stages.
+    ///
+    /// Failure semantics mirror serial staging: an unknown table fails
+    /// before the tick is consumed; an empty target list consumes the
+    /// tick (the clock advances past it) but stores nothing.
+    pub fn annotate_rows_batch_stamped(
+        &mut self,
+        items: Vec<StampedRowAnnotation>,
+    ) -> Vec<Result<ExecOutcome>> {
+        if self.wal.is_some() {
+            let record = WalRecord::Stamped {
+                items: items.iter().map(wal_stamped_item).collect(),
+            };
+            if let Err(e) = self.wal_append(&record) {
+                let msg = format!("write-ahead log append failed: {e}");
+                return items
+                    .iter()
+                    .map(|_| Err(Error::Execution(msg.clone())))
+                    .collect();
+            }
+        }
+        let mut results: Vec<Option<Result<ExecOutcome>>> = Vec::new();
+        results.resize_with(items.len(), || None);
+        let mut staged: Vec<(usize, AnnotationId, usize)> = Vec::new();
+        for (i, s) in items.into_iter().enumerate() {
+            match self.stage_stamped(s) {
+                Ok((id, targets)) => staged.push((i, id, targets)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        let ids: Vec<AnnotationId> = staged.iter().map(|&(_, id, _)| id).collect();
+        match self.batch_refresh(&ids) {
+            Ok(mut per_ann) => {
+                for (i, id, targets) in staged {
+                    results[i] = Some(Ok(ExecOutcome::Annotated {
+                        annotation: id,
+                        targets,
+                        maintenance: per_ann.remove(&id).unwrap_or_default(),
+                    }));
+                }
+            }
+            Err(e) => {
+                let msg = format!("batch maintenance failed: {e}");
+                for (i, _, _) in staged {
+                    results[i] = Some(Err(Error::Summary(msg.clone())));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch item resolved"))
+            .collect()
+    }
+
+    /// Stages one pre-stamped annotation: advances the clock to the
+    /// router-allocated tick, then stores under the router-allocated id.
+    fn stage_stamped(&mut self, s: StampedRowAnnotation) -> Result<(AnnotationId, usize)> {
+        let tid = self.catalog.table_id(&s.item.table)?;
+        self.clock.advance_to(s.tick);
+        let mut body = s.item.body;
+        body.created = s.tick;
+        let targets: Vec<Target> = s
+            .item
+            .rows
+            .iter()
+            .map(|&r| Target::new(tid, r, s.item.cols))
+            .collect();
+        let n = targets.len();
+        let id = self.store.add_at(AnnotationId::new(s.id), body, targets)?;
+        Ok((id, n))
+    }
+
     /// One maintenance pass over a batch of freshly stored annotations.
     /// Returns per-annotation maintenance counters that match what a
     /// serial one-by-one replay would have reported for each annotation.
@@ -1319,55 +1410,8 @@ impl Database {
     }
 
     /// Row ids of `table` satisfying `predicate` (`None` = all rows).
-    /// A top-level `col = const` conjunct on an indexed column probes the
-    /// hash index instead of scanning; the full predicate is still
-    /// verified per candidate.
     fn matching_rows(&self, table: TableId, predicate: Option<&SExpr>) -> Result<Vec<RowId>> {
-        let t = self.catalog.table(table)?;
-        let mut out = Vec::new();
-        let probe = predicate.and_then(|p| {
-            let mut conjuncts = Vec::new();
-            flatten_and(p, &mut conjuncts);
-            conjuncts.into_iter().find_map(|c| match c {
-                SExpr::Cmp(insightnotes_storage::CmpOp::Eq, l, r) => match (&*l, &*r) {
-                    (SExpr::Column(col), SExpr::Literal(v))
-                    | (SExpr::Literal(v), SExpr::Column(col))
-                        if !v.is_null() && t.has_index(*col as u16) =>
-                    {
-                        Some((*col as u16, v.clone()))
-                    }
-                    _ => None,
-                },
-                _ => None,
-            })
-        });
-        if let Some((col, value)) = probe {
-            let rids: Vec<RowId> = t
-                .index_lookup(col, &value)
-                .expect("has_index checked")
-                .to_vec();
-            for rid in rids {
-                let row = t.get(rid).expect("index points at live rows");
-                let ok = match predicate {
-                    Some(p) => p.satisfied_parts(row, self.registry.objects_on(table, rid))?,
-                    None => true,
-                };
-                if ok {
-                    out.push(rid);
-                }
-            }
-        } else {
-            for (rid, row) in t.scan() {
-                let ok = match predicate {
-                    Some(p) => p.satisfied_parts(row, self.registry.objects_on(table, rid))?,
-                    None => true,
-                };
-                if ok {
-                    out.push(rid);
-                }
-            }
-        }
-        Ok(out)
+        matching_rows_with(&self.catalog, &self.registry, table, predicate)
     }
 
     /// Typed annotation API (used by the workload loader): attaches one
@@ -1570,6 +1614,107 @@ impl Database {
     }
 }
 
+/// Row ids of `table` satisfying `predicate` (`None` = all rows), with
+/// summary-component predicate parts read from an explicit
+/// [`crate::exec::ObjectSource`] — the shard router passes its
+/// cross-shard facade so predicates over summaries see each row's
+/// owning shard. A top-level `col = const` conjunct on an indexed
+/// column probes the hash index instead of scanning; the full predicate
+/// is still verified per candidate.
+pub(crate) fn matching_rows_with(
+    catalog: &Catalog,
+    objects: &(dyn crate::exec::ObjectSource + Sync),
+    table: TableId,
+    predicate: Option<&SExpr>,
+) -> Result<Vec<RowId>> {
+    let t = catalog.table(table)?;
+    let mut out = Vec::new();
+    let probe = predicate.and_then(|p| {
+        let mut conjuncts = Vec::new();
+        flatten_and(p, &mut conjuncts);
+        conjuncts.into_iter().find_map(|c| match c {
+            SExpr::Cmp(insightnotes_storage::CmpOp::Eq, l, r) => match (&*l, &*r) {
+                (SExpr::Column(col), SExpr::Literal(v))
+                | (SExpr::Literal(v), SExpr::Column(col))
+                    if !v.is_null() && t.has_index(*col as u16) =>
+                {
+                    Some((*col as u16, v.clone()))
+                }
+                _ => None,
+            },
+            _ => None,
+        })
+    });
+    if let Some((col, value)) = probe {
+        let rids: Vec<RowId> = t
+            .index_lookup(col, &value)
+            .expect("has_index checked")
+            .to_vec();
+        for rid in rids {
+            let row = t.get(rid).expect("index points at live rows");
+            let ok = match predicate {
+                Some(p) => p.satisfied_parts(row, objects.objects_on(table, rid))?,
+                None => true,
+            };
+            if ok {
+                out.push(rid);
+            }
+        }
+    } else {
+        for (rid, row) in t.scan() {
+            let ok = match predicate {
+                Some(p) => p.satisfied_parts(row, objects.objects_on(table, rid))?,
+                None => true,
+            };
+            if ok {
+                out.push(rid);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves one `ADD ANNOTATION`'s covered columns and target rows —
+/// the read-only half of staging, shared between serial staging and the
+/// shard router (which resolves under read guards, stamps, then routes
+/// each target row to its owning shard). Errors exactly as serial
+/// staging would: unknown table / column first, then an empty match set.
+pub(crate) fn resolve_annotation_targets(
+    catalog: &Catalog,
+    registry: &SummaryRegistry,
+    objects: &(dyn crate::exec::ObjectSource + Sync),
+    table: &str,
+    columns: &[String],
+    where_clause: Option<Expr>,
+) -> Result<(TableId, ColSig, Vec<RowId>)> {
+    let tid = catalog.table_id(table)?;
+    let schema = catalog.table(tid)?.schema().clone();
+    let qualified = schema.qualify(table);
+
+    // Resolve covered columns (empty list = whole row).
+    let cols = if columns.is_empty() {
+        ColSig::whole_row(schema.arity())
+    } else {
+        let mut ids = Vec::with_capacity(columns.len());
+        for c in columns {
+            ids.push(ColumnId::new(schema.resolve(None, c)? as u16));
+        }
+        ColSig::of_columns(&ids)
+    };
+
+    // Find target rows (through an index when the predicate allows).
+    let predicate = where_clause
+        .map(|w| Planner::new(catalog, registry).bind_expr(&w, &qualified))
+        .transpose()?;
+    let rows = matching_rows_with(catalog, objects, tid, predicate.as_ref())?;
+    if rows.is_empty() {
+        return Err(Error::Annotation(
+            "annotation matched no rows; nothing attached".into(),
+        ));
+    }
+    Ok((tid, cols, rows))
+}
+
 /// Splits a conjunction into its top-level conjuncts.
 fn flatten_and(e: &SExpr, out: &mut Vec<SExpr>) {
     match e {
@@ -1591,6 +1736,15 @@ fn wal_row_item(item: &RowAnnotation) -> WalRowAnnotation {
         text: item.body.text.clone(),
         document: item.body.document.clone(),
         author: item.body.author.clone(),
+    }
+}
+
+/// Projects one pre-stamped batch item into its log form.
+fn wal_stamped_item(s: &StampedRowAnnotation) -> WalStampedAnnotation {
+    WalStampedAnnotation {
+        id: s.id,
+        tick: s.tick,
+        item: wal_row_item(&s.item),
     }
 }
 

@@ -34,9 +34,35 @@ pub use trace::{TraceLog, TraceStep};
 use crate::annotated::AnnotatedRow;
 use crate::expr::SExpr;
 use crate::plan::logical::{LogicalPlan, SortKey};
-use insightnotes_common::Result;
+use insightnotes_common::{InstanceId, Result};
 use insightnotes_storage::{Catalog, Row};
-use insightnotes_summaries::SummaryRegistry;
+use insightnotes_summaries::{SharedObject, SummaryRegistry};
+
+/// Where a scan finds the summary objects attached to a row.
+///
+/// A single-shard database answers from its one [`SummaryRegistry`];
+/// the shard router answers from a facade that hash-routes each
+/// `(table, row)` to the owning shard's registry. Must be `Sync` in
+/// practice: [`Executor::attach`] calls it from morsel workers.
+pub trait ObjectSource {
+    /// The summary objects maintained on `(table, row)`, in instance
+    /// order — same contract as [`SummaryRegistry::objects_on`].
+    fn objects_on(
+        &self,
+        table: insightnotes_common::TableId,
+        row: insightnotes_common::RowId,
+    ) -> &[(InstanceId, SharedObject)];
+}
+
+impl ObjectSource for SummaryRegistry {
+    fn objects_on(
+        &self,
+        table: insightnotes_common::TableId,
+        row: insightnotes_common::RowId,
+    ) -> &[(InstanceId, SharedObject)] {
+        SummaryRegistry::objects_on(self, table, row)
+    }
+}
 
 /// Execution context: the data and summary state a query runs against.
 pub struct Executor<'a> {
@@ -48,6 +74,9 @@ pub struct Executor<'a> {
     pub trace: Option<TraceLog>,
     /// Worker threads for morsel-driven execution (1 = serial).
     parallelism: usize,
+    /// Overrides where scans fetch per-row summary objects (the shard
+    /// router's cross-shard facade); `None` = read `registry`.
+    objects: Option<&'a (dyn ObjectSource + Sync)>,
 }
 
 impl<'a> Executor<'a> {
@@ -58,7 +87,16 @@ impl<'a> Executor<'a> {
             registry,
             trace: None,
             parallelism: 1,
+            objects: None,
         }
+    }
+
+    /// Redirects per-row summary-object lookups to `objects` (the shard
+    /// router's cross-shard facade). `registry` still provides instance
+    /// metadata (names, linked instances) for planning and tracing.
+    pub fn with_objects(mut self, objects: &'a (dyn ObjectSource + Sync)) -> Self {
+        self.objects = Some(objects);
+        self
     }
 
     /// Creates an executor running morsel-driven parallel on up to
@@ -73,6 +111,7 @@ impl<'a> Executor<'a> {
             registry,
             trace: None,
             parallelism: threads.max(1),
+            objects: None,
         }
     }
 
@@ -84,6 +123,7 @@ impl<'a> Executor<'a> {
             registry,
             trace: Some(TraceLog::default()),
             parallelism: 1,
+            objects: None,
         }
     }
 
@@ -252,15 +292,21 @@ impl<'a> Executor<'a> {
         table: insightnotes_common::TableId,
         sources: Vec<(insightnotes_common::RowId, &Row)>,
     ) -> Result<Vec<AnnotatedRow>> {
+        let objects = self.object_source();
         par::map_morsels(sources, self.threads(), &|chunk, _| {
             Ok(chunk
                 .into_iter()
                 .map(|(rid, row)| {
-                    let summaries = self.registry.objects_on(table, rid).to_vec();
+                    let summaries = objects.objects_on(table, rid).to_vec();
                     AnnotatedRow::from_shared(row.clone(), summaries)
                 })
                 .collect())
         })
+    }
+
+    /// Where this executor's scans read per-row summary objects.
+    fn object_source(&self) -> &(dyn ObjectSource + Sync) {
+        self.objects.unwrap_or(self.registry)
     }
 
     /// Streaming scan (+ optional filter) that stops after `n` output
@@ -272,12 +318,13 @@ impl<'a> Executor<'a> {
         n: usize,
     ) -> Result<Vec<AnnotatedRow>> {
         let t = self.catalog.table(table)?;
+        let objects = self.object_source();
         let mut out = Vec::with_capacity(n.min(t.len()));
         for (rid, row) in t.scan() {
             if out.len() >= n {
                 break;
             }
-            let summaries = self.registry.objects_on(table, rid).to_vec();
+            let summaries = objects.objects_on(table, rid).to_vec();
             let arow = AnnotatedRow::from_shared(row.clone(), summaries);
             let keep = match predicate {
                 Some(p) => p.satisfied(&arow)?,

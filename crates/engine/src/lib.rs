@@ -35,15 +35,19 @@ pub mod expr;
 pub mod persist;
 pub mod plan;
 pub mod raw;
+pub mod shard;
 pub mod wal;
 pub mod zoomin;
 
 pub use annotated::AnnotatedRow;
 pub use db::{
     Database, DbConfig, ExecOutcome, PolicyKind, QueryResult, RecoveryReport, RowAnnotation,
-    SqlStatement, ZoomInResult,
+    SqlStatement, StampedRowAnnotation, ZoomInResult,
 };
 pub use exec::TraceLog;
 pub use expr::SExpr;
 pub use plan::LogicalPlan;
+pub use shard::{
+    shard_of, RoutedAnnotation, ShardRecovery, ShardedDatabase, ShardedRecoveryReport,
+};
 pub use wal::SyncPolicy;

@@ -1,0 +1,1121 @@
+//! Shard-per-core engine: N [`Database`] shards behind one router.
+//!
+//! The single-database engine funnels every write through one
+//! `RwLock<Database>` and one WAL, so adding writers past a point *costs*
+//! throughput — they serialize on the lock and on one fsync pipeline.
+//! [`ShardedDatabase`] partitions that ceiling away (DESIGN.md §12):
+//!
+//! - **Routing.** Annotations and their summary objects are partitioned
+//!   by `hash(table, row_id) % N` ([`shard_of`]); the catalog, table
+//!   rows, and summary-instance definitions are *replicated* on every
+//!   shard so each shard can plan, resolve predicates, and render tuple
+//!   context locally. A single-row annotation therefore touches exactly
+//!   one shard: its lock, its WAL segment, its committer.
+//! - **Identity.** Annotation ids and logical-clock ticks are allocated
+//!   once at the router (one tiny mutex, held for nanoseconds) and
+//!   carried into shards as [`StampedRowAnnotation`]s, so the global
+//!   id/tick sequence stays monotone exactly as a serial run's would.
+//!   A multi-row annotation is stored whole (full target list, same id
+//!   and tick) on every shard owning at least one of its rows; reads
+//!   always route a row to its owner, so the replicas never conflict.
+//! - **Lock ordering.** Replicated writes (DDL, INSERT, DELETE)
+//!   broadcast to all shards in fixed order `0..N` under one broadcast
+//!   mutex; sessions that prepare annotations take all shard read locks
+//!   in the same fixed order and drop them before touching any write
+//!   lock. Writers never hold two shard write locks at once. No cycle,
+//!   no deadlock.
+//! - **Durability.** Each shard keeps its own WAL segment under
+//!   `wal/shard-<k>/` and checkpoints its own snapshot (`<path>.shard<k>`)
+//!   with its own epoch. A manifest in the WAL base directory records
+//!   the shard count and epoch vector; recovering with a different shard
+//!   count (or against an unsharded layout) is a detected, classified
+//!   error — never silent corruption.
+//!
+//! With `shards == 1` the router disappears entirely: every call
+//! delegates to the one inner [`Database`], with the legacy on-disk
+//! layout (single WAL directory, single snapshot file, no manifest).
+
+use crate::cache::DiskCache;
+use crate::db::{
+    resolve_annotation_targets, Database, DbConfig, ExecOutcome, QueryResult, RecoveryReport,
+    RowAnnotation, SqlStatement, StampedRowAnnotation, ZoomInResult, ZoomedAnnotation,
+};
+use crate::exec::{Executor, ObjectSource};
+use crate::plan::{estimate_cost, Planner};
+use crate::zoomin::ZoomRegistry;
+use insightnotes_annotations::AnnotationBody;
+use insightnotes_common::{AnnotationId, Error, IdSet, InstanceId, Qid, Result, RowId, TableId};
+use insightnotes_sql::{
+    parse, parse_one, Expr, Statement, StatementClass, ZoomComponent, ZoomInStmt,
+};
+use insightnotes_summaries::{SharedObject, SummaryRegistry};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static ROUTER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// File name of the shard manifest, kept in the WAL base directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Hash-routes `(table, row)` to its owning shard. Deterministic across
+/// runs and platforms (splitmix64 finalizer over the raw ids), so a
+/// recovered database routes every row exactly as the crashed one did.
+pub fn shard_of(table: TableId, row: RowId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = (table.raw() as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(row.raw());
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// The router's id/tick allocator: annotation ids and clock ticks are
+/// handed out together under one lock so the global `(id, created)`
+/// sequence stays monotone exactly as serial execution's would.
+#[derive(Debug)]
+struct StampAlloc {
+    next_id: u64,
+    clock: u64,
+}
+
+impl StampAlloc {
+    /// Consumes one id and one tick.
+    fn stamp(&mut self) -> (u64, u64) {
+        self.next_id += 1;
+        self.clock += 1;
+        (self.next_id, self.clock)
+    }
+}
+
+/// Cross-shard state that exists only at `shards > 1`.
+#[derive(Debug)]
+struct RouterState {
+    alloc: Mutex<StampAlloc>,
+    /// Router-level QID registry and zoom-in result cache: fan-out
+    /// queries register here, not in any shard's session registry.
+    zoom: Mutex<ZoomRegistry>,
+    /// Serializes replicated-write broadcasts. Two concurrent broadcasts
+    /// interleaving their per-shard lock acquisitions would apply in
+    /// different orders on different shards and diverge the replicas;
+    /// holding this across the whole `0..N` sweep makes broadcasts
+    /// totally ordered.
+    broadcast: Mutex<()>,
+    /// Rotates which shard's guard single-guard prepares pin. Catalog
+    /// and rows are replicated, so any shard serves; always picking
+    /// shard 0 would convoy every preparing session behind shard 0's
+    /// committer while the other shards' guards sit uncontended.
+    prepare_rr: AtomicU64,
+    parallelism: Option<usize>,
+    wal_base: Option<PathBuf>,
+}
+
+/// A prepared annotation: resolved targets, router-allocated stamp, and
+/// the (sorted, deduplicated) shards that own at least one target row.
+#[derive(Debug, Clone)]
+pub struct RoutedAnnotation {
+    /// The stamped item every owner shard stores verbatim.
+    pub stamped: StampedRowAnnotation,
+    /// Owner shard indices, ascending.
+    pub shards: Vec<usize>,
+}
+
+/// One shard's recovery outcome.
+#[derive(Debug, Clone)]
+pub struct ShardRecovery {
+    /// The shard's checkpoint epoch after recovery.
+    pub epoch: u64,
+    /// What the shard's recovery found and did.
+    pub report: RecoveryReport,
+}
+
+/// What [`ShardedDatabase::recover`] found and did, per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedRecoveryReport {
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl ShardedRecoveryReport {
+    /// Total WAL records replayed across all shards.
+    pub fn records_replayed(&self) -> usize {
+        self.shards.iter().map(|s| s.report.records_replayed).sum()
+    }
+
+    /// Whether any shard loaded a snapshot or replayed log records.
+    pub fn did_work(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.report.snapshot_loaded || s.report.records_replayed > 0)
+    }
+}
+
+/// Reads each row's summary objects from the owning shard's registry.
+/// Built over the full fixed-order set of shard read guards; the
+/// executor's morsel workers call it concurrently.
+struct ShardObjects<'a> {
+    regs: Vec<&'a SummaryRegistry>,
+}
+
+impl<'a> ShardObjects<'a> {
+    fn new(guards: &'a [RwLockReadGuard<'a, Database>]) -> Self {
+        Self {
+            regs: guards.iter().map(|g| g.registry()).collect(),
+        }
+    }
+}
+
+impl ObjectSource for ShardObjects<'_> {
+    fn objects_on(&self, table: TableId, row: RowId) -> &[(InstanceId, SharedObject)] {
+        self.regs[shard_of(table, row, self.regs.len())].objects_on(table, row)
+    }
+}
+
+/// N [`Database`] shards behind hash routing. See the module docs for
+/// the partitioning, identity, lock-ordering, and durability rules.
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    shards: Vec<Arc<RwLock<Database>>>,
+    /// `None` at `shards == 1`: every call delegates to `shards[0]`
+    /// with legacy single-database semantics and on-disk layout.
+    router: Option<RouterState>,
+}
+
+impl From<Database> for ShardedDatabase {
+    fn from(db: Database) -> Self {
+        Self {
+            shards: vec![Arc::new(RwLock::new(db))],
+            router: None,
+        }
+    }
+}
+
+impl ShardedDatabase {
+    /// Creates a fresh sharded database. With `shards <= 1` this is
+    /// exactly [`Database::with_config`] behind the facade; otherwise
+    /// the manifest is written (durably) *before* any shard WAL is
+    /// created, so a crash mid-construction leaves a layout recovery
+    /// can classify.
+    pub fn create(config: DbConfig, shards: usize) -> Result<Self> {
+        let n = shards.max(1);
+        if n == 1 {
+            return Ok(Database::with_config(config)?.into());
+        }
+        if let Some(base) = &config.wal_dir {
+            check_layout_sharded(base, n)?;
+            write_manifest(base, n, &vec![0; n])?;
+        }
+        let shards: Vec<Arc<RwLock<Database>>> = (0..n)
+            .map(|k| {
+                Ok(Arc::new(RwLock::new(Database::with_config(shard_config(
+                    &config, k,
+                ))?)))
+            })
+            .collect::<Result<_>>()?;
+        let router = build_router(&config, &shards)?;
+        Ok(Self {
+            shards,
+            router: Some(router),
+        })
+    }
+
+    /// Opens a sharded database with full crash recovery: each shard
+    /// independently sweeps, loads its snapshot (`<path>.shard<k>`),
+    /// and replays its own WAL segment. Layout mismatches — an
+    /// unsharded WAL or snapshot recovered with `shards > 1`, a
+    /// manifest whose shard count differs from `shards`, shard
+    /// directories without a manifest — are classified errors.
+    pub fn recover(
+        snapshot: Option<&Path>,
+        config: DbConfig,
+        shards: usize,
+    ) -> Result<(Self, ShardedRecoveryReport)> {
+        let n = shards.max(1);
+        if n == 1 {
+            if let Some(base) = &config.wal_dir {
+                if base.join(MANIFEST_FILE).exists() {
+                    return Err(Error::Execution(format!(
+                        "write-ahead log directory {} holds a shard manifest (sharded \
+                         layout); recover with the shard count the manifest records",
+                        base.display()
+                    )));
+                }
+            }
+            let (db, report) = Database::recover(snapshot, config)?;
+            let epoch = db.epoch();
+            return Ok((
+                db.into(),
+                ShardedRecoveryReport {
+                    shards: vec![ShardRecovery { epoch, report }],
+                },
+            ));
+        }
+        if let Some(path) = snapshot {
+            if path.exists() {
+                return Err(Error::Execution(format!(
+                    "snapshot {} was written by an unsharded engine; recover it with \
+                     shards = 1 (shard-count changes require an explicit migration)",
+                    path.display()
+                )));
+            }
+        }
+        if let Some(base) = &config.wal_dir {
+            check_layout_sharded(base, n)?;
+            if read_manifest(base)?.is_none() {
+                write_manifest(base, n, &vec![0; n])?;
+            }
+        }
+        let mut dbs = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for k in 0..n {
+            let snap_k = snapshot.map(|p| shard_snapshot_path(p, k));
+            let (db, report) = Database::recover(snap_k.as_deref(), shard_config(&config, k))?;
+            reports.push(ShardRecovery {
+                epoch: db.epoch(),
+                report,
+            });
+            dbs.push(Arc::new(RwLock::new(db)));
+        }
+        let router = build_router(&config, &dbs)?;
+        Ok((
+            Self {
+                shards: dbs,
+                router: Some(router),
+            },
+            ShardedRecoveryReport { shards: reports },
+        ))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the router is active (`shards > 1`).
+    pub fn is_sharded(&self) -> bool {
+        self.router.is_some()
+    }
+
+    /// Direct handle to one shard. The server's per-shard committers
+    /// hold these; `shard(0)` is also the legacy `Arc<RwLock<Database>>`
+    /// handle tests reach the engine through at `shards == 1`.
+    pub fn shard(&self, k: usize) -> &Arc<RwLock<Database>> {
+        &self.shards[k]
+    }
+
+    /// The owning shard of `(table, row)`.
+    pub fn owner(&self, table: TableId, row: RowId) -> usize {
+        shard_of(table, row, self.shards.len())
+    }
+
+    /// Fixed-order read guards over every shard.
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, Database>> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    // -- statement execution ----------------------------------------------
+
+    /// Parses and executes a script. Routing at `shards > 1`:
+    ///
+    /// - all Read-class → per-statement fan-out read path;
+    /// - writes, none of them `ADD ANNOTATION` → the whole script
+    ///   broadcasts to every shard in fixed order under the broadcast
+    ///   mutex (every shard executes it, shard 0's outcomes are
+    ///   returned — replicas apply the identical statement stream even
+    ///   when a statement fails);
+    /// - all writes are `ADD ANNOTATION` → each resolves, stamps, and
+    ///   applies to its owner shards in order, stopping at the first
+    ///   failure exactly as serial execution would;
+    /// - a mix of `ADD ANNOTATION` and other writes → a classified
+    ///   error (the two routes cannot interleave deterministically).
+    pub fn execute_sql(&self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        if self.router.is_none() {
+            return self.shards[0].write().execute_sql(sql);
+        }
+        let stmts = parse(sql)?;
+        if stmts.iter().all(|s| s.class() == StatementClass::Read) {
+            return stmts.into_iter().map(|s| self.execute_read(s)).collect();
+        }
+        let annotations = stmts
+            .iter()
+            .filter(|s| matches!(s, Statement::AddAnnotation { .. }))
+            .count();
+        if annotations == 0 {
+            return self.broadcast_script(sql);
+        }
+        if annotations != stmts.len() {
+            return Err(Error::Execution(
+                "sharded execution cannot mix ADD ANNOTATION with other statements \
+                 in one script; submit annotations separately"
+                    .into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            let routed = self.prepare_one(stmt)?;
+            out.push(self.apply_one(&routed)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes one Read-class statement (SELECT / ZOOMIN / EXPLAIN).
+    pub fn execute_read(&self, stmt: Statement) -> Result<ExecOutcome> {
+        if self.router.is_none() {
+            return self.shards[0].read().execute_read(stmt);
+        }
+        match stmt {
+            Statement::Select(sel) => Ok(ExecOutcome::Query(self.run_select_routed(&sel)?)),
+            Statement::ZoomIn(z) => Ok(ExecOutcome::ZoomIn(self.zoom_in(&z)?)),
+            Statement::Explain(sel) => {
+                let g = self.shards[0].read();
+                let plan = Planner::new(g.catalog(), g.registry()).plan_select(&sel)?;
+                Ok(ExecOutcome::Explain(plan.explain()))
+            }
+            _ => Err(Error::Execution(
+                "write-class statement requires exclusive database access".into(),
+            )),
+        }
+    }
+
+    /// Convenience: executes a single SELECT.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        if self.router.is_none() {
+            return self.shards[0].read().query(sql);
+        }
+        let stmt = parse_one(sql)?;
+        match stmt {
+            Statement::Select(_) => match self.execute_read(stmt)? {
+                ExecOutcome::Query(q) => Ok(q),
+                _ => unreachable!("select statements produce query outcomes"),
+            },
+            other => Err(Error::Parse(format!(
+                "expected a SELECT statement, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Broadcasts a replicated-write script to every shard in fixed
+    /// order under the broadcast mutex; returns shard 0's outcomes.
+    fn broadcast_script(&self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        let router = self.router.as_ref().expect("broadcast requires a router");
+        let _total_order = router.broadcast.lock();
+        let mut first: Option<Result<Vec<ExecOutcome>>> = None;
+        for shard in &self.shards {
+            let res = shard.write().execute_sql(sql);
+            if first.is_none() {
+                first = Some(res);
+            }
+        }
+        first.expect("at least one shard")
+    }
+
+    // -- annotation ingestion ---------------------------------------------
+
+    /// Resolves and stamps one `ADD ANNOTATION` under the full set of
+    /// shard read guards (dropped on return — the caller applies under
+    /// owner write locks afterwards, never holding both).
+    fn prepare_one(&self, stmt: &Statement) -> Result<RoutedAnnotation> {
+        let router = self.router.as_ref().expect("prepare requires a router");
+        let Statement::AddAnnotation {
+            text,
+            document,
+            author,
+            table,
+            columns,
+            where_clause,
+        } = stmt
+        else {
+            return Err(Error::Execution(
+                "annotation batches accept only ADD ANNOTATION statements".into(),
+            ));
+        };
+        let guards = self.read_all();
+        let objects = ShardObjects::new(&guards);
+        let shard0 = &*guards[0];
+        let (tid, cols, rows) = resolve_annotation_targets(
+            shard0.catalog(),
+            shard0.registry(),
+            &objects,
+            table,
+            columns,
+            where_clause.clone(),
+        )?;
+        let owners = owner_set(tid, &rows, self.shards.len());
+        let (id, tick) = router.alloc.lock().stamp();
+        let mut body = AnnotationBody::text(
+            text.clone(),
+            author.clone().unwrap_or_else(|| "anonymous".into()),
+        );
+        if let Some(doc) = document {
+            body = body.with_document(doc.clone());
+        }
+        Ok(RoutedAnnotation {
+            stamped: StampedRowAnnotation {
+                id,
+                tick,
+                item: RowAnnotation {
+                    table: table.clone(),
+                    rows,
+                    cols,
+                    body,
+                },
+            },
+            shards: owners,
+        })
+    }
+
+    /// Applies one prepared annotation to each owner shard in ascending
+    /// order. Every owner is attempted (replica convergence before
+    /// error reporting); any failure is the returned result.
+    fn apply_one(&self, routed: &RoutedAnnotation) -> Result<ExecOutcome> {
+        let mut first: Option<ExecOutcome> = None;
+        let mut failure: Option<Error> = None;
+        for &k in &routed.shards {
+            let res = self.shards[k]
+                .write()
+                .annotate_rows_batch_stamped(vec![routed.stamped.clone()])
+                .pop()
+                .expect("one result per item");
+            match res {
+                Ok(outcome) => {
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(first.expect("at least one owner shard")),
+        }
+    }
+
+    /// Resolves and stamps a batch of `ADD ANNOTATION` statements under
+    /// **one** acquisition of the shard read guards — the sharded
+    /// equivalent of [`Database::annotate_batch_sql`]'s staging pass,
+    /// with identical per-item failure semantics (a failing item
+    /// consumes no id and no tick; `WHERE` predicates over summary
+    /// components observe the summary state as of batch start). The
+    /// server's sessions call this, then hand each owner shard's slice
+    /// to that shard's committer queue.
+    pub fn prepare_sql_annotations(&self, stmts: &[SqlStatement]) -> Vec<Result<RoutedAnnotation>> {
+        let Some(router) = &self.router else {
+            return stmts
+                .iter()
+                .map(|_| {
+                    Err(Error::Execution(
+                        "annotation routing requires a sharded database".into(),
+                    ))
+                })
+                .collect();
+        };
+        let mut out: Vec<Option<Result<RoutedAnnotation>>> = Vec::new();
+        out.resize_with(stmts.len(), || None);
+        let mut resolved: Vec<(usize, RowAnnotation, Vec<usize>)> = Vec::new();
+        {
+            // Table rows are replicated on every shard, so plain-column
+            // predicates resolve under a single shard's guard — rotated
+            // round-robin so concurrent prepares spread across shards
+            // instead of convoying behind one committer. Only
+            // `SUMMARY_COUNT` predicates read the *partitioned* summary
+            // objects and need the full-shard read set — which convoys
+            // behind every shard's committer, so high-writer-count
+            // pipelines must stay off it in the common case.
+            let guards = if stmts.iter().any(|s| match &s.stmt {
+                Statement::AddAnnotation {
+                    where_clause: Some(w),
+                    ..
+                } => reads_summaries(w),
+                _ => false,
+            }) {
+                self.read_all()
+            } else {
+                let k =
+                    router.prepare_rr.fetch_add(1, Ordering::Relaxed) as usize % self.shards.len();
+                vec![self.shards[k].read()]
+            };
+            let objects = ShardObjects::new(&guards);
+            let shard0 = &*guards[0];
+            for (i, s) in stmts.iter().enumerate() {
+                let Statement::AddAnnotation {
+                    text,
+                    document,
+                    author,
+                    table,
+                    columns,
+                    where_clause,
+                } = &s.stmt
+                else {
+                    out[i] = Some(Err(Error::Execution(
+                        "annotation batches accept only ADD ANNOTATION statements".into(),
+                    )));
+                    continue;
+                };
+                match resolve_annotation_targets(
+                    shard0.catalog(),
+                    shard0.registry(),
+                    &objects,
+                    table,
+                    columns,
+                    where_clause.clone(),
+                ) {
+                    Ok((tid, cols, rows)) => {
+                        let owners = owner_set(tid, &rows, self.shards.len());
+                        let mut body = AnnotationBody::text(
+                            text.clone(),
+                            author.clone().unwrap_or_else(|| "anonymous".into()),
+                        );
+                        if let Some(doc) = document {
+                            body = body.with_document(doc.clone());
+                        }
+                        resolved.push((
+                            i,
+                            RowAnnotation {
+                                table: table.clone(),
+                                rows,
+                                cols,
+                                body,
+                            },
+                            owners,
+                        ));
+                    }
+                    Err(e) => out[i] = Some(Err(e)),
+                }
+            }
+        }
+        // Stamp the whole batch under one allocator lock: ids and ticks
+        // come out contiguous and in batch order, as serial staging's
+        // would.
+        let mut alloc = router.alloc.lock();
+        for (i, item, owners) in resolved {
+            let (id, tick) = alloc.stamp();
+            out[i] = Some(Ok(RoutedAnnotation {
+                stamped: StampedRowAnnotation { id, tick, item },
+                shards: owners,
+            }));
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch item resolved"))
+            .collect()
+    }
+
+    /// Applies a prepared batch: groups items per owner shard and
+    /// executes each shard's slice as one stamped batch under that
+    /// shard's write lock (one WAL record, one amortized maintenance
+    /// pass per shard). Multi-owner items report their first shard's
+    /// outcome, or any shard's failure.
+    pub fn apply_prepared(
+        &self,
+        prepared: Vec<Result<RoutedAnnotation>>,
+    ) -> Vec<Result<ExecOutcome>> {
+        let mut results: Vec<Option<Result<ExecOutcome>>> = Vec::new();
+        results.resize_with(prepared.len(), || None);
+        let mut per_shard: BTreeMap<usize, Vec<(usize, StampedRowAnnotation)>> = BTreeMap::new();
+        for (i, p) in prepared.into_iter().enumerate() {
+            match p {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(routed) => {
+                    for &k in &routed.shards {
+                        per_shard
+                            .entry(k)
+                            .or_default()
+                            .push((i, routed.stamped.clone()));
+                    }
+                }
+            }
+        }
+        for (k, items) in per_shard {
+            let indices: Vec<usize> = items.iter().map(|&(i, _)| i).collect();
+            let batch: Vec<StampedRowAnnotation> = items.into_iter().map(|(_, s)| s).collect();
+            let shard_results = self.shards[k].write().annotate_rows_batch_stamped(batch);
+            for (i, res) in indices.into_iter().zip(shard_results) {
+                let keep_existing = matches!(results[i], Some(Err(_)));
+                match res {
+                    Err(e) if !keep_existing => results[i] = Some(Err(e)),
+                    Ok(outcome) if results[i].is_none() => results[i] = Some(Ok(outcome)),
+                    _ => {}
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch item resolved"))
+            .collect()
+    }
+
+    /// Sharded [`Database::annotate_batch_sql`]: every item gets its
+    /// own result; a failing item does not abort the rest.
+    pub fn annotate_batch_sql(&self, stmts: Vec<SqlStatement>) -> Vec<Result<ExecOutcome>> {
+        if self.router.is_none() {
+            return self.shards[0].write().annotate_batch_sql(stmts);
+        }
+        let prepared = self.prepare_sql_annotations(&stmts);
+        self.apply_prepared(prepared)
+    }
+
+    /// Sharded [`Database::annotate_rows_batch`]: typed batch ingestion
+    /// with serial-equivalent stamp consumption — an unknown table
+    /// consumes nothing; an empty target list (or empty column
+    /// signature) consumes its tick but no id, exactly as serial
+    /// staging does.
+    pub fn annotate_rows_batch(&self, items: Vec<RowAnnotation>) -> Vec<Result<AnnotationId>> {
+        let Some(router) = &self.router else {
+            return self.shards[0].write().annotate_rows_batch(items);
+        };
+        let mut prepared: Vec<Result<RoutedAnnotation>> = Vec::with_capacity(items.len());
+        {
+            let shard0 = self.shards[0].read();
+            let mut alloc = router.alloc.lock();
+            for item in items {
+                let tid = match shard0.catalog().table_id(&item.table) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        prepared.push(Err(e));
+                        continue;
+                    }
+                };
+                if item.rows.is_empty() {
+                    alloc.clock += 1;
+                    prepared.push(Err(Error::Annotation(
+                        "annotation must have at least one target".into(),
+                    )));
+                    continue;
+                }
+                if item.cols.is_empty() {
+                    alloc.clock += 1;
+                    prepared.push(Err(Error::Annotation(
+                        "annotation target must cover at least one column".into(),
+                    )));
+                    continue;
+                }
+                let owners = owner_set(tid, &item.rows, self.shards.len());
+                let (id, tick) = alloc.stamp();
+                prepared.push(Ok(RoutedAnnotation {
+                    stamped: StampedRowAnnotation { id, tick, item },
+                    shards: owners,
+                }));
+            }
+        }
+        self.apply_prepared(prepared)
+            .into_iter()
+            .map(|r| {
+                r.map(|o| match o {
+                    ExecOutcome::Annotated { annotation, .. } => annotation,
+                    _ => unreachable!("stamped items produce Annotated outcomes"),
+                })
+            })
+            .collect()
+    }
+
+    // -- fan-out reads ----------------------------------------------------
+
+    /// Plans on shard 0's (replicated) catalog, executes through the
+    /// morsel executor with per-row summary objects read from each
+    /// row's owning shard, and registers the result in the router's
+    /// QID registry.
+    fn run_select_routed(&self, sel: &insightnotes_sql::SelectStmt) -> Result<QueryResult> {
+        let router = self
+            .router
+            .as_ref()
+            .expect("routed select requires a router");
+        // Execute under the guards, register after dropping them: the
+        // QID registry spills result rows to the disk cache, and doing
+        // that file I/O while holding every shard's read guard would
+        // stall all four committers behind each scan's cache write.
+        let (plan, complexity, rows) = {
+            let guards = self.read_all();
+            let objects = ShardObjects::new(&guards);
+            let shard0 = &*guards[0];
+            let plan = Planner::new(shard0.catalog(), shard0.registry()).plan_select(sel)?;
+            let complexity = estimate_cost(&plan, shard0.catalog()).cost;
+            let mut executor = match router.parallelism {
+                Some(threads) => {
+                    Executor::with_parallelism(shard0.catalog(), shard0.registry(), threads)
+                }
+                None => Executor::new(shard0.catalog(), shard0.registry()),
+            }
+            .with_objects(&objects);
+            let rows = executor.execute(&plan)?;
+            (plan, complexity, rows)
+        };
+        let schema = plan.schema().clone();
+        let qid = router
+            .zoom
+            .lock()
+            .register(schema.clone(), plan, &rows, complexity)?;
+        Ok(QueryResult { qid, schema, rows })
+    }
+
+    /// Sharded zoom-in: QID metadata and the result cache live at the
+    /// router; raw annotation bodies are looked up on whichever shard
+    /// owns (a row of) each annotation.
+    pub fn zoom_in(&self, stmt: &ZoomInStmt) -> Result<ZoomInResult> {
+        let Some(router) = &self.router else {
+            return self.shards[0].read().zoom_in(stmt);
+        };
+        let qid = Qid::new(stmt.qid);
+        let info_schema = router.zoom.lock().info(qid)?.schema.clone();
+        let guards = self.read_all();
+        let objects = ShardObjects::new(&guards);
+        let shard0 = &*guards[0];
+        let planner = Planner::new(shard0.catalog(), shard0.registry());
+        let predicate = stmt
+            .where_clause
+            .as_ref()
+            .map(|w| planner.bind_expr(w, &info_schema))
+            .transpose()?;
+        let instance = shard0.registry().instance_id(&stmt.instance)?;
+        let component = match &stmt.component {
+            ZoomComponent::Index(i) => {
+                if *i == 0 {
+                    return Err(Error::ZoomIn("component INDEX is 1-based".into()));
+                }
+                (*i - 1) as usize
+            }
+            ZoomComponent::Label(name) => match planner.resolve_component(instance, name)? {
+                crate::expr::ComponentSel::Label(i) | crate::expr::ComponentSel::Group(i) => i,
+            },
+        };
+
+        let (rows, from_cache) = router.zoom.lock().fetch_rows_with(
+            qid,
+            shard0.catalog(),
+            shard0.registry(),
+            &objects,
+        )?;
+        let mut ids = IdSet::new();
+        let mut matched = 0usize;
+        for r in &rows {
+            let ok = match &predicate {
+                Some(p) => p.satisfied(r)?,
+                None => true,
+            };
+            if !ok {
+                continue;
+            }
+            matched += 1;
+            if let Some(obj) = r.summary(instance) {
+                if component < obj.component_count() {
+                    ids = ids.union(&obj.zoom_ids(component)?);
+                }
+            }
+        }
+
+        let mut annotations = Vec::with_capacity(ids.len());
+        for id in ids.iter() {
+            let aid = AnnotationId::new(id);
+            let ann = guards
+                .iter()
+                .find_map(|g| g.store().get(aid).ok())
+                .ok_or_else(|| Error::Annotation(format!("unknown annotation {aid}")))?;
+            annotations.push(ZoomedAnnotation {
+                id: aid,
+                text: ann.body.text.clone(),
+                document: ann.body.document.clone(),
+                author: ann.body.author.clone(),
+            });
+        }
+        Ok(ZoomInResult {
+            annotations,
+            from_cache,
+            matched_rows: matched,
+        })
+    }
+
+    // -- durability -------------------------------------------------------
+
+    /// Whether writes are being logged (uniform across shards).
+    pub fn wal_enabled(&self) -> bool {
+        self.shards[0].read().wal_enabled()
+    }
+
+    /// Forces every shard's logged-but-buffered records to disk.
+    pub fn wal_sync_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.read().wal_sync()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every shard in fixed order (`<path>.shard<k>` at
+    /// `shards > 1`, the plain legacy path otherwise), then durably
+    /// rewrites the manifest with the new epoch vector. A crash
+    /// between per-shard checkpoints is safe: each shard's own
+    /// snapshot/WAL epoch pair recovers independently, and the
+    /// manifest's epoch vector is advisory.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let Some(router) = &self.router else {
+            return self.shards[0].write().checkpoint(path);
+        };
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        for (k, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.write();
+            guard.checkpoint(shard_snapshot_path(path, k))?;
+            epochs.push(guard.epoch());
+        }
+        if let Some(base) = &router.wal_base {
+            write_manifest(base, self.shards.len(), &epochs)?;
+        }
+        Ok(())
+    }
+
+    // -- statistics -------------------------------------------------------
+
+    /// Total distinct annotations across shards (a multi-row annotation
+    /// replicated to several shards counts once — ids are global).
+    pub fn annotation_count(&self) -> usize {
+        if self.router.is_none() {
+            return self.shards[0].read().store().stats().count;
+        }
+        let mut seen = IdSet::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            let names: Vec<String> = guard
+                .catalog()
+                .table_names()
+                .into_iter()
+                .map(String::from)
+                .collect();
+            for name in names {
+                let tid = guard.catalog().table_id(&name).expect("listed table");
+                for row in guard.store().annotated_rows(tid) {
+                    for &(aid, _) in guard.store().on_row(tid, row) {
+                        seen.insert(aid.raw());
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// The highest annotation id allocated so far.
+    pub fn last_annotation_id(&self) -> u64 {
+        match &self.router {
+            Some(router) => router.alloc.lock().next_id,
+            None => self.shards[0].read().store().last_id(),
+        }
+    }
+}
+
+/// Sorted, deduplicated owner shards of a target row set.
+fn owner_set(table: TableId, rows: &[RowId], shards: usize) -> Vec<usize> {
+    let mut owners: Vec<usize> = rows.iter().map(|&r| shard_of(table, r, shards)).collect();
+    owners.sort_unstable();
+    owners.dedup();
+    owners
+}
+
+/// Per-shard construction config: WAL segment under
+/// `<base>/shard-<k>/`, zoom cache under a per-shard subdirectory (a
+/// fresh temp dir per shard when unset).
+fn shard_config(base: &DbConfig, k: usize) -> DbConfig {
+    let mut config = base.clone();
+    config.wal_dir = base.wal_dir.as_ref().map(|d| d.join(format!("shard-{k}")));
+    config.cache_dir = base
+        .cache_dir
+        .as_ref()
+        .map(|d| d.join(format!("shard-{k}")));
+    config
+}
+
+/// Whether an unbound predicate reads summary state (`SUMMARY_COUNT`
+/// anywhere in the tree). Everything else resolves against replicated
+/// row state.
+fn reads_summaries(e: &Expr) -> bool {
+    match e {
+        Expr::SummaryCount { .. } => true,
+        Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            reads_summaries(l) || reads_summaries(r)
+        }
+        Expr::Not(b) | Expr::IsNull(b, _) | Expr::Contains(b, _) => reads_summaries(b),
+        Expr::Column(_) | Expr::Literal(_) => false,
+    }
+}
+
+/// `<path>.shard<k>` — one snapshot file per shard.
+pub fn shard_snapshot_path(path: &Path, k: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".shard{k}"));
+    PathBuf::from(os)
+}
+
+/// Rejects WAL-base layouts a sharded open must not touch: an unsharded
+/// log, or a manifest recording a different shard count.
+fn check_layout_sharded(base: &Path, shards: usize) -> Result<()> {
+    if base.join(crate::wal::WAL_FILE).exists() {
+        return Err(Error::Execution(format!(
+            "write-ahead log at {} was written by an unsharded engine; recover it \
+             with shards = 1 (shard-count changes require an explicit migration)",
+            base.display()
+        )));
+    }
+    match read_manifest(base)? {
+        Some((recorded, _)) if recorded != shards => Err(Error::Execution(format!(
+            "shard manifest at {} records {recorded} shard(s) but {shards} were \
+             configured; shard-count changes require an explicit migration",
+            base.display()
+        ))),
+        Some(_) => Ok(()),
+        None => {
+            // No manifest: refuse to guess if shard segments already exist.
+            for k in 0..shards.max(2) {
+                let dir = base.join(format!("shard-{k}"));
+                if dir.exists() {
+                    return Err(Error::Execution(format!(
+                        "shard WAL segment {} exists but the manifest is missing; \
+                         the layout is corrupt or mid-migration",
+                        dir.display()
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Durably writes the manifest (`shards` + epoch vector) into the WAL
+/// base directory.
+fn write_manifest(base: &Path, shards: usize, epochs: &[u64]) -> Result<()> {
+    std::fs::create_dir_all(base)?;
+    let mut text = String::from("insightnotes-shard-manifest v1\n");
+    text.push_str(&format!("shards {shards}\n"));
+    for (k, e) in epochs.iter().enumerate() {
+        text.push_str(&format!("epoch {k} {e}\n"));
+    }
+    crate::persist::write_durable(&base.join(MANIFEST_FILE), text.as_bytes())
+}
+
+/// Reads the manifest, if present: `(shard count, epoch vector)`.
+pub(crate) fn read_manifest(base: &Path) -> Result<Option<(usize, Vec<u64>)>> {
+    let path = base.join(MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |what: &str| {
+        Error::Execution(format!(
+            "shard manifest at {} is corrupt: {what}",
+            path.display()
+        ))
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some("insightnotes-shard-manifest v1") {
+        return Err(corrupt("bad header"));
+    }
+    let shards: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| corrupt("missing shard count"))?;
+    let mut epochs = Vec::with_capacity(shards);
+    for (k, line) in lines.enumerate() {
+        let epoch = line
+            .strip_prefix(&format!("epoch {k} "))
+            .and_then(|e| e.parse::<u64>().ok())
+            .ok_or_else(|| corrupt("bad epoch line"))?;
+        epochs.push(epoch);
+    }
+    if epochs.len() != shards {
+        return Err(corrupt("epoch vector length mismatch"));
+    }
+    Ok(Some((shards, epochs)))
+}
+
+/// Builds router state over freshly opened shards: the id/tick
+/// allocator resumes past the maximum any shard has durably seen.
+fn build_router(config: &DbConfig, shards: &[Arc<RwLock<Database>>]) -> Result<RouterState> {
+    let cache_dir = config.cache_dir.as_ref().map_or_else(
+        || {
+            std::env::temp_dir().join(format!(
+                "insightnotes-router-{}-{}",
+                std::process::id(),
+                ROUTER_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ))
+        },
+        |d| d.join("router"),
+    );
+    let cache = DiskCache::new(cache_dir, config.cache_budget, config.policy.build())?;
+    let mut next_id = 0u64;
+    let mut clock = 0u64;
+    for shard in shards {
+        let guard = shard.read();
+        next_id = next_id.max(guard.store().last_id());
+        clock = clock.max(guard.clock_now());
+    }
+    Ok(RouterState {
+        alloc: Mutex::new(StampAlloc { next_id, clock }),
+        zoom: Mutex::new(ZoomRegistry::new(cache)),
+        broadcast: Mutex::new(()),
+        prepare_rr: AtomicU64::new(0),
+        parallelism: config.parallelism,
+        wal_base: config.wal_dir.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_deterministic_and_single_shard_collapses() {
+        let t = TableId::new(3);
+        for r in 1..100u64 {
+            let row = RowId::new(r);
+            assert_eq!(shard_of(t, row, 1), 0);
+            assert_eq!(shard_of(t, row, 4), shard_of(t, row, 4));
+            assert!(shard_of(t, row, 4) < 4);
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_rows() {
+        let t = TableId::new(1);
+        let mut hit = [0usize; 4];
+        for r in 1..=400u64 {
+            hit[shard_of(t, RowId::new(r), 4)] += 1;
+        }
+        for (k, &h) in hit.iter().enumerate() {
+            assert!(h > 40, "shard {k} starved: {h}/400");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("insightnotes-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, 4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some((4, vec![1, 2, 3, 4])));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_create_rejects_unsharded_wal() {
+        let dir = std::env::temp_dir().join(format!(
+            "insightnotes-shardlayout-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(crate::wal::WAL_FILE), b"").unwrap();
+        let config = DbConfig {
+            wal_dir: Some(dir.clone()),
+            ..DbConfig::default()
+        };
+        let err = ShardedDatabase::create(config, 4).unwrap_err();
+        assert!(err.to_string().contains("unsharded"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -147,6 +147,36 @@ impl Encodable for WalRowAnnotation {
     }
 }
 
+/// A row-annotation item carrying its router-assigned annotation id and
+/// logical-clock tick. The sharded engine allocates `(id, tick)` once at
+/// the router and replicates the stamped item to every owning shard's
+/// log, so each shard replays global ids without consulting the others.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStampedAnnotation {
+    /// Router-assigned annotation id.
+    pub id: u64,
+    /// Router-assigned logical-clock tick (the body's `created` stamp).
+    pub tick: u64,
+    /// The annotation payload and its targets.
+    pub item: WalRowAnnotation,
+}
+
+impl Encodable for WalStampedAnnotation {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.id);
+        enc.varint(self.tick);
+        self.item.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(WalStampedAnnotation {
+            id: dec.varint()?,
+            tick: dec.varint()?,
+            item: WalRowAnnotation::decode(dec)?,
+        })
+    }
+}
+
 /// One logical write, as replayed by recovery.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
@@ -184,6 +214,14 @@ pub enum WalRecord {
         /// Curator.
         author: String,
     },
+    /// A pre-stamped row-annotation batch
+    /// ([`crate::db::Database::annotate_rows_batch_stamped`]): ids and
+    /// clock ticks were assigned by the shard router, so replay applies
+    /// them verbatim instead of re-allocating.
+    Stamped {
+        /// The stamped batch items in submission order.
+        items: Vec<WalStampedAnnotation>,
+    },
 }
 
 impl Encodable for WalRecord {
@@ -217,6 +255,10 @@ impl Encodable for WalRecord {
                 enc.option(document, |e, d| e.str(d));
                 enc.str(author);
             }
+            WalRecord::Stamped { items } => {
+                enc.u8(5);
+                enc.seq(items, |e, i| i.encode(e));
+            }
         }
     }
 
@@ -234,6 +276,9 @@ impl Encodable for WalRecord {
                 text: dec.str()?,
                 document: dec.option(insightnotes_common::Decoder::str)?,
                 author: dec.str()?,
+            }),
+            5 => Ok(WalRecord::Stamped {
+                items: dec.seq(WalStampedAnnotation::decode)?,
             }),
             tag => Err(Error::Codec(format!("unknown WAL record tag {tag}"))),
         }

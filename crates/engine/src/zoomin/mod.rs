@@ -92,6 +92,20 @@ impl ZoomRegistry {
         catalog: &Catalog,
         registry: &SummaryRegistry,
     ) -> Result<(Vec<AnnotatedRow>, bool)> {
+        self.fetch_rows_with(qid, catalog, registry, registry)
+    }
+
+    /// [`ZoomRegistry::fetch_rows`] with an explicit summary-object
+    /// source for the re-execution path — the shard router passes its
+    /// cross-shard facade here so a cache miss re-reads every row's
+    /// objects from the owning shard.
+    pub fn fetch_rows_with(
+        &mut self,
+        qid: Qid,
+        catalog: &Catalog,
+        registry: &SummaryRegistry,
+        objects: &(dyn crate::exec::ObjectSource + Sync),
+    ) -> Result<(Vec<AnnotatedRow>, bool)> {
         let info = self
             .infos
             .get(&qid)
@@ -101,7 +115,9 @@ impl ZoomRegistry {
             return Ok((decode_rows(&bytes)?, true));
         }
         // Cache miss: re-execute and (re-)offer to the cache.
-        let rows = Executor::new(catalog, registry).execute(&info.plan)?;
+        let rows = Executor::new(catalog, registry)
+            .with_objects(objects)
+            .execute(&info.plan)?;
         let payload = encode_rows(&rows);
         self.cache.put(qid, &payload, info.complexity)?;
         Ok((rows, false))

@@ -6,16 +6,22 @@
 //! socket I/O while holding the exclusive guard therefore convoys the
 //! whole server. PR 3/4 made the committer thread the one sanctioned
 //! place where writes and WAL I/O meet — and even there the guard is
-//! released before the group fsync.
+//! released before the group fsync. The shard-per-core engine splits
+//! that one lock into N per-shard `RwLock`s (`db.shard(k)`,
+//! `self.shards[k]`), and the invariant holds per shard: blocking I/O
+//! under *any* shard's exclusive guard convoys every session routed to
+//! that shard.
 //!
-//! Detection is textual, per function: a `db.write()` (any receiver
-//! chain ending in an ident containing `db`) opens a guarded region —
-//! to the end of the enclosing block when the guard is `let`-bound, or
-//! to the end of the statement for a temporary. Any I/O-shaped call
-//! (`fsync`, `sync_all`, `sync_data`, `write_all`, `flush`, `accept`,
-//! `read`, `read_exact`, `read_to_end`, `recv`) inside the region is a
-//! violation. Functions named in [`EXEMPT_FNS`] (the committer) are
-//! exempt, as is test code.
+//! Detection is textual, per function: a `db.write()` or
+//! `shard.write()` (any receiver chain ending in an ident containing
+//! `db` or `shard`, with `(..)` / `[..]` index and call groups in the
+//! chain skipped) opens a guarded region — to the end of the enclosing
+//! block when the guard is `let`-bound, or to the end of the statement
+//! for a temporary. Any I/O-shaped call (`fsync`, `sync_all`,
+//! `sync_data`, `write_all`, `flush`, `accept`, `read`, `read_exact`,
+//! `read_to_end`, `recv`) inside the region is a violation. Functions
+//! named in [`EXEMPT_FNS`] (the per-shard committers) are exempt, as
+//! is test code.
 
 use super::{Code, Rule};
 use crate::diag::Diagnostic;
@@ -23,7 +29,8 @@ use crate::lexer::TokenKind;
 use crate::workspace::Workspace;
 
 /// Functions allowed to do I/O around the exclusive guard: the
-/// committer thread is the sanctioned group-commit point.
+/// committer threads — one per shard — are the sanctioned group-commit
+/// points, each fsyncing only its own shard's WAL segment.
 const EXEMPT_FNS: [&str; 1] = ["run_committer"];
 
 /// Calls that block on the disk or network.
@@ -108,21 +115,41 @@ fn check_function(code: &Code<'_>, file: &str, rule: &'static str, out: &mut Vec
 }
 
 /// Whether the `.write()` at view position `i` is called on the shared
-/// database: the immediately preceding receiver token chain contains an
-/// ident whose name contains `db`.
+/// database or one of its shards: the preceding receiver token chain
+/// contains an ident whose name contains `db` or `shard`. Balanced
+/// `(..)` / `[..]` groups are skipped so `db.shard(k).write()` and
+/// `self.shards[k].write()` resolve to their base ident.
 fn receiver_is_db(code: &Code<'_>, i: usize) -> bool {
-    // Walk back over `ident` / `.` / `self` chains.
     let mut j = i;
     while j > 0 {
         let t = code.tok(j - 1);
         match &t.kind {
             TokenKind::Ident => {
-                if t.text.contains("db") {
+                if t.text.contains("db") || t.text.contains("shard") {
                     return true;
                 }
                 j -= 1;
             }
             TokenKind::Punct('.') => j -= 1,
+            TokenKind::Punct(close @ (')' | ']')) => {
+                // Skip the index / call-argument group feeding this
+                // chain and keep walking toward the base receiver.
+                let open = if *close == ')' { '(' } else { '[' };
+                let mut depth = 1;
+                j -= 1;
+                while j > 0 && depth > 0 {
+                    let t = code.tok(j - 1);
+                    if t.is_punct(*close) {
+                        depth += 1;
+                    } else if t.is_punct(open) {
+                        depth -= 1;
+                    }
+                    j -= 1;
+                }
+                if depth > 0 {
+                    break;
+                }
+            }
             _ => break,
         }
     }

@@ -11,9 +11,12 @@
 //!
 //! The rule reads the real method surface from
 //! `crates/engine/src/db.rs` (every `&mut self` function in an
-//! `impl Database` block), so a new mutating method is protected the
-//! moment it is written. Call sites are flagged in every non-test,
-//! non-example file outside the engine crate.
+//! `impl Database` block) and from `crates/engine/src/shard.rs`
+//! (`impl ShardedDatabase` — the shard router wraps one WAL handle per
+//! shard, and the same contract holds segment by segment), so a new
+//! mutating method is protected the moment it is written. Call sites
+//! are flagged in every non-test, non-example file outside the engine
+//! crate.
 
 use super::{Code, Rule};
 use crate::diag::Diagnostic;
@@ -76,21 +79,34 @@ impl Rule for WalBypass {
     }
 }
 
-/// The `&mut self` methods of `impl Database` in
-/// `crates/engine/src/db.rs`, minus the WAL-logged entry points.
+/// The `&mut self` methods of `impl Database` (db.rs) and
+/// `impl ShardedDatabase` (shard.rs), minus the WAL-logged entry
+/// points. The sharded router serves writes through `&self` plus
+/// interior per-shard locks, so any `&mut self` method it ever grows
+/// is by construction internal plumbing.
+const SURFACES: [(&str, &str); 2] = [
+    ("crates/engine/src/db.rs", "Database"),
+    ("crates/engine/src/shard.rs", "ShardedDatabase"),
+];
+
 fn restricted_methods(ws: &Workspace) -> BTreeSet<String> {
-    let Some(db) = ws.file_ending_with("crates/engine/src/db.rs") else {
-        return BTreeSet::new();
-    };
-    db.functions
-        .iter()
-        .filter(|f| {
-            f.impl_type.as_deref() == Some("Database")
-                && f.takes_mut_self
-                && !f.is_test
-                && !ENTRY_POINTS.contains(&f.name.as_str())
-                && !f.name.starts_with(ENTRY_PREFIX)
-        })
-        .map(|f| f.name.clone())
-        .collect()
+    let mut out = BTreeSet::new();
+    for (path, impl_type) in SURFACES {
+        let Some(file) = ws.file_ending_with(path) else {
+            continue;
+        };
+        out.extend(
+            file.functions
+                .iter()
+                .filter(|f| {
+                    f.impl_type.as_deref() == Some(impl_type)
+                        && f.takes_mut_self
+                        && !f.is_test
+                        && !ENTRY_POINTS.contains(&f.name.as_str())
+                        && !f.name.starts_with(ENTRY_PREFIX)
+                })
+                .map(|f| f.name.clone()),
+        );
+    }
+    out
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 64]
-//!          [--timeout-ms 10000] [--parallelism N]
+//!          [--timeout-ms 10000] [--parallelism N] [--shards N]
 //!          [--wal-dir DIR] [--sync always|batch|off]
 //! ```
 //!
@@ -14,12 +14,16 @@
 //! are released only after the log is durable (`--sync` picks the fsync
 //! policy, default `batch` = one fsync per group-committed batch);
 //! startup then runs full crash recovery — snapshot plus WAL-tail
-//! replay — so a `kill -9` loses no acknowledged write. `--addr` with
-//! port 0 picks an ephemeral port; the bound address is printed on the
-//! first stdout line (`insightd listening on HOST:PORT`) so scripts can
-//! scrape it.
+//! replay — so a `kill -9` loses no acknowledged write. `--shards N`
+//! partitions the engine into N hash-routed shards (default: the
+//! machine's available cores), each with its own lock, WAL segment
+//! under `<wal-dir>/shard-<k>/`, snapshot file (`<snapshot>.shard<k>`),
+//! and committer thread; recovery then runs per shard and reports each
+//! shard's epoch and replay count on stderr. `--addr` with port 0 picks
+//! an ephemeral port; the bound address is printed on the first stdout
+//! line (`insightd listening on HOST:PORT`) so scripts can scrape it.
 
-use insightnotes_engine::{Database, DbConfig, SyncPolicy};
+use insightnotes_engine::{DbConfig, ShardedDatabase, SyncPolicy};
 use insightnotes_server::{install_signal_handlers, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -44,14 +48,40 @@ fn run() -> insightnotes_common::Result<u64> {
         ..DbConfig::default()
     };
     // Recovery handles every startup shape uniformly: fresh database,
-    // snapshot only, snapshot + WAL tail, torn tails, stale temp files.
-    let (db, report) = Database::recover(opts.snapshot.as_deref(), db_config)?;
-    if report.snapshot_loaded || report.records_replayed > 0 || opts.wal_dir.is_some() {
-        eprintln!(
-            "insightd: recovery: {report} ({} tables, {} annotations)",
-            db.catalog().table_names().len(),
-            db.store().stats().count
-        );
+    // snapshot only, snapshot + WAL tail, torn tails, stale temp files —
+    // per shard, cross-checked against the shard manifest at N > 1.
+    let (db, report) = ShardedDatabase::recover(opts.snapshot.as_deref(), db_config, opts.shards)?;
+    if db.is_sharded() {
+        if report.did_work() || opts.wal_dir.is_some() {
+            for (k, s) in report.shards.iter().enumerate() {
+                eprintln!(
+                    "insightd: recovery: shard {k}: epoch {}; {}",
+                    s.epoch, s.report
+                );
+            }
+            let tables = db.shard(0).read().catalog().table_names().len();
+            eprintln!(
+                "insightd: recovery: {} record(s) replayed across {} shard(s) \
+                 ({tables} tables, {} annotations)",
+                report.records_replayed(),
+                db.shard_count(),
+                db.annotation_count()
+            );
+        }
+    } else if let Some(single) = report.shards.first() {
+        // Single shard: byte-identical to the unsharded daemon's report.
+        if single.report.snapshot_loaded
+            || single.report.records_replayed > 0
+            || opts.wal_dir.is_some()
+        {
+            let guard = db.shard(0).read();
+            eprintln!(
+                "insightd: recovery: {} ({} tables, {} annotations)",
+                single.report,
+                guard.catalog().table_names().len(),
+                guard.store().stats().count
+            );
+        }
     }
 
     let config = ServerConfig {
@@ -60,7 +90,7 @@ fn run() -> insightnotes_common::Result<u64> {
         snapshot_path: opts.snapshot.clone(),
         ..ServerConfig::default()
     };
-    let server = Server::bind(opts.addr.as_str(), db, config)?;
+    let server = Server::bind_sharded(opts.addr.as_str(), db, config)?;
     install_signal_handlers();
 
     // Scripts parse this exact line to discover ephemeral ports.
@@ -81,6 +111,7 @@ struct Opts {
     max_conns: usize,
     timeout_ms: u64,
     parallelism: Option<usize>,
+    shards: usize,
     wal_dir: Option<PathBuf>,
     sync: SyncPolicy,
 }
@@ -92,6 +123,9 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
         max_conns: 64,
         timeout_ms: 10_000,
         parallelism: None,
+        // Shard per core by default; a one-core box gets the legacy
+        // single-lock engine and on-disk layout.
+        shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         wal_dir: None,
         sync: SyncPolicy::Batch,
     };
@@ -103,7 +137,7 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
             println!(
                 "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
                  [--max-conns N] [--timeout-ms N] [--parallelism N] \
-                 [--wal-dir DIR] [--sync always|batch|off]"
+                 [--shards N] [--wal-dir DIR] [--sync always|batch|off]"
             );
             std::process::exit(0);
         }
@@ -127,6 +161,14 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
                         .parse()
                         .map_err(|_| bad(format!("bad count {value}")))?,
                 );
+            }
+            "--shards" => {
+                opts.shards = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad count {value}")))?;
+                if opts.shards == 0 {
+                    return Err(bad("--shards must be at least 1".into()));
+                }
             }
             "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value)),
             "--sync" => opts.sync = SyncPolicy::parse(value)?,

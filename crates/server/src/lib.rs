@@ -8,41 +8,49 @@
 //! ## Session model
 //!
 //! One OS thread per connection over a `std::net::TcpListener`. The
-//! database sits behind an `Arc<RwLock<Database>>`; every incoming
-//! statement is classified ([`Statement::class`]) and the session takes
-//! the **shared** lock for Read-class work (SELECT, ZOOMIN, EXPLAIN —
-//! which the engine exposes from `&self` since the QID/zoom-cache state
-//! moved behind its interior lock) or the **exclusive** lock for
-//! Write-class work (DDL, INSERT, registry changes). Queries from N
-//! sessions therefore execute concurrently; writers serialize.
+//! engine sits behind an `Arc<`[`ShardedDatabase`]`>` — N partitioned
+//! [`Database`] shards (one at the default `--shards 1`, where the
+//! router collapses to the legacy single-lock engine). Read-class work
+//! (SELECT, ZOOMIN, EXPLAIN) fans out through the router under shared
+//! locks; replicated Write-class work (DDL, INSERT, registry changes)
+//! broadcasts under exclusive locks in fixed shard order. Queries from
+//! N sessions therefore execute concurrently; writers to *different
+//! shards* no longer serialize against each other.
 //!
-//! ## Group commit
+//! ## Group commit, per shard
 //!
-//! `Annotate` and `AnnotateBatch` frames do **not** take the exclusive
-//! lock from their session thread. Sessions enqueue their statements
-//! into a bounded commit queue ([`ServerConfig::commit_queue_depth`])
-//! and block for the reply; a dedicated committer thread drains whatever
-//! has accumulated and ingests it through one
+//! `Annotate` and `AnnotateBatch` frames do **not** take an exclusive
+//! lock from their session thread. Each shard gets its own bounded
+//! commit queue ([`ServerConfig::commit_queue_depth`]) and its own
+//! committer thread. At one shard, sessions enqueue raw statements and
+//! the committer drains whatever has accumulated into one
 //! [`Database::annotate_batch_sql`] call — one exclusive-lock
 //! acquisition per *group* of concurrent writers instead of one per
-//! annotation, so writers stop convoying behind readers one at a time.
-//! Per-statement results fan back out to the waiting sessions (partial
-//! failure allowed within a batch). The queue drains fully on graceful
-//! shutdown: every enqueued writer still receives its reply.
+//! annotation. At `shards > 1`, the session itself resolves targets and
+//! obtains router-stamped ids/ticks
+//! ([`ShardedDatabase::prepare_sql_annotations`], shard read guards
+//! dropped before any enqueue), then hands each owner shard's slice to
+//! that shard's queue — all sends before any reply wait, so disjoint
+//! shards group-commit **in parallel**. Per-statement results fan back
+//! out to the waiting sessions (partial failure allowed within a
+//! batch). Every queue drains fully on graceful shutdown: every
+//! enqueued writer still receives its reply.
 //!
 //! ## Durability
 //!
-//! With a write-ahead log attached to the database
-//! (`insightd --wal-dir`), the committer is also the **group-fsync**
-//! point: the whole drained group lands in the log as one record before
-//! it executes, one `fsync` covers it (under the `batch` sync policy),
-//! and replies are released only **after** that fsync returns — an ack
-//! therefore promises the annotation survives `kill -9` or power loss.
-//! If the fsync fails, every would-be success in the group is converted
-//! to an error, because the ack's promise could not be kept. `Execute`
-//! frames carrying writes follow the same discipline (log, execute,
-//! sync, then reply). On restart, `insightd` recovers through
-//! [`Database::recover`]: snapshot plus WAL-tail replay.
+//! With a write-ahead log attached (`insightd --wal-dir`), each
+//! committer is its shard's **group-fsync** point: the drained group
+//! lands in that shard's WAL segment as one record before it executes,
+//! one `fsync` covers it (under the `batch` sync policy), and replies
+//! are released only **after** that fsync returns — an ack therefore
+//! promises the annotation survives `kill -9` or power loss. A
+//! multi-shard annotation acks only after *every* owner shard's fsync.
+//! If an fsync fails, every would-be success in that shard's group is
+//! converted to an error, because the ack's promise could not be kept.
+//! `Execute` frames carrying writes follow the same discipline (log,
+//! execute, sync, then reply). On restart, `insightd` recovers through
+//! [`ShardedDatabase::recover`]: per-shard snapshot plus WAL-tail
+//! replay, cross-checked against the shard manifest.
 //!
 //! ## Robustness
 //!
@@ -66,11 +74,11 @@ use insightnotes_common::wire::{
 };
 use insightnotes_common::{Error, Result};
 use insightnotes_engine::db::{ExecOutcome, QueryResult, SqlStatement, ZoomInResult};
-use insightnotes_engine::Database;
+use insightnotes_engine::{Database, ShardedDatabase, StampedRowAnnotation};
 use insightnotes_sql::{parse, Statement, StatementClass};
 use insightnotes_storage::{Column, Value};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -171,20 +179,30 @@ impl ServerHandle {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    db: Arc<RwLock<Database>>,
+    db: Arc<ShardedDatabase>,
     state: Arc<ServerState>,
 }
 
 impl Server {
-    /// Binds a listener and prepares the shared database. Use port 0 for
+    /// Binds a listener over a single-shard database. Use port 0 for
     /// an ephemeral port; read it back with [`Server::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, db: Database, config: ServerConfig) -> Result<Self> {
+        Self::bind_sharded(addr, db.into(), config)
+    }
+
+    /// Binds a listener over an already-partitioned engine
+    /// (`insightd --shards N` builds one via [`ShardedDatabase::recover`]).
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        db: ShardedDatabase,
+        config: ServerConfig,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept lets the loop poll the shutdown flag.
         listener.set_nonblocking(true)?;
         Ok(Self {
             listener,
-            db: Arc::new(RwLock::new(db)),
+            db: Arc::new(db),
             state: Arc::new(ServerState {
                 config,
                 shutdown: AtomicBool::new(false),
@@ -208,21 +226,31 @@ impl Server {
         }
     }
 
-    /// The shared database (tests inspect state through this).
+    /// Shard 0 of the shared database (tests inspect state through
+    /// this; at the default single shard it is *the* database).
     pub fn database(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(self.db.shard(0))
+    }
+
+    /// The sharded engine behind the server.
+    pub fn sharded_database(&self) -> Arc<ShardedDatabase> {
         Arc::clone(&self.db)
     }
 
     /// Serves connections until shutdown is requested, then drains
-    /// sessions and the commit queue and writes the final snapshot (when
-    /// configured). Returns the total number of requests served.
+    /// sessions and every shard's commit queue and writes the final
+    /// snapshot (when configured). Returns the total requests served.
     pub fn run(self) -> Result<u64> {
-        let (commit_tx, commit_rx) =
-            mpsc::sync_channel::<CommitJob>(self.state.config.commit_queue_depth.max(1));
-        let committer = {
+        let depth = self.state.config.commit_queue_depth.max(1);
+        let mut commit_txs = Vec::with_capacity(self.db.shard_count());
+        let mut committers = Vec::with_capacity(self.db.shard_count());
+        for shard in 0..self.db.shard_count() {
+            let (tx, rx) = mpsc::sync_channel::<CommitJob>(depth);
             let db = Arc::clone(&self.db);
-            std::thread::spawn(move || run_committer(commit_rx, &db))
-        };
+            committers.push(std::thread::spawn(move || run_committer(rx, &db, shard)));
+            commit_txs.push(tx);
+        }
+        let commit_txs = Arc::new(commit_txs);
         let mut workers = Vec::new();
         loop {
             if self.state.shutting_down() {
@@ -241,7 +269,7 @@ impl Server {
                     let db = Arc::clone(&self.db);
                     let state = Arc::clone(&self.state);
                     let committer = Committer {
-                        tx: commit_tx.clone(),
+                        txs: Arc::clone(&commit_txs),
                     };
                     self.state.active.fetch_add(1, Ordering::Relaxed);
                     workers.push(std::thread::spawn(move || {
@@ -265,14 +293,18 @@ impl Server {
             let _ = h.join();
         }
         // All session-held senders are gone; dropping ours disconnects
-        // the channel. The committer finishes whatever is still buffered
-        // (mpsc delivers queued messages after disconnect) and exits.
-        drop(commit_tx);
-        let _ = committer.join();
+        // every channel. Each committer finishes whatever is still
+        // buffered (mpsc delivers queued messages after disconnect) and
+        // exits.
+        drop(commit_txs);
+        for committer in committers {
+            let _ = committer.join();
+        }
         if let Some(path) = &self.state.config.snapshot_path {
             // With a WAL this is a checkpoint (durable snapshot, then log
-            // rotation); without one it degrades to a plain durable save.
-            self.db.write().checkpoint(path)?;
+            // rotation, per shard); without one it degrades to a plain
+            // durable save.
+            self.db.checkpoint(path)?;
         }
         Ok(self.state.served.load(Ordering::Relaxed))
     }
@@ -280,89 +312,245 @@ impl Server {
 
 // -- group commit ---------------------------------------------------------
 
-/// One enqueued ingest frame: its `ADD ANNOTATION` statements plus the
-/// channel the session blocks on. The committer answers with one
-/// [`BatchItem`] per statement, in order.
-struct CommitJob {
-    stmts: Vec<SqlStatement>,
-    reply: mpsc::Sender<Vec<BatchItem>>,
+/// What one enqueued ingest frame carries.
+enum CommitPayload {
+    /// Raw `ADD ANNOTATION` statements (with source text, for the WAL).
+    /// The single-shard route: the committer resolves and ingests them
+    /// through [`Database::annotate_batch_sql`].
+    Sql(Vec<SqlStatement>),
+    /// Pre-resolved items already stamped by the router, every one
+    /// owned by this queue's shard. The `shards > 1` route: sessions
+    /// resolve and stamp before enqueueing.
+    Stamped(Vec<StampedRowAnnotation>),
 }
 
-/// A session's handle into the commit queue.
-struct Committer {
-    tx: mpsc::SyncSender<CommitJob>,
-}
-
-impl Committer {
-    /// Enqueues one frame's statements and blocks until the committer
-    /// has ingested them (and, when a WAL is attached, fsynced them),
-    /// returning one result per statement.
-    fn submit(&self, stmts: Vec<SqlStatement>) -> Result<Vec<BatchItem>> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        self.tx
-            .send(CommitJob {
-                stmts,
-                reply: reply_tx,
-            })
-            .map_err(|_| Error::Execution("commit queue closed (server shutting down)".into()))?;
-        reply_rx
-            .recv()
-            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))
+impl CommitPayload {
+    fn len(&self) -> usize {
+        match self {
+            CommitPayload::Sql(v) => v.len(),
+            CommitPayload::Stamped(v) => v.len(),
+        }
     }
 }
 
-/// The dedicated committer thread: each wake-up drains every job that
-/// has accumulated in the queue (capped at [`wire::MAX_BATCH_ITEMS`]
-/// statements per group) and ingests the combined statement list through
-/// **one** [`Database::annotate_batch_sql`] call — a single
-/// exclusive-lock acquisition and a single WAL record per group — then
-/// fsyncs the log (the group-commit point; readers may proceed during
-/// the fsync, which only needs the shared lock) and fans the
-/// per-statement results back to the waiting sessions. A failed fsync
-/// poisons every would-be success in the group: the reply's durability
-/// promise could not be kept. Exits when every sender is gone and the
-/// queue is empty, which is what makes shutdown lossless.
-fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &RwLock<Database>) {
+/// One enqueued ingest frame plus the channel the session blocks on.
+/// The committer answers with one [`BatchItem`] per item, in order.
+struct CommitJob {
+    payload: CommitPayload,
+    reply: mpsc::Sender<Vec<BatchItem>>,
+}
+
+/// A session's handle into every shard's commit queue.
+struct Committer {
+    txs: Arc<Vec<mpsc::SyncSender<CommitJob>>>,
+}
+
+impl Committer {
+    /// Enqueues one payload on `shard`'s queue and blocks until that
+    /// shard's committer has ingested it (and, when a WAL is attached,
+    /// fsynced it), returning one result per item.
+    fn submit(&self, shard: usize, payload: CommitPayload) -> Result<Vec<BatchItem>> {
+        self.submit_async(shard, payload)?
+            .recv()
+            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))
+    }
+
+    /// Enqueues without waiting; the caller collects the reply later.
+    /// This is what lets one session's multi-shard batch commit on all
+    /// its owner shards in parallel.
+    fn submit_async(
+        &self,
+        shard: usize,
+        payload: CommitPayload,
+    ) -> Result<mpsc::Receiver<Vec<BatchItem>>> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let tx = self
+            .txs
+            .get(shard)
+            .ok_or_else(|| Error::Execution(format!("no commit queue for shard {shard}")))?;
+        tx.send(CommitJob {
+            payload,
+            reply: reply_tx,
+        })
+        .map_err(|_| Error::Execution("commit queue closed (server shutting down)".into()))?;
+        Ok(reply_rx)
+    }
+}
+
+/// Converts one engine result into its wire item, poisoning would-be
+/// successes when the group's fsync failed (the ack's durability
+/// promise could not be kept).
+fn batch_item(r: Result<ExecOutcome>, sync_err: Option<&Error>) -> BatchItem {
+    match (r, sync_err) {
+        (Ok(_), Some(e)) => BatchItem::Err(WireError::from(&Error::Execution(format!(
+            "write-ahead log sync failed; write not durable: {e}"
+        )))),
+        (Ok(outcome), None) => BatchItem::Ok(outcome.to_string()),
+        (Err(e), _) => BatchItem::Err(WireError::from(&e)),
+    }
+}
+
+/// One shard's dedicated committer thread: each wake-up drains every
+/// job that has accumulated in its queue (capped at
+/// [`wire::MAX_BATCH_ITEMS`] items per group) and ingests the combined
+/// lists through **one** exclusive-lock acquisition on its shard —
+/// [`Database::annotate_batch_sql`] for raw statements,
+/// [`Database::annotate_rows_batch_stamped`] for router-stamped items —
+/// then fsyncs that shard's WAL segment (the group-commit point;
+/// readers may proceed during the fsync, which only needs the shared
+/// lock) and fans the per-item results back to the waiting sessions. A
+/// failed fsync poisons every would-be success in the group. Exits when
+/// every sender is gone and the queue is empty, which is what makes
+/// shutdown lossless. N shards run N of these: N independent lock
+/// domains and N overlapping fsync pipelines.
+fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &ShardedDatabase, shard: usize) {
     while let Ok(first) = rx.recv() {
-        let mut queued = first.stmts.len();
+        let mut queued = first.payload.len();
         let mut jobs = vec![first];
         while queued < wire::MAX_BATCH_ITEMS {
             match rx.try_recv() {
                 Ok(job) => {
-                    queued += job.stmts.len();
+                    queued += job.payload.len();
                     jobs.push(job);
                 }
                 Err(_) => break,
             }
         }
-        let mut all = Vec::with_capacity(queued);
+        let mut sql = Vec::new();
+        let mut stamped = Vec::new();
+        // Per job: (is_sql, item count) — replies fan back out in order.
         let mut spans = Vec::with_capacity(jobs.len());
-        for job in &mut jobs {
-            spans.push(job.stmts.len());
-            all.append(&mut job.stmts);
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.payload {
+                CommitPayload::Sql(mut v) => {
+                    spans.push((true, v.len()));
+                    sql.append(&mut v);
+                }
+                CommitPayload::Stamped(mut v) => {
+                    spans.push((false, v.len()));
+                    stamped.append(&mut v);
+                }
+            }
+            replies.push(job.reply);
         }
-        let results = db.write().annotate_batch_sql(all);
+        let handle = db.shard(shard);
+        let (sql_results, stamped_results) = {
+            let mut guard = handle.write();
+            let sql_results = if sql.is_empty() {
+                Vec::new()
+            } else {
+                guard.annotate_batch_sql(sql)
+            };
+            let stamped_results = if stamped.is_empty() {
+                Vec::new()
+            } else {
+                guard.annotate_rows_batch_stamped(stamped)
+            };
+            (sql_results, stamped_results)
+        };
         // Group-commit fsync *after* releasing the exclusive lock (sync
         // only needs `&self`), *before* releasing any reply.
-        let sync_err = db.read().wal_sync().err();
-        let mut results = results.into_iter();
-        for (job, n) in jobs.into_iter().zip(spans) {
-            let items: Vec<BatchItem> = results
-                .by_ref()
-                .take(n)
-                .map(|r| match (r, &sync_err) {
-                    (Ok(_), Some(e)) => BatchItem::Err(WireError::from(&Error::Execution(
-                        format!("write-ahead log sync failed; write not durable: {e}"),
-                    ))),
-                    (Ok(outcome), None) => BatchItem::Ok(outcome.to_string()),
-                    (Err(e), _) => BatchItem::Err(WireError::from(&e)),
-                })
-                .collect();
+        let sync_err = handle.read().wal_sync().err();
+        let mut sql_results = sql_results.into_iter();
+        let mut stamped_results = stamped_results.into_iter();
+        for ((is_sql, n), reply) in spans.into_iter().zip(replies) {
+            let items: Vec<BatchItem> = if is_sql {
+                sql_results
+                    .by_ref()
+                    .take(n)
+                    .map(|r| batch_item(r, sync_err.as_ref()))
+                    .collect()
+            } else {
+                stamped_results
+                    .by_ref()
+                    .take(n)
+                    .map(|r| batch_item(r, sync_err.as_ref()))
+                    .collect()
+            };
             // A send error means the session died mid-wait; its reply is
             // dropped, everyone else's still goes out.
-            let _ = job.reply.send(items);
+            let _ = reply.send(items);
         }
     }
+}
+
+/// Routes one frame's `ADD ANNOTATION` statements into the commit
+/// queue(s). Single shard: the raw statements go to the one committer
+/// (legacy group commit). `shards > 1`: the *session* resolves targets
+/// and obtains router stamps (shard read guards acquired and dropped
+/// inside [`ShardedDatabase::prepare_sql_annotations`], so no lock is
+/// held across a queue send), then submits each owner shard's slice to
+/// that shard's committer — all sends first, then all replies, so
+/// disjoint shards commit and fsync in parallel. A multi-owner item
+/// acks only once every owner shard has fsynced; any owner's failure
+/// becomes the item's result.
+fn submit_annotations(
+    db: &ShardedDatabase,
+    committer: &Committer,
+    stmts: Vec<SqlStatement>,
+) -> Result<Vec<BatchItem>> {
+    if !db.is_sharded() {
+        return committer.submit(0, CommitPayload::Sql(stmts));
+    }
+    let prepared = db.prepare_sql_annotations(&stmts);
+    let mut slots: Vec<Option<BatchItem>> = Vec::new();
+    slots.resize_with(prepared.len(), || None);
+    let mut per_shard: BTreeMap<usize, (Vec<usize>, Vec<StampedRowAnnotation>)> = BTreeMap::new();
+    for (i, p) in prepared.into_iter().enumerate() {
+        match p {
+            Err(e) => {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(BatchItem::Err(WireError::from(&e)));
+                }
+            }
+            Ok(routed) => {
+                for &k in &routed.shards {
+                    let (indices, batch) = per_shard.entry(k).or_default();
+                    indices.push(i);
+                    batch.push(routed.stamped.clone());
+                }
+            }
+        }
+    }
+    let mut pending = Vec::with_capacity(per_shard.len());
+    for (k, (indices, batch)) in per_shard {
+        pending.push((
+            indices,
+            committer.submit_async(k, CommitPayload::Stamped(batch))?,
+        ));
+    }
+    for (indices, reply_rx) in pending {
+        let items = reply_rx
+            .recv()
+            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))?;
+        for (i, item) in indices.into_iter().zip(items) {
+            let Some(slot) = slots.get_mut(i) else {
+                continue;
+            };
+            // Multi-owner combine: any shard's failure wins; otherwise
+            // the first (lowest-shard) success stands.
+            let replace = match (&slot, &item) {
+                (Some(BatchItem::Err(_)), _) => false,
+                (Some(BatchItem::Ok(_)), BatchItem::Err(_)) => true,
+                (Some(BatchItem::Ok(_)), BatchItem::Ok(_)) => false,
+                (None, _) => true,
+            };
+            if replace {
+                *slot = Some(item);
+            }
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                BatchItem::Err(WireError::from(&Error::Execution(
+                    "batch slot missing a committer result".into(),
+                )))
+            })
+        })
+        .collect())
 }
 
 /// Turns away a connection over the limit with a structured error frame,
@@ -518,7 +706,7 @@ fn blocked(e: &std::io::Error) -> bool {
 fn run_session(
     mut stream: TcpStream,
     id: u64,
-    db: &RwLock<Database>,
+    db: &ShardedDatabase,
     state: &ServerState,
     committer: &Committer,
 ) {
@@ -570,9 +758,10 @@ fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io:
 
 /// Executes one request against the shared database, picking the lock
 /// side by statement classification. Annotation ingest routes through
-/// the group-commit queue instead of locking from the session thread.
+/// the per-shard group-commit queues instead of locking from the
+/// session thread.
 fn handle_request(
-    db: &RwLock<Database>,
+    db: &ShardedDatabase,
     state: &ServerState,
     committer: &Committer,
     req: Request,
@@ -584,7 +773,7 @@ fn handle_request(
 }
 
 fn try_handle_request(
-    db: &RwLock<Database>,
+    db: &ShardedDatabase,
     state: &ServerState,
     committer: &Committer,
     req: Request,
@@ -603,9 +792,13 @@ fn try_handle_request(
                         .into(),
                 ));
             }
-            let db = db.read();
             match db.execute_read(stmt)? {
-                ExecOutcome::Query(q) => Ok(Response::Rows(rows_payload(&db, &q))),
+                ExecOutcome::Query(q) => {
+                    // Summary-instance names are replicated; shard 0's
+                    // registry renders them for the wire.
+                    let shard0 = db.shard(0).read();
+                    Ok(Response::Rows(rows_payload(&shard0, &q)))
+                }
                 _ => Err(Error::Execution(
                     "SELECT produced a non-query outcome; engine/server protocol mismatch".into(),
                 )),
@@ -618,7 +811,6 @@ fn try_handle_request(
                     "ZoomIn frames carry exactly one ZOOMIN statement".into(),
                 ));
             }
-            let db = db.read();
             match db.execute_read(stmt)? {
                 ExecOutcome::ZoomIn(z) => Ok(Response::Zoomed(zoom_payload(z))),
                 _ => Err(Error::Execution(
@@ -628,7 +820,7 @@ fn try_handle_request(
         }
         Request::Annotate { sql } => {
             let stmt = annotate_statement(&sql, "Annotate")?;
-            let mut items = committer.submit(vec![stmt])?;
+            let mut items = submit_annotations(db, committer, vec![stmt])?;
             match items.pop() {
                 Some(BatchItem::Ok(message)) => Ok(Response::Ack {
                     messages: vec![message],
@@ -660,7 +852,7 @@ fn try_handle_request(
             let committed = if stmts.is_empty() {
                 Vec::new()
             } else {
-                committer.submit(stmts)?
+                submit_annotations(db, committer, stmts)?
             };
             for (i, item) in indices.into_iter().zip(committed) {
                 if let Some(slot) = slots.get_mut(i) {
@@ -688,18 +880,18 @@ fn try_handle_request(
                 return Err(Error::Parse("empty statement".into()));
             }
             let messages = if stmts.iter().all(|s| s.class() == StatementClass::Read) {
-                let db = db.read();
                 stmts
                     .into_iter()
                     .map(|s| Ok(db.execute_read(s)?.to_string()))
                     .collect::<Result<Vec<_>>>()?
             } else {
                 // The script's source text goes through execute_sql so
-                // the WAL (when attached) records it before execution;
-                // the sync below is the per-request commit point, after
-                // which the ack's durability promise holds.
-                let outcomes = db.write().execute_sql(&sql)?;
-                db.read().wal_sync()?;
+                // the WAL (when attached) records it before execution —
+                // on every shard it touches; the sync below is the
+                // per-request commit point, after which the ack's
+                // durability promise holds.
+                let outcomes = db.execute_sql(&sql)?;
+                db.wal_sync_all()?;
                 outcomes
                     .iter()
                     .map(std::string::ToString::to_string)
@@ -848,6 +1040,7 @@ mod tests {
     fn database_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Database>();
+        assert_send_sync::<ShardedDatabase>();
         assert_send_sync::<Server>();
     }
 

@@ -10,6 +10,7 @@
 #![cfg(unix)]
 
 use insightnotes_client::Client;
+use insightnotes_engine::shard::shard_snapshot_path;
 use insightnotes_engine::Database;
 use std::io::{BufRead, BufReader, Read};
 use std::net::SocketAddr;
@@ -35,9 +36,12 @@ struct Daemon {
 impl Daemon {
     /// Spawns `insightd` on an ephemeral port with a WAL and snapshot
     /// in `dir`, scraping the bound address off the first stdout line.
-    fn spawn(dir: &Path, crash_point: Option<&str>) -> Daemon {
+    /// `shards` is pinned explicitly so the layout under test doesn't
+    /// depend on the machine's core count.
+    fn spawn(dir: &Path, shards: usize, crash_point: Option<&str>) -> Daemon {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_insightd"));
         cmd.args(["--addr", "127.0.0.1:0", "--sync", "batch"])
+            .args(["--shards", &shards.to_string()])
             .arg("--wal-dir")
             .arg(dir)
             .arg("--snapshot")
@@ -104,6 +108,31 @@ fn annotation_sql(text: &str, row: u64) -> String {
     format!("ADD ANNOTATION '{text}' AUTHOR 'crash' ON t WHERE p = {row}")
 }
 
+/// All annotation texts across a sharded layout's per-shard snapshot
+/// files (`<path>.shard<k>`), sorted. Annotations are partitioned, so
+/// the union over shards is the full logical store.
+fn texts_in_sharded_snapshots(path: &Path, shards: usize) -> Vec<String> {
+    let mut texts = Vec::new();
+    for k in 0..shards {
+        let db = Database::open(shard_snapshot_path(path, k)).expect("open shard snapshot");
+        let count = db.store().stats().count;
+        let before = texts.len();
+        // Annotation ids are global; each shard holds a subset.
+        for raw in 1..=1024u64 {
+            if let Ok(a) = db.store().get(insightnotes_common::AnnotationId::new(raw)) {
+                texts.push(a.body.text.clone());
+            }
+        }
+        assert_eq!(
+            texts.len() - before,
+            count,
+            "id scan missed shard {k} annotations"
+        );
+    }
+    texts.sort();
+    texts
+}
+
 /// All annotation texts in a snapshot file, sorted.
 fn texts_in_snapshot(path: &Path) -> Vec<String> {
     let db = Database::open(path).expect("open snapshot");
@@ -130,7 +159,7 @@ fn kill_nine_loses_no_acked_annotations() {
     let dir = scratch("kill9");
 
     // First life: schema plus a group-committed batch, all acked.
-    let daemon = Daemon::spawn(&dir, None);
+    let daemon = Daemon::spawn(&dir, 1, None);
     let mut c = daemon.client();
     c.execute(SCHEMA).expect("schema");
     let batch: Vec<String> = (0..8)
@@ -142,7 +171,7 @@ fn kill_nine_loses_no_acked_annotations() {
     daemon.kill_nine();
 
     // Second life: recovery replays the log; the server keeps working.
-    let daemon = Daemon::spawn(&dir, None);
+    let daemon = Daemon::spawn(&dir, 1, None);
     let mut c = daemon.client();
     c.annotate(&annotation_sql("post-restart", 2))
         .expect("annotate after recovery");
@@ -158,12 +187,64 @@ fn kill_nine_loses_no_acked_annotations() {
     assert_eq!(texts_in_snapshot(&dir.join("db.indb")), expected);
 }
 
+/// The sharded daemon under the same SIGKILL: acked writes are spread
+/// across four shard WAL segments with independent committers, and a
+/// restart must replay every segment — no acked annotation may be lost
+/// on any shard, and the per-shard recovery report must land on stderr.
+#[test]
+fn sharded_kill_nine_loses_no_acked_annotations() {
+    const SHARDS: usize = 4;
+    let dir = scratch("kill9-sharded");
+
+    // First life: widen to nine rows so the batch lands on several
+    // shards, then ack a group-committed batch.
+    let daemon = Daemon::spawn(&dir, SHARDS, None);
+    let mut c = daemon.client();
+    c.execute(SCHEMA).expect("schema");
+    c.execute(
+        "INSERT INTO t VALUES (4, 'four'), (5, 'five'), (6, 'six'), \
+         (7, 'seven'), (8, 'eight'), (9, 'nine')",
+    )
+    .expect("widen table");
+    let batch: Vec<String> = (0..12)
+        .map(|i| annotation_sql(&format!("shard survivor {i}"), i % 9 + 1))
+        .collect();
+    for item in c.annotate_batch(batch).expect("batch frame") {
+        item.expect("batch item acked");
+    }
+    daemon.kill_nine();
+
+    // Second life: per-shard recovery replays each segment; the server
+    // keeps accepting writes.
+    let daemon = Daemon::spawn(&dir, SHARDS, None);
+    let mut c = daemon.client();
+    c.annotate(&annotation_sql("post-restart", 5))
+        .expect("annotate after recovery");
+    let stderr = daemon.shutdown();
+    assert!(
+        stderr.contains("recovery: shard 0:") && stderr.contains("recovery: shard 3:"),
+        "restart should report per-shard recovery, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("across {SHARDS} shard(s)")),
+        "restart should summarise the shard count, stderr: {stderr}"
+    );
+
+    let mut expected: Vec<String> = (0..12).map(|i| format!("shard survivor {i}")).collect();
+    expected.push("post-restart".into());
+    expected.sort();
+    assert_eq!(
+        texts_in_sharded_snapshots(&dir.join("db.indb"), SHARDS),
+        expected
+    );
+}
+
 #[test]
 fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
     let dir = scratch("abort-commit");
 
     // Ack a baseline, stop cleanly (checkpoints snapshot + rotates WAL).
-    let daemon = Daemon::spawn(&dir, None);
+    let daemon = Daemon::spawn(&dir, 1, None);
     let mut c = daemon.client();
     c.execute(SCHEMA).expect("schema");
     c.annotate(&annotation_sql("acked before crash", 1))
@@ -172,7 +253,7 @@ fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
 
     // Second life dies inside the committer's fsync: the batch is never
     // acked — the client sees the connection drop instead.
-    let daemon = Daemon::spawn(&dir, Some("wal.sync.before"));
+    let daemon = Daemon::spawn(&dir, 1, Some("wal.sync.before"));
     let mut c = daemon.client();
     let unacked: Vec<String> = (0..4)
         .map(|i| annotation_sql(&format!("never acked {i}"), 1))
@@ -189,7 +270,7 @@ fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
     // fsync — with the abort landing before the sync it may only
     // survive if the OS flushed it anyway, in which case it must be
     // complete (all 4) — never a partial group.
-    let daemon = Daemon::spawn(&dir, None);
+    let daemon = Daemon::spawn(&dir, 1, None);
     let mut c = daemon.client();
     c.annotate(&annotation_sql("after recovery", 3))
         .expect("annotate after recovery");

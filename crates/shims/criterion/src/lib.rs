@@ -57,7 +57,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 

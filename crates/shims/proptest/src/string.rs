@@ -84,8 +84,10 @@ fn parse(pattern: &str) -> Vec<Piece> {
                         let body: String = chars[i + 1..end].iter().collect();
                         i = end + 1;
                         let mut parts = body.splitn(2, ',');
-                        let lo: usize =
-                            parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+                        let lo: usize = parts
+                            .next()
+                            .and_then(|s| s.trim().parse().ok())
+                            .unwrap_or(1);
                         let hi: usize = parts
                             .next()
                             .and_then(|s| s.trim().parse().ok())

@@ -173,6 +173,12 @@ pub struct IngestConfig {
     pub annotations_per_writer: usize,
     /// Rows in the bird table.
     pub num_birds: usize,
+    /// Zipfian skew of the target row ids: row `r` is drawn with weight
+    /// `1/r^skew`. `0.0` (the default) is uniform — and byte-identical
+    /// to the scripts this generator emitted before the knob existed;
+    /// `~1.0` is classic Zipf, concentrating contention on a few hot
+    /// rows (and, on a sharded engine, on the shards that own them).
+    pub skew: f64,
 }
 
 impl Default for IngestConfig {
@@ -182,18 +188,60 @@ impl Default for IngestConfig {
             writers: 8,
             annotations_per_writer: 64,
             num_birds: 200,
+            skew: 0.0,
+        }
+    }
+}
+
+/// Row-id sampler over `1..=n`: uniform at `skew <= 0`, Zipfian with
+/// exponent `skew` otherwise (inverse-CDF lookup over the precomputed
+/// harmonic prefix sums).
+struct RowSampler {
+    /// Prefix sums of `1/r^skew`; empty on the uniform path so the
+    /// pre-knob draw sequence stays bit-identical.
+    cdf: Vec<f64>,
+    n: usize,
+}
+
+impl RowSampler {
+    fn new(n: usize, skew: f64) -> Self {
+        let n = n.max(1);
+        if skew <= 0.0 {
+            return Self { cdf: Vec::new(), n };
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 1..=n {
+            total += 1.0 / (r as f64).powf(skew);
+            cdf.push(total);
+        }
+        Self { cdf, n }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let Some(&total) = self.cdf.last() else {
+            return rng.gen_range(1..=self.n);
+        };
+        let u = rng.gen_range(0.0..total);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.n),
         }
     }
 }
 
 /// Generates an ingest-heavy workload: the same seeded setup phase as
 /// [`session_script`], but every client statement is an
-/// `ADD ANNOTATION` targeting one indexed row. This is the pure write
-/// path — the shape of load the server's group-commit queue absorbs —
+/// `ADD ANNOTATION` targeting one indexed row (drawn uniformly, or
+/// Zipf-skewed under [`IngestConfig::skew`]). This is the pure write
+/// path — the shape of load the server's group-commit queues absorb —
 /// and what `benches/ingest_throughput.rs` replays at varying batch
-/// sizes.
+/// sizes and shard counts.
 pub fn ingest_script(cfg: &IngestConfig) -> SessionScript {
     let setup = setup_statements(cfg.seed, cfg.num_birds);
+    let sampler = RowSampler::new(cfg.num_birds, cfg.skew);
     let clients = (0..cfg.writers)
         .map(|c| {
             let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0x51B5 + c as u64));
@@ -201,7 +249,7 @@ pub fn ingest_script(cfg: &IngestConfig) -> SessionScript {
             (0..cfg.annotations_per_writer)
                 .map(|_| {
                     let a = anns.annotation(0.25, 0.0);
-                    let id = rng.gen_range(1..=cfg.num_birds.max(1));
+                    let id = sampler.sample(&mut rng);
                     format!(
                         "ADD ANNOTATION '{}' AUTHOR '{}' ON birds WHERE id = {id}",
                         sql_quote(&a.text),
@@ -287,6 +335,49 @@ mod tests {
             ..SessionConfig::default()
         });
         assert_eq!(a.setup, mixed.setup);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_low_row_ids() {
+        let base = IngestConfig {
+            writers: 4,
+            annotations_per_writer: 100,
+            num_birds: 100,
+            ..IngestConfig::default()
+        };
+        let skewed = ingest_script(&IngestConfig {
+            skew: 1.2,
+            ..base.clone()
+        });
+        let uniform = ingest_script(&base);
+        let hot_hits = |script: &SessionScript| {
+            script
+                .clients
+                .iter()
+                .flatten()
+                .filter(|s| {
+                    let id: usize = s
+                        .rsplit("id = ")
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .expect("ingest statement targets one id");
+                    id <= 10
+                })
+                .count()
+        };
+        let (hot_skewed, hot_uniform) = (hot_hits(&skewed), hot_hits(&uniform));
+        // Zipf(1.2) over 100 rows puts well over half the mass on the
+        // first ten; uniform puts ~10% there.
+        assert!(
+            hot_skewed > 2 * hot_uniform,
+            "skewed {hot_skewed} vs uniform {hot_uniform} of 400"
+        );
+        // Determinism and parseability hold on the skewed path too.
+        let again = ingest_script(&IngestConfig { skew: 1.2, ..base });
+        assert_eq!(skewed.clients, again.clients);
+        for stmt in skewed.clients.iter().flatten() {
+            insightnotes_sql::parse(stmt).expect("skewed statement parses");
+        }
     }
 
     #[test]

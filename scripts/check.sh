@@ -12,7 +12,9 @@
 #                                 fails the run
 #   6. cargo clippy -D warnings — style lints over all targets
 #   7. insightd smoke tests     — end-to-end wire-protocol round-trip,
-#                                 then kill -9 crash recovery
+#                                 then kill -9 crash recovery on the
+#                                 single-shard and sharded (--shards 4)
+#                                 layouts
 #
 # `./scripts/check.sh --fix-baseline` skips the gates and regenerates
 # lint.toml from the current findings instead (kept empty by policy:
@@ -58,7 +60,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-./target/release/insightd --addr 127.0.0.1:0 --snapshot "$SNAPSHOT" >"$LOG" 2>&1 &
+./target/release/insightd --addr 127.0.0.1:0 --snapshot "$SNAPSHOT" --shards 1 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # The daemon prints "insightd listening on HOST:PORT" once bound.
@@ -104,8 +106,9 @@ CRASH_LOG="$SMOKE_DIR/insightd-crash.log"
 mkdir -p "$WAL_DIR"
 
 spawn_walled() {
+  # --shards 1 pins the legacy single-lock layout regardless of core count.
   ./target/release/insightd --addr 127.0.0.1:0 --snapshot "$CRASH_SNAPSHOT" \
-    --wal-dir "$WAL_DIR" --sync batch >"$CRASH_LOG" 2>&1 &
+    --wal-dir "$WAL_DIR" --sync batch --shards 1 >"$CRASH_LOG" 2>&1 &
   SERVER_PID=$!
   ADDR=""
   for _ in $(seq 1 100); do
@@ -150,6 +153,76 @@ SERVER_PID=""
 for needle in 'survives kill dash nine' 'also survives' 'written after recovery'; do
   grep -q "$needle" "$CRASH_SNAPSHOT" || {
     echo "crash smoke: acked annotation '$needle' missing from recovered state"; exit 1;
+  }
+done
+
+echo "==> insightd sharded crash-recovery smoke test (--shards 4)"
+# Same kill -9 round-trip on the shard-per-core layout: acked writes are
+# spread across four shard WAL segments, the restart must replay every
+# segment and report per-shard recovery, and the graceful shutdown must
+# write one snapshot per shard.
+SHARD_WAL_DIR="$SMOKE_DIR/wal-sharded"
+SHARD_SNAPSHOT="$SMOKE_DIR/sharded.indb"
+SHARD_LOG="$SMOKE_DIR/insightd-sharded.log"
+mkdir -p "$SHARD_WAL_DIR"
+
+spawn_sharded() {
+  ./target/release/insightd --addr 127.0.0.1:0 --snapshot "$SHARD_SNAPSHOT" \
+    --wal-dir "$SHARD_WAL_DIR" --sync batch --shards 4 >"$SHARD_LOG" 2>&1 &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^insightd listening on //p' "$SHARD_LOG" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SHARD_LOG"; echo "insightd exited early"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$ADDR" ]] || { cat "$SHARD_LOG"; echo "insightd never reported its address"; exit 1; }
+}
+
+spawn_sharded
+./target/release/insight-cli --addr "$ADDR" \
+  "CREATE TABLE birds (id INT, name TEXT)" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose'), (2, 'Whooper Swan'), (3, 'Mute Swan'), \
+   (4, 'Trumpeter Swan'), (5, 'Tundra Swan'), (6, 'Black Swan')" >/dev/null
+SHARD_BATCH="$(./target/release/insight-cli --addr "$ADDR" --batch \
+  "ADD ANNOTATION 'sharded survivor one' AUTHOR 'check' ON birds WHERE id = 1" \
+  "ADD ANNOTATION 'sharded survivor two' AUTHOR 'check' ON birds WHERE id = 2" \
+  "ADD ANNOTATION 'sharded survivor three' AUTHOR 'check' ON birds WHERE id = 3" \
+  "ADD ANNOTATION 'sharded survivor four' AUTHOR 'check' ON birds WHERE id = 4" \
+  "ADD ANNOTATION 'sharded survivor five' AUTHOR 'check' ON birds WHERE id = 5" \
+  "ADD ANNOTATION 'sharded survivor six' AUTHOR 'check' ON birds WHERE id = 6")"
+[[ "$(grep -c 'attached to 1 row' <<<"$SHARD_BATCH")" -eq 6 ]] || {
+  echo "sharded smoke: batch was not fully acknowledged"; exit 1;
+}
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+[[ -s "$SHARD_WAL_DIR/MANIFEST" ]] || { echo "sharded smoke: no shard manifest"; exit 1; }
+for k in 0 1 2 3; do
+  [[ -d "$SHARD_WAL_DIR/shard-$k" ]] || { echo "sharded smoke: missing WAL segment dir shard-$k"; exit 1; }
+done
+
+spawn_sharded
+grep -q 'recovery: shard 0:' "$SHARD_LOG" || { cat "$SHARD_LOG"; echo "sharded smoke: no per-shard recovery report"; exit 1; }
+grep -q 'across 4 shard(s)' "$SHARD_LOG" || { cat "$SHARD_LOG"; echo "sharded smoke: no shard-count summary"; exit 1; }
+POST_OUT="$(./target/release/insight-cli --addr "$ADDR" \
+  "ADD ANNOTATION 'sharded after recovery' AUTHOR 'check' ON birds WHERE id = 4")"
+grep -q 'attached to 1 row' <<<"$POST_OUT" || {
+  echo "sharded smoke: write after recovery failed"; exit 1;
+}
+./target/release/insight-cli --addr "$ADDR" ".shutdown"
+wait "$SERVER_PID"
+SERVER_PID=""
+for k in 0 1 2 3; do
+  [[ -s "$SHARD_SNAPSHOT.shard$k" ]] || { cat "$SHARD_LOG"; echo "sharded smoke: missing shard snapshot .shard$k"; exit 1; }
+done
+for needle in 'sharded survivor one' 'sharded survivor two' 'sharded survivor three' \
+              'sharded survivor four' 'sharded survivor five' 'sharded survivor six' \
+              'sharded after recovery'; do
+  grep -q "$needle" "$SHARD_SNAPSHOT".shard* || {
+    echo "sharded smoke: acked annotation '$needle' missing from recovered state"; exit 1;
   }
 done
 

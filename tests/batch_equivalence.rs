@@ -15,9 +15,10 @@
 
 use insightnotes::annotations::{AnnotationBody, ColSig};
 use insightnotes::common::{ColumnId, RowId};
+use insightnotes::engine::db::SqlStatement;
 use insightnotes::engine::persist::snapshot;
 use insightnotes::engine::ExecOutcome;
-use insightnotes::engine::{Database, DbConfig, RowAnnotation};
+use insightnotes::engine::{Database, DbConfig, RowAnnotation, ShardedDatabase};
 use insightnotes::sql::parse_one;
 use insightnotes::summaries::{MaintenanceMode, MaintenanceStats};
 use proptest::prelude::*;
@@ -35,14 +36,7 @@ const AUTHORS: &[&str] = &["ada", "brahe", "curie"];
 
 const NUM_ROWS: usize = 5;
 
-fn fresh_db(mode: MaintenanceMode) -> Database {
-    let mut db = Database::with_config(DbConfig {
-        maintenance: mode,
-        ..DbConfig::default()
-    })
-    .unwrap();
-    db.execute_sql(
-        "CREATE TABLE t (p INT, q TEXT, r FLOAT);
+const SETUP_SQL: &str = "CREATE TABLE t (p INT, q TEXT, r FLOAT);
          INSERT INTO t VALUES (1, 'one', 1.0), (2, 'two', 2.0), (3, 'three', 3.0),
                               (4, 'four', 4.0), (5, 'five', 5.0);
          CREATE SUMMARY INSTANCE C TYPE CLASSIFIER
@@ -55,9 +49,15 @@ fn fresh_db(mode: MaintenanceMode) -> Database {
          CREATE SUMMARY INSTANCE S TYPE SNIPPET MIN_SOURCE 60;
          LINK SUMMARY C TO t;
          LINK SUMMARY K TO t;
-         LINK SUMMARY S TO t;",
-    )
+         LINK SUMMARY S TO t;";
+
+fn fresh_db(mode: MaintenanceMode) -> Database {
+    let mut db = Database::with_config(DbConfig {
+        maintenance: mode,
+        ..DbConfig::default()
+    })
     .unwrap();
+    db.execute_sql(SETUP_SQL).unwrap();
     db
 }
 
@@ -320,6 +320,164 @@ proptest! {
             snapshot_bytes(&serial),
             "logical clocks diverged"
         );
+    }
+}
+
+// -- sharded path ---------------------------------------------------------
+
+fn fresh_sharded(shards: usize) -> ShardedDatabase {
+    let db = ShardedDatabase::create(DbConfig::default(), shards).unwrap();
+    db.execute_sql(SETUP_SQL).unwrap();
+    db
+}
+
+/// The canonical per-row logical state: every stored annotation (id,
+/// `created` tick, body, column signature) and every summary object,
+/// each read from the row's *owner* shard and rendered semantically.
+/// Ids and ticks pin the router's stamp allocation against serial
+/// staging's; the rendered objects pin the summaries. (Registry
+/// *bytes* can legitimately differ across shard counts — interning
+/// orders diverge — which is exactly why this digest, not the
+/// snapshot, is the cross-shard comparator; at `shards == 1` the
+/// snapshot-byte check below still applies.)
+fn logical_digest(db: &ShardedDatabase) -> Vec<String> {
+    let t = db.shard(0).read().catalog().table_id("t").unwrap();
+    let mut out = Vec::new();
+    for rid in 1..=NUM_ROWS as u64 {
+        let row = RowId::new(rid);
+        let guard = db.shard(db.owner(t, row)).read();
+        for &(aid, sig) in guard.store().on_row(t, row) {
+            let a = guard.store().get(aid).unwrap();
+            out.push(format!(
+                "r{rid} a{} t{} '{}' by {} cols {sig}",
+                aid.raw(),
+                a.body.created,
+                a.body.text,
+                a.body.author
+            ));
+        }
+        for (inst, obj) in guard.registry().objects_on(t, row) {
+            out.push(format!("r{rid} {inst} {obj}"));
+        }
+    }
+    out
+}
+
+fn item_stmt(item: &Item) -> SqlStatement {
+    let sql = sql_of(item);
+    SqlStatement {
+        stmt: parse_one(&sql).expect("generated SQL parses"),
+        sql,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sharded SQL batch path against one-at-a-time serial replay on
+    /// an unsharded database, at one shard (router collapsed — snapshot
+    /// bytes must match too) and at four (hash-routed, logical digest).
+    /// Per item: identical success/failure, identical error text,
+    /// identical annotation id.
+    #[test]
+    fn sharded_batch_matches_serial_replay(
+        items in prop::collection::vec(item_strategy(), 1..30),
+    ) {
+        for shards in [1usize, 4] {
+            let sharded = fresh_sharded(shards);
+            let mut serial = fresh_db(MaintenanceMode::Incremental);
+
+            let stmts: Vec<SqlStatement> = items.iter().map(item_stmt).collect();
+            let batch_results = sharded.annotate_batch_sql(stmts);
+            prop_assert_eq!(batch_results.len(), items.len());
+            for (i, item) in items.iter().enumerate() {
+                let batch = batch_results[i]
+                    .as_ref()
+                    .map(|o| match o {
+                        ExecOutcome::Annotated { annotation, .. } => annotation.raw(),
+                        other => panic!("unexpected outcome {other:?}"),
+                    })
+                    .map_err(ToString::to_string);
+                match item {
+                    Item::NotAnnotation => prop_assert!(
+                        batch.is_err(),
+                        "item {}: non-annotation accepted by sharded batch", i
+                    ),
+                    other => {
+                        let serial_res = serial
+                            .execute_sql(&sql_of(other))
+                            .map(|outcomes| match &outcomes[..] {
+                                [ExecOutcome::Annotated { annotation, .. }] => annotation.raw(),
+                                o => panic!("expected one Annotated outcome, got {o:?}"),
+                            })
+                            .map_err(|e| e.to_string());
+                        prop_assert_eq!(
+                            batch, serial_res,
+                            "item {} diverged at {} shard(s) ({:?})", i, shards, item
+                        );
+                    }
+                }
+            }
+
+            // Clock probe through the sharded router's execute path: a
+            // tick skew from the batch surfaces in this `created` stamp.
+            sharded
+                .execute_sql("ADD ANNOTATION 'clock probe' AUTHOR 'probe' ON t WHERE p = 1")
+                .unwrap();
+            serial
+                .execute_sql("ADD ANNOTATION 'clock probe' AUTHOR 'probe' ON t WHERE p = 1")
+                .unwrap();
+
+            if shards == 1 {
+                let g = sharded.shard(0).read();
+                prop_assert_eq!(
+                    snapshot(g.catalog(), g.store(), g.registry()),
+                    snapshot_bytes(&serial),
+                    "single-shard snapshot bytes diverged from serial"
+                );
+            }
+            let serial_facade: ShardedDatabase = serial.into();
+            prop_assert_eq!(
+                logical_digest(&sharded),
+                logical_digest(&serial_facade),
+                "logical state diverged at {} shard(s)", shards
+            );
+        }
+    }
+
+    /// The sharded typed batch path (`annotate_rows_batch`) against
+    /// serial typed ingestion, same shard counts and digest.
+    #[test]
+    fn sharded_typed_batch_matches_serial_replay(
+        items in prop::collection::vec(typed_strategy(), 1..30),
+    ) {
+        for shards in [1usize, 4] {
+            let sharded = fresh_sharded(shards);
+            let mut serial = fresh_db(MaintenanceMode::Incremental);
+            let ids = sharded.annotate_rows_batch(items.iter().map(row_annotation).collect());
+            prop_assert_eq!(ids.len(), items.len());
+            for (i, item) in items.iter().enumerate() {
+                let ra = row_annotation(item);
+                let serial_id = serial.annotate_rows(&ra.table, &ra.rows, ra.cols, ra.body);
+                match (&ids[i], serial_id) {
+                    (Ok(b), Ok(s)) => prop_assert_eq!(
+                        *b, s, "item {} got a different id at {} shard(s)", i, shards
+                    ),
+                    (Err(b), Err(s)) => prop_assert_eq!(
+                        b.to_string(),
+                        s.to_string(),
+                        "item {} failed differently at {} shard(s)", i, shards
+                    ),
+                    (b, s) => panic!("item {i}: sharded {b:?} vs serial {s:?}"),
+                }
+            }
+            let serial_facade: ShardedDatabase = serial.into();
+            prop_assert_eq!(
+                logical_digest(&sharded),
+                logical_digest(&serial_facade),
+                "logical state diverged at {} shard(s)", shards
+            );
+        }
     }
 }
 

@@ -122,6 +122,7 @@ fn concurrent_batch_writers_match_serial_replay() {
         writers: WRITERS,
         annotations_per_writer: 24,
         num_birds: 60,
+        ..IngestConfig::default()
     });
     let reference = fingerprint(&serial_replay(&script));
 
@@ -204,6 +205,7 @@ fn graceful_shutdown_mid_queue_loses_no_reply() {
         writers: 6,
         annotations_per_writer: 1600,
         num_birds: 40,
+        ..IngestConfig::default()
     });
 
     let (server, handle) = boot();

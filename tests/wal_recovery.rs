@@ -17,9 +17,11 @@
 //! truncated snapshot files must fail with a classified error, and
 //! stale `.indb.tmp` files from a crashed save must be swept.
 
+use insightnotes::common::RowId;
 use insightnotes::engine::persist::snapshot;
+use insightnotes::engine::shard::{shard_snapshot_path, MANIFEST_FILE};
 use insightnotes::engine::wal::{SyncPolicy, Wal};
-use insightnotes::engine::{Database, DbConfig};
+use insightnotes::engine::{Database, DbConfig, ShardedDatabase};
 use insightnotes::sql::parse_one;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
@@ -457,6 +459,256 @@ fn crash_helper_checkpoint() {
     }
     db.wal_sync().unwrap();
     let _ = db.checkpoint(dir.join("db.indb")); // aborts at the crash point
+}
+
+// -- sharded layout: per-shard WAL segments, manifest, recovery -----------
+
+const SHARD_COUNT: usize = 4;
+const SHARD_ROWS: u64 = 12;
+
+/// Widens `t` to twelve rows so the single-row ingest statements below
+/// land records on several of the four shards.
+fn sharded_setup(db: &ShardedDatabase) {
+    db.execute_sql(SCHEMA).unwrap();
+    let extra: Vec<String> = (4..=SHARD_ROWS)
+        .map(|r| format!("({r}, 'row{r}')"))
+        .collect();
+    db.execute_sql(&format!("INSERT INTO t VALUES {}", extra.join(", ")))
+        .unwrap();
+}
+
+/// One single-row annotation per row — each touches exactly one shard's
+/// lock and WAL segment.
+fn sharded_statements() -> Vec<String> {
+    (1..=SHARD_ROWS)
+        .map(|r| {
+            format!(
+                "ADD ANNOTATION 'eating stonewort near shore {r}' AUTHOR 'ada' \
+                 ON t WHERE p = {r}"
+            )
+        })
+        .collect()
+}
+
+/// Full sharded replay: each shard's recovered state is byte-identical
+/// to its pre-crash state, and the whole is logically identical to a
+/// serial, unsharded replay of the same statement stream — same
+/// annotation ids, same `created` ticks, same bodies, row by row.
+#[test]
+fn sharded_recovery_replays_each_shard_byte_identically() {
+    let dir = scratch("sharded-replay");
+    let stmts = sharded_statements();
+    let pre: Vec<Vec<u8>>;
+    {
+        let db = ShardedDatabase::create(wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT).unwrap();
+        sharded_setup(&db);
+        for sql in &stmts {
+            db.execute_sql(sql).unwrap();
+        }
+        db.wal_sync_all().unwrap();
+        pre = (0..SHARD_COUNT)
+            .map(|k| state_bytes(&db.shard(k).read()))
+            .collect();
+        // Dropped without checkpoint: the shard WALs are all there is.
+    }
+    let (db, report) =
+        ShardedDatabase::recover(None, wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT).unwrap();
+    assert_eq!(report.shards.len(), SHARD_COUNT);
+    assert!(report.records_replayed() >= stmts.len());
+    for (k, s) in report.shards.iter().enumerate() {
+        assert_eq!(s.report.bytes_truncated, 0, "shard {k} saw torn bytes");
+    }
+    for (k, bytes) in pre.iter().enumerate() {
+        assert_eq!(
+            &state_bytes(&db.shard(k).read()),
+            bytes,
+            "shard {k} replay diverged from its pre-crash state"
+        );
+    }
+
+    let mut serial = Database::new();
+    serial.execute_sql(SCHEMA).unwrap();
+    let extra: Vec<String> = (4..=SHARD_ROWS)
+        .map(|r| format!("({r}, 'row{r}')"))
+        .collect();
+    serial
+        .execute_sql(&format!("INSERT INTO t VALUES {}", extra.join(", ")))
+        .unwrap();
+    for sql in &stmts {
+        serial.execute_sql(sql).unwrap();
+    }
+    assert_eq!(db.annotation_count(), serial.store().stats().count);
+    let t = serial.catalog().table_id("t").unwrap();
+    for r in 1..=SHARD_ROWS {
+        let row = RowId::new(r);
+        let guard = db.shard(db.owner(t, row)).read();
+        let digest = |db: &Database| -> Vec<(u64, u64, String)> {
+            db.store()
+                .on_row(t, row)
+                .iter()
+                .map(|&(aid, _)| {
+                    let a = db.store().get(aid).unwrap();
+                    (aid.raw(), a.body.created, a.body.text.clone())
+                })
+                .collect()
+        };
+        assert_eq!(
+            digest(&guard),
+            digest(&serial),
+            "row {r} diverged from serial"
+        );
+    }
+}
+
+/// The kill-9 shape the per-shard fsync pipelines make possible: some
+/// shard WALs carry the final group's frame, one doesn't (its tail is
+/// torn mid-frame). Recovery must keep every record on the intact
+/// shards and lose exactly the victim's torn tail — independent
+/// segments, independent prefixes.
+#[test]
+fn torn_tail_on_one_shard_loses_only_that_shards_records() {
+    let dir = scratch("sharded-torn-tail");
+    let stmts = sharded_statements();
+    let mut marks: Vec<Vec<u64>> = vec![Vec::new(); SHARD_COUNT];
+    let mut owners = Vec::new();
+    {
+        let db =
+            ShardedDatabase::create(wal_config(&dir, SyncPolicy::Always), SHARD_COUNT).unwrap();
+        sharded_setup(&db);
+        let t = db.shard(0).read().catalog().table_id("t").unwrap();
+        for (i, sql) in stmts.iter().enumerate() {
+            db.execute_sql(sql).unwrap();
+            owners.push(db.owner(t, RowId::new(i as u64 + 1)));
+            for (k, shard_marks) in marks.iter_mut().enumerate() {
+                shard_marks.push(db.shard(k).read().wal_len().unwrap());
+            }
+        }
+    }
+    // Tear the final statement's frame on its owner shard: cut inside
+    // the record, past the previous record boundary.
+    let victim = *owners.last().unwrap();
+    let victim_wal = Wal::path_in(&dir.join(format!("shard-{victim}")));
+    let bytes = std::fs::read(&victim_wal).unwrap();
+    let boundary = marks[victim][stmts.len() - 2];
+    let cut = boundary + (bytes.len() as u64 - boundary) / 2;
+    assert!(
+        cut > boundary && cut < bytes.len() as u64,
+        "tear must be mid-frame"
+    );
+    std::fs::write(&victim_wal, &bytes[..cut as usize]).unwrap();
+
+    let (db, report) =
+        ShardedDatabase::recover(None, wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT).unwrap();
+    assert!(
+        report.shards[victim].report.bytes_truncated > 0,
+        "victim shard should report the torn tail"
+    );
+    for (k, s) in report.shards.iter().enumerate() {
+        if k != victim {
+            assert_eq!(s.report.bytes_truncated, 0, "intact shard {k} lost bytes");
+        }
+    }
+    let t = db.shard(0).read().catalog().table_id("t").unwrap();
+    for (i, owner) in owners.iter().enumerate() {
+        let row = RowId::new(i as u64 + 1);
+        let guard = db.shard(db.owner(t, row)).read();
+        let present = !guard.store().on_row(t, row).is_empty();
+        let lost = *owner == victim && marks[victim][i] > boundary;
+        assert_eq!(
+            present, !lost,
+            "statement {i} (owner shard {owner}, victim {victim})"
+        );
+    }
+}
+
+/// Shard-count changes and layout mixups are detected, classified
+/// errors — never silent corruption.
+#[test]
+fn shard_count_changes_and_layout_mixups_are_classified_errors() {
+    let dir = scratch("sharded-layout");
+    {
+        let db = ShardedDatabase::create(wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT).unwrap();
+        sharded_setup(&db);
+        db.wal_sync_all().unwrap();
+    }
+    // Recover with a different shard count.
+    let err = ShardedDatabase::recover(None, wal_config(&dir, SyncPolicy::Batch), 2)
+        .expect_err("shard-count change accepted");
+    assert!(err.to_string().contains("migration"), "{err}");
+    // Recover unsharded against a sharded layout.
+    let err = ShardedDatabase::recover(None, wal_config(&dir, SyncPolicy::Batch), 1)
+        .expect_err("sharded layout opened unsharded");
+    assert!(err.to_string().contains("manifest"), "{err}");
+    // Shard segments present but the manifest is gone.
+    std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+    let err = ShardedDatabase::recover(None, wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT)
+        .expect_err("manifest-less shard segments accepted");
+    assert!(err.to_string().contains("manifest"), "{err}");
+
+    // An unsharded snapshot fed to a sharded recover.
+    let dir2 = scratch("sharded-layout-snap");
+    let snap = dir2.join("db.indb");
+    let mut plain = Database::new();
+    plain.execute_sql(SCHEMA).unwrap();
+    plain.save(&snap).unwrap();
+    let err = ShardedDatabase::recover(
+        Some(&snap),
+        wal_config(&dir2, SyncPolicy::Batch),
+        SHARD_COUNT,
+    )
+    .expect_err("unsharded snapshot accepted by sharded recover");
+    assert!(err.to_string().contains("unsharded"), "{err}");
+}
+
+/// Per-shard checkpoints write `<path>.shard<k>` snapshots, bump each
+/// shard's epoch, rotate each segment, and record the epoch vector in
+/// the manifest; recovery stacks each shard's WAL tail on top of its
+/// own snapshot.
+#[test]
+fn sharded_checkpoint_then_tail_replay_recovers_with_epochs() {
+    let dir = scratch("sharded-ckpt");
+    let snap = dir.join("db.indb");
+    let stmts = sharded_statements();
+    let pre: Vec<Vec<u8>>;
+    {
+        let db = ShardedDatabase::create(wal_config(&dir, SyncPolicy::Batch), SHARD_COUNT).unwrap();
+        sharded_setup(&db);
+        for sql in &stmts[..6] {
+            db.execute_sql(sql).unwrap();
+        }
+        db.checkpoint(&snap).unwrap();
+        for sql in &stmts[6..] {
+            db.execute_sql(sql).unwrap();
+        }
+        db.wal_sync_all().unwrap();
+        pre = (0..SHARD_COUNT)
+            .map(|k| state_bytes(&db.shard(k).read()))
+            .collect();
+    }
+    assert!(!snap.exists(), "no unsharded snapshot file at shards > 1");
+    for k in 0..SHARD_COUNT {
+        assert!(
+            shard_snapshot_path(&snap, k).exists(),
+            "shard {k} snapshot missing"
+        );
+    }
+    let (db, report) = ShardedDatabase::recover(
+        Some(&snap),
+        wal_config(&dir, SyncPolicy::Batch),
+        SHARD_COUNT,
+    )
+    .unwrap();
+    for (k, s) in report.shards.iter().enumerate() {
+        assert_eq!(s.epoch, 1, "shard {k} epoch");
+        assert!(s.report.snapshot_loaded, "shard {k} snapshot not loaded");
+    }
+    for (k, bytes) in pre.iter().enumerate() {
+        assert_eq!(
+            &state_bytes(&db.shard(k).read()),
+            bytes,
+            "shard {k} diverged after checkpointed recovery"
+        );
+    }
 }
 
 // -- checkpoint epochs and stale logs -------------------------------------
