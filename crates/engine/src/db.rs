@@ -1310,17 +1310,37 @@ impl Database {
 
     /// Stages one pre-stamped annotation: advances the clock to the
     /// router-allocated tick, then stores under the router-allocated id.
+    ///
+    /// Target rows are re-validated against the (replicated) table:
+    /// the router resolved them under shard read guards that were
+    /// dropped before this shard's write lock was taken, so a
+    /// replicated `DELETE FROM` broadcast may have removed rows in
+    /// between — attaching to them would fabricate a state no serial
+    /// schedule produces. Vanished rows are skipped; an annotation
+    /// whose every target vanished fails (tick consumed, nothing
+    /// stored), matching the serial schedule in which the delete
+    /// committed first. The filter reads only this shard's own state,
+    /// so WAL replay of the stamped record re-derives the identical
+    /// target set.
     fn stage_stamped(&mut self, s: StampedRowAnnotation) -> Result<(AnnotationId, usize)> {
         let tid = self.catalog.table_id(&s.item.table)?;
         self.clock.advance_to(s.tick);
         let mut body = s.item.body;
         body.created = s.tick;
+        let table = self.catalog.table(tid)?;
         let targets: Vec<Target> = s
             .item
             .rows
             .iter()
+            .filter(|&&r| table.get(r).is_some())
             .map(|&r| Target::new(tid, r, s.item.cols))
             .collect();
+        if targets.is_empty() && !s.item.rows.is_empty() {
+            return Err(Error::Annotation(format!(
+                "annotation {} targets only rows deleted before it committed",
+                s.id
+            )));
+        }
         let n = targets.len();
         let id = self.store.add_at(AnnotationId::new(s.id), body, targets)?;
         Ok((id, n))

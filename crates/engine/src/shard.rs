@@ -18,6 +18,13 @@
 //!   A multi-row annotation is stored whole (full target list, same id
 //!   and tick) on every shard owning at least one of its rows; reads
 //!   always route a row to its owner, so the replicas never conflict.
+//!   If one owner fails after another already committed, the committed
+//!   owners get a best-effort compensating delete
+//!   ([`ShardedDatabase::compensate_partial`]) so the reported failure
+//!   converges back to "not written". `DELETE ANNOTATION` likewise
+//!   routes to the id's owner shards — never broadcast, since
+//!   non-owners don't hold the id and a broadcast would fork the
+//!   replicas' statement streams.
 //! - **Lock ordering.** Replicated writes (DDL, INSERT, DELETE)
 //!   broadcast to all shards in fixed order `0..N` under one broadcast
 //!   mutex; sessions that prepare annotations take all shard read locks
@@ -26,8 +33,10 @@
 //!   no deadlock.
 //! - **Durability.** Each shard keeps its own WAL segment under
 //!   `wal/shard-<k>/` and checkpoints its own snapshot (`<path>.shard<k>`)
-//!   with its own epoch. A manifest in the WAL base directory records
-//!   the shard count and epoch vector; recovering with a different shard
+//!   with its own epoch. A manifest in the WAL base directory — and a
+//!   sibling `<path>.manifest` next to every sharded snapshot set, for
+//!   snapshot-only deployments with no WAL directory — records the
+//!   shard count and epoch vector; recovering with a different shard
 //!   count (or against an unsharded layout) is a detected, classified
 //!   error — never silent corruption.
 //!
@@ -249,6 +258,15 @@ impl ShardedDatabase {
                     )));
                 }
             }
+            if let Some(path) = snapshot {
+                if let Some((recorded, _)) = read_manifest_file(&snapshot_manifest_path(path))? {
+                    return Err(Error::Execution(format!(
+                        "snapshot {} is a sharded snapshot set ({recorded} shard(s) per \
+                         its manifest); recover with the shard count the manifest records",
+                        path.display()
+                    )));
+                }
+            }
             let (db, report) = Database::recover(snapshot, config)?;
             let epoch = db.epoch();
             return Ok((
@@ -265,6 +283,35 @@ impl ShardedDatabase {
                      shards = 1 (shard-count changes require an explicit migration)",
                     path.display()
                 )));
+            }
+            match read_manifest_file(&snapshot_manifest_path(path))? {
+                Some((recorded, _)) if recorded != n => {
+                    return Err(Error::Execution(format!(
+                        "snapshot manifest {} records {recorded} shard(s) but {n} were \
+                         configured; shard-count changes require an explicit migration",
+                        snapshot_manifest_path(path).display()
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    // In snapshot-only mode the sibling manifest is the
+                    // only witness of the set's shard count; shard files
+                    // without it mean the set is incomplete (crash
+                    // mid-checkpoint) or pre-dates manifests, and
+                    // loading a guessed subset would silently drop the
+                    // other shards' data. With a WAL directory its
+                    // manifest stays authoritative, and a crash between
+                    // per-shard checkpoints legitimately leaves shard
+                    // files newer than the sibling manifest.
+                    if config.wal_dir.is_none() && shard_snapshots_present(path)? {
+                        return Err(Error::Execution(format!(
+                            "shard snapshot files exist next to {} but its snapshot \
+                             manifest is missing; the snapshot set is incomplete or \
+                             mid-migration",
+                            path.display()
+                        )));
+                    }
+                }
             }
         }
         if let Some(base) = &config.wal_dir {
@@ -326,16 +373,21 @@ impl ShardedDatabase {
     /// Parses and executes a script. Routing at `shards > 1`:
     ///
     /// - all Read-class → per-statement fan-out read path;
-    /// - writes, none of them `ADD ANNOTATION` → the whole script
-    ///   broadcasts to every shard in fixed order under the broadcast
-    ///   mutex (every shard executes it, shard 0's outcomes are
-    ///   returned — replicas apply the identical statement stream even
-    ///   when a statement fails);
-    /// - all writes are `ADD ANNOTATION` → each resolves, stamps, and
-    ///   applies to its owner shards in order, stopping at the first
+    /// - writes, none of them touching the *partitioned* annotation
+    ///   store → the whole script broadcasts to every shard in fixed
+    ///   order under the broadcast mutex (every shard executes it,
+    ///   shard 0's outcomes are returned — replicas apply the identical
+    ///   statement stream even when a statement fails);
+    /// - all statements `ADD ANNOTATION` / `DELETE ANNOTATION` → each
+    ///   routes to its owner shards in order, stopping at the first
     ///   failure exactly as serial execution would;
-    /// - a mix of `ADD ANNOTATION` and other writes → a classified
-    ///   error (the two routes cannot interleave deterministically).
+    /// - a mix of partitioned-store statements and replicated writes →
+    ///   a classified error. The two routes cannot interleave: a
+    ///   partitioned statement succeeds only on the shards that own its
+    ///   rows, so broadcasting it would fail on the others, and
+    ///   [`Database::execute_sql`]'s stop-at-first-failure would then
+    ///   apply the rest of the script to a different set of shards —
+    ///   permanently forking the replicated state.
     pub fn execute_sql(&self, sql: &str) -> Result<Vec<ExecOutcome>> {
         if self.router.is_none() {
             return self.shards[0].write().execute_sql(sql);
@@ -344,24 +396,36 @@ impl ShardedDatabase {
         if stmts.iter().all(|s| s.class() == StatementClass::Read) {
             return stmts.into_iter().map(|s| self.execute_read(s)).collect();
         }
-        let annotations = stmts
+        let partitioned = stmts
             .iter()
-            .filter(|s| matches!(s, Statement::AddAnnotation { .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Statement::AddAnnotation { .. } | Statement::DeleteAnnotation { .. }
+                )
+            })
             .count();
-        if annotations == 0 {
+        if partitioned == 0 {
             return self.broadcast_script(sql);
         }
-        if annotations != stmts.len() {
+        if partitioned != stmts.len() {
             return Err(Error::Execution(
-                "sharded execution cannot mix ADD ANNOTATION with other statements \
-                 in one script; submit annotations separately"
+                "sharded execution cannot mix ADD ANNOTATION / DELETE ANNOTATION with \
+                 other statements in one script; submit annotation writes separately"
                     .into(),
             ));
         }
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
-            let routed = self.prepare_one(stmt)?;
-            out.push(self.apply_one(&routed)?);
+            match stmt {
+                Statement::DeleteAnnotation { id } => {
+                    out.push(self.delete_annotation(AnnotationId::new(*id))?);
+                }
+                _ => {
+                    let routed = self.prepare_one(stmt)?;
+                    out.push(self.apply_one(&routed)?);
+                }
+            }
         }
         Ok(out)
     }
@@ -472,18 +536,38 @@ impl ShardedDatabase {
         })
     }
 
-    /// Applies one prepared annotation to each owner shard in ascending
-    /// order. Every owner is attempted (replica convergence before
-    /// error reporting); any failure is the returned result.
-    fn apply_one(&self, routed: &RoutedAnnotation) -> Result<ExecOutcome> {
+    /// Deletes one annotation through the router. The annotation store
+    /// is *partitioned*, so the id lives only on its owner shards; the
+    /// deletion routes to the shards actually holding a replica rather
+    /// than broadcasting (a non-owner would fail with "unknown
+    /// annotation" while the owners deleted — forking both the client's
+    /// view of the outcome and, inside a script, the replicated
+    /// statement stream). Owners are discovered under the read guards,
+    /// which are dropped before any write lock — the same prepare/apply
+    /// split every annotation write follows. Every owner is attempted;
+    /// the first owner's outcome is returned (each owner stores the
+    /// full target list, so summing `rows_refreshed` would
+    /// double-count), or any owner's failure.
+    pub fn delete_annotation(&self, id: AnnotationId) -> Result<ExecOutcome> {
+        if self.router.is_none() {
+            return self.shards[0].write().delete_annotation(id);
+        }
+        let owners: Vec<usize> = {
+            let guards = self.read_all();
+            guards
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.store().get(id).is_ok())
+                .map(|(k, _)| k)
+                .collect()
+        };
+        if owners.is_empty() {
+            return Err(Error::Annotation(format!("unknown annotation {id}")));
+        }
         let mut first: Option<ExecOutcome> = None;
         let mut failure: Option<Error> = None;
-        for &k in &routed.shards {
-            let res = self.shards[k]
-                .write()
-                .annotate_rows_batch_stamped(vec![routed.stamped.clone()])
-                .pop()
-                .expect("one result per item");
+        for &k in &owners {
+            let res = self.shards[k].write().delete_annotation(id);
             match res {
                 Ok(outcome) => {
                     if first.is_none() {
@@ -495,6 +579,56 @@ impl ShardedDatabase {
         }
         match failure {
             Some(e) => Err(e),
+            None => Ok(first.expect("at least one owner shard")),
+        }
+    }
+
+    /// Best-effort repair of a partially committed multi-owner
+    /// annotation: deletes the replica from the owner shards that had
+    /// already stored it after another owner failed, so the failure the
+    /// client sees converges back to "not written" instead of leaving
+    /// the annotation attached to some of its rows and missing from
+    /// others. Each compensating delete is WAL-logged and synced on its
+    /// shard like any other write. Best-effort by construction: if a
+    /// compensating delete itself fails (or the process dies first),
+    /// the surviving replicas resurface on recovery — the residual
+    /// partial-commit window DESIGN.md §12 documents.
+    pub fn compensate_partial(&self, id: AnnotationId, shards: &[usize]) {
+        for &k in shards {
+            let _ = self.shards[k].write().delete_annotation(id);
+            let _ = self.shards[k].read().wal_sync();
+        }
+    }
+
+    /// Applies one prepared annotation to each owner shard in ascending
+    /// order. Every owner is attempted (replica convergence before
+    /// error reporting); any failure is the returned result, after the
+    /// owners that had already stored the replica are compensated.
+    fn apply_one(&self, routed: &RoutedAnnotation) -> Result<ExecOutcome> {
+        let mut first: Option<ExecOutcome> = None;
+        let mut failure: Option<Error> = None;
+        let mut ok_shards: Vec<usize> = Vec::new();
+        for &k in &routed.shards {
+            let res = self.shards[k]
+                .write()
+                .annotate_rows_batch_stamped(vec![routed.stamped.clone()])
+                .pop()
+                .expect("one result per item");
+            match res {
+                Ok(outcome) => {
+                    ok_shards.push(k);
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => {
+                self.compensate_partial(AnnotationId::new(routed.stamped.id), &ok_shards);
+                Err(e)
+            }
             None => Ok(first.expect("at least one owner shard")),
         }
     }
@@ -612,18 +746,23 @@ impl ShardedDatabase {
     /// executes each shard's slice as one stamped batch under that
     /// shard's write lock (one WAL record, one amortized maintenance
     /// pass per shard). Multi-owner items report their first shard's
-    /// outcome, or any shard's failure.
+    /// outcome, or any shard's failure — after the owners that did
+    /// store the replica are given a best-effort compensating delete
+    /// ([`ShardedDatabase::compensate_partial`]).
     pub fn apply_prepared(
         &self,
         prepared: Vec<Result<RoutedAnnotation>>,
     ) -> Vec<Result<ExecOutcome>> {
         let mut results: Vec<Option<Result<ExecOutcome>>> = Vec::new();
         results.resize_with(prepared.len(), || None);
+        let mut ids: Vec<Option<AnnotationId>> = vec![None; results.len()];
+        let mut ok_shards: Vec<Vec<usize>> = vec![Vec::new(); results.len()];
         let mut per_shard: BTreeMap<usize, Vec<(usize, StampedRowAnnotation)>> = BTreeMap::new();
         for (i, p) in prepared.into_iter().enumerate() {
             match p {
                 Err(e) => results[i] = Some(Err(e)),
                 Ok(routed) => {
+                    ids[i] = Some(AnnotationId::new(routed.stamped.id));
                     for &k in &routed.shards {
                         per_shard
                             .entry(k)
@@ -638,11 +777,23 @@ impl ShardedDatabase {
             let batch: Vec<StampedRowAnnotation> = items.into_iter().map(|(_, s)| s).collect();
             let shard_results = self.shards[k].write().annotate_rows_batch_stamped(batch);
             for (i, res) in indices.into_iter().zip(shard_results) {
+                if res.is_ok() {
+                    ok_shards[i].push(k);
+                }
                 let keep_existing = matches!(results[i], Some(Err(_)));
                 match res {
                     Err(e) if !keep_existing => results[i] = Some(Err(e)),
                     Ok(outcome) if results[i].is_none() => results[i] = Some(Ok(outcome)),
                     _ => {}
+                }
+            }
+        }
+        // A multi-owner item that failed on one owner but stored on
+        // another is repaired before its error is reported.
+        for (i, result) in results.iter().enumerate() {
+            if matches!(result, Some(Err(_))) && !ok_shards[i].is_empty() {
+                if let Some(id) = ids[i] {
+                    self.compensate_partial(id, &ok_shards[i]);
                 }
             }
         }
@@ -757,41 +908,63 @@ impl ShardedDatabase {
 
     /// Sharded zoom-in: QID metadata and the result cache live at the
     /// router; raw annotation bodies are looked up on whichever shard
-    /// owns (a row of) each annotation.
+    /// owns (a row of) each annotation. Cache I/O — the disk probe, and
+    /// the re-offer after a miss — runs with *no* shard guard held
+    /// (the same execute-under-guards, file-I/O-after-drop split as
+    /// [`ShardedDatabase::run_select_routed`]); only the miss path's
+    /// plan re-execution takes the read guards.
     pub fn zoom_in(&self, stmt: &ZoomInStmt) -> Result<ZoomInResult> {
         let Some(router) = &self.router else {
             return self.shards[0].read().zoom_in(stmt);
         };
         let qid = Qid::new(stmt.qid);
         let info_schema = router.zoom.lock().info(qid)?.schema.clone();
-        let guards = self.read_all();
-        let objects = ShardObjects::new(&guards);
-        let shard0 = &*guards[0];
-        let planner = Planner::new(shard0.catalog(), shard0.registry());
-        let predicate = stmt
-            .where_clause
-            .as_ref()
-            .map(|w| planner.bind_expr(w, &info_schema))
-            .transpose()?;
-        let instance = shard0.registry().instance_id(&stmt.instance)?;
-        let component = match &stmt.component {
-            ZoomComponent::Index(i) => {
-                if *i == 0 {
-                    return Err(Error::ZoomIn("component INDEX is 1-based".into()));
+        let (predicate, instance, component) = {
+            let guards = self.read_all();
+            let shard0 = &*guards[0];
+            let planner = Planner::new(shard0.catalog(), shard0.registry());
+            let predicate = stmt
+                .where_clause
+                .as_ref()
+                .map(|w| planner.bind_expr(w, &info_schema))
+                .transpose()?;
+            let instance = shard0.registry().instance_id(&stmt.instance)?;
+            let component = match &stmt.component {
+                ZoomComponent::Index(i) => {
+                    if *i == 0 {
+                        return Err(Error::ZoomIn("component INDEX is 1-based".into()));
+                    }
+                    (*i - 1) as usize
                 }
-                (*i - 1) as usize
-            }
-            ZoomComponent::Label(name) => match planner.resolve_component(instance, name)? {
-                crate::expr::ComponentSel::Label(i) | crate::expr::ComponentSel::Group(i) => i,
-            },
+                ZoomComponent::Label(name) => match planner.resolve_component(instance, name)? {
+                    crate::expr::ComponentSel::Label(i) | crate::expr::ComponentSel::Group(i) => i,
+                },
+            };
+            (predicate, instance, component)
         };
 
-        let (rows, from_cache) = router.zoom.lock().fetch_rows_with(
-            qid,
-            shard0.catalog(),
-            shard0.registry(),
-            &objects,
-        )?;
+        // Probe the cache under the zoom mutex alone (bound to a `let`
+        // so the temporary lock guard drops before the match body — the
+        // miss path re-locks the mutex to re-offer).
+        let cached = router.zoom.lock().cached_rows(qid)?;
+        let (rows, from_cache) = match cached {
+            Some(rows) => (rows, true),
+            None => {
+                let plan = router.zoom.lock().info(qid)?.plan.clone();
+                let rows = {
+                    let guards = self.read_all();
+                    let objects = ShardObjects::new(&guards);
+                    let shard0 = &*guards[0];
+                    Executor::new(shard0.catalog(), shard0.registry())
+                        .with_objects(&objects)
+                        .execute(&plan)?
+                };
+                router.zoom.lock().reoffer(qid, &rows)?;
+                (rows, false)
+            }
+        };
+
+        let guards = self.read_all();
         let mut ids = IdSet::new();
         let mut matched = 0usize;
         for r in &rows {
@@ -848,10 +1021,11 @@ impl ShardedDatabase {
 
     /// Checkpoints every shard in fixed order (`<path>.shard<k>` at
     /// `shards > 1`, the plain legacy path otherwise), then durably
-    /// rewrites the manifest with the new epoch vector. A crash
-    /// between per-shard checkpoints is safe: each shard's own
-    /// snapshot/WAL epoch pair recovers independently, and the
-    /// manifest's epoch vector is advisory.
+    /// writes the sibling snapshot manifest (`<path>.manifest`) and,
+    /// when a WAL directory exists, rewrites its manifest with the new
+    /// epoch vector. A crash between per-shard checkpoints is safe:
+    /// each shard's own snapshot/WAL epoch pair recovers independently,
+    /// and the manifests' epoch vectors are advisory.
     pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
         let Some(router) = &self.router else {
@@ -863,6 +1037,11 @@ impl ShardedDatabase {
             guard.checkpoint(shard_snapshot_path(path, k))?;
             epochs.push(guard.epoch());
         }
+        // The sibling manifest is written *after* every shard file: in
+        // snapshot-only mode it is the commit point of the checkpoint
+        // (recovery refuses shard files without one), so it must never
+        // describe shard files that are not all on disk yet.
+        write_manifest_file(&snapshot_manifest_path(path), self.shards.len(), &epochs)?;
         if let Some(base) = &router.wal_base {
             write_manifest(base, self.shards.len(), &epochs)?;
         }
@@ -949,6 +1128,44 @@ pub fn shard_snapshot_path(path: &Path, k: usize) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// `<path>.manifest` — the sibling manifest of a sharded snapshot set,
+/// recording the shard count and epoch vector next to the
+/// `<path>.shard<k>` files so a snapshot-only recovery (no WAL
+/// directory, hence no WAL-base manifest) detects a shard-count change
+/// instead of silently loading a subset of the shard files.
+pub fn snapshot_manifest_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".manifest");
+    PathBuf::from(os)
+}
+
+/// Whether any `<path>.shard<k>` file exists next to `path`.
+fn shard_snapshots_present(path: &Path) -> Result<bool> {
+    let Some(name) = path.file_name() else {
+        return Ok(false);
+    };
+    let prefix = {
+        let mut p = name.to_os_string();
+        p.push(".shard");
+        p.to_string_lossy().into_owned()
+    };
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let entries = match std::fs::read_dir(parent) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        if entry?.file_name().to_string_lossy().starts_with(&prefix) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 /// Rejects WAL-base layouts a sharded open must not touch: an unsharded
 /// log, or a manifest recording a different shard count.
 fn check_layout_sharded(base: &Path, shards: usize) -> Result<()> {
@@ -987,18 +1204,28 @@ fn check_layout_sharded(base: &Path, shards: usize) -> Result<()> {
 /// base directory.
 fn write_manifest(base: &Path, shards: usize, epochs: &[u64]) -> Result<()> {
     std::fs::create_dir_all(base)?;
+    write_manifest_file(&base.join(MANIFEST_FILE), shards, epochs)
+}
+
+/// Durably writes a manifest to an explicit file path — the WAL-base
+/// `MANIFEST` or a snapshot set's sibling `<path>.manifest`.
+fn write_manifest_file(file: &Path, shards: usize, epochs: &[u64]) -> Result<()> {
     let mut text = String::from("insightnotes-shard-manifest v1\n");
     text.push_str(&format!("shards {shards}\n"));
     for (k, e) in epochs.iter().enumerate() {
         text.push_str(&format!("epoch {k} {e}\n"));
     }
-    crate::persist::write_durable(&base.join(MANIFEST_FILE), text.as_bytes())
+    crate::persist::write_durable(file, text.as_bytes())
 }
 
-/// Reads the manifest, if present: `(shard count, epoch vector)`.
+/// Reads the WAL-base manifest, if present.
 pub(crate) fn read_manifest(base: &Path) -> Result<Option<(usize, Vec<u64>)>> {
-    let path = base.join(MANIFEST_FILE);
-    let text = match std::fs::read_to_string(&path) {
+    read_manifest_file(&base.join(MANIFEST_FILE))
+}
+
+/// Reads a manifest file, if present: `(shard count, epoch vector)`.
+fn read_manifest_file(path: &Path) -> Result<Option<(usize, Vec<u64>)>> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),

@@ -106,21 +106,41 @@ impl ZoomRegistry {
         registry: &SummaryRegistry,
         objects: &(dyn crate::exec::ObjectSource + Sync),
     ) -> Result<(Vec<AnnotatedRow>, bool)> {
-        let info = self
-            .infos
-            .get(&qid)
-            .ok_or_else(|| Error::ZoomIn(format!("unknown QID {qid}")))?
-            .clone();
-        if let Some(bytes) = self.cache.get(qid)? {
-            return Ok((decode_rows(&bytes)?, true));
+        if let Some(rows) = self.cached_rows(qid)? {
+            return Ok((rows, true));
         }
         // Cache miss: re-execute and (re-)offer to the cache.
+        let plan = self.info(qid)?.plan.clone();
         let rows = Executor::new(catalog, registry)
             .with_objects(objects)
-            .execute(&info.plan)?;
-        let payload = encode_rows(&rows);
-        self.cache.put(qid, &payload, info.complexity)?;
+            .execute(&plan)?;
+        self.reoffer(qid, &rows)?;
         Ok((rows, false))
+    }
+
+    /// The cached result rows of a QID, if resident (`None` on a cache
+    /// miss; an error only for an unknown QID). Unlike
+    /// [`ZoomRegistry::fetch_rows_with`] this never re-executes, so a
+    /// caller that must not hold engine locks across the (potentially
+    /// expensive) re-execution can probe the cache first, recompute
+    /// under whatever locks the plan needs, and hand the rows back via
+    /// [`ZoomRegistry::reoffer`] — the shard router's stall-free
+    /// zoom-in path.
+    pub fn cached_rows(&mut self, qid: Qid) -> Result<Option<Vec<AnnotatedRow>>> {
+        self.info(qid)?;
+        match self.cache.get(qid)? {
+            Some(bytes) => Ok(Some(decode_rows(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Re-offers externally re-executed rows of a known QID to the
+    /// cache: the write half of the [`ZoomRegistry::cached_rows`] miss
+    /// path. Returns whether the cache admitted the entry.
+    pub fn reoffer(&mut self, qid: Qid, rows: &[AnnotatedRow]) -> Result<bool> {
+        let complexity = self.info(qid)?.complexity;
+        let payload = encode_rows(rows);
+        self.cache.put(qid, &payload, complexity)
     }
 
     /// The underlying cache (stats, policy inspection).

@@ -72,7 +72,7 @@ use insightnotes_common::wire::{
     self, BatchItem, Request, Response, RowsPayload, WireAnnotation, WireError, WireRow, WireValue,
     ZoomPayload,
 };
-use insightnotes_common::{Error, Result};
+use insightnotes_common::{AnnotationId, Error, Result};
 use insightnotes_engine::db::{ExecOutcome, QueryResult, SqlStatement, ZoomInResult};
 use insightnotes_engine::{Database, ShardedDatabase, StampedRowAnnotation};
 use insightnotes_sql::{parse, Statement, StatementClass};
@@ -484,7 +484,10 @@ fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &ShardedDatabase, shard: usi
 /// that shard's committer — all sends first, then all replies, so
 /// disjoint shards commit and fsync in parallel. A multi-owner item
 /// acks only once every owner shard has fsynced; any owner's failure
-/// becomes the item's result.
+/// becomes the item's result — after the owners that did durably store
+/// the replica are given a best-effort compensating delete
+/// ([`ShardedDatabase::compensate_partial`]), so the reported failure
+/// does not leave the annotation attached to a subset of its rows.
 fn submit_annotations(
     db: &ShardedDatabase,
     committer: &Committer,
@@ -496,6 +499,8 @@ fn submit_annotations(
     let prepared = db.prepare_sql_annotations(&stmts);
     let mut slots: Vec<Option<BatchItem>> = Vec::new();
     slots.resize_with(prepared.len(), || None);
+    let mut ids: Vec<Option<AnnotationId>> = vec![None; slots.len()];
+    let mut ok_shards: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
     let mut per_shard: BTreeMap<usize, (Vec<usize>, Vec<StampedRowAnnotation>)> = BTreeMap::new();
     for (i, p) in prepared.into_iter().enumerate() {
         match p {
@@ -505,6 +510,9 @@ fn submit_annotations(
                 }
             }
             Ok(routed) => {
+                if let Some(id) = ids.get_mut(i) {
+                    *id = Some(AnnotationId::new(routed.stamped.id));
+                }
                 for &k in &routed.shards {
                     let (indices, batch) = per_shard.entry(k).or_default();
                     indices.push(i);
@@ -516,11 +524,12 @@ fn submit_annotations(
     let mut pending = Vec::with_capacity(per_shard.len());
     for (k, (indices, batch)) in per_shard {
         pending.push((
+            k,
             indices,
             committer.submit_async(k, CommitPayload::Stamped(batch))?,
         ));
     }
-    for (indices, reply_rx) in pending {
+    for (k, indices, reply_rx) in pending {
         let items = reply_rx
             .recv()
             .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))?;
@@ -528,6 +537,11 @@ fn submit_annotations(
             let Some(slot) = slots.get_mut(i) else {
                 continue;
             };
+            if matches!(item, BatchItem::Ok(_)) {
+                if let Some(oks) = ok_shards.get_mut(i) {
+                    oks.push(k);
+                }
+            }
             // Multi-owner combine: any shard's failure wins; otherwise
             // the first (lowest-shard) success stands.
             let replace = match (&slot, &item) {
@@ -538,6 +552,17 @@ fn submit_annotations(
             };
             if replace {
                 *slot = Some(item);
+            }
+        }
+    }
+    // A multi-owner item that committed (and fsynced) on some owners
+    // but failed — or lost its group fsync — on another is repaired
+    // before the error goes out: the successful owners' replicas are
+    // deleted so the acked failure converges to "not written".
+    for ((slot, id), oks) in slots.iter().zip(&ids).zip(&ok_shards) {
+        if matches!(slot, Some(BatchItem::Err(_))) && !oks.is_empty() {
+            if let Some(id) = id {
+                db.compensate_partial(*id, oks);
             }
         }
     }

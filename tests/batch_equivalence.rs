@@ -14,7 +14,7 @@
 //! of its neighbors (failed items must consume neither in either path).
 
 use insightnotes::annotations::{AnnotationBody, ColSig};
-use insightnotes::common::{ColumnId, RowId};
+use insightnotes::common::{AnnotationId, ColumnId, RowId};
 use insightnotes::engine::db::SqlStatement;
 use insightnotes::engine::persist::snapshot;
 use insightnotes::engine::ExecOutcome;
@@ -510,4 +510,155 @@ fn mixed_failure_batch_keeps_ids_dense_and_ordered() {
         })
         .collect();
     assert_eq!(ids, vec![None, Some(1), None, Some(2), None, Some(3)]);
+}
+
+// -- sharded DELETE ANNOTATION routing ------------------------------------
+
+/// `DELETE ANNOTATION` routes to the id's owner shards instead of
+/// broadcasting: the client sees the owner's outcome (not a non-owner's
+/// "unknown annotation"), `rows_refreshed` counts the target list once
+/// rather than once per owner replica, and the end state matches serial
+/// execution.
+#[test]
+fn sharded_delete_annotation_routes_to_owners() {
+    for shards in [1usize, 4] {
+        let sharded = fresh_sharded(shards);
+        let mut serial = fresh_db(MaintenanceMode::Incremental);
+        let add = "ADD ANNOTATION 'eating stonewort near shore' AUTHOR 'ada' ON t WHERE p >= 1";
+        sharded.execute_sql(add).unwrap();
+        serial.execute_sql(add).unwrap();
+
+        let outcomes = sharded.execute_sql("DELETE ANNOTATION 1").unwrap();
+        let serial_outcomes = serial.execute_sql("DELETE ANNOTATION 1").unwrap();
+        match (&outcomes[..], &serial_outcomes[..]) {
+            (
+                [ExecOutcome::AnnotationDeleted {
+                    annotation,
+                    rows_refreshed,
+                }],
+                [ExecOutcome::AnnotationDeleted {
+                    annotation: serial_ann,
+                    rows_refreshed: serial_refreshed,
+                }],
+            ) => {
+                assert_eq!(annotation, serial_ann);
+                assert_eq!(
+                    rows_refreshed, serial_refreshed,
+                    "refresh count diverged at {shards} shard(s)"
+                );
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+        assert_eq!(sharded.annotation_count(), 0);
+        let serial_facade: ShardedDatabase = serial.into();
+        assert_eq!(
+            logical_digest(&sharded),
+            logical_digest(&serial_facade),
+            "post-delete state diverged at {shards} shard(s)"
+        );
+
+        // Deleting an id no shard holds is one classified error, not a
+        // broadcastful of divergent per-shard outcomes.
+        let err = sharded.execute_sql("DELETE ANNOTATION 999").unwrap_err();
+        assert!(err.to_string().contains("unknown annotation"), "{err}");
+    }
+}
+
+/// Partitioned-store statements cannot mix with replicated writes in
+/// one sharded script: a broadcast `DELETE ANNOTATION` would fail on
+/// non-owner shards, and stop-at-first-failure would then apply the
+/// rest of the script to a different set of shards — forking the
+/// replicas. A pure partitioned script (ADD + DELETE) routes fine.
+#[test]
+fn sharded_script_mixing_delete_annotation_with_writes_is_rejected() {
+    let sharded = fresh_sharded(4);
+    sharded
+        .execute_sql("ADD ANNOTATION 'wingspan plumage measured' AUTHOR 'ada' ON t WHERE p = 1")
+        .unwrap();
+    let err = sharded
+        .execute_sql("INSERT INTO t VALUES (9, 'nine', 9.0); DELETE ANNOTATION 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot mix"), "{err}");
+    // Nothing was applied: the annotation survives, the row was never
+    // inserted anywhere.
+    assert_eq!(sharded.annotation_count(), 1);
+    assert_eq!(
+        sharded
+            .query("SELECT p FROM t WHERE p = 9")
+            .unwrap()
+            .rows
+            .len(),
+        0
+    );
+
+    let outcomes = sharded
+        .execute_sql(
+            "ADD ANNOTATION 'lesions parasites infection' AUTHOR 'brahe' ON t WHERE p = 2; \
+             DELETE ANNOTATION 1",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(sharded.annotation_count(), 1);
+}
+
+/// The prepare/commit race against a replicated delete: targets resolve
+/// under read guards that drop before the owner shards apply, so a
+/// broadcast `DELETE FROM` can remove target rows in between. Staging
+/// must re-validate: vanished targets are skipped (the delete-first
+/// serial schedule), and an annotation whose every target vanished
+/// fails cleanly instead of attaching to deleted rows.
+#[test]
+fn apply_after_broadcast_delete_skips_vanished_targets() {
+    let add = "ADD ANNOTATION 'eating stonewort near shore' AUTHOR 'ada' ON t WHERE p >= 1";
+    let stmts = vec![SqlStatement {
+        stmt: parse_one(add).unwrap(),
+        sql: add.to_string(),
+    }];
+
+    // Every target row vanishes between prepare and apply.
+    let sharded = fresh_sharded(4);
+    let prepared = sharded.prepare_sql_annotations(&stmts);
+    assert!(prepared[0].is_ok());
+    sharded.execute_sql("DELETE FROM t").unwrap();
+    let results = sharded.apply_prepared(prepared);
+    let err = results.into_iter().next().unwrap().unwrap_err();
+    assert!(
+        err.to_string().contains("deleted before it committed"),
+        "{err}"
+    );
+    assert_eq!(sharded.annotation_count(), 0);
+
+    // Partial vanish: the surviving row still gets the annotation, and
+    // only that row.
+    let sharded = fresh_sharded(4);
+    let prepared = sharded.prepare_sql_annotations(&stmts);
+    sharded.execute_sql("DELETE FROM t WHERE p > 1").unwrap();
+    let results = sharded.apply_prepared(prepared);
+    match results.into_iter().next().unwrap() {
+        Ok(ExecOutcome::Annotated { targets, .. }) => assert_eq!(targets, 1),
+        other => panic!("unexpected result {other:?}"),
+    }
+    assert_eq!(sharded.annotation_count(), 1);
+}
+
+/// The partial-commit repair hook: a compensating delete on the owners
+/// that committed converges a partially failed multi-owner write back
+/// to "not written" on every shard.
+#[test]
+fn compensate_partial_removes_committed_replicas() {
+    let sharded = fresh_sharded(4);
+    sharded
+        .execute_sql("ADD ANNOTATION 'eating stonewort near shore' AUTHOR 'ada' ON t WHERE p >= 1")
+        .unwrap();
+    assert_eq!(sharded.annotation_count(), 1);
+    let id = AnnotationId::new(1);
+    let owners: Vec<usize> = (0..sharded.shard_count())
+        .filter(|&k| sharded.shard(k).read().store().get(id).is_ok())
+        .collect();
+    assert!(!owners.is_empty());
+    sharded.compensate_partial(id, &owners);
+    assert_eq!(sharded.annotation_count(), 0);
+    for k in 0..sharded.shard_count() {
+        assert!(sharded.shard(k).read().store().get(id).is_err());
+    }
 }

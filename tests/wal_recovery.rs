@@ -19,7 +19,7 @@
 
 use insightnotes::common::RowId;
 use insightnotes::engine::persist::snapshot;
-use insightnotes::engine::shard::{shard_snapshot_path, MANIFEST_FILE};
+use insightnotes::engine::shard::{shard_snapshot_path, snapshot_manifest_path, MANIFEST_FILE};
 use insightnotes::engine::wal::{SyncPolicy, Wal};
 use insightnotes::engine::{Database, DbConfig, ShardedDatabase};
 use insightnotes::sql::parse_one;
@@ -709,6 +709,68 @@ fn sharded_checkpoint_then_tail_replay_recovers_with_epochs() {
             "shard {k} diverged after checkpointed recovery"
         );
     }
+}
+
+/// Snapshot-only deployments (no WAL directory) have no WAL-base
+/// manifest, so the sibling `<path>.manifest` written at checkpoint is
+/// the only witness of the snapshot set's shard count. Recovering the
+/// set with the right count works; a different count — or an unsharded
+/// recover, or shard files with the manifest deleted — is a classified
+/// error instead of silently loading a subset of the shards.
+#[test]
+fn snapshot_only_shard_count_changes_are_classified_errors() {
+    let dir = scratch("snap-only-sharded");
+    let snap = dir.join("db.indb");
+    let stmts = sharded_statements();
+    let pre: Vec<Vec<u8>>;
+    {
+        let db = ShardedDatabase::create(DbConfig::default(), SHARD_COUNT).unwrap();
+        sharded_setup(&db);
+        for sql in &stmts {
+            db.execute_sql(sql).unwrap();
+        }
+        db.checkpoint(&snap).unwrap();
+        pre = (0..SHARD_COUNT)
+            .map(|k| state_bytes(&db.shard(k).read()))
+            .collect();
+    }
+    assert!(
+        snapshot_manifest_path(&snap).exists(),
+        "sharded checkpoint must write the sibling manifest"
+    );
+
+    // The right shard count round-trips.
+    let (db, report) =
+        ShardedDatabase::recover(Some(&snap), DbConfig::default(), SHARD_COUNT).unwrap();
+    for (k, s) in report.shards.iter().enumerate() {
+        assert!(s.report.snapshot_loaded, "shard {k} snapshot not loaded");
+    }
+    for (k, bytes) in pre.iter().enumerate() {
+        assert_eq!(
+            &state_bytes(&db.shard(k).read()),
+            bytes,
+            "shard {k} diverged after snapshot-only recovery"
+        );
+    }
+
+    // A different count (the insightd default shifts with the machine's
+    // core count) is refused.
+    let err = ShardedDatabase::recover(Some(&snap), DbConfig::default(), 2)
+        .expect_err("shard-count change accepted in snapshot-only mode");
+    assert!(err.to_string().contains("migration"), "{err}");
+
+    // Unsharded recover against the sharded set: the plain path does
+    // not exist, so without the manifest check this would silently
+    // recover an empty database.
+    let err = ShardedDatabase::recover(Some(&snap), DbConfig::default(), 1)
+        .expect_err("sharded snapshot set accepted by unsharded recover");
+    assert!(err.to_string().contains("manifest"), "{err}");
+
+    // Shard files with the manifest deleted: incomplete set, refused.
+    std::fs::remove_file(snapshot_manifest_path(&snap)).unwrap();
+    let err = ShardedDatabase::recover(Some(&snap), DbConfig::default(), SHARD_COUNT)
+        .expect_err("manifest-less shard snapshot files accepted");
+    assert!(err.to_string().contains("manifest"), "{err}");
 }
 
 // -- checkpoint epochs and stale logs -------------------------------------
