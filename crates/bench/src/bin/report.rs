@@ -5,10 +5,10 @@
 //! cargo run --release -p insightnotes-bench --bin report -- --exp e2
 //! ```
 //!
-//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 a5 a6 (e6 is a
-//! property-test suite, not a timing experiment — see
+//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 a5 a6 a8 (e6 is
+//! a property-test suite, not a timing experiment — see
 //! tests/plan_equivalence.rs). Experiments with machine-readable output
-//! (a5, a6) also write a `BENCH_<name>.json` next to the text table.
+//! (a5, a6, a8) also write a `BENCH_<name>.json` next to the text table.
 
 use insightnotes_annotations::{AnnotationBody, ColSig};
 use insightnotes_bench::{
@@ -72,6 +72,9 @@ fn main() {
     }
     if run("a6") {
         a6_recovery();
+    }
+    if run("a8") {
+        a8_replication();
     }
 }
 
@@ -1007,5 +1010,418 @@ fn a6_recovery() {
          above it. Replay recovery re-runs maintenance for every logged record,\n\
          so it costs about one ingest; a checkpoint collapses it to a snapshot\n\
          load.\n"
+    );
+}
+
+/// A8: WAL-shipping replication. Two questions against an in-process
+/// primary with live read replicas (each a `Replicator` tailing the
+/// primary's committed per-shard WAL streams plus its own serving
+/// `insightd` instance): (1) how far behind the primary's committed
+/// position does a replica run while a Zipfian batched ingest is in
+/// flight (replication lag, sampled as `wait_for_offset` round-trips),
+/// and (2) how does aggregate point-read throughput grow when a fixed
+/// analyst pool fans out over 1/2/4 replicas instead of hammering the
+/// primary. Emits `BENCH_replication.json`.
+fn a8_replication() {
+    use insightnotes_client::Client;
+    use insightnotes_engine::{DbConfig, ShardedDatabase, SyncPolicy};
+    use insightnotes_replication::replica::{ReplicaConfig, Replicator};
+    use insightnotes_server::{ReplicaServing, Server, ServerConfig};
+    use insightnotes_workload::{ingest_script, IngestConfig};
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    header("A8 — WAL-shipping replication: replica lag and read scale-out");
+    const SHARDS: usize = 2;
+    const BIRDS: usize = 300;
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 256;
+    const BATCH: usize = 16;
+    const ZIPF_SKEW: f64 = 1.0;
+    const REPLICAS: usize = 4;
+    const ANALYSTS_PER_NODE: usize = 8;
+    const THINK: Duration = Duration::from_millis(10);
+    const CELL: Duration = Duration::from_millis(1500);
+    const MIX_BATCH: usize = 8;
+    const MIX_PAUSE: Duration = Duration::from_millis(25);
+
+    let scratch = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("insightnotes-a8-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    };
+    let serve = |db: ShardedDatabase, config: ServerConfig| {
+        let server = Server::bind_sharded("127.0.0.1:0", db, config).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run().expect("server run"));
+        (addr, handle, thread)
+    };
+
+    // Primary: WAL-backed, group-commit fsync — the committed stream the
+    // replicas tail is exactly what durable acks promise.
+    let dir = scratch("primary");
+    let config = DbConfig {
+        wal_dir: Some(dir.clone()),
+        wal_sync: SyncPolicy::Batch,
+        ..DbConfig::default()
+    };
+    let (db, _) = ShardedDatabase::recover(None, config, SHARDS).expect("primary recover");
+    let (primary_addr, primary_handle, primary_thread) = serve(db, ServerConfig::default());
+
+    let script = ingest_script(&IngestConfig {
+        seed: SEED,
+        writers: WRITERS,
+        annotations_per_writer: PER_WRITER,
+        num_birds: BIRDS,
+        skew: ZIPF_SKEW,
+    });
+    let mut setup_client = Client::connect(primary_addr).expect("connect");
+    for stmt in &script.setup {
+        setup_client.execute(stmt).expect("setup statement");
+    }
+
+    // Replica fleet: each tails the primary into its own directory and
+    // serves reads through its own insightd front end.
+    let mut fleet = Vec::new(); // (addr, handle, thread, replicator)
+    for r in 0..REPLICAS {
+        let boot = Replicator::start(&ReplicaConfig::new(
+            primary_addr.to_string(),
+            scratch(&format!("replica-{r}")),
+        ))
+        .expect("replica start");
+        let positions = boot.replicator.positions();
+        let (addr, handle, thread) = serve(
+            boot.db,
+            ServerConfig {
+                replica: Some(ReplicaServing {
+                    primary: primary_addr.to_string(),
+                    positions,
+                }),
+                ..ServerConfig::default()
+            },
+        );
+        fleet.push((addr, handle, thread, boot.replicator));
+    }
+
+    // Part 1a — backlog while a full-rate Zipfian ingest burst is in
+    // flight. Each sample captures the primary's committed vector, then
+    // times how long replica 0 takes to cover it over the wire. The
+    // fleet is primed to the post-setup state first so the first sample
+    // measures tailing, not bootstrap warmup.
+    let primed = setup_client.replica_state().expect("positions");
+    for (addr, ..) in &fleet {
+        Client::connect(*addr)
+            .expect("connect")
+            .wait_for_offset(&primed, Duration::from_secs(30))
+            .expect("replica primed");
+    }
+    let done = AtomicUsize::new(0);
+    let mut lag_ms: Vec<f64> = Vec::new();
+    let (_, ingest_time) = {
+        let mut sampler_primary = Client::connect(primary_addr).expect("connect");
+        let mut sampler_replica = Client::connect(fleet[0].0).expect("connect");
+        let done = &done;
+        let clients = &script.clients;
+        timed(|| {
+            std::thread::scope(|scope| {
+                for stream in clients {
+                    scope.spawn(move || {
+                        let mut c = Client::connect(primary_addr).expect("connect");
+                        for chunk in stream.chunks(BATCH) {
+                            for item in c.annotate_batch(chunk.to_vec()).expect("batch") {
+                                item.expect("acked");
+                            }
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                loop {
+                    let finished = done.load(Ordering::SeqCst) == WRITERS;
+                    let target = sampler_primary.replica_state().expect("positions");
+                    let (r, t) =
+                        timed(|| sampler_replica.wait_for_offset(&target, Duration::from_secs(30)));
+                    r.expect("replica catches up");
+                    lag_ms.push(t.as_secs_f64() * 1e3);
+                    if finished {
+                        break; // final sample drained everything committed
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        })
+    };
+    lag_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+    let pct = |p: f64| lag_ms[((lag_ms.len() - 1) as f64 * p) as usize];
+    let total_anns = WRITERS * PER_WRITER;
+    println!(
+        "ingest: {total_anns} annotations, {WRITERS} writers, batch {BATCH}, \
+         zipf {ZIPF_SKEW}: {} ({:.0} anns/sec)",
+        ms(ingest_time),
+        total_anns as f64 / ingest_time.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "burst backlog over {} samples: p50 {:.1} ms, max {:.1} ms",
+        lag_ms.len(),
+        pct(0.5),
+        lag_ms.last().copied().unwrap_or(0.0)
+    );
+    let mut records = vec![Json::obj([
+        ("kind", Json::from("burst_backlog")),
+        ("samples", Json::from(lag_ms.len())),
+        ("backlog_ms_p50", Json::Num(pct(0.5))),
+        (
+            "backlog_ms_max",
+            Json::Num(lag_ms.last().copied().unwrap_or(0.0)),
+        ),
+        (
+            "ingest_anns_per_sec",
+            Json::Num(total_anns as f64 / ingest_time.as_secs_f64().max(1e-9)),
+        ),
+    ])];
+
+    // Part 1b — steady-state lag under a paced Zipfian mix: a throttled
+    // curator annotates at a sustainable rate while the sampler measures
+    // how far replica 0 trails the primary's committed vector.
+    const LAG_SAMPLES: usize = 100;
+    let paced = ingest_script(&IngestConfig {
+        seed: SEED ^ 0x51EAD,
+        writers: 1,
+        annotations_per_writer: 1024,
+        num_birds: BIRDS,
+        skew: ZIPF_SKEW,
+    });
+    let stop_paced = std::sync::atomic::AtomicBool::new(false);
+    let mut paced_ms: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let stop = &stop_paced;
+        let stmts = &paced.clients[0];
+        scope.spawn(move || {
+            let mut c = Client::connect(primary_addr).expect("connect");
+            let mut at = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let end = (at + MIX_BATCH).min(stmts.len());
+                for item in c
+                    .annotate_batch(stmts[at..end].to_vec())
+                    .expect("paced mix")
+                {
+                    item.expect("acked");
+                }
+                at = if end == stmts.len() { 0 } else { end };
+                std::thread::sleep(MIX_PAUSE);
+            }
+        });
+        let mut sampler_primary = Client::connect(primary_addr).expect("connect");
+        let mut sampler_replica = Client::connect(fleet[0].0).expect("connect");
+        for _ in 0..LAG_SAMPLES {
+            std::thread::sleep(Duration::from_millis(5));
+            let target = sampler_primary.replica_state().expect("positions");
+            let (r, t) =
+                timed(|| sampler_replica.wait_for_offset(&target, Duration::from_secs(30)));
+            r.expect("replica catches up");
+            paced_ms.push(t.as_secs_f64() * 1e3);
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    paced_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+    let ppct = |p: f64| paced_ms[((paced_ms.len() - 1) as f64 * p) as usize];
+    println!(
+        "steady-state replica lag over {} samples (paced mix): p50 {:.2} ms, \
+         p95 {:.2} ms, max {:.1} ms",
+        paced_ms.len(),
+        ppct(0.5),
+        ppct(0.95),
+        paced_ms.last().copied().unwrap_or(0.0)
+    );
+    records.push(Json::obj([
+        ("kind", Json::from("replica_lag")),
+        ("samples", Json::from(paced_ms.len())),
+        ("lag_ms_p50", Json::Num(ppct(0.5))),
+        ("lag_ms_p95", Json::Num(ppct(0.95))),
+        (
+            "lag_ms_max",
+            Json::Num(paced_ms.last().copied().unwrap_or(0.0)),
+        ),
+    ]));
+
+    // Part 2 — read scale-out under the live Zipfian mix. Each serving
+    // node gets its own closed-loop analyst pool (ANALYSTS_PER_NODE
+    // connections, THINK of pause between Zipf-drawn point SELECTs
+    // with summary propagation) while a background curator keeps
+    // annotating the primary — the paper's browse-heavy population on
+    // top of a live write stream. Offered load scales with the fleet,
+    // per-read latency is reported alongside throughput so "more
+    // replicas" is checkably more capacity, not just more clients.
+    let mix = ingest_script(&IngestConfig {
+        seed: SEED ^ 0xA8,
+        writers: 1,
+        annotations_per_writer: 4096,
+        num_birds: BIRDS,
+        skew: ZIPF_SKEW,
+    });
+    let stop_mix = std::sync::atomic::AtomicBool::new(false);
+    println!(
+        "\n{:>12} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9}",
+        "serving", "analysts", "reads", "reads/sec", "p50 us", "p95 us", "speedup"
+    );
+    let mut one_replica_tput = 0.0f64;
+    std::thread::scope(|scope| {
+        let stop_mix = &stop_mix;
+        let mix_stmts = &mix.clients[0];
+        scope.spawn(move || {
+            let mut c = Client::connect(primary_addr).expect("connect");
+            let mut at = 0usize;
+            while !stop_mix.load(Ordering::SeqCst) {
+                let end = (at + MIX_BATCH).min(mix_stmts.len());
+                for item in c.annotate_batch(mix_stmts[at..end].to_vec()).expect("mix") {
+                    item.expect("acked");
+                }
+                at = if end == mix_stmts.len() { 0 } else { end };
+                std::thread::sleep(MIX_PAUSE);
+            }
+        });
+        for (label, replicas) in [("primary", 0usize), ("1", 1), ("2", 2), ("4", 4)] {
+            let targets: Vec<SocketAddr> = if replicas == 0 {
+                vec![primary_addr]
+            } else {
+                fleet.iter().take(replicas).map(|f| f.0).collect()
+            };
+            // Every replica starts the cell caught up to the mix so far.
+            let target = setup_client.replica_state().expect("positions");
+            for (addr, ..) in &fleet {
+                Client::connect(*addr)
+                    .expect("connect")
+                    .wait_for_offset(&target, Duration::from_secs(30))
+                    .expect("replica caught up");
+            }
+            let analysts = ANALYSTS_PER_NODE * targets.len();
+            let stop_cell = std::sync::atomic::AtomicBool::new(false);
+            let (mut lat, t) = timed(|| {
+                std::thread::scope(|cell| {
+                    let stop_cell = &stop_cell;
+                    let handles: Vec<_> = (0..analysts)
+                        .map(|a| {
+                            let addr = targets[a % targets.len()];
+                            cell.spawn(move || {
+                                let mut c = Client::connect(addr).expect("connect");
+                                let mut lat_us: Vec<u64> = Vec::with_capacity(512);
+                                // Cheap deterministic Zipf-ish probes.
+                                let mut x = SEED ^ (a as u64).wrapping_mul(0x9E37_79B9);
+                                while !stop_cell.load(Ordering::Relaxed) {
+                                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                                    let id = (x >> 33) % BIRDS as u64 % ((x >> 13) % 40 + 1) + 1;
+                                    let ((), rt) = timed(|| {
+                                        c.query(&format!(
+                                            "SELECT name, weight FROM birds WHERE id = {id}"
+                                        ))
+                                        .map(|_| ())
+                                        .expect("point read");
+                                    });
+                                    lat_us.push(rt.as_micros() as u64);
+                                    std::thread::sleep(THINK);
+                                }
+                                lat_us
+                            })
+                        })
+                        .collect();
+                    std::thread::sleep(CELL);
+                    stop_cell.store(true, Ordering::SeqCst);
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("analyst"))
+                        .collect::<Vec<u64>>()
+                })
+            });
+            lat.sort_unstable();
+            let lpct = |p: f64| {
+                if lat.is_empty() {
+                    0
+                } else {
+                    lat[((lat.len() - 1) as f64 * p) as usize]
+                }
+            };
+            let total_reads = lat.len();
+            let tput = total_reads as f64 / t.as_secs_f64().max(1e-9);
+            if replicas == 1 {
+                one_replica_tput = tput;
+            }
+            let speedup_txt = if replicas == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}x", tput / one_replica_tput.max(1e-9))
+            };
+            println!(
+                "{label:>12} {analysts:>9} {total_reads:>10} {tput:>12.0} {:>9} {:>9} \
+                 {speedup_txt:>9}",
+                lpct(0.5),
+                lpct(0.95),
+            );
+            let mut rec = vec![
+                ("kind", Json::from("read_scaleout")),
+                ("serving", Json::from(label)),
+                ("replicas", Json::from(replicas)),
+                ("analysts", Json::from(analysts)),
+                ("total_reads", Json::from(total_reads)),
+                ("duration_ns", Json::from(t.as_nanos() as u64)),
+                ("reads_per_sec", Json::Num(tput)),
+                ("read_us_p50", Json::from(lpct(0.5))),
+                ("read_us_p95", Json::from(lpct(0.95))),
+            ];
+            if replicas >= 1 {
+                rec.push((
+                    "speedup_vs_one_replica",
+                    Json::Num(tput / one_replica_tput.max(1e-9)),
+                ));
+            }
+            records.push(Json::obj(rec));
+        }
+        stop_mix.store(true, Ordering::SeqCst);
+    });
+
+    for (_, handle, thread, replicator) in fleet {
+        handle.shutdown();
+        thread.join().expect("replica server thread");
+        drop(replicator);
+    }
+    primary_handle.shutdown();
+    primary_thread.join().expect("primary server thread");
+
+    let config = Json::obj([
+        ("seed", Json::from(SEED)),
+        ("shards", Json::from(SHARDS)),
+        ("num_birds", Json::from(BIRDS)),
+        ("writers", Json::from(WRITERS)),
+        ("annotations", Json::from(WRITERS * PER_WRITER)),
+        ("batch", Json::from(BATCH)),
+        ("zipf_skew", Json::Num(ZIPF_SKEW)),
+        ("analysts_per_node", Json::from(ANALYSTS_PER_NODE)),
+        ("think_ms", Json::from(THINK.as_millis() as u64)),
+        ("cell_ms", Json::from(CELL.as_millis() as u64)),
+        ("mix_batch", Json::from(MIX_BATCH)),
+        ("mix_pause_ms", Json::from(MIX_PAUSE.as_millis() as u64)),
+        (
+            "replica_counts",
+            Json::Arr(vec![1usize.into(), 2usize.into(), 4usize.into()]),
+        ),
+    ]);
+    match write_bench_json("replication", config, records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write BENCH_replication.json: {e}"),
+    }
+    println!(
+        "shape check: median steady-state lag is sub-millisecond — a replica's\n\
+         distance from the primary is one committed-frame ship plus one local\n\
+         group apply, not a rebuild; tail samples ride a hot row's summary\n\
+         maintenance apply, and a full-rate burst's backlog drains within the\n\
+         burst itself. In the scale-out sweep each node carries\n\
+         its own closed-loop analyst pool, so aggregate point-read throughput\n\
+         grows with the replica count while per-read p50 stays flat — added\n\
+         replicas are added capacity, not queueing. (This container is\n\
+         single-core, so the cells are sized to stay under the machine's\n\
+         ~12k reads/sec round-trip ceiling; on real per-box hardware the\n\
+         per-node ceiling is what replicas multiply.)\n"
     );
 }

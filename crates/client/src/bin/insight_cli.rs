@@ -5,6 +5,7 @@
 //! insight-cli --addr HOST:PORT 'SQL' ['SQL'…]   # run statements, exit
 //! insight-cli --addr HOST:PORT --batch \
 //!     'ADD ANNOTATION …' ['ADD ANNOTATION …'…]  # one group-committed frame
+//! insight-cli --addr PRIMARY --replica REPLICA  # route reads to a replica
 //! ```
 //!
 //! Each input line is routed to its most specific wire frame (SELECT →
@@ -13,10 +14,47 @@
 //! statement; they ship in a single `AnnotateBatch` frame and ingest
 //! under one server-side group commit, with per-item results printed in
 //! order. Meta commands: `.help`, `.ping`, `.shutdown`, `.quit`.
+//!
+//! With `--replica HOST:PORT`, read statements (SELECT and ZOOMIN) are
+//! served by that replica while everything else still goes to the
+//! primary at `--addr`; after each write the CLI captures the primary's
+//! committed positions and waits for the replica to apply them before
+//! the next read — read-your-writes across the two connections.
 
 use insightnotes_client::Client;
 use insightnotes_common::wire::{Response, RowsPayload, ZoomPayload};
+use insightnotes_sql::{parse_one, StatementClass};
 use std::io::{BufRead, IsTerminal, Write};
+use std::time::Duration;
+
+/// The CLI's connection(s): the primary, plus an optional read replica.
+struct Session {
+    primary: Client,
+    replica: Option<Client>,
+}
+
+impl Session {
+    /// Sends one line, routing reads to the replica (when configured)
+    /// and everything else to the primary. A write refreshes the
+    /// replica's view first — read-your-writes for the next SELECT.
+    fn send(&mut self, line: &str) -> insightnotes_common::Result<Response> {
+        let is_read = parse_one(line).is_ok_and(|s| s.class() == StatementClass::Read);
+        match (&mut self.replica, is_read) {
+            (Some(replica), true) => replica.send_sql(line),
+            (Some(replica), false) => {
+                let response = self.primary.send_sql(line)?;
+                // Best effort: a WAL-less primary has no positions to
+                // wait for, and the read still serves (just possibly
+                // stale).
+                if let Ok(target) = self.primary.replica_state() {
+                    let _ = replica.wait_for_offset(&target, Duration::from_secs(5));
+                }
+                Ok(response)
+            }
+            (None, _) => self.primary.send_sql(line),
+        }
+    }
+}
 
 fn main() {
     if let Err(e) = run() {
@@ -28,6 +66,7 @@ fn main() {
 fn run() -> insightnotes_common::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7433".to_string();
+    let mut replica_addr: Option<String> = None;
     let mut batch = false;
     let mut statements = Vec::new();
     let mut i = 0;
@@ -42,12 +81,25 @@ fn run() -> insightnotes_common::Result<()> {
                     .clone();
                 i += 2;
             }
+            "--replica" => {
+                replica_addr = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| {
+                            insightnotes_common::Error::Execution("--replica needs a value".into())
+                        })?
+                        .clone(),
+                );
+                i += 2;
+            }
             "--batch" => {
                 batch = true;
                 i += 1;
             }
             "--help" | "-h" => {
-                println!("usage: insight-cli [--addr HOST:PORT] [--batch] ['SQL'…]");
+                println!(
+                    "usage: insight-cli [--addr HOST:PORT] [--replica HOST:PORT] \
+                     [--batch] ['SQL'…]"
+                );
                 return Ok(());
             }
             other => {
@@ -57,7 +109,13 @@ fn run() -> insightnotes_common::Result<()> {
         }
     }
 
-    let mut client = Client::connect(addr.as_str())?;
+    let mut client = Session {
+        primary: Client::connect(addr.as_str())?,
+        replica: match &replica_addr {
+            Some(r) => Some(Client::connect(r.as_str())?),
+            None => None,
+        },
+    };
 
     if batch {
         if statements.is_empty() {
@@ -66,7 +124,12 @@ fn run() -> insightnotes_common::Result<()> {
             ));
         }
         let mut failures = 0usize;
-        for (i, result) in client.annotate_batch(statements)?.into_iter().enumerate() {
+        for (i, result) in client
+            .primary
+            .annotate_batch(statements)?
+            .into_iter()
+            .enumerate()
+        {
             match result {
                 Ok(message) => println!("[{i}] {message}"),
                 Err(e) => {
@@ -126,7 +189,7 @@ enum LineResult {
     Quit,
 }
 
-fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<LineResult> {
+fn dispatch(client: &mut Session, line: &str) -> insightnotes_common::Result<LineResult> {
     match line {
         ".quit" | ".exit" => return Ok(LineResult::Quit),
         ".help" => {
@@ -139,18 +202,18 @@ fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<Line
             return Ok(LineResult::Continue);
         }
         ".ping" => {
-            let (version, served) = client.ping()?;
+            let (version, served) = client.primary.ping()?;
             println!("pong: protocol v{version}, {served} request(s) served");
             return Ok(LineResult::Continue);
         }
         ".shutdown" => {
-            client.shutdown_server()?;
+            client.primary.shutdown_server()?;
             println!("server is shutting down");
             return Ok(LineResult::Quit);
         }
         _ => {}
     }
-    match client.send_sql(line)? {
+    match client.send(line)? {
         Response::Rows(rows) => print_rows(&rows),
         Response::Zoomed(z) => print_zoom(&z),
         Response::Ack { messages } => {
@@ -171,6 +234,17 @@ fn dispatch(client: &mut Client, line: &str) -> insightnotes_common::Result<Line
             println!("pong: protocol v{version}, {served} request(s) served");
         }
         Response::ShuttingDown => println!("server is shutting down"),
+        Response::ReplicaState { shards } => {
+            for (k, p) in shards.iter().enumerate() {
+                println!("shard {k}: epoch {} offset {}", p.epoch, p.offset);
+            }
+        }
+        // Streaming frames never answer a request frame.
+        Response::SubscribeAck { .. }
+        | Response::SnapshotChunk { .. }
+        | Response::WalFrame { .. } => {
+            println!("error: unexpected replication frame outside a subscription");
+        }
     }
     Ok(LineResult::Continue)
 }

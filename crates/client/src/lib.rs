@@ -22,12 +22,12 @@
 //! ```
 
 use insightnotes_common::wire::{
-    read_frame, write_frame, BatchItem, Request, Response, RowsPayload, ZoomPayload,
+    read_frame, write_frame, BatchItem, Request, Response, RowsPayload, ShardPosition, ZoomPayload,
 };
 use insightnotes_common::{Error, Result};
 use insightnotes_sql::{parse_one, Statement};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One client session on an `insightd` server.
 #[derive(Debug)]
@@ -144,6 +144,41 @@ impl Client {
         match self.expect(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// The server's per-shard replication position vector: on a primary
+    /// the committed (fsynced) WAL position of each shard, on a replica
+    /// the primary position it has applied locally.
+    pub fn replica_state(&mut self) -> Result<Vec<ShardPosition>> {
+        match self.expect(&Request::ReplicaState)? {
+            Response::ReplicaState { shards } => Ok(shards),
+            other => Err(unexpected("ReplicaState", &other)),
+        }
+    }
+
+    /// Read-your-writes handshake: blocks until this server's applied
+    /// position covers `target` on every shard (an epoch *beyond* the
+    /// target's also counts — the state it tails includes the target's
+    /// history), or `timeout` expires.
+    ///
+    /// The canonical flow: write on the primary, capture its
+    /// [`Client::replica_state`], then `wait_for_offset` on the replica
+    /// before reading there.
+    pub fn wait_for_offset(&mut self, target: &[ShardPosition], timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let applied = self.replica_state()?;
+            if applied.len() == target.len() && applied.iter().zip(target).all(|(a, t)| a >= t) {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Execution(format!(
+                    "replica did not reach the target position within {timeout:?} \
+                     (applied {applied:?}, wanted {target:?})"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 

@@ -32,6 +32,9 @@ pub enum Error {
     ZoomIn(String),
     /// Binary codec failure (truncated or corrupt buffer).
     Codec(String),
+    /// The statement mutates state but was sent to a read-only replica.
+    /// Carries a hint naming the primary to retry against.
+    ReadOnlyReplica(String),
     /// Underlying I/O failure (result-cache disk operations).
     Io(std::io::Error),
 }
@@ -48,6 +51,7 @@ impl Error {
             Error::Summary(_) => "summary",
             Error::ZoomIn(_) => "zoomin",
             Error::Codec(_) => "codec",
+            Error::ReadOnlyReplica(_) => "read_only_replica",
             Error::Io(_) => "io",
         }
     }
@@ -64,6 +68,7 @@ impl fmt::Display for Error {
             Error::Summary(m) => write!(f, "summary error: {m}"),
             Error::ZoomIn(m) => write!(f, "zoom-in error: {m}"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::ReadOnlyReplica(m) => write!(f, "read-only replica: {m}"),
             Error::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -114,6 +119,7 @@ mod tests {
             Error::Summary(String::new()).class(),
             Error::ZoomIn(String::new()).class(),
             Error::Codec(String::new()).class(),
+            Error::ReadOnlyReplica(String::new()).class(),
         ];
         let unique: std::collections::HashSet<_> = classes.iter().collect();
         assert_eq!(unique.len(), classes.len());

@@ -87,6 +87,27 @@ pub enum Request {
     /// Asks the server to shut down gracefully (final snapshot included);
     /// answered with [`Response::ShuttingDown`].
     Shutdown,
+    /// Switches the connection into replication streaming mode for one
+    /// shard. `epoch`/`offset` name the subscriber's position in that
+    /// shard's WAL ((0, 0) = no local state); the server answers with
+    /// [`Response::SubscribeAck`], optionally a [`Response::SnapshotChunk`]
+    /// bootstrap stream, then an unbounded sequence of
+    /// [`Response::WalFrame`]s. No further requests are read on the
+    /// connection.
+    Subscribe {
+        /// Shard index to tail (`0..shards`).
+        shard: u32,
+        /// WAL epoch of the subscriber's last applied frame, 0 if none.
+        epoch: u64,
+        /// Byte offset *after* the last applied record frame in that
+        /// epoch's WAL (file offset, header included), 0 if none.
+        offset: u64,
+    },
+    /// Asks for the per-shard replication position vector; answered with
+    /// [`Response::ReplicaState`]. On a primary the vector holds each
+    /// shard's committed (fsynced) WAL position; on a replica, the
+    /// primary position it has applied locally.
+    ReplicaState,
 }
 
 impl Request {
@@ -99,7 +120,11 @@ impl Request {
             | Request::Execute { sql }
             | Request::Annotate { sql }
             | Request::ZoomIn { sql } => Some(sql),
-            Request::Ping | Request::Shutdown | Request::AnnotateBatch { .. } => None,
+            Request::Ping
+            | Request::Shutdown
+            | Request::AnnotateBatch { .. }
+            | Request::Subscribe { .. }
+            | Request::ReplicaState => None,
         }
     }
 }
@@ -135,6 +160,55 @@ pub enum Response {
     /// The server acknowledged a shutdown request and will close the
     /// connection after this frame.
     ShuttingDown,
+    /// First answer to [`Request::Subscribe`]: the position the stream
+    /// will continue from. When `snapshot` is true the subscriber's
+    /// position was unusable (no state, stale epoch, or truncated
+    /// history) and a [`Response::SnapshotChunk`] bootstrap stream
+    /// follows before the first [`Response::WalFrame`]; the subscriber
+    /// must discard its local shard state. A new `SubscribeAck` may
+    /// arrive mid-stream when the primary checkpoints (epoch rotation).
+    SubscribeAck {
+        /// WAL epoch the following frames belong to.
+        epoch: u64,
+        /// WAL byte offset the first following frame starts at.
+        offset: u64,
+        /// Whether a snapshot bootstrap stream precedes the WAL frames.
+        snapshot: bool,
+    },
+    /// One chunk of a snapshot bootstrap stream (serialized shard state,
+    /// chunked to bound frame sizes). `last` marks the final chunk.
+    SnapshotChunk {
+        /// Raw snapshot bytes; concatenate chunks in arrival order.
+        data: Vec<u8>,
+        /// Whether this is the final chunk of the snapshot.
+        last: bool,
+    },
+    /// A slice of committed (fsynced and acked) WAL record frames,
+    /// verbatim bytes from the primary's log. Empty `data` is a
+    /// heartbeat carrying the current committed position.
+    WalFrame {
+        /// WAL epoch these bytes belong to.
+        epoch: u64,
+        /// File offset of the first byte in `data`.
+        offset: u64,
+        /// Raw record-frame bytes (`u32 len | u32 crc | payload`…).
+        data: Vec<u8>,
+    },
+    /// Answer to [`Request::ReplicaState`]: one position per shard, in
+    /// shard order.
+    ReplicaState {
+        /// Per-shard committed/applied WAL positions.
+        shards: Vec<ShardPosition>,
+    },
+}
+
+/// One shard's replication position inside [`Response::ReplicaState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardPosition {
+    /// WAL epoch of the position.
+    pub epoch: u64,
+    /// Byte offset after the last committed/applied record frame.
+    pub offset: u64,
 }
 
 /// One value in a result row, mirroring the storage value space.
@@ -259,7 +333,8 @@ impl From<&Error> for WireError {
                 | Error::Annotation(m)
                 | Error::Summary(m)
                 | Error::ZoomIn(m)
-                | Error::Codec(m) => m.clone(),
+                | Error::Codec(m)
+                | Error::ReadOnlyReplica(m) => m.clone(),
             },
         }
     }
@@ -279,6 +354,7 @@ impl WireError {
             "summary" => Error::Summary(m),
             "zoomin" => Error::ZoomIn(m),
             "codec" => Error::Codec(m),
+            "read_only_replica" => Error::ReadOnlyReplica(m),
             "io" => Error::Io(std::io::Error::other(m)),
             _ => Error::Execution(format!("[{}] {m}", self.class)),
         }
@@ -294,6 +370,8 @@ const REQ_ANNOTATE: u8 = 4;
 const REQ_ZOOMIN: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_ANNOTATE_BATCH: u8 = 7;
+const REQ_SUBSCRIBE: u8 = 8;
+const REQ_REPLICA_STATE: u8 = 9;
 
 impl Encodable for Request {
     fn encode(&self, enc: &mut Encoder) {
@@ -320,6 +398,17 @@ impl Encodable for Request {
                 enc.u8(REQ_ANNOTATE_BATCH);
                 enc.seq(statements, |e, s| e.str(s));
             }
+            Request::Subscribe {
+                shard,
+                epoch,
+                offset,
+            } => {
+                enc.u8(REQ_SUBSCRIBE);
+                enc.u32(*shard);
+                enc.u64(*epoch);
+                enc.u64(*offset);
+            }
+            Request::ReplicaState => enc.u8(REQ_REPLICA_STATE),
         }
     }
 
@@ -342,6 +431,12 @@ impl Encodable for Request {
                 }
                 Request::AnnotateBatch { statements }
             }
+            REQ_SUBSCRIBE => Request::Subscribe {
+                shard: dec.u32()?,
+                epoch: dec.u64()?,
+                offset: dec.u64()?,
+            },
+            REQ_REPLICA_STATE => Request::ReplicaState,
             tag => return Err(Error::Codec(format!("unknown request tag {tag}"))),
         })
     }
@@ -354,6 +449,10 @@ const RESP_ZOOMED: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_SHUTTING_DOWN: u8 = 6;
 const RESP_BATCH_ACK: u8 = 7;
+const RESP_SUBSCRIBE_ACK: u8 = 8;
+const RESP_SNAPSHOT_CHUNK: u8 = 9;
+const RESP_WAL_FRAME: u8 = 10;
+const RESP_REPLICA_STATE: u8 = 11;
 
 const ITEM_OK: u8 = 0;
 const ITEM_ERR: u8 = 1;
@@ -415,6 +514,38 @@ impl Encodable for Response {
                 enc.u8(RESP_BATCH_ACK);
                 results.encode(enc);
             }
+            Response::SubscribeAck {
+                epoch,
+                offset,
+                snapshot,
+            } => {
+                enc.u8(RESP_SUBSCRIBE_ACK);
+                enc.u64(*epoch);
+                enc.u64(*offset);
+                enc.bool(*snapshot);
+            }
+            Response::SnapshotChunk { data, last } => {
+                enc.u8(RESP_SNAPSHOT_CHUNK);
+                enc.bytes(data);
+                enc.bool(*last);
+            }
+            Response::WalFrame {
+                epoch,
+                offset,
+                data,
+            } => {
+                enc.u8(RESP_WAL_FRAME);
+                enc.u64(*epoch);
+                enc.u64(*offset);
+                enc.bytes(data);
+            }
+            Response::ReplicaState { shards } => {
+                enc.u8(RESP_REPLICA_STATE);
+                enc.seq(shards, |e, s| {
+                    e.u64(s.epoch);
+                    e.u64(s.offset);
+                });
+            }
         }
     }
 
@@ -437,6 +568,28 @@ impl Encodable for Response {
                 message: dec.str()?,
             }),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_SUBSCRIBE_ACK => Response::SubscribeAck {
+                epoch: dec.u64()?,
+                offset: dec.u64()?,
+                snapshot: dec.bool()?,
+            },
+            RESP_SNAPSHOT_CHUNK => Response::SnapshotChunk {
+                data: dec.bytes()?.to_vec(),
+                last: dec.bool()?,
+            },
+            RESP_WAL_FRAME => Response::WalFrame {
+                epoch: dec.u64()?,
+                offset: dec.u64()?,
+                data: dec.bytes()?.to_vec(),
+            },
+            RESP_REPLICA_STATE => Response::ReplicaState {
+                shards: dec.seq(|d| {
+                    Ok(ShardPosition {
+                        epoch: d.u64()?,
+                        offset: d.u64()?,
+                    })
+                })?,
+            },
             tag => return Err(Error::Codec(format!("unknown response tag {tag}"))),
         })
     }
@@ -678,6 +831,63 @@ mod tests {
             ],
         });
         round_trip(&Request::AnnotateBatch { statements: vec![] });
+        round_trip(&Request::Subscribe {
+            shard: 3,
+            epoch: 7,
+            offset: 4096,
+        });
+        round_trip(&Request::Subscribe {
+            shard: 0,
+            epoch: 0,
+            offset: 0,
+        });
+        round_trip(&Request::ReplicaState);
+    }
+
+    #[test]
+    fn replication_responses_round_trip() {
+        round_trip(&Response::SubscribeAck {
+            epoch: 2,
+            offset: 16,
+            snapshot: true,
+        });
+        round_trip(&Response::SubscribeAck {
+            epoch: 9,
+            offset: 88_124,
+            snapshot: false,
+        });
+        round_trip(&Response::SnapshotChunk {
+            data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            last: false,
+        });
+        round_trip(&Response::SnapshotChunk {
+            data: vec![],
+            last: true,
+        });
+        round_trip(&Response::WalFrame {
+            epoch: 2,
+            offset: 16,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        // Empty data is the heartbeat form.
+        round_trip(&Response::WalFrame {
+            epoch: 2,
+            offset: 1024,
+            data: vec![],
+        });
+        round_trip(&Response::ReplicaState {
+            shards: vec![
+                ShardPosition {
+                    epoch: 1,
+                    offset: 16,
+                },
+                ShardPosition {
+                    epoch: 3,
+                    offset: 9999,
+                },
+            ],
+        });
+        round_trip(&Response::ReplicaState { shards: vec![] });
     }
 
     #[test]

@@ -613,6 +613,67 @@ impl Database {
         Ok(())
     }
 
+    /// The log's committed watermark `(epoch, offset)` — the prefix that
+    /// is safe to ship to replicas: fsynced under [`SyncPolicy::Always`]
+    /// / [`SyncPolicy::Batch`], everything appended under
+    /// [`SyncPolicy::Off`]. `None` when no log is attached.
+    pub fn wal_committed(&self) -> Option<(u64, u64)> {
+        self.wal.as_ref().map(|w| {
+            let w = w.lock();
+            (w.epoch(), w.committed_len())
+        })
+    }
+
+    /// The log file's path, if a log is attached. Replication tails the
+    /// committed prefix of this file through an independent read handle.
+    pub fn wal_path(&self) -> Option<std::path::PathBuf> {
+        self.wal.as_ref().map(|w| w.lock().path().to_path_buf())
+    }
+
+    // -- replication -------------------------------------------------------
+
+    /// Applies one shipped log record through the normal write paths —
+    /// the replica apply point. Semantics match recovery replay exactly
+    /// (same id / clock / vocabulary determinism; a record whose
+    /// statement fails is the correct applied state, not an error).
+    /// Only valid on a database without an attached log: a replica's
+    /// mirrored log is managed by the replication subsystem, so applying
+    /// here must not append a second copy.
+    pub fn apply_wal_record(&mut self, record: &WalRecord) -> Result<()> {
+        if self.wal.is_some() {
+            return Err(Error::Execution(
+                "apply_wal_record is a replica-side path; this database has its own \
+                 write-ahead log attached"
+                    .into(),
+            ));
+        }
+        self.replay(record);
+        Ok(())
+    }
+
+    /// Serializes the full logical state (catalog, annotations,
+    /// summaries, epoch, clock) — the payload a primary streams to a
+    /// bootstrapping replica. Byte-identical to what
+    /// [`Database::save`] would write for the same state.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        crate::persist::snapshot_with(
+            &self.catalog,
+            &self.store,
+            &self.registry,
+            self.epoch,
+            self.clock.now(),
+        )
+    }
+
+    /// Installs serialized state received from a primary's snapshot
+    /// bootstrap (the bytes of [`Database::snapshot_bytes`]), replacing
+    /// all local logical state. Session state (QIDs, caches) resets.
+    pub fn install_replica_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let (catalog, store, registry, epoch, clock) = crate::persist::restore(bytes)?;
+        self.replace_state(catalog, store, registry, epoch, clock);
+        Ok(())
+    }
+
     // -- component access ------------------------------------------------
 
     /// The table catalog.

@@ -236,6 +236,29 @@ impl ShardedDatabase {
         })
     }
 
+    /// Assembles the facade over externally constructed shard databases
+    /// — the replica path: the replication subsystem recovers each
+    /// shard from its mirrored log segment and hands the set here for
+    /// read serving. One database collapses to the legacy facade;
+    /// otherwise a router is built over the set (the id/tick allocator
+    /// resumes past the maximum any shard has seen, exactly as
+    /// [`ShardedDatabase::recover`] does).
+    pub fn from_shards(config: &DbConfig, dbs: Vec<Database>) -> Result<Self> {
+        if dbs.len() <= 1 {
+            let db = dbs.into_iter().next().ok_or_else(|| {
+                Error::Execution("cannot assemble a sharded database over zero shards".into())
+            })?;
+            return Ok(db.into());
+        }
+        let shards: Vec<Arc<RwLock<Database>>> =
+            dbs.into_iter().map(|d| Arc::new(RwLock::new(d))).collect();
+        let router = build_router(config, &shards)?;
+        Ok(Self {
+            shards,
+            router: Some(router),
+        })
+    }
+
     /// Opens a sharded database with full crash recovery: each shard
     /// independently sweeps, loads its snapshot (`<path>.shard<k>`),
     /// and replays its own WAL segment. Layout mismatches — an

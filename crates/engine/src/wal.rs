@@ -47,7 +47,10 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"INWL";
 const VERSION: u32 = 1;
-const HEADER_BYTES: u64 = 16;
+/// Fixed size of the log header (`"INWL" | u32 version | u64 epoch`).
+/// Record frames start at this file offset; replication offsets are
+/// file offsets, so a fresh subscription starts here.
+pub const HEADER_BYTES: u64 = 16;
 /// Upper bound on one record's payload (matches the wire frame cap).
 pub const MAX_RECORD_BYTES: usize = 64 << 20;
 /// The log's file name inside [`crate::db::DbConfig::wal_dir`].
@@ -62,6 +65,15 @@ pub fn crash_point(name: &str) {
             std::process::abort();
         }
     }
+}
+
+/// Reads `INSIGHTNOTES_SYNC_FAIL_AFTER` once per log construction: the
+/// number of fsyncs allowed to succeed before every later one fails
+/// (without aborting). Fault-injection hook; `None` in normal operation.
+fn sync_fail_limit() -> Option<u64> {
+    std::env::var("INSIGHTNOTES_SYNC_FAIL_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 /// When appended records are forced to disk.
@@ -309,6 +321,12 @@ pub struct Wal {
     synced_len: u64,
     appends: u64,
     syncs: u64,
+    /// Set when an fsync failed: the durable prefix is unknowable, so
+    /// the log refuses all further work (DESIGN.md §12).
+    poisoned: Option<String>,
+    /// Fault injection: fail every fsync once `syncs` reaches this
+    /// (captured from `INSIGHTNOTES_SYNC_FAIL_AFTER` at construction).
+    sync_fail_after: Option<u64>,
 }
 
 impl Wal {
@@ -347,6 +365,8 @@ impl Wal {
             synced_len: HEADER_BYTES,
             appends: 0,
             syncs: 0,
+            poisoned: None,
+            sync_fail_after: sync_fail_limit(),
         })
     }
 
@@ -414,6 +434,8 @@ impl Wal {
                 synced_len: pos as u64,
                 appends: 0,
                 syncs: 0,
+                poisoned: None,
+                sync_fail_after: sync_fail_limit(),
             },
             records,
             truncated_bytes,
@@ -437,6 +459,19 @@ impl Wal {
         self.len == HEADER_BYTES
     }
 
+    /// The committed watermark: the prefix of the log that is safe to
+    /// ship to replicas. Under [`SyncPolicy::Off`] there is no fsync
+    /// point, so everything appended counts as committed; otherwise this
+    /// is the fsynced prefix — acks (and therefore replication frames)
+    /// never precede it.
+    pub fn committed_len(&self) -> u64 {
+        if self.policy == SyncPolicy::Off {
+            self.len
+        } else {
+            self.synced_len
+        }
+    }
+
     /// `(appends, fsyncs)` since open — group commit amortization shows
     /// up as appends ≫ fsyncs.
     pub fn io_stats(&self) -> (u64, u64) {
@@ -446,6 +481,7 @@ impl Wal {
     /// Appends one record. Under [`SyncPolicy::Always`] the record is
     /// durable on return; otherwise durability waits for [`Wal::sync`].
     pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        self.check_poisoned()?;
         let mut enc = Encoder::with_capacity(256);
         record.encode(&mut enc);
         let payload = enc.finish();
@@ -480,18 +516,91 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends pre-framed record bytes verbatim — the replication path:
+    /// a replica mirrors the primary's shipped frame bytes into its own
+    /// log so both files agree byte-for-byte behind the applied offset.
+    /// The bytes must parse as a whole number of intact record frames;
+    /// anything else is rejected before touching the file.
+    pub fn append_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.check_poisoned()?;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let Some((_, consumed)) = bytes.get(pos..).and_then(decode_frame) else {
+                return Err(Error::Codec(format!(
+                    "raw WAL append of {} bytes holds a torn or corrupt frame at offset {pos}",
+                    bytes.len()
+                )));
+            };
+            pos += consumed;
+            self.appends += 1;
+        }
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        if self.policy == SyncPolicy::Always {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
     /// Forces every appended record to disk (no-op under
     /// [`SyncPolicy::Off`], or when nothing is pending). This is the
     /// commit point: acks must not be released before it returns.
+    ///
+    /// A *failed* fsync permanently poisons the log: after it, the
+    /// kernel may have dropped any subset of the dirty pages, so the
+    /// durable prefix on disk is unknowable from inside the process. If
+    /// appends were allowed to continue and a later fsync succeeded,
+    /// writes that were already error-acked (and possibly compensated)
+    /// could silently resurrect on restart. Every subsequent
+    /// append/sync/rotate fails fast instead; recovery is a restart,
+    /// which replays exactly the intact durable prefix.
     pub fn sync(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         if self.policy == SyncPolicy::Off || self.synced_len == self.len {
             return Ok(());
         }
         crash_point("wal.sync.before");
-        self.file.sync_data()?;
+        if let Err(e) = self.sync_data_with_fault() {
+            self.poisoned = Some(e.to_string());
+            return Err(e);
+        }
         self.synced_len = self.len;
         self.syncs += 1;
         crash_point("wal.sync.after");
+        Ok(())
+    }
+
+    /// The real fsync, with the `INSIGHTNOTES_SYNC_FAIL_AFTER=<n>`
+    /// fault-injection hook in front: once `n` fsyncs have succeeded on
+    /// this log, every later one fails (without aborting the process) —
+    /// how the poisoning regression tests simulate a dying disk.
+    fn sync_data_with_fault(&mut self) -> Result<()> {
+        if let Some(limit) = self.sync_fail_after {
+            if self.syncs >= limit {
+                return Err(Error::Io(std::io::Error::other(
+                    "injected fsync failure (INSIGHTNOTES_SYNC_FAIL_AFTER)",
+                )));
+            }
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Test-only: arm the fsync fault on this log directly, without
+    /// touching the (process-global, race-prone) environment.
+    #[cfg(test)]
+    pub(crate) fn fail_syncs_after(&mut self, n: u64) {
+        self.sync_fail_after = Some(n);
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if let Some(why) = &self.poisoned {
+            return Err(Error::Execution(format!(
+                "write-ahead log {} is poisoned after a failed sync ({why}); \
+                 restart the server to recover the durable prefix",
+                self.path.display()
+            )));
+        }
         Ok(())
     }
 
@@ -500,6 +609,7 @@ impl Wal {
     /// already reflected in it and the log can be cut back to a bare
     /// header.
     pub fn rotate(&mut self, new_epoch: u64) -> Result<()> {
+        self.check_poisoned()?;
         crash_point("wal.rotate.before");
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
@@ -537,8 +647,10 @@ fn le_field<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
 }
 
 /// Decodes one record frame from the front of `bytes`; `None` marks a
-/// torn or corrupt frame (truncation point).
-fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+/// torn or corrupt frame (truncation point). Public so the replication
+/// subsystem can decode shipped frame bytes with the same strictness as
+/// recovery.
+pub fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
     let len = u32::from_le_bytes(le_field(bytes, 0)?) as usize;
     if len > MAX_RECORD_BYTES {
         return None;
@@ -766,6 +878,77 @@ mod tests {
         wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
         wal.sync().unwrap();
         assert_eq!(wal.io_stats(), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_raw_mirrors_frames_and_rejects_torn_bytes() {
+        let dir = temp_dir("rawsrc");
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&dir, 5, SyncPolicy::Off).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let frames = std::fs::read(Wal::path_in(&dir)).unwrap()[HEADER_BYTES as usize..].to_vec();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let dir = temp_dir("rawdst");
+        let mut wal = Wal::create(&dir, 5, SyncPolicy::Batch).unwrap();
+        // Torn or corrupt raw bytes are rejected without touching the file.
+        let err = wal.append_raw(&frames[..frames.len() - 1]).unwrap_err();
+        assert_eq!(err.class(), "codec");
+        assert!(wal.is_empty());
+
+        wal.append_raw(&frames).unwrap();
+        assert_eq!(wal.committed_len(), HEADER_BYTES);
+        wal.sync().unwrap();
+        assert_eq!(wal.committed_len(), HEADER_BYTES + frames.len() as u64);
+        drop(wal);
+        // The mirrored log reopens to the same records, byte-identical
+        // behind the shipped frames.
+        let scan = Wal::open(&dir, SyncPolicy::Batch).unwrap().unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn committed_len_counts_everything_under_sync_off() {
+        let dir = temp_dir("committed-off");
+        let mut wal = Wal::create(&dir, 0, SyncPolicy::Off).unwrap();
+        wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
+        assert_eq!(wal.committed_len(), wal.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_sync_poisons_the_log_for_good() {
+        let dir = temp_dir("poison");
+        let mut wal = Wal::create(&dir, 1, SyncPolicy::Batch).unwrap();
+        wal.append(&WalRecord::Script { sql: "a".into() }).unwrap();
+        wal.sync().unwrap();
+        let durable = wal.committed_len();
+        wal.fail_syncs_after(1);
+        wal.append(&WalRecord::Script { sql: "b".into() }).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"), "{err}");
+        // Sticky: every later operation refuses, the committed
+        // watermark never advances past the last good fsync, and even a
+        // checkpoint rotation cannot resurrect the log.
+        assert!(wal.append(&WalRecord::Script { sql: "c".into() }).is_err());
+        assert!(wal.sync().is_err());
+        assert!(wal.rotate(2).is_err());
+        assert_eq!(wal.committed_len(), durable);
+        // Restart is the recovery path: reopening scans whatever made it
+        // to the file intact (in-process the page cache still holds the
+        // unsynced append; after power loss it may not — the daemon
+        // fault-injection tests cover that side).
+        drop(wal);
+        let scan = Wal::open(&dir, SyncPolicy::Batch).unwrap().unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

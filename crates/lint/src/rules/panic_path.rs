@@ -36,9 +36,16 @@ struct Scope {
     fns: Option<&'static [&'static str]>,
 }
 
-const SCOPES: [Scope; 3] = [
+const SCOPES: [Scope; 4] = [
     Scope {
         path_prefix: "crates/server/src/",
+        fns: None,
+    },
+    Scope {
+        // Replication: replica apply/decode and feed paths consume
+        // bytes from the wire and from mirrored logs — a malformed
+        // frame must surface as an error, never a panic.
+        path_prefix: "crates/replication/src/",
         fns: None,
     },
     Scope {

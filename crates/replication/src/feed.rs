@@ -1,0 +1,222 @@
+//! Primary-side feed planning: deciding how a subscriber joins a
+//! shard's stream and reading committed log ranges for shipment.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
+
+use insightnotes_common::{Error, Result};
+use insightnotes_engine::{wal, Database};
+use parking_lot::RwLock;
+
+/// Snapshot payloads are streamed in chunks of at most this many bytes
+/// so a bootstrap never needs a single frame anywhere near
+/// `MAX_FRAME_BYTES`, and the replica can observe progress.
+pub const SNAPSHOT_CHUNK_BYTES: usize = 1 << 20;
+
+/// How a subscription to one shard starts.
+#[derive(Debug)]
+pub enum FeedStart {
+    /// The subscriber's position is a committed prefix of the current
+    /// epoch's log: tail from there, no state transfer needed.
+    Resume {
+        /// Epoch being tailed.
+        epoch: u64,
+        /// Byte offset tailing starts from.
+        offset: u64,
+    },
+    /// The subscriber needs a full state transfer: install `snapshot`,
+    /// then tail `epoch` from `offset`.
+    Bootstrap {
+        /// Epoch the snapshot belongs to.
+        epoch: u64,
+        /// Log offset the snapshot covers up to (tailing starts here).
+        offset: u64,
+        /// Serialized engine state (same bytes as a checkpoint file).
+        snapshot: Vec<u8>,
+    },
+}
+
+fn wal_required() -> Error {
+    Error::Execution(
+        "replication requires the primary to run with a write-ahead log (--wal-dir)".into(),
+    )
+}
+
+/// Decide how a subscriber at (`epoch`, `offset`) joins `shard`'s feed.
+///
+/// A subscriber resumes when it sits on a committed prefix of the
+/// current epoch; anything else (cold start, epoch from before a
+/// checkpoint rotation, an offset the log has never committed) gets a
+/// snapshot bootstrap. The bootstrap capture runs entirely under the
+/// shard's read guard: readers exclude writers, so forcing the log
+/// durable and serializing state observe the same logical instant, and
+/// the captured `offset` is exactly the log length that snapshot covers.
+pub fn plan_feed(shard: &Arc<RwLock<Database>>, epoch: u64, offset: u64) -> Result<FeedStart> {
+    let guard = shard.read();
+    let Some((current_epoch, committed)) = guard.wal_committed() else {
+        return Err(wal_required());
+    };
+    if epoch == current_epoch && offset >= wal::HEADER_BYTES && offset <= committed {
+        return Ok(FeedStart::Resume { epoch, offset });
+    }
+    guard.wal_sync()?;
+    let Some((snap_epoch, snap_offset)) = guard.wal_committed() else {
+        return Err(wal_required());
+    };
+    Ok(FeedStart::Bootstrap {
+        epoch: snap_epoch,
+        offset: snap_offset,
+        snapshot: guard.snapshot_bytes(),
+    })
+}
+
+/// Read the committed byte range `[from, committed_len)` of `shard`'s
+/// log for epoch `epoch`.
+///
+/// Returns `Ok(None)` when the shard's log is no longer on `epoch`
+/// (checkpoint rotation truncated it) — the caller should re-plan the
+/// feed. Returns `Ok(Some((from, [])))` when the subscriber is already
+/// caught up. The file read itself happens on an independent handle
+/// with no engine lock held: the log is append-only within an epoch, so
+/// a committed prefix is immutable, and the epoch is re-checked after
+/// reading to reject bytes that raced a rotation.
+pub fn read_committed(
+    shard: &Arc<RwLock<Database>>,
+    epoch: u64,
+    from: u64,
+) -> Result<Option<(u64, Vec<u8>)>> {
+    let (path, committed) = {
+        let guard = shard.read();
+        let Some((current_epoch, committed)) = guard.wal_committed() else {
+            return Err(wal_required());
+        };
+        if current_epoch != epoch {
+            return Ok(None);
+        }
+        let Some(path) = guard.wal_path() else {
+            return Err(wal_required());
+        };
+        (path, committed)
+    };
+    if committed < from {
+        return Ok(None);
+    }
+    if committed == from {
+        return Ok(Some((from, Vec::new())));
+    }
+    let want = usize::try_from(committed - from)
+        .map_err(|_| Error::Execution("committed log range exceeds addressable memory".into()))?;
+    let mut file = File::open(&path)?;
+    file.seek(SeekFrom::Start(from))?;
+    let mut data = vec![0u8; want];
+    let mut filled = 0usize;
+    while filled < want {
+        let Some(buf) = data.get_mut(filled..) else {
+            break;
+        };
+        match file.read(buf) {
+            // Shorter than the committed length we captured: the file
+            // was truncated by a rotation mid-read. Re-plan.
+            Ok(0) => return Ok(None),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Rotation truncates the file in place; bytes read across one are
+    // garbage even if the length matched. Re-check before shipping.
+    {
+        let guard = shard.read();
+        match guard.wal_committed() {
+            Some((current_epoch, _)) if current_epoch == epoch => {}
+            _ => return Ok(None),
+        }
+    }
+    Ok(Some((committed, data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_engine::{wal::SyncPolicy, Database, DbConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "insightnotes-feed-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wal_db(dir: &std::path::Path) -> Arc<RwLock<Database>> {
+        let config = DbConfig {
+            wal_dir: Some(dir.to_path_buf()),
+            wal_sync: SyncPolicy::Batch,
+            ..DbConfig::default()
+        };
+        let db = Database::with_config(config).expect("open");
+        Arc::new(RwLock::new(db))
+    }
+
+    fn run(db: &Arc<RwLock<Database>>, sql: &str) {
+        db.write().execute_sql(sql).expect("execute");
+    }
+
+    #[test]
+    fn cold_subscriber_gets_bootstrap_and_resume_reads_committed_bytes() {
+        let dir = temp_dir("bootstrap-resume");
+        let db = wal_db(&dir);
+        run(&db, "CREATE TABLE genes (id INT, name TEXT)");
+        run(&db, "INSERT INTO genes VALUES (1, 'brca1')");
+
+        let FeedStart::Bootstrap {
+            epoch,
+            offset,
+            snapshot,
+        } = plan_feed(&db, 0, 0).expect("plan")
+        else {
+            panic!("cold subscriber must bootstrap");
+        };
+        assert!(offset > wal::HEADER_BYTES);
+        assert!(!snapshot.is_empty());
+
+        // At the snapshot position the subscriber resumes, and is
+        // initially caught up.
+        let FeedStart::Resume { .. } = plan_feed(&db, epoch, offset).expect("plan resume") else {
+            panic!("snapshot position must resume");
+        };
+        let (end, bytes) = read_committed(&db, epoch, offset)
+            .expect("read")
+            .expect("same epoch");
+        assert_eq!((end, bytes.len()), (offset, 0));
+
+        // New committed writes become readable frame bytes.
+        run(&db, "INSERT INTO genes VALUES (2, 'tp53')");
+        db.read().wal_sync().expect("sync");
+        let (end, bytes) = read_committed(&db, epoch, offset)
+            .expect("read")
+            .expect("same epoch");
+        assert!(end > offset);
+        assert_eq!(bytes.len() as u64, end - offset);
+        let (record, used) = wal::decode_frame(&bytes).expect("frame decodes");
+        assert_eq!(used, bytes.len());
+        drop(record);
+
+        // A subscriber from a different epoch is told to re-plan.
+        assert!(read_committed(&db, epoch + 1, offset)
+            .expect("read")
+            .is_none());
+        let FeedStart::Bootstrap { .. } = plan_feed(&db, epoch + 1, offset).expect("plan") else {
+            panic!("foreign epoch must bootstrap");
+        };
+    }
+
+    #[test]
+    fn wal_less_primary_refuses_to_feed() {
+        let db = Arc::new(RwLock::new(Database::new()));
+        assert!(plan_feed(&db, 0, 0).is_err());
+        assert!(read_committed(&db, 0, 0).is_err());
+    }
+}

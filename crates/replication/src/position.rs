@@ -1,0 +1,105 @@
+//! Applied-position tracking shared between tailer threads and the
+//! serving layer.
+
+use insightnotes_common::wire::ShardPosition;
+use parking_lot::Mutex;
+
+/// Per-shard applied (epoch, offset) vector.
+///
+/// Each tailer thread publishes its shard's position *after* the
+/// corresponding records have been applied to the local engine, so any
+/// position read from this table is backed by locally queryable state —
+/// that ordering is what makes `Client::wait_for_offset` deliver
+/// read-your-writes. A single mutex over the whole vector (rather than
+/// per-shard atomics) keeps every `snapshot` internally consistent:
+/// no torn (epoch, offset) pairs.
+#[derive(Debug)]
+pub struct PositionTable {
+    slots: Mutex<Vec<ShardPosition>>,
+}
+
+impl PositionTable {
+    /// A table for `shards` shards, all starting at the cold position
+    /// (epoch 0, offset 0), which the primary never uses for live data
+    /// (live offsets start past the log header).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            slots: Mutex::new(vec![
+                ShardPosition {
+                    epoch: 0,
+                    offset: 0
+                };
+                shards
+            ]),
+        }
+    }
+
+    /// Number of shards tracked.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// The applied position of one shard, or `None` for an out-of-range
+    /// index.
+    #[must_use]
+    pub fn get(&self, shard: usize) -> Option<ShardPosition> {
+        self.slots.lock().get(shard).copied()
+    }
+
+    /// Publish a new applied position for one shard. Out-of-range
+    /// indexes are ignored (the table's width is fixed at startup).
+    pub fn set(&self, shard: usize, pos: ShardPosition) {
+        if let Some(slot) = self.slots.lock().get_mut(shard) {
+            *slot = pos;
+        }
+    }
+
+    /// A consistent copy of the whole vector.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ShardPosition> {
+        self.slots.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_cold_and_tracks_sets() {
+        let table = PositionTable::new(3);
+        assert_eq!(table.shard_count(), 3);
+        assert_eq!(
+            table.get(1),
+            Some(ShardPosition {
+                epoch: 0,
+                offset: 0
+            })
+        );
+        table.set(
+            1,
+            ShardPosition {
+                epoch: 2,
+                offset: 99,
+            },
+        );
+        assert_eq!(
+            table.get(1),
+            Some(ShardPosition {
+                epoch: 2,
+                offset: 99
+            })
+        );
+        assert_eq!(table.get(7), None);
+        table.set(
+            7,
+            ShardPosition {
+                epoch: 1,
+                offset: 1,
+            },
+        );
+        assert_eq!(table.snapshot().len(), 3);
+    }
+}

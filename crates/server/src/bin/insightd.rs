@@ -4,6 +4,7 @@
 //! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 64]
 //!          [--timeout-ms 10000] [--parallelism N] [--shards N]
 //!          [--wal-dir DIR] [--sync always|batch|off]
+//!          [--replica-of HOST:PORT --replica-dir DIR]
 //! ```
 //!
 //! Serves the wire protocol (see `insightnotes_common::wire`) over TCP
@@ -22,9 +23,19 @@
 //! shard's epoch and replay count on stderr. `--addr` with port 0 picks
 //! an ephemeral port; the bound address is printed on the first stdout
 //! line (`insightd listening on HOST:PORT`) so scripts can scrape it.
+//!
+//! `--replica-of HOST:PORT` starts a **read replica** instead: local
+//! state recovers from `--replica-dir` (snapshot-bootstrapped from the
+//! primary when cold or inconsistent), per-shard tailer threads follow
+//! the primary's committed WAL stream, reads serve locally, and writes
+//! are rejected with a structured `read_only_replica` error naming the
+//! primary. The replica inherits the primary's shard count; `--shards`,
+//! `--wal-dir`, `--sync`, and `--snapshot` are primary-only flags and
+//! conflict with replica mode.
 
 use insightnotes_engine::{DbConfig, ShardedDatabase, SyncPolicy};
-use insightnotes_server::{install_signal_handlers, Server, ServerConfig};
+use insightnotes_replication::replica::{ReplicaConfig, Replicator};
+use insightnotes_server::{install_signal_handlers, ReplicaServing, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -40,6 +51,9 @@ fn main() {
 
 fn run() -> insightnotes_common::Result<u64> {
     let opts = parse_args()?;
+    if let Some(primary) = opts.replica_of.clone() {
+        return run_replica(&opts, primary);
+    }
 
     let db_config = DbConfig {
         parallelism: opts.parallelism,
@@ -105,6 +119,52 @@ fn run() -> insightnotes_common::Result<u64> {
     Ok(served)
 }
 
+/// Replica mode: recover/bootstrap local state, start the tailers, and
+/// serve reads until shutdown.
+fn run_replica(opts: &Opts, primary: String) -> insightnotes_common::Result<u64> {
+    let bad = |m: &str| insightnotes_common::Error::Execution(m.into());
+    let Some(dir) = opts.replica_dir.clone() else {
+        return Err(bad("--replica-of needs --replica-dir for local state"));
+    };
+    if opts.wal_dir.is_some() || opts.snapshot.is_some() || opts.shards_set {
+        return Err(bad(
+            "--wal-dir/--snapshot/--shards are primary-only flags; a replica \
+             mirrors the primary's layout into --replica-dir",
+        ));
+    }
+    let boot = Replicator::start(&ReplicaConfig::new(primary.clone(), dir))?;
+    for (k, resumed) in boot.resumed.iter().enumerate() {
+        eprintln!(
+            "insightd: replica: shard {k}: {}",
+            if *resumed {
+                "resuming from local state"
+            } else {
+                "cold, bootstrapping from primary"
+            }
+        );
+    }
+    let config = ServerConfig {
+        max_connections: opts.max_conns,
+        request_timeout: Duration::from_millis(opts.timeout_ms),
+        snapshot_path: None,
+        replica: Some(ReplicaServing {
+            primary,
+            positions: boot.replicator.positions(),
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_sharded(opts.addr.as_str(), boot.db, config)?;
+    install_signal_handlers();
+    println!("insightd listening on {}", server.local_addr()?);
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let served = server.run()?;
+    // Stop tailing only after the listener drained: reads served during
+    // shutdown still see the freshest applied state.
+    drop(boot.replicator);
+    Ok(served)
+}
+
 struct Opts {
     addr: String,
     snapshot: Option<PathBuf>,
@@ -112,8 +172,13 @@ struct Opts {
     timeout_ms: u64,
     parallelism: Option<usize>,
     shards: usize,
+    /// Whether `--shards` was given explicitly (it conflicts with
+    /// replica mode, whose shard count comes from the primary).
+    shards_set: bool,
     wal_dir: Option<PathBuf>,
     sync: SyncPolicy,
+    replica_of: Option<String>,
+    replica_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> insightnotes_common::Result<Opts> {
@@ -126,8 +191,11 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
         // Shard per core by default; a one-core box gets the legacy
         // single-lock engine and on-disk layout.
         shards: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        shards_set: false,
         wal_dir: None,
         sync: SyncPolicy::Batch,
+        replica_of: None,
+        replica_dir: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -137,7 +205,8 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
             println!(
                 "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
                  [--max-conns N] [--timeout-ms N] [--parallelism N] \
-                 [--shards N] [--wal-dir DIR] [--sync always|batch|off]"
+                 [--shards N] [--wal-dir DIR] [--sync always|batch|off] \
+                 [--replica-of HOST:PORT --replica-dir DIR]"
             );
             std::process::exit(0);
         }
@@ -169,9 +238,12 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
                 if opts.shards == 0 {
                     return Err(bad("--shards must be at least 1".into()));
                 }
+                opts.shards_set = true;
             }
             "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value)),
             "--sync" => opts.sync = SyncPolicy::parse(value)?,
+            "--replica-of" => opts.replica_of = Some(value.clone()),
+            "--replica-dir" => opts.replica_dir = Some(PathBuf::from(value)),
             other => return Err(bad(format!("unknown flag {other}"))),
         }
         i += 2;

@@ -67,14 +67,29 @@
 //!   unblock every session socket, join the session threads, then write
 //!   a final [`insightnotes_engine::persist`] snapshot when a snapshot
 //!   path is configured.
+//!
+//! ## Replication
+//!
+//! A WAL-attached primary also serves [`Request::Subscribe`]: the
+//! session switches into a one-way streaming mode that bootstraps the
+//! subscriber with a chunked snapshot when needed and then ships every
+//! *committed* (fsynced, hence acked) WAL byte range as
+//! [`Response::WalFrame`]s — see [`insightnotes_replication::feed`].
+//! A server started in replica mode ([`ServerConfig::replica`]) serves
+//! reads from locally applied state, answers
+//! [`Request::ReplicaState`] with its applied position vector (the
+//! read-your-writes handshake), and rejects every write with
+//! [`Error::ReadOnlyReplica`] naming the primary.
 
 use insightnotes_common::wire::{
-    self, BatchItem, Request, Response, RowsPayload, WireAnnotation, WireError, WireRow, WireValue,
-    ZoomPayload,
+    self, BatchItem, Request, Response, RowsPayload, ShardPosition, WireAnnotation, WireError,
+    WireRow, WireValue, ZoomPayload,
 };
 use insightnotes_common::{AnnotationId, Error, Result};
 use insightnotes_engine::db::{ExecOutcome, QueryResult, SqlStatement, ZoomInResult};
 use insightnotes_engine::{Database, ShardedDatabase, StampedRowAnnotation};
+use insightnotes_replication::feed::{self, FeedStart};
+use insightnotes_replication::PositionTable;
 use insightnotes_sql::{parse, Statement, StatementClass};
 use insightnotes_storage::{Column, Value};
 use parking_lot::{Mutex, RwLock};
@@ -104,6 +119,20 @@ pub struct ServerConfig {
     /// whose `Annotate`/`AnnotateBatch` lands on a full queue block until
     /// the committer drains — natural backpressure on ingest bursts.
     pub commit_queue_depth: usize,
+    /// When set, this server is a read replica: reads serve locally,
+    /// writes are rejected with [`Error::ReadOnlyReplica`], and
+    /// `ReplicaState` reports the tailers' applied positions.
+    pub replica: Option<ReplicaServing>,
+}
+
+/// Replica-mode serving context: where writes should be redirected and
+/// which applied positions to report.
+#[derive(Debug, Clone)]
+pub struct ReplicaServing {
+    /// Primary address, quoted in `ReadOnlyReplica` rejections.
+    pub primary: String,
+    /// Applied-position table shared with the replica's tailer threads.
+    pub positions: Arc<PositionTable>,
 }
 
 impl Default for ServerConfig {
@@ -114,8 +143,20 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             snapshot_path: None,
             commit_queue_depth: 256,
+            replica: None,
         }
     }
+}
+
+/// Per-shard commit notification: the shard's committer bumps `seq`
+/// after every successful group fsync and wakes all waiters, so a
+/// caught-up replication feed ships the new frames immediately instead
+/// of discovering them on its next poll tick. Steady-state replication
+/// lag is then one ship + one apply, not the poll interval.
+#[derive(Debug, Default)]
+struct CommitSignal {
+    seq: Mutex<u64>,
+    cond: std::sync::Condvar,
 }
 
 /// Shared mutable server state (the handle and every session see it).
@@ -129,11 +170,42 @@ struct ServerState {
     /// Socket clones of live sessions, used to unblock their reads at
     /// shutdown.
     sessions: Mutex<HashMap<u64, TcpStream>>,
+    /// One [`CommitSignal`] per shard.
+    commits: Vec<CommitSignal>,
 }
 
 impl ServerState {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed) || signal_requested()
+    }
+
+    /// Current commit sequence for `shard` (0 if out of range).
+    fn commit_seq(&self, shard: usize) -> u64 {
+        self.commits.get(shard).map_or(0, |s| *s.seq.lock())
+    }
+
+    /// Bumps `shard`'s commit sequence and wakes every feed waiting on it.
+    fn notify_commit(&self, shard: usize) {
+        if let Some(s) = self.commits.get(shard) {
+            *s.seq.lock() += 1;
+            s.cond.notify_all();
+        }
+    }
+
+    /// Blocks until `shard`'s commit sequence moves past `seen`, the
+    /// timeout elapses, or a spurious wakeup fires — the caller's poll
+    /// loop re-checks the committed watermark either way, so this only
+    /// needs to be a bounded, prompt-on-commit wait.
+    fn wait_commit_past(&self, shard: usize, seen: u64, timeout: Duration) {
+        let Some(s) = self.commits.get(shard) else {
+            std::thread::sleep(timeout);
+            return;
+        };
+        let guard = s.seq.lock();
+        if *guard != seen {
+            return;
+        }
+        drop(s.cond.wait_timeout(guard, timeout));
     }
 
     fn begin_shutdown(&self) {
@@ -200,6 +272,9 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept lets the loop poll the shutdown flag.
         listener.set_nonblocking(true)?;
+        let commits = (0..db.shard_count())
+            .map(|_| CommitSignal::default())
+            .collect();
         Ok(Self {
             listener,
             db: Arc::new(db),
@@ -210,6 +285,7 @@ impl Server {
                 served: AtomicU64::new(0),
                 next_session: AtomicU64::new(0),
                 sessions: Mutex::new(HashMap::new()),
+                commits,
             }),
         })
     }
@@ -247,7 +323,10 @@ impl Server {
         for shard in 0..self.db.shard_count() {
             let (tx, rx) = mpsc::sync_channel::<CommitJob>(depth);
             let db = Arc::clone(&self.db);
-            committers.push(std::thread::spawn(move || run_committer(rx, &db, shard)));
+            let state = Arc::clone(&self.state);
+            committers.push(std::thread::spawn(move || {
+                run_committer(rx, &db, shard, &state);
+            }));
             commit_txs.push(tx);
         }
         let commit_txs = Arc::new(commit_txs);
@@ -403,7 +482,22 @@ fn batch_item(r: Result<ExecOutcome>, sync_err: Option<&Error>) -> BatchItem {
 /// every sender is gone and the queue is empty, which is what makes
 /// shutdown lossless. N shards run N of these: N independent lock
 /// domains and N overlapping fsync pipelines.
-fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &ShardedDatabase, shard: usize) {
+///
+/// A failed fsync also poisons the *committer itself* for the rest of
+/// its lifetime (mirroring the engine-level `Wal` poisoning): every
+/// later group on this shard is rejected without executing. Were
+/// commits allowed to resume after a sync failure, a previously
+/// compensated (error-acked) annotation could silently resurrect on the
+/// next successful fsync — the DESIGN.md §12 residual risk this
+/// closes. Recovery is an operator restart, which replays only the
+/// durable prefix.
+fn run_committer(
+    rx: mpsc::Receiver<CommitJob>,
+    db: &ShardedDatabase,
+    shard: usize,
+    state: &ServerState,
+) {
+    let mut poisoned: Option<String> = None;
     while let Ok(first) = rx.recv() {
         let mut queued = first.payload.len();
         let mut jobs = vec![first];
@@ -434,6 +528,16 @@ fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &ShardedDatabase, shard: usi
             }
             replies.push(job.reply);
         }
+        if let Some(why) = &poisoned {
+            let item = BatchItem::Err(WireError::from(&Error::Execution(format!(
+                "shard {shard} commits are disabled after an earlier write-ahead-log \
+                 sync failure: {why}"
+            ))));
+            for ((_, n), reply) in spans.into_iter().zip(replies) {
+                let _ = reply.send(vec![item.clone(); n]);
+            }
+            continue;
+        }
         let handle = db.shard(shard);
         let (sql_results, stamped_results) = {
             let mut guard = handle.write();
@@ -452,6 +556,13 @@ fn run_committer(rx: mpsc::Receiver<CommitJob>, db: &ShardedDatabase, shard: usi
         // Group-commit fsync *after* releasing the exclusive lock (sync
         // only needs `&self`), *before* releasing any reply.
         let sync_err = handle.read().wal_sync().err();
+        if let Some(e) = &sync_err {
+            poisoned = Some(e.to_string());
+        } else {
+            // The group is durable: move the committed watermark's
+            // signal so caught-up replication feeds ship it now.
+            state.notify_commit(shard);
+        }
         let mut sql_results = sql_results.into_iter();
         let mut stamped_results = stamped_results.into_iter();
         for ((is_sql, n), reply) in spans.into_iter().zip(replies) {
@@ -756,6 +867,17 @@ fn run_session(
             }
             Ok(FrameRead::Frame(req)) => {
                 state.served.fetch_add(1, Ordering::Relaxed);
+                if let Request::Subscribe {
+                    shard,
+                    epoch,
+                    offset,
+                } = req
+                {
+                    // The connection becomes a one-way replication
+                    // stream; no further requests are read on it.
+                    run_feed(&mut stream, db, state, shard, epoch, offset);
+                    break;
+                }
                 let shutdown_requested = matches!(req, Request::Shutdown);
                 let response = handle_request(db, state, committer, req);
                 let write_ok = wire::write_frame(&mut stream, &response).is_ok();
@@ -778,6 +900,168 @@ fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io:
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(state.config.poll_interval))?;
     stream.set_write_timeout(Some(state.config.request_timeout))?;
+    Ok(())
+}
+
+// -- replication feed -----------------------------------------------------
+
+/// Idle poll ticks between replication heartbeats (empty `WalFrame`s
+/// that both prove liveness and detect a dead subscriber).
+const HEARTBEAT_TICKS: u32 = 20;
+
+/// Serves one replication subscription until the stream breaks or the
+/// server shuts down. Failures that are the subscriber's fault (bad
+/// shard index, subscribing to a replica, WAL disabled) go out as a
+/// structured error frame; write failures just end the feed — the
+/// subscriber reconnects and resubscribes.
+fn run_feed(
+    stream: &mut TcpStream,
+    db: &ShardedDatabase,
+    state: &ServerState,
+    shard: u32,
+    epoch: u64,
+    offset: u64,
+) {
+    if let Err(e) = try_run_feed(stream, db, state, shard, epoch, offset) {
+        let _ = wire::write_frame(stream, &Response::Error(WireError::from(&e)));
+    }
+}
+
+fn try_run_feed(
+    stream: &mut TcpStream,
+    db: &ShardedDatabase,
+    state: &ServerState,
+    shard: u32,
+    sub_epoch: u64,
+    sub_offset: u64,
+) -> Result<()> {
+    if let Some(replica) = &state.config.replica {
+        return Err(Error::Execution(format!(
+            "this server is a replica; subscribe to the primary at {}",
+            replica.primary
+        )));
+    }
+    let shard_idx = usize::try_from(shard).unwrap_or(usize::MAX);
+    if shard_idx >= db.shard_count() {
+        return Err(Error::Execution(format!(
+            "no shard {shard} on this primary ({} shard(s))",
+            db.shard_count()
+        )));
+    }
+    let handle = db.shard(shard_idx);
+    let mut sub = (sub_epoch, sub_offset);
+    'plan: loop {
+        if state.shutting_down() {
+            return Ok(());
+        }
+        // Decide how this subscriber joins: resume at its own position,
+        // or snapshot-bootstrap it (also the path after an epoch
+        // rotation mid-stream — the subscriber sees a fresh
+        // SubscribeAck and discards its local shard state).
+        let (epoch, mut cursor) = match feed::plan_feed(handle, sub.0, sub.1)? {
+            FeedStart::Resume { epoch, offset } => {
+                wire::write_frame(
+                    stream,
+                    &Response::SubscribeAck {
+                        epoch,
+                        offset,
+                        snapshot: false,
+                    },
+                )?;
+                (epoch, offset)
+            }
+            FeedStart::Bootstrap {
+                epoch,
+                offset,
+                snapshot,
+            } => {
+                wire::write_frame(
+                    stream,
+                    &Response::SubscribeAck {
+                        epoch,
+                        offset,
+                        snapshot: true,
+                    },
+                )?;
+                let total = snapshot.len();
+                let mut sent = 0usize;
+                loop {
+                    let end = (sent + feed::SNAPSHOT_CHUNK_BYTES).min(total);
+                    let Some(chunk) = snapshot.get(sent..end) else {
+                        break;
+                    };
+                    wire::write_frame(
+                        stream,
+                        &Response::SnapshotChunk {
+                            data: chunk.to_vec(),
+                            last: end == total,
+                        },
+                    )?;
+                    sent = end;
+                    if sent >= total {
+                        break;
+                    }
+                }
+                (epoch, offset)
+            }
+        };
+        let mut idle = 0u32;
+        loop {
+            if state.shutting_down() {
+                return Ok(());
+            }
+            // Snapshot the commit signal *before* reading the watermark:
+            // a commit that lands between the read and the wait below
+            // moves the sequence past `seen`, so the wait returns
+            // immediately instead of losing the wakeup.
+            let seen = state.commit_seq(shard_idx);
+            match feed::read_committed(handle, epoch, cursor)? {
+                // The shard's log left this epoch (checkpoint rotation):
+                // re-plan, which bootstraps the subscriber afresh.
+                None => {
+                    sub = (epoch, cursor);
+                    continue 'plan;
+                }
+                Some((_, data)) if data.is_empty() => {
+                    state.wait_commit_past(shard_idx, seen, state.config.poll_interval);
+                    idle += 1;
+                    if idle >= HEARTBEAT_TICKS {
+                        idle = 0;
+                        wire::write_frame(
+                            stream,
+                            &Response::WalFrame {
+                                epoch,
+                                offset: cursor,
+                                data: Vec::new(),
+                            },
+                        )?;
+                    }
+                }
+                Some((end, data)) => {
+                    idle = 0;
+                    wire::write_frame(
+                        stream,
+                        &Response::WalFrame {
+                            epoch,
+                            offset: cursor,
+                            data,
+                        },
+                    )?;
+                    cursor = end;
+                }
+            }
+        }
+    }
+}
+
+/// Rejects a write-class request when this server is a replica.
+fn reject_if_replica(state: &ServerState) -> Result<()> {
+    if let Some(replica) = &state.config.replica {
+        return Err(Error::ReadOnlyReplica(format!(
+            "writes must go to the primary at {}",
+            replica.primary
+        )));
+    }
     Ok(())
 }
 
@@ -844,6 +1128,7 @@ fn try_handle_request(
             }
         }
         Request::Annotate { sql } => {
+            reject_if_replica(state)?;
             let stmt = annotate_statement(&sql, "Annotate")?;
             let mut items = submit_annotations(db, committer, vec![stmt])?;
             match items.pop() {
@@ -855,6 +1140,7 @@ fn try_handle_request(
             }
         }
         Request::AnnotateBatch { statements } => {
+            reject_if_replica(state)?;
             // Each item parses independently; the ones that don't become
             // per-item errors while the rest still group-commit.
             let mut slots: Vec<Option<BatchItem>> = Vec::new();
@@ -910,6 +1196,7 @@ fn try_handle_request(
                     .map(|s| Ok(db.execute_read(s)?.to_string()))
                     .collect::<Result<Vec<_>>>()?
             } else {
+                reject_if_replica(state)?;
                 // The script's source text goes through execute_sql so
                 // the WAL (when attached) records it before execution —
                 // on every shard it touches; the sync below is the
@@ -923,6 +1210,28 @@ fn try_handle_request(
                     .collect()
             };
             Ok(Response::Ack { messages })
+        }
+        // Intercepted in `run_session` (it consumes the whole
+        // connection); reaching here means a caller bypassed that path.
+        Request::Subscribe { .. } => Err(Error::Execution(
+            "Subscribe is handled at the session layer".into(),
+        )),
+        Request::ReplicaState => {
+            if let Some(replica) = &state.config.replica {
+                return Ok(Response::ReplicaState {
+                    shards: replica.positions.snapshot(),
+                });
+            }
+            let mut shards = Vec::with_capacity(db.shard_count());
+            for k in 0..db.shard_count() {
+                let (epoch, offset) = db.shard(k).read().wal_committed().ok_or_else(|| {
+                    Error::Execution(
+                        "replication state requires a write-ahead log (--wal-dir)".into(),
+                    )
+                })?;
+                shards.push(ShardPosition { epoch, offset });
+            }
+            Ok(Response::ReplicaState { shards })
         }
     }
 }

@@ -39,6 +39,17 @@ impl Daemon {
     /// `shards` is pinned explicitly so the layout under test doesn't
     /// depend on the machine's core count.
     fn spawn(dir: &Path, shards: usize, crash_point: Option<&str>) -> Daemon {
+        Daemon::spawn_with(dir, shards, crash_point, &[])
+    }
+
+    /// Like [`Daemon::spawn`], with extra fault-injection environment
+    /// variables (e.g. `INSIGHTNOTES_SYNC_FAIL_AFTER`) set on the child.
+    fn spawn_with(
+        dir: &Path,
+        shards: usize,
+        crash_point: Option<&str>,
+        envs: &[(&str, &str)],
+    ) -> Daemon {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_insightd"));
         cmd.args(["--addr", "127.0.0.1:0", "--sync", "batch"])
             .args(["--shards", &shards.to_string()])
@@ -52,6 +63,10 @@ impl Daemon {
             Some(point) => cmd.env("INSIGHTNOTES_CRASH_POINT", point),
             None => cmd.env_remove("INSIGHTNOTES_CRASH_POINT"),
         };
+        cmd.env_remove("INSIGHTNOTES_SYNC_FAIL_AFTER");
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
         let mut child = cmd.spawn().expect("spawn insightd");
         let mut line = String::new();
         BufReader::new(child.stdout.as_mut().expect("piped stdout"))
@@ -286,5 +301,60 @@ fn aborted_group_commit_preserves_exactly_the_acked_prefix() {
     assert!(
         ghosts == 0 || ghosts == 4,
         "unacked group must recover atomically, found {ghosts}/4"
+    );
+}
+
+/// DESIGN.md §12 residual, closed: once a shard's fsync fails, that
+/// shard's commits stay disabled for the committer's whole lifetime.
+/// The first write after the failure reports the fsync error; every
+/// later write is rejected up front (its record never reaches the log),
+/// so no annotation whose durability was compensated with an error can
+/// silently resurrect. A restart recovers the durable prefix and serves
+/// writes again.
+#[test]
+fn fsync_poisoned_shard_stays_poisoned_for_the_committer_lifetime() {
+    let dir = scratch("poisoned");
+
+    // Allow exactly two fsyncs (schema, then one acked annotation);
+    // the third fails and must poison the shard.
+    let daemon = Daemon::spawn_with(&dir, 1, None, &[("INSIGHTNOTES_SYNC_FAIL_AFTER", "2")]);
+    let mut c = daemon.client();
+    c.execute(SCHEMA).expect("schema (fsync 1)");
+    c.annotate(&annotation_sql("durable before poison", 1))
+        .expect("acked annotation (fsync 2)");
+    let poisoning = c
+        .annotate(&annotation_sql("failed the fsync", 2))
+        .unwrap_err();
+    assert!(
+        poisoning.to_string().contains("injected fsync failure"),
+        "first failure should surface the fsync error, got: {poisoning}"
+    );
+    // Sticky: later, unrelated groups are rejected without ever touching
+    // the log — no retry can succeed until the process restarts.
+    for i in 0..3 {
+        let rejected = c
+            .annotate(&annotation_sql(&format!("after poison {i}"), 3))
+            .unwrap_err();
+        assert!(
+            rejected.to_string().contains("commits are disabled"),
+            "write {i} after poisoning must be rejected up front, got: {rejected}"
+        );
+    }
+    daemon.kill_nine();
+
+    // Restart without the fault: the acked prefix is intact, writes
+    // work again, and nothing rejected after the poisoning resurrects.
+    let daemon = Daemon::spawn(&dir, 1, None);
+    let mut c = daemon.client();
+    c.annotate(&annotation_sql("post-restart", 1))
+        .expect("annotate after recovery");
+    daemon.shutdown();
+
+    let texts = texts_in_snapshot(&dir.join("db.indb"));
+    assert!(texts.contains(&"durable before poison".to_string()));
+    assert!(texts.contains(&"post-restart".to_string()));
+    assert!(
+        !texts.iter().any(|t| t.starts_with("after poison")),
+        "poisoned-shard rejections must never reach the log: {texts:?}"
     );
 }

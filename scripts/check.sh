@@ -14,7 +14,9 @@
 #   7. insightd smoke tests     — end-to-end wire-protocol round-trip,
 #                                 then kill -9 crash recovery on the
 #                                 single-shard and sharded (--shards 4)
-#                                 layouts
+#                                 layouts, then WAL-shipping replication
+#                                 (primary + replica, read-your-writes,
+#                                 kill -9 the replica, resubscribe)
 #
 # `./scripts/check.sh --fix-baseline` skips the gates and regenerates
 # lint.toml from the current findings instead (kept empty by policy:
@@ -56,6 +58,7 @@ SNAPSHOT="$SMOKE_DIR/smoke.indb"
 LOG="$SMOKE_DIR/insightd.log"
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "${REPLICA_PID:-}" ]] && kill "$REPLICA_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -225,5 +228,108 @@ for needle in 'sharded survivor one' 'sharded survivor two' 'sharded survivor th
     echo "sharded smoke: acked annotation '$needle' missing from recovered state"; exit 1;
   }
 done
+
+echo "==> insightd replication smoke test (primary + replica)"
+# WAL-shipping replication end to end: a replica bootstraps from a live
+# primary, the CLI's --replica routing gives read-your-writes, writes on
+# the replica are rejected, and after kill -9 the replica resumes from
+# its local mirrored log and resubscribes without diverging.
+REPL_WAL_DIR="$SMOKE_DIR/wal-primary"
+REPL_DIR="$SMOKE_DIR/replica"
+PRIMARY_LOG="$SMOKE_DIR/insightd-primary.log"
+REPLICA_LOG="$SMOKE_DIR/insightd-replica.log"
+mkdir -p "$REPL_WAL_DIR"
+
+./target/release/insightd --addr 127.0.0.1:0 --wal-dir "$REPL_WAL_DIR" \
+  --sync batch --shards 2 >"$PRIMARY_LOG" 2>&1 &
+SERVER_PID=$!
+PRIMARY_ADDR=""
+for _ in $(seq 1 100); do
+  PRIMARY_ADDR="$(sed -n 's/^insightd listening on //p' "$PRIMARY_LOG" | head -n1)"
+  [[ -n "$PRIMARY_ADDR" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$PRIMARY_LOG"; echo "primary exited early"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PRIMARY_ADDR" ]] || { cat "$PRIMARY_LOG"; echo "primary never reported its address"; exit 1; }
+
+./target/release/insight-cli --addr "$PRIMARY_ADDR" \
+  "CREATE TABLE birds (id INT, name TEXT)" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose'), (2, 'Whooper Swan')" \
+  "CREATE SUMMARY INSTANCE K TYPE CLUSTER THRESHOLD 0.5" \
+  "LINK SUMMARY K TO birds" \
+  "ADD ANNOTATION 'pre-replica note' AUTHOR 'check' ON birds WHERE id = 1" >/dev/null
+
+spawn_replica() {
+  # Truncate first: a stale "listening on" line from a previous run
+  # would otherwise win the scrape before the new one is printed.
+  : >"$REPLICA_LOG"
+  ./target/release/insightd --addr 127.0.0.1:0 --replica-of "$PRIMARY_ADDR" \
+    --replica-dir "$REPL_DIR" >>"$REPLICA_LOG" 2>&1 &
+  REPLICA_PID=$!
+  REPLICA_ADDR=""
+  for _ in $(seq 1 100); do
+    REPLICA_ADDR="$(sed -n 's/^insightd listening on //p' "$REPLICA_LOG" | tail -n1)"
+    [[ -n "$REPLICA_ADDR" ]] && break
+    kill -0 "$REPLICA_PID" 2>/dev/null || { cat "$REPLICA_LOG"; echo "replica exited early"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$REPLICA_ADDR" ]] || { cat "$REPLICA_LOG"; echo "replica never reported its address"; exit 1; }
+}
+
+spawn_replica
+
+# Read-your-writes through the CLI's --replica routing: the write goes
+# to the primary, the CLI waits for the replica to apply it, and the
+# SELECT is served by the replica.
+ROUTED_OUT="$(./target/release/insight-cli --addr "$PRIMARY_ADDR" --replica "$REPLICA_ADDR" \
+  "ADD ANNOTATION 'routed note' AUTHOR 'check' ON birds WHERE id = 2" \
+  "SELECT id, name FROM birds WHERE id = 2")"
+grep -q 'attached to 1 row' <<<"$ROUTED_OUT" || { echo "replication smoke: routed write failed"; exit 1; }
+grep -q 'Whooper Swan' <<<"$ROUTED_OUT" || { echo "replication smoke: routed read failed"; exit 1; }
+
+# The replica serves the same rows and summaries as the primary (QID
+# header lines differ per server and are stripped).
+PRIMARY_VIEW="$(./target/release/insight-cli --addr "$PRIMARY_ADDR" "SELECT id, name FROM birds" | tail -n +2)"
+REPLICA_VIEW="$(./target/release/insight-cli --addr "$REPLICA_ADDR" "SELECT id, name FROM birds" | tail -n +2)"
+[[ "$PRIMARY_VIEW" == "$REPLICA_VIEW" ]] || {
+  echo "replication smoke: replica diverged from primary"
+  echo "primary: $PRIMARY_VIEW"; echo "replica: $REPLICA_VIEW"; exit 1;
+}
+
+# Writes on the replica are rejected with the structured class.
+REJECT_OUT="$(./target/release/insight-cli --addr "$REPLICA_ADDR" \
+  "ADD ANNOTATION 'must not land' AUTHOR 'check' ON birds WHERE id = 1")"
+grep -q 'read-only replica' <<<"$REJECT_OUT" || {
+  echo "replication smoke: replica accepted a write: $REJECT_OUT"; exit 1;
+}
+
+# kill -9 the replica mid-stream; a write lands on the primary while the
+# replica is down; the restarted replica resumes from its mirrored log,
+# resubscribes, and catches up.
+kill -9 "$REPLICA_PID"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+./target/release/insight-cli --addr "$PRIMARY_ADDR" \
+  "ADD ANNOTATION 'written while replica down' AUTHOR 'check' ON birds WHERE id = 1" >/dev/null
+spawn_replica
+grep -q 'resuming from local state' "$REPLICA_LOG" || {
+  cat "$REPLICA_LOG"; echo "replication smoke: restarted replica did not resume"; exit 1;
+}
+ROUTED_OUT="$(./target/release/insight-cli --addr "$PRIMARY_ADDR" --replica "$REPLICA_ADDR" \
+  "ADD ANNOTATION 'after resubscribe' AUTHOR 'check' ON birds WHERE id = 2" \
+  "SELECT id, name FROM birds")"
+grep -q 'attached to 1 row' <<<"$ROUTED_OUT" || { echo "replication smoke: post-restart write failed"; exit 1; }
+PRIMARY_VIEW="$(./target/release/insight-cli --addr "$PRIMARY_ADDR" "SELECT id, name FROM birds" | tail -n +2)"
+REPLICA_VIEW="$(./target/release/insight-cli --addr "$REPLICA_ADDR" "SELECT id, name FROM birds" | tail -n +2)"
+[[ "$PRIMARY_VIEW" == "$REPLICA_VIEW" ]] || {
+  echo "replication smoke: replica diverged after resubscribe"
+  echo "primary: $PRIMARY_VIEW"; echo "replica: $REPLICA_VIEW"; exit 1;
+}
+./target/release/insight-cli --addr "$REPLICA_ADDR" ".shutdown" >/dev/null
+wait "$REPLICA_PID"
+REPLICA_PID=""
+./target/release/insight-cli --addr "$PRIMARY_ADDR" ".shutdown" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
 
 echo "OK"
