@@ -5,10 +5,11 @@
 //! cargo run --release -p insightnotes-bench --bin report -- --exp e2
 //! ```
 //!
-//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 a5 a6 a8 (e6 is
-//! a property-test suite, not a timing experiment — see
+//! Experiment ids: f1 f2 f3 f4 e1 e2 e3 e4 e5 e7 a1 a2 a5 a6 a8 a9 (e6
+//! is a property-test suite, not a timing experiment — see
 //! tests/plan_equivalence.rs). Experiments with machine-readable output
-//! (a5, a6, a8) also write a `BENCH_<name>.json` next to the text table.
+//! (a5, a6, a8, a9) also write a `BENCH_<name>.json` next to the text
+//! table.
 
 use insightnotes_annotations::{AnnotationBody, ColSig};
 use insightnotes_bench::{
@@ -75,6 +76,9 @@ fn main() {
     }
     if run("a8") {
         a8_replication();
+    }
+    if run("a9") {
+        a9_net_concurrency();
     }
 }
 
@@ -1423,5 +1427,293 @@ fn a8_replication() {
          single-core, so the cells are sized to stay under the machine's\n\
          ~12k reads/sec round-trip ceiling; on real per-box hardware the\n\
          per-node ceiling is what replicas multiply.)\n"
+    );
+}
+
+/// Resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`None` off Linux or if the line is missing).
+fn vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+}
+
+/// A9: the epoll reactor under pipelining and connection fan-out.
+/// Emits `BENCH_net_concurrency.json`.
+fn a9_net_concurrency() {
+    use insightnotes_client::PipelinedClient;
+    use insightnotes_common::wire::{Request, Response};
+    use insightnotes_engine::{DbConfig, ShardedDatabase, SyncPolicy};
+    use insightnotes_server::{Server, ServerConfig};
+    use insightnotes_workload::{ingest_script, IngestConfig};
+    use std::time::Duration;
+
+    header("A9 — event-loop concurrency and request pipelining");
+    let fd_limit = insightnotes_server::reactor::raise_fd_limit();
+    let mut records = Vec::new();
+
+    // -- pipelined single-connection writes (WAL on, batch fsync) -----
+    // Depth 1 is the serial-protocol baseline: every annotation pays a
+    // full round-trip and its own group commit. Deeper windows keep the
+    // committer's queue fed, so one fsync covers the in-flight window.
+    const BIRDS: usize = 500;
+    const WRITES: usize = 256;
+    const RUNS: usize = 5;
+    println!("pipelined writes, one connection, WAL batch sync, {WRITES} annotations/run:");
+    println!(
+        "{:>7} {:>6} {:>12} {:>12} {:>9}",
+        "shards", "depth", "median ms", "writes/sec", "speedup"
+    );
+    for shards in [1usize, 4] {
+        let mut depth1_tput = 0.0f64;
+        for depth in [1usize, 16, 64] {
+            let dir = std::env::temp_dir().join(format!(
+                "insightnotes-a9-{}-s{shards}-d{depth}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let db = ShardedDatabase::create(
+                DbConfig {
+                    wal_dir: Some(dir.clone()),
+                    wal_sync: SyncPolicy::Batch,
+                    ..DbConfig::default()
+                },
+                shards,
+            )
+            .expect("wal-backed db");
+            let server =
+                Server::bind_sharded("127.0.0.1:0", db, ServerConfig::default()).expect("bind");
+            let addr = server.local_addr().expect("local addr");
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run().expect("server run"));
+
+            let script = ingest_script(&IngestConfig {
+                writers: RUNS,
+                annotations_per_writer: WRITES,
+                num_birds: BIRDS,
+                ..IngestConfig::default()
+            });
+            let mut setup = insightnotes_client::Client::connect(addr).expect("connect");
+            for stmt in &script.setup {
+                setup.execute(stmt).expect("setup statement");
+            }
+            let mut client = PipelinedClient::connect(addr).expect("connect");
+            let mut times = Vec::with_capacity(RUNS);
+            for stream in &script.clients {
+                let (_, t) = timed(|| {
+                    for sql in stream {
+                        // Windowed schedule: submit a full window as
+                        // one corked burst, then drain it. The whole
+                        // window lands in the committer's queue
+                        // together, so each fsync covers ~`depth`
+                        // writes; one-at-a-time refills would shrink
+                        // commit groups to the client's turnaround
+                        // rate.
+                        if client.in_flight() >= depth {
+                            while client.in_flight() > 0 {
+                                let (_, resp) = client.recv_any().expect("response");
+                                assert!(!matches!(resp, Response::Error(_)), "write failed");
+                            }
+                        }
+                        client
+                            .submit(&Request::Annotate { sql: sql.clone() })
+                            .expect("submit");
+                    }
+                    for (_, resp) in client.drain().expect("drain") {
+                        assert!(!matches!(resp, Response::Error(_)), "write failed");
+                    }
+                });
+                times.push(t);
+            }
+            handle.shutdown();
+            thread.join().expect("server thread");
+            let _ = std::fs::remove_dir_all(&dir);
+
+            times.sort();
+            let median = times[RUNS / 2];
+            let tput = WRITES as f64 / median.as_secs_f64().max(1e-9);
+            if depth == 1 {
+                depth1_tput = tput;
+            }
+            let speedup = tput / depth1_tput.max(1e-9);
+            println!(
+                "{shards:>7} {depth:>6} {:>12} {:>12.0} {:>8.1}x",
+                ms(median),
+                tput,
+                speedup
+            );
+            records.push(Json::obj([
+                ("kind", Json::from("pipeline_write")),
+                ("shards", Json::from(shards)),
+                ("depth", Json::from(depth)),
+                ("median_ns", Json::from(median.as_nanos() as u64)),
+                ("writes_per_sec", Json::Num(tput)),
+                ("speedup_vs_depth1", Json::Num(speedup)),
+            ]));
+        }
+    }
+
+    // -- connection fan-out (pipelined pings) -------------------------
+    // Each fleet is opened once and held; every cell then loads `depth`
+    // pings on every connection before draining any, so the server
+    // carries conns × depth requests in flight at peak. RSS is this
+    // whole process — client fleet *and* in-process server — so the
+    // per-connection figure is an upper bound on the server side.
+    println!("\nconnection fan-out, pipelined pings (fd limit {fd_limit}):");
+    println!(
+        "{:>7} {:>6} {:>10} {:>12} {:>12} {:>12} {:>7}",
+        "conns", "depth", "open ms", "serve ms", "req/sec", "rss KB/conn", "errors"
+    );
+    // Client fleet and server share this process, so every connection
+    // costs two fds against one limit; leave slack for WAL segments,
+    // epoll sets, and stdio. Oversized cells are clamped (and recorded
+    // as such) rather than skipped — a 20k-fd container still measures
+    // a ~9.9k-connection fleet. The true 10k-connection case is the
+    // two-process `insight-cli --flood` smoke in check.sh.
+    let fleet_budget = if fd_limit == 0 {
+        usize::MAX
+    } else {
+        (fd_limit as usize).saturating_sub(768) / 2
+    };
+    for requested in [64usize, 1_000, 10_000] {
+        let conns = requested.min(fleet_budget);
+        if conns == 0 {
+            println!("{requested:>7}  skipped: fd limit {fd_limit} too low");
+            records.push(Json::obj([
+                ("kind", Json::from("conn_fanout")),
+                ("conns_requested", Json::from(requested)),
+                ("skipped", Json::from("fd limit too low")),
+            ]));
+            continue;
+        }
+        if conns < requested {
+            println!(
+                "{requested:>7}  clamped to {conns} (fd limit {fd_limit}, \
+                 2 fds/conn in-process)"
+            );
+        }
+        let db = ShardedDatabase::create(DbConfig::default(), 1).expect("db");
+        let server =
+            Server::bind_sharded("127.0.0.1:0", db, ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run().expect("server run"));
+
+        let rss_before = vm_rss_kb().unwrap_or(0);
+        let mut failed_opens = 0usize;
+        // A timeout on the handshake (and on every later blocking
+        // read) keeps an fd-exhausted edge honest instead of deadly:
+        // a connection the server cannot accept becomes a counted
+        // failed open whose closed socket frees fds for the rest,
+        // rather than a read that blocks the whole report forever.
+        let (mut fleet, open_time) = timed(|| {
+            let mut fleet = Vec::with_capacity(conns);
+            for _ in 0..conns {
+                match PipelinedClient::connect_timeout(&addr, Duration::from_secs(10)) {
+                    Ok(c) => fleet.push(c),
+                    Err(_) => failed_opens += 1,
+                }
+            }
+            fleet
+        });
+        let rss_after = vm_rss_kb().unwrap_or(rss_before);
+        let rss_per_conn =
+            rss_after.saturating_sub(rss_before) as f64 / (fleet.len().max(1)) as f64;
+
+        for depth in [1usize, 16, 64] {
+            let mut errors = failed_opens;
+            let (_, serve) = timed(|| {
+                for client in &mut fleet {
+                    for _ in 0..depth {
+                        if client.submit(&Request::Ping).is_err() {
+                            errors += 1;
+                        }
+                    }
+                }
+                // Push every corked window onto the wire before any
+                // drain, so the server really holds conns × depth
+                // requests in flight at peak.
+                for client in &mut fleet {
+                    if client.flush().is_err() {
+                        errors += 1;
+                    }
+                }
+                for client in &mut fleet {
+                    match client.drain() {
+                        Ok(resps) => {
+                            errors += resps
+                                .iter()
+                                .filter(|(_, r)| !matches!(r, Response::Pong { .. }))
+                                .count();
+                        }
+                        Err(_) => errors += depth,
+                    }
+                }
+            });
+            let total = fleet.len() * depth;
+            let tput = total as f64 / serve.as_secs_f64().max(1e-9);
+            println!(
+                "{conns:>7} {depth:>6} {:>10} {:>12} {:>12.0} {:>12.1} {errors:>7}",
+                ms(open_time),
+                ms(serve),
+                tput,
+                rss_per_conn
+            );
+            records.push(Json::obj([
+                ("kind", Json::from("conn_fanout")),
+                ("conns_requested", Json::from(requested)),
+                ("conns_attempted", Json::from(conns)),
+                ("conns_open", Json::from(fleet.len())),
+                ("depth", Json::from(depth)),
+                ("open_ns", Json::from(open_time.as_nanos() as u64)),
+                ("serve_ns", Json::from(serve.as_nanos() as u64)),
+                ("requests_per_sec", Json::Num(tput)),
+                ("rss_kb_per_conn", Json::Num(rss_per_conn)),
+                ("errors", Json::from(errors)),
+            ]));
+        }
+        drop(fleet);
+        handle.shutdown();
+        thread.join().expect("server thread");
+    }
+
+    let config = Json::obj([
+        ("seed", Json::from(SEED)),
+        ("num_birds", Json::from(BIRDS)),
+        ("writes_per_run", Json::from(WRITES)),
+        ("runs_per_cell", Json::from(RUNS)),
+        ("fd_limit", Json::from(fd_limit)),
+        (
+            "depths",
+            Json::Arr(vec![1usize.into(), 16usize.into(), 64usize.into()]),
+        ),
+        (
+            "conns",
+            Json::Arr(vec![64usize.into(), 1_000usize.into(), 10_000usize.into()]),
+        ),
+        (
+            "rss_note",
+            Json::from("VmRSS covers the whole process: client fleet plus in-process server"),
+        ),
+    ]);
+    match write_bench_json("net_concurrency", config, records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write BENCH_net_concurrency.json: {e}"),
+    }
+    println!(
+        "shape check: depth 16 clears 5x over depth 1 on the single-shard write\n\
+         rows — the serial protocol pays one round-trip and one group commit\n\
+         per annotation while a 16-deep window shares each fsync (and each\n\
+         wire burst) across the whole window. The 4-shard rows record the\n\
+         cross-shard fan-out cost of the async combine; on a multi-core box\n\
+         the per-shard committers pay it back in parallel applies, on this\n\
+         single-core container they don't. On the fan-out grid req/sec holds\n\
+         within the same order of magnitude from 64 connections to the\n\
+         fd-budget ceiling (~10k two-fds-per-connection in-process) and RSS\n\
+         per connection stays flat (around a kilobyte): a connection is an\n\
+         event-loop entry plus buffers, not a thread stack.\n"
     );
 }

@@ -6,6 +6,10 @@
 //! insight-cli --addr HOST:PORT --batch \
 //!     'ADD ANNOTATION …' ['ADD ANNOTATION …'…]  # one group-committed frame
 //! insight-cli --addr PRIMARY --replica REPLICA  # route reads to a replica
+//! insight-cli --addr HOST:PORT --pipeline 16 \
+//!     'SQL' ['SQL'…]                            # pipelined, 16 in flight
+//! insight-cli --addr HOST:PORT --flood 1000 \
+//!     [--depth 16] ['SQL'…]                     # concurrency smoke load
 //! ```
 //!
 //! Each input line is routed to its most specific wire frame (SELECT →
@@ -20,10 +24,19 @@
 //! primary at `--addr`; after each write the CLI captures the primary's
 //! committed positions and waits for the replica to apply them before
 //! the next read — read-your-writes across the two connections.
+//!
+//! With `--pipeline DEPTH`, the statement arguments ship over one
+//! pipelined (protocol v2) connection with up to DEPTH requests in
+//! flight; results print in submission order once all are in. With
+//! `--flood CONNS`, the CLI opens CONNS simultaneous pipelined
+//! connections, puts `--depth` requests in flight on every one (the
+//! statement arguments round-robin; plain pings when none are given),
+//! and reports the ack/failure tally — the high-concurrency smoke
+//! check `scripts/check.sh` runs against a live server.
 
-use insightnotes_client::Client;
-use insightnotes_common::wire::{Response, RowsPayload, ZoomPayload};
-use insightnotes_sql::{parse_one, StatementClass};
+use insightnotes_client::{Client, PipelinedClient};
+use insightnotes_common::wire::{Request, Response, RowsPayload, ZoomPayload};
+use insightnotes_sql::{parse_one, Statement, StatementClass};
 use std::io::{BufRead, IsTerminal, Write};
 use std::time::Duration;
 
@@ -68,6 +81,9 @@ fn run() -> insightnotes_common::Result<()> {
     let mut addr = "127.0.0.1:7433".to_string();
     let mut replica_addr: Option<String> = None;
     let mut batch = false;
+    let mut pipeline: Option<usize> = None;
+    let mut flood: Option<usize> = None;
+    let mut depth = 16usize;
     let mut statements = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -95,10 +111,22 @@ fn run() -> insightnotes_common::Result<()> {
                 batch = true;
                 i += 1;
             }
+            "--pipeline" => {
+                pipeline = Some(parse_count(args.get(i + 1), "--pipeline")?);
+                i += 2;
+            }
+            "--flood" => {
+                flood = Some(parse_count(args.get(i + 1), "--flood")?);
+                i += 2;
+            }
+            "--depth" => {
+                depth = parse_count(args.get(i + 1), "--depth")?;
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: insight-cli [--addr HOST:PORT] [--replica HOST:PORT] \
-                     [--batch] ['SQL'…]"
+                     [--batch] [--pipeline DEPTH] [--flood CONNS [--depth N]] ['SQL'…]"
                 );
                 return Ok(());
             }
@@ -107,6 +135,13 @@ fn run() -> insightnotes_common::Result<()> {
                 i += 1;
             }
         }
+    }
+
+    if let Some(window) = pipeline {
+        return run_pipeline(&addr, window, &statements);
+    }
+    if let Some(conns) = flood {
+        return run_flood(&addr, conns, depth, &statements);
     }
 
     let mut client = Session {
@@ -213,7 +248,13 @@ fn dispatch(client: &mut Session, line: &str) -> insightnotes_common::Result<Lin
         }
         _ => {}
     }
-    match client.send(line)? {
+    print_response(client.send(line)?);
+    Ok(LineResult::Continue)
+}
+
+/// Prints any request/response-cycle frame the way the REPL renders it.
+fn print_response(response: Response) {
+    match response {
         Response::Rows(rows) => print_rows(&rows),
         Response::Zoomed(z) => print_zoom(&z),
         Response::Ack { messages } => {
@@ -246,7 +287,146 @@ fn dispatch(client: &mut Session, line: &str) -> insightnotes_common::Result<Lin
             println!("error: unexpected replication frame outside a subscription");
         }
     }
-    Ok(LineResult::Continue)
+}
+
+/// Routes one SQL line to its most specific frame kind — the pipelined
+/// twin of [`Client::send_sql`].
+fn request_for(sql: &str) -> Request {
+    match parse_one(sql) {
+        Ok(Statement::Select(_)) => Request::Query { sql: sql.into() },
+        Ok(Statement::AddAnnotation { .. }) => Request::Annotate { sql: sql.into() },
+        Ok(Statement::ZoomIn(_)) => Request::ZoomIn { sql: sql.into() },
+        _ => Request::Execute { sql: sql.into() },
+    }
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> insightnotes_common::Result<usize> {
+    let value = value
+        .ok_or_else(|| insightnotes_common::Error::Execution(format!("{flag} needs a value")))?;
+    let n: usize = value
+        .parse()
+        .map_err(|_| insightnotes_common::Error::Execution(format!("{flag}: bad count {value}")))?;
+    if n == 0 {
+        return Err(insightnotes_common::Error::Execution(format!(
+            "{flag} must be at least 1"
+        )));
+    }
+    Ok(n)
+}
+
+/// `--pipeline DEPTH`: ships the statement arguments over one pipelined
+/// connection with up to DEPTH requests in flight, then prints every
+/// result in submission order.
+fn run_pipeline(
+    addr: &str,
+    window: usize,
+    statements: &[String],
+) -> insightnotes_common::Result<()> {
+    if statements.is_empty() {
+        return Err(insightnotes_common::Error::Execution(
+            "--pipeline needs at least one SQL statement argument".into(),
+        ));
+    }
+    let mut client = PipelinedClient::connect(addr)?;
+    let mut index_of = std::collections::HashMap::new();
+    let mut results: Vec<Option<Response>> = Vec::new();
+    results.resize_with(statements.len(), || None);
+    let stash = |results: &mut Vec<Option<Response>>,
+                 index_of: &std::collections::HashMap<u64, usize>,
+                 seq: u64,
+                 resp: Response| {
+        if let Some(slot) = index_of.get(&seq).and_then(|&i| results.get_mut(i)) {
+            *slot = Some(resp);
+        }
+    };
+    for (i, sql) in statements.iter().enumerate() {
+        while client.in_flight() >= window {
+            let (seq, resp) = client.recv_any()?;
+            stash(&mut results, &index_of, seq, resp);
+        }
+        let seq = client.submit(&request_for(sql))?;
+        index_of.insert(seq, i);
+    }
+    for (seq, resp) in client.drain()? {
+        stash(&mut results, &index_of, seq, resp);
+    }
+    let mut failures = 0usize;
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot {
+            Some(resp) => {
+                if matches!(resp, Response::Error(_)) {
+                    failures += 1;
+                }
+                print!("[{i}] ");
+                print_response(resp);
+            }
+            None => {
+                failures += 1;
+                println!("[{i}] error: no response arrived for this statement");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `--flood CONNS`: holds CONNS pipelined connections open at once with
+/// `depth` requests in flight on each, then drains and tallies.
+fn run_flood(
+    addr: &str,
+    conns: usize,
+    depth: usize,
+    statements: &[String],
+) -> insightnotes_common::Result<()> {
+    let mut sessions = Vec::with_capacity(conns);
+    for c in 0..conns {
+        match PipelinedClient::connect(addr) {
+            Ok(s) => sessions.push(s),
+            Err(e) => {
+                return Err(insightnotes_common::Error::Execution(format!(
+                    "flood: connection {c} of {conns} failed to open: {e}"
+                )))
+            }
+        }
+    }
+    // Every connection is open simultaneously from here on; load the
+    // full window on each before draining any so the server holds
+    // conns × depth requests in flight at peak.
+    for (c, client) in sessions.iter_mut().enumerate() {
+        for d in 0..depth {
+            let req = match statements.get((c + d) % statements.len().max(1)) {
+                Some(sql) => request_for(sql),
+                None => Request::Ping,
+            };
+            client.submit(&req)?;
+        }
+    }
+    // Submits are corked client-side; push every window onto the wire
+    // before draining anything, or earlier connections would complete
+    // before later ones even transmit.
+    for client in &mut sessions {
+        client.flush()?;
+    }
+    let mut acked = 0u64;
+    let mut failures = 0u64;
+    for client in &mut sessions {
+        for (_seq, resp) in client.drain()? {
+            match resp {
+                Response::Error(e) => {
+                    failures += 1;
+                    eprintln!("flood: request failed: {}", e.into_error());
+                }
+                _ => acked += 1,
+            }
+        }
+    }
+    println!("flood: {conns} connection(s) × {depth} in flight: {acked} acked, {failures} failed");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn print_rows(rows: &RowsPayload) {

@@ -3,15 +3,39 @@
 //! Client and server exchange **length-prefixed binary frames** over a
 //! byte stream (TCP in practice; the functions here only require
 //! `Read`/`Write`, which keeps them trivially testable over in-memory
-//! buffers). Each frame is:
+//! buffers). Two frame layouts are live, distinguished by the version
+//! word that follows the magic:
 //!
 //! ```text
 //! u32 LE   frame length N (bytes that follow, bounded by MAX_FRAME_BYTES)
 //! [u8; 4]  magic  "INWP"         ─┐
-//! u16 LE   protocol version (1)   │ N bytes, decoded strictly:
-//! u8       message kind tag       │ unknown tags, truncation and
-//! …        kind-specific body    ─┘ trailing bytes are codec errors
+//! u16 LE   protocol version       │ N bytes, decoded strictly:
+//! u64 LE   sequence id (v2 only)  │ unknown tags, truncation and
+//! u8       message kind tag       │ trailing bytes are codec errors
+//! …        kind-specific body    ─┘
 //! ```
+//!
+//! **Version 1 (serial)** has no sequence id: one request, one response,
+//! in lock step. **Version 2 (pipelined)** inserts a client-assigned
+//! `u64` sequence id between the version word and the kind tag, and the
+//! contract changes to *many requests in flight per connection*:
+//!
+//! - the client stamps every request frame with a sequence id of its
+//!   choosing (unique among its own in-flight requests);
+//! - the server echoes that id on the matching response frame, and on
+//!   **every** frame of a streaming answer (`SubscribeAck` /
+//!   `SnapshotChunk` / `WalFrame` all repeat the `Subscribe` seq);
+//! - read-only requests may be answered **out of order**; write
+//!   requests are acknowledged in commit (fsync) order.
+//!
+//! Version negotiation is per-frame and implicit: the server answers a
+//! frame in the version it arrived in, so v1 and v2 clients coexist on
+//! one listener with no handshake. A client discovers v2 support by
+//! sending a v1 [`Request::Ping`] and checking
+//! [`Response::Pong`]`::version` (the server's *maximum* supported
+//! version) before switching to v2 frames. Decoders reject any other
+//! version outright, so a v2 frame reaching a v1-only peer (an old
+//! replica, say) fails fast instead of being half-parsed.
 //!
 //! Requests carry SQL text ([`Request::Query`], [`Request::Execute`],
 //! [`Request::Annotate`], [`Request::ZoomIn`]), a statement batch
@@ -35,9 +59,24 @@ use std::io::{Read, Write};
 /// Frame magic: **I**nsight**N**otes **W**ire **P**rotocol.
 pub const WIRE_MAGIC: [u8; 4] = *b"INWP";
 
-/// Current protocol version. Decoders reject every other version so a
-/// future frame layout can never be half-parsed by an old peer.
-pub const WIRE_VERSION: u16 = 1;
+/// Maximum protocol version this build speaks (the pipelined layout).
+/// Advertised in [`Response::Pong`]; decoders accept exactly the
+/// versions listed here and reject everything else so a future frame
+/// layout can never be half-parsed by an old peer.
+pub const WIRE_VERSION: u16 = 2;
+
+/// The serial (one request, one response) frame layout. Still fully
+/// supported: [`frame_bytes`] / [`read_frame`] speak it, and the server
+/// answers a v1 frame with a v1 frame.
+pub const WIRE_VERSION_SERIAL: u16 = 1;
+
+/// Byte length of a v2 frame header inside the payload (after the u32
+/// length prefix): magic + version word + sequence id. A frame whose
+/// declared length is at least this long carries a recoverable header
+/// even when the body is oversized or garbage — the reactor uses this
+/// to answer oversized frames with a seq-addressed error instead of
+/// dropping the connection.
+pub const V2_HEADER_BYTES: usize = 4 + 2 + 8;
 
 /// Upper bound on a single frame's payload. A corrupt or hostile length
 /// prefix fails fast instead of triggering an allocation of its claimed
@@ -702,14 +741,31 @@ impl Encodable for ZoomPayload {
 
 // -- frame I/O ------------------------------------------------------------
 
-/// Serializes one message into a complete frame (length prefix included).
+/// Serializes one message into a complete **v1 (serial)** frame, length
+/// prefix included.
 pub fn frame_bytes<T: Encodable>(msg: &T) -> Vec<u8> {
+    frame_bytes_versioned(None, msg)
+}
+
+/// Serializes one message into a complete **v2 (pipelined)** frame
+/// carrying `seq`, length prefix included.
+pub fn frame_bytes_seq<T: Encodable>(seq: u64, msg: &T) -> Vec<u8> {
+    frame_bytes_versioned(Some(seq), msg)
+}
+
+fn frame_bytes_versioned<T: Encodable>(seq: Option<u64>, msg: &T) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(64);
     enc.u8(WIRE_MAGIC[0]);
     enc.u8(WIRE_MAGIC[1]);
     enc.u8(WIRE_MAGIC[2]);
     enc.u8(WIRE_MAGIC[3]);
-    enc.u16(WIRE_VERSION);
+    match seq {
+        None => enc.u16(WIRE_VERSION_SERIAL),
+        Some(seq) => {
+            enc.u16(WIRE_VERSION);
+            enc.u64(seq);
+        }
+    }
     msg.encode(&mut enc);
     let payload = enc.finish();
     let mut out = Vec::with_capacity(payload.len() + 4);
@@ -718,36 +774,107 @@ pub fn frame_bytes<T: Encodable>(msg: &T) -> Vec<u8> {
     out
 }
 
-/// Decodes one message from a frame payload (the bytes after the length
-/// prefix): validates magic and version, then decodes strictly.
+/// Decodes one **v1** message from a frame payload (the bytes after the
+/// length prefix): validates magic and version, then decodes strictly.
+/// Serial-only callers (the blocking client, replication subscribers)
+/// use this so an unexpected v2 frame is a clean codec error.
 pub fn decode_frame<T: Encodable>(payload: &[u8]) -> Result<T> {
+    match decode_frame_any(payload)? {
+        (None, msg) => Ok(msg),
+        (Some(_), _) => Err(Error::Codec(
+            "unexpected pipelined (v2) frame on a serial (v1) connection".into(),
+        )),
+    }
+}
+
+/// Decodes one message from a frame payload in **either live version**:
+/// returns `(None, msg)` for a v1 frame and `(Some(seq), msg)` for a
+/// v2 frame. This is the server-side entry point — the reactor answers
+/// in whichever version the request arrived in.
+pub fn decode_frame_any<T: Encodable>(payload: &[u8]) -> Result<(Option<u64>, T)> {
     let mut dec = Decoder::new(payload);
     let magic = [dec.u8()?, dec.u8()?, dec.u8()?, dec.u8()?];
     if magic != WIRE_MAGIC {
         return Err(Error::Codec("not an InsightNotes wire frame".into()));
     }
-    let version = dec.u16()?;
-    if version != WIRE_VERSION {
-        return Err(Error::Codec(format!(
-            "unsupported wire protocol version {version} (expected {WIRE_VERSION})"
-        )));
-    }
+    let seq = match dec.u16()? {
+        WIRE_VERSION_SERIAL => None,
+        WIRE_VERSION => Some(dec.u64()?),
+        version => {
+            return Err(Error::Codec(format!(
+                "unsupported wire protocol version {version} (expected \
+                 {WIRE_VERSION_SERIAL} or {WIRE_VERSION})"
+            )))
+        }
+    };
     let msg = T::decode(&mut dec)?;
     dec.expect_end()?;
-    Ok(msg)
+    Ok((seq, msg))
 }
 
-/// Writes one message as a frame and flushes.
+/// Best-effort peek at the sequence id of a frame payload *prefix*:
+/// `Some(seq)` when the first [`V2_HEADER_BYTES`] bytes parse as a v2
+/// header, `None` otherwise (v1 frame, foreign bytes, or a prefix too
+/// short to tell). Used to address error responses for frames whose
+/// bodies were discarded (oversized declared length) — the header
+/// streams in first, so the seq is usually recoverable even when the
+/// body never is.
+pub fn peek_seq(prefix: &[u8]) -> Option<u64> {
+    let (magic, rest) = (prefix.get(..4)?, prefix.get(4..)?);
+    if magic != WIRE_MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes([*rest.first()?, *rest.get(1)?]);
+    if version != WIRE_VERSION {
+        return None;
+    }
+    let seq_bytes: [u8; 8] = rest.get(2..10)?.try_into().ok()?;
+    Some(u64::from_le_bytes(seq_bytes))
+}
+
+/// Writes one message as a **v1** frame and flushes.
 pub fn write_frame<T: Encodable>(w: &mut impl Write, msg: &T) -> Result<()> {
     w.write_all(&frame_bytes(msg))?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one message frame. Returns `Ok(None)` on clean end-of-stream
-/// (the peer closed before starting another frame); errors on mid-frame
-/// EOF, oversized lengths, and every decode failure.
+/// Writes one message as a **v2** frame carrying `seq` and flushes.
+pub fn write_frame_seq<T: Encodable>(w: &mut impl Write, seq: u64, msg: &T) -> Result<()> {
+    w.write_all(&frame_bytes_seq(seq, msg))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one **v1** message frame. Returns `Ok(None)` on clean
+/// end-of-stream (the peer closed before starting another frame);
+/// errors on mid-frame EOF, oversized lengths, and every decode
+/// failure.
 pub fn read_frame<T: Encodable>(r: &mut impl Read) -> Result<Option<T>> {
+    match read_frame_payload(r)? {
+        None => Ok(None),
+        Some(payload) => decode_frame(&payload).map(Some),
+    }
+}
+
+/// Reads one **v2** message frame, returning its sequence id alongside
+/// the message. A v1 frame here is a codec error — a pipelined client
+/// never receives unnumbered frames once it has switched to v2.
+pub fn read_frame_seq<T: Encodable>(r: &mut impl Read) -> Result<Option<(u64, T)>> {
+    match read_frame_payload(r)? {
+        None => Ok(None),
+        Some(payload) => match decode_frame_any(&payload)? {
+            (Some(seq), msg) => Ok(Some((seq, msg))),
+            (None, _) => Err(Error::Codec(
+                "server answered a pipelined (v2) request with a serial (v1) frame".into(),
+            )),
+        },
+    }
+}
+
+/// Reads one frame's payload bytes (everything after the length
+/// prefix), or `None` on clean end-of-stream.
+fn read_frame_payload(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match read_full(r, &mut len_buf)? {
         0 => return Ok(None),
@@ -771,7 +898,7 @@ pub fn read_frame<T: Encodable>(r: &mut impl Read) -> Result<Option<T>> {
             "connection closed mid-frame ({got} of {len} payload bytes)"
         )));
     }
-    decode_frame(&payload).map(Some)
+    Ok(Some(payload))
 }
 
 /// Reads until `buf` is full or EOF; returns the bytes read. Unlike
@@ -804,6 +931,16 @@ mod tests {
         let bytes = frame_bytes(msg);
         let mut cursor = &bytes[..];
         let got: T = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(&got, msg);
+        assert!(cursor.is_empty());
+
+        // Every message also survives the pipelined layout, with its
+        // sequence id intact.
+        let seq = 0x0102_0304_0506_0708;
+        let bytes = frame_bytes_seq(seq, msg);
+        let mut cursor = &bytes[..];
+        let (got_seq, got): (u64, T) = read_frame_seq(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(got_seq, seq);
         assert_eq!(&got, msg);
         assert!(cursor.is_empty());
     }
@@ -1028,6 +1165,57 @@ mod tests {
         bytes[8] = 99; // version low byte
         let err = read_frame::<Request>(&mut &bytes[..]).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+
+        // A hypothetical v3 is rejected by the any-version decoder too.
+        let mut bytes = frame_bytes_seq(7, &Request::Ping);
+        bytes[8] = 3;
+        assert!(decode_frame_any::<Request>(&bytes[4..]).is_err());
+    }
+
+    #[test]
+    fn versions_stay_in_their_lanes() {
+        // The serial reader refuses a pipelined frame…
+        let v2 = frame_bytes_seq(42, &Request::Ping);
+        let err = read_frame::<Request>(&mut &v2[..]).unwrap_err();
+        assert!(err.to_string().contains("pipelined"), "{err}");
+
+        // …and the pipelined reader refuses a serial frame.
+        let v1 = frame_bytes(&Request::Ping);
+        let err = read_frame_seq::<Request>(&mut &v1[..]).unwrap_err();
+        assert!(err.to_string().contains("serial"), "{err}");
+
+        // The server-side decoder accepts both and reports which.
+        let (seq, _) = decode_frame_any::<Request>(&v1[4..]).unwrap();
+        assert_eq!(seq, None);
+        let (seq, _) = decode_frame_any::<Request>(&v2[4..]).unwrap();
+        assert_eq!(seq, Some(42));
+    }
+
+    #[test]
+    fn seq_ids_round_trip_across_the_full_u64_range() {
+        for seq in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let bytes = frame_bytes_seq(seq, &Request::Ping);
+            let (got, msg) = read_frame_seq::<Request>(&mut &bytes[..])
+                .unwrap()
+                .expect("one frame");
+            assert_eq!(got, seq);
+            assert_eq!(msg, Request::Ping);
+        }
+    }
+
+    #[test]
+    fn peek_seq_recovers_the_header_from_a_prefix() {
+        let bytes = frame_bytes_seq(0xABCD, &Request::Ping);
+        let payload = &bytes[4..];
+        // The full payload and any prefix long enough to hold the
+        // header both recover the seq…
+        assert_eq!(peek_seq(payload), Some(0xABCD));
+        assert_eq!(peek_seq(&payload[..V2_HEADER_BYTES]), Some(0xABCD));
+        // …shorter prefixes, v1 frames, and foreign bytes do not.
+        assert_eq!(peek_seq(&payload[..V2_HEADER_BYTES - 1]), None);
+        let v1 = frame_bytes(&Request::Ping);
+        assert_eq!(peek_seq(&v1[4..]), None);
+        assert_eq!(peek_seq(b"not a frame at all"), None);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | `bench-drift`     | every `BENCH_*.json` writer documented in EXPERIMENTS.md (PR 3/4 reporting) |
 //! | `shim-only-deps`  | no dependency outside the workspace + shim set (offline build) |
 //! | `unsafe-doc`      | every `unsafe` block carries a `// SAFETY:` comment |
+//! | `reactor-blocking`| no blocking calls in reactor event-loop code (PR 8 epoll reactor) |
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
@@ -18,6 +19,7 @@ use crate::workspace::Workspace;
 mod bench_drift;
 mod lock_across_io;
 mod panic_path;
+mod reactor_blocking;
 mod shim_only_deps;
 mod unsafe_doc;
 mod wal_bypass;
@@ -44,6 +46,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(bench_drift::BenchDrift),
         Box::new(shim_only_deps::ShimOnlyDeps),
         Box::new(unsafe_doc::UnsafeDoc),
+        Box::new(reactor_blocking::ReactorBlocking),
     ]
 }
 

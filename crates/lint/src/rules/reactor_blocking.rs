@@ -1,0 +1,110 @@
+//! `reactor-blocking`: no blocking calls inside the epoll event loop.
+//!
+//! The PR 8 reactor replaced thread-per-connection sessions with a few
+//! worker event loops multiplexing thousands of connections. One
+//! blocked worker therefore stalls *every* connection assigned to it —
+//! the failure mode is silent (throughput collapses, nothing crashes),
+//! so the convention is enforced here: code under
+//! `crates/server/src/reactor/` may only wait inside
+//! [`EXEMPT_FNS`] (`wait_ready`, the epoll wait itself, and `join`,
+//! the shutdown-path thread join).
+//!
+//! Banned shapes, whether as method calls or path calls:
+//!
+//! - `sleep` / `park` — a worker that naps holds its whole
+//!   connection set hostage; timed waits belong in the timer wheel.
+//! - `recv` / `recv_timeout` — blocking channel receives; workers are
+//!   woken by the eventfd and must drain queues with `try_recv`.
+//! - `join` — a worker waiting on another thread deadlocks the loop;
+//!   only the shutdown-path `join` function may reap workers.
+//! - `set_read_timeout` / `set_write_timeout` — per-socket kernel
+//!   timeouts are meaningless on nonblocking fds (and were the silent
+//!   no-op the deadline wheel exists to replace).
+//! - `write_frame` / `write_frame_seq` / `read_frame` /
+//!   `read_frame_seq` — the blocking wire helpers; reactor code
+//!   encodes with `frame_bytes*` and moves bytes through the
+//!   nonblocking buffered queues.
+
+use super::{Code, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// Functions allowed to block: the epoll wait is *the* sanctioned
+/// sleep, and the reactor's shutdown path joins its worker threads.
+const EXEMPT_FNS: [&str; 2] = ["wait_ready", "join"];
+
+/// Calls that park the calling thread (or quietly reintroduce kernel
+/// socket timeouts).
+const BLOCKING_CALLS: [&str; 11] = [
+    "sleep",
+    "park",
+    "join",
+    "recv",
+    "recv_timeout",
+    "set_read_timeout",
+    "set_write_timeout",
+    "write_frame",
+    "write_frame_seq",
+    "read_frame",
+    "read_frame_seq",
+];
+
+pub(crate) struct ReactorBlocking;
+
+impl Rule for ReactorBlocking {
+    fn name(&self) -> &'static str {
+        "reactor-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking calls in reactor event-loop code (the epoll wait_ready is the only sleep)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !file.rel.contains("server/src/reactor/") || !file.rel.ends_with(".rs") {
+                continue;
+            }
+            for func in file.live_functions() {
+                if EXEMPT_FNS.contains(&func.name.as_str()) {
+                    continue;
+                }
+                let code = Code::of(func.body_tokens(&file.tokens));
+                check_function(&code, &file.rel, self.name(), out);
+            }
+        }
+    }
+}
+
+fn check_function(code: &Code<'_>, file: &str, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        let t = code.tok(i);
+        if t.kind != TokenKind::Ident || !BLOCKING_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call is `name(` — as a method (`.name(`), a path call
+        // (`thread::sleep(`), or bare. Anything else (a local named
+        // `recv`, a doc word) is not a call site.
+        if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // `self.wait_ready(..)` calls *into* the exempt fn are fine —
+        // the wait still happens inside `wait_ready` itself, which is
+        // where reviewers look for it. Nothing to special-case: the
+        // names simply never overlap with BLOCKING_CALLS.
+        out.push(Diagnostic {
+            rule,
+            file: file.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{}` blocks the reactor worker and stalls every connection it owns; \
+                 event-loop code may only wait inside `wait_ready` — use the timer \
+                 wheel for deadlines, `try_recv` after an eventfd wake for queues, and \
+                 the nonblocking write queues for frames",
+                t.text
+            ),
+        });
+    }
+}

@@ -5,7 +5,10 @@
 //! load-bearing and their soundness argument must be written down where
 //! the next reader will see it. The rule applies workspace-wide, test
 //! code included: a `SAFETY:` comment on the block's line or anywhere in
-//! the contiguous comment block directly above it satisfies it.
+//! the contiguous comment block directly above the *statement* holding
+//! the block satisfies it — `// SAFETY: ...` above a
+//! `let fd = unsafe { ... };` binding counts, matching how the comment
+//! is conventionally attached.
 
 use super::Rule;
 use crate::diag::Diagnostic;
@@ -38,15 +41,28 @@ impl Rule for UnsafeDoc {
                 if !opens_block {
                     continue;
                 }
+                // The comment may sit above the whole statement the
+                // block belongs to (`// SAFETY:` over a
+                // `let fd = unsafe { ... };`), so anchor the search at
+                // the statement's first token, not at `unsafe` itself.
+                let mut start = i;
+                while start > 0 {
+                    let p = &toks[start - 1];
+                    if p.is_comment() || p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                        break;
+                    }
+                    start -= 1;
+                }
+                let anchor = &toks[start];
                 // The contiguous comment block directly above the
-                // `unsafe` keyword (any length), or a trailing comment
-                // on its own line, must contain `SAFETY:`.
+                // statement (any length), or a trailing comment on the
+                // block's own line, must contain `SAFETY:`.
                 let mut documented = toks[i + 1..]
                     .iter()
                     .take_while(|n| n.line == t.line)
                     .any(|n| n.is_comment() && n.text.contains("SAFETY:"));
-                let mut expect_line = t.line.saturating_sub(1);
-                for p in toks[..i].iter().rev() {
+                let mut expect_line = anchor.line.saturating_sub(1);
+                for p in toks[..start].iter().rev() {
                     if !p.is_comment() || p.line + 1 < expect_line {
                         break;
                     }

@@ -1,0 +1,13 @@
+//! Fixture: the same blocking calls *outside* `reactor/` are out of
+//! scope for `reactor-blocking` — the accept loop's EMFILE backoff
+//! sleep, session threads, and test helpers may block freely.
+
+fn accept_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}
+
+fn feeder(rx: &std::sync::mpsc::Receiver<u64>) {
+    while let Ok(msg) = rx.recv() {
+        ship(msg);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: blocking calls inside reactor event-loop code.
+
+// BAD: a worker that naps stalls every connection it owns.
+fn run_worker(queue: &Queue) {
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        dispatch(queue);
+    }
+}
+
+// BAD: blocking channel receive; workers drain with try_recv after an
+// eventfd wake.
+fn drain_blocking(rx: &std::sync::mpsc::Receiver<u64>) {
+    while let Ok(msg) = rx.recv() {
+        handle(msg);
+    }
+}
+
+// GOOD: try_recv is the nonblocking drain the wake protocol expects.
+fn drain(rx: &std::sync::mpsc::Receiver<u64>) {
+    while let Ok(msg) = rx.try_recv() {
+        handle(msg);
+    }
+}
+
+// GOOD: `wait_ready` is the sanctioned sleep — the epoll wait itself.
+fn wait_ready(epfd: i32, timeout_ms: i32) -> usize {
+    park_in_kernel(epfd, timeout_ms)
+}
+
+// GOOD: the shutdown path may join its worker threads.
+fn join(threads: Vec<std::thread::JoinHandle<()>>) {
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+// GOOD: an identifier that merely contains a banned name is not a call.
+fn bookkeeping() {
+    let recv_count = 0;
+    let _ = recv_count;
+}

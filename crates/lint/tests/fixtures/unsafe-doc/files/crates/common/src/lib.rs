@@ -18,6 +18,21 @@ fn undocumented(ptr: *const u8) -> u8 {
     unsafe { std::ptr::read(ptr) }
 }
 
+// GOOD: the comment sits above the *statement* holding the block — the
+// conventional spot for a `let`-bound syscall result.
+fn documented_binding(ptr: *const u8) -> u8 {
+    // SAFETY: `ptr` is valid for reads per the caller's contract.
+    let byte = unsafe { std::ptr::read(ptr) };
+    byte
+}
+
+// BAD: a comment above the statement that never argues soundness.
+fn undocumented_binding(ptr: *const u8) -> u8 {
+    // Grab the first byte.
+    let byte = unsafe { std::ptr::read(ptr) };
+    byte
+}
+
 // GOOD: declarations do not execute; only blocks need the comment.
 unsafe fn declaration_only(ptr: *const u8) -> u8 {
     0

@@ -94,7 +94,24 @@ fn shim_only_deps_rejects_registry_crates() {
 #[test]
 fn unsafe_doc_requires_safety_comments() {
     let outcome = check_case("unsafe-doc");
-    assert_eq!(outcome.reported.len(), 1);
+    // The bare undocumented block and the undocumented `let`-bound one;
+    // a SAFETY comment above the binding statement satisfies the rule.
+    assert_eq!(outcome.reported.len(), 2);
+}
+
+#[test]
+fn reactor_blocking_bans_sleeps_outside_wait_ready() {
+    let outcome = check_case("reactor-blocking");
+    assert_eq!(outcome.reported.len(), 2);
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.rule == "reactor-blocking"));
+    // Same calls outside reactor/ are out of scope.
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.file.contains("src/reactor/")));
 }
 
 #[test]

@@ -1,14 +1,19 @@
 //! `insightd` — the InsightNotes annotation-engine daemon.
 //!
 //! ```text
-//! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 64]
+//! insightd [--addr 127.0.0.1:7433] [--snapshot db.indb] [--max-conns 10000]
 //!          [--timeout-ms 10000] [--parallelism N] [--shards N]
-//!          [--wal-dir DIR] [--sync always|batch|off]
+//!          [--reactor-workers N] [--wal-dir DIR] [--sync always|batch|off]
 //!          [--replica-of HOST:PORT --replica-dir DIR]
 //! ```
 //!
 //! Serves the wire protocol (see `insightnotes_common::wire`) over TCP
-//! with one thread per connection. With `--snapshot`, an existing file is
+//! on an epoll reactor: `--reactor-workers` event-loop threads (default
+//! one per core) each multiplex thousands of nonblocking connections,
+//! and pipelined (protocol v2) clients keep many requests in flight per
+//! connection. At startup the soft `RLIMIT_NOFILE` is raised to the
+//! hard limit so `--max-conns` (default 10 000) is reachable without an
+//! external `ulimit` dance. With `--snapshot`, an existing file is
 //! loaded at startup and a fresh snapshot is written on graceful shutdown
 //! (SIGINT/SIGTERM or a client `.shutdown`). With `--wal-dir`, every
 //! write is appended to a write-ahead log before it executes and acks
@@ -51,6 +56,15 @@ fn main() {
 
 fn run() -> insightnotes_common::Result<u64> {
     let opts = parse_args()?;
+    // Raise the soft fd limit before anything opens sockets; report the
+    // ceiling when it still undercuts the configured connection limit.
+    let fd_limit = insightnotes_server::reactor::raise_fd_limit();
+    if (fd_limit as usize) < opts.max_conns.saturating_add(64) {
+        eprintln!(
+            "insightd: warning: fd limit {fd_limit} may undercut --max-conns {}",
+            opts.max_conns
+        );
+    }
     if let Some(primary) = opts.replica_of.clone() {
         return run_replica(&opts, primary);
     }
@@ -102,6 +116,7 @@ fn run() -> insightnotes_common::Result<u64> {
         max_connections: opts.max_conns,
         request_timeout: Duration::from_millis(opts.timeout_ms),
         snapshot_path: opts.snapshot.clone(),
+        reactor_workers: opts.reactor_workers,
         ..ServerConfig::default()
     };
     let server = Server::bind_sharded(opts.addr.as_str(), db, config)?;
@@ -151,6 +166,7 @@ fn run_replica(opts: &Opts, primary: String) -> insightnotes_common::Result<u64>
             primary,
             positions: boot.replicator.positions(),
         }),
+        reactor_workers: opts.reactor_workers,
         ..ServerConfig::default()
     };
     let server = Server::bind_sharded(opts.addr.as_str(), boot.db, config)?;
@@ -179,13 +195,15 @@ struct Opts {
     sync: SyncPolicy,
     replica_of: Option<String>,
     replica_dir: Option<PathBuf>,
+    /// Reactor event-loop threads; 0 = one per core.
+    reactor_workers: usize,
 }
 
 fn parse_args() -> insightnotes_common::Result<Opts> {
     let mut opts = Opts {
         addr: "127.0.0.1:7433".into(),
         snapshot: None,
-        max_conns: 64,
+        max_conns: 10_000,
         timeout_ms: 10_000,
         parallelism: None,
         // Shard per core by default; a one-core box gets the legacy
@@ -196,6 +214,7 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
         sync: SyncPolicy::Batch,
         replica_of: None,
         replica_dir: None,
+        reactor_workers: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -205,7 +224,8 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
             println!(
                 "usage: insightd [--addr HOST:PORT] [--snapshot FILE] \
                  [--max-conns N] [--timeout-ms N] [--parallelism N] \
-                 [--shards N] [--wal-dir DIR] [--sync always|batch|off] \
+                 [--shards N] [--reactor-workers N] [--wal-dir DIR] \
+                 [--sync always|batch|off] \
                  [--replica-of HOST:PORT --replica-dir DIR]"
             );
             std::process::exit(0);
@@ -239,6 +259,11 @@ fn parse_args() -> insightnotes_common::Result<Opts> {
                     return Err(bad("--shards must be at least 1".into()));
                 }
                 opts.shards_set = true;
+            }
+            "--reactor-workers" => {
+                opts.reactor_workers = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad count {value}")))?;
             }
             "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value)),
             "--sync" => opts.sync = SyncPolicy::parse(value)?,

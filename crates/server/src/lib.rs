@@ -7,15 +7,26 @@
 //!
 //! ## Session model
 //!
-//! One OS thread per connection over a `std::net::TcpListener`. The
-//! engine sits behind an `Arc<`[`ShardedDatabase`]`>` — N partitioned
-//! [`Database`] shards (one at the default `--shards 1`, where the
-//! router collapses to the legacy single-lock engine). Read-class work
-//! (SELECT, ZOOMIN, EXPLAIN) fans out through the router under shared
-//! locks; replicated Write-class work (DDL, INSERT, registry changes)
-//! broadcasts under exclusive locks in fixed shard order. Queries from
-//! N sessions therefore execute concurrently; writers to *different
-//! shards* no longer serialize against each other.
+//! A readiness-based **reactor** (see [`reactor`]): one accept loop
+//! hands sockets round-robin to N worker event loops, each owning an
+//! epoll set of nonblocking connections with per-connection frame
+//! state machines. Requests are **pipelined** — a v2 client tags every
+//! request with a sequence id and keeps many in flight on one
+//! connection; reads complete (and may reorder) as the engine finishes
+//! them, writes flow into the per-shard commit queues and ack in
+//! commit (fsync) order. Serial v1 frames stay accepted on the same
+//! port, answered in v1.
+//!
+//! The engine sits behind an `Arc<`[`ShardedDatabase`]`>` — N
+//! partitioned [`Database`] shards (one at the default `--shards 1`,
+//! where the router collapses to the legacy single-lock engine).
+//! Read-class work (SELECT, ZOOMIN, EXPLAIN) executes inline on the
+//! worker under shared locks; replicated Write-class work (DDL,
+//! INSERT, registry changes) broadcasts under exclusive locks in fixed
+//! shard order on a dedicated execute thread. Queries from N sessions
+//! therefore execute concurrently; writers to *different shards* no
+//! longer serialize against each other — and one stalled connection no
+//! longer costs an OS thread.
 //!
 //! ## Group commit, per shard
 //!
@@ -55,18 +66,27 @@
 //! ## Robustness
 //!
 //! - **Connection limit** — accepts beyond
-//!   [`ServerConfig::max_connections`] are answered with a structured
-//!   error frame and closed.
-//! - **Per-request timeout** — once the first byte of a frame arrives,
-//!   the rest must arrive within [`ServerConfig::request_timeout`];
-//!   responses are written under the same timeout. Waiting *between*
-//!   frames is unbounded (idle REPL sessions stay up).
+//!   [`ServerConfig::max_connections`] are answered with a best-effort
+//!   nonblocking error frame and closed; the accept loop never blocks
+//!   on a refused client.
+//! - **Progress deadlines** — `set_read_timeout`/`set_write_timeout`
+//!   are silent no-ops on nonblocking sockets, so the reactor enforces
+//!   deadlines itself with a timer wheel: a connection that is
+//!   mid-frame (slowloris) or sitting on unflushed response bytes
+//!   (stalled reader) and makes no socket progress for
+//!   [`ServerConfig::request_timeout`] is evicted. Idle connections
+//!   between frames are unbounded (idle REPL sessions stay up).
+//! - **Backpressure** — per-connection in-flight caps and write-queue
+//!   watermarks stop a flooding client from ballooning server memory;
+//!   commit-queue saturation parks further writes from a connection
+//!   (retried in order) instead of blocking a thread.
 //! - **Graceful shutdown** — SIGINT/SIGTERM (see
 //!   [`install_signal_handlers`]), a client `Shutdown` frame, or
-//!   [`ServerHandle::shutdown`] all drain the same path: stop accepting,
-//!   unblock every session socket, join the session threads, then write
-//!   a final [`insightnotes_engine::persist`] snapshot when a snapshot
-//!   path is configured.
+//!   [`ServerHandle::shutdown`] all drain the same path: stop
+//!   accepting, stop reading, let in-flight work finish and its acks
+//!   flush (bounded by the request timeout), join the reactor and
+//!   committers, then write a final [`insightnotes_engine::persist`]
+//!   snapshot when a snapshot path is configured.
 //!
 //! ## Replication
 //!
@@ -81,6 +101,8 @@
 //! read-your-writes handshake), and rejects every write with
 //! [`Error::ReadOnlyReplica`] naming the primary.
 
+pub mod reactor;
+
 use insightnotes_common::wire::{
     self, BatchItem, Request, Response, RowsPayload, ShardPosition, WireAnnotation, WireError,
     WireRow, WireValue, ZoomPayload,
@@ -93,13 +115,13 @@ use insightnotes_replication::PositionTable;
 use insightnotes_sql::{parse, Statement, StatementClass};
 use insightnotes_storage::{Column, Value};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
-use std::io::Read;
+use std::collections::BTreeMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -123,6 +145,9 @@ pub struct ServerConfig {
     /// writes are rejected with [`Error::ReadOnlyReplica`], and
     /// `ReplicaState` reports the tailers' applied positions.
     pub replica: Option<ReplicaServing>,
+    /// Reactor worker (event-loop) threads. `0` means one per available
+    /// core.
+    pub reactor_workers: usize,
 }
 
 /// Replica-mode serving context: where writes should be redirected and
@@ -138,12 +163,15 @@ pub struct ReplicaServing {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            max_connections: 64,
+            // Connections are event-loop entries now, not threads; the
+            // default admits the 10k the reactor is built for.
+            max_connections: 10_000,
             request_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(50),
             snapshot_path: None,
             commit_queue_depth: 256,
             replica: None,
+            reactor_workers: 0,
         }
     }
 }
@@ -166,10 +194,6 @@ struct ServerState {
     shutdown: AtomicBool,
     active: AtomicUsize,
     served: AtomicU64,
-    next_session: AtomicU64,
-    /// Socket clones of live sessions, used to unblock their reads at
-    /// shutdown.
-    sessions: Mutex<HashMap<u64, TcpStream>>,
     /// One [`CommitSignal`] per shard.
     commits: Vec<CommitSignal>,
 }
@@ -209,13 +233,10 @@ impl ServerState {
     }
 
     fn begin_shutdown(&self) {
+        // Just a flag: reactor workers poll it (within one poll
+        // interval) and run the drain protocol themselves — no session
+        // sockets to unblock, nothing here ever blocks.
         self.shutdown.store(true, Ordering::Relaxed);
-        for (_, stream) in self.sessions.lock().drain() {
-            // Read side only: blocked reads unblock immediately, while a
-            // session still waiting on the commit queue can flush its
-            // reply before exiting (no lost acks mid-queue).
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
     }
 }
 
@@ -283,8 +304,6 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
-                next_session: AtomicU64::new(0),
-                sessions: Mutex::new(HashMap::new()),
                 commits,
             }),
         })
@@ -313,69 +332,109 @@ impl Server {
         Arc::clone(&self.db)
     }
 
-    /// Serves connections until shutdown is requested, then drains
-    /// sessions and every shard's commit queue and writes the final
+    /// Serves connections until shutdown is requested, then drains the
+    /// reactor and every shard's commit queue and writes the final
     /// snapshot (when configured). Returns the total requests served.
     pub fn run(self) -> Result<u64> {
         let depth = self.state.config.commit_queue_depth.max(1);
-        let mut commit_txs = Vec::with_capacity(self.db.shard_count());
-        let mut committers = Vec::with_capacity(self.db.shard_count());
-        for shard in 0..self.db.shard_count() {
-            let (tx, rx) = mpsc::sync_channel::<CommitJob>(depth);
+        let shard_count = self.db.shard_count();
+        let mut txs = Vec::with_capacity(shard_count);
+        let mut backlog = Vec::with_capacity(shard_count);
+        let mut committers = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let (tx, rx) = mpsc::channel::<CommitJob>();
+            let gauge = Arc::new(AtomicUsize::new(0));
             let db = Arc::clone(&self.db);
             let state = Arc::clone(&self.state);
+            let g = Arc::clone(&gauge);
             committers.push(std::thread::spawn(move || {
-                run_committer(rx, &db, shard, &state);
+                run_committer(rx, &db, shard, &state, &g);
             }));
-            commit_txs.push(tx);
+            txs.push(tx);
+            backlog.push(gauge);
         }
-        let commit_txs = Arc::new(commit_txs);
-        let mut workers = Vec::new();
+        let ctx = Arc::new(SessionCtx {
+            db: Arc::clone(&self.db),
+            state: Arc::clone(&self.state),
+            queues: CommitQueues {
+                txs: Mutex::new(txs),
+                backlog,
+                depth,
+            },
+            execute_lane: ExecuteLane::start(),
+            feeders: Mutex::new(Vec::new()),
+        });
+        let workers = match self.state.config.reactor_workers {
+            0 => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        let mut reactor =
+            reactor::Reactor::start(workers, Arc::clone(&ctx) as Arc<dyn reactor::Ops>)?;
+        // The (nonblocking) listener rides its own epoll set so a
+        // connect wakes the accept loop immediately — sleeping a poll
+        // interval between accept attempts would turn a burst of N
+        // connects into N × interval of accept latency. The timeout
+        // only bounds how stale the shutdown check can get.
+        let accept_poll = {
+            use std::os::fd::AsRawFd;
+            let ep = reactor::epoll::Epoll::new()?;
+            ep.add(
+                self.listener.as_raw_fd(),
+                0,
+                reactor::epoll::Interest {
+                    read: true,
+                    write: false,
+                    rdhup: false,
+                },
+            )?;
+            ep
+        };
+        let mut ready = Vec::with_capacity(4);
         loop {
             if self.state.shutting_down() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    workers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
                     if self.state.active.load(Ordering::Relaxed)
                         >= self.state.config.max_connections
                     {
-                        refuse(stream, &self.state.config);
+                        refuse(&stream, &self.state.config);
                         continue;
                     }
-                    let id = self.state.next_session.fetch_add(1, Ordering::Relaxed);
-                    let db = Arc::clone(&self.db);
-                    let state = Arc::clone(&self.state);
-                    let committer = Committer {
-                        txs: Arc::clone(&commit_txs),
-                    };
+                    // Count the slot before handing off; the worker (or a
+                    // failed hand-off) releases it.
                     self.state.active.fetch_add(1, Ordering::Relaxed);
-                    workers.push(std::thread::spawn(move || {
-                        run_session(stream, id, &db, &state, &committer);
-                        state.active.fetch_sub(1, Ordering::Relaxed);
-                        state.sessions.lock().remove(&id);
-                    }));
+                    if !reactor.assign(stream) {
+                        self.state.active.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(self.state.config.poll_interval);
+                    accept_poll.wait_ready(&mut ready, Some(self.state.config.poll_interval))?;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Fd exhaustion (EMFILE/ENFILE) is load, not a server
+                // defect: back off and retry instead of tearing down
+                // every established connection. (No epoll wait here —
+                // the pending connection keeps the listener readable,
+                // which would spin.)
+                Err(e) if matches!(e.raw_os_error(), Some(23 | 24)) => {
+                    std::thread::sleep(self.state.config.poll_interval);
+                }
                 Err(e) => return Err(e.into()),
             }
         }
-        // Drain: unblock session sockets, then join the threads. Each
-        // session blocked on a commit reply stays up until the committer
-        // serves it, so no enqueued writer loses its ack.
         self.state.begin_shutdown();
-        for h in workers {
-            let _ = h.join();
-        }
-        // All session-held senders are gone; dropping ours disconnects
-        // every channel. Each committer finishes whatever is still
-        // buffered (mpsc delivers queued messages after disconnect) and
-        // exits.
-        drop(commit_txs);
+        // Drain order matters: workers first (they wait for in-flight
+        // commit acks, flush write queues, close sockets), with the
+        // committers and execute lane still live to produce those acks.
+        reactor.join();
+        ctx.execute_lane.join();
+        ctx.join_feeders();
+        // Now nothing can enqueue: closing the queues disconnects the
+        // channels, each committer finishes whatever is still buffered
+        // (mpsc delivers queued messages after disconnect) and exits.
+        ctx.queues.close();
         for committer in committers {
             let _ = committer.join();
         }
@@ -412,47 +471,77 @@ impl CommitPayload {
     }
 }
 
-/// One enqueued ingest frame plus the channel the session blocks on.
-/// The committer answers with one [`BatchItem`] per item, in order.
+/// How a commit job's results get back to whoever is waiting: a
+/// one-shot callback invoked **on the committer thread** after the
+/// group's fsync, with one [`BatchItem`] per submitted item, in order.
+/// In the reactor world "whoever is waiting" is a connection, and the
+/// callback posts the encoded response back to its event loop.
+type CommitReply = Box<dyn FnOnce(Vec<BatchItem>) + Send>;
+
+/// One enqueued ingest frame plus its completion callback.
 struct CommitJob {
     payload: CommitPayload,
-    reply: mpsc::Sender<Vec<BatchItem>>,
+    reply: CommitReply,
 }
 
-/// A session's handle into every shard's commit queue.
-struct Committer {
-    txs: Arc<Vec<mpsc::SyncSender<CommitJob>>>,
+/// Every shard's commit queue plus the backlog gauges the reactor's
+/// admission check reads. Queue channels are unbounded — depth is
+/// enforced at *admission* ([`CommitQueues::all_ready`]): a connection
+/// whose write lands on a saturated queue is parked by its event loop
+/// and retried, instead of blocking an OS thread the way the old
+/// bounded `sync_channel` did.
+struct CommitQueues {
+    txs: Mutex<Vec<mpsc::Sender<CommitJob>>>,
+    backlog: Vec<Arc<AtomicUsize>>,
+    depth: usize,
 }
 
-impl Committer {
-    /// Enqueues one payload on `shard`'s queue and blocks until that
-    /// shard's committer has ingested it (and, when a WAL is attached,
-    /// fsynced it), returning one result per item.
-    fn submit(&self, shard: usize, payload: CommitPayload) -> Result<Vec<BatchItem>> {
-        self.submit_async(shard, payload)?
-            .recv()
-            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))
+impl CommitQueues {
+    /// Whether every shard's backlog is below the configured depth —
+    /// the admission gate for new write frames.
+    fn all_ready(&self) -> bool {
+        self.backlog
+            .iter()
+            .all(|g| g.load(Ordering::Relaxed) < self.depth)
     }
 
-    /// Enqueues without waiting; the caller collects the reply later.
-    /// This is what lets one session's multi-shard batch commit on all
-    /// its owner shards in parallel.
-    fn submit_async(
-        &self,
-        shard: usize,
-        payload: CommitPayload,
-    ) -> Result<mpsc::Receiver<Vec<BatchItem>>> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let tx = self
-            .txs
-            .get(shard)
-            .ok_or_else(|| Error::Execution(format!("no commit queue for shard {shard}")))?;
-        tx.send(CommitJob {
-            payload,
-            reply: reply_tx,
-        })
-        .map_err(|_| Error::Execution("commit queue closed (server shutting down)".into()))?;
-        Ok(reply_rx)
+    /// Enqueues one payload on `shard`'s queue. Infallible from the
+    /// caller's view: if the queue is closed (shutdown) or the shard is
+    /// unknown, `reply` is invoked immediately with per-item errors —
+    /// every submitted reply runs exactly once, always.
+    fn submit(&self, shard: usize, payload: CommitPayload, reply: CommitReply) {
+        let n = payload.len();
+        let tx = self.txs.lock().get(shard).cloned();
+        let job = CommitJob { payload, reply };
+        let failed = match tx {
+            Some(tx) => {
+                let gauge = self.backlog.get(shard);
+                if let Some(g) = gauge {
+                    g.fetch_add(1, Ordering::Relaxed);
+                }
+                match tx.send(job) {
+                    Ok(()) => None,
+                    Err(mpsc::SendError(job)) => {
+                        if let Some(g) = gauge {
+                            g.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        Some(job)
+                    }
+                }
+            }
+            None => Some(job),
+        };
+        if let Some(job) = failed {
+            let item = BatchItem::Err(WireError::from(&Error::Execution(
+                "commit queue closed (server shutting down)".into(),
+            )));
+            (job.reply)(vec![item; n]);
+        }
+    }
+
+    /// Drops every sender; committers drain what is buffered and exit.
+    fn close(&self) {
+        self.txs.lock().clear();
     }
 }
 
@@ -496,14 +585,17 @@ fn run_committer(
     db: &ShardedDatabase,
     shard: usize,
     state: &ServerState,
+    backlog: &AtomicUsize,
 ) {
     let mut poisoned: Option<String> = None;
     while let Ok(first) = rx.recv() {
+        backlog.fetch_sub(1, Ordering::Relaxed);
         let mut queued = first.payload.len();
         let mut jobs = vec![first];
         while queued < wire::MAX_BATCH_ITEMS {
             match rx.try_recv() {
                 Ok(job) => {
+                    backlog.fetch_sub(1, Ordering::Relaxed);
                     queued += job.payload.len();
                     jobs.push(job);
                 }
@@ -534,7 +626,7 @@ fn run_committer(
                  sync failure: {why}"
             ))));
             for ((_, n), reply) in spans.into_iter().zip(replies) {
-                let _ = reply.send(vec![item.clone(); n]);
+                reply(vec![item.clone(); n]);
             }
             continue;
         }
@@ -579,9 +671,10 @@ fn run_committer(
                     .map(|r| batch_item(r, sync_err.as_ref()))
                     .collect()
             };
-            // A send error means the session died mid-wait; its reply is
-            // dropped, everyone else's still goes out.
-            let _ = reply.send(items);
+            // The callback posts to the connection's event loop; a dead
+            // connection just drops its response, everyone else's still
+            // goes out.
+            reply(items);
         }
     }
 }
@@ -599,19 +692,20 @@ fn run_committer(
 /// the replica are given a best-effort compensating delete
 /// ([`ShardedDatabase::compensate_partial`]), so the reported failure
 /// does not leave the annotation attached to a subset of its rows.
-fn submit_annotations(
-    db: &ShardedDatabase,
-    committer: &Committer,
+fn submit_annotations_async(
+    db: &Arc<ShardedDatabase>,
+    queues: &CommitQueues,
     stmts: Vec<SqlStatement>,
-) -> Result<Vec<BatchItem>> {
+    done: CommitReply,
+) {
     if !db.is_sharded() {
-        return committer.submit(0, CommitPayload::Sql(stmts));
+        queues.submit(0, CommitPayload::Sql(stmts), done);
+        return;
     }
     let prepared = db.prepare_sql_annotations(&stmts);
     let mut slots: Vec<Option<BatchItem>> = Vec::new();
     slots.resize_with(prepared.len(), || None);
     let mut ids: Vec<Option<AnnotationId>> = vec![None; slots.len()];
-    let mut ok_shards: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
     let mut per_shard: BTreeMap<usize, (Vec<usize>, Vec<StampedRowAnnotation>)> = BTreeMap::new();
     for (i, p) in prepared.into_iter().enumerate() {
         match p {
@@ -632,52 +726,132 @@ fn submit_annotations(
             }
         }
     }
-    let mut pending = Vec::with_capacity(per_shard.len());
-    for (k, (indices, batch)) in per_shard {
-        pending.push((
-            k,
-            indices,
-            committer.submit_async(k, CommitPayload::Stamped(batch))?,
-        ));
+    if per_shard.is_empty() {
+        // Every item failed preparation; nothing to enqueue.
+        done(finalize_slots(slots));
+        return;
     }
-    for (k, indices, reply_rx) in pending {
-        let items = reply_rx
-            .recv()
-            .map_err(|_| Error::Execution("commit reply lost (committer exited)".into()))?;
-        for (i, item) in indices.into_iter().zip(items) {
-            let Some(slot) = slots.get_mut(i) else {
-                continue;
-            };
-            if matches!(item, BatchItem::Ok(_)) {
-                if let Some(oks) = ok_shards.get_mut(i) {
-                    oks.push(k);
+    let combine = Arc::new(Mutex::new(Combine {
+        slots,
+        ids,
+        ok_shards: Vec::new(),
+        ok_from: Vec::new(),
+        remaining: per_shard.len(),
+        done: Some(done),
+    }));
+    {
+        let mut g = combine.lock();
+        let n = g.slots.len();
+        g.ok_shards.resize_with(n, Vec::new);
+        g.ok_from = vec![None; n];
+    }
+    for (k, (indices, batch)) in per_shard {
+        let combine = Arc::clone(&combine);
+        let db = Arc::clone(db);
+        queues.submit(
+            k,
+            CommitPayload::Stamped(batch),
+            Box::new(move |items| {
+                let mut g = combine.lock();
+                let Combine {
+                    slots,
+                    ok_shards,
+                    ok_from,
+                    ..
+                } = &mut *g;
+                merge_shard_results(slots, ok_shards, ok_from, k, &indices, items);
+                g.remaining = g.remaining.saturating_sub(1);
+                if g.remaining == 0 {
+                    // Last owner shard in (running on its committer
+                    // thread, no shard lock held): repair partial
+                    // multi-owner failures, then release the combined
+                    // results to the connection.
+                    compensate_failures(&db, &g.slots, &g.ids, &g.ok_shards);
+                    let slots = std::mem::take(&mut g.slots);
+                    let done = g.done.take();
+                    drop(g);
+                    if let Some(done) = done {
+                        done(finalize_slots(slots));
+                    }
                 }
-            }
-            // Multi-owner combine: any shard's failure wins; otherwise
-            // the first (lowest-shard) success stands.
-            let replace = match (&slot, &item) {
-                (Some(BatchItem::Err(_)), _) => false,
-                (Some(BatchItem::Ok(_)), BatchItem::Err(_)) => true,
-                (Some(BatchItem::Ok(_)), BatchItem::Ok(_)) => false,
-                (None, _) => true,
-            };
-            if replace {
-                *slot = Some(item);
+            }),
+        );
+    }
+}
+
+/// Accumulated state of one multi-shard annotation batch: per-item
+/// result slots merged as each owner shard's committer reports in (in
+/// any order), plus the bookkeeping compensation needs.
+struct Combine {
+    slots: Vec<Option<BatchItem>>,
+    ids: Vec<Option<AnnotationId>>,
+    /// Which shards acked each item (candidates for compensation).
+    ok_shards: Vec<Vec<usize>>,
+    /// Which shard produced each slot's standing `Ok` (so the winning
+    /// message is the lowest shard's, independent of arrival order —
+    /// same answer the old sequential collection produced).
+    ok_from: Vec<Option<usize>>,
+    remaining: usize,
+    done: Option<CommitReply>,
+}
+
+/// Folds one owner shard's per-item results into the combine slots.
+/// Multi-owner rule: any shard's failure wins; among successes the
+/// lowest shard's message stands.
+fn merge_shard_results(
+    slots: &mut [Option<BatchItem>],
+    ok_shards: &mut [Vec<usize>],
+    ok_from: &mut [Option<usize>],
+    k: usize,
+    indices: &[usize],
+    items: Vec<BatchItem>,
+) {
+    for (&i, item) in indices.iter().zip(items) {
+        let Some(slot) = slots.get_mut(i) else {
+            continue;
+        };
+        if matches!(item, BatchItem::Ok(_)) {
+            if let Some(oks) = ok_shards.get_mut(i) {
+                oks.push(k);
             }
         }
+        let standing_ok_from = ok_from.get(i).copied().flatten();
+        let replace = match (&slot, &item) {
+            (Some(BatchItem::Err(_)), _) => false,
+            (Some(BatchItem::Ok(_)), BatchItem::Err(_)) => true,
+            (Some(BatchItem::Ok(_)), BatchItem::Ok(_)) => standing_ok_from.is_none_or(|w| k < w),
+            (None, _) => true,
+        };
+        if replace {
+            if let Some(w) = ok_from.get_mut(i) {
+                *w = matches!(item, BatchItem::Ok(_)).then_some(k);
+            }
+            *slot = Some(item);
+        }
     }
-    // A multi-owner item that committed (and fsynced) on some owners
-    // but failed — or lost its group fsync — on another is repaired
-    // before the error goes out: the successful owners' replicas are
-    // deleted so the acked failure converges to "not written".
-    for ((slot, id), oks) in slots.iter().zip(&ids).zip(&ok_shards) {
+}
+
+/// A multi-owner item that committed (and fsynced) on some owners but
+/// failed — or lost its group fsync — on another is repaired before
+/// the error goes out: the successful owners' replicas are deleted so
+/// the acked failure converges to "not written".
+fn compensate_failures(
+    db: &ShardedDatabase,
+    slots: &[Option<BatchItem>],
+    ids: &[Option<AnnotationId>],
+    ok_shards: &[Vec<usize>],
+) {
+    for ((slot, id), oks) in slots.iter().zip(ids).zip(ok_shards) {
         if matches!(slot, Some(BatchItem::Err(_))) && !oks.is_empty() {
             if let Some(id) = id {
                 db.compensate_partial(*id, oks);
             }
         }
     }
-    Ok(slots
+}
+
+fn finalize_slots(slots: Vec<Option<BatchItem>>) -> Vec<BatchItem> {
+    slots
         .into_iter()
         .map(|s| {
             s.unwrap_or_else(|| {
@@ -686,221 +860,25 @@ fn submit_annotations(
                 )))
             })
         })
-        .collect())
+        .collect()
 }
 
 /// Turns away a connection over the limit with a structured error frame,
 /// written under the same [`ServerConfig::request_timeout`] every other
 /// response honors.
-fn refuse(mut stream: TcpStream, config: &ServerConfig) {
-    let _ = stream.set_write_timeout(Some(config.request_timeout));
-    let _ = wire::write_frame(
-        &mut stream,
-        &Response::Error(WireError::from(&Error::Execution(format!(
+/// Best-effort refusal for an over-limit connection. Runs on the
+/// accept thread, so it must never block: the socket goes nonblocking
+/// and gets exactly one `write` attempt — a peer whose buffers are
+/// already full simply sees the close.
+fn refuse(stream: &TcpStream, config: &ServerConfig) {
+    let _ = stream.set_nonblocking(true);
+    let frame = wire::frame_bytes(&Response::Error(WireError::from(&Error::Execution(
+        format!(
             "connection limit ({}) reached; try again later",
             config.max_connections
-        )))),
-    );
-}
-
-/// What one attempt to read a frame from a session produced.
-enum FrameRead {
-    /// A complete, well-formed request.
-    Frame(Request),
-    /// A well-delimited frame whose payload failed to decode; the stream
-    /// is still in sync, so the session answers with an error frame.
-    Bad(WireError),
-    /// Nothing arrived within one poll tick.
-    Idle,
-    /// The peer closed the connection cleanly.
-    Closed,
-}
-
-/// Reads one frame in poll ticks. The wait for a frame's *first* byte is
-/// unbounded (returning [`FrameRead::Idle`] each tick so the caller can
-/// check for shutdown); once a frame has started, the remaining bytes
-/// must arrive before `request_timeout` expires.
-fn read_session_frame(stream: &mut TcpStream, state: &ServerState) -> Result<FrameRead> {
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0usize;
-    while filled == 0 {
-        if state.shutting_down() {
-            return Ok(FrameRead::Idle);
-        }
-        match stream.read(&mut len_buf) {
-            Ok(0) => return Ok(FrameRead::Closed),
-            Ok(n) => filled = n,
-            Err(e) if blocked(&e) => return Ok(FrameRead::Idle),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let deadline = Instant::now() + state.config.request_timeout;
-    fill(stream, &mut len_buf, &mut filled, deadline, state)?;
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > wire::MAX_FRAME_BYTES {
-        // Swallow the oversized payload (bounded by the request deadline)
-        // so the stream stays in sync, then answer with a structured
-        // error instead of dropping the connection.
-        drain(stream, len, deadline, state)?;
-        return Ok(FrameRead::Bad(WireError::from(&Error::Codec(format!(
-            "frame of {len} bytes exceeds the {}-byte limit",
-            wire::MAX_FRAME_BYTES
-        )))));
-    }
-    let mut payload = vec![0u8; len];
-    let mut got = 0usize;
-    fill(stream, &mut payload, &mut got, deadline, state)?;
-    match wire::decode_frame::<Request>(&payload) {
-        Ok(req) => Ok(FrameRead::Frame(req)),
-        Err(e) => Ok(FrameRead::Bad(WireError::from(&e))),
-    }
-}
-
-/// Reads until `buf[..]` is full, tolerating poll-tick timeouts up to
-/// `deadline`. EOF or an expired deadline mid-frame is an error.
-fn fill(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    filled: &mut usize,
-    deadline: Instant,
-    state: &ServerState,
-) -> Result<()> {
-    let total = buf.len();
-    loop {
-        let Some(rest) = buf.get_mut(*filled..) else {
-            return Err(Error::Codec("frame read cursor out of range".into()));
-        };
-        if rest.is_empty() {
-            break;
-        }
-        if Instant::now() >= deadline {
-            return Err(Error::Execution(format!(
-                "request timed out after {:?} mid-frame",
-                state.config.request_timeout
-            )));
-        }
-        match stream.read(rest) {
-            Ok(0) => {
-                return Err(Error::Codec(format!(
-                    "connection closed mid-frame ({} of {total} bytes)",
-                    *filled
-                )))
-            }
-            Ok(n) => *filled += n,
-            Err(e) if blocked(&e) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(())
-}
-
-/// Reads and discards `remaining` payload bytes under `deadline` — the
-/// recovery path for frames whose declared length exceeds the cap.
-fn drain(
-    stream: &mut TcpStream,
-    mut remaining: usize,
-    deadline: Instant,
-    state: &ServerState,
-) -> Result<()> {
-    let mut scratch = [0u8; 8192];
-    while remaining > 0 {
-        if Instant::now() >= deadline {
-            return Err(Error::Execution(format!(
-                "request timed out after {:?} mid-frame",
-                state.config.request_timeout
-            )));
-        }
-        let want = remaining.min(scratch.len());
-        let Some(chunk) = scratch.get_mut(..want) else {
-            return Err(Error::Codec("drain chunk sizing out of range".into()));
-        };
-        match stream.read(chunk) {
-            Ok(0) => {
-                return Err(Error::Codec(format!(
-                    "connection closed mid-frame ({remaining} bytes left to drain)"
-                )))
-            }
-            Ok(n) => remaining -= n,
-            Err(e) if blocked(&e) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(())
-}
-
-fn blocked(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-/// One connection's request/response loop.
-fn run_session(
-    mut stream: TcpStream,
-    id: u64,
-    db: &ShardedDatabase,
-    state: &ServerState,
-    committer: &Committer,
-) {
-    if configure_session_socket(&stream, state).is_err() {
-        return;
-    }
-    if let Ok(clone) = stream.try_clone() {
-        state.sessions.lock().insert(id, clone);
-    }
-    loop {
-        match read_session_frame(&mut stream, state) {
-            Ok(FrameRead::Idle) => {
-                if state.shutting_down() {
-                    break;
-                }
-            }
-            Ok(FrameRead::Closed) | Err(_) => break,
-            Ok(FrameRead::Bad(e)) => {
-                if wire::write_frame(&mut stream, &Response::Error(e)).is_err() {
-                    break;
-                }
-            }
-            Ok(FrameRead::Frame(req)) => {
-                state.served.fetch_add(1, Ordering::Relaxed);
-                if let Request::Subscribe {
-                    shard,
-                    epoch,
-                    offset,
-                } = req
-                {
-                    // The connection becomes a one-way replication
-                    // stream; no further requests are read on it.
-                    run_feed(&mut stream, db, state, shard, epoch, offset);
-                    break;
-                }
-                let shutdown_requested = matches!(req, Request::Shutdown);
-                let response = handle_request(db, state, committer, req);
-                let write_ok = wire::write_frame(&mut stream, &response).is_ok();
-                if shutdown_requested {
-                    state.begin_shutdown();
-                    break;
-                }
-                if !write_ok {
-                    break;
-                }
-            }
-        }
-    }
-}
-
-fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io::Result<()> {
-    // Accepted sockets must block with a poll-tick read timeout (the
-    // listener itself is non-blocking).
-    stream.set_nonblocking(false)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(state.config.poll_interval))?;
-    stream.set_write_timeout(Some(state.config.request_timeout))?;
-    Ok(())
+        ),
+    ))));
+    let _ = (&*stream).write(&frame);
 }
 
 // -- replication feed -----------------------------------------------------
@@ -909,26 +887,56 @@ fn configure_session_socket(stream: &TcpStream, state: &ServerState) -> std::io:
 /// that both prove liveness and detect a dead subscriber).
 const HEARTBEAT_TICKS: u32 = 20;
 
+/// A feeder thread's handle to its subscriber connection on the
+/// reactor. Frames are queued through the worker's message channel; the
+/// sink paces itself against the connection's shared write gauge so a
+/// slow subscriber throttles its feeder instead of ballooning the
+/// worker's buffers.
+struct FeedSink {
+    reply: reactor::ReplyTo,
+    shared: Arc<reactor::ConnShared>,
+}
+
+impl FeedSink {
+    /// Queues one frame, waiting out write backpressure. `Err` means
+    /// the subscriber (or its worker) is gone and the feed should end.
+    fn send(&self, resp: &Response) -> Result<()> {
+        loop {
+            if self.shared.closed.load(Ordering::Acquire) {
+                return Err(Error::Execution("subscriber disconnected".into()));
+            }
+            if self.shared.pending_write_bytes.load(Ordering::Acquire) < reactor::HIGH_WATERMARK {
+                if self.reply.stream_frame(resp) {
+                    return Ok(());
+                }
+                return Err(Error::Execution("subscriber worker exited".into()));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
 /// Serves one replication subscription until the stream breaks or the
 /// server shuts down. Failures that are the subscriber's fault (bad
 /// shard index, subscribing to a replica, WAL disabled) go out as a
-/// structured error frame; write failures just end the feed — the
+/// structured error frame; delivery failures just end the feed — the
 /// subscriber reconnects and resubscribes.
 fn run_feed(
-    stream: &mut TcpStream,
+    sink: &FeedSink,
     db: &ShardedDatabase,
     state: &ServerState,
     shard: u32,
     epoch: u64,
     offset: u64,
 ) {
-    if let Err(e) = try_run_feed(stream, db, state, shard, epoch, offset) {
-        let _ = wire::write_frame(stream, &Response::Error(WireError::from(&e)));
+    if let Err(e) = try_run_feed(sink, db, state, shard, epoch, offset) {
+        let _ = sink.send(&Response::Error(WireError::from(&e)));
     }
+    sink.reply.end_stream();
 }
 
 fn try_run_feed(
-    stream: &mut TcpStream,
+    sink: &FeedSink,
     db: &ShardedDatabase,
     state: &ServerState,
     shard: u32,
@@ -960,14 +968,11 @@ fn try_run_feed(
         // SubscribeAck and discards its local shard state).
         let (epoch, mut cursor) = match feed::plan_feed(handle, sub.0, sub.1)? {
             FeedStart::Resume { epoch, offset } => {
-                wire::write_frame(
-                    stream,
-                    &Response::SubscribeAck {
-                        epoch,
-                        offset,
-                        snapshot: false,
-                    },
-                )?;
+                sink.send(&Response::SubscribeAck {
+                    epoch,
+                    offset,
+                    snapshot: false,
+                })?;
                 (epoch, offset)
             }
             FeedStart::Bootstrap {
@@ -975,14 +980,11 @@ fn try_run_feed(
                 offset,
                 snapshot,
             } => {
-                wire::write_frame(
-                    stream,
-                    &Response::SubscribeAck {
-                        epoch,
-                        offset,
-                        snapshot: true,
-                    },
-                )?;
+                sink.send(&Response::SubscribeAck {
+                    epoch,
+                    offset,
+                    snapshot: true,
+                })?;
                 let total = snapshot.len();
                 let mut sent = 0usize;
                 loop {
@@ -990,13 +992,10 @@ fn try_run_feed(
                     let Some(chunk) = snapshot.get(sent..end) else {
                         break;
                     };
-                    wire::write_frame(
-                        stream,
-                        &Response::SnapshotChunk {
-                            data: chunk.to_vec(),
-                            last: end == total,
-                        },
-                    )?;
+                    sink.send(&Response::SnapshotChunk {
+                        data: chunk.to_vec(),
+                        last: end == total,
+                    })?;
                     sent = end;
                     if sent >= total {
                         break;
@@ -1027,26 +1026,20 @@ fn try_run_feed(
                     idle += 1;
                     if idle >= HEARTBEAT_TICKS {
                         idle = 0;
-                        wire::write_frame(
-                            stream,
-                            &Response::WalFrame {
-                                epoch,
-                                offset: cursor,
-                                data: Vec::new(),
-                            },
-                        )?;
+                        sink.send(&Response::WalFrame {
+                            epoch,
+                            offset: cursor,
+                            data: Vec::new(),
+                        })?;
                     }
                 }
                 Some((end, data)) => {
                     idle = 0;
-                    wire::write_frame(
-                        stream,
-                        &Response::WalFrame {
-                            epoch,
-                            offset: cursor,
-                            data,
-                        },
-                    )?;
+                    sink.send(&Response::WalFrame {
+                        epoch,
+                        offset: cursor,
+                        data,
+                    })?;
                     cursor = end;
                 }
             }
@@ -1065,175 +1058,353 @@ fn reject_if_replica(state: &ServerState) -> Result<()> {
     Ok(())
 }
 
-/// Executes one request against the shared database, picking the lock
-/// side by statement classification. Annotation ingest routes through
-/// the per-shard group-commit queues instead of locking from the
-/// session thread.
-fn handle_request(
-    db: &ShardedDatabase,
-    state: &ServerState,
-    committer: &Committer,
-    req: Request,
-) -> Response {
-    match try_handle_request(db, state, committer, req) {
-        Ok(resp) => resp,
-        Err(e) => Response::Error(WireError::from(&e)),
+// -- request dispatch -----------------------------------------------------
+
+/// A dedicated thread for `Execute` requests that write: they hold
+/// shard write locks and fsync inline, which must never happen on a
+/// reactor worker. One thread (not a pool) so two pipelined `Execute`s
+/// from the same connection apply in submission order — the property
+/// the serial-replay determinism test depends on.
+/// A queued unit of work for the lane thread.
+type ExecuteJob = Box<dyn FnOnce() + Send>;
+
+struct ExecuteLane {
+    tx: Mutex<Option<mpsc::Sender<ExecuteJob>>>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ExecuteLane {
+    fn start() -> Self {
+        let (tx, rx) = mpsc::channel::<ExecuteJob>();
+        let thread = std::thread::Builder::new()
+            .name("execute-lane".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .ok();
+        Self {
+            tx: Mutex::new(thread.is_some().then_some(tx)),
+            thread: Mutex::new(thread),
+        }
+    }
+
+    /// Queues a job; false if the lane never started or already joined
+    /// (the caller answers with an error instead).
+    fn spawn(&self, job: ExecuteJob) -> bool {
+        match &*self.tx.lock() {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Disconnects the lane and waits for queued jobs to finish.
+    fn join(&self) {
+        self.tx.lock().take();
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
     }
 }
 
-fn try_handle_request(
-    db: &ShardedDatabase,
-    state: &ServerState,
-    committer: &Committer,
-    req: Request,
-) -> Result<Response> {
-    match req {
-        Request::Ping => Ok(Response::Pong {
-            version: wire::WIRE_VERSION,
-            served: state.served.load(Ordering::Relaxed),
-        }),
-        Request::Shutdown => Ok(Response::ShuttingDown),
-        Request::Query { sql } => {
-            let stmt = expect_single(&sql, "Query")?;
-            if !matches!(stmt, Statement::Select(_)) {
-                return Err(Error::Execution(
-                    "Query frames carry exactly one SELECT; use Execute for other statements"
-                        .into(),
-                ));
+/// Everything [`reactor::Ops::handle`] needs to dispatch a request:
+/// the engine, shared server state, the per-shard commit queues, the
+/// `Execute` write lane, and the replication feeder threads spawned for
+/// `Subscribe` connections.
+struct SessionCtx {
+    db: Arc<ShardedDatabase>,
+    state: Arc<ServerState>,
+    queues: CommitQueues,
+    execute_lane: ExecuteLane,
+    feeders: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SessionCtx {
+    /// Joins every replication feeder (they notice shutdown through the
+    /// server state and the closed connection flags).
+    fn join_feeders(&self) {
+        let handles: Vec<_> = self.feeders.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn error_response(e: &Error) -> Response {
+    Response::Error(WireError::from(e))
+}
+
+fn respond_result(r: Result<Response>) -> reactor::Action {
+    reactor::Action::Respond(r.unwrap_or_else(|e| error_response(&e)))
+}
+
+impl reactor::Ops for SessionCtx {
+    fn handle(
+        &self,
+        reply: &reactor::ReplyTo,
+        shared: &Arc<reactor::ConnShared>,
+        req: Request,
+    ) -> reactor::Action {
+        use reactor::Action;
+        // Ingest admission control runs before the request counts as
+        // served: a parked (Busy) request is retried later, and must
+        // not be counted twice. Replica-mode rejection stays *after*
+        // the gate so the error path is identical either way.
+        if matches!(
+            req,
+            Request::Annotate { .. } | Request::AnnotateBatch { .. }
+        ) && reject_if_replica(&self.state).is_ok()
+            && !self.queues.all_ready()
+        {
+            return Action::Busy(req);
+        }
+        self.state.served.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Ping => Action::Respond(Response::Pong {
+                version: wire::WIRE_VERSION,
+                served: self.state.served.load(Ordering::Relaxed),
+            }),
+            Request::Shutdown => {
+                self.state.begin_shutdown();
+                Action::RespondAndClose(Response::ShuttingDown)
             }
-            match db.execute_read(stmt)? {
-                ExecOutcome::Query(q) => {
-                    // Summary-instance names are replicated; shard 0's
-                    // registry renders them for the wire.
-                    let shard0 = db.shard(0).read();
-                    Ok(Response::Rows(rows_payload(&shard0, &q)))
+            Request::Query { sql } => respond_result(query_response(&self.db, &sql)),
+            Request::ZoomIn { sql } => respond_result(zoom_response(&self.db, &sql)),
+            Request::ReplicaState => respond_result(replica_state_response(&self.db, &self.state)),
+            Request::Annotate { sql } => {
+                if let Err(e) = reject_if_replica(&self.state) {
+                    return Action::Respond(error_response(&e));
                 }
-                _ => Err(Error::Execution(
-                    "SELECT produced a non-query outcome; engine/server protocol mismatch".into(),
-                )),
+                let stmt = match annotate_statement(&sql, "Annotate") {
+                    Ok(stmt) => stmt,
+                    Err(e) => return Action::Respond(error_response(&e)),
+                };
+                let reply = reply.clone();
+                submit_annotations_async(
+                    &self.db,
+                    &self.queues,
+                    vec![stmt],
+                    Box::new(move |mut items| {
+                        let resp = match items.pop() {
+                            Some(BatchItem::Ok(message)) => Response::Ack {
+                                messages: vec![message],
+                            },
+                            Some(BatchItem::Err(e)) => Response::Error(e),
+                            None => error_response(&Error::Execution(
+                                "committer returned no result".into(),
+                            )),
+                        };
+                        reply.respond(&resp);
+                    }),
+                );
+                Action::Pending
             }
-        }
-        Request::ZoomIn { sql } => {
-            let stmt = expect_single(&sql, "ZoomIn")?;
-            if !matches!(stmt, Statement::ZoomIn(_)) {
-                return Err(Error::Execution(
-                    "ZoomIn frames carry exactly one ZOOMIN statement".into(),
-                ));
-            }
-            match db.execute_read(stmt)? {
-                ExecOutcome::ZoomIn(z) => Ok(Response::Zoomed(zoom_payload(z))),
-                _ => Err(Error::Execution(
-                    "ZOOMIN produced a non-zoom-in outcome; engine/server protocol mismatch".into(),
-                )),
-            }
-        }
-        Request::Annotate { sql } => {
-            reject_if_replica(state)?;
-            let stmt = annotate_statement(&sql, "Annotate")?;
-            let mut items = submit_annotations(db, committer, vec![stmt])?;
-            match items.pop() {
-                Some(BatchItem::Ok(message)) => Ok(Response::Ack {
-                    messages: vec![message],
-                }),
-                Some(BatchItem::Err(e)) => Ok(Response::Error(e)),
-                None => Err(Error::Execution("committer returned no result".into())),
-            }
-        }
-        Request::AnnotateBatch { statements } => {
-            reject_if_replica(state)?;
-            // Each item parses independently; the ones that don't become
-            // per-item errors while the rest still group-commit.
-            let mut slots: Vec<Option<BatchItem>> = Vec::new();
-            slots.resize_with(statements.len(), || None);
-            let mut stmts = Vec::new();
-            let mut indices = Vec::new();
-            for (i, sql) in statements.iter().enumerate() {
-                match annotate_statement(sql, "AnnotateBatch") {
-                    Ok(stmt) => {
-                        indices.push(i);
-                        stmts.push(stmt);
-                    }
-                    Err(e) => {
-                        if let Some(slot) = slots.get_mut(i) {
-                            *slot = Some(BatchItem::Err(WireError::from(&e)));
+            Request::AnnotateBatch { statements } => {
+                if let Err(e) = reject_if_replica(&self.state) {
+                    return Action::Respond(error_response(&e));
+                }
+                // Each item parses independently; the ones that don't
+                // become per-item errors while the rest still
+                // group-commit.
+                let mut slots: Vec<Option<BatchItem>> = Vec::new();
+                slots.resize_with(statements.len(), || None);
+                let mut stmts = Vec::new();
+                let mut indices = Vec::new();
+                for (i, sql) in statements.iter().enumerate() {
+                    match annotate_statement(sql, "AnnotateBatch") {
+                        Ok(stmt) => {
+                            indices.push(i);
+                            stmts.push(stmt);
+                        }
+                        Err(e) => {
+                            if let Some(slot) = slots.get_mut(i) {
+                                *slot = Some(BatchItem::Err(WireError::from(&e)));
+                            }
                         }
                     }
                 }
+                if stmts.is_empty() {
+                    return Action::Respond(Response::BatchAck {
+                        results: finalize_slots(slots),
+                    });
+                }
+                let reply = reply.clone();
+                submit_annotations_async(
+                    &self.db,
+                    &self.queues,
+                    stmts,
+                    Box::new(move |committed| {
+                        for (i, item) in indices.into_iter().zip(committed) {
+                            if let Some(slot) = slots.get_mut(i) {
+                                *slot = Some(item);
+                            }
+                        }
+                        reply.respond(&Response::BatchAck {
+                            results: finalize_slots(slots),
+                        });
+                    }),
+                );
+                Action::Pending
             }
-            let committed = if stmts.is_empty() {
-                Vec::new()
-            } else {
-                submit_annotations(db, committer, stmts)?
-            };
-            for (i, item) in indices.into_iter().zip(committed) {
-                if let Some(slot) = slots.get_mut(i) {
-                    *slot = Some(item);
+            Request::Execute { sql } => {
+                let stmts = match parse(&sql) {
+                    Ok(stmts) if stmts.is_empty() => {
+                        return Action::Respond(error_response(&Error::Parse(
+                            "empty statement".into(),
+                        )))
+                    }
+                    Ok(stmts) => stmts,
+                    Err(e) => return Action::Respond(error_response(&e)),
+                };
+                if stmts.iter().all(|s| s.class() == StatementClass::Read) {
+                    // Pure reads run inline on the worker: shard read
+                    // locks only, no fsync, nothing blocking.
+                    return respond_result(execute_reads(&self.db, stmts));
+                }
+                if let Err(e) = reject_if_replica(&self.state) {
+                    return Action::Respond(error_response(&e));
+                }
+                let db = Arc::clone(&self.db);
+                let reply = reply.clone();
+                let spawned = self.execute_lane.spawn(Box::new(move || {
+                    let resp =
+                        execute_write_script(&db, &sql).unwrap_or_else(|e| error_response(&e));
+                    reply.respond(&resp);
+                }));
+                if spawned {
+                    Action::Pending
+                } else {
+                    Action::Respond(error_response(&Error::Execution(
+                        "execute lane unavailable (server shutting down)".into(),
+                    )))
                 }
             }
-            // Every slot is filled by construction; an unfilled one
-            // still degrades to a per-item error rather than a panic.
-            Ok(Response::BatchAck {
-                results: slots
-                    .into_iter()
-                    .map(|s| {
-                        s.unwrap_or_else(|| {
-                            BatchItem::Err(WireError::from(&Error::Execution(
-                                "batch slot missing a committer result".into(),
-                            )))
-                        })
-                    })
-                    .collect(),
-            })
-        }
-        Request::Execute { sql } => {
-            let stmts = parse(&sql)?;
-            if stmts.is_empty() {
-                return Err(Error::Parse("empty statement".into()));
+            Request::Subscribe {
+                shard,
+                epoch,
+                offset,
+            } => {
+                // The connection becomes a one-way replication stream; a
+                // dedicated feeder thread paces itself against the
+                // subscriber's write gauge. Subscriber-fault errors
+                // (bad shard, replica primary, no WAL) surface as an
+                // error frame on the stream before it ends.
+                let sink = FeedSink {
+                    reply: reply.clone(),
+                    shared: Arc::clone(shared),
+                };
+                let db = Arc::clone(&self.db);
+                let state = Arc::clone(&self.state);
+                let spawn = std::thread::Builder::new()
+                    .name(format!("replica-feed-{shard}"))
+                    .spawn(move || run_feed(&sink, &db, &state, shard, epoch, offset));
+                match spawn {
+                    Ok(handle) => {
+                        let mut feeders = self.feeders.lock();
+                        feeders.retain(|h| !h.is_finished());
+                        feeders.push(handle);
+                        Action::Stream
+                    }
+                    Err(e) => Action::Respond(error_response(&Error::Io(e))),
+                }
             }
-            let messages = if stmts.iter().all(|s| s.class() == StatementClass::Read) {
-                stmts
-                    .into_iter()
-                    .map(|s| Ok(db.execute_read(s)?.to_string()))
-                    .collect::<Result<Vec<_>>>()?
-            } else {
-                reject_if_replica(state)?;
-                // The script's source text goes through execute_sql so
-                // the WAL (when attached) records it before execution —
-                // on every shard it touches; the sync below is the
-                // per-request commit point, after which the ack's
-                // durability promise holds.
-                let outcomes = db.execute_sql(&sql)?;
-                db.wal_sync_all()?;
-                outcomes
-                    .iter()
-                    .map(std::string::ToString::to_string)
-                    .collect()
-            };
-            Ok(Response::Ack { messages })
-        }
-        // Intercepted in `run_session` (it consumes the whole
-        // connection); reaching here means a caller bypassed that path.
-        Request::Subscribe { .. } => Err(Error::Execution(
-            "Subscribe is handled at the session layer".into(),
-        )),
-        Request::ReplicaState => {
-            if let Some(replica) = &state.config.replica {
-                return Ok(Response::ReplicaState {
-                    shards: replica.positions.snapshot(),
-                });
-            }
-            let mut shards = Vec::with_capacity(db.shard_count());
-            for k in 0..db.shard_count() {
-                let (epoch, offset) = db.shard(k).read().wal_committed().ok_or_else(|| {
-                    Error::Execution(
-                        "replication state requires a write-ahead log (--wal-dir)".into(),
-                    )
-                })?;
-                shards.push(ShardPosition { epoch, offset });
-            }
-            Ok(Response::ReplicaState { shards })
         }
     }
+
+    fn shutting_down(&self) -> bool {
+        self.state.shutting_down()
+    }
+
+    fn request_timeout(&self) -> Duration {
+        self.state.config.request_timeout
+    }
+
+    fn poll_interval(&self) -> Duration {
+        self.state.config.poll_interval
+    }
+
+    fn on_conn_gone(&self) {
+        self.state.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// -- read-path helpers ----------------------------------------------------
+
+fn query_response(db: &ShardedDatabase, sql: &str) -> Result<Response> {
+    let stmt = expect_single(sql, "Query")?;
+    if !matches!(stmt, Statement::Select(_)) {
+        return Err(Error::Execution(
+            "Query frames carry exactly one SELECT; use Execute for other statements".into(),
+        ));
+    }
+    match db.execute_read(stmt)? {
+        ExecOutcome::Query(q) => {
+            // Summary-instance names are replicated; shard 0's
+            // registry renders them for the wire.
+            let shard0 = db.shard(0).read();
+            Ok(Response::Rows(rows_payload(&shard0, &q)))
+        }
+        _ => Err(Error::Execution(
+            "SELECT produced a non-query outcome; engine/server protocol mismatch".into(),
+        )),
+    }
+}
+
+fn zoom_response(db: &ShardedDatabase, sql: &str) -> Result<Response> {
+    let stmt = expect_single(sql, "ZoomIn")?;
+    if !matches!(stmt, Statement::ZoomIn(_)) {
+        return Err(Error::Execution(
+            "ZoomIn frames carry exactly one ZOOMIN statement".into(),
+        ));
+    }
+    match db.execute_read(stmt)? {
+        ExecOutcome::ZoomIn(z) => Ok(Response::Zoomed(zoom_payload(z))),
+        _ => Err(Error::Execution(
+            "ZOOMIN produced a non-zoom-in outcome; engine/server protocol mismatch".into(),
+        )),
+    }
+}
+
+/// Runs an all-read `Execute` script inline (shard read locks only).
+fn execute_reads(db: &ShardedDatabase, stmts: Vec<Statement>) -> Result<Response> {
+    let messages = stmts
+        .into_iter()
+        .map(|s| Ok(db.execute_read(s)?.to_string()))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Response::Ack { messages })
+}
+
+/// Runs a write-bearing `Execute` script on the execute lane. The
+/// script's source text goes through `execute_sql` so the WAL (when
+/// attached) records it before execution — on every shard it touches;
+/// the sync below is the per-request commit point, after which the
+/// ack's durability promise holds.
+fn execute_write_script(db: &ShardedDatabase, sql: &str) -> Result<Response> {
+    let outcomes = db.execute_sql(sql)?;
+    db.wal_sync_all()?;
+    Ok(Response::Ack {
+        messages: outcomes
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
+    })
+}
+
+fn replica_state_response(db: &ShardedDatabase, state: &ServerState) -> Result<Response> {
+    if let Some(replica) = &state.config.replica {
+        return Ok(Response::ReplicaState {
+            shards: replica.positions.snapshot(),
+        });
+    }
+    let mut shards = Vec::with_capacity(db.shard_count());
+    for k in 0..db.shard_count() {
+        let (epoch, offset) = db.shard(k).read().wal_committed().ok_or_else(|| {
+            Error::Execution("replication state requires a write-ahead log (--wal-dir)".into())
+        })?;
+        shards.push(ShardPosition { epoch, offset });
+    }
+    Ok(Response::ReplicaState { shards })
 }
 
 fn expect_single(sql: &str, kind: &str) -> Result<Statement> {

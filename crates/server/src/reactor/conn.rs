@@ -1,0 +1,500 @@
+//! Per-connection state machine: length-prefixed frame reassembly on
+//! the read side, a buffered write queue with backpressure accounting
+//! on the write side, and the deadline/generation state the timer wheel
+//! keys off.
+//!
+//! The struct is pure bookkeeping over a nonblocking `TcpStream`; it
+//! never blocks and never panics (the panic-path lint covers this whole
+//! module). Frame *decoding* is the event loop's job — this layer only
+//! delimits payloads, including the recovery path for oversized frames:
+//! the declared length is consumed and discarded in bounded chunks while
+//! the first header bytes are kept so the eventual error response can
+//! still echo the request's sequence id.
+
+use insightnotes_common::wire;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Most requests one connection may have in flight (dispatched, response
+/// not yet queued) before the loop stops reading from it. Bounds the
+/// per-connection memory of a client that floods requests faster than
+/// commits drain.
+pub(crate) const MAX_IN_FLIGHT: usize = 128;
+
+/// Write-queue high watermark: above this many pending response bytes
+/// the loop stops reading the connection (and streaming feeders stop
+/// producing) until the peer drains below [`LOW_WATERMARK`].
+pub(crate) const HIGH_WATERMARK: usize = 4 << 20;
+
+/// Write-queue low watermark: reads resume below this.
+pub(crate) const LOW_WATERMARK: usize = 1 << 20;
+
+/// Bytes read from the socket per readiness service, bounding how long
+/// one flooding connection can hold the loop (level-triggered epoll
+/// re-reports whatever is left).
+const READ_BUDGET: usize = 256 << 10;
+
+const CHUNK: usize = 64 << 10;
+
+/// State shared with off-loop producers (committer callbacks, feeder
+/// threads): they check `closed` before producing and use
+/// `pending_write_bytes` for backpressure.
+#[derive(Debug, Default)]
+pub(crate) struct ConnShared {
+    /// Set (once) by the event loop when the connection is torn down.
+    pub closed: AtomicBool,
+    /// Bytes queued for write but not yet accepted by the socket.
+    pub pending_write_bytes: AtomicUsize,
+}
+
+/// What one service of the read side produced.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// More may arrive later; nothing abnormal.
+    Open,
+    /// The peer closed its write side (clean EOF after any buffered
+    /// frames are processed).
+    Eof,
+    /// The socket errored; tear the connection down.
+    Broken,
+}
+
+/// One delimited unit extracted from the read buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Extracted {
+    /// A complete frame payload (the bytes after the length prefix).
+    Frame(Vec<u8>),
+    /// An oversized frame was fully consumed and discarded. `header`
+    /// holds up to [`wire::V2_HEADER_BYTES`] leading payload bytes so
+    /// the error response can echo the frame's seq id.
+    Oversized { declared: usize, header: Vec<u8> },
+}
+
+/// Oversized-frame discard progress.
+#[derive(Debug)]
+struct Discard {
+    declared: usize,
+    remaining: usize,
+    header: Vec<u8>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub shared: Arc<ConnShared>,
+    /// Reassembly buffer: bytes received but not yet extracted.
+    buf: Vec<u8>,
+    discard: Option<Discard>,
+    write_q: VecDeque<Vec<u8>>,
+    /// Bytes of the front write-queue entry already written.
+    write_off: usize,
+    /// Requests dispatched whose responses have not yet been queued.
+    pub in_flight: usize,
+    /// Requests parked because the commit queues were saturated; the
+    /// loop retries them in arrival order before reading more frames.
+    pub parked: VecDeque<(Option<u64>, insightnotes_common::wire::Request)>,
+    /// Reads are paused while the write queue is above the high
+    /// watermark (cleared once it drains below the low watermark).
+    pub write_paused: bool,
+    /// The connection switched into replication streaming; no further
+    /// requests are read.
+    pub streaming: bool,
+    /// Close once the write queue is flushed (Shutdown response sent,
+    /// or peer EOF with no work outstanding).
+    pub close_after_flush: bool,
+    /// The peer half-closed; finish in-flight work, flush, then close.
+    pub peer_eof: bool,
+    /// Mirror of the read interest currently registered in epoll, so the
+    /// loop only issues `epoll_ctl` when the desired set changes.
+    pub epoll_read: bool,
+    /// Mirror of the registered write interest.
+    pub epoll_write: bool,
+    /// Mirror of the registered peer-half-close (RDHUP) interest.
+    pub epoll_rdhup: bool,
+    /// Last moment the socket made byte-level progress in either
+    /// direction. The enforced deadline is `last_progress + timeout`
+    /// whenever the connection owes progress (mid-frame read or
+    /// unflushed writes) — a healthy pipelining peer keeps moving it
+    /// forward, a slowloris does not.
+    pub last_progress: Instant,
+    /// Whether a wheel entry is currently armed for this connection.
+    pub timer_armed: bool,
+    /// Bumped on disarm; stale wheel entries whose generation
+    /// mismatches are ignored (lazy cancellation).
+    pub generation: u64,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            shared: Arc::new(ConnShared::default()),
+            buf: Vec::new(),
+            discard: None,
+            write_q: VecDeque::new(),
+            write_off: 0,
+            in_flight: 0,
+            parked: VecDeque::new(),
+            write_paused: false,
+            streaming: false,
+            close_after_flush: false,
+            peer_eof: false,
+            epoll_read: true,
+            epoll_write: false,
+            epoll_rdhup: true,
+            last_progress: Instant::now(),
+            timer_armed: false,
+            generation: 0,
+        }
+    }
+
+    /// Reads whatever the socket has (bounded by [`READ_BUDGET`]) into
+    /// the reassembly buffer.
+    pub(crate) fn fill(&mut self) -> ReadOutcome {
+        let mut taken = 0usize;
+        let mut scratch = [0u8; CHUNK];
+        while taken < READ_BUDGET {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    let Some(got) = scratch.get(..n) else {
+                        return ReadOutcome::Broken;
+                    };
+                    self.buf.extend_from_slice(got);
+                    taken += n;
+                    self.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Broken,
+            }
+        }
+        ReadOutcome::Open
+    }
+
+    /// Extracts the next delimited unit from the reassembly buffer, if a
+    /// complete one is buffered. Advances oversized-frame discard state
+    /// as a side effect.
+    pub(crate) fn extract(&mut self) -> Option<Extracted> {
+        if let Some(done) = self.advance_discard() {
+            return Some(done);
+        }
+        let len_bytes: [u8; 4] = self.buf.get(..4)?.try_into().ok()?;
+        let declared = u32::from_le_bytes(len_bytes) as usize;
+        if declared > wire::MAX_FRAME_BYTES {
+            // Enter discard mode: consume `declared` bytes as they
+            // stream in, keeping only the header prefix for seq
+            // recovery, then answer with a structured error. The stream
+            // stays in sync and the connection stays usable.
+            self.buf.drain(..4);
+            self.discard = Some(Discard {
+                declared,
+                remaining: declared,
+                header: Vec::new(),
+            });
+            return self.advance_discard();
+        }
+        if self.buf.len() < 4 + declared {
+            return None;
+        }
+        let payload: Vec<u8> = self.buf.get(4..4 + declared)?.to_vec();
+        self.buf.drain(..4 + declared);
+        Some(Extracted::Frame(payload))
+    }
+
+    /// Consumes buffered bytes into the active discard, returning the
+    /// `Oversized` record once the whole declared length has passed.
+    fn advance_discard(&mut self) -> Option<Extracted> {
+        let d = self.discard.as_mut()?;
+        let take = d.remaining.min(self.buf.len());
+        if d.header.len() < wire::V2_HEADER_BYTES {
+            let want = (wire::V2_HEADER_BYTES - d.header.len()).min(take);
+            if let Some(prefix) = self.buf.get(..want) {
+                d.header.extend_from_slice(prefix);
+            }
+        }
+        self.buf.drain(..take);
+        d.remaining -= take;
+        if d.remaining == 0 {
+            let d = self.discard.take()?;
+            return Some(Extracted::Oversized {
+                declared: d.declared,
+                header: d.header,
+            });
+        }
+        None
+    }
+
+    /// Whether the reassembly buffer holds a partial frame (the
+    /// condition that arms the slowloris read deadline).
+    pub(crate) fn mid_frame(&self) -> bool {
+        !self.buf.is_empty() || self.discard.is_some()
+    }
+
+    /// Queues response bytes for writing and bumps the backpressure
+    /// gauge shared with off-loop producers.
+    pub(crate) fn queue(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.shared
+            .pending_write_bytes
+            .fetch_add(bytes.len(), Ordering::Relaxed);
+        self.write_q.push_back(bytes);
+    }
+
+    /// Writes queued bytes until the socket blocks or the queue drains.
+    /// `Ok(true)` means fully flushed.
+    pub(crate) fn flush(&mut self) -> std::io::Result<bool> {
+        while let Some(front) = self.write_q.front() {
+            let Some(rest) = front.get(self.write_off..) else {
+                self.write_q.pop_front();
+                self.write_off = 0;
+                continue;
+            };
+            if rest.is_empty() {
+                self.write_q.pop_front();
+                self.write_off = 0;
+                continue;
+            }
+            match self.stream.write(rest) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.write_off += n;
+                    self.shared
+                        .pending_write_bytes
+                        .fetch_sub(n, Ordering::Relaxed);
+                    self.last_progress = Instant::now();
+                    if self.write_off >= front.len() {
+                        self.write_q.pop_front();
+                        self.write_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether unwritten response bytes remain.
+    pub(crate) fn has_pending_writes(&self) -> bool {
+        !self.write_q.is_empty()
+    }
+
+    /// Pending (unwritten) response bytes.
+    pub(crate) fn pending_write_bytes(&self) -> usize {
+        self.shared.pending_write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Whether the loop should read/extract from this connection now.
+    pub(crate) fn wants_read(&self) -> bool {
+        !self.streaming
+            && !self.close_after_flush
+            && !self.write_paused
+            && self.parked.is_empty()
+            && self.in_flight < MAX_IN_FLIGHT
+    }
+
+    /// No outstanding work: nothing in flight, nothing parked, nothing
+    /// buffered to write.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.in_flight == 0 && self.parked.is_empty() && !self.has_pending_writes()
+    }
+
+    /// Whether the connection currently owes the peer (or us) progress:
+    /// a partially received frame or unflushed response bytes. This is
+    /// the condition that keeps a deadline armed; purely idle
+    /// connections stay up indefinitely, as before.
+    pub(crate) fn owes_progress(&self) -> bool {
+        self.mid_frame() || self.has_pending_writes()
+    }
+
+    /// The deadline the wheel should enforce, if any: `last_progress +
+    /// timeout` while progress is owed. A healthy peer keeps moving
+    /// `last_progress` forward (so the fired wheel entry is re-armed at
+    /// the new time); a slowloris or stalled reader does not and is
+    /// evicted.
+    pub(crate) fn deadline(&self, timeout: std::time::Duration) -> Option<Instant> {
+        if self.owes_progress() {
+            Some(self.last_progress + timeout)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insightnotes_common::wire::Request;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected socket pair (loopback); the server end nonblocking,
+    /// as the reactor would have it.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    impl Conn {
+        /// Test-only: bytes "arrive" directly in the reassembly buffer,
+        /// making split-point coverage deterministic (the socket path is
+        /// exercised by `fill` in the integration tests).
+        fn ingest(&mut self, bytes: &[u8]) {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    #[test]
+    fn frames_reassemble_across_arbitrary_splits() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+        let f1 = wire::frame_bytes_seq(11, &Request::Ping);
+        let f2 = wire::frame_bytes_seq(
+            12,
+            &Request::Query {
+                sql: "SELECT x FROM t".into(),
+            },
+        );
+        let all: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
+
+        // Dribble one byte at a time; frames must pop out exactly when
+        // complete and never before.
+        let mut extracted = Vec::new();
+        for b in &all {
+            conn.ingest(&[*b]);
+            while let Some(e) = conn.extract() {
+                extracted.push(e);
+            }
+        }
+        assert_eq!(
+            extracted,
+            vec![
+                Extracted::Frame(f1[4..].to_vec()),
+                Extracted::Frame(f2[4..].to_vec()),
+            ]
+        );
+        assert!(!conn.mid_frame());
+    }
+
+    #[test]
+    fn oversized_frames_discard_but_keep_the_seq_header() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+
+        // Hand-build a frame that declares an oversized length, arriving
+        // as header bytes first, then the body in chunks.
+        let declared = wire::MAX_FRAME_BYTES + 64;
+        let mut head = (declared as u32).to_le_bytes().to_vec();
+        head.extend_from_slice(&wire::WIRE_MAGIC);
+        head.extend_from_slice(&2u16.to_le_bytes());
+        head.extend_from_slice(&777u64.to_le_bytes());
+
+        conn.ingest(&head);
+        // Header consumed into discard state; not yet complete.
+        assert!(conn.extract().is_none());
+        assert!(conn.mid_frame());
+
+        let mut remaining = declared - (head.len() - 4);
+        let junk = vec![0xAB_u8; 1 << 20];
+        let mut got = None;
+        while remaining > 0 {
+            let n = remaining.min(junk.len());
+            conn.ingest(&junk[..n]);
+            remaining -= n;
+            if let Some(e) = conn.extract() {
+                got = Some(e);
+            }
+        }
+        match got {
+            Some(Extracted::Oversized {
+                declared: d,
+                header,
+            }) => {
+                assert_eq!(d, declared);
+                assert_eq!(wire::peek_seq(&header), Some(777));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(!conn.mid_frame());
+
+        // The stream is back in sync: a normal frame still parses.
+        let f = wire::frame_bytes_seq(9, &Request::Ping);
+        conn.ingest(&f);
+        assert_eq!(conn.extract(), Some(Extracted::Frame(f[4..].to_vec())));
+    }
+
+    #[test]
+    fn oversized_discard_interleaves_with_a_following_frame() {
+        // The bytes after the oversized body belong to the next frame;
+        // discard must consume exactly the declared length.
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+        let declared = wire::MAX_FRAME_BYTES + 1;
+        let mut bytes = (declared as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&vec![0x55_u8; declared]);
+        let next = wire::frame_bytes_seq(3, &Request::Ping);
+        bytes.extend_from_slice(&next);
+
+        conn.ingest(&bytes);
+        let first = conn.extract();
+        assert!(
+            matches!(first, Some(Extracted::Oversized { declared: d, .. }) if d == declared),
+            "{first:?}"
+        );
+        assert_eq!(conn.extract(), Some(Extracted::Frame(next[4..].to_vec())));
+        assert_eq!(conn.extract(), None);
+    }
+
+    #[test]
+    fn write_queue_tracks_backpressure_gauge() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+        conn.queue(vec![1; 1000]);
+        conn.queue(vec![2; 500]);
+        assert_eq!(conn.pending_write_bytes(), 1500);
+        assert!(conn.has_pending_writes());
+        assert!(conn.flush().unwrap());
+        assert_eq!(conn.pending_write_bytes(), 0);
+        assert!(!conn.has_pending_writes());
+    }
+
+    #[test]
+    fn deadline_tracks_owed_progress() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+        let t = std::time::Duration::from_secs(1);
+
+        // Idle: no deadline.
+        assert!(!conn.owes_progress());
+        assert_eq!(conn.deadline(t), None);
+
+        // Half a frame: deadline = last_progress + timeout.
+        let frame = wire::frame_bytes_seq(1, &Request::Ping);
+        conn.ingest(&frame[..6]);
+        assert!(conn.extract().is_none());
+        assert!(conn.owes_progress());
+        assert_eq!(conn.deadline(t), Some(conn.last_progress + t));
+
+        // Rest arrives: frame extracted, nothing owed, deadline gone.
+        conn.ingest(&frame[6..]);
+        assert!(matches!(conn.extract(), Some(Extracted::Frame(_))));
+        assert!(!conn.owes_progress());
+        assert_eq!(conn.deadline(t), None);
+    }
+}

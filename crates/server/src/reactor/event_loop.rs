@@ -1,0 +1,654 @@
+//! The reactor worker: one thread, one epoll set, many connections.
+//!
+//! Each worker owns a set of [`Conn`] state machines and runs a
+//! readiness loop: wait for events, drain cross-thread messages
+//! (accepted sockets, responses produced off-loop by committers and
+//! feeders), service readable/writable connections, retry requests
+//! parked on commit-queue backpressure, and fire deadline evictions.
+//!
+//! **No blocking calls inside the loop** except [`Epoll::wait_ready`]
+//! itself — the lock-across-io lint's reactor rule enforces this
+//! textually, and the design enforces it structurally: anything that
+//! might wait (fsync, replica feed pacing, write-heavy SQL) happens on
+//! other threads and re-enters the loop through the [`Msg`] channel plus
+//! an eventfd nudge. Dispatch is panic-free (the panic-path lint covers
+//! this module): a malformed frame becomes an error *response*, never a
+//! torn-down worker.
+
+use super::conn::{Conn, ConnShared, Extracted, ReadOutcome, HIGH_WATERMARK, LOW_WATERMARK};
+use super::epoll::{
+    Epoll, EpollEvent, Interest, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use super::timer::TimerWheel;
+use insightnotes_common::wire;
+use insightnotes_common::Error;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Epoll token reserved for the worker's wakeup eventfd.
+pub(crate) const WAKE_TOKEN: u64 = u64::MAX;
+
+/// How often the loop retries parked (commit-queue-saturated) requests.
+const PARK_RETRY: Duration = Duration::from_millis(5);
+
+/// Cross-thread mail for a worker. Senders must nudge the worker's
+/// [`WakeFd`] after sending or the message sits until the next natural
+/// wakeup.
+pub(crate) enum Msg {
+    /// A freshly accepted connection for this worker to own.
+    Accept(TcpStream),
+    /// Encoded frame bytes to queue on `conn`'s write side.
+    Frames {
+        /// Target connection token.
+        conn: u64,
+        /// Fully framed wire bytes.
+        bytes: Vec<u8>,
+        /// Whether this frame completes an in-flight request (true for
+        /// committer/blocking-pool responses, false for replication
+        /// stream frames).
+        completes: bool,
+    },
+    /// A streaming feeder finished (or aborted): flush what is queued,
+    /// then close `conn`.
+    EndStream {
+        /// Target connection token.
+        conn: u64,
+    },
+}
+
+/// Where a response should go: a connection on some worker, addressed
+/// from any thread. Committer callbacks and feeder threads hold one of
+/// these per pending request.
+#[derive(Clone)]
+pub(crate) struct ReplyTo {
+    /// Connection token on the owning worker.
+    pub conn: u64,
+    /// The request's sequence id (`None` for serial v1 frames); every
+    /// response — and every streaming frame — echoes it.
+    pub seq: Option<u64>,
+    tx: mpsc::Sender<Msg>,
+    wake: Arc<WakeFd>,
+}
+
+impl ReplyTo {
+    /// Sends the final response for an in-flight request.
+    pub(crate) fn respond(&self, resp: &wire::Response) {
+        self.post(encode_response(self.seq, resp), true);
+    }
+
+    /// Sends one streaming (replication feed) frame; returns false once
+    /// the worker is gone and the feeder should stop.
+    pub(crate) fn stream_frame(&self, resp: &wire::Response) -> bool {
+        self.post(encode_response(self.seq, resp), false)
+    }
+
+    /// Tells the worker the stream is over: flush, then close.
+    pub(crate) fn end_stream(&self) {
+        if self.tx.send(Msg::EndStream { conn: self.conn }).is_ok() {
+            self.wake.wake();
+        }
+    }
+
+    fn post(&self, bytes: Vec<u8>, completes: bool) -> bool {
+        let sent = self
+            .tx
+            .send(Msg::Frames {
+                conn: self.conn,
+                bytes,
+                completes,
+            })
+            .is_ok();
+        if sent {
+            self.wake.wake();
+        }
+        sent
+    }
+}
+
+/// Encodes a response in the protocol version the request arrived in:
+/// v2 (seq echoed) when the request carried a sequence id, serial v1
+/// otherwise.
+pub(crate) fn encode_response(seq: Option<u64>, resp: &wire::Response) -> Vec<u8> {
+    match seq {
+        Some(s) => wire::frame_bytes_seq(s, resp),
+        None => wire::frame_bytes(resp),
+    }
+}
+
+/// What the request handler decided; the worker applies it to the
+/// connection's state machine.
+pub(crate) enum Action {
+    /// The response is ready now; queue it.
+    Respond(wire::Response),
+    /// The request went to a committer / blocking pool; a `Msg::Frames
+    /// {{ completes: true }}` will arrive later via the handler's
+    /// [`ReplyTo`].
+    Pending,
+    /// Queue the response, then close once flushed (Shutdown ack).
+    RespondAndClose(wire::Response),
+    /// The connection became a replication stream: stop reading
+    /// requests, frames arrive from a feeder thread.
+    Stream,
+    /// The commit queues are saturated; park the request and retry it
+    /// shortly, preserving per-connection submission order.
+    Busy(wire::Request),
+}
+
+/// The server side of the reactor boundary, implemented by session
+/// dispatch in `lib.rs`. `handle` runs **on the worker thread** and must
+/// not block: reads execute inline (engine work), writes enqueue and
+/// return [`Action::Pending`].
+pub(crate) trait Ops: Send + Sync + 'static {
+    /// Dispatches one decoded request.
+    fn handle(&self, reply: &ReplyTo, shared: &Arc<ConnShared>, req: wire::Request) -> Action;
+    /// Whether shutdown has begun (workers then drain and exit).
+    fn shutting_down(&self) -> bool;
+    /// Deadline for a connection that owes progress.
+    fn request_timeout(&self) -> Duration;
+    /// Upper bound on how long a worker sleeps between shutdown checks.
+    fn poll_interval(&self) -> Duration;
+    /// A connection this worker owned is gone (releases its slot in the
+    /// accept limiter).
+    fn on_conn_gone(&self);
+}
+
+pub(crate) struct Worker {
+    epoll: Epoll,
+    wake: Arc<WakeFd>,
+    rx: mpsc::Receiver<Msg>,
+    tx: mpsc::Sender<Msg>,
+    ops: Arc<dyn Ops>,
+    conns: HashMap<u64, Conn>,
+    timers: TimerWheel,
+    next_conn: u64,
+    /// Total parked requests across connections (fast-path gate for the
+    /// retry scan).
+    parked_total: usize,
+    draining_since: Option<Instant>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        epoll: Epoll,
+        wake: Arc<WakeFd>,
+        rx: mpsc::Receiver<Msg>,
+        tx: mpsc::Sender<Msg>,
+        ops: Arc<dyn Ops>,
+    ) -> Self {
+        Self {
+            epoll,
+            wake,
+            rx,
+            tx,
+            ops,
+            conns: HashMap::new(),
+            timers: TimerWheel::new(Instant::now()),
+            next_conn: 0,
+            parked_total: 0,
+            draining_since: None,
+        }
+    }
+
+    /// The worker event loop; returns when shutdown has drained every
+    /// connection (or the epoll fd itself broke).
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<EpollEvent> = Vec::with_capacity(1024);
+        let mut ready: Vec<(u64, u32)> = Vec::new();
+        loop {
+            let timeout = self.tick_timeout();
+            if self.epoll.wait_ready(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            let now = Instant::now();
+            ready.clear();
+            ready.extend(events.iter().map(|e| (e.data, e.events)));
+            if ready.iter().any(|&(t, _)| t == WAKE_TOKEN) {
+                self.wake.drain();
+            }
+            self.drain_msgs(now);
+            for &(token, bits) in &ready {
+                if token != WAKE_TOKEN {
+                    self.service(token, bits, now);
+                }
+            }
+            self.retry_parked(now);
+            self.fire_timers(now);
+            if self.ops.shutting_down() && self.drain_tick(now) {
+                break;
+            }
+        }
+        // Dropping the conn map closes every remaining socket.
+    }
+
+    fn tick_timeout(&self) -> Duration {
+        let mut t = self.ops.poll_interval();
+        if let Some(w) = self.timers.next_wake() {
+            t = t.min(w);
+        }
+        if self.parked_total > 0 || self.draining_since.is_some() {
+            t = t.min(PARK_RETRY);
+        }
+        t
+    }
+
+    fn drain_msgs(&mut self, now: Instant) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Msg::Accept(stream)) => self.register_conn(stream),
+                Ok(Msg::Frames {
+                    conn,
+                    bytes,
+                    completes,
+                }) => {
+                    // A late response for a connection that died is
+                    // dropped on the floor — the client is gone.
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.queue(bytes);
+                        if completes {
+                            c.in_flight = c.in_flight.saturating_sub(1);
+                        }
+                    } else {
+                        continue;
+                    }
+                    self.refresh(conn, now);
+                }
+                Ok(Msg::EndStream { conn }) => {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.close_after_flush = true;
+                    }
+                    self.refresh(conn, now);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        // The accept loop already counted this connection; every early
+        // exit must release the slot.
+        if self.ops.shutting_down() || stream.set_nonblocking(true).is_err() {
+            self.ops.on_conn_gone();
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_conn;
+        self.next_conn = self.next_conn.wrapping_add(1);
+        if self.next_conn == WAKE_TOKEN {
+            self.next_conn = 0;
+        }
+        let fd = stream.as_raw_fd();
+        let conn = Conn::new(stream);
+        let interest = Interest {
+            read: true,
+            write: false,
+            rdhup: true,
+        };
+        if self.epoll.add(fd, token, interest).is_err() {
+            self.ops.on_conn_gone();
+            return;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn service(&mut self, token: u64, bits: u32, now: Instant) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & EPOLLOUT != 0 {
+            let broken = self
+                .conns
+                .get_mut(&token)
+                .is_some_and(|c| c.flush().is_err());
+            if broken {
+                self.close_conn(token);
+                return;
+            }
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.service_read(token);
+        }
+        self.refresh(token, now);
+    }
+
+    fn service_read(&mut self, token: u64) {
+        let outcome = {
+            let Some(c) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // Backpressure: when the loop doesn't want more requests the
+            // bytes stay in the kernel buffer (and EPOLLIN is masked off
+            // by the next refresh).
+            if self.draining_since.is_some() || c.peer_eof || !c.wants_read() {
+                return;
+            }
+            c.fill()
+        };
+        match outcome {
+            ReadOutcome::Broken => {
+                self.close_conn(token);
+                return;
+            }
+            ReadOutcome::Eof => {
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.peer_eof = true;
+                }
+            }
+            ReadOutcome::Open => {}
+        }
+        self.extract_and_dispatch(token);
+    }
+
+    fn extract_and_dispatch(&mut self, token: u64) {
+        loop {
+            let extracted = {
+                let Some(c) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if !c.wants_read() {
+                    return;
+                }
+                c.extract()
+            };
+            match extracted {
+                None => return,
+                Some(Extracted::Frame(payload)) => self.dispatch_payload(token, payload),
+                Some(Extracted::Oversized { declared, header }) => {
+                    let seq = wire::peek_seq(&header);
+                    let err = Error::Codec(format!(
+                        "frame of {declared} bytes exceeds the {}-byte limit",
+                        wire::MAX_FRAME_BYTES
+                    ));
+                    let resp = wire::Response::Error(wire::WireError::from(&err));
+                    let bytes = encode_response(seq, &resp);
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.queue(bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_payload(&mut self, token: u64, payload: Vec<u8>) {
+        let (seq, req) = match wire::decode_frame_any::<wire::Request>(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // Well-delimited but undecodable: answer in kind (echoing
+                // the seq if the header was intact) and stay usable.
+                let seq = wire::peek_seq(&payload);
+                let resp = wire::Response::Error(wire::WireError::from(&e));
+                let bytes = encode_response(seq, &resp);
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.queue(bytes);
+                }
+                return;
+            }
+        };
+        let Some(shared) = self.conns.get(&token).map(|c| Arc::clone(&c.shared)) else {
+            return;
+        };
+        let reply = ReplyTo {
+            conn: token,
+            seq,
+            tx: self.tx.clone(),
+            wake: Arc::clone(&self.wake),
+        };
+        let action = self.ops.handle(&reply, &shared, req);
+        self.apply_action(token, seq, action);
+    }
+
+    fn apply_action(&mut self, token: u64, seq: Option<u64>, action: Action) {
+        let Some(c) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match action {
+            Action::Respond(resp) => c.queue(encode_response(seq, &resp)),
+            Action::Pending => c.in_flight += 1,
+            Action::RespondAndClose(resp) => {
+                c.queue(encode_response(seq, &resp));
+                c.close_after_flush = true;
+            }
+            Action::Stream => c.streaming = true,
+            Action::Busy(req) => {
+                c.parked.push_back((seq, req));
+                self.parked_total += 1;
+            }
+        }
+    }
+
+    /// Re-offers parked requests to the handler, oldest first per
+    /// connection, stopping at the first that is still refused — this
+    /// preserves per-connection write submission order.
+    fn retry_parked(&mut self, now: Instant) {
+        if self.parked_total == 0 {
+            return;
+        }
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.parked.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in tokens {
+            while let Some((seq, req)) = self
+                .conns
+                .get_mut(&token)
+                .and_then(|c| c.parked.pop_front())
+            {
+                self.parked_total = self.parked_total.saturating_sub(1);
+                let Some(shared) = self.conns.get(&token).map(|c| Arc::clone(&c.shared)) else {
+                    break;
+                };
+                let reply = ReplyTo {
+                    conn: token,
+                    seq,
+                    tx: self.tx.clone(),
+                    wake: Arc::clone(&self.wake),
+                };
+                match self.ops.handle(&reply, &shared, req) {
+                    Action::Busy(req) => {
+                        if let Some(c) = self.conns.get_mut(&token) {
+                            c.parked.push_front((seq, req));
+                            self.parked_total += 1;
+                        }
+                        break;
+                    }
+                    other => self.apply_action(token, seq, other),
+                }
+            }
+            // Unparked fully: resume consuming frames buffered behind
+            // the parked request.
+            if self.conns.get(&token).is_some_and(|c| c.parked.is_empty()) {
+                self.extract_and_dispatch(token);
+            }
+            self.refresh(token, now);
+        }
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        if self.timers.next_wake().is_none() {
+            return;
+        }
+        let timeout = self.ops.request_timeout();
+        let mut due = Vec::new();
+        self.timers.expired(now, &mut due);
+        for e in due {
+            let mut evict = false;
+            if let Some(c) = self.conns.get_mut(&e.conn) {
+                if !c.timer_armed || c.generation != e.generation {
+                    continue;
+                }
+                match c.deadline(timeout) {
+                    // Progress no longer owed; disarm.
+                    None => {
+                        c.timer_armed = false;
+                        c.generation += 1;
+                    }
+                    // Really overdue: the peer sat mid-frame or refused
+                    // to read its responses for a full timeout. Evict.
+                    Some(d) if now >= d => evict = true,
+                    // Progress happened since arming (or the deadline was
+                    // horizon-clamped); re-arm at the true deadline.
+                    Some(d) => self.timers.schedule(now, d, e.conn, e.generation),
+                }
+            }
+            if evict {
+                self.close_conn(e.conn);
+            }
+        }
+    }
+
+    /// Recomputes a connection's derived state after any activity:
+    /// watermark hysteresis, resumed extraction, opportunistic flush,
+    /// close-when-done, epoll interest, deadline arming.
+    fn refresh(&mut self, token: u64, now: Instant) {
+        let timeout = self.ops.request_timeout();
+        let draining = self.draining_since.is_some();
+        // Watermark hysteresis first: it gates both extraction resumption
+        // and the read-interest computation below.
+        if let Some(c) = self.conns.get_mut(&token) {
+            if c.write_paused {
+                if c.pending_write_bytes() < LOW_WATERMARK {
+                    c.write_paused = false;
+                }
+            } else if c.pending_write_bytes() > HIGH_WATERMARK {
+                c.write_paused = true;
+            }
+        } else {
+            return;
+        }
+        // Frames already sitting in the reassembly buffer get no further
+        // EPOLLIN; once the gate (in-flight cap, backpressure) lifts,
+        // extraction must resume here.
+        if !draining
+            && self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.wants_read() && c.mid_frame())
+        {
+            self.extract_and_dispatch(token);
+        }
+        let mut close = false;
+        {
+            let Some(c) = self.conns.get_mut(&token) else {
+                return;
+            };
+            // Optimistic flush: most responses fit the socket buffer,
+            // saving an epoll round-trip per response. The || keeps the
+            // flush *before* the close-after-flush recheck — a full
+            // flush is what makes the second clause true.
+            if (c.has_pending_writes() && c.flush().is_err())
+                || (c.close_after_flush && !c.has_pending_writes())
+            {
+                close = true;
+            } else if c.peer_eof && c.quiescent() && !c.mid_frame() && !c.streaming {
+                // Clean disconnect with nothing outstanding.
+                close = true;
+            } else {
+                let want = Interest {
+                    read: !draining && !c.peer_eof && c.wants_read(),
+                    write: c.has_pending_writes(),
+                    rdhup: !c.peer_eof,
+                };
+                if want.read != c.epoll_read
+                    || want.write != c.epoll_write
+                    || want.rdhup != c.epoll_rdhup
+                {
+                    if self
+                        .epoll
+                        .modify(c.stream.as_raw_fd(), token, want)
+                        .is_err()
+                    {
+                        close = true;
+                    } else {
+                        c.epoll_read = want.read;
+                        c.epoll_write = want.write;
+                        c.epoll_rdhup = want.rdhup;
+                    }
+                }
+                if !close {
+                    match c.deadline(timeout) {
+                        Some(d) => {
+                            if !c.timer_armed {
+                                c.timer_armed = true;
+                                self.timers.schedule(now, d, token, c.generation);
+                            }
+                        }
+                        None => {
+                            if c.timer_armed {
+                                c.timer_armed = false;
+                                c.generation += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if close {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(c) = self.conns.remove(&token) else {
+            return;
+        };
+        c.shared
+            .closed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        // Zero the gauge so a feeder blocked on backpressure re-checks
+        // `closed` instead of spinning on stale bytes.
+        c.shared
+            .pending_write_bytes
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.epoll.delete(c.stream.as_raw_fd());
+        self.parked_total = self.parked_total.saturating_sub(c.parked.len());
+        self.ops.on_conn_gone();
+        // Dropping `c` closes the socket (which also removes any
+        // lingering epoll registration).
+    }
+
+    /// One shutdown-drain step. Returns true when every connection is
+    /// gone: in-flight work was acked, write queues flushed, streams
+    /// ended — or the drain deadline (one `request_timeout`) passed and
+    /// stragglers were cut.
+    fn drain_tick(&mut self, now: Instant) -> bool {
+        if self.draining_since.is_none() {
+            self.draining_since = Some(now);
+            // Stop reading everywhere; parked + in-flight work still
+            // completes and acks still flush.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for t in tokens {
+                self.refresh(t, now);
+            }
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.quiescent() && !c.streaming)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in idle {
+            self.close_conn(t);
+        }
+        // Streaming connections close via their feeder's EndStream
+        // (feeders watch the shutdown flag).
+        let expired = self
+            .draining_since
+            .is_some_and(|s| now.saturating_duration_since(s) > self.ops.request_timeout());
+        if expired {
+            let all: Vec<u64> = self.conns.keys().copied().collect();
+            for t in all {
+                self.close_conn(t);
+            }
+        }
+        self.conns.is_empty()
+    }
+}

@@ -1,0 +1,199 @@
+//! A coarse hashed timer wheel for connection deadlines.
+//!
+//! `set_read_timeout`/`set_write_timeout` are silent no-ops on
+//! nonblocking sockets, so the reactor enforces its deadlines here
+//! instead: a connection that is mid-frame (slowloris) or has unflushed
+//! response bytes (slow reader) arms a deadline; the wheel reports it
+//! when due and the event loop evicts the connection.
+//!
+//! Precision is deliberately coarse — [`GRANULARITY`] per slot — because
+//! the deadlines being enforced are request timeouts measured in
+//! hundreds of milliseconds to seconds. Cancellation is **lazy**: a
+//! connection that makes progress bumps its `generation` and simply
+//! abandons the stale wheel entry; when the entry fires, the event loop
+//! compares generations and ignores it. Deadlines past the wheel's
+//! horizon clamp to the furthest slot and are re-armed on expiry (the
+//! loop re-checks the real deadline before evicting), so arbitrarily
+//! long timeouts still work.
+
+use std::time::{Duration, Instant};
+
+/// Wheel slot width. Evictions land within one slot of their deadline.
+pub(crate) const GRANULARITY: Duration = Duration::from_millis(16);
+
+/// Slot count: horizon = 512 × 16ms ≈ 8.2s per revolution.
+const SLOTS: usize = 512;
+
+/// One armed deadline: the connection it belongs to and the generation
+/// the connection's timer state had when armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TimerEntry {
+    /// Connection token.
+    pub conn: u64,
+    /// Generation for lazy cancellation.
+    pub generation: u64,
+    /// Absolute tick the entry is due at (entries whose due tick has
+    /// wrapped past the cursor stay in their slot for another turn).
+    due_tick: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    base: Instant,
+    /// Next tick number to collect (everything before it already fired).
+    next_tick: u64,
+    /// Live entries across all slots (stale generations included).
+    armed: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(now: Instant) -> Self {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, Vec::new);
+        Self {
+            slots,
+            base: now,
+            next_tick: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.base);
+        (elapsed.as_millis() / GRANULARITY.as_millis().max(1)) as u64
+    }
+
+    /// Arms a deadline for `conn`. Deadlines beyond the wheel horizon
+    /// are clamped to the furthest slot; the caller re-checks the real
+    /// deadline when the entry fires and re-arms the remainder.
+    pub(crate) fn schedule(&mut self, now: Instant, deadline: Instant, conn: u64, generation: u64) {
+        // Always at least one tick out, so an already-due deadline still
+        // fires on the *next* collection rather than being skipped.
+        let due = self.tick_of(deadline).max(self.next_tick) + 1;
+        let horizon = self.tick_of(now) + SLOTS as u64 - 1;
+        let due_tick = due.min(horizon.max(self.next_tick + 1));
+        let slot = (due_tick as usize) % SLOTS;
+        if let Some(bucket) = self.slots.get_mut(slot) {
+            bucket.push(TimerEntry {
+                conn,
+                generation,
+                due_tick,
+            });
+            self.armed += 1;
+        }
+    }
+
+    /// Collects every entry due at or before `now` into `out`. Entries
+    /// sharing a slot but due a later revolution stay put.
+    pub(crate) fn expired(&mut self, now: Instant, out: &mut Vec<TimerEntry>) {
+        let current = self.tick_of(now);
+        // Bound the walk to one full revolution per call; an event loop
+        // stalled longer than the horizon still collects everything due
+        // because each slot is filtered by due_tick, not position.
+        let first = self.next_tick;
+        let last = current.min(first + SLOTS as u64);
+        for tick in first..=last {
+            let slot = (tick as usize) % SLOTS;
+            let Some(bucket) = self.slots.get_mut(slot) else {
+                continue;
+            };
+            let before = bucket.len();
+            bucket.retain(|e| {
+                if e.due_tick <= current {
+                    out.push(*e);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.armed = self.armed.saturating_sub(before - bucket.len());
+        }
+        self.next_tick = current + 1;
+    }
+
+    /// How long the event loop may sleep without missing a deadline:
+    /// `None` when nothing is armed (sleep as long as you like), one
+    /// granularity otherwise. Coarse but constant-time — the wheel is
+    /// polled, not alarm-driven.
+    pub(crate) fn next_wake(&self) -> Option<Duration> {
+        if self.armed == 0 {
+            None
+        } else {
+            Some(GRANULARITY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimerWheel, at: Instant) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        wheel.expired(at, &mut out);
+        out.into_iter().map(|e| (e.conn, e.generation)).collect()
+    }
+
+    #[test]
+    fn deadlines_fire_after_their_slot_and_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(t0, t0 + Duration::from_millis(100), 1, 0);
+        assert_eq!(wheel.next_wake(), Some(GRANULARITY));
+
+        // Well before the deadline: nothing.
+        assert!(drain(&mut wheel, t0 + Duration::from_millis(40)).is_empty());
+        // Past the deadline (plus one slot of slack): fires exactly once.
+        let fired = drain(&mut wheel, t0 + Duration::from_millis(200));
+        assert_eq!(fired, vec![(1, 0)]);
+        assert!(drain(&mut wheel, t0 + Duration::from_millis(400)).is_empty());
+        assert_eq!(wheel.next_wake(), None);
+    }
+
+    #[test]
+    fn entries_in_one_slot_with_different_revolutions_do_not_collide() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let one_rev = GRANULARITY * (SLOTS as u32);
+        wheel.schedule(t0, t0 + Duration::from_millis(50), 7, 3);
+        // Far deadline clamps to the horizon; firing it early is fine
+        // because the loop re-checks the real deadline and re-arms.
+        wheel.schedule(t0, t0 + one_rev * 4, 8, 9);
+
+        let fired = drain(&mut wheel, t0 + Duration::from_millis(120));
+        assert_eq!(fired, vec![(7, 3)]);
+
+        // The clamped far entry fires by the end of the first revolution.
+        let fired = drain(&mut wheel, t0 + one_rev + GRANULARITY * 2);
+        assert_eq!(fired, vec![(8, 9)]);
+    }
+
+    #[test]
+    fn stale_generations_are_the_callers_problem_but_still_delivered() {
+        // The wheel itself delivers every armed entry; generation
+        // filtering happens in the event loop. Two generations of the
+        // same conn both come out.
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(t0, t0 + Duration::from_millis(30), 5, 0);
+        wheel.schedule(t0, t0 + Duration::from_millis(30), 5, 1);
+        let mut fired = drain(&mut wheel, t0 + Duration::from_millis(100));
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(5, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn a_stalled_loop_still_collects_everything_due() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        for conn in 0..20u64 {
+            wheel.schedule(t0, t0 + Duration::from_millis(10 * conn), conn, 0);
+        }
+        // Simulate a loop that slept three revolutions.
+        let late = t0 + GRANULARITY * (SLOTS as u32) * 3;
+        let fired = drain(&mut wheel, late);
+        assert_eq!(fired.len(), 20);
+        assert_eq!(wheel.next_wake(), None);
+    }
+}

@@ -1,0 +1,375 @@
+//! Pipelined (wire v2) sessions against an in-process reactor server.
+//!
+//! The property test keeps a deep window of interleaved reads, writes,
+//! and batches in flight on one connection and checks the protocol's
+//! actual contract:
+//!
+//! - every response carries the sequence id of exactly one submitted
+//!   request, and its *content* matches that request (a read returns
+//!   the row it asked for, a batch ack has one slot per statement);
+//! - reads may overtake writes, but writes targeting the same row ack
+//!   in submission order (per-shard commit queues are FIFO) — and at a
+//!   single shard, *all* writes ack in submission order;
+//! - the final engine state is byte-identical to replaying the same
+//!   write statements serially on a fresh server, at 1 and at 4 shards
+//!   (ids and logical ticks are stamped at the router in submission
+//!   order, so pipelining must not reorder them).
+//!
+//! The slowloris test half-sends a frame and checks the reactor's
+//! deadline wheel evicts the connection at `request_timeout` — the
+//! regression guard for the silent `set_read_timeout` no-op the wheel
+//! replaced.
+
+#![cfg(unix)]
+
+use insightnotes_client::{Client, PipelinedClient};
+use insightnotes_common::wire::{Request, Response, WireValue};
+use insightnotes_engine::{DbConfig, ShardedDatabase};
+use insightnotes_server::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const ROWS: u64 = 40;
+const REQUESTS: usize = 240;
+const WINDOW: usize = 16;
+
+struct Running {
+    addr: SocketAddr,
+    db: Arc<ShardedDatabase>,
+    handle: ServerHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+fn start(shards: usize, config: ServerConfig) -> Running {
+    let db = ShardedDatabase::create(DbConfig::default(), shards).unwrap();
+    let server = Server::bind_sharded("127.0.0.1:0", db, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let db = server.sharded_database();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    Running {
+        addr,
+        db,
+        handle,
+        thread: Some(thread),
+    }
+}
+
+impl Running {
+    /// Graceful shutdown (drains the reactor and every commit queue),
+    /// then hands back the engine for state inspection.
+    fn stop(mut self) -> Arc<ShardedDatabase> {
+        self.handle.shutdown();
+        self.thread.take().unwrap().join().unwrap();
+        self.db
+    }
+}
+
+/// Seeds both servers identically: one table, `ROWS` uniquely named
+/// rows, all through the serial protocol before any pipelining starts.
+fn seed(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    c.execute("CREATE TABLE birds (id INT, name TEXT)").unwrap();
+    for id in 1..=ROWS {
+        c.execute(&format!("INSERT INTO birds VALUES ({id}, 'bird-{id}')"))
+            .unwrap();
+    }
+}
+
+/// Deterministic xorshift64* so the request mix is reproducible.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn row(&mut self) -> u64 {
+        self.next() % ROWS + 1
+    }
+}
+
+/// One scripted request: what goes on the wire plus what the response
+/// must look like.
+enum Scripted {
+    /// `Query` for one row; the response must contain that row's name.
+    Read { row: u64 },
+    /// Single-statement `Annotate` on one row.
+    Write { row: u64, sql: String },
+    /// `AnnotateBatch`; one result slot per statement expected back.
+    Batch { stmts: Vec<String> },
+}
+
+fn annotation_sql(tag: &str, i: usize, row: u64) -> String {
+    format!(
+        "ADD ANNOTATION 'note {tag} {i}' AUTHOR 'a{}' ON birds WHERE id = {row}",
+        i % 3
+    )
+}
+
+fn script() -> Vec<Scripted> {
+    let mut prng = Prng(0x1516_8740_dead_beef);
+    (0..REQUESTS)
+        .map(|i| match i % 4 {
+            0 | 1 => {
+                let row = prng.row();
+                Scripted::Write {
+                    row,
+                    sql: annotation_sql("solo", i, row),
+                }
+            }
+            2 => Scripted::Read { row: prng.row() },
+            _ => {
+                let stmts = (0..3)
+                    .map(|j| {
+                        let row = prng.row();
+                        annotation_sql("batch", i * 8 + j, row)
+                    })
+                    .collect();
+                Scripted::Batch { stmts }
+            }
+        })
+        .collect()
+}
+
+fn request_for(s: &Scripted) -> Request {
+    match s {
+        Scripted::Read { row } => Request::Query {
+            sql: format!("SELECT name FROM birds WHERE id = {row}"),
+        },
+        Scripted::Write { sql, .. } => Request::Annotate { sql: sql.clone() },
+        Scripted::Batch { stmts, .. } => Request::AnnotateBatch {
+            statements: stmts.clone(),
+        },
+    }
+}
+
+/// Checks one response against the request its sequence id maps to.
+fn check_response(s: &Scripted, resp: &Response) {
+    match (s, resp) {
+        (Scripted::Read { row }, Response::Rows(rows)) => {
+            assert_eq!(rows.rows.len(), 1, "point read of row {row}");
+            assert_eq!(
+                rows.rows[0].values.first(),
+                Some(&WireValue::Text(format!("bird-{row}"))),
+                "read answered with a different request's rows"
+            );
+        }
+        (Scripted::Write { .. }, Response::Ack { messages }) => {
+            assert_eq!(messages.len(), 1);
+        }
+        (Scripted::Batch { stmts, .. }, Response::BatchAck { results }) => {
+            assert_eq!(results.len(), stmts.len(), "one result slot per statement");
+            for r in results {
+                assert!(
+                    matches!(r, insightnotes_common::wire::BatchItem::Ok(_)),
+                    "batch item failed: {r:?}"
+                );
+            }
+        }
+        (_, other) => panic!("response kind does not match its request: {other:?}"),
+    }
+}
+
+/// Drives the whole script through one pipelined connection with up to
+/// `WINDOW` requests in flight, interleaving submits and receives (not
+/// windowed batches — the point is arbitrary interleave). Returns the
+/// arrival order of sequence ids.
+fn drive_interleaved(client: &mut PipelinedClient, script: &[Scripted]) -> Vec<u64> {
+    let mut arrivals = Vec::with_capacity(script.len());
+    let mut seq_of = Vec::with_capacity(script.len());
+    for s in script {
+        while client.in_flight() >= WINDOW {
+            let (seq, resp) = client.recv_any().unwrap();
+            check_response(&script[seq as usize], &resp);
+            arrivals.push(seq);
+        }
+        let seq = client.submit(&request_for(s)).unwrap();
+        // Seqs are assigned 0.. in submission order on a fresh session;
+        // the script index doubles as the expected seq.
+        assert_eq!(seq as usize, seq_of.len(), "sequence ids are dense");
+        seq_of.push(seq);
+    }
+    for (seq, resp) in client.drain().unwrap() {
+        check_response(&script[seq as usize], &resp);
+        arrivals.push(seq);
+    }
+    arrivals
+}
+
+/// Every submitted seq came back exactly once.
+fn assert_complete(arrivals: &[u64]) {
+    let mut seen = vec![false; REQUESTS];
+    for &seq in arrivals {
+        assert!(!seen[seq as usize], "seq {seq} answered twice");
+        seen[seq as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every request answered");
+}
+
+/// Writes targeting a common row must ack in submission order; at a
+/// single shard every write (solo or batch) shares the one commit
+/// queue, so the whole write sub-sequence must be ordered.
+fn assert_write_order(script: &[Scripted], arrivals: &[u64], shards: usize) {
+    let write_arrivals: Vec<u64> = arrivals
+        .iter()
+        .copied()
+        .filter(|&seq| !matches!(script[seq as usize], Scripted::Read { .. }))
+        .collect();
+    if shards == 1 {
+        let mut sorted = write_arrivals.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            write_arrivals, sorted,
+            "single-shard write acks arrived out of commit order"
+        );
+    }
+    // Per row: solo writes only (a cross-shard batch acks on its
+    // *last* shard's commit, so its ack may trail a later solo write
+    // that shares just one of its rows).
+    for row in 1..=ROWS {
+        let per_row: Vec<u64> = write_arrivals
+            .iter()
+            .copied()
+            .filter(
+                |&seq| matches!(&script[seq as usize], Scripted::Write { row: r, .. } if *r == row),
+            )
+            .collect();
+        let mut sorted = per_row.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            per_row, sorted,
+            "row {row}: same-row write acks arrived out of submission order"
+        );
+    }
+}
+
+/// Replays the script's writes serially (one request, one response) on
+/// a fresh server, in submission order.
+fn replay_serial(addr: SocketAddr, script: &[Scripted]) {
+    let mut c = Client::connect(addr).unwrap();
+    for s in script {
+        match s {
+            Scripted::Read { .. } => {}
+            Scripted::Write { sql, .. } => {
+                c.annotate(sql).unwrap();
+            }
+            Scripted::Batch { stmts, .. } => {
+                for r in c.annotate_batch(stmts.clone()).unwrap() {
+                    r.unwrap();
+                }
+            }
+        }
+    }
+}
+
+fn pipelined_matches_serial_replay(shards: usize) {
+    let script = script();
+
+    let pipelined = start(shards, ServerConfig::default());
+    seed(pipelined.addr);
+    let mut client = PipelinedClient::connect(pipelined.addr).unwrap();
+    let arrivals = drive_interleaved(&mut client, &script);
+    assert_complete(&arrivals);
+    assert_write_order(&script, &arrivals, shards);
+    drop(client);
+
+    let serial = start(shards, ServerConfig::default());
+    seed(serial.addr);
+    replay_serial(serial.addr, &script);
+
+    let a = pipelined.stop();
+    let b = serial.stop();
+    assert_eq!(a.shard_count(), b.shard_count());
+    for k in 0..a.shard_count() {
+        let left = a.shard(k).read().snapshot_bytes();
+        let right = b.shard(k).read().snapshot_bytes();
+        assert!(
+            left == right,
+            "shard {k}: pipelined final state diverged from serial replay \
+             ({} vs {} snapshot bytes)",
+            left.len(),
+            right.len()
+        );
+    }
+}
+
+#[test]
+fn pipelined_interleave_matches_serial_replay_single_shard() {
+    pipelined_matches_serial_replay(1);
+}
+
+#[test]
+fn pipelined_interleave_matches_serial_replay_four_shards() {
+    pipelined_matches_serial_replay(4);
+}
+
+/// A slowloris connection — frame length declared, body withheld — must
+/// be evicted at `request_timeout` by the reactor's deadline wheel, not
+/// trusted forever. A well-behaved pipelined session on the same server
+/// stays up throughout (idle connections owe no progress and have no
+/// deadline).
+#[test]
+fn half_sent_frame_is_evicted_at_the_deadline() {
+    let config = ServerConfig {
+        request_timeout: Duration::from_millis(200),
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let server = start(1, config);
+
+    let mut healthy = PipelinedClient::connect(server.addr).unwrap();
+
+    let mut slow = TcpStream::connect(server.addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    // A real v2 Ping frame, cut off mid-body: length prefix plus half
+    // the payload, then silence.
+    let frame = insightnotes_common::wire::frame_bytes_seq(7, &Request::Ping);
+    slow.write_all(&frame[..frame.len() / 2]).unwrap();
+    slow.flush().unwrap();
+
+    // The server must close the connection once the deadline passes.
+    // EOF (`Ok(0)`) or a reset both count; what must NOT happen is the
+    // read still hanging open several deadlines later.
+    let start_wait = Instant::now();
+    let mut buf = [0u8; 64];
+    let evicted = loop {
+        match slow.read(&mut buf) {
+            Ok(0) => break true,
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if start_wait.elapsed() > Duration::from_secs(5) {
+                    break false;
+                }
+            }
+            Err(_) => break true,
+        }
+    };
+    assert!(
+        evicted,
+        "half-sent frame survived {:?} against a 200ms request_timeout",
+        start_wait.elapsed()
+    );
+    // Eviction is surgical: the healthy session (idle through all of
+    // this, well past the deadline) still answers.
+    let seq = healthy.submit(&Request::Ping).unwrap();
+    match healthy.recv(seq).unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("healthy connection broken after eviction: {other:?}"),
+    }
+    server.stop();
+}

@@ -16,7 +16,11 @@
 #                                 single-shard and sharded (--shards 4)
 #                                 layouts, then WAL-shipping replication
 #                                 (primary + replica, read-your-writes,
-#                                 kill -9 the replica, resubscribe)
+#                                 kill -9 the replica, resubscribe),
+#                                 then a high-concurrency flood (≥1k
+#                                 pipelined connections against the
+#                                 reactor, mixed reads/writes, clean
+#                                 SIGTERM drain under load)
 #
 # `./scripts/check.sh --fix-baseline` skips the gates and regenerates
 # lint.toml from the current findings instead (kept empty by policy:
@@ -331,5 +335,64 @@ REPLICA_PID=""
 ./target/release/insight-cli --addr "$PRIMARY_ADDR" ".shutdown" >/dev/null
 wait "$SERVER_PID"
 SERVER_PID=""
+
+echo "==> insightd high-concurrency smoke test (pipelined flood)"
+# The reactor's whole point is thousands of connections per process;
+# exercise it with a flood of pipelined sessions rather than the
+# handful the other smokes use. Each side of the flood lives in its
+# own process (insightd / insight-cli), so each needs CONNS fds plus
+# headroom. Raise the soft fd limit toward the hard limit if we can,
+# then size the flood to what the limit actually allows instead of
+# failing on tight environments.
+ulimit -n 16384 2>/dev/null || ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+NOFILE="$(ulimit -n)"
+FLOOD_CONNS=1000
+if [[ "$NOFILE" != "unlimited" && "$NOFILE" -lt 1512 ]]; then
+  FLOOD_CONNS=$(( NOFILE - 512 ))
+  echo "flood smoke: fd limit $NOFILE, scaling down to $FLOOD_CONNS connections"
+fi
+FLOOD_SNAPSHOT="$SMOKE_DIR/flood.indb"
+FLOOD_LOG="$SMOKE_DIR/insightd-flood.log"
+
+./target/release/insightd --addr 127.0.0.1:0 --snapshot "$FLOOD_SNAPSHOT" >"$FLOOD_LOG" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^insightd listening on //p' "$FLOOD_LOG" | head -n1)"
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$FLOOD_LOG"; echo "insightd exited early"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { cat "$FLOOD_LOG"; echo "insightd never reported its address"; exit 1; }
+
+./target/release/insight-cli --addr "$ADDR" \
+  "CREATE TABLE birds (id INT, name TEXT)" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose'), (2, 'Whooper Swan')" >/dev/null
+
+# FLOOD_CONNS simultaneous pipelined connections, 16 requests in flight
+# on each, cycling a mixed read/annotate workload; --flood exits
+# nonzero if any connection fails to open or any request errors.
+FLOOD_OUT="$(./target/release/insight-cli --addr "$ADDR" --flood "$FLOOD_CONNS" --depth 16 \
+  "SELECT id, name FROM birds WHERE id = 1" \
+  "ADD ANNOTATION 'flood note' AUTHOR 'check' ON birds WHERE id = 2" \
+  "SELECT id, name FROM birds WHERE id = 2")"
+echo "$FLOOD_OUT"
+grep -q ", 0 failed" <<<"$FLOOD_OUT" || { echo "flood smoke: requests failed"; exit 1; }
+
+# Clean drain under load: SIGTERM while a second flood is mid-flight
+# must still exit 0 with a final snapshot (acked writes drained, not
+# dropped on the floor).
+./target/release/insight-cli --addr "$ADDR" --flood "$FLOOD_CONNS" --depth 16 \
+  "ADD ANNOTATION 'draining note' AUTHOR 'check' ON birds WHERE id = 1" >/dev/null &
+FLOOD_PID=$!
+sleep 0.2
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { cat "$FLOOD_LOG"; echo "flood smoke: unclean exit on SIGTERM"; exit 1; }
+SERVER_PID=""
+wait "$FLOOD_PID" 2>/dev/null || true  # the drained flood may see the close; that's fine
+[[ -s "$FLOOD_SNAPSHOT" ]] || { cat "$FLOOD_LOG"; echo "flood smoke: no snapshot on SIGTERM"; exit 1; }
+grep -q 'flood note' "$FLOOD_SNAPSHOT" || {
+  echo "flood smoke: acked flood annotations missing from snapshot"; exit 1;
+}
 
 echo "OK"
