@@ -21,5 +21,7 @@ pub mod model;
 pub mod store;
 
 pub use index::AttachmentIndex;
-pub use model::{Annotation, AnnotationBody, ColSig, Target};
+pub use model::{
+    Annotation, AnnotationBody, AnnotationStatus, ColSig, LifecycleEvent, LifecycleKind, Target,
+};
 pub use store::{AnnotationStore, StoreStats};

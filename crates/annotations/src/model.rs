@@ -176,6 +176,72 @@ pub struct Annotation {
     pub targets: Vec<Target>,
 }
 
+/// What happened to an annotation at one point of its timeline.
+///
+/// `Created` is never stored — the body's `created` tick already records
+/// it, and `AnnotationStore::history` synthesizes the event — so the
+/// store only materializes timelines for annotations a curator touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// The annotation was added (synthesized from `body.created`).
+    Created,
+    /// A curator flagged the annotation for review; it stays live.
+    Flagged,
+    /// The annotation was retracted: tombstoned, removed from summaries.
+    Retracted,
+    /// The annotation was superseded by a correction (its successor).
+    Corrected,
+}
+
+impl fmt::Display for LifecycleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LifecycleKind::Created => "created",
+            LifecycleKind::Flagged => "flagged",
+            LifecycleKind::Retracted => "retracted",
+            LifecycleKind::Corrected => "corrected",
+        })
+    }
+}
+
+/// One entry of an annotation's lifecycle timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// What happened.
+    pub kind: LifecycleKind,
+    /// Logical-clock tick of the event (the `AS OF` axis).
+    pub at: u64,
+    /// Free-text reason (the optional `FLAG ... 'reason'` argument).
+    pub note: Option<String>,
+    /// The superseding annotation, for [`LifecycleKind::Corrected`].
+    pub successor: Option<insightnotes_common::AnnotationId>,
+}
+
+/// An annotation's current lifecycle state, derived from its liveness
+/// and timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationStatus {
+    /// Live, never touched by a lifecycle statement.
+    Active,
+    /// Live, but carrying at least one flag.
+    Flagged,
+    /// Tombstoned by `RETRACT ANNOTATION`.
+    Retracted,
+    /// Tombstoned by `CORRECT ANNOTATION` (a successor replaced it).
+    Corrected,
+}
+
+impl fmt::Display for AnnotationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnnotationStatus::Active => "active",
+            AnnotationStatus::Flagged => "flagged",
+            AnnotationStatus::Retracted => "retracted",
+            AnnotationStatus::Corrected => "corrected",
+        })
+    }
+}
+
 impl codec::Encodable for AnnotationBody {
     fn encode(&self, enc: &mut codec::Encoder) {
         enc.str(&self.text);
@@ -206,6 +272,42 @@ impl codec::Encodable for Target {
             table: TableId::new(dec.u32()?),
             row: RowId::new(dec.varint()?),
             cols: ColSig::from_bits(dec.u64()?),
+        })
+    }
+}
+
+impl codec::Encodable for LifecycleEvent {
+    fn encode(&self, enc: &mut codec::Encoder) {
+        enc.u8(match self.kind {
+            LifecycleKind::Created => 0,
+            LifecycleKind::Flagged => 1,
+            LifecycleKind::Retracted => 2,
+            LifecycleKind::Corrected => 3,
+        });
+        enc.varint(self.at);
+        enc.option(&self.note, |e, n| e.str(n));
+        enc.option(&self.successor, |e, s| e.varint(s.raw()));
+    }
+
+    fn decode(dec: &mut codec::Decoder<'_>) -> Result<Self> {
+        let kind = match dec.u8()? {
+            0 => LifecycleKind::Created,
+            1 => LifecycleKind::Flagged,
+            2 => LifecycleKind::Retracted,
+            3 => LifecycleKind::Corrected,
+            tag => {
+                return Err(insightnotes_common::Error::Codec(format!(
+                    "unknown lifecycle event tag {tag}"
+                )))
+            }
+        };
+        Ok(LifecycleEvent {
+            kind,
+            at: dec.varint()?,
+            note: dec.option(insightnotes_common::Decoder::str)?,
+            successor: dec
+                .option(insightnotes_common::Decoder::varint)?
+                .map(insightnotes_common::AnnotationId::new),
         })
     }
 }

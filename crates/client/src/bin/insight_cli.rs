@@ -35,7 +35,7 @@
 //! check `scripts/check.sh` runs against a live server.
 
 use insightnotes_client::{Client, PipelinedClient};
-use insightnotes_common::wire::{Request, Response, RowsPayload, ZoomPayload};
+use insightnotes_common::wire::{HistoryPayload, Request, Response, RowsPayload, ZoomPayload};
 use insightnotes_sql::{parse_one, Statement, StatementClass};
 use std::io::{BufRead, IsTerminal, Write};
 use std::time::Duration;
@@ -257,6 +257,7 @@ fn print_response(response: Response) {
     match response {
         Response::Rows(rows) => print_rows(&rows),
         Response::Zoomed(z) => print_zoom(&z),
+        Response::History(h) => print_history(&h),
         Response::Ack { messages } => {
             for m in messages {
                 println!("{m}");
@@ -296,6 +297,7 @@ fn request_for(sql: &str) -> Request {
         Ok(Statement::Select(_)) => Request::Query { sql: sql.into() },
         Ok(Statement::AddAnnotation { .. }) => Request::Annotate { sql: sql.into() },
         Ok(Statement::ZoomIn(_)) => Request::ZoomIn { sql: sql.into() },
+        Ok(Statement::HistoryAnnotation { id }) => Request::History { annotation: id },
         _ => Request::Execute { sql: sql.into() },
     }
 }
@@ -445,6 +447,20 @@ fn print_rows(rows: &RowsPayload) {
         println!("{line}");
     }
     println!("{} row(s)", rows.rows.len());
+}
+
+fn print_history(h: &HistoryPayload) {
+    for e in &h.events {
+        let mut line = format!("t={} {}", e.at, e.kind);
+        if let Some(s) = e.successor {
+            line.push_str(&format!(" -> #{s}"));
+        }
+        if let Some(note) = &e.note {
+            line.push_str(&format!(" ({note})"));
+        }
+        println!("{line}");
+    }
+    println!("annotation #{}: {} event(s)", h.annotation, h.events.len());
 }
 
 fn print_zoom(z: &ZoomPayload) {

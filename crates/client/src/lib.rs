@@ -24,7 +24,8 @@
 //! ```
 
 use insightnotes_common::wire::{
-    read_frame, write_frame, BatchItem, Request, Response, RowsPayload, ShardPosition, ZoomPayload,
+    read_frame, write_frame, BatchItem, HistoryPayload, Request, Response, RowsPayload,
+    ShardPosition, ZoomPayload,
 };
 use insightnotes_common::{Error, Result};
 use insightnotes_sql::{parse_one, Statement};
@@ -140,6 +141,16 @@ impl Client {
         }
     }
 
+    /// Fetches an annotation's lifecycle timeline (`HISTORY <id>`):
+    /// creation, flags, and its retraction or correction if any. Serves
+    /// from replicas too — the timeline is read-only state.
+    pub fn history(&mut self, annotation: u64) -> Result<HistoryPayload> {
+        match self.expect(&Request::History { annotation })? {
+            Response::History(h) => Ok(h),
+            other => Err(unexpected("History", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully (it snapshots and exits
     /// once the request is acknowledged).
     pub fn shutdown_server(&mut self) -> Result<()> {
@@ -186,7 +197,8 @@ impl Client {
 
     /// Routes arbitrary SQL text to its most specific frame kind — a
     /// lone SELECT goes out as `Query`, `ADD ANNOTATION` as `Annotate`,
-    /// `ZOOMIN` as `ZoomIn`, everything else (including multi-statement
+    /// `ZOOMIN` as `ZoomIn`, `HISTORY` as `History`, everything else
+    /// (including multi-statement
     /// scripts) as `Execute` — and returns the raw response. This is
     /// what `insight-cli` uses per input line.
     pub fn send_sql(&mut self, sql: &str) -> Result<Response> {
@@ -194,6 +206,7 @@ impl Client {
             Ok(Statement::Select(_)) => Request::Query { sql: sql.into() },
             Ok(Statement::AddAnnotation { .. }) => Request::Annotate { sql: sql.into() },
             Ok(Statement::ZoomIn(_)) => Request::ZoomIn { sql: sql.into() },
+            Ok(Statement::HistoryAnnotation { id }) => Request::History { annotation: id },
             // Multi-statement scripts fail parse_one; let the server
             // parse (and report errors for) the full text.
             _ => Request::Execute { sql: sql.into() },

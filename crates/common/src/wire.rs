@@ -147,6 +147,13 @@ pub enum Request {
     /// shard's committed (fsynced) WAL position; on a replica, the
     /// primary position it has applied locally.
     ReplicaState,
+    /// `HISTORY <annotation-id>`: asks for one annotation's lifecycle
+    /// timeline; answered with [`Response::History`]. Read-only, so
+    /// replicas serve it too.
+    History {
+        /// The annotation id whose timeline is requested.
+        annotation: u64,
+    },
 }
 
 impl Request {
@@ -163,7 +170,8 @@ impl Request {
             | Request::Shutdown
             | Request::AnnotateBatch { .. }
             | Request::Subscribe { .. }
-            | Request::ReplicaState => None,
+            | Request::ReplicaState
+            | Request::History { .. } => None,
         }
     }
 }
@@ -239,6 +247,55 @@ pub enum Response {
         /// Per-shard committed/applied WAL positions.
         shards: Vec<ShardPosition>,
     },
+    /// Answer to [`Request::History`]: the annotation's lifecycle
+    /// timeline, oldest event first.
+    History(HistoryPayload),
+}
+
+/// The payload of [`Response::History`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryPayload {
+    /// The annotation id the timeline belongs to.
+    pub annotation: u64,
+    /// Lifecycle events, oldest first (creation always leads).
+    pub events: Vec<WireLifecycleEvent>,
+}
+
+/// One event of an annotation's lifecycle timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLifecycleEvent {
+    /// What happened.
+    pub kind: WireLifecycleKind,
+    /// Logical-clock tick of the event.
+    pub at: u64,
+    /// Reviewer note attached to a flag, if any.
+    pub note: Option<String>,
+    /// Successor annotation id of a correction, if any.
+    pub successor: Option<u64>,
+}
+
+/// The event kinds a [`WireLifecycleEvent`] can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireLifecycleKind {
+    /// The annotation was added.
+    Created,
+    /// The annotation was flagged as disputed.
+    Flagged,
+    /// The annotation was retracted (tombstoned, no successor).
+    Retracted,
+    /// The annotation was corrected (tombstoned with a successor).
+    Corrected,
+}
+
+impl std::fmt::Display for WireLifecycleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireLifecycleKind::Created => "created",
+            WireLifecycleKind::Flagged => "flagged",
+            WireLifecycleKind::Retracted => "retracted",
+            WireLifecycleKind::Corrected => "corrected",
+        })
+    }
 }
 
 /// One shard's replication position inside [`Response::ReplicaState`].
@@ -411,6 +468,7 @@ const REQ_SHUTDOWN: u8 = 6;
 const REQ_ANNOTATE_BATCH: u8 = 7;
 const REQ_SUBSCRIBE: u8 = 8;
 const REQ_REPLICA_STATE: u8 = 9;
+const REQ_HISTORY: u8 = 10;
 
 impl Encodable for Request {
     fn encode(&self, enc: &mut Encoder) {
@@ -448,6 +506,10 @@ impl Encodable for Request {
                 enc.u64(*offset);
             }
             Request::ReplicaState => enc.u8(REQ_REPLICA_STATE),
+            Request::History { annotation } => {
+                enc.u8(REQ_HISTORY);
+                enc.varint(*annotation);
+            }
         }
     }
 
@@ -476,6 +538,9 @@ impl Encodable for Request {
                 offset: dec.u64()?,
             },
             REQ_REPLICA_STATE => Request::ReplicaState,
+            REQ_HISTORY => Request::History {
+                annotation: dec.varint()?,
+            },
             tag => return Err(Error::Codec(format!("unknown request tag {tag}"))),
         })
     }
@@ -492,6 +557,7 @@ const RESP_SUBSCRIBE_ACK: u8 = 8;
 const RESP_SNAPSHOT_CHUNK: u8 = 9;
 const RESP_WAL_FRAME: u8 = 10;
 const RESP_REPLICA_STATE: u8 = 11;
+const RESP_HISTORY: u8 = 12;
 
 const ITEM_OK: u8 = 0;
 const ITEM_ERR: u8 = 1;
@@ -585,6 +651,10 @@ impl Encodable for Response {
                     e.u64(s.offset);
                 });
             }
+            Response::History(p) => {
+                enc.u8(RESP_HISTORY);
+                p.encode(enc);
+            }
         }
     }
 
@@ -629,6 +699,7 @@ impl Encodable for Response {
                     })
                 })?,
             },
+            RESP_HISTORY => Response::History(HistoryPayload::decode(dec)?),
             tag => return Err(Error::Codec(format!("unknown response tag {tag}"))),
         })
     }
@@ -719,6 +790,64 @@ impl Encodable for WireAnnotation {
             text: dec.str()?,
             document: dec.option(super::codec::Decoder::str)?,
             author: dec.str()?,
+        })
+    }
+}
+
+const LIFECYCLE_CREATED: u8 = 0;
+const LIFECYCLE_FLAGGED: u8 = 1;
+const LIFECYCLE_RETRACTED: u8 = 2;
+const LIFECYCLE_CORRECTED: u8 = 3;
+
+impl Encodable for WireLifecycleKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u8(match self {
+            WireLifecycleKind::Created => LIFECYCLE_CREATED,
+            WireLifecycleKind::Flagged => LIFECYCLE_FLAGGED,
+            WireLifecycleKind::Retracted => LIFECYCLE_RETRACTED,
+            WireLifecycleKind::Corrected => LIFECYCLE_CORRECTED,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.u8()? {
+            LIFECYCLE_CREATED => WireLifecycleKind::Created,
+            LIFECYCLE_FLAGGED => WireLifecycleKind::Flagged,
+            LIFECYCLE_RETRACTED => WireLifecycleKind::Retracted,
+            LIFECYCLE_CORRECTED => WireLifecycleKind::Corrected,
+            tag => return Err(Error::Codec(format!("unknown lifecycle kind tag {tag}"))),
+        })
+    }
+}
+
+impl Encodable for WireLifecycleEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        self.kind.encode(enc);
+        enc.varint(self.at);
+        enc.option(&self.note, |e, n| e.str(n));
+        enc.option(&self.successor, |e, s| e.varint(*s));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            kind: WireLifecycleKind::decode(dec)?,
+            at: dec.varint()?,
+            note: dec.option(super::codec::Decoder::str)?,
+            successor: dec.option(super::codec::Decoder::varint)?,
+        })
+    }
+}
+
+impl Encodable for HistoryPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.annotation);
+        self.events.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            annotation: dec.varint()?,
+            events: Vec::<WireLifecycleEvent>::decode(dec)?,
         })
     }
 }
@@ -979,6 +1108,61 @@ mod tests {
             offset: 0,
         });
         round_trip(&Request::ReplicaState);
+        round_trip(&Request::History { annotation: 42 });
+    }
+
+    #[test]
+    fn history_round_trips_every_lifecycle_kind() {
+        // Request::History / Response::History carry the full timeline:
+        // every WireLifecycleKind survives the codec, with and without
+        // the optional note/successor payloads.
+        round_trip(&Response::History(HistoryPayload {
+            annotation: 7,
+            events: vec![
+                WireLifecycleEvent {
+                    kind: WireLifecycleKind::Created,
+                    at: 3,
+                    note: None,
+                    successor: None,
+                },
+                WireLifecycleEvent {
+                    kind: WireLifecycleKind::Flagged,
+                    at: 5,
+                    note: Some("disputed by reviewer".into()),
+                    successor: None,
+                },
+                WireLifecycleEvent {
+                    kind: WireLifecycleKind::Corrected,
+                    at: 9,
+                    note: None,
+                    successor: Some(12),
+                },
+                WireLifecycleEvent {
+                    kind: WireLifecycleKind::Retracted,
+                    at: 11,
+                    note: None,
+                    successor: None,
+                },
+            ],
+        }));
+        round_trip(&Response::History(HistoryPayload {
+            annotation: 1,
+            events: vec![],
+        }));
+        // An unknown kind tag is a structured codec error, not a panic.
+        for kind in [
+            WireLifecycleKind::Created,
+            WireLifecycleKind::Flagged,
+            WireLifecycleKind::Retracted,
+            WireLifecycleKind::Corrected,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+        let mut enc = Encoder::with_capacity(8);
+        enc.u8(99);
+        let bytes = enc.finish();
+        let err = WireLifecycleKind::decode(&mut Decoder::new(&bytes)).unwrap_err();
+        assert_eq!(err.class(), "codec");
     }
 
     #[test]

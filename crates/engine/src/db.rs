@@ -30,13 +30,13 @@ use crate::plan::{estimate_cost, LogicalPlan, Planner};
 use crate::raw::{RawExecutor, RawRow};
 use crate::wal::{SyncPolicy, Wal, WalRecord, WalRowAnnotation, WalStampedAnnotation};
 use crate::zoomin::ZoomRegistry;
-use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, Target};
+use insightnotes_annotations::{AnnotationBody, AnnotationStore, ColSig, LifecycleEvent, Target};
 use insightnotes_common::{
     AnnotationId, ColumnId, Error, InstanceId, LogicalClock, Qid, Result, RowId, TableId,
 };
 use insightnotes_sql::{
-    parse, parse_one, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement, StatementClass,
-    ZoomComponent, ZoomInStmt,
+    parse, parse_one, quote_str, CreateInstanceStmt, Expr, Literal, SelectStmt, Statement,
+    StatementClass, ZoomComponent, ZoomInStmt,
 };
 use insightnotes_storage::{Catalog, Column, DataType, Row, Schema, Value};
 use insightnotes_summaries::{
@@ -315,6 +315,35 @@ pub enum ExecOutcome {
         annotation: AnnotationId,
         /// Rows whose summaries were rebuilt.
         rows_refreshed: usize,
+    },
+    /// `RETRACT ANNOTATION` tombstoned an annotation and removed its
+    /// summary contribution.
+    AnnotationRetracted {
+        /// The retracted annotation.
+        annotation: AnnotationId,
+        /// Rows whose summaries were refreshed.
+        rows_refreshed: usize,
+    },
+    /// `CORRECT ANNOTATION` superseded an annotation with a replacement.
+    AnnotationCorrected {
+        /// The superseded (now tombstoned) annotation.
+        annotation: AnnotationId,
+        /// The replacement annotation's id.
+        successor: AnnotationId,
+        /// Rows whose summaries were refreshed.
+        rows_refreshed: usize,
+    },
+    /// `FLAG ANNOTATION` marked an annotation as disputed.
+    AnnotationFlagged {
+        /// The flagged annotation.
+        annotation: AnnotationId,
+    },
+    /// `HISTORY` replayed an annotation's lifecycle timeline.
+    History {
+        /// The inspected annotation.
+        annotation: AnnotationId,
+        /// Its lifecycle events, oldest first (creation included).
+        events: Vec<LifecycleEvent>,
     },
 }
 
@@ -758,12 +787,12 @@ impl Database {
             .collect()
     }
 
-    /// Executes one Read-class statement (SELECT / ZOOMIN / EXPLAIN) from
-    /// a shared reference. This is the entry point `insightd` uses under
-    /// its shared lock: durable state is only read; the session-local QID
-    /// and result-cache updates go through the interior zoom lock.
-    /// Write-class statements are rejected — route them through
-    /// [`Database::execute`].
+    /// Executes one Read-class statement (SELECT / ZOOMIN / EXPLAIN /
+    /// HISTORY) from a shared reference. This is the entry point
+    /// `insightd` uses under its shared lock: durable state is only read;
+    /// the session-local QID and result-cache updates go through the
+    /// interior zoom lock. Write-class statements are rejected — route
+    /// them through [`Database::execute`].
     pub fn execute_read(&self, stmt: Statement) -> Result<ExecOutcome> {
         match stmt {
             Statement::Select(sel) => Ok(ExecOutcome::Query(self.run_select(&sel, false)?.0)),
@@ -772,6 +801,7 @@ impl Database {
                 let plan = Planner::new(&self.catalog, &self.registry).plan_select(&sel)?;
                 Ok(ExecOutcome::Explain(plan.explain()))
             }
+            Statement::HistoryAnnotation { id } => self.history(AnnotationId::new(id)),
             _ => Err(Error::Execution(
                 "write-class statement requires exclusive database access".into(),
             )),
@@ -828,6 +858,7 @@ impl Database {
                     self.registry.clear_row(id, rid);
                 }
                 self.catalog.drop_table(&name)?;
+                self.invalidate_zoom_results();
                 Ok(ExecOutcome::TableDropped(name.to_ascii_lowercase()))
             }
             Statement::Insert { table, rows } => {
@@ -892,6 +923,22 @@ impl Database {
                 // Already logged as part of the surrounding script.
                 self.delete_annotation_inner(AnnotationId::new(id))
             }
+            Statement::RetractAnnotation { id } => {
+                // Already logged as part of the surrounding script.
+                self.retract_annotation_inner(AnnotationId::new(id))
+            }
+            Statement::CorrectAnnotation {
+                id,
+                text,
+                document,
+                author,
+                stamp,
+            } => {
+                self.correct_annotation_inner(AnnotationId::new(id), text, document, author, stamp)
+            }
+            Statement::FlagAnnotation { id, note } => {
+                self.flag_annotation_inner(AnnotationId::new(id), note)
+            }
             Statement::CreateIndex { table, column } => {
                 let tid = self.catalog.table_id(&table)?;
                 let col = self.catalog.table(tid)?.schema().resolve(None, &column)? as u16;
@@ -916,7 +963,10 @@ impl Database {
                     created: false,
                 })
             }
-            Statement::Select(_) | Statement::ZoomIn(_) | Statement::Explain(_) => {
+            Statement::Select(_)
+            | Statement::ZoomIn(_)
+            | Statement::Explain(_)
+            | Statement::HistoryAnnotation { .. } => {
                 unreachable!("read-class statements are dispatched to execute_read")
             }
         }
@@ -933,6 +983,9 @@ impl Database {
             self.catalog.table_mut(tid)?.delete(*rid);
             self.store.clear_row(tid, *rid);
             self.registry.clear_row(tid, *rid);
+        }
+        if !victims.is_empty() {
+            self.invalidate_zoom_results();
         }
         Ok(ExecOutcome::RowsDeleted {
             table: table.to_ascii_lowercase(),
@@ -960,25 +1013,253 @@ impl Database {
 
     fn delete_annotation_inner(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
         let removed = self.store.remove(id)?;
-        let refreshed = removed.targets.len();
+        self.invalidate_zoom_results();
+        let rows_refreshed = self.refresh_after_remove(id, &removed.targets)?;
+        Ok(ExecOutcome::AnnotationDeleted {
+            annotation: id,
+            rows_refreshed,
+        })
+    }
+
+    /// Removes one (already detached) annotation's effect from the
+    /// summary registry. Under [`MaintenanceMode::Incremental`] the
+    /// contribution is subtracted in O(objects); under
+    /// [`MaintenanceMode::Rebuild`] every target row is re-summarized
+    /// from the store. The rebuild loop is deterministic across **all**
+    /// targets even when one fails: the remaining rows still rebuild (no
+    /// mid-loop abort leaving the registry partially refreshed), and the
+    /// returned count reflects only rows actually refreshed.
+    fn refresh_after_remove(&mut self, id: AnnotationId, targets: &[Target]) -> Result<usize> {
         match self.config.maintenance {
             MaintenanceMode::Incremental => {
-                self.registry.remove_annotation(id, &removed.targets);
+                self.registry.remove_annotation(id, targets);
+                Ok(targets.len())
             }
             MaintenanceMode::Rebuild => {
                 let catalog = &self.catalog;
                 let store = &self.store;
                 let registry = &mut self.registry;
-                for target in &removed.targets {
-                    rebuild_row_from_store(registry, store, target.table, target.row, &|t, r| {
-                        tuple_context(catalog, t, r)
-                    })?;
+                let mut refreshed = 0usize;
+                let mut first_err: Option<Error> = None;
+                for target in targets {
+                    let rebuilt = rebuild_row_from_store(
+                        registry,
+                        store,
+                        target.table,
+                        target.row,
+                        &|t, r| tuple_context(catalog, t, r),
+                    );
+                    match rebuilt {
+                        Ok(_) => refreshed += 1,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(refreshed),
+                    Some(e) => Err(Error::Summary(format!(
+                        "summary rebuild failed on {} of {} target row(s); the other \
+                         {refreshed} refreshed (first error: {e})",
+                        targets.len() - refreshed,
+                        targets.len(),
+                    ))),
                 }
             }
         }
-        Ok(ExecOutcome::AnnotationDeleted {
+    }
+
+    /// Drops every cached zoom-in result payload. Called on any
+    /// annotation-removing write: cached rows embed summary objects, so
+    /// serving them after a removal would resurrect dropped snippets.
+    fn invalidate_zoom_results(&self) {
+        self.zoom.lock().invalidate_results();
+    }
+
+    /// `RETRACT ANNOTATION`: tombstones the annotation — its summary
+    /// contribution is removed exactly as a deletion's would be, but the
+    /// version itself and its timeline survive for `HISTORY` / `AS OF`.
+    pub fn retract_annotation(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Script {
+                sql: format!("RETRACT ANNOTATION {}", id.raw()),
+            })?;
+        }
+        self.retract_annotation_inner(id)
+    }
+
+    fn retract_annotation_inner(&mut self, id: AnnotationId) -> Result<ExecOutcome> {
+        // The tick is consumed before validation so a failing retract
+        // replays identically (same clock trajectory) from the WAL.
+        let at = self.clock.tick();
+        let removed = self.store.retract(id, at)?;
+        self.invalidate_zoom_results();
+        let rows_refreshed = self.refresh_after_remove(id, &removed.targets)?;
+        Ok(ExecOutcome::AnnotationRetracted {
             annotation: id,
-            rows_refreshed: refreshed,
+            rows_refreshed,
+        })
+    }
+
+    /// `CORRECT ANNOTATION`: supersedes `id` with a replacement that
+    /// inherits its targets. The predecessor becomes a tombstone linked
+    /// to the successor; the summary engine decrementally removes the old
+    /// contribution and absorbs the new one in O(annotation) under
+    /// [`MaintenanceMode::Incremental`].
+    pub fn correct_annotation(
+        &mut self,
+        id: AnnotationId,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+    ) -> Result<ExecOutcome> {
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Script {
+                sql: render_correct_sql(
+                    id.raw(),
+                    &text,
+                    document.as_deref(),
+                    author.as_deref(),
+                    None,
+                ),
+            })?;
+        }
+        self.correct_annotation_inner(id, text, document, author, None)
+    }
+
+    /// Router path of `CORRECT ANNOTATION`: the successor's `(id, tick)`
+    /// was pre-allocated at the shard router so every owner shard commits
+    /// a byte-identical replacement. The logged statement carries the
+    /// stamp (`WITH ID … AT …`), so per-shard WAL replay re-creates the
+    /// same successor identity the router handed out.
+    pub(crate) fn correct_annotation_stamped(
+        &mut self,
+        id: AnnotationId,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+        stamp: (u64, u64),
+    ) -> Result<ExecOutcome> {
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Script {
+                sql: render_correct_sql(
+                    id.raw(),
+                    &text,
+                    document.as_deref(),
+                    author.as_deref(),
+                    Some(stamp),
+                ),
+            })?;
+        }
+        self.correct_annotation_inner(id, text, document, author, Some(stamp))
+    }
+
+    fn correct_annotation_inner(
+        &mut self,
+        id: AnnotationId,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+        stamp: Option<(u64, u64)>,
+    ) -> Result<ExecOutcome> {
+        // Validate the predecessor up front — before any identity is
+        // allocated — so a correction of a tombstone fails cleanly with
+        // its lifecycle status.
+        if !self.store.is_live(id) {
+            let status = self.store.status(id)?;
+            return Err(Error::Annotation(format!(
+                "annotation {id} is already {status}"
+            )));
+        }
+        let old = self.store.get(id)?;
+        let targets = old.targets.clone();
+        let author = author.unwrap_or_else(|| old.body.author.clone());
+        // The router pre-allocates `(successor id, tick)` in sharded
+        // mode so every owner shard commits an identical replacement;
+        // serial execution allocates both locally.
+        let tick = match stamp {
+            Some((_, t)) => {
+                self.clock.advance_to(t);
+                t
+            }
+            None => self.clock.tick(),
+        };
+        let mut body = AnnotationBody::text(text, author);
+        if let Some(d) = document {
+            body = body.with_document(d);
+        }
+        body.created = tick;
+        let successor = match stamp {
+            Some((sid, _)) => self
+                .store
+                .add_at(AnnotationId::new(sid), body, targets.clone())?,
+            None => self.store.add(body, targets.clone())?,
+        };
+        self.store.correct(id, successor, tick)?;
+        self.invalidate_zoom_results();
+        // Subtract the predecessor, then absorb the successor. Under
+        // Rebuild the store already holds the final annotation set (the
+        // predecessor's index entries are detached), so the single
+        // deterministic rebuild pass inside refresh_after_remove covers
+        // both halves at once.
+        let rows_refreshed = self.refresh_after_remove(id, &targets)?;
+        if matches!(self.config.maintenance, MaintenanceMode::Incremental) {
+            let catalog = &self.catalog;
+            let store = &self.store;
+            let registry = &mut self.registry;
+            refresh_after_add(
+                registry,
+                store,
+                successor,
+                &|t, r| tuple_context(catalog, t, r),
+                MaintenanceMode::Incremental,
+            )?;
+        }
+        Ok(ExecOutcome::AnnotationCorrected {
+            annotation: id,
+            successor,
+            rows_refreshed,
+        })
+    }
+
+    /// `FLAG ANNOTATION`: marks an annotation as disputed. The
+    /// annotation stays live — its summary contribution is untouched —
+    /// but the flag (and optional reviewer note) lands on its timeline.
+    pub fn flag_annotation(
+        &mut self,
+        id: AnnotationId,
+        note: Option<String>,
+    ) -> Result<ExecOutcome> {
+        if self.wal.is_some() {
+            let mut sql = format!("FLAG ANNOTATION {}", id.raw());
+            if let Some(n) = &note {
+                sql.push(' ');
+                sql.push_str(&quote_str(n));
+            }
+            self.wal_append(&WalRecord::Script { sql })?;
+        }
+        self.flag_annotation_inner(id, note)
+    }
+
+    fn flag_annotation_inner(
+        &mut self,
+        id: AnnotationId,
+        note: Option<String>,
+    ) -> Result<ExecOutcome> {
+        let at = self.clock.tick();
+        self.store.flag(id, note, at)?;
+        Ok(ExecOutcome::AnnotationFlagged { annotation: id })
+    }
+
+    /// `HISTORY <id>`: the annotation's lifecycle timeline, oldest event
+    /// first (creation synthesized from its stamped tick). Works on live
+    /// and tombstoned annotations alike; hard-deleted ids are unknown.
+    pub fn history(&self, id: AnnotationId) -> Result<ExecOutcome> {
+        Ok(ExecOutcome::History {
+            annotation: id,
+            events: self.store.history(id)?,
         })
     }
 
@@ -1060,6 +1341,15 @@ impl Database {
         sel: &SelectStmt,
         traced: bool,
     ) -> Result<(QueryResult, Option<TraceLog>)> {
+        if let Some(t) = sel.as_of {
+            if traced {
+                return Err(Error::Execution(
+                    "AS OF queries run against an ephemeral summary view and cannot be traced"
+                        .into(),
+                ));
+            }
+            return self.run_select_as_of(sel, t);
+        }
         let plan = Planner::new(&self.catalog, &self.registry).plan_select(sel)?;
         let complexity = estimate_cost(&plan, &self.catalog).cost;
         let mut executor = if traced {
@@ -1079,6 +1369,73 @@ impl Database {
             .lock()
             .register(schema.clone(), plan, &rows, complexity)?;
         Ok((QueryResult { qid, schema, rows }, executor.trace))
+    }
+
+    /// `SELECT ... AS OF <tick>`: runs the query against an ephemeral
+    /// summary view reconstructed from the annotation set as it existed
+    /// at logical tick `t` — live annotations created by then plus
+    /// tombstones retired after it. Rows and schema are current (data
+    /// time travel is out of scope; the annotation timeline is the
+    /// paper's axis), and the result is not registered for zoom-in
+    /// (QID 0): a cached plan re-executed later could not reproduce the
+    /// historical view.
+    fn run_select_as_of(
+        &self,
+        sel: &SelectStmt,
+        t: u64,
+    ) -> Result<(QueryResult, Option<TraceLog>)> {
+        let registry = self.registry_as_of(t)?;
+        let plan = Planner::new(&self.catalog, &registry).plan_select(sel)?;
+        let mut executor = Executor::new(&self.catalog, &registry);
+        let rows = executor.execute(&plan)?;
+        Ok((
+            QueryResult {
+                qid: Qid::new(0),
+                schema: plan.schema().clone(),
+                rows,
+            },
+            None,
+        ))
+    }
+
+    /// Reconstructs an ephemeral summary registry reflecting the
+    /// annotation timeline at tick `t`. The registry is deep-copied
+    /// through its snapshot codec (instances, links, and digest state
+    /// travel; shared live objects stay untouched), then every row that
+    /// is annotated now *or* was annotated at `t` is rebuilt from the
+    /// as-of annotation list — rows that gained annotations after `t`
+    /// shed them, retracted ones reappear.
+    fn registry_as_of(&self, t: u64) -> Result<SummaryRegistry> {
+        use insightnotes_common::codec::{Decoder, Encodable, Encoder};
+        let mut enc = Encoder::with_capacity(4096);
+        self.registry.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut registry = SummaryRegistry::decode(&mut Decoder::new(&bytes))?;
+
+        let past = self.store.as_of(t);
+        type RowAnns<'a> = Vec<(AnnotationId, ColSig, &'a AnnotationBody)>;
+        let mut by_row: BTreeMap<(TableId, RowId), RowAnns> = BTreeMap::new();
+        for (id, ann) in &past {
+            for tgt in &ann.targets {
+                by_row
+                    .entry((tgt.table, tgt.row))
+                    .or_default()
+                    .push((*id, tgt.cols, &ann.body));
+            }
+        }
+        let mut rows: std::collections::BTreeSet<(TableId, RowId)> =
+            by_row.keys().copied().collect();
+        for (_, ann) in self.store.as_of(u64::MAX) {
+            for tgt in &ann.targets {
+                rows.insert((tgt.table, tgt.row));
+            }
+        }
+        let catalog = &self.catalog;
+        for (table, row) in rows {
+            let anns = by_row.get(&(table, row)).map_or(&[][..], Vec::as_slice);
+            registry.rebuild_row(table, row, anns, &|t, r| tuple_context(catalog, t, r))?;
+        }
+        Ok(registry)
     }
 
     // -- annotations -------------------------------------------------------
@@ -1807,6 +2164,31 @@ fn flatten_and(e: &SExpr, out: &mut Vec<SExpr>) {
     }
 }
 
+/// Renders a lossless `CORRECT ANNOTATION` statement (string fields
+/// quoted with `''` doubling) — what the typed API and the shard router
+/// log / route.
+pub(crate) fn render_correct_sql(
+    id: u64,
+    text: &str,
+    document: Option<&str>,
+    author: Option<&str>,
+    stamp: Option<(u64, u64)>,
+) -> String {
+    let mut sql = format!("CORRECT ANNOTATION {id} {}", quote_str(text));
+    if let Some(d) = document {
+        sql.push_str(" DOCUMENT ");
+        sql.push_str(&quote_str(d));
+    }
+    if let Some(a) = author {
+        sql.push_str(" AUTHOR ");
+        sql.push_str(&quote_str(a));
+    }
+    if let Some((sid, tick)) = stamp {
+        sql.push_str(&format!(" WITH ID {sid} AT {tick}"));
+    }
+    sql
+}
+
 /// Projects a typed batch item into its log form (`created` excluded:
 /// replay re-stamps it from the replayed clock).
 fn wal_row_item(item: &RowAnnotation) -> WalRowAnnotation {
@@ -1939,6 +2321,39 @@ impl std::fmt::Display for ExecOutcome {
                 f,
                 "annotation {annotation} deleted; {rows_refreshed} row summaries rebuilt"
             ),
+            ExecOutcome::AnnotationRetracted {
+                annotation,
+                rows_refreshed,
+            } => write!(
+                f,
+                "annotation {annotation} retracted; {rows_refreshed} row summaries refreshed"
+            ),
+            ExecOutcome::AnnotationCorrected {
+                annotation,
+                successor,
+                rows_refreshed,
+            } => write!(
+                f,
+                "annotation {annotation} corrected by {successor}; \
+                 {rows_refreshed} row summaries refreshed"
+            ),
+            ExecOutcome::AnnotationFlagged { annotation } => {
+                write!(f, "annotation {annotation} flagged")
+            }
+            ExecOutcome::History { annotation, events } => {
+                write!(f, "annotation {annotation}:")?;
+                for e in events {
+                    write!(f, " [{} at tick {}", e.kind, e.at)?;
+                    if let Some(n) = &e.note {
+                        write!(f, " ({n})")?;
+                    }
+                    if let Some(s) = e.successor {
+                        write!(f, " -> {s}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
         }
     }
 }

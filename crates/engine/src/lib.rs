@@ -46,6 +46,7 @@ pub use db::{
 };
 pub use exec::TraceLog;
 pub use expr::SExpr;
+pub use insightnotes_annotations::{LifecycleEvent, LifecycleKind};
 pub use plan::LogicalPlan;
 pub use shard::{
     shard_of, RoutedAnnotation, ShardRecovery, ShardedDatabase, ShardedRecoveryReport,

@@ -30,7 +30,10 @@ use insightnotes_summaries::SummaryRegistry;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"INDB";
-const VERSION: u32 = 2;
+// Version 3: the annotation store gained lifecycle tombstones and event
+// timelines (RETRACT/CORRECT/FLAG). Strict versioning means v2 files are
+// refused with a named version, same as every other retired layout.
+const VERSION: u32 = 3;
 
 /// Serializes durable state with an explicit checkpoint epoch and
 /// logical-clock high-water mark. `Database::save` stamps the database's

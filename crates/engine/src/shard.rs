@@ -24,7 +24,12 @@
 //!   converges back to "not written". `DELETE ANNOTATION` likewise
 //!   routes to the id's owner shards — never broadcast, since
 //!   non-owners don't hold the id and a broadcast would fork the
-//!   replicas' statement streams.
+//!   replicas' statement streams. Lifecycle statements (`RETRACT` /
+//!   `CORRECT` / `FLAG ANNOTATION`) route the same way; a correction's
+//!   successor identity is allocated once at the router and carried to
+//!   every owner as an internal `WITH ID … AT …` stamp, and recovery
+//!   runs a cross-shard membership sweep ([`reconcile_membership`])
+//!   that converges any annotation a crash left partially committed.
 //! - **Lock ordering.** Replicated writes (DDL, INSERT, DELETE)
 //!   broadcast to all shards in fixed order `0..N` under one broadcast
 //!   mutex; sessions that prepare annotations take all shard read locks
@@ -151,6 +156,12 @@ pub struct ShardRecovery {
 pub struct ShardedRecoveryReport {
     /// Per-shard outcomes, indexed by shard.
     pub shards: Vec<ShardRecovery>,
+    /// Annotations repaired by the cross-shard membership sweep: a
+    /// multi-owner annotation that a crash left committed on some owner
+    /// shards but missing (or already tombstoned) on another — the
+    /// DESIGN.md §12 residual window — is converged at recovery instead
+    /// of resurfacing partially attached.
+    pub reconciled: usize,
 }
 
 impl ShardedRecoveryReport {
@@ -296,6 +307,7 @@ impl ShardedDatabase {
                 db.into(),
                 ShardedRecoveryReport {
                     shards: vec![ShardRecovery { epoch, report }],
+                    reconciled: 0,
                 },
             ));
         }
@@ -354,13 +366,23 @@ impl ShardedDatabase {
             });
             dbs.push(Arc::new(RwLock::new(db)));
         }
+        // Cross-shard membership reconciliation (closes the DESIGN.md
+        // §12 residual): a crash between a multi-owner commit and its
+        // compensating deletes leaves the annotation durably stored on
+        // some owner shards and absent from others — recovery would
+        // resurrect it partially attached. Sweep before the router is
+        // built, while the shard set is still private to this thread.
+        let reconciled = reconcile_membership(&dbs)?;
         let router = build_router(&config, &dbs)?;
         Ok((
             Self {
                 shards: dbs,
                 router: Some(router),
             },
-            ShardedRecoveryReport { shards: reports },
+            ShardedRecoveryReport {
+                shards: reports,
+                reconciled,
+            },
         ))
     }
 
@@ -424,7 +446,11 @@ impl ShardedDatabase {
             .filter(|s| {
                 matches!(
                     s,
-                    Statement::AddAnnotation { .. } | Statement::DeleteAnnotation { .. }
+                    Statement::AddAnnotation { .. }
+                        | Statement::DeleteAnnotation { .. }
+                        | Statement::RetractAnnotation { .. }
+                        | Statement::CorrectAnnotation { .. }
+                        | Statement::FlagAnnotation { .. }
                 )
             })
             .count();
@@ -433,8 +459,9 @@ impl ShardedDatabase {
         }
         if partitioned != stmts.len() {
             return Err(Error::Execution(
-                "sharded execution cannot mix ADD ANNOTATION / DELETE ANNOTATION with \
-                 other statements in one script; submit annotation writes separately"
+                "sharded execution cannot mix annotation statements (ADD / DELETE / \
+                 RETRACT / CORRECT / FLAG ANNOTATION) with other statements in one \
+                 script; submit annotation writes separately"
                     .into(),
             ));
         }
@@ -443,6 +470,27 @@ impl ShardedDatabase {
             match stmt {
                 Statement::DeleteAnnotation { id } => {
                     out.push(self.delete_annotation(AnnotationId::new(*id))?);
+                }
+                Statement::RetractAnnotation { id } => {
+                    out.push(self.retract_annotation(AnnotationId::new(*id))?);
+                }
+                Statement::CorrectAnnotation {
+                    id,
+                    text,
+                    document,
+                    author,
+                    stamp,
+                } => {
+                    out.push(self.correct_annotation_routed(
+                        AnnotationId::new(*id),
+                        text.clone(),
+                        document.clone(),
+                        author.clone(),
+                        *stamp,
+                    )?);
+                }
+                Statement::FlagAnnotation { id, note } => {
+                    out.push(self.flag_annotation(AnnotationId::new(*id), note.clone())?);
                 }
                 _ => {
                     let routed = self.prepare_one(stmt)?;
@@ -465,6 +513,22 @@ impl ShardedDatabase {
                 let g = self.shards[0].read();
                 let plan = Planner::new(g.catalog(), g.registry()).plan_select(&sel)?;
                 Ok(ExecOutcome::Explain(plan.explain()))
+            }
+            // Lifecycle statements route to every owner shard, so each
+            // owner holds the full identical timeline; the first shard
+            // with any version (live or tombstone) answers.
+            Statement::HistoryAnnotation { id } => {
+                let aid = AnnotationId::new(id);
+                let guards = self.read_all();
+                for g in &guards {
+                    if let Ok(events) = g.store().history(aid) {
+                        return Ok(ExecOutcome::History {
+                            annotation: aid,
+                            events,
+                        });
+                    }
+                }
+                Err(Error::Annotation(format!("unknown annotation {aid}")))
             }
             _ => Err(Error::Execution(
                 "write-class statement requires exclusive database access".into(),
@@ -620,6 +684,163 @@ impl ShardedDatabase {
         for &k in shards {
             let _ = self.shards[k].write().delete_annotation(id);
             let _ = self.shards[k].read().wal_sync();
+        }
+    }
+
+    /// The shards holding *any* version of `id` — live or tombstoned.
+    /// Lifecycle statements discover owners through this wider probe so
+    /// a retract of an already-retracted id reaches an owner shard and
+    /// fails with its precise lifecycle status ("already retracted")
+    /// instead of a misleading "unknown annotation".
+    fn lifecycle_holders(&self, id: AnnotationId) -> Vec<usize> {
+        let guards = self.read_all();
+        guards
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.store().get_any(id).is_ok())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Retracts one annotation through the router: routes to the owner
+    /// shards actually holding a version of the id (the same
+    /// discover-under-read-guards, apply-under-owner-write-locks split
+    /// as [`ShardedDatabase::delete_annotation`]). Each owner tombstones
+    /// its replica with its shard-local clock tick and decrementally
+    /// removes the summary contribution; the first owner's outcome is
+    /// returned, or any owner's failure.
+    pub fn retract_annotation(&self, id: AnnotationId) -> Result<ExecOutcome> {
+        if self.router.is_none() {
+            return self.shards[0].write().retract_annotation(id);
+        }
+        let holders = self.lifecycle_holders(id);
+        if holders.is_empty() {
+            return Err(Error::Annotation(format!("unknown annotation {id}")));
+        }
+        let mut first: Option<ExecOutcome> = None;
+        let mut failure: Option<Error> = None;
+        for &k in &holders {
+            match self.shards[k].write().retract_annotation(id) {
+                Ok(outcome) => {
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(first.expect("at least one owner shard")),
+        }
+    }
+
+    /// Flags one annotation through the router: every owner shard
+    /// appends the flag event to its replica's timeline (shard-local
+    /// tick), keeping the replicas' histories equivalent.
+    pub fn flag_annotation(&self, id: AnnotationId, note: Option<String>) -> Result<ExecOutcome> {
+        if self.router.is_none() {
+            return self.shards[0].write().flag_annotation(id, note);
+        }
+        let holders = self.lifecycle_holders(id);
+        if holders.is_empty() {
+            return Err(Error::Annotation(format!("unknown annotation {id}")));
+        }
+        let mut first: Option<ExecOutcome> = None;
+        let mut failure: Option<Error> = None;
+        for &k in &holders {
+            match self.shards[k].write().flag_annotation(id, note.clone()) {
+                Ok(outcome) => {
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(first.expect("at least one owner shard")),
+        }
+    }
+
+    /// Corrects one annotation through the router.
+    pub fn correct_annotation(
+        &self,
+        id: AnnotationId,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+    ) -> Result<ExecOutcome> {
+        self.correct_annotation_routed(id, text, document, author, None)
+    }
+
+    /// `CORRECT ANNOTATION` with router-level successor identity: the
+    /// successor's `(id, tick)` is allocated **once** from the router's
+    /// stamp allocator (unless the statement already carried an internal
+    /// `WITH ID … AT …` stamp — the replicated-replay path) and handed
+    /// to every owner shard, so all replicas commit a byte-identical
+    /// replacement under one global identity. On a partial failure the
+    /// successor replicas that did commit get a best-effort compensating
+    /// delete; a predecessor left tombstoned on some owners and live on
+    /// the failed one is the same residual window as a partial
+    /// multi-owner commit (DESIGN.md §12) and is reconciled by the
+    /// recovery-time membership sweep.
+    fn correct_annotation_routed(
+        &self,
+        id: AnnotationId,
+        text: String,
+        document: Option<String>,
+        author: Option<String>,
+        stamp: Option<(u64, u64)>,
+    ) -> Result<ExecOutcome> {
+        let Some(router) = &self.router else {
+            return match stamp {
+                Some(s) => self.shards[0]
+                    .write()
+                    .correct_annotation_stamped(id, text, document, author, s),
+                None => self.shards[0]
+                    .write()
+                    .correct_annotation(id, text, document, author),
+            };
+        };
+        let holders = self.lifecycle_holders(id);
+        if holders.is_empty() {
+            return Err(Error::Annotation(format!("unknown annotation {id}")));
+        }
+        let stamp = match stamp {
+            Some(s) => s,
+            None => router.alloc.lock().stamp(),
+        };
+        let mut first: Option<ExecOutcome> = None;
+        let mut failure: Option<Error> = None;
+        let mut ok_shards: Vec<usize> = Vec::new();
+        for &k in &holders {
+            let res = self.shards[k].write().correct_annotation_stamped(
+                id,
+                text.clone(),
+                document.clone(),
+                author.clone(),
+                stamp,
+            );
+            match res {
+                Ok(outcome) => {
+                    ok_shards.push(k);
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => {
+                // Converge the successor back to "not written" on the
+                // owners that already committed it.
+                self.compensate_partial(AnnotationId::new(stamp.0), &ok_shards);
+                Err(e)
+            }
+            None => Ok(first.expect("at least one owner shard")),
         }
     }
 
@@ -1107,6 +1328,69 @@ impl ShardedDatabase {
             None => self.shards[0].read().store().last_id(),
         }
     }
+}
+
+/// Recovery-time cross-shard membership sweep (the DESIGN.md §12
+/// repair): recomputes every live annotation's owner set from its
+/// stored targets and converges any annotation a crash left on only
+/// part of that set. A missing owner that still holds a *tombstone* of
+/// the id means a lifecycle statement (retract / correct) was mid-flight
+/// when the crash hit — the surviving live replicas are retracted to
+/// complete it, preserving their timelines. A missing owner with no
+/// record at all means the original multi-owner commit never finished —
+/// the committed replicas are deleted, so the failure the client saw
+/// converges back to "not written" instead of resurrecting partially
+/// attached. Every repair is WAL-logged and synced on its shard like
+/// any other write.
+fn reconcile_membership(dbs: &[Arc<RwLock<Database>>]) -> Result<usize> {
+    let n = dbs.len();
+    let mut live_on: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut owners_of: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (k, db) in dbs.iter().enumerate() {
+        let guard = db.read();
+        // `as_of(u64::MAX)` is exactly the live set: every tombstone's
+        // retirement tick is <= MAX, so none survives the filter.
+        for (id, ann) in guard.store().as_of(u64::MAX) {
+            live_on.entry(id.raw()).or_default().push(k);
+            owners_of.entry(id.raw()).or_insert_with(|| {
+                let mut owners: Vec<usize> = ann
+                    .targets
+                    .iter()
+                    .map(|t| shard_of(t.table, t.row, n))
+                    .collect();
+                owners.sort_unstable();
+                owners.dedup();
+                owners
+            });
+        }
+    }
+    let mut repaired = 0usize;
+    for (raw, holders) in &live_on {
+        let id = AnnotationId::new(*raw);
+        let owners = &owners_of[raw];
+        let missing: Vec<usize> = owners
+            .iter()
+            .copied()
+            .filter(|k| !holders.contains(k))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let lifecycle_progressed = missing
+            .iter()
+            .any(|&k| dbs[k].read().store().get_any(id).is_ok());
+        for &k in holders {
+            let mut guard = dbs[k].write();
+            if lifecycle_progressed {
+                guard.retract_annotation(id)?;
+            } else {
+                guard.delete_annotation(id)?;
+            }
+            guard.wal_sync()?;
+        }
+        repaired += 1;
+    }
+    Ok(repaired)
 }
 
 /// Sorted, deduplicated owner shards of a target row set.

@@ -143,6 +143,19 @@ impl ZoomRegistry {
         self.cache.put(qid, &payload, complexity)
     }
 
+    /// Drops every cached result payload while retaining the per-QID
+    /// metadata. Cached rows embed the summary objects they were computed
+    /// with, so once an annotation is deleted, retracted, or corrected,
+    /// those bytes describe a state that no longer exists — serving them
+    /// would resurrect dropped snippets and stale counts. After
+    /// invalidation the next fetch of any QID re-executes its retained
+    /// plan against the current registry and re-admits the fresh result.
+    pub fn invalidate_results(&mut self) {
+        for qid in self.infos.keys().copied().collect::<Vec<_>>() {
+            let _ = self.cache.remove(qid);
+        }
+    }
+
     /// The underlying cache (stats, policy inspection).
     pub fn cache(&self) -> &DiskCache {
         &self.cache

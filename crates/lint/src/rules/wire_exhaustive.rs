@@ -1,5 +1,6 @@
-//! `wire-exhaustive`: every `Request`/`Response` variant must appear in
-//! its encode arm, its decode arm, and at least one test.
+//! `wire-exhaustive`: every `Request`/`Response`/`WireLifecycleKind`
+//! variant must appear in its encode arm, its decode arm, and at least
+//! one test.
 //!
 //! The PR 2 wire protocol hand-rolls its binary codec: `match` arms in
 //! `encode` and tag arms in `decode` are written by hand, so a variant
@@ -14,7 +15,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::workspace::{SourceFile, Workspace};
 
 const WIRE_FILE: &str = "crates/common/src/wire.rs";
-const ENUMS: [&str; 2] = ["Request", "Response"];
+const ENUMS: [&str; 3] = ["Request", "Response", "WireLifecycleKind"];
 
 pub(crate) struct WireExhaustive;
 

@@ -104,12 +104,12 @@
 pub mod reactor;
 
 use insightnotes_common::wire::{
-    self, BatchItem, Request, Response, RowsPayload, ShardPosition, WireAnnotation, WireError,
-    WireRow, WireValue, ZoomPayload,
+    self, BatchItem, HistoryPayload, Request, Response, RowsPayload, ShardPosition, WireAnnotation,
+    WireError, WireLifecycleEvent, WireLifecycleKind, WireRow, WireValue, ZoomPayload,
 };
 use insightnotes_common::{AnnotationId, Error, Result};
 use insightnotes_engine::db::{ExecOutcome, QueryResult, SqlStatement, ZoomInResult};
-use insightnotes_engine::{Database, ShardedDatabase, StampedRowAnnotation};
+use insightnotes_engine::{Database, LifecycleKind, ShardedDatabase, StampedRowAnnotation};
 use insightnotes_replication::feed::{self, FeedStart};
 use insightnotes_replication::PositionTable;
 use insightnotes_sql::{parse, Statement, StatementClass};
@@ -1172,6 +1172,10 @@ impl reactor::Ops for SessionCtx {
             Request::Query { sql } => respond_result(query_response(&self.db, &sql)),
             Request::ZoomIn { sql } => respond_result(zoom_response(&self.db, &sql)),
             Request::ReplicaState => respond_result(replica_state_response(&self.db, &self.state)),
+            // Read-only: replicas answer from locally applied state.
+            Request::History { annotation } => {
+                respond_result(history_response(&self.db, annotation))
+            }
             Request::Annotate { sql } => {
                 if let Err(e) = reject_if_replica(&self.state) {
                     return Action::Respond(error_response(&e));
@@ -1389,6 +1393,31 @@ fn execute_write_script(db: &ShardedDatabase, sql: &str) -> Result<Response> {
             .map(std::string::ToString::to_string)
             .collect(),
     })
+}
+
+fn history_response(db: &ShardedDatabase, annotation: u64) -> Result<Response> {
+    match db.execute_read(Statement::HistoryAnnotation { id: annotation })? {
+        ExecOutcome::History { annotation, events } => Ok(Response::History(HistoryPayload {
+            annotation: annotation.raw(),
+            events: events
+                .into_iter()
+                .map(|e| WireLifecycleEvent {
+                    kind: match e.kind {
+                        LifecycleKind::Created => WireLifecycleKind::Created,
+                        LifecycleKind::Flagged => WireLifecycleKind::Flagged,
+                        LifecycleKind::Retracted => WireLifecycleKind::Retracted,
+                        LifecycleKind::Corrected => WireLifecycleKind::Corrected,
+                    },
+                    at: e.at,
+                    note: e.note,
+                    successor: e.successor.map(insightnotes_common::AnnotationId::raw),
+                })
+                .collect(),
+        })),
+        _ => Err(Error::Execution(
+            "HISTORY produced a non-history outcome; engine/server protocol mismatch".into(),
+        )),
+    }
 }
 
 fn replica_state_response(db: &ShardedDatabase, state: &ServerState) -> Result<Response> {

@@ -189,6 +189,9 @@ pub struct SelectStmt {
     pub order_by: Vec<OrderKey>,
     /// LIMIT row count.
     pub limit: Option<u64>,
+    /// `AS OF <tick>` — evaluate the query against the annotation set as
+    /// it existed at the given logical-clock tick (time travel).
+    pub as_of: Option<u64>,
 }
 
 /// `CREATE SUMMARY INSTANCE` payloads.
@@ -339,6 +342,44 @@ pub enum Statement {
         /// The annotation id.
         id: u64,
     },
+    /// `RETRACT ANNOTATION n` — tombstones one annotation: its effect is
+    /// decrementally removed from every summary it contributed to, but the
+    /// version itself is retained for `HISTORY` / `AS OF` replay.
+    RetractAnnotation {
+        /// The annotation id.
+        id: u64,
+    },
+    /// `CORRECT ANNOTATION n 'text' [DOCUMENT 'd'] [AUTHOR 'a']` — a
+    /// correction supersedes its predecessor: the old version becomes a
+    /// tombstone linked to the replacement, which inherits the
+    /// predecessor's targets. The optional `WITH ID n AT tick` suffix is
+    /// internal: the shard router pre-allocates the successor stamp so
+    /// every owner shard commits an identical replacement.
+    CorrectAnnotation {
+        /// The superseded annotation id.
+        id: u64,
+        /// Replacement free text.
+        text: String,
+        /// Replacement attached document.
+        document: Option<String>,
+        /// Replacement curator (defaults to the predecessor's author).
+        author: Option<String>,
+        /// Internal `(successor id, creation tick)` pre-allocation.
+        stamp: Option<(u64, u64)>,
+    },
+    /// `FLAG ANNOTATION n ['reason']` — marks an annotation as disputed
+    /// without removing its summary contribution.
+    FlagAnnotation {
+        /// The annotation id.
+        id: u64,
+        /// Optional reviewer note.
+        note: Option<String>,
+    },
+    /// `HISTORY n` — replays one annotation's lifecycle timeline.
+    HistoryAnnotation {
+        /// The annotation id.
+        id: u64,
+    },
     /// `CREATE INDEX ON table (column)` — hash index for point lookups.
     CreateIndex {
         /// Target table.
@@ -375,9 +416,10 @@ impl Statement {
     /// Classifies this statement for lock selection.
     pub fn class(&self) -> StatementClass {
         match self {
-            Statement::Select(_) | Statement::ZoomIn(_) | Statement::Explain(_) => {
-                StatementClass::Read
-            }
+            Statement::Select(_)
+            | Statement::ZoomIn(_)
+            | Statement::Explain(_)
+            | Statement::HistoryAnnotation { .. } => StatementClass::Read,
             Statement::CreateTable { .. }
             | Statement::DropTable { .. }
             | Statement::Insert { .. }
@@ -388,6 +430,9 @@ impl Statement {
             | Statement::UnlinkSummary { .. }
             | Statement::DeleteRows { .. }
             | Statement::DeleteAnnotation { .. }
+            | Statement::RetractAnnotation { .. }
+            | Statement::CorrectAnnotation { .. }
+            | Statement::FlagAnnotation { .. }
             | Statement::CreateIndex { .. }
             | Statement::DropIndex { .. } => StatementClass::Write,
         }

@@ -232,7 +232,63 @@ impl Parser {
             }
             return Err(self.unexpected("`FROM` or `ANNOTATION`"));
         }
+        if self.eat_kw("retract") {
+            self.expect_kw("annotation")?;
+            return Ok(Statement::RetractAnnotation { id: self.uint()? });
+        }
+        if self.eat_kw("correct") {
+            self.expect_kw("annotation")?;
+            return self.correct_annotation_stmt();
+        }
+        if self.eat_kw("flag") {
+            self.expect_kw("annotation")?;
+            let id = self.uint()?;
+            let note = if matches!(self.peek().kind, TokenKind::Str(_)) {
+                Some(self.string()?)
+            } else {
+                None
+            };
+            return Ok(Statement::FlagAnnotation { id, note });
+        }
+        if self.eat_kw("history") {
+            // The `ANNOTATION` keyword is optional: `HISTORY 7` works.
+            self.eat_kw("annotation");
+            return Ok(Statement::HistoryAnnotation { id: self.uint()? });
+        }
         Err(self.unexpected("a statement keyword"))
+    }
+
+    fn correct_annotation_stmt(&mut self) -> Result<Statement> {
+        let id = self.uint()?;
+        let text = self.string()?;
+        let document = if self.eat_kw("document") {
+            Some(self.string()?)
+        } else {
+            None
+        };
+        let author = if self.eat_kw("author") {
+            Some(self.string()?)
+        } else {
+            None
+        };
+        // Internal clause: the shard router pre-allocates the successor's
+        // (id, tick) stamp so every owner shard commits identical bytes.
+        let stamp = if self.eat_kw("with") {
+            self.expect_kw("id")?;
+            let successor = self.uint()?;
+            self.expect_kw("at")?;
+            let tick = self.uint()?;
+            Some((successor, tick))
+        } else {
+            None
+        };
+        Ok(Statement::CorrectAnnotation {
+            id,
+            text,
+            document,
+            author,
+            stamp,
+        })
     }
 
     /// Parses `ON table (column)` of CREATE/DROP INDEX.
@@ -559,6 +615,12 @@ impl Parser {
         } else {
             None
         };
+        let as_of = if self.eat_kw("as") {
+            self.expect_kw("of")?;
+            Some(self.uint()?)
+        } else {
+            None
+        };
         Ok(SelectStmt {
             distinct,
             items,
@@ -569,6 +631,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            as_of,
         })
     }
 
@@ -830,6 +893,7 @@ fn is_clause_keyword(s: &str) -> bool {
             | "from"
             | "and"
             | "or"
+            | "as"
     )
 }
 
@@ -1110,6 +1174,86 @@ mod tests {
             Statement::DeleteAnnotation { id: 42 }
         ));
         assert!(parse_one("DELETE birds").is_err());
+    }
+
+    #[test]
+    fn parses_lifecycle_statements() {
+        assert!(matches!(
+            parse_one("RETRACT ANNOTATION 7").unwrap(),
+            Statement::RetractAnnotation { id: 7 }
+        ));
+        assert!(matches!(
+            parse_one("FLAG ANNOTATION 3").unwrap(),
+            Statement::FlagAnnotation { id: 3, note: None }
+        ));
+        let stmt = parse_one("FLAG ANNOTATION 3 'dubious source'").unwrap();
+        let Statement::FlagAnnotation { id, note } = stmt else {
+            panic!()
+        };
+        assert_eq!(id, 3);
+        assert_eq!(note.as_deref(), Some("dubious source"));
+        assert!(matches!(
+            parse_one("HISTORY 9").unwrap(),
+            Statement::HistoryAnnotation { id: 9 }
+        ));
+        assert!(matches!(
+            parse_one("HISTORY ANNOTATION 9").unwrap(),
+            Statement::HistoryAnnotation { id: 9 }
+        ));
+        assert!(parse_one("RETRACT 7").is_err());
+        assert!(parse_one("FLAG ANNOTATION").is_err());
+    }
+
+    #[test]
+    fn parses_correct_annotation_with_and_without_stamp() {
+        let stmt =
+            parse_one("CORRECT ANNOTATION 4 'fixed text' DOCUMENT 'doc' AUTHOR 'bob'").unwrap();
+        let Statement::CorrectAnnotation {
+            id,
+            text,
+            document,
+            author,
+            stamp,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(id, 4);
+        assert_eq!(text, "fixed text");
+        assert_eq!(document.as_deref(), Some("doc"));
+        assert_eq!(author.as_deref(), Some("bob"));
+        assert_eq!(stamp, None);
+
+        let stmt = parse_one("CORRECT ANNOTATION 4 'fixed' WITH ID 12 AT 99").unwrap();
+        let Statement::CorrectAnnotation { stamp, .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(stamp, Some((12, 99)));
+        assert!(parse_one("CORRECT ANNOTATION 4").is_err());
+        assert!(parse_one("CORRECT ANNOTATION 4 'x' WITH ID 12").is_err());
+    }
+
+    #[test]
+    fn parses_select_as_of() {
+        let Statement::Select(sel) = parse_one("SELECT * FROM birds AS OF 41").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.as_of, Some(41));
+        assert!(sel.from[0].alias.is_none());
+
+        let Statement::Select(sel) =
+            parse_one("SELECT name FROM birds WHERE id = 1 ORDER BY name LIMIT 5 AS OF 2").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.as_of, Some(2));
+        assert_eq!(sel.limit, Some(5));
+
+        let Statement::Select(sel) = parse_one("SELECT * FROM birds").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.as_of, None);
+        assert!(parse_one("SELECT * FROM birds AS OF").is_err());
     }
 
     #[test]

@@ -34,4 +34,7 @@ pub use birds::{BirdGen, BirdRecord, GeneratedAnnotation, ANNOTATION_CLASSES};
 pub use genes::GeneGen;
 pub use loader::{seed_birds_database, LoadStats, WorkloadConfig};
 pub use queries::{zoomin_reference_stream, QueryGen};
-pub use session::{ingest_script, session_script, IngestConfig, SessionConfig, SessionScript};
+pub use session::{
+    curation_script, ingest_script, session_script, CurationConfig, IngestConfig, SessionConfig,
+    SessionScript,
+};

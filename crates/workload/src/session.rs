@@ -263,6 +263,112 @@ pub fn ingest_script(cfg: &IngestConfig) -> SessionScript {
     SessionScript { setup, clients }
 }
 
+/// Configuration for [`curation_script`].
+#[derive(Debug, Clone)]
+pub struct CurationConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of per-client statement streams.
+    pub clients: usize,
+    /// Statements per client stream.
+    pub statements_per_client: usize,
+    /// Rows in the bird table.
+    pub num_birds: usize,
+    /// Fraction of slots that create a new annotation (`ADD`). Also the
+    /// fallback whenever a lifecycle op has nothing live to act on.
+    pub add_ratio: f64,
+    /// Fraction of slots that `FLAG` a live annotation.
+    pub flag_ratio: f64,
+    /// Fraction of slots that `CORRECT` a live annotation (retiring it
+    /// and creating its successor).
+    pub correct_ratio: f64,
+    /// Fraction of slots that `RETRACT` a live annotation. Whatever
+    /// probability mass remains after the four ratios is SELECTs.
+    pub retract_ratio: f64,
+}
+
+impl Default for CurationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0_4A7E,
+            clients: 4,
+            statements_per_client: 60,
+            num_birds: 120,
+            add_ratio: 0.4,
+            flag_ratio: 0.1,
+            correct_ratio: 0.1,
+            retract_ratio: 0.1,
+        }
+    }
+}
+
+/// Generates a deterministic curation workload: annotate → flag →
+/// correct → retract mixes, with SELECTs filling the remaining slots.
+///
+/// Lifecycle statements reference annotation ids by number, and ids are
+/// allocated by the engine at execution time — so unlike
+/// [`session_script`], a curation script is only valid when replayed in
+/// its [`SessionScript::serial_order`] (or any single-connection order
+/// that preserves it). Generation simulates the engine's id counter
+/// along that order: the k-th annotation the engine creates (an `ADD`,
+/// or a `CORRECT`'s successor) is id k, at any shard count, because the
+/// router's allocator and the single-shard store both hand out ids
+/// sequentially in statement order. Every lifecycle op targets an id
+/// that is provably live at its point in the serial order.
+pub fn curation_script(cfg: &CurationConfig) -> SessionScript {
+    let setup = setup_statements(cfg.seed, cfg.num_birds);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xCA7E);
+    let mut anns = BirdGen::new(cfg.seed.wrapping_mul(43).wrapping_add(11));
+    let mut queries = QueryGen::new(cfg.seed ^ 0xC11A, cfg.num_birds);
+    let mut clients: Vec<Vec<String>> = vec![Vec::new(); cfg.clients];
+    let mut next_id = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    let add = cfg.add_ratio.clamp(0.0, 1.0);
+    let flag = add + cfg.flag_ratio.max(0.0);
+    let correct = flag + cfg.correct_ratio.max(0.0);
+    let retract = correct + cfg.retract_ratio.max(0.0);
+    // Joint round-robin generation: slot s of every client in client
+    // order — exactly the interleaving serial_order replays.
+    for _slot in 0..cfg.statements_per_client {
+        for stream in &mut clients {
+            let roll: f64 = rng.gen();
+            let stmt = if roll < add || (roll < retract && live.is_empty()) {
+                next_id += 1;
+                live.push(next_id);
+                let a = anns.annotation(0.25, 0.0);
+                let id = rng.gen_range(1..=cfg.num_birds.max(1));
+                format!(
+                    "ADD ANNOTATION '{}' AUTHOR '{}' ON birds WHERE id = {id}",
+                    sql_quote(&a.text),
+                    sql_quote(&a.author)
+                )
+            } else if roll < flag {
+                let target = live[rng.gen_range(0..live.len())];
+                format!("FLAG ANNOTATION {target} 'needs review'")
+            } else if roll < correct {
+                let i = rng.gen_range(0..live.len());
+                let target = live.swap_remove(i);
+                next_id += 1;
+                live.push(next_id);
+                let a = anns.annotation(0.25, 0.0);
+                format!(
+                    "CORRECT ANNOTATION {target} '{}' AUTHOR '{}'",
+                    sql_quote(&a.text),
+                    sql_quote(&a.author)
+                )
+            } else if roll < retract {
+                let i = rng.gen_range(0..live.len());
+                let target = live.swap_remove(i);
+                format!("RETRACT ANNOTATION {target}")
+            } else {
+                queries.next_query()
+            };
+            stream.push(stmt);
+        }
+    }
+    SessionScript { setup, clients }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +484,30 @@ mod tests {
         for stmt in skewed.clients.iter().flatten() {
             insightnotes_sql::parse(stmt).expect("skewed statement parses");
         }
+    }
+
+    #[test]
+    fn curation_script_mixes_lifecycle_ops_and_replays_serially() {
+        let cfg = CurationConfig::default();
+        let script = curation_script(&cfg);
+        assert_eq!(script.clients, curation_script(&cfg).clients);
+        let all: Vec<&String> = script.clients.iter().flatten().collect();
+        let count = |p: &str| all.iter().filter(|s| s.starts_with(p)).count();
+        assert!(count("ADD ANNOTATION") > 0);
+        assert!(count("FLAG ANNOTATION") > 0);
+        assert!(count("CORRECT ANNOTATION") > 0);
+        assert!(count("RETRACT ANNOTATION") > 0);
+        assert!(count("SELECT") > 0);
+        // Every lifecycle op targets an id that is live at its point in
+        // the serial order: the whole script replays without an error.
+        let mut db = insightnotes_engine::Database::new();
+        for stmt in script.serial_order() {
+            db.execute_sql(&stmt)
+                .unwrap_or_else(|e| panic!("curation statement failed: {e}\n{stmt}"));
+        }
+        let stats = db.store().stats();
+        assert!(stats.retired > 0, "retracts/corrects left tombstones");
+        assert!(stats.count > 0, "live annotations remain");
     }
 
     #[test]

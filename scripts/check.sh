@@ -14,7 +14,10 @@
 #   7. insightd smoke tests     — end-to-end wire-protocol round-trip,
 #                                 then kill -9 crash recovery on the
 #                                 single-shard and sharded (--shards 4)
-#                                 layouts, then WAL-shipping replication
+#                                 layouts, then an annotation-lifecycle
+#                                 curation round-trip (annotate → flag →
+#                                 correct → kill -9 → recover → HISTORY
+#                                 → retract), then WAL-shipping replication
 #                                 (primary + replica, read-your-writes,
 #                                 kill -9 the replica, resubscribe),
 #                                 then a high-concurrency flood (≥1k
@@ -232,6 +235,59 @@ for needle in 'sharded survivor one' 'sharded survivor two' 'sharded survivor th
     echo "sharded smoke: acked annotation '$needle' missing from recovered state"; exit 1;
   }
 done
+
+echo "==> insightd curation smoke test (lifecycle + kill -9 + HISTORY)"
+# Annotation lifecycle end to end on the sharded layout: annotate, flag,
+# correct, kill -9 the daemon, recover from the WAL, and check the
+# replayed timeline via HISTORY plus a post-recovery RETRACT of the
+# correction's successor.
+CUR_WAL_DIR="$SMOKE_DIR/wal-curation"
+CUR_LOG="$SMOKE_DIR/insightd-curation.log"
+mkdir -p "$CUR_WAL_DIR"
+
+spawn_curation() {
+  ./target/release/insightd --addr 127.0.0.1:0 \
+    --wal-dir "$CUR_WAL_DIR" --sync batch --shards 2 >"$CUR_LOG" 2>&1 &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^insightd listening on //p' "$CUR_LOG" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$CUR_LOG"; echo "insightd exited early"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$ADDR" ]] || { cat "$CUR_LOG"; echo "insightd never reported its address"; exit 1; }
+}
+
+spawn_curation
+CUR_OUT="$(./target/release/insight-cli --addr "$ADDR" \
+  "CREATE TABLE birds (id INT, name TEXT)" \
+  "INSERT INTO birds VALUES (1, 'Swan Goose'), (2, 'Whooper Swan')" \
+  "ADD ANNOTATION 'molting observed' AUTHOR 'check' ON birds WHERE id = 1" \
+  "FLAG ANNOTATION 1 'needs review'" \
+  "CORRECT ANNOTATION 1 'molting confirmed on recheck' AUTHOR 'check'")"
+grep -q 'annotation a1 flagged' <<<"$CUR_OUT" || { echo "curation smoke: flag not acknowledged: $CUR_OUT"; exit 1; }
+grep -q 'annotation a1 corrected by a2' <<<"$CUR_OUT" || { echo "curation smoke: correction not acknowledged: $CUR_OUT"; exit 1; }
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+spawn_curation
+grep -q 'recovery:' "$CUR_LOG" || { cat "$CUR_LOG"; echo "curation smoke: no recovery report"; exit 1; }
+# The timeline replayed from the WAL: creation, the flag (with its
+# note), and the correction with its successor link.
+HIST_OUT="$(./target/release/insight-cli --addr "$ADDR" "HISTORY ANNOTATION 1")"
+echo "$HIST_OUT"
+grep -q 'created' <<<"$HIST_OUT" || { echo "curation smoke: HISTORY lost the creation"; exit 1; }
+grep -q 'flagged (needs review)' <<<"$HIST_OUT" || { echo "curation smoke: HISTORY lost the flag"; exit 1; }
+grep -q 'corrected -> #2' <<<"$HIST_OUT" || { echo "curation smoke: HISTORY lost the correction"; exit 1; }
+# The successor is live and curatable after recovery.
+RETRACT_OUT="$(./target/release/insight-cli --addr "$ADDR" "RETRACT ANNOTATION 2")"
+grep -q 'annotation a2 retracted' <<<"$RETRACT_OUT" || { echo "curation smoke: post-recovery retract failed: $RETRACT_OUT"; exit 1; }
+./target/release/insight-cli --addr "$ADDR" ".shutdown" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
 
 echo "==> insightd replication smoke test (primary + replica)"
 # WAL-shipping replication end to end: a replica bootstraps from a live

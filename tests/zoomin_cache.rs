@@ -221,6 +221,55 @@ fn reexecution_reflects_current_database_state() {
     assert_eq!(z.annotations.len(), 2);
 }
 
+/// Regression test: cached zoom results (and the QID result cache
+/// behind them) must not serve annotations after a lifecycle statement
+/// removes them. Before the fix, `RETRACT`/`DELETE`/`CORRECT` left the
+/// cached entries untouched and a repeated zoom-in returned the stale
+/// annotation set.
+#[test]
+fn lifecycle_ops_invalidate_cached_zoom_results() {
+    let mut db = figure3_db();
+    let qid = db.query("SELECT c1, c2, c3 FROM t").unwrap().qid.raw();
+    fn refuters(db: &mut Database, qid: u64) -> Vec<String> {
+        let outcomes = db
+            .execute_sql(&format!(
+                "ZOOMIN REFERENCE QID {qid} ON NaiveBayesClass INDEX 1"
+            ))
+            .unwrap();
+        let ExecOutcome::ZoomIn(z) = &outcomes[0] else {
+            panic!()
+        };
+        z.annotations.iter().map(|a| a.text.clone()).collect()
+    }
+    let first = refuters(&mut db, qid);
+    assert_eq!(first.len(), 3, "all refuting annotations before curation");
+    assert!(first.contains(&"Value 5 is wrong".to_string()));
+
+    // Retract #1 ('Value 5 is wrong'): the cached zoom result for this
+    // QID must stop serving it.
+    db.execute_sql("RETRACT ANNOTATION 1").unwrap();
+    let after_retract = refuters(&mut db, qid);
+    assert!(
+        !after_retract.contains(&"Value 5 is wrong".to_string()),
+        "zoom served a retracted annotation from the cache"
+    );
+    assert_eq!(after_retract.len(), 2);
+
+    // Hard-delete #3: same contract for the pre-lifecycle path.
+    db.execute_sql("DELETE ANNOTATION 3").unwrap();
+    let after_delete = refuters(&mut db, qid);
+    assert!(!after_delete.contains(&"Invalid experiment data wrong".to_string()));
+    assert_eq!(after_delete.len(), 1);
+
+    // Correct #2: the successor's (still refuting) text replaces the
+    // predecessor's in the zoomed set.
+    db.execute_sql("CORRECT ANNOTATION 2 'wrong invalid verification still needs work'")
+        .unwrap();
+    let after_correct = refuters(&mut db, qid);
+    assert!(!after_correct.contains(&"Needs verification".to_string()));
+    assert!(after_correct.contains(&"wrong invalid verification still needs work".to_string()));
+}
+
 #[test]
 fn query_results_get_distinct_qids_and_cache_entries() {
     let db = figure3_db();
