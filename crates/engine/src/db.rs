@@ -44,6 +44,7 @@ use insightnotes_summaries::{
     MaintenanceStats, SummaryRegistry,
 };
 use insightnotes_text::{ClusterConfig, NaiveBayes, SnippetConfig};
+use parking_lot::witness::class as lock_class;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
@@ -397,7 +398,7 @@ impl Database {
         let mut db = Self::with_config_detached(config)?;
         if let Some(dir) = db.config.wal_dir.clone() {
             let w = Wal::create(&dir, db.epoch, db.config.wal_sync)?;
-            db.wal = Some(Mutex::new(w));
+            db.wal = Some(Mutex::new(w).with_class(lock_class::WAL));
         }
         Ok(db)
     }
@@ -417,7 +418,7 @@ impl Database {
             catalog: Catalog::new(),
             store: AnnotationStore::new(),
             registry: SummaryRegistry::new(),
-            zoom: Mutex::new(ZoomRegistry::new(cache)),
+            zoom: Mutex::new(ZoomRegistry::new(cache)).with_class(lock_class::ZOOM),
             clock: LogicalClock::new(),
             config,
             epoch: 0,
@@ -473,7 +474,9 @@ impl Database {
         let policy = db.config.wal_sync;
         match Wal::open(&dir, policy)? {
             None => {
-                db.wal = Some(Mutex::new(Wal::create(&dir, db.epoch, policy)?));
+                db.wal = Some(
+                    Mutex::new(Wal::create(&dir, db.epoch, policy)?).with_class(lock_class::WAL),
+                );
             }
             Some(scan) => {
                 report.bytes_truncated = scan.truncated_bytes;
@@ -486,7 +489,7 @@ impl Database {
                         report.stale_wal_discarded = true;
                         let mut w = scan.wal;
                         w.rotate(db.epoch)?;
-                        db.wal = Some(Mutex::new(w));
+                        db.wal = Some(Mutex::new(w).with_class(lock_class::WAL));
                     }
                     std::cmp::Ordering::Greater => {
                         return Err(Error::Execution(format!(
@@ -504,7 +507,7 @@ impl Database {
                         for record in &scan.records {
                             db.replay(record);
                         }
-                        db.wal = Some(Mutex::new(scan.wal));
+                        db.wal = Some(Mutex::new(scan.wal).with_class(lock_class::WAL));
                     }
                 }
             }

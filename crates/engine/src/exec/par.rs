@@ -15,8 +15,9 @@
 //! and without any runtime dependency.
 
 use insightnotes_common::Result;
+use parking_lot::witness::class as lock_class;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Rows per morsel. Small enough to load-balance skewed operators,
 /// large enough that claim/merge overhead stays well under 1% per row.
@@ -91,8 +92,13 @@ where
     U: Send,
     F: Fn(T, usize) -> Result<U> + Sync,
 {
-    let units: Vec<Mutex<Option<T>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
-    let slots: Vec<Mutex<Option<Result<U>>>> = (0..units.len()).map(|_| Mutex::new(None)).collect();
+    let units: Vec<Mutex<Option<T>>> = units
+        .into_iter()
+        .map(|u| Mutex::new(Some(u)).with_class(lock_class::MORSEL))
+        .collect();
+    let slots: Vec<Mutex<Option<Result<U>>>> = (0..units.len())
+        .map(|_| Mutex::new(None).with_class(lock_class::MORSEL))
+        .collect();
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -116,10 +122,7 @@ where
     });
     let mut out = Vec::with_capacity(slots.len());
     for slot in slots {
-        match slot
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-        {
+        match slot.into_inner() {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
             None => {} // skipped after another unit failed
@@ -143,10 +146,11 @@ where
     map_morsels(items, threads, &|chunk, _| fold(chunk).map(|a| vec![a]))
 }
 
-/// Locks a mutex, riding through poisoning: a worker that panicked has
-/// already aborted the query, and these protect independent slots.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks a per-unit morsel slot (the `parking_lot` shim already rides
+/// through poisoning: a worker that panicked has aborted the query, and
+/// these protect independent slots).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock() // lint: lock-class(morsel)
 }
 
 #[cfg(test)]

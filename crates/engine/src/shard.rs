@@ -63,6 +63,7 @@ use insightnotes_sql::{
     parse, parse_one, Expr, Statement, StatementClass, ZoomComponent, ZoomInStmt,
 };
 use insightnotes_summaries::{SharedObject, SummaryRegistry};
+use parking_lot::witness::class as lock_class;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -212,7 +213,9 @@ pub struct ShardedDatabase {
 impl From<Database> for ShardedDatabase {
     fn from(db: Database) -> Self {
         Self {
-            shards: vec![Arc::new(RwLock::new(db))],
+            shards: vec![Arc::new(
+                RwLock::new(db).with_class_indexed(lock_class::SHARD, 0),
+            )],
             router: None,
         }
     }
@@ -235,9 +238,10 @@ impl ShardedDatabase {
         }
         let shards: Vec<Arc<RwLock<Database>>> = (0..n)
             .map(|k| {
-                Ok(Arc::new(RwLock::new(Database::with_config(shard_config(
-                    &config, k,
-                ))?)))
+                Ok(Arc::new(
+                    RwLock::new(Database::with_config(shard_config(&config, k))?)
+                        .with_class_indexed(lock_class::SHARD, k as u32),
+                ))
             })
             .collect::<Result<_>>()?;
         let router = build_router(&config, &shards)?;
@@ -261,8 +265,11 @@ impl ShardedDatabase {
             })?;
             return Ok(db.into());
         }
-        let shards: Vec<Arc<RwLock<Database>>> =
-            dbs.into_iter().map(|d| Arc::new(RwLock::new(d))).collect();
+        let shards: Vec<Arc<RwLock<Database>>> = dbs
+            .into_iter()
+            .enumerate()
+            .map(|(k, d)| Arc::new(RwLock::new(d).with_class_indexed(lock_class::SHARD, k as u32)))
+            .collect();
         let router = build_router(config, &shards)?;
         Ok(Self {
             shards,
@@ -364,7 +371,9 @@ impl ShardedDatabase {
                 epoch: db.epoch(),
                 report,
             });
-            dbs.push(Arc::new(RwLock::new(db)));
+            dbs.push(Arc::new(
+                RwLock::new(db).with_class_indexed(lock_class::SHARD, k as u32),
+            ));
         }
         // Cross-shard membership reconciliation (closes the DESIGN.md
         // §12 residual): a crash between a multi-owner commit and its
@@ -410,7 +419,7 @@ impl ShardedDatabase {
 
     /// Fixed-order read guards over every shard.
     fn read_all(&self) -> Vec<RwLockReadGuard<'_, Database>> {
-        self.shards.iter().map(|s| s.read()).collect()
+        self.shards.iter().map(|s| s.read()).collect() // lint: lock-class(shard)
     }
 
     // -- statement execution ----------------------------------------------
@@ -556,7 +565,11 @@ impl ShardedDatabase {
     /// Broadcasts a replicated-write script to every shard in fixed
     /// order under the broadcast mutex; returns shard 0's outcomes.
     fn broadcast_script(&self, sql: &str) -> Result<Vec<ExecOutcome>> {
-        let router = self.router.as_ref().expect("broadcast requires a router");
+        let router = self.router.as_ref().ok_or_else(|| {
+            Error::Execution(
+                "broadcast on a routerless database (single-shard scripts execute directly)".into(),
+            )
+        })?;
         let _total_order = router.broadcast.lock();
         let mut first: Option<Result<Vec<ExecOutcome>>> = None;
         for shard in &self.shards {
@@ -565,7 +578,7 @@ impl ShardedDatabase {
                 first = Some(res);
             }
         }
-        first.expect("at least one shard")
+        first.ok_or_else(|| Error::Execution("broadcast over an empty shard set".into()))?
     }
 
     // -- annotation ingestion ---------------------------------------------
@@ -574,7 +587,10 @@ impl ShardedDatabase {
     /// shard read guards (dropped on return — the caller applies under
     /// owner write locks afterwards, never holding both).
     fn prepare_one(&self, stmt: &Statement) -> Result<RoutedAnnotation> {
-        let router = self.router.as_ref().expect("prepare requires a router");
+        let router = self
+            .router
+            .as_ref()
+            .ok_or_else(|| Error::Execution("prepare on a routerless database".into()))?;
         let Statement::AddAnnotation {
             text,
             document,
@@ -666,7 +682,9 @@ impl ShardedDatabase {
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(first.expect("at least one owner shard")),
+            None => first.ok_or_else(|| {
+                Error::Annotation("annotation resolved to zero owner shards".into())
+            }),
         }
     }
 
@@ -731,7 +749,9 @@ impl ShardedDatabase {
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(first.expect("at least one owner shard")),
+            None => first.ok_or_else(|| {
+                Error::Annotation("annotation resolved to zero owner shards".into())
+            }),
         }
     }
 
@@ -760,7 +780,9 @@ impl ShardedDatabase {
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(first.expect("at least one owner shard")),
+            None => first.ok_or_else(|| {
+                Error::Annotation("annotation resolved to zero owner shards".into())
+            }),
         }
     }
 
@@ -840,7 +862,9 @@ impl ShardedDatabase {
                 self.compensate_partial(AnnotationId::new(stamp.0), &ok_shards);
                 Err(e)
             }
-            None => Ok(first.expect("at least one owner shard")),
+            None => first.ok_or_else(|| {
+                Error::Annotation("annotation resolved to zero owner shards".into())
+            }),
         }
     }
 
@@ -857,7 +881,7 @@ impl ShardedDatabase {
                 .write()
                 .annotate_rows_batch_stamped(vec![routed.stamped.clone()])
                 .pop()
-                .expect("one result per item");
+                .unwrap_or_else(|| Err(Error::Execution("batch of one returned no result".into())));
             match res {
                 Ok(outcome) => {
                     ok_shards.push(k);
@@ -873,7 +897,9 @@ impl ShardedDatabase {
                 self.compensate_partial(AnnotationId::new(routed.stamped.id), &ok_shards);
                 Err(e)
             }
-            None => Ok(first.expect("at least one owner shard")),
+            None => first.ok_or_else(|| {
+                Error::Annotation("annotation resolved to zero owner shards".into())
+            }),
         }
     }
 
@@ -982,7 +1008,9 @@ impl ShardedDatabase {
             }));
         }
         out.into_iter()
-            .map(|r| r.expect("every batch item resolved"))
+            .map(|r| {
+                r.unwrap_or_else(|| Err(Error::Execution("batch item left unresolved".into())))
+            })
             .collect()
     }
 
@@ -1043,7 +1071,9 @@ impl ShardedDatabase {
         }
         results
             .into_iter()
-            .map(|r| r.expect("every batch item resolved"))
+            .map(|r| {
+                r.unwrap_or_else(|| Err(Error::Execution("batch item left unresolved".into())))
+            })
             .collect()
     }
 
@@ -1121,7 +1151,7 @@ impl ShardedDatabase {
         let router = self
             .router
             .as_ref()
-            .expect("routed select requires a router");
+            .ok_or_else(|| Error::Execution("routed select on a routerless database".into()))?;
         // Execute under the guards, register after dropping them: the
         // QID registry spills result rows to the disk cache, and doing
         // that file I/O while holding every shard's read guard would
@@ -1367,7 +1397,9 @@ fn reconcile_membership(dbs: &[Arc<RwLock<Database>>]) -> Result<usize> {
     let mut repaired = 0usize;
     for (raw, holders) in &live_on {
         let id = AnnotationId::new(*raw);
-        let owners = &owners_of[raw];
+        let Some(owners) = owners_of.get(raw) else {
+            continue;
+        };
         let missing: Vec<usize> = owners
             .iter()
             .copied()
@@ -1376,11 +1408,15 @@ fn reconcile_membership(dbs: &[Arc<RwLock<Database>>]) -> Result<usize> {
         if missing.is_empty() {
             continue;
         }
-        let lifecycle_progressed = missing
-            .iter()
-            .any(|&k| dbs[k].read().store().get_any(id).is_ok());
+        let lifecycle_progressed = missing.iter().any(|&k| {
+            dbs.get(k)
+                .is_some_and(|db| db.read().store().get_any(id).is_ok())
+        });
         for &k in holders {
-            let mut guard = dbs[k].write();
+            let Some(db) = dbs.get(k) else {
+                continue;
+            };
+            let mut guard = db.write();
             if lifecycle_progressed {
                 guard.retract_annotation(id)?;
             } else {
@@ -1588,9 +1624,9 @@ fn build_router(config: &DbConfig, shards: &[Arc<RwLock<Database>>]) -> Result<R
         clock = clock.max(guard.clock_now());
     }
     Ok(RouterState {
-        alloc: Mutex::new(StampAlloc { next_id, clock }),
-        zoom: Mutex::new(ZoomRegistry::new(cache)),
-        broadcast: Mutex::new(()),
+        alloc: Mutex::new(StampAlloc { next_id, clock }).with_class(lock_class::ALLOC),
+        zoom: Mutex::new(ZoomRegistry::new(cache)).with_class(lock_class::ZOOM),
+        broadcast: Mutex::new(()).with_class(lock_class::BROADCAST),
         prepare_rr: AtomicU64::new(0),
         parallelism: config.parallelism,
         wal_base: config.wal_dir.clone(),

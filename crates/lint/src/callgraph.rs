@@ -1,0 +1,430 @@
+//! The workspace call graph: every live function as a node, with call
+//! edges resolved from the token stream.
+//!
+//! Resolution is deliberately *widening*: a method call is narrowed to
+//! the matching `impl` self-type when the receiver's type is known
+//! (`self`, a `Type::` path, or a tracked guard binding), but when it is
+//! not, the edge fans out to **every** same-named function — the
+//! analysis over-approximates rather than silently dropping a path.
+//! Calls through local callable values (closure parameters, boxed
+//! callbacks) cannot target any named function; callers classify those
+//! via [`CallTarget::Unknown`] and treat them as potentially acquiring
+//! anything.
+
+use crate::lexer::TokenKind;
+use crate::rules::Code;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// One live (non-test) function in the workspace.
+pub struct FnNode {
+    /// Index of the containing file in `ws.files`.
+    pub file: usize,
+    /// Index of the function in that file's `functions`.
+    pub func: usize,
+    /// The function's name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// Whether the signature's return type mentions a `*Guard` type —
+    /// acquisitions inside such a helper escape to its callers.
+    pub returns_guard: bool,
+}
+
+/// The graph: nodes plus a name index for edge resolution.
+pub struct CallGraph {
+    /// Every node; indices are stable function ids.
+    pub nodes: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Module stem per file (`feed` for `…/feed.rs`, the directory name
+    /// for `mod.rs`), for `module::func(...)` resolution.
+    file_stems: Vec<String>,
+}
+
+/// What a syntactic call site can resolve to.
+pub enum CallTarget {
+    /// Candidate node ids (more than one = widened over same-named fns).
+    Known(Vec<usize>),
+    /// A call through a local callable value (closure parameter, boxed
+    /// callback): no named target exists, so the analysis must assume
+    /// the worst rather than assume nothing.
+    Unknown,
+}
+
+/// Builds the graph over every live function of `ws`.
+pub fn build(ws: &Workspace) -> CallGraph {
+    let mut nodes = Vec::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut file_stems = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        file_stems.push(module_stem(&file.rel));
+        let path_test = file.is_test_path();
+        for (func, f) in file.functions.iter().enumerate() {
+            if path_test || f.is_test {
+                continue;
+            }
+            let id = nodes.len();
+            nodes.push(FnNode {
+                file: fi,
+                func,
+                name: f.name.clone(),
+                impl_type: f.impl_type.clone(),
+                returns_guard: sig_returns_guard(file, f),
+            });
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+    }
+    CallGraph {
+        nodes,
+        by_name,
+        file_stems,
+    }
+}
+
+impl CallGraph {
+    /// Resolves a call by name. `type_hint` narrows to an `impl` block's
+    /// self-type; `module_hint` narrows free calls by module stem. A
+    /// hint that matches nothing *widens* back to every candidate
+    /// instead of silencing the edge.
+    pub fn resolve(
+        &self,
+        name: &str,
+        type_hint: Option<&str>,
+        module_hint: Option<&str>,
+    ) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        if let Some(t) = type_hint {
+            let typed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id].impl_type.as_deref() == Some(t))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+        }
+        if let Some(m) = module_hint {
+            let scoped: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| self.file_stems[self.nodes[id].file] == m)
+                .collect();
+            if !scoped.is_empty() {
+                return scoped;
+            }
+        }
+        cands.clone()
+    }
+
+    /// Resolves an unqualified or `module::`-qualified free call. A
+    /// module hint narrows by file stem; failing that, a same-file
+    /// candidate wins (module-local calls are the common case — and two
+    /// crates may privately define the same helper name); only then
+    /// does the edge widen to every candidate.
+    pub fn resolve_free(
+        &self,
+        name: &str,
+        module_hint: Option<&str>,
+        caller_file: usize,
+    ) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        if let Some(m) = module_hint {
+            let scoped: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| self.file_stems[self.nodes[id].file] == m)
+                .collect();
+            if !scoped.is_empty() {
+                return scoped;
+            }
+        }
+        let local: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| self.nodes[id].file == caller_file)
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        cands.clone()
+    }
+
+    /// Resolves a *method* call. Unlike [`resolve`](Self::resolve), an
+    /// unhinted ambiguous method name resolves to nothing: workspace
+    /// methods share names with ubiquitous std methods (`get`, `iter`,
+    /// `append`, `expect`), and fanning those out to every same-named
+    /// function floods the analysis with phantom effects. A type hint
+    /// narrows to the matching `impl`; with no hint, only a unique
+    /// candidate binds.
+    pub fn resolve_method(&self, name: &str, type_hint: Option<&str>) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        if let Some(t) = type_hint {
+            let typed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id].impl_type.as_deref() == Some(t))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+        }
+        if cands.len() == 1 {
+            return cands.clone();
+        }
+        Vec::new()
+    }
+
+    /// Node ids sharing `name`, unfiltered.
+    pub fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Walks a method call's receiver chain backwards from the `.` at
+/// `dot`, returning the chain's idents nearest-first with balanced
+/// `(...)` / `[...]` groups skipped: for `router.zoom.lock()`'s final
+/// `.` this yields `["zoom", "router"]`; for `db.shard(0).read()` it
+/// yields `["shard", "db"]`.
+pub fn receiver_chain<'a>(code: &'a Code, dot: usize) -> Vec<&'a str> {
+    let mut idents = Vec::new();
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = code.tok(j);
+        match &t.kind {
+            TokenKind::Punct(close @ (')' | ']')) => {
+                let open = if *close == ')' { '(' } else { '[' };
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if code.tok(j).is_punct(*close) {
+                        depth += 1;
+                    } else if code.tok(j).is_punct(open) {
+                        depth -= 1;
+                    }
+                }
+                if depth > 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident => {
+                idents.push(t.text.as_str());
+                // Continue only through `.` or `::` chain links.
+                if j >= 1 && code.tok(j - 1).is_punct('.') {
+                    j -= 1;
+                } else if j >= 2 && code.tok(j - 1).is_punct(':') && code.tok(j - 2).is_punct(':') {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Punct('?') => {}
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// A syntactic call site found in a function body.
+pub struct RawCall {
+    /// Called name (method or function ident).
+    pub name: String,
+    /// Code-view index of the name token.
+    pub idx: usize,
+    /// Whether this is a `.name(...)` method call (`idx - 1` is the dot).
+    pub is_method: bool,
+    /// For `qual::name(...)` path calls, the qualifier segment directly
+    /// before the name.
+    pub qualifier: Option<String>,
+}
+
+/// Detects a call with its name token at `i`: `.name(`, `name(`, or
+/// `qual::name(`. Keywords, macro invocations (`name!`), and
+/// definitions (`fn name`) are not calls.
+pub fn call_at(code: &Code, i: usize) -> Option<RawCall> {
+    let t = code.get(i)?;
+    if t.kind != TokenKind::Ident || !code.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    if KEYWORDS.contains(&t.text.as_str()) {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|j| code.tok(j));
+    if let Some(p) = prev {
+        if p.is_punct('.') {
+            return Some(RawCall {
+                name: t.text.clone(),
+                idx: i,
+                is_method: true,
+                qualifier: None,
+            });
+        }
+        if p.is_ident("fn") {
+            return None;
+        }
+        if p.is_punct(':') && i >= 2 && code.tok(i - 2).is_punct(':') {
+            let qualifier = (i >= 3 && code.tok(i - 3).kind == TokenKind::Ident)
+                .then(|| code.tok(i - 3).text.clone());
+            return Some(RawCall {
+                name: t.text.clone(),
+                idx: i,
+                is_method: false,
+                qualifier,
+            });
+        }
+    }
+    Some(RawCall {
+        name: t.text.clone(),
+        idx: i,
+        is_method: false,
+        qualifier: None,
+    })
+}
+
+const KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "let", "mut",
+    "ref", "box",
+];
+
+fn module_stem(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let file = parts.last().copied().unwrap_or(rel);
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    if stem == "mod" || stem == "lib" || stem == "main" {
+        parts
+            .get(parts.len().saturating_sub(2))
+            .copied()
+            .unwrap_or(stem)
+            .to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+fn sig_returns_guard(file: &crate::workspace::SourceFile, f: &crate::funcs::Function) -> bool {
+    let sig = &file.tokens[f.sig.clone()];
+    let mut arrow = None;
+    for (i, w) in sig.windows(2).enumerate() {
+        if w[0].is_punct('-') && w[1].is_punct('>') {
+            arrow = Some(i + 2);
+            break;
+        }
+    }
+    let Some(from) = arrow else { return false };
+    sig[from..]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text.ends_with("Guard"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(rel, text)| SourceFile::parse((*rel).into(), text))
+                .collect(),
+            manifests: Vec::new(),
+            experiments_md: None,
+        }
+    }
+
+    #[test]
+    fn impl_type_narrows_and_missing_types_widen() {
+        let ws = ws_of(&[(
+            "src/lib.rs",
+            "impl Database { fn apply(&self) {} }\n\
+             impl Sharded { fn apply(&self) {} }\n\
+             fn apply() {}\n",
+        )]);
+        let g = build(&ws);
+        assert_eq!(g.nodes.len(), 3);
+        let narrowed = g.resolve("apply", Some("Database"), None);
+        assert_eq!(narrowed.len(), 1);
+        assert_eq!(g.nodes[narrowed[0]].impl_type.as_deref(), Some("Database"));
+        assert_eq!(
+            g.resolve("apply", Some("Nope"), None).len(),
+            3,
+            "unmatched hint widens to every candidate"
+        );
+        assert_eq!(g.resolve("apply", None, None).len(), 3);
+        assert!(g.resolve("missing", None, None).is_empty());
+    }
+
+    #[test]
+    fn module_stems_narrow_free_calls() {
+        let ws = ws_of(&[
+            ("crates/a/src/feed.rs", "pub fn start() {}\n"),
+            ("crates/b/src/replica.rs", "pub fn start() {}\n"),
+        ]);
+        let g = build(&ws);
+        let scoped = g.resolve("start", None, Some("feed"));
+        assert_eq!(scoped.len(), 1);
+        assert_eq!(g.nodes[scoped[0]].file, 0);
+    }
+
+    #[test]
+    fn guard_returning_signatures_are_flagged() {
+        let ws = ws_of(&[(
+            "src/lib.rs",
+            "impl S {\n\
+             fn read_all(&self) -> Vec<RwLockReadGuard<'_, Database>> { x }\n\
+             fn count(&self) -> usize { 0 }\n\
+             }\n",
+        )]);
+        let g = build(&ws);
+        assert!(g.nodes[0].returns_guard);
+        assert!(!g.nodes[1].returns_guard);
+    }
+
+    #[test]
+    fn receiver_chains_skip_balanced_groups() {
+        let file = SourceFile::parse(
+            "x.rs".into(),
+            "fn f() { db.shard(k).read(); router.zoom.lock(); self.shards[k].write(); }\n",
+        );
+        let code = Code::of(&file.tokens);
+        let mut chains = Vec::new();
+        for i in 0..code.len() {
+            if let Some(name) = code.method_call(i) {
+                if matches!(name.text.as_str(), "read" | "lock" | "write") {
+                    chains.push(receiver_chain(&code, i));
+                }
+            }
+        }
+        assert_eq!(chains[0], vec!["shard", "db"]);
+        assert_eq!(chains[1], vec!["zoom", "router"]);
+        assert_eq!(chains[2], vec!["shards", "self"]);
+    }
+
+    #[test]
+    fn call_detection_skips_keywords_macros_and_defs() {
+        let file = SourceFile::parse(
+            "x.rs".into(),
+            "fn f() { if (a) {} vec![x]; g(1); h!(2); Database::open(p); x.m(); }\n",
+        );
+        let code = Code::of(&file.tokens);
+        let calls: Vec<(String, bool, Option<String>)> = (0..code.len())
+            .filter_map(|i| call_at(&code, i))
+            .map(|c| (c.name, c.is_method, c.qualifier))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                ("g".into(), false, None),
+                ("open".into(), false, Some("Database".into())),
+                ("m".into(), true, None),
+            ]
+        );
+    }
+}

@@ -23,9 +23,11 @@
 //! regenerate `lint.toml` from the current findings.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod funcs;
 pub mod lexer;
+pub mod lockmodel;
 pub mod rules;
 pub mod workspace;
 

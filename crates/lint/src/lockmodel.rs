@@ -1,0 +1,336 @@
+//! The declared lock hierarchy: `locks.toml` parsed into ranked lock
+//! classes, plus the in-source `// lint: lock-class(name)` escape hatch
+//! for locks whose receiver ident is too generic to list in the file.
+//!
+//! Parse problems are **span-reported diagnostics**, never panics: a
+//! broken `locks.toml` surfaces as `lock-order` findings pointing at the
+//! offending line, and the model degrades to empty (no classes, so the
+//! lock rules stay silent rather than guessing).
+
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use std::collections::BTreeMap;
+
+/// How a class's lock is acquired, and what re-entry means for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Acquired with zero-arg `.lock()`; re-entry self-deadlocks.
+    Mutex,
+    /// Acquired with zero-arg `.read()` / `.write()`.
+    RwLock,
+}
+
+/// One declared lock class. Rank is its declaration position in
+/// `locks.toml`: lower ranks must be acquired first.
+#[derive(Debug)]
+pub struct LockClass {
+    /// Class name (what diagnostics and `lock-class(...)` comments use).
+    pub name: String,
+    /// Acquisition shape.
+    pub kind: LockKind,
+    /// Whether instances carry an index that must ascend (`shards[k]`).
+    pub ordered: bool,
+    /// Type a guard of this class dereferences to, when declared — used
+    /// to resolve method calls made through a held guard.
+    pub deref: Option<String>,
+    /// Field/variable idents whose lock calls acquire this class.
+    pub receivers: Vec<String>,
+    /// 1-based `locks.toml` line of the declaration.
+    pub line: u32,
+}
+
+impl LockClass {
+    /// Whether `method` (of a zero-arg call) acquires this class, and
+    /// exclusively so.
+    pub fn acquires(&self, method: &str) -> Option<bool> {
+        match (self.kind, method) {
+            (LockKind::Mutex, "lock") | (LockKind::RwLock, "write") => Some(true),
+            (LockKind::RwLock, "read") => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// The parsed hierarchy. Indices into `classes` are ranks.
+#[derive(Debug, Default)]
+pub struct LockModel {
+    /// Every class, in rank order.
+    pub classes: Vec<LockClass>,
+    /// Span-reported parse problems (empty for a well-formed file).
+    pub errors: Vec<Diagnostic>,
+}
+
+/// File name the model is declared in, relative to the workspace root.
+pub const LOCKS_FILE: &str = "locks.toml";
+
+impl LockModel {
+    /// Loads `locks.toml` from the workspace root. A missing file is an
+    /// empty model (the lock rules become no-ops), not an error — most
+    /// fixture workspaces do not declare a hierarchy.
+    pub fn load(root: &std::path::Path) -> Self {
+        match std::fs::read_to_string(root.join(LOCKS_FILE)) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses the `locks.toml` dialect: `[[class]]` tables with `name`,
+    /// `kind`, optional `ordered`, `deref`, and a single-line
+    /// `receivers` array.
+    pub fn parse(text: &str) -> Self {
+        let mut model = Self::default();
+        let mut current: Option<LockClass> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[class]]" {
+                model.finish(current.take());
+                current = Some(LockClass {
+                    name: String::new(),
+                    kind: LockKind::Mutex,
+                    ordered: false,
+                    deref: None,
+                    receivers: Vec::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                model.finish(current.take());
+                model.error(
+                    lineno,
+                    format!("unknown section `{line}`; only `[[class]]` tables are allowed"),
+                );
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                model.error(lineno, format!("expected `key = value`, found `{line}`"));
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(class) = current.as_mut() else {
+                model.error(lineno, format!("`{key}` outside a `[[class]]` table"));
+                continue;
+            };
+            match key {
+                "name" => match parse_str(value) {
+                    Some(v) if !v.is_empty() => class.name = v,
+                    _ => model.error(
+                        lineno,
+                        format!("`name` must be a non-empty string, found `{value}`"),
+                    ),
+                },
+                "kind" => match parse_str(value).as_deref() {
+                    Some("mutex") => class.kind = LockKind::Mutex,
+                    Some("rwlock") => class.kind = LockKind::RwLock,
+                    _ => model.error(
+                        lineno,
+                        format!("`kind` must be \"mutex\" or \"rwlock\", found `{value}`"),
+                    ),
+                },
+                "ordered" => match value {
+                    "true" => class.ordered = true,
+                    "false" => class.ordered = false,
+                    _ => model.error(
+                        lineno,
+                        format!("`ordered` must be true or false, found `{value}`"),
+                    ),
+                },
+                "deref" => match parse_str(value) {
+                    Some(v) if !v.is_empty() => class.deref = Some(v),
+                    _ => model.error(
+                        lineno,
+                        format!("`deref` must be a non-empty string, found `{value}`"),
+                    ),
+                },
+                "receivers" => match parse_str_array(value) {
+                    Some(v) => class.receivers = v,
+                    None => model.error(
+                        lineno,
+                        format!("`receivers` must be a [\"a\", \"b\"] array, found `{value}`"),
+                    ),
+                },
+                other => model.error(lineno, format!("unknown key `{other}` in lock class")),
+            }
+        }
+        model.finish(current.take());
+        model.check_cross_class();
+        model
+    }
+
+    fn finish(&mut self, class: Option<LockClass>) {
+        let Some(class) = class else { return };
+        if class.name.is_empty() {
+            self.error(class.line, "lock class is missing a `name`".into());
+            return;
+        }
+        if self.classes.iter().any(|c| c.name == class.name) {
+            self.error(class.line, format!("duplicate lock class `{}`", class.name));
+            return;
+        }
+        self.classes.push(class);
+    }
+
+    fn check_cross_class(&mut self) {
+        let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut dups = Vec::new();
+        for class in &self.classes {
+            for recv in &class.receivers {
+                if let Some(prev) = seen.insert(recv, &class.name) {
+                    dups.push((
+                        class.line,
+                        format!("receiver `{recv}` already claimed by class `{prev}`; receivers must map to exactly one class"),
+                    ));
+                }
+            }
+        }
+        for (line, msg) in dups {
+            self.error(line, msg);
+        }
+    }
+
+    fn error(&mut self, line: u32, message: String) {
+        self.errors.push(Diagnostic {
+            rule: "lock-order",
+            file: LOCKS_FILE.into(),
+            line,
+            col: 1,
+            message: format!("invalid lock hierarchy: {message}"),
+        });
+    }
+
+    /// Rank of the class named `name`, if declared.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c.name == name)
+    }
+
+    /// The class a `receiver.method()` acquisition belongs to:
+    /// `(rank, exclusive)` when some declared receiver matches.
+    pub fn classify(&self, receiver: &str, method: &str) -> Option<(usize, bool)> {
+        self.classes.iter().enumerate().find_map(|(rank, c)| {
+            let exclusive = c.acquires(method)?;
+            c.receivers
+                .iter()
+                .any(|r| r == receiver)
+                .then_some((rank, exclusive))
+        })
+    }
+}
+
+fn parse_str(value: &str) -> Option<String> {
+    let v = value.strip_prefix('"')?.strip_suffix('"')?;
+    (!v.contains('"')).then(|| v.to_string())
+}
+
+fn parse_str_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|s| parse_str(s.trim())).collect()
+}
+
+/// Collects `// lint: lock-class(name)` markers: a trailing comment
+/// classifies acquisitions on its own line; a standalone comment
+/// classifies the next code line (same placement semantics as
+/// `lint:allow`).
+pub fn collect_lock_classes(tokens: &[Token]) -> BTreeMap<u32, String> {
+    let mut out = BTreeMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(name) = parse_lock_class(&t.text) else {
+            continue;
+        };
+        let standalone = !tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| !p.is_comment());
+        let line = if standalone {
+            tokens[i + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map_or(t.line, |n| n.line)
+        } else {
+            t.line
+        };
+        out.insert(line, name);
+    }
+    out
+}
+
+/// Extracts the class name from a comment containing `lock-class(name)`.
+fn parse_lock_class(comment: &str) -> Option<String> {
+    let at = comment.find("lock-class(")?;
+    let rest = &comment[at + "lock-class(".len()..];
+    let close = rest.find(')')?;
+    let name = rest[..close].trim();
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_workspace_dialect() {
+        let m = LockModel::parse(
+            "# hierarchy\n[[class]]\nname = \"broadcast\"\nkind = \"mutex\"\nreceivers = [\"broadcast\"]\n\n\
+             [[class]]\nname = \"shard\"\nkind = \"rwlock\"\nordered = true\nderef = \"Database\"\n\
+             receivers = [\"shards\", \"db\"]\n",
+        );
+        assert!(m.errors.is_empty(), "errors: {:?}", m.errors);
+        assert_eq!(m.classes.len(), 2);
+        assert_eq!(m.rank_of("shard"), Some(1));
+        assert_eq!(m.classify("db", "write"), Some((1, true)));
+        assert_eq!(m.classify("db", "read"), Some((1, false)));
+        assert_eq!(m.classify("db", "lock"), None, "kind gates the method");
+        assert_eq!(m.classify("broadcast", "lock"), Some((0, true)));
+        assert!(m.classes[1].ordered);
+        assert_eq!(m.classes[1].deref.as_deref(), Some("Database"));
+    }
+
+    #[test]
+    fn parse_errors_are_span_reported_not_panics() {
+        let m = LockModel::parse(
+            "[[class]]\nname = \"a\"\nkind = \"spinlock\"\nbogus = 1\n\
+             [[class]]\nkind = \"mutex\"\n\
+             [[class]]\nname = \"a\"\nkind = \"mutex\"\n\
+             [other]\nname = 3\n",
+        );
+        let lines: Vec<u32> = m.errors.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 7, 10, 11], "errors: {:?}", m.errors);
+        assert!(m.errors.iter().all(|e| e.rule == "lock-order"));
+        assert!(m.errors.iter().all(|e| e.file == LOCKS_FILE));
+        assert_eq!(m.classes.len(), 1, "well-formed classes survive");
+        // Line 5: the nameless class is reported at its own header.
+        assert!(m.errors[2].message.contains("missing a `name`"));
+    }
+
+    #[test]
+    fn duplicate_receivers_across_classes_are_rejected() {
+        let m = LockModel::parse(
+            "[[class]]\nname = \"a\"\nkind = \"mutex\"\nreceivers = [\"x\"]\n\
+             [[class]]\nname = \"b\"\nkind = \"mutex\"\nreceivers = [\"x\"]\n",
+        );
+        assert_eq!(m.errors.len(), 1);
+        assert!(m.errors[0].message.contains("already claimed by class `a`"));
+    }
+
+    #[test]
+    fn lock_class_comments_cover_their_line_or_the_next() {
+        let toks = crate::lexer::tokenize(
+            "fn f() {\n    let g = m.lock(); // lint: lock-class(morsel)\n    \
+             // lint: lock-class(shard)\n    let h = s.read();\n}\n",
+        );
+        let by_line = collect_lock_classes(&toks);
+        assert_eq!(by_line.get(&2).map(String::as_str), Some("morsel"));
+        assert_eq!(by_line.get(&4).map(String::as_str), Some("shard"));
+        assert!(!by_line.contains_key(&3));
+    }
+}

@@ -1,0 +1,1076 @@
+//! The four deadlock-freedom rules, driven by one shared
+//! interprocedural analysis:
+//!
+//! - `lock-order`: no acquisition of a lower-ranked lock class while a
+//!   higher-ranked guard is live, transitively through calls.
+//! - `shard-guard-order`: multiple guards of an ordered class (the
+//!   shard `RwLock`s) must be taken in ascending index order.
+//! - `double-acquire`: re-entering a class already held on some call
+//!   path (self-deadlock for mutex classes).
+//! - `guard-across-wait`: no condvar wait / blocking channel receive /
+//!   thread join while holding a guard of a different class.
+//!
+//! The analysis builds the workspace call graph ([`crate::callgraph`]),
+//! scans every live function for lock acquisitions (classified by the
+//! `locks.toml` hierarchy, [`crate::lockmodel`]), computes lexical
+//! guard regions (a `let`-bound guard is held to the end of its
+//! enclosing block or an explicit `drop(name)`, a temporary to the end
+//! of its statement — which, as in Rust, includes a `match`/`if let`
+//! body whose scrutinee it is), then propagates *may-acquire* /
+//! *may-wait* / *escaping-guard* summaries to a fixpoint over the call
+//! edges. Unresolvable calls through local callable values widen the
+//! analysis: with any guard held they are themselves findings.
+
+use crate::callgraph::{self, CallGraph};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::lockmodel::{collect_lock_classes, LockKind, LockModel};
+use crate::rules::{Code, Rule};
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// `lock-order` (see module docs).
+pub(crate) struct LockOrder;
+/// `shard-guard-order` (see module docs).
+pub(crate) struct ShardGuardOrder;
+/// `double-acquire` (see module docs).
+pub(crate) struct DoubleAcquire;
+/// `guard-across-wait` (see module docs).
+pub(crate) struct GuardAcrossWait;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+    fn description(&self) -> &'static str {
+        "lock classes must be acquired in locks.toml rank order, transitively through calls"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        emit(ws, self.name(), out);
+    }
+}
+
+impl Rule for ShardGuardOrder {
+    fn name(&self) -> &'static str {
+        "shard-guard-order"
+    }
+    fn description(&self) -> &'static str {
+        "guards of an ordered lock class must be taken in ascending index order"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        emit(ws, self.name(), out);
+    }
+}
+
+impl Rule for DoubleAcquire {
+    fn name(&self) -> &'static str {
+        "double-acquire"
+    }
+    fn description(&self) -> &'static str {
+        "no re-entry of a lock class already held on some call path (self-deadlock)"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        emit(ws, self.name(), out);
+    }
+}
+
+impl Rule for GuardAcrossWait {
+    fn name(&self) -> &'static str {
+        "guard-across-wait"
+    }
+    fn description(&self) -> &'static str {
+        "no condvar wait / blocking recv / join while holding a guard of a different class"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        emit(ws, self.name(), out);
+    }
+}
+
+fn emit(ws: &Workspace, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    let analysis = shared_analysis(ws);
+    out.extend(analysis.diags.iter().filter(|d| d.rule == rule).cloned());
+}
+
+/// The four rules share one expensive pass; it is memoized per
+/// workspace (keyed by content fingerprint) so `run_all` computes it
+/// once, not four times.
+fn shared_analysis(ws: &Workspace) -> Rc<Analysis> {
+    thread_local! {
+        static CACHE: std::cell::RefCell<Option<(u64, Rc<Analysis>)>> =
+            const { std::cell::RefCell::new(None) };
+    }
+    let fp = fingerprint(ws);
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some((key, a)) = c.as_ref() {
+            if *key == fp {
+                return Rc::clone(a);
+            }
+        }
+        let a = Rc::new(Analysis::compute(ws));
+        *c = Some((fp, Rc::clone(&a)));
+        a
+    })
+}
+
+fn fingerprint(ws: &Workspace) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ws.root.hash(&mut h);
+    for f in &ws.files {
+        f.rel.hash(&mut h);
+        f.tokens.len().hash(&mut h);
+    }
+    h.finish()
+}
+
+struct Analysis {
+    diags: Vec<Diagnostic>,
+}
+
+/// One direct lock acquisition with its lexical guard region.
+#[derive(Clone)]
+struct Acq {
+    class: usize,
+    write: bool,
+    /// Literal shard index when the receiver was `xs[<number>]`.
+    index: Option<u64>,
+    /// Code index of the acquisition anchor.
+    idx: usize,
+    line: u32,
+    /// Code indices over which the guard is held.
+    region: Range<usize>,
+}
+
+/// One call site, resolved.
+struct CallEv {
+    name: String,
+    idx: usize,
+    line: u32,
+    col: u32,
+    /// Resolved candidate node ids (empty = not a workspace function).
+    targets: Vec<usize>,
+    /// Call through a local callable value — unresolvable by name.
+    unknown: bool,
+    /// Guard region *if* the call returns guards (escaping acquisition).
+    region: Range<usize>,
+}
+
+/// One blocking-wait site.
+struct WaitEv {
+    name: String,
+    idx: usize,
+    line: u32,
+    col: u32,
+    /// Class whose guard legitimately rides through this wait (the
+    /// condvar protocol: `cond.wait(guard)` atomically releases it).
+    exempt: Option<usize>,
+}
+
+struct FnScan {
+    acqs: Vec<Acq>,
+    calls: Vec<CallEv>,
+    waits: Vec<WaitEv>,
+}
+
+#[derive(Clone)]
+struct AcqEff {
+    write: bool,
+    via: Option<String>,
+}
+
+/// Blocking method names. `recv`/`join` only in zero-arg form (the
+/// std channel/thread shapes); the condvar family takes the guard.
+const WAIT_ZERO_ARG: [&str; 2] = ["recv", "join"];
+const WAIT_WITH_ARGS: [&str; 4] = ["recv_timeout", "wait", "wait_timeout", "wait_for"];
+
+impl Analysis {
+    fn compute(ws: &Workspace) -> Self {
+        let model = LockModel::load(&ws.root);
+        let mut diags = model.errors.clone();
+        if model.classes.is_empty() {
+            return Self { diags };
+        }
+        let graph = callgraph::build(ws);
+        let scans: Vec<FnScan> = (0..graph.nodes.len())
+            .map(|id| scan_function(ws, &graph, &model, id))
+            .collect();
+
+        // Fixpoint: may_acquire / may_wait / escapes over call edges.
+        let n = graph.nodes.len();
+        let mut may_acquire: Vec<BTreeMap<usize, AcqEff>> = vec![BTreeMap::new(); n];
+        let mut may_wait: Vec<Option<String>> = vec![None; n];
+        let mut escapes: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for id in 0..n {
+            for a in &scans[id].acqs {
+                may_acquire[id]
+                    .entry(a.class)
+                    .and_modify(|e| e.write |= a.write)
+                    .or_insert(AcqEff {
+                        write: a.write,
+                        via: None,
+                    });
+                if graph.nodes[id].returns_guard {
+                    escapes[id].insert(a.class);
+                }
+            }
+            if let Some(w) = scans[id].waits.first() {
+                may_wait[id] = Some(w.name.clone());
+            }
+        }
+        loop {
+            let mut changed = false;
+            for id in 0..n {
+                for call in &scans[id].calls {
+                    for &t in &call.targets {
+                        let effs: Vec<(usize, AcqEff)> = may_acquire[t]
+                            .iter()
+                            .map(|(c, e)| (*c, e.clone()))
+                            .collect();
+                        for (c, e) in effs {
+                            match may_acquire[id].get_mut(&c) {
+                                Some(have) => {
+                                    if e.write && !have.write {
+                                        have.write = true;
+                                        changed = true;
+                                    }
+                                }
+                                None => {
+                                    may_acquire[id].insert(
+                                        c,
+                                        AcqEff {
+                                            write: e.write,
+                                            via: Some(call.name.clone()),
+                                        },
+                                    );
+                                    changed = true;
+                                }
+                            }
+                        }
+                        if may_wait[id].is_none() && may_wait[t].is_some() {
+                            may_wait[id] = Some(call.name.clone());
+                            changed = true;
+                        }
+                        if graph.nodes[id].returns_guard && graph.nodes[t].returns_guard {
+                            let add: Vec<usize> = escapes[t]
+                                .iter()
+                                .copied()
+                                .filter(|c| !escapes[id].contains(c))
+                                .collect();
+                            if !add.is_empty() {
+                                escapes[id].extend(add);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        if let Ok(name) = std::env::var("INSIGHT_LINT_DEBUG_FN") {
+            for id in 0..n {
+                if graph.nodes[id].name == name {
+                    eprintln!(
+                        "fn {} ({}#{:?}): acq={:?} wait={:?}",
+                        name,
+                        ws.files[graph.nodes[id].file].rel,
+                        graph.nodes[id].impl_type,
+                        may_acquire[id]
+                            .iter()
+                            .map(|(c, e)| (model.classes[*c].name.clone(), e.via.clone()))
+                            .collect::<Vec<_>>(),
+                        may_wait[id]
+                    );
+                    for c in &scans[id].calls {
+                        eprintln!(
+                            "  call {} -> {:?}",
+                            c.name,
+                            c.targets
+                                .iter()
+                                .map(|&t| format!(
+                                    "{}::{}",
+                                    graph.nodes[t].impl_type.clone().unwrap_or_default(),
+                                    graph.nodes[t].name
+                                ))
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+        }
+
+        // Violation scan, per function.
+        for (id, scan) in scans.iter().enumerate() {
+            let file = &ws.files[graph.nodes[id].file];
+            // Materialize guard-returning calls as held acquisitions.
+            let mut held_acqs: Vec<Acq> = scan.acqs.clone();
+            for call in &scan.calls {
+                let mut classes: BTreeSet<usize> = BTreeSet::new();
+                for &t in &call.targets {
+                    if graph.nodes[t].returns_guard {
+                        classes.extend(escapes[t].iter().copied());
+                    }
+                }
+                for c in classes {
+                    let write = call
+                        .targets
+                        .iter()
+                        .any(|&t| may_acquire[t].get(&c).is_some_and(|e| e.write));
+                    held_acqs.push(Acq {
+                        class: c,
+                        write,
+                        index: None,
+                        idx: call.idx,
+                        line: call.line,
+                        region: call.region.clone(),
+                    });
+                }
+            }
+            let held_at = |j: usize| -> Vec<&Acq> {
+                held_acqs
+                    .iter()
+                    .filter(|a| a.idx != j && a.region.contains(&j))
+                    .collect()
+            };
+            let class_name = |c: usize| model.classes[c].name.as_str();
+            let body = &file.functions[graph.nodes[id].func];
+            let code = Code::of(body.body_tokens(&file.tokens));
+            // Direct acquisitions against everything already held.
+            for a in &scan.acqs {
+                for h in held_at(a.idx) {
+                    let (t_line, t_col) = (a.line, code.tok(a.idx).col);
+                    if h.class == a.class {
+                        let class = &model.classes[a.class];
+                        if class.ordered {
+                            let msg = match (a.index, h.index) {
+                                (Some(i2), Some(i1)) if i2 < i1 => Some(format!(
+                                    "`{0}[{i2}]` acquired while `{0}[{i1}]` is held (line {1}); \
+                                     ordered guards must be taken in ascending index order",
+                                    class.name, h.line
+                                )),
+                                (Some(i2), Some(i1)) if i2 == i1 && (a.write || h.write) => {
+                                    Some(format!(
+                                        "`{0}[{i1}]` re-acquired with exclusive access while \
+                                         already held (line {1}); this self-deadlocks",
+                                        class.name, h.line
+                                    ))
+                                }
+                                (Some(_), Some(_)) => None,
+                                _ => Some(format!(
+                                    "`{0}` guard acquired while another `{0}` guard is held \
+                                     (line {1}) and index order cannot be proven; take ordered \
+                                     guards in one ascending pass",
+                                    class.name, h.line
+                                )),
+                            };
+                            if let Some(message) = msg {
+                                diags.push(diag("shard-guard-order", file, t_line, t_col, message));
+                            }
+                        } else if class.kind == LockKind::Mutex || a.write || h.write {
+                            diags.push(diag(
+                                "double-acquire",
+                                file,
+                                t_line,
+                                t_col,
+                                format!(
+                                    "`{}` re-acquired while already held (line {}); re-entering \
+                                     a held lock class self-deadlocks",
+                                    class.name, h.line
+                                ),
+                            ));
+                        }
+                    } else if a.class < h.class {
+                        diags.push(diag(
+                            "lock-order",
+                            file,
+                            t_line,
+                            t_col,
+                            format!(
+                                "`{}` acquired while a `{}` guard is held (acquired on line \
+                                 {}); locks.toml ranks `{0}` before `{1}` — take it first or \
+                                 drop the `{1}` guard",
+                                class_name(a.class),
+                                class_name(h.class),
+                                h.line
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Call sites: transitive effects against everything held.
+            for call in &scan.calls {
+                let held = held_at(call.idx);
+                if held.is_empty() {
+                    continue;
+                }
+                if call.unknown {
+                    let h = held[0];
+                    diags.push(diag(
+                        "lock-order",
+                        file,
+                        call.line,
+                        call.col,
+                        format!(
+                            "call through local callable `{}` while a `{}` guard is held \
+                             (acquired on line {}); unresolved callees widen the analysis — \
+                             drop the guard before calling out",
+                            call.name,
+                            class_name(h.class),
+                            h.line
+                        ),
+                    ));
+                    continue;
+                }
+                let mut effs: BTreeMap<usize, AcqEff> = BTreeMap::new();
+                let mut waits_via: Option<String> = None;
+                for &t in &call.targets {
+                    for (c, e) in &may_acquire[t] {
+                        effs.entry(*c)
+                            .and_modify(|have| have.write |= e.write)
+                            .or_insert_with(|| e.clone());
+                    }
+                    if waits_via.is_none() {
+                        waits_via = may_wait[t].clone();
+                    }
+                }
+                for h in &held {
+                    for (c, e) in &effs {
+                        let via = e
+                            .via
+                            .as_ref()
+                            .map(|v| format!(" (via `{v}`)"))
+                            .unwrap_or_default();
+                        if *c == h.class {
+                            let class = &model.classes[*c];
+                            if class.ordered {
+                                // The call's own escaping guard is not a
+                                // re-acquisition of itself.
+                                if h.idx == call.idx {
+                                    continue;
+                                }
+                                diags.push(diag(
+                                    "shard-guard-order",
+                                    file,
+                                    call.line,
+                                    call.col,
+                                    format!(
+                                        "call to `{}` may acquire `{}` guards{via} while one \
+                                         is already held (line {}); ordered classes must be \
+                                         acquired in one ascending pass",
+                                        call.name, class.name, h.line
+                                    ),
+                                ));
+                            } else if class.kind == LockKind::Mutex || e.write || h.write {
+                                diags.push(diag(
+                                    "double-acquire",
+                                    file,
+                                    call.line,
+                                    call.col,
+                                    format!(
+                                        "call to `{}` may re-acquire `{}`{via}, which is \
+                                         already held (line {}); self-deadlock",
+                                        call.name, class.name, h.line
+                                    ),
+                                ));
+                            }
+                        } else if c < &h.class {
+                            diags.push(diag(
+                                "lock-order",
+                                file,
+                                call.line,
+                                call.col,
+                                format!(
+                                    "call to `{}` may acquire `{}`{via} while a `{}` guard is \
+                                     held (acquired on line {}); locks.toml ranks `{1}` before \
+                                     `{2}`",
+                                    call.name,
+                                    class_name(*c),
+                                    class_name(h.class),
+                                    h.line,
+                                ),
+                            ));
+                        }
+                    }
+                    if let Some(via) = &waits_via {
+                        diags.push(diag(
+                            "guard-across-wait",
+                            file,
+                            call.line,
+                            call.col,
+                            format!(
+                                "call to `{}` may block on `{via}` while a `{}` guard is held \
+                                 (acquired on line {}); blocking waits must not pin locks",
+                                call.name,
+                                class_name(h.class),
+                                h.line
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Waits against everything held.
+            for w in &scan.waits {
+                for h in held_at(w.idx) {
+                    if w.exempt == Some(h.class) {
+                        continue;
+                    }
+                    diags.push(diag(
+                        "guard-across-wait",
+                        file,
+                        w.line,
+                        w.col,
+                        format!(
+                            "`{}` while a `{}` guard is held (acquired on line {}); blocking \
+                             waits must not pin locks of another class",
+                            w.name,
+                            class_name(h.class),
+                            h.line
+                        ),
+                    ));
+                }
+            }
+        }
+        Self { diags }
+    }
+}
+
+fn diag(
+    rule: &'static str,
+    file: &crate::workspace::SourceFile,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: file.rel.clone(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// Scans one function: direct acquisitions with guard regions, resolved
+/// call sites, and blocking waits.
+fn scan_function(ws: &Workspace, graph: &CallGraph, model: &LockModel, id: usize) -> FnScan {
+    let node = &graph.nodes[id];
+    let file = &ws.files[node.file];
+    let func = &file.functions[node.func];
+    let code = Code::of(func.body_tokens(&file.tokens));
+    let class_by_line = collect_lock_classes(&file.tokens);
+    let mut locals = collect_locals(file, func, &code);
+    // name → lock class of the guard bound to it (for condvar exemption)
+    let mut binding_class: BTreeMap<String, usize> = BTreeMap::new();
+    // name → type the binding dereferences to (for method resolution);
+    // seeded from declared parameter / `let` types, overridden by guard
+    // bindings as they are tracked.
+    let mut binding_type: BTreeMap<String, String> = BTreeMap::new();
+    collect_declared_types(file, func, &code, &mut binding_type);
+
+    let mut scan = FnScan {
+        acqs: Vec::new(),
+        calls: Vec::new(),
+        waits: Vec::new(),
+    };
+
+    let mut i = 0;
+    while i < code.len() {
+        // Direct acquisition: zero-arg `.lock()` / `.read()` / `.write()`
+        // with a classified receiver (or a `lock-class(...)` comment).
+        if let Some(name) = code.method_call(i) {
+            let zero_arg = code.get(i + 3).is_some_and(|t| t.is_punct(')'));
+            let method = name.text.as_str();
+            if zero_arg && matches!(method, "lock" | "read" | "write") {
+                let chain = callgraph::receiver_chain(&code, i);
+                let classified = class_by_line
+                    .get(&name.line)
+                    .and_then(|n| model.rank_of(n).map(|r| (r, method != "read")))
+                    .or_else(|| chain.iter().find_map(|recv| model.classify(recv, method)));
+                if let Some((class, write)) = classified {
+                    let close = i + 3;
+                    let (region, let_name) = guard_region(&code, i, close);
+                    if let Some(n) = &let_name {
+                        binding_class.insert(n.clone(), class);
+                        if let Some(d) = &model.classes[class].deref {
+                            binding_type.insert(n.clone(), d.clone());
+                        }
+                        locals.insert(n.clone());
+                    }
+                    scan.acqs.push(Acq {
+                        class,
+                        write,
+                        index: literal_index(&code, i),
+                        idx: i,
+                        line: name.line,
+                        region,
+                    });
+                    i += 4;
+                    continue;
+                }
+                // Unclassified zero-arg lock-shaped call: neither an
+                // acquisition nor a useful call edge (e.g. `stdin.lock()`).
+                i += 4;
+                continue;
+            }
+        }
+        let at_name = if code.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
+            i
+        } else if code.method_call(i).is_some() {
+            i + 1
+        } else {
+            i += 1;
+            continue;
+        };
+        if let Some(raw) = callgraph::call_at(&code, at_name) {
+            let tok = code.tok(raw.idx);
+            // Blocking waits first — but a name that resolves to a
+            // workspace function is a call (its own body carries the
+            // real wait, so the transitive pass still sees it).
+            let zero_arg = code.get(raw.idx + 2).is_some_and(|t| t.is_punct(')'));
+            let is_wait_shape = (zero_arg && WAIT_ZERO_ARG.contains(&raw.name.as_str()))
+                || (!zero_arg && WAIT_WITH_ARGS.contains(&raw.name.as_str()))
+                || (!raw.is_method && raw.name == "sleep");
+            let type_hint: Option<String> = if raw.is_method {
+                let chain = callgraph::receiver_chain(&code, raw.idx - 1);
+                receiver_type_hint(&chain, func.impl_type.as_deref(), &binding_type, model)
+            } else {
+                match raw.qualifier.as_deref() {
+                    Some("Self") => func.impl_type.clone(),
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        Some(q.to_string())
+                    }
+                    _ => None,
+                }
+            };
+            let module_hint = raw
+                .qualifier
+                .as_deref()
+                .filter(|q| q.chars().next().is_some_and(char::is_lowercase));
+            let targets = if raw.is_method {
+                graph.resolve_method(&raw.name, type_hint.as_deref())
+            } else if raw.name == "drop" {
+                // `drop(guard)` ends a region (handled by `find_drop`);
+                // resolving it by name would fan out to every workspace
+                // `Drop` impl.
+                Vec::new()
+            } else if let Some(t) = &type_hint {
+                // `Type::func(...)`: bind strictly to that impl — a
+                // qualifier naming a std type (`File::create`) is not a
+                // workspace edge at all.
+                graph
+                    .candidates(&raw.name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| graph.nodes[id].impl_type.as_deref() == Some(t.as_str()))
+                    .collect()
+            } else {
+                graph.resolve_free(&raw.name, module_hint, node.file)
+            };
+            if targets.is_empty() && is_wait_shape {
+                scan.waits.push(WaitEv {
+                    name: raw.name.clone(),
+                    idx: raw.idx,
+                    line: tok.line,
+                    col: tok.col,
+                    exempt: wait_exempt_class(&code, raw.idx, &binding_class),
+                });
+                i = raw.idx + 1;
+                continue;
+            }
+            let unknown = targets.is_empty()
+                && !raw.is_method
+                && raw.name.chars().next().is_some_and(char::is_lowercase)
+                && locals.contains(&raw.name);
+            if !targets.is_empty() || unknown {
+                let close = raw.idx + 1;
+                let (region, let_name) = guard_region(&code, raw.idx, matching_close(&code, close));
+                if let Some(n) = &let_name {
+                    // A guard-returning callee types its binding.
+                    if let Some(d) = targets.iter().find_map(|&t| {
+                        graph.nodes[t]
+                            .returns_guard
+                            .then(|| guard_deref(ws, graph, t))
+                            .flatten()
+                    }) {
+                        binding_type.insert(n.clone(), d);
+                        locals.insert(n.clone());
+                    }
+                }
+                scan.calls.push(CallEv {
+                    name: raw.name.clone(),
+                    idx: raw.idx,
+                    line: tok.line,
+                    col: tok.col,
+                    targets,
+                    unknown,
+                    region,
+                });
+            }
+            i = raw.idx + 1;
+            continue;
+        }
+        i += 1;
+    }
+    scan
+}
+
+/// The type a guard-returning function's guards dereference to: the
+/// last plain type ident of the return type that is not a container or
+/// the guard wrapper itself (`-> Vec<RwLockReadGuard<'_, Database>>` →
+/// `Database`).
+fn guard_deref(ws: &Workspace, graph: &CallGraph, id: usize) -> Option<String> {
+    let node = &graph.nodes[id];
+    let file = &ws.files[node.file];
+    let sig = &file.tokens[file.functions[node.func].sig.clone()];
+    let arrow = sig
+        .windows(2)
+        .position(|w| w[0].is_punct('-') && w[1].is_punct('>'))?;
+    sig[arrow + 2..]
+        .iter()
+        .rev()
+        .find(|t| {
+            t.kind == TokenKind::Ident
+                && !t.text.ends_with("Guard")
+                && !matches!(t.text.as_str(), "Vec" | "Option" | "Box" | "Result")
+        })
+        .map(|t| t.text.clone())
+}
+
+/// Maps a receiver chain to a method-resolution type hint: `self` → the
+/// enclosing impl type, a tracked guard binding → its deref type, a
+/// guard temporary (`handle.write().m(...)`) → the class's deref type.
+fn receiver_type_hint(
+    chain: &[&str],
+    impl_type: Option<&str>,
+    binding_type: &BTreeMap<String, String>,
+    model: &LockModel,
+) -> Option<String> {
+    let first = chain.first()?;
+    if *first == "self" {
+        return impl_type.map(str::to_string);
+    }
+    if let Some(t) = binding_type.get(*first) {
+        return Some(t.clone());
+    }
+    if matches!(*first, "lock" | "read" | "write") {
+        if let Some(recv) = chain.get(1) {
+            if let Some((class, _)) = model.classify(recv, first) {
+                return model.classes[class].deref.clone();
+            }
+        }
+    }
+    None
+}
+
+/// The guard region for an acquisition anchored at `idx` whose closing
+/// paren is at `close`: `(region, let_binding_name)`. A `let`-bound
+/// guard is held to the end of the enclosing block (clipped by an
+/// explicit `drop(name)`); a temporary to the end of its statement.
+fn guard_region(code: &Code, idx: usize, close: usize) -> (Range<usize>, Option<String>) {
+    let start = close + 1;
+    let stmt_start = back_stmt_start(code, idx);
+    let let_stmt = code.get(stmt_start).is_some_and(|t| t.is_ident("let"));
+    let chain_continues = {
+        let mut j = start;
+        loop {
+            match code.get(j) {
+                Some(t) if t.is_punct('?') => j += 1,
+                Some(t) if t.is_punct('.') => break true,
+                _ => break false,
+            }
+        }
+    };
+    if let_stmt && !chain_continues {
+        let name = let_binding_name(code, stmt_start);
+        let mut end = block_end(code, start);
+        if let Some(n) = &name {
+            if let Some(d) = find_drop(code, start, end, n) {
+                end = d;
+            }
+        }
+        (start..end, name)
+    } else {
+        (start..stmt_end(code, start), None)
+    }
+}
+
+/// Start of the statement containing `idx`: the position after the
+/// previous `;` or unmatched opening brace/paren.
+fn back_stmt_start(code: &Code, idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = code.tok(j);
+        match &t.kind {
+            TokenKind::Punct(')' | ']' | '}') => depth += 1,
+            TokenKind::Punct('(' | '[' | '{') => {
+                if depth == 0 {
+                    return j + 1;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// End of the statement starting inside the current nesting at `from`:
+/// the `;` at relative depth 0, or the unmatched closing token. A
+/// depth-0 `,` also ends the region: a temporary created inside a match
+/// arm or an argument list dies with its own expression, not with its
+/// sibling arms (which would make two single-arm acquisitions look
+/// overlapping).
+fn stmt_end(code: &Code, from: usize) -> usize {
+    let mut depth = 0i32;
+    for j in from..code.len() {
+        match &code.tok(j).kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';' | ',') if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// End of the enclosing block at `from`: the unmatched closing token.
+fn block_end(code: &Code, from: usize) -> usize {
+    let mut depth = 0i32;
+    for j in from..code.len() {
+        match &code.tok(j).kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// `let [mut] NAME [: T] = …` → NAME; destructuring patterns → None.
+fn let_binding_name(code: &Code, let_idx: usize) -> Option<String> {
+    let mut j = let_idx + 1;
+    if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = code.get(j)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    match code.get(j + 1) {
+        Some(t) if t.is_punct('=') || t.is_punct(':') => Some(name.text.clone()),
+        _ => None,
+    }
+}
+
+/// Position of `drop(name)` within `[from, to)`, if present.
+fn find_drop(code: &Code, from: usize, to: usize, name: &str) -> Option<usize> {
+    (from..to.min(code.len().saturating_sub(3))).find(|&j| {
+        code.tok(j).is_ident("drop")
+            && code.tok(j + 1).is_punct('(')
+            && code.tok(j + 2).is_ident(name)
+            && code.tok(j + 3).is_punct(')')
+    })
+}
+
+/// Literal index of the receiver just before the lock call's dot:
+/// `xs[0].read()` → Some(0).
+fn literal_index(code: &Code, dot: usize) -> Option<u64> {
+    if dot >= 3
+        && code.tok(dot - 1).is_punct(']')
+        && code.tok(dot - 2).kind == TokenKind::Number
+        && code.tok(dot - 3).is_punct('[')
+    {
+        return code.tok(dot - 2).text.parse().ok();
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(code: &Code, open: usize) -> usize {
+    let mut depth = 0i32;
+    for j in open..code.len() {
+        match &code.tok(j).kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// For a condvar-family wait at `name_idx`, the class of the first
+/// guard-binding argument: `cond.wait_timeout(guard, t)` rides the
+/// `guard`'s own class through the wait legitimately.
+fn wait_exempt_class(
+    code: &Code,
+    name_idx: usize,
+    binding_class: &BTreeMap<String, usize>,
+) -> Option<usize> {
+    if !WAIT_WITH_ARGS.contains(&code.tok(name_idx).text.as_str()) {
+        return None;
+    }
+    let open = name_idx + 1;
+    let close = matching_close(code, open);
+    (open + 1..close).find_map(|j| {
+        let t = code.tok(j);
+        (t.kind == TokenKind::Ident)
+            .then(|| binding_class.get(t.text.as_str()).copied())
+            .flatten()
+    })
+}
+
+/// Seeds method-resolution type hints from declared types: `name:
+/// &Type` parameters and `let name: Type = …` bindings. Only the
+/// uppercase-initial head ident after the colon is taken (skipping
+/// `&`, lifetimes and lowercase modifiers like `mut`/`dyn`/`impl`) —
+/// a generic or `impl Trait` head simply never matches a workspace
+/// impl type, so over-collection is harmless.
+fn collect_declared_types(
+    file: &crate::workspace::SourceFile,
+    func: &crate::funcs::Function,
+    code: &Code,
+    out: &mut BTreeMap<String, String>,
+) {
+    let head_type = |toks: &mut dyn Iterator<Item = &crate::lexer::Token>| -> Option<String> {
+        for t in toks {
+            match &t.kind {
+                TokenKind::Punct('&') => {}
+                TokenKind::Lifetime => {}
+                TokenKind::Ident if t.text.chars().next().is_some_and(char::is_lowercase) => {}
+                TokenKind::Ident => return Some(t.text.clone()),
+                _ => return None,
+            }
+        }
+        None
+    };
+    let sig: Vec<&crate::lexer::Token> = file.tokens[func.sig.clone()]
+        .iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+    for i in 0..sig.len().saturating_sub(2) {
+        if sig[i].kind == TokenKind::Ident && sig[i + 1].is_punct(':') {
+            if let Some(ty) = head_type(&mut sig[i + 2..].iter().copied()) {
+                out.insert(sig[i].text.clone(), ty);
+            }
+        }
+    }
+    let mut i = 0;
+    while i + 3 < code.len() {
+        if code.tok(i).is_ident("let") {
+            let name_at = if code.tok(i + 1).is_ident("mut") {
+                i + 2
+            } else {
+                i + 1
+            };
+            if code.tok(name_at).kind == TokenKind::Ident
+                && code.get(name_at + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                let rest = (name_at + 2..code.len())
+                    .map_while(|j| code.get(j))
+                    .take_while(|t| !t.is_punct('=') && !t.is_punct(';'));
+                if let Some(ty) = head_type(&mut rest.collect::<Vec<_>>().into_iter()) {
+                    out.insert(code.tok(name_at).text.clone(), ty);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Every local value name in scope: parameters, `let` / `for` pattern
+/// idents, and closure parameters. Used to tell a call through a local
+/// callable (unresolvable, widened) from a call to an undeclared std
+/// function (ignored).
+fn collect_locals(
+    file: &crate::workspace::SourceFile,
+    func: &crate::funcs::Function,
+    code: &Code,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    // Parameters: sig idents directly followed by `:`.
+    let sig = &file.tokens[func.sig.clone()];
+    for w in sig.windows(2) {
+        if w[0].kind == TokenKind::Ident && w[1].is_punct(':') {
+            out.insert(w[0].text.clone());
+        }
+    }
+    let mut i = 0;
+    while i < code.len() {
+        let t = code.tok(i);
+        if t.is_ident("let") || t.is_ident("for") {
+            let stop: &dyn Fn(&crate::lexer::Token) -> bool = if t.is_ident("let") {
+                &|t| t.is_punct('=') || t.is_punct(';')
+            } else {
+                &|t| t.is_ident("in") || t.is_punct('{')
+            };
+            let mut j = i + 1;
+            while let Some(p) = code.get(j) {
+                if stop(p) {
+                    break;
+                }
+                if p.kind == TokenKind::Ident && p.text != "mut" && p.text != "ref" {
+                    out.insert(p.text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if t.is_punct('|') && i > 0 {
+            let prev = code.tok(i - 1);
+            let opens_closure = prev.is_punct('(')
+                || prev.is_punct(',')
+                || prev.is_punct('=')
+                || prev.is_punct('{')
+                || prev.is_punct(';')
+                || prev.is_ident("move")
+                || prev.is_ident("return");
+            if opens_closure {
+                let mut j = i + 1;
+                let mut params = Vec::new();
+                let mut ok = false;
+                while j < code.len() && j <= i + 24 {
+                    let p = code.tok(j);
+                    if p.is_punct('|') {
+                        ok = true;
+                        break;
+                    }
+                    if p.kind == TokenKind::Ident && p.text != "mut" && p.text != "ref" {
+                        params.push(p.text.clone());
+                    }
+                    j += 1;
+                }
+                if ok {
+                    out.extend(params);
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}

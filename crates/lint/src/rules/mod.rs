@@ -11,6 +11,10 @@
 //! | `shim-only-deps`  | no dependency outside the workspace + shim set (offline build) |
 //! | `unsafe-doc`      | every `unsafe` block carries a `// SAFETY:` comment |
 //! | `reactor-blocking`| no blocking calls in reactor event-loop code (PR 8 epoll reactor) |
+//! | `lock-order`      | lock classes acquired in `locks.toml` rank order, transitively through calls (PR 10) |
+//! | `shard-guard-order` | ordered guards (`shards[k]`) taken in ascending index order (PR 10) |
+//! | `double-acquire`  | no re-entry of a lock class already held on some call path (PR 10) |
+//! | `guard-across-wait` | no condvar wait / blocking recv / join while holding a foreign guard (PR 10) |
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
@@ -18,6 +22,7 @@ use crate::workspace::Workspace;
 
 mod bench_drift;
 mod lock_across_io;
+mod locks;
 mod panic_path;
 mod reactor_blocking;
 mod shim_only_deps;
@@ -47,6 +52,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(shim_only_deps::ShimOnlyDeps),
         Box::new(unsafe_doc::UnsafeDoc),
         Box::new(reactor_blocking::ReactorBlocking),
+        Box::new(locks::LockOrder),
+        Box::new(locks::ShardGuardOrder),
+        Box::new(locks::DoubleAcquire),
+        Box::new(locks::GuardAcrossWait),
     ]
 }
 

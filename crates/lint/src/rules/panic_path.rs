@@ -36,7 +36,7 @@ struct Scope {
     fns: Option<&'static [&'static str]>,
 }
 
-const SCOPES: [Scope; 4] = [
+const SCOPES: [Scope; 5] = [
     Scope {
         path_prefix: "crates/server/src/",
         fns: None,
@@ -52,6 +52,13 @@ const SCOPES: [Scope; 4] = [
         // WAL recovery: header + tail scan and per-record decoding.
         path_prefix: "crates/engine/src/wal.rs",
         fns: Some(&["open", "decode_frame", "decode", "Decoder"]),
+    },
+    Scope {
+        // Sharded broadcast + recovery: a panic under the broadcast
+        // mutex wedges every shard; a panic during recovery or the
+        // membership sweep kills the daemon before it serves.
+        path_prefix: "crates/engine/src/shard.rs",
+        fns: Some(&["broadcast_script", "recover", "reconcile_membership"]),
     },
     Scope {
         // Wire decode: everything a hostile peer's bytes flow through.

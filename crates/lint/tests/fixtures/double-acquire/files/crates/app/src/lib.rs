@@ -1,0 +1,25 @@
+//! Fixture: `double-acquire` — re-entering a mutex class already held
+//! on the same thread self-deadlocks.
+
+pub struct Engine {
+    wal: Mutex<Wal>,
+}
+
+impl Engine {
+    /// VIOLATION: the second `wal` acquisition overlaps the first.
+    pub fn twice(&self) {
+        let first = self.wal.lock();
+        let second = self.wal.lock();
+        drop(second);
+        drop(first);
+    }
+
+    /// Fixed pattern: the first guard is dropped before re-acquiring —
+    /// no finding.
+    pub fn sequential(&self) {
+        let first = self.wal.lock();
+        drop(first);
+        let second = self.wal.lock();
+        drop(second);
+    }
+}

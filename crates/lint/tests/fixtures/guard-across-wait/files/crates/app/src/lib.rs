@@ -1,0 +1,39 @@
+//! Fixture: `guard-across-wait` — blocking receives/joins while a
+//! foreign guard is live pin the lock for an unbounded sleep. The
+//! condvar protocol (`cond.wait_timeout(guard, …)`) is exempt for the
+//! waited guard's own class: the wait releases it atomically.
+
+pub struct Engine {
+    wal: Mutex<Wal>,
+    seq: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Engine {
+    /// VIOLATION: blocking `recv` with the wal guard held.
+    pub fn recv_under_guard(&self, rx: &Receiver<u8>) {
+        let _w = self.wal.lock();
+        let _ = rx.recv();
+    }
+
+    /// VIOLATION: thread join with the wal guard held.
+    pub fn join_under_guard(&self, worker: JoinHandle<()>) {
+        let _w = self.wal.lock();
+        let _ = worker.join();
+    }
+
+    /// Fixed pattern (condvar protocol): the waited guard's own class
+    /// is exempt — no finding.
+    pub fn condvar_protocol(&self, timeout: Duration) {
+        let seq = self.seq.lock();
+        drop(self.cond.wait_timeout(seq, timeout));
+    }
+
+    /// Fixed pattern: the guard is dropped before blocking — no
+    /// finding.
+    pub fn recv_after_drop(&self, rx: &Receiver<u8>) {
+        let w = self.wal.lock();
+        drop(w);
+        let _ = rx.recv();
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixture: call-graph resolution edge cases feeding the lock rules.
+//!
+//! - same-named methods on different impl types must resolve by the
+//!   receiver's declared type (only `Alpha::refresh` acquires
+//!   `broadcast`; calling `Beta::refresh` is clean),
+//! - trait-impl methods attribute to the implementing type,
+//! - a guard-returning helper escapes its acquisitions into the caller,
+//! - calls through local callable values are unknown edges and widen,
+//! - closures do not hide waits from the enclosing guard region.
+
+pub struct Alpha {
+    broadcast: Mutex<()>,
+}
+
+pub struct Beta {
+    zoom: Mutex<ZoomRegistry>,
+}
+
+impl Alpha {
+    pub fn refresh(&self) {
+        let _b = self.broadcast.lock();
+    }
+}
+
+impl Beta {
+    pub fn refresh(&self) {
+        let _z = self.zoom.lock();
+    }
+}
+
+pub trait Tick {
+    fn tick(&self);
+}
+
+impl Tick for Alpha {
+    fn tick(&self) {
+        let _b = self.broadcast.lock();
+    }
+}
+
+pub struct App {
+    broadcast: Mutex<()>,
+    zoom: Mutex<ZoomRegistry>,
+    wal: Mutex<Wal>,
+    shards: Vec<RwLock<Database>>,
+}
+
+impl App {
+    /// VIOLATION: `a.refresh()` resolves to `Alpha::refresh` via the
+    /// typed receiver, which acquires broadcast under the zoom guard.
+    pub fn alpha_under_zoom(&self, a: &Alpha) {
+        let _z = self.zoom.lock();
+        a.refresh();
+    }
+
+    /// No finding: `b.refresh()` resolves to `Beta::refresh` only —
+    /// the same-named method on `Alpha` must not bleed in (zoom ranks
+    /// after broadcast, so this nesting is legal).
+    pub fn beta_under_broadcast(&self, b: &Beta) {
+        let _g = self.broadcast.lock();
+        b.refresh();
+    }
+
+    /// VIOLATION: the trait method resolves to `Alpha`'s impl, which
+    /// acquires broadcast under the zoom guard.
+    pub fn trait_under_zoom(&self, a: &Alpha) {
+        let _z = self.zoom.lock();
+        a.tick();
+    }
+
+    /// Guard-returning helper: its shard read guards escape to the
+    /// caller (no finding here by itself).
+    pub fn lock_all(&self) -> Vec<RwLockReadGuard<'_, Database>> {
+        let mut guards = Vec::new();
+        for shard in &self.shards {
+            guards.push(shard.read());
+        }
+        guards
+    }
+
+    /// VIOLATION: broadcast acquired under the shard guards that
+    /// escaped from `lock_all`.
+    pub fn broadcast_under_guards(&self) {
+        let guards = self.lock_all();
+        let _b = self.broadcast.lock();
+        drop(guards);
+    }
+
+    /// VIOLATION (widening): an unresolvable call through a local
+    /// callable with a guard held could acquire anything.
+    pub fn run_hook(&self, hook: impl Fn()) {
+        let _z = self.zoom.lock();
+        hook();
+    }
+
+    /// VIOLATIONS: the closure body's `recv` executes (via the local
+    /// callable) with the wal guard held — the wait is flagged where it
+    /// sits, and the unknown `drain()` call widens.
+    pub fn closure_capture(&self, rx: &Receiver<u8>) {
+        let w = self.wal.lock();
+        let drain = || {
+            let _ = rx.recv();
+        };
+        drain();
+        drop(w);
+    }
+}

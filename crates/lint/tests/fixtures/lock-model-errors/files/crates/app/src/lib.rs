@@ -1,0 +1,18 @@
+//! Fixture: a broken `locks.toml` must surface span-reported
+//! diagnostics, never a panic, and must disable the lock rules rather
+//! than lint against a half-parsed hierarchy.
+
+pub struct Engine {
+    wal: Mutex<Wal>,
+}
+
+impl Engine {
+    /// Would be a double-acquire under a valid model; with the model in
+    /// error the lock rules stay quiet and only the parse errors show.
+    pub fn twice(&self) {
+        let first = self.wal.lock();
+        let second = self.wal.lock();
+        drop(second);
+        drop(first);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: `lock-order` — rank inversions, direct and transitive.
+//! `zoom` ranks after `broadcast` in locks.toml, so acquiring
+//! `broadcast` while a zoom guard is live inverts the hierarchy.
+
+pub struct Engine {
+    broadcast: Mutex<()>,
+    zoom: Mutex<ZoomRegistry>,
+}
+
+impl Engine {
+    /// VIOLATION: broadcast acquired under a live zoom guard.
+    pub fn inverted(&self) {
+        let z = self.zoom.lock();
+        let _b = self.broadcast.lock();
+        drop(z);
+    }
+
+    /// VIOLATION (transitive): the callee acquires broadcast while the
+    /// caller's zoom guard is held.
+    pub fn inverted_via_call(&self) {
+        let _z = self.zoom.lock();
+        self.grab_broadcast();
+    }
+
+    pub fn grab_broadcast(&self) {
+        let _b = self.broadcast.lock();
+    }
+
+    /// Fixed pattern: declaration order — no finding.
+    pub fn in_order(&self) {
+        let _b = self.broadcast.lock();
+        let _z = self.zoom.lock();
+    }
+
+    /// Fixed pattern: the zoom guard is dropped before broadcast — no
+    /// finding.
+    pub fn released_first(&self) {
+        let z = self.zoom.lock();
+        drop(z);
+        let _b = self.broadcast.lock();
+    }
+}

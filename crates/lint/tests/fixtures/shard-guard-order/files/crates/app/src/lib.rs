@@ -1,0 +1,33 @@
+//! Fixture: `shard-guard-order` — guards of the ordered `shard` class
+//! must be taken in ascending index order, and an index already held
+//! shared must not be re-entered exclusively.
+
+pub struct Engine {
+    shards: Vec<RwLock<Database>>,
+}
+
+impl Engine {
+    /// VIOLATION: descending shard indices (1 then 0).
+    pub fn descending(&self) {
+        let b = self.shards[1].read();
+        let a = self.shards[0].read();
+        drop(a);
+        drop(b);
+    }
+
+    /// VIOLATION: exclusive re-entry of an index already held shared.
+    pub fn reentrant_write(&self) {
+        let r = self.shards[0].read();
+        let w = self.shards[0].write();
+        drop(w);
+        drop(r);
+    }
+
+    /// Fixed pattern: ascending reads — no finding.
+    pub fn ascending(&self) {
+        let a = self.shards[0].read();
+        let b = self.shards[1].read();
+        drop(a);
+        drop(b);
+    }
+}

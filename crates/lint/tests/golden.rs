@@ -132,6 +132,125 @@ fn inline_allow_suppresses_its_line_only() {
 }
 
 #[test]
+fn lock_order_flags_direct_and_transitive_inversions() {
+    let outcome = check_case("lock-order");
+    assert_eq!(outcome.reported.len(), 2);
+    assert!(outcome.reported.iter().all(|d| d.rule == "lock-order"));
+    // One finding is the direct inversion, one rides through the call.
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.message.contains("grab_broadcast")));
+}
+
+#[test]
+fn shard_guard_order_demands_ascending_indices() {
+    let outcome = check_case("shard-guard-order");
+    assert_eq!(outcome.reported.len(), 2);
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.rule == "shard-guard-order"));
+}
+
+#[test]
+fn double_acquire_flags_overlapping_same_class_guards() {
+    let outcome = check_case("double-acquire");
+    assert_eq!(outcome.reported.len(), 1);
+    assert_eq!(outcome.reported[0].rule, "double-acquire");
+    // `sequential` drops the first guard before re-acquiring: clean.
+    assert_eq!(outcome.reported[0].line, 12, "only `twice` fires");
+}
+
+#[test]
+fn guard_across_wait_exempts_the_condvar_protocol() {
+    let outcome = check_case("guard-across-wait");
+    assert_eq!(outcome.reported.len(), 2);
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.rule == "guard-across-wait"));
+    // `condvar_protocol` (the waited guard's own class) and
+    // `recv_after_drop` must stay clean.
+    assert!(outcome.reported.iter().all(|d| d.line < 28));
+}
+
+#[test]
+fn callgraph_resolves_types_traits_escapes_and_widens() {
+    let outcome = check_case("lock-callgraph");
+    // alpha_under_zoom, trait_under_zoom, broadcast_under_guards,
+    // run_hook (widening), closure_capture (wait + widening) — and
+    // nothing from beta_under_broadcast, whose same-named method
+    // resolves to the other impl type.
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| !d.message.contains("beta_under_broadcast")));
+    // The `lock_all` helper's escaped shard guards reach the caller.
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.message.contains("`shard` guard")));
+    // Typed receivers resolve same-named methods and trait impls.
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.message.contains("`refresh`")));
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.message.contains("`tick`")));
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.message.contains("local callable")));
+    assert!(outcome
+        .reported
+        .iter()
+        .any(|d| d.rule == "guard-across-wait"));
+}
+
+#[test]
+fn broken_locks_toml_reports_spans_and_disables_lock_rules() {
+    let outcome = check_case("lock-model-errors");
+    assert!(!outcome.reported.is_empty());
+    assert!(outcome.reported.iter().all(|d| d.file == "locks.toml"));
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.message.contains("invalid lock hierarchy")));
+    // The would-be double-acquire in the fixture source must NOT fire:
+    // a broken model disables the lock rules instead of half-linting.
+    assert!(outcome
+        .reported
+        .iter()
+        .all(|d| d.rule == "lock-order" && d.line > 0));
+}
+
+/// The `--json` schema other tools consume: a single object with a
+/// `diagnostics` array of `{rule, file, line, col, message}` (in that
+/// key order) and a trailing `count` equal to the array length.
+#[test]
+fn json_output_matches_documented_schema() {
+    let root = fixture_root("lock-order");
+    let files = root.join("files");
+    let outcome = lint::run(&files, &files.join("lint.toml")).expect("lint");
+    let got = lint::diag::render_json(&outcome.reported);
+    assert!(got.starts_with("{\"diagnostics\":["));
+    assert!(got.ends_with(&format!("\"count\":{}}}", outcome.reported.len())));
+    for diag in &outcome.reported {
+        let entry = format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":",
+            diag.rule, diag.file, diag.line, diag.col
+        );
+        assert!(
+            got.contains(&entry),
+            "schema drift: `{entry}` not found in {got}"
+        );
+    }
+}
+
+#[test]
 fn baseline_budgets_suppress_up_to_count() {
     let outcome = check_case("baseline");
     assert_eq!(outcome.reported.len(), 1, "one finding over budget");

@@ -2,6 +2,7 @@
 //! serving layer.
 
 use insightnotes_common::wire::ShardPosition;
+use parking_lot::witness::class as lock_class;
 use parking_lot::Mutex;
 
 /// Per-shard applied (epoch, offset) vector.
@@ -31,7 +32,8 @@ impl PositionTable {
                     offset: 0
                 };
                 shards
-            ]),
+            ])
+            .with_class(lock_class::REACTOR),
         }
     }
 

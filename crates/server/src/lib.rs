@@ -114,7 +114,8 @@ use insightnotes_replication::feed::{self, FeedStart};
 use insightnotes_replication::PositionTable;
 use insightnotes_sql::{parse, Statement, StatementClass};
 use insightnotes_storage::{Column, Value};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::witness::class as lock_class;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -181,10 +182,19 @@ impl Default for ServerConfig {
 /// caught-up replication feed ships the new frames immediately instead
 /// of discovering them on its next poll tick. Steady-state replication
 /// lag is then one ship + one apply, not the poll interval.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CommitSignal {
     seq: Mutex<u64>,
-    cond: std::sync::Condvar,
+    cond: Condvar,
+}
+
+impl Default for CommitSignal {
+    fn default() -> Self {
+        Self {
+            seq: Mutex::new(0).with_class(lock_class::COMMIT_QUEUE),
+            cond: Condvar::new(),
+        }
+    }
 }
 
 /// Shared mutable server state (the handle and every session see it).
@@ -357,12 +367,12 @@ impl Server {
             db: Arc::clone(&self.db),
             state: Arc::clone(&self.state),
             queues: CommitQueues {
-                txs: Mutex::new(txs),
+                txs: Mutex::new(txs).with_class(lock_class::COMMIT_QUEUE),
                 backlog,
                 depth,
             },
             execute_lane: ExecuteLane::start(),
-            feeders: Mutex::new(Vec::new()),
+            feeders: Mutex::new(Vec::new()).with_class(lock_class::REACTOR),
         });
         let workers = match self.state.config.reactor_workers {
             0 => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
@@ -731,14 +741,17 @@ fn submit_annotations_async(
         done(finalize_slots(slots));
         return;
     }
-    let combine = Arc::new(Mutex::new(Combine {
-        slots,
-        ids,
-        ok_shards: Vec::new(),
-        ok_from: Vec::new(),
-        remaining: per_shard.len(),
-        done: Some(done),
-    }));
+    let combine = Arc::new(
+        Mutex::new(Combine {
+            slots,
+            ids,
+            ok_shards: Vec::new(),
+            ok_from: Vec::new(),
+            remaining: per_shard.len(),
+            done: Some(done),
+        })
+        .with_class(lock_class::REACTOR),
+    );
     {
         let mut g = combine.lock();
         let n = g.slots.len();
@@ -763,13 +776,16 @@ fn submit_annotations_async(
                 g.remaining = g.remaining.saturating_sub(1);
                 if g.remaining == 0 {
                     // Last owner shard in (running on its committer
-                    // thread, no shard lock held): repair partial
-                    // multi-owner failures, then release the combined
-                    // results to the connection.
-                    compensate_failures(&db, &g.slots, &g.ids, &g.ok_shards);
+                    // thread): take the accumulated state out and
+                    // release the combine mutex *before* compensating —
+                    // compensation acquires shard write locks, which
+                    // rank before the combine mutex in locks.toml.
                     let slots = std::mem::take(&mut g.slots);
+                    let ids = std::mem::take(&mut g.ids);
+                    let ok_shards = std::mem::take(&mut g.ok_shards);
                     let done = g.done.take();
                     drop(g);
+                    compensate_failures(&db, &slots, &ids, &ok_shards);
                     if let Some(done) = done {
                         done(finalize_slots(slots));
                     }
@@ -1085,8 +1101,8 @@ impl ExecuteLane {
             })
             .ok();
         Self {
-            tx: Mutex::new(thread.is_some().then_some(tx)),
-            thread: Mutex::new(thread),
+            tx: Mutex::new(thread.is_some().then_some(tx)).with_class(lock_class::REACTOR),
+            thread: Mutex::new(thread).with_class(lock_class::REACTOR),
         }
     }
 
@@ -1102,7 +1118,10 @@ impl ExecuteLane {
     /// Disconnects the lane and waits for queued jobs to finish.
     fn join(&self) {
         self.tx.lock().take();
-        if let Some(t) = self.thread.lock().take() {
+        // Bind the handle first: an `if let` scrutinee temporary would
+        // keep the `thread` mutex locked across the join.
+        let t = self.thread.lock().take();
+        if let Some(t) = t {
             let _ = t.join();
         }
     }

@@ -2,48 +2,118 @@
 //! workspace uses, backed by `std::sync`. The build environment has no
 //! registry access, so the real crate cannot be fetched; the API here is
 //! call-compatible (`lock()` returns the guard directly, no poisoning).
+//!
+//! On top of the shim sits the **runtime lock witness** (see
+//! [`witness`]): each lock can be tagged with a class rank from
+//! `locks.toml` via [`Mutex::with_class`] / [`RwLock::with_class`], and
+//! with `INSIGHTNOTES_LOCK_WITNESS=1` every classified acquisition is
+//! checked against the thread's held-guard stack before blocking —
+//! hierarchy inversions panic with both acquisition locations instead
+//! of deadlocking. Untagged locks and disabled runs pay one relaxed
+//! atomic load per acquisition.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::sync::PoisonError;
+use std::time::Duration;
+
+pub mod witness;
 
 /// A mutual-exclusion primitive with `parking_lot`'s panic-safe API:
 /// `lock()` never returns a poison error — a lock poisoned by a panicking
 /// holder is recovered transparently.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    class: AtomicU8,
+    index: AtomicU32,
+    inner: std::sync::Mutex<T>,
+}
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]; releases the witness entry on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some` except transiently inside [`Condvar::wait_timeout`].
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    token: u64,
+    rank: u8,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex protecting `value`.
+    /// Creates a new, unclassified mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            class: AtomicU8::new(0),
+            index: AtomicU32::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Tags the mutex with a [`witness::class`] rank (builder form).
+    pub fn with_class(self, class: u8) -> Self {
+        self.class.store(class, Ordering::Relaxed);
+        self
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until it is available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Tags the mutex with a [`witness::class`] rank in place.
+    pub fn set_class(&self, class: u8) {
+        self.class.store(class, Ordering::Relaxed);
     }
 
-    /// Attempts to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+    /// Acquires the lock, blocking until it is available. A classified
+    /// mutex is checked against the thread's held-guard stack first, so
+    /// a hierarchy inversion panics instead of deadlocking.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let rank = self.class.load(Ordering::Relaxed);
+        let token = witness::acquire(
+            rank,
+            self.index.load(Ordering::Relaxed),
+            true,
+            Location::caller(),
+        );
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            token,
+            rank,
         }
+    }
+
+    /// Attempts to acquire the lock without blocking. No witness check
+    /// (a non-blocking attempt cannot deadlock), but a successful
+    /// acquisition is still recorded and constrains later locks.
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        let rank = self.class.load(Ordering::Relaxed);
+        let token = witness::acquire_try(
+            rank,
+            self.index.load(Ordering::Relaxed),
+            true,
+            Location::caller(),
+        );
+        Some(MutexGuard {
+            inner: Some(inner),
+            token,
+            rank,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -55,46 +125,243 @@ impl<T: Default> Default for Mutex<T> {
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.token);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
     }
 }
 
 /// A reader-writer lock with the same poison-free API as [`Mutex`].
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    class: AtomicU8,
+    index: AtomicU32,
+    inner: std::sync::RwLock<T>,
+}
 
 /// Shared guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    token: u64,
+}
+
 /// Exclusive guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    token: u64,
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new lock protecting `value`.
+    /// Creates a new, unclassified lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            class: AtomicU8::new(0),
+            index: AtomicU32::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Tags the lock with a [`witness::class`] rank (builder form).
+    pub fn with_class(self, class: u8) -> Self {
+        self.class.store(class, Ordering::Relaxed);
+        self
+    }
+
+    /// Tags the lock with an *ordered* class rank plus its position in
+    /// the order — e.g. `shard[k]`, which must be acquired in ascending
+    /// `k` when several are held.
+    pub fn with_class_indexed(self, class: u8, index: u32) -> Self {
+        self.class.store(class, Ordering::Relaxed);
+        self.index.store(index, Ordering::Relaxed);
+        self
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    /// Tags the lock with a [`witness::class`] rank in place.
+    pub fn set_class(&self, class: u8) {
+        self.class.store(class, Ordering::Relaxed);
     }
 
-    /// Acquires exclusive write access.
+    /// Acquires shared read access (witness-checked like
+    /// [`Mutex::lock`]; two reads of the same ordered index are legal).
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let token = witness::acquire(
+            self.class.load(Ordering::Relaxed),
+            self.index.load(Ordering::Relaxed),
+            false,
+            Location::caller(),
+        );
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            token,
+        }
+    }
+
+    /// Acquires exclusive write access (witness-checked).
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let token = witness::acquire(
+            self.class.load(Ordering::Relaxed),
+            self.index.load(Ordering::Relaxed),
+            true,
+            Location::caller(),
+        );
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            token,
+        }
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.token);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.token);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A condition variable paired with the shim [`Mutex`], with
+/// `parking_lot`-style poison-free returns. The witness treats a wait
+/// as the dynamic `guard-across-wait` rule: waiting while any *other*
+/// classified guard is held panics, because the foreign lock stays
+/// pinned for the whole (unbounded) sleep.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases `guard` and waits for a notification or the
+    /// timeout; returns the re-acquired guard and whether the wait
+    /// timed out.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let at = Location::caller();
+        let rank = guard.rank;
+        let suspended = witness::suspend_for_wait(guard.token, at);
+        let inner = guard.inner.take().expect("guard holds the lock");
+        // The witness entry is gone and `inner` is out: skip Drop so the
+        // token is not released twice.
+        std::mem::forget(guard);
+        let (inner, timed_out) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        let token = witness::resume(suspended, rank, at);
+        (
+            MutexGuard {
+                inner: Some(inner),
+                token,
+                rank,
+            },
+            timed_out,
+        )
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::witness::class;
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_round_trip() {
@@ -110,5 +377,108 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    /// Runs `f` on a fresh thread (its own witness stack) and returns
+    /// the panic message if it panicked.
+    fn panics_with(f: impl FnOnce() + Send + 'static) -> Option<String> {
+        witness::force_enable();
+        std::thread::spawn(f).join().err().map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        })
+    }
+
+    #[test]
+    fn witness_panics_on_seeded_rank_inversion() {
+        // zoom ranks after broadcast, so zoom → broadcast must die.
+        let zoom = Arc::new(Mutex::new(()).with_class(class::ZOOM));
+        let bcast = Arc::new(Mutex::new(()).with_class(class::BROADCAST));
+        let msg = panics_with(move || {
+            let _z = zoom.lock();
+            let _b = bcast.lock();
+        })
+        .expect("inverted acquisition must panic");
+        assert!(msg.contains("lock witness"), "got: {msg}");
+        assert!(msg.contains("broadcast") && msg.contains("zoom"), "got: {msg}");
+        assert!(msg.contains("acquiring at") && msg.contains("acquired at"), "got: {msg}");
+    }
+
+    #[test]
+    fn witness_allows_declared_order_and_releases_on_drop() {
+        witness::force_enable();
+        let bcast = Mutex::new(()).with_class(class::BROADCAST);
+        let zoom = Mutex::new(()).with_class(class::ZOOM);
+        {
+            let _b = bcast.lock();
+            let _z = zoom.lock();
+        }
+        // Non-LIFO: drop the lower rank first, then ascend again.
+        let b = bcast.lock();
+        let z = zoom.lock();
+        drop(b);
+        drop(z);
+        let _b = bcast.lock();
+        let _z = zoom.lock();
+    }
+
+    #[test]
+    fn witness_panics_on_shard_index_inversion() {
+        let s0 = Arc::new(RwLock::new(()).with_class_indexed(class::SHARD, 0));
+        let s1 = Arc::new(RwLock::new(()).with_class_indexed(class::SHARD, 1));
+        // Ascending reads are the read_all() pattern and must pass.
+        witness::force_enable();
+        {
+            let _a = s0.read();
+            let _b = s1.read();
+        }
+        let msg = panics_with(move || {
+            let _b = s1.read();
+            let _a = s0.read();
+        })
+        .expect("descending shard acquisition must panic");
+        assert!(msg.contains("must ascend"), "got: {msg}");
+    }
+
+    #[test]
+    fn witness_panics_on_double_acquire() {
+        let wal = Arc::new(Mutex::new(()).with_class(class::WAL));
+        let msg = panics_with(move || {
+            let _a = wal.lock();
+            let _b = wal.lock();
+        })
+        .expect("same-class re-acquisition must panic");
+        assert!(msg.contains("re-acquiring"), "got: {msg}");
+    }
+
+    #[test]
+    fn witness_panics_on_wait_with_foreign_guard() {
+        let seq = Arc::new(Mutex::new(0u64).with_class(class::COMMIT_QUEUE));
+        let wal = Arc::new(Mutex::new(()).with_class(class::WAL));
+        let cond = Arc::new(Condvar::new());
+        let msg = panics_with(move || {
+            let _w = wal.lock();
+            let g = seq.lock();
+            let _ = cond.wait_timeout(g, Duration::from_millis(1));
+        })
+        .expect("waiting with a foreign guard held must panic");
+        assert!(msg.contains("condvar wait"), "got: {msg}");
+    }
+
+    #[test]
+    fn condvar_wait_reacquires_and_times_out() {
+        witness::force_enable();
+        let seq = Mutex::new(7u64).with_class(class::COMMIT_QUEUE);
+        let cond = Condvar::new();
+        let g = seq.lock();
+        let (g, timed_out) = cond.wait_timeout(g, Duration::from_millis(5));
+        assert!(timed_out);
+        assert_eq!(*g, 7);
+        drop(g);
+        // The re-acquired guard's witness entry must release on drop:
+        // a second classified acquisition would panic otherwise.
+        let _g = seq.lock();
     }
 }

@@ -1,0 +1,275 @@
+//! The runtime lock witness: a debug aid that cross-validates the
+//! `locks.toml` hierarchy dynamically.
+//!
+//! When enabled (`INSIGHTNOTES_LOCK_WITNESS=1`), every classified
+//! [`Mutex`](crate::Mutex) / [`RwLock`](crate::RwLock) acquisition is
+//! checked against a thread-local stack of currently-held lock classes
+//! *before* blocking: an acquisition that violates the declared rank
+//! order (or re-enters a held class, or takes ordered shard guards out
+//! of index order) panics immediately with both acquisition locations —
+//! turning a would-be deadlock, which a test suite experiences as a
+//! hang, into a precise failure. Disabled, the cost is one relaxed
+//! atomic load per acquisition.
+//!
+//! Class ranks mirror `locks.toml` declaration order — keep
+//! [`class`] in sync with it (the `lock-order` lint enforces the static
+//! side of the same table).
+
+use std::cell::RefCell;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lock-class ranks, mirroring `locks.toml` declaration order. `0`
+/// means unclassified: the witness ignores the lock entirely.
+pub mod class {
+    /// The cross-shard broadcast mutex (total write order).
+    pub const BROADCAST: u8 = 1;
+    /// The per-shard `RwLock<Database>` set; index-ordered.
+    pub const SHARD: u8 = 2;
+    /// The router's stamp allocator.
+    pub const ALLOC: u8 = 3;
+    /// The zoom-in registry (router-level or per-database).
+    pub const ZOOM: u8 = 4;
+    /// The write-ahead log handle.
+    pub const WAL: u8 = 5;
+    /// A cluster summary's token vocabulary.
+    pub const VOCAB: u8 = 6;
+    /// Commit-queue senders and the per-shard commit signal.
+    pub const COMMIT_QUEUE: u8 = 7;
+    /// Server session / lifecycle state and replication positions.
+    pub const REACTOR: u8 = 8;
+    /// Morsel-parallel per-unit result slots (maximum rank: safe to
+    /// take under anything, must nest nothing).
+    pub const MORSEL: u8 = 9;
+}
+
+/// Ranks whose instances carry an index that must be acquired in
+/// ascending order.
+const ORDERED: [u8; 1] = [class::SHARD];
+
+const CLASS_NAMES: [&str; 10] = [
+    "unclassified",
+    "broadcast",
+    "shard",
+    "alloc",
+    "zoom",
+    "wal",
+    "vocab",
+    "commit_queue",
+    "reactor",
+    "morsel",
+];
+
+fn class_name(rank: u8) -> &'static str {
+    CLASS_NAMES.get(rank as usize).copied().unwrap_or("?")
+}
+
+/// Witness switch: unset → consult `INSIGHTNOTES_LOCK_WITNESS` once;
+/// tests force it on with [`force_enable`].
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+const STATE_UNSET: u8 = 0;
+const STATE_ON: u8 = 1;
+const STATE_OFF: u8 = 2;
+
+/// Whether the witness is active for this process.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = std::env::var("INSIGHTNOTES_LOCK_WITNESS").is_ok_and(|v| v == "1");
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the witness on regardless of the environment — for tests
+/// that seed a violation and assert the panic.
+pub fn force_enable() {
+    STATE.store(STATE_ON, Ordering::Relaxed);
+}
+
+/// One held classified guard on the current thread.
+#[derive(Clone, Copy)]
+struct Held {
+    rank: u8,
+    index: u32,
+    write: bool,
+    token: u64,
+    at: &'static Location<'static>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    static NEXT_TOKEN: RefCell<u64> = const { RefCell::new(1) };
+}
+
+/// Checks an impending acquisition against every held guard and, if
+/// legal, records it. Returns the entry's token (0 when the witness is
+/// off or the lock unclassified) for [`release`]. Panics — with both
+/// locations — on a hierarchy violation. Called *before* blocking on
+/// the underlying lock, so a true inversion panics instead of
+/// deadlocking.
+pub(crate) fn acquire(
+    rank: u8,
+    index: u32,
+    write: bool,
+    at: &'static Location<'static>,
+) -> u64 {
+    if rank == 0 || !enabled() {
+        return 0;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        for h in held.iter() {
+            if rank < h.rank {
+                violation(
+                    format!(
+                        "acquiring `{}` while `{}` is held; `{}` ranks first in locks.toml",
+                        class_name(rank),
+                        class_name(h.rank),
+                        class_name(rank),
+                    ),
+                    at,
+                    h,
+                );
+            }
+            if rank == h.rank {
+                if ORDERED.contains(&rank) {
+                    if index < h.index {
+                        violation(
+                            format!(
+                                "acquiring `{}[{}]` while `{0}[{}]` is held; ordered guards \
+                                 must ascend",
+                                class_name(rank),
+                                index,
+                                h.index,
+                            ),
+                            at,
+                            h,
+                        );
+                    }
+                    if index == h.index && (write || h.write) {
+                        violation(
+                            format!(
+                                "re-acquiring `{}[{}]` with exclusive access on the same \
+                                 thread; this deadlocks",
+                                class_name(rank),
+                                index,
+                            ),
+                            at,
+                            h,
+                        );
+                    }
+                } else {
+                    violation(
+                        format!(
+                            "re-acquiring lock class `{}` on the same thread; this deadlocks",
+                            class_name(rank),
+                        ),
+                        at,
+                        h,
+                    );
+                }
+            }
+        }
+        let token = NEXT_TOKEN.with(|t| {
+            let mut t = t.borrow_mut();
+            let tok = *t;
+            *t += 1;
+            tok
+        });
+        held.push(Held {
+            rank,
+            index,
+            write,
+            token,
+            at,
+        });
+        token
+    })
+}
+
+/// Records a `try_lock` success. No hierarchy check — a non-blocking
+/// attempt cannot deadlock — but the held entry still constrains every
+/// later blocking acquisition.
+pub(crate) fn acquire_try(
+    rank: u8,
+    index: u32,
+    write: bool,
+    at: &'static Location<'static>,
+) -> u64 {
+    if rank == 0 || !enabled() {
+        return 0;
+    }
+    let token = NEXT_TOKEN.with(|t| {
+        let mut t = t.borrow_mut();
+        let tok = *t;
+        *t += 1;
+        tok
+    });
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            rank,
+            index,
+            write,
+            token,
+            at,
+        })
+    });
+    token
+}
+
+/// Drops a guard's held entry. Tokens make this robust to non-LIFO
+/// guard drops.
+pub(crate) fn release(token: u64) {
+    if token == 0 {
+        return;
+    }
+    HELD.with(|held| held.borrow_mut().retain(|h| h.token != token));
+}
+
+/// A condvar wait is about to atomically release the guard with
+/// `token`: panic if any *other* classified guard is held (the dynamic
+/// `guard-across-wait` rule), then suspend the entry for the duration
+/// of the wait. Returns an opaque value for [`resume`].
+pub(crate) fn suspend_for_wait(token: u64, at: &'static Location<'static>) -> Option<u64> {
+    if token == 0 || !enabled() {
+        return None;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(h) = held.iter().find(|h| h.token != token) {
+            violation(
+                format!(
+                    "condvar wait while a `{}` guard is held; blocking waits must not \
+                     pin locks of another class",
+                    class_name(h.rank),
+                ),
+                at,
+                h,
+            );
+        }
+        held.retain(|h| h.token != token);
+    });
+    Some(token)
+}
+
+/// Re-records a suspended entry after its condvar wait re-acquired the
+/// mutex.
+pub(crate) fn resume(suspended: Option<u64>, rank: u8, at: &'static Location<'static>) -> u64 {
+    match suspended {
+        Some(_) => acquire_try(rank, 0, true, at),
+        None => 0,
+    }
+}
+
+#[cold]
+fn violation(what: String, at: &'static Location<'static>, held: &Held) -> ! {
+    panic!(
+        "lock witness: {what}\n  acquiring at {at}\n  held since {} (acquired at {})",
+        class_name(held.rank),
+        held.at,
+    );
+}

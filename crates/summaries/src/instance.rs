@@ -20,6 +20,7 @@ use insightnotes_text::{
     summarize_extractive, tokenize, ClusterConfig, NaiveBayes, SnippetConfig, SparseVector,
     Vocabulary,
 };
+use parking_lot::witness::class as lock_class;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -155,7 +156,7 @@ impl SummaryInstance {
             properties,
             technique: Technique::Cluster {
                 config,
-                vocab: Mutex::new(Vocabulary::new()),
+                vocab: Mutex::new(Vocabulary::new()).with_class(lock_class::VOCAB),
             },
         }
     }
@@ -336,7 +337,8 @@ impl codec::Encodable for SummaryInstance {
             }
             1 => Technique::Cluster {
                 config: insightnotes_text::ClusterConfig::decode(dec)?,
-                vocab: Mutex::new(insightnotes_text::Vocabulary::decode(dec)?),
+                vocab: Mutex::new(insightnotes_text::Vocabulary::decode(dec)?)
+                    .with_class(lock_class::VOCAB),
             },
             2 => Technique::Snippet {
                 config: insightnotes_text::SnippetConfig::decode(dec)?,

@@ -6,12 +6,17 @@
 #   2. cargo build --release    — tier-1 build, plus server/client bins
 #   3. cargo test -q            — tier-1 tests (root package)
 #   4. cargo test --workspace   — every crate's unit + integration tests
-#   5. insight-lint             — workspace invariant checker (lock/WAL/
+#   5. tier-1 under the witness — the same tests with
+#                                 INSIGHTNOTES_LOCK_WITNESS=1: the
+#                                 parking_lot shim checks every
+#                                 classified acquisition against
+#                                 locks.toml at runtime
+#   6. insight-lint             — workspace invariant checker (lock/WAL/
 #                                 panic discipline; see DESIGN.md §11);
 #                                 a HARD gate: any non-baselined finding
 #                                 fails the run
-#   6. cargo clippy -D warnings — style lints over all targets
-#   7. insightd smoke tests     — end-to-end wire-protocol round-trip,
+#   7. cargo clippy -D warnings — style lints over all targets
+#   8. insightd smoke tests     — end-to-end wire-protocol round-trip,
 #                                 then kill -9 crash recovery on the
 #                                 single-shard and sharded (--shards 4)
 #                                 layouts, then an annotation-lifecycle
@@ -49,6 +54,13 @@ cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo test -q (tier-1, INSIGHTNOTES_LOCK_WITNESS=1)"
+# Same tier-1 suite with the runtime lock witness armed: every
+# classified mutex/rwlock acquisition is checked against the locks.toml
+# hierarchy on the live thread and panics (with both acquisition
+# locations) on an inversion the static rules could only approximate.
+INSIGHTNOTES_LOCK_WITNESS=1 cargo test -q
 
 echo "==> insight-lint (workspace invariants)"
 cargo run -q -p lint --
